@@ -1,0 +1,49 @@
+//! Error type for the authentication substrate.
+
+use std::error::Error as StdError;
+use std::fmt;
+
+/// Errors produced by authentication operations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AuthError {
+    /// A signature chain failed verification.
+    InvalidChain {
+        /// The claimed source of the value.
+        source: usize,
+        /// Human-readable reason the chain was rejected.
+        reason: String,
+    },
+    /// A signer identity was outside the key directory.
+    UnknownSigner(usize),
+}
+
+impl fmt::Display for AuthError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AuthError::InvalidChain { source, reason } => {
+                write!(f, "invalid signature chain for source {source}: {reason}")
+            }
+            AuthError::UnknownSigner(id) => write!(f, "unknown signer {id}"),
+        }
+    }
+}
+
+impl StdError for AuthError {}
+
+/// Convenience result alias for authentication operations.
+pub type AuthResult<T> = Result<T, AuthError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let err = AuthError::InvalidChain {
+            source: 3,
+            reason: "duplicate signer".into(),
+        };
+        assert!(err.to_string().contains("source 3"));
+        assert!(AuthError::UnknownSigner(9).to_string().contains('9'));
+    }
+}

@@ -1,0 +1,188 @@
+//! Signed values with signature chains, as used by the Dolev–Strong
+//! broadcast and the authenticated consensus of Section 7.
+//!
+//! In Dolev–Strong [24], the source signs its value and every relayer adds
+//! its own signature before forwarding; a value is accepted in round `k` only
+//! if it carries `k` valid signatures from distinct nodes, the first being
+//! the source.  [`SignedValue`] captures that structure: all signatures are
+//! over the canonical digest of `(source, value)`, so a Byzantine node can
+//! relay or drop a signed value but cannot alter the value, invent a new
+//! source, or fabricate other nodes' endorsements.
+
+use serde::{Deserialize, Serialize};
+
+use crate::hash::hash_words;
+use crate::keys::{KeyDirectory, Signer, SignerId};
+use crate::signature::Signature;
+
+/// Canonical digest of a `(source, value)` pair, the object every signature
+/// in a chain covers.
+pub fn value_digest(source: SignerId, value: u64) -> u64 {
+    hash_words(&[0x5167_u64, source as u64, value])
+}
+
+/// A broadcast value together with its chain of endorsing signatures.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SignedValue {
+    /// The node that originated the value.
+    pub source: SignerId,
+    /// The value being broadcast (protocol values are encoded as `u64`).
+    pub value: u64,
+    /// Endorsing signatures; a valid chain starts with the source's own
+    /// signature and contains no duplicate signers.
+    pub signatures: Vec<Signature>,
+}
+
+impl SignedValue {
+    /// Originates a new signed value: the source signs `(source, value)`.
+    pub fn originate(signer: &Signer, value: u64) -> Self {
+        let source = signer.id();
+        let signature = signer.sign_digest(value_digest(source, value));
+        SignedValue {
+            source,
+            value,
+            signatures: vec![signature],
+        }
+    }
+
+    /// Adds `signer`'s endorsement if it has not signed this value already.
+    /// Returns `true` when a signature was appended.
+    pub fn countersign(&mut self, signer: &Signer) -> bool {
+        if self.signatures.iter().any(|s| s.signer == signer.id()) {
+            return false;
+        }
+        self.signatures
+            .push(signer.sign_digest(value_digest(self.source, self.value)));
+        true
+    }
+
+    /// Number of signatures in the chain.
+    pub fn chain_len(&self) -> usize {
+        self.signatures.len()
+    }
+
+    /// The distinct signer identities endorsing this value.
+    pub fn signers(&self) -> Vec<SignerId> {
+        let mut ids: Vec<SignerId> = self.signatures.iter().map(|s| s.signer).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
+
+    /// Whether the chain is valid: every signature verifies against the
+    /// canonical digest, signers are pairwise distinct, and the first
+    /// signature is the source's.
+    pub fn verify_chain(&self, directory: &KeyDirectory) -> bool {
+        if self.signatures.is_empty() {
+            return false;
+        }
+        if self.signatures[0].signer != self.source {
+            return false;
+        }
+        let digest = value_digest(self.source, self.value);
+        let mut seen = Vec::with_capacity(self.signatures.len());
+        for signature in &self.signatures {
+            if seen.contains(&signature.signer) {
+                return false;
+            }
+            if !directory.verify_digest(signature, digest) {
+                return false;
+            }
+            seen.push(signature.signer);
+        }
+        true
+    }
+
+    /// Whether the chain is valid *and* contains at least `required`
+    /// distinct signatures — the acceptance test of Dolev–Strong round
+    /// `required`.
+    pub fn verify_chain_with_length(&self, directory: &KeyDirectory, required: usize) -> bool {
+        self.verify_chain(directory) && self.chain_len() >= required
+    }
+
+    /// Wire size in bits: source id, value and the signature chain.
+    pub fn encoded_bits(&self) -> u64 {
+        64 + 64 + self.signatures.len() as u64 * Signature::BIT_LEN
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn directory() -> KeyDirectory {
+        KeyDirectory::generate(5, 123)
+    }
+
+    #[test]
+    fn originate_and_verify() {
+        let dir = directory();
+        let sv = SignedValue::originate(&dir.signer(2), 9);
+        assert_eq!(sv.source, 2);
+        assert_eq!(sv.chain_len(), 1);
+        assert!(sv.verify_chain(&dir));
+        assert!(sv.verify_chain_with_length(&dir, 1));
+        assert!(!sv.verify_chain_with_length(&dir, 2));
+    }
+
+    #[test]
+    fn countersigning_extends_chain_once_per_signer() {
+        let dir = directory();
+        let mut sv = SignedValue::originate(&dir.signer(0), 1);
+        assert!(sv.countersign(&dir.signer(1)));
+        assert!(sv.countersign(&dir.signer(2)));
+        assert!(!sv.countersign(&dir.signer(1)), "duplicate signer rejected");
+        assert_eq!(sv.chain_len(), 3);
+        assert_eq!(sv.signers(), vec![0, 1, 2]);
+        assert!(sv.verify_chain_with_length(&dir, 3));
+    }
+
+    #[test]
+    fn tampered_value_fails_verification() {
+        let dir = directory();
+        let mut sv = SignedValue::originate(&dir.signer(0), 1);
+        sv.countersign(&dir.signer(1));
+        sv.value = 2;
+        assert!(!sv.verify_chain(&dir));
+    }
+
+    #[test]
+    fn relabelled_source_fails_verification() {
+        let dir = directory();
+        let mut sv = SignedValue::originate(&dir.signer(0), 1);
+        sv.source = 3;
+        assert!(!sv.verify_chain(&dir));
+    }
+
+    #[test]
+    fn chain_missing_source_signature_fails() {
+        let dir = directory();
+        let mut sv = SignedValue::originate(&dir.signer(0), 1);
+        sv.countersign(&dir.signer(1));
+        sv.signatures.remove(0);
+        assert!(!sv.verify_chain(&dir));
+    }
+
+    #[test]
+    fn byzantine_cannot_forge_foreign_chain() {
+        let dir = directory();
+        // A Byzantine node 4 only holds its own signer; it tries to fabricate
+        // a value originated by node 0 by signing it itself.
+        let byz_signer = dir.signer(4);
+        let forged = SignedValue {
+            source: 0,
+            value: 7,
+            signatures: vec![byz_signer.sign_digest(value_digest(0, 7))],
+        };
+        assert!(!forged.verify_chain(&dir), "first signature must be the source's");
+    }
+
+    #[test]
+    fn encoded_bits_grow_with_chain() {
+        let dir = directory();
+        let mut sv = SignedValue::originate(&dir.signer(0), 1);
+        let one = sv.encoded_bits();
+        sv.countersign(&dir.signer(1));
+        assert_eq!(sv.encoded_bits(), one + Signature::BIT_LEN);
+    }
+}

@@ -1,0 +1,519 @@
+//! # dft-baselines — comparison algorithms
+//!
+//! The baselines the paper's algorithms are measured against in the
+//! benchmark harness:
+//!
+//! * [`FloodingConsensus`] — the textbook `t + 1`-round all-to-all flooding
+//!   consensus (early-stopping variant): `Θ(n²)` messages per round,
+//!   `Θ(n²·(f+1))` total.  This is the time-optimal but
+//!   communication-hungry comparator for Theorems 7 and 8.
+//! * [`AllToAllGossip`] — every node sends its rumor set to every node each
+//!   round for `t + 1` rounds: `Θ(n²·t)` messages, the comparator for
+//!   Theorem 9.
+//! * [`NaiveCheckpointing`] — all-to-all membership exchange followed by
+//!   flooding agreement on the membership vector, in the spirit of the
+//!   `O(t·n)`-message checkpointing of De Prisco–Mayer–Yung; the comparator
+//!   for Theorem 10.
+//! * [`ParallelDsConsensus`] — Byzantine consensus by running a Dolev–Strong
+//!   broadcast from *every* node and deciding on the maximum delivered value:
+//!   `Θ(n²)` messages per round and `Θ(n²·t)` signatures, the comparator for
+//!   Theorem 11 (the paper's `AB-Consensus` needs only `O(t² + n)`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::sync::Arc;
+
+use dft_auth::{KeyDirectory, SignedValue, Signer};
+use dft_sim::{Delivered, NodeId, Outgoing, Payload, Round, SyncProtocol};
+
+/// The textbook flooding consensus: for `t + 1` rounds every node broadcasts
+/// the set of values it has seen (here: the OR of binary values); after the
+/// last round it decides on the OR.
+///
+/// With the early-stopping rule a node decides as soon as it sees two
+/// consecutive rounds with no new information, giving `O(f + 2)` rounds, but
+/// communication stays `Θ(n²)` per round.
+#[derive(Clone, Debug)]
+pub struct FloodingConsensus {
+    n: usize,
+    t: usize,
+    value: bool,
+    rounds_done: u64,
+    quiet_rounds: u64,
+    decided: Option<bool>,
+    early_stopping: bool,
+}
+
+impl FloodingConsensus {
+    /// Creates a node of the fixed-length (`t + 1` rounds) variant.
+    pub fn new(n: usize, t: usize, me: usize, input: bool) -> Self {
+        let _ = me;
+        FloodingConsensus {
+            n,
+            t,
+            value: input,
+            rounds_done: 0,
+            quiet_rounds: 0,
+            decided: None,
+            early_stopping: false,
+        }
+    }
+
+    /// Creates a node of the early-stopping variant (decide after two
+    /// consecutive rounds without new information).
+    pub fn early_stopping(n: usize, t: usize, me: usize, input: bool) -> Self {
+        let mut node = Self::new(n, t, me, input);
+        node.early_stopping = true;
+        node
+    }
+
+    /// Builds the fixed-length variant for all nodes.
+    pub fn for_all_nodes(n: usize, t: usize, inputs: &[bool]) -> Vec<Self> {
+        inputs
+            .iter()
+            .enumerate()
+            .map(|(me, &input)| Self::new(n, t, me, input))
+            .collect()
+    }
+
+    /// Total rounds of the fixed-length variant.
+    pub fn total_rounds(t: usize) -> u64 {
+        t as u64 + 1
+    }
+}
+
+impl SyncProtocol for FloodingConsensus {
+    type Msg = bool;
+    type Output = bool;
+
+    fn send(&mut self, _round: Round) -> Vec<Outgoing<bool>> {
+        if self.decided.is_some() {
+            return Vec::new();
+        }
+        (0..self.n)
+            .map(|p| Outgoing::new(NodeId::new(p), self.value))
+            .collect()
+    }
+
+    fn receive(&mut self, _round: Round, inbox: &[Delivered<bool>]) {
+        let before = self.value;
+        for msg in inbox {
+            self.value |= msg.msg;
+        }
+        self.rounds_done += 1;
+        if self.value == before {
+            self.quiet_rounds += 1;
+        } else {
+            self.quiet_rounds = 0;
+        }
+        let fixed_done = self.rounds_done >= self.t as u64 + 1;
+        let early_done = self.early_stopping && self.quiet_rounds >= 2;
+        if self.decided.is_none() && (fixed_done || early_done) {
+            self.decided = Some(self.value);
+        }
+    }
+
+    fn output(&self) -> Option<bool> {
+        self.decided
+    }
+
+    fn has_halted(&self) -> bool {
+        self.decided.is_some()
+    }
+}
+
+/// A full extant map used by the gossip baselines: `entries[i]` is node `i`'s
+/// rumor once learned.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RumorMap(pub Vec<Option<u64>>);
+
+impl Payload for RumorMap {
+    fn bit_len(&self) -> u64 {
+        self.0.len() as u64 + 64 * self.0.iter().filter(|e| e.is_some()).count() as u64
+    }
+}
+
+/// All-to-all gossip: every node broadcasts everything it knows to everyone
+/// for `t + 1` rounds, then decides on its rumor map.
+#[derive(Clone, Debug)]
+pub struct AllToAllGossip {
+    n: usize,
+    t: usize,
+    known: RumorMap,
+    rounds_done: u64,
+    decided: Option<RumorMap>,
+}
+
+impl AllToAllGossip {
+    /// Creates a node holding `rumor`.
+    pub fn new(n: usize, t: usize, me: usize, rumor: u64) -> Self {
+        let mut known = RumorMap(vec![None; n]);
+        known.0[me] = Some(rumor);
+        AllToAllGossip {
+            n,
+            t,
+            known,
+            rounds_done: 0,
+            decided: None,
+        }
+    }
+
+    /// Builds nodes for the whole system.
+    pub fn for_all_nodes(n: usize, t: usize, rumors: &[u64]) -> Vec<Self> {
+        rumors
+            .iter()
+            .enumerate()
+            .map(|(me, &rumor)| Self::new(n, t, me, rumor))
+            .collect()
+    }
+
+    /// Total rounds of the baseline.
+    pub fn total_rounds(t: usize) -> u64 {
+        t as u64 + 1
+    }
+}
+
+impl SyncProtocol for AllToAllGossip {
+    type Msg = RumorMap;
+    type Output = RumorMap;
+
+    fn send(&mut self, _round: Round) -> Vec<Outgoing<RumorMap>> {
+        if self.decided.is_some() {
+            return Vec::new();
+        }
+        (0..self.n)
+            .map(|p| Outgoing::new(NodeId::new(p), self.known.clone()))
+            .collect()
+    }
+
+    fn receive(&mut self, _round: Round, inbox: &[Delivered<RumorMap>]) {
+        for msg in inbox {
+            for (slot, value) in self.known.0.iter_mut().zip(&msg.msg.0) {
+                if slot.is_none() {
+                    *slot = *value;
+                }
+            }
+        }
+        self.rounds_done += 1;
+        if self.rounds_done >= self.t as u64 + 1 {
+            self.decided = Some(self.known.clone());
+        }
+    }
+
+    fn output(&self) -> Option<RumorMap> {
+        self.decided.clone()
+    }
+
+    fn has_halted(&self) -> bool {
+        self.decided.is_some()
+    }
+}
+
+/// Naive checkpointing: `t + 1` rounds of all-to-all membership exchange
+/// (every node broadcasts the set of nodes it has heard from), after which
+/// each node decides the set of nodes it heard from either directly or
+/// transitively — `Θ(n²·t)` messages, in the spirit of the
+/// De Prisco–Mayer–Yung `O(t·n)`-per-checkpoint scheme.
+#[derive(Clone, Debug)]
+pub struct NaiveCheckpointing {
+    n: usize,
+    t: usize,
+    seen: Vec<bool>,
+    rounds_done: u64,
+    decided: Option<Vec<usize>>,
+}
+
+/// A membership vector carried by [`NaiveCheckpointing`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Membership(pub Vec<bool>);
+
+impl Payload for Membership {
+    fn bit_len(&self) -> u64 {
+        self.0.len() as u64
+    }
+}
+
+impl NaiveCheckpointing {
+    /// Creates a node.
+    pub fn new(n: usize, t: usize, me: usize) -> Self {
+        let mut seen = vec![false; n];
+        seen[me] = true;
+        NaiveCheckpointing {
+            n,
+            t,
+            seen,
+            rounds_done: 0,
+            decided: None,
+        }
+    }
+
+    /// Builds nodes for the whole system.
+    pub fn for_all_nodes(n: usize, t: usize) -> Vec<Self> {
+        (0..n).map(|me| Self::new(n, t, me)).collect()
+    }
+
+    /// Total rounds of the baseline.
+    pub fn total_rounds(t: usize) -> u64 {
+        t as u64 + 1
+    }
+}
+
+impl SyncProtocol for NaiveCheckpointing {
+    type Msg = Membership;
+    type Output = Vec<usize>;
+
+    fn send(&mut self, _round: Round) -> Vec<Outgoing<Membership>> {
+        if self.decided.is_some() {
+            return Vec::new();
+        }
+        (0..self.n)
+            .map(|p| Outgoing::new(NodeId::new(p), Membership(self.seen.clone())))
+            .collect()
+    }
+
+    fn receive(&mut self, _round: Round, inbox: &[Delivered<Membership>]) {
+        for msg in inbox {
+            for (mine, theirs) in self.seen.iter_mut().zip(&msg.msg.0) {
+                *mine |= *theirs;
+            }
+        }
+        self.rounds_done += 1;
+        if self.rounds_done >= self.t as u64 + 1 {
+            self.decided = Some(
+                (0..self.n)
+                    .filter(|&i| self.seen[i])
+                    .collect(),
+            );
+        }
+    }
+
+    fn output(&self) -> Option<Vec<usize>> {
+        self.decided.clone()
+    }
+
+    fn has_halted(&self) -> bool {
+        self.decided.is_some()
+    }
+}
+
+/// A batch of signed values (the baseline's combined Dolev–Strong message).
+#[derive(Clone, Debug, PartialEq)]
+pub struct SignedBatch(pub Vec<SignedValue>);
+
+impl Payload for SignedBatch {
+    fn bit_len(&self) -> u64 {
+        64 + self.0.iter().map(SignedValue::encoded_bits).sum::<u64>()
+    }
+}
+
+/// Byzantine consensus baseline: every node Dolev–Strong-broadcasts its input
+/// to everyone (`n` parallel instances over the complete graph, `t + 1`
+/// rounds) and decides on the maximum consistently delivered value —
+/// `Θ(n²)` messages per round from non-faulty nodes, versus the paper's
+/// `O(t² + n)`.
+#[derive(Clone, Debug)]
+pub struct ParallelDsConsensus {
+    n: usize,
+    t: usize,
+    me: usize,
+    signer: Signer,
+    directory: Arc<KeyDirectory>,
+    input: u64,
+    accepted: Vec<std::collections::BTreeSet<u64>>,
+    relay_queue: Vec<SignedValue>,
+    decided: Option<u64>,
+}
+
+impl ParallelDsConsensus {
+    /// Creates a node with consensus input `input`.
+    pub fn new(n: usize, t: usize, me: usize, input: u64, directory: Arc<KeyDirectory>) -> Self {
+        let signer = directory.signer(me);
+        ParallelDsConsensus {
+            n,
+            t,
+            me,
+            signer,
+            directory,
+            input,
+            accepted: vec![std::collections::BTreeSet::new(); n],
+            relay_queue: Vec::new(),
+            decided: None,
+        }
+    }
+
+    /// Builds nodes for the whole system.
+    pub fn for_all_nodes(
+        n: usize,
+        t: usize,
+        inputs: &[u64],
+        directory: Arc<KeyDirectory>,
+    ) -> Vec<Self> {
+        inputs
+            .iter()
+            .enumerate()
+            .map(|(me, &input)| Self::new(n, t, me, input, directory.clone()))
+            .collect()
+    }
+
+    /// Total rounds of the baseline.
+    pub fn total_rounds(t: usize) -> u64 {
+        t as u64 + 1
+    }
+}
+
+impl SyncProtocol for ParallelDsConsensus {
+    type Msg = SignedBatch;
+    type Output = u64;
+
+    fn send(&mut self, round: Round) -> Vec<Outgoing<SignedBatch>> {
+        let r = round.as_u64();
+        if r > self.t as u64 {
+            return Vec::new();
+        }
+        let mut batch = Vec::new();
+        if r == 0 {
+            let sv = SignedValue::originate(&self.signer, self.input);
+            self.accepted[self.me].insert(self.input);
+            batch.push(sv);
+        }
+        batch.append(&mut self.relay_queue);
+        if batch.is_empty() {
+            return Vec::new();
+        }
+        (0..self.n)
+            .filter(|&p| p != self.me)
+            .map(|p| Outgoing::new(NodeId::new(p), SignedBatch(batch.clone())))
+            .collect()
+    }
+
+    fn receive(&mut self, round: Round, inbox: &[Delivered<SignedBatch>]) {
+        let r = round.as_u64();
+        if r <= self.t as u64 {
+            for delivered in inbox {
+                for sv in &delivered.msg.0 {
+                    if sv.source >= self.n
+                        || !sv.verify_chain_with_length(&self.directory, r as usize + 1)
+                    {
+                        continue;
+                    }
+                    if self.accepted[sv.source].insert(sv.value) {
+                        let mut relay = sv.clone();
+                        relay.countersign(&self.signer);
+                        self.relay_queue.push(relay);
+                    }
+                }
+            }
+        }
+        if r >= self.t as u64 {
+            let decision = self
+                .accepted
+                .iter()
+                .filter_map(|values| {
+                    if values.len() == 1 {
+                        values.iter().next().copied()
+                    } else {
+                        None
+                    }
+                })
+                .max()
+                .unwrap_or(0);
+            self.decided = Some(decision);
+        }
+    }
+
+    fn output(&self) -> Option<u64> {
+        self.decided
+    }
+
+    fn has_halted(&self) -> bool {
+        self.decided.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dft_sim::{RandomCrashes, Runner};
+
+    #[test]
+    fn flooding_consensus_agrees_and_is_quadratic() {
+        let n = 30;
+        let t = 5;
+        let inputs: Vec<bool> = (0..n).map(|i| i == 7).collect();
+        let nodes = FloodingConsensus::for_all_nodes(n, t, &inputs);
+        let mut runner = Runner::new(nodes).unwrap();
+        let report = runner.run(FloodingConsensus::total_rounds(t) + 2);
+        assert!(report.all_non_faulty_decided());
+        assert!(report.non_faulty_deciders_agree());
+        assert_eq!(report.agreed_value(), Some(&true));
+        assert!(report.metrics.messages >= (n * n) as u64, "quadratic traffic");
+    }
+
+    #[test]
+    fn flooding_consensus_tolerates_crashes() {
+        let n = 40;
+        let t = 8;
+        let inputs = vec![true; n];
+        let nodes = FloodingConsensus::for_all_nodes(n, t, &inputs);
+        let adversary = RandomCrashes::new(n, t, t as u64, 3);
+        let mut runner = Runner::with_adversary(nodes, Box::new(adversary), t).unwrap();
+        let report = runner.run(FloodingConsensus::total_rounds(t) + 2);
+        assert!(report.all_non_faulty_decided());
+        assert!(report.non_faulty_deciders_agree());
+    }
+
+    #[test]
+    fn early_stopping_halts_fast_without_faults() {
+        let n = 30;
+        let t = 10;
+        let inputs = vec![false; n];
+        let nodes: Vec<FloodingConsensus> = (0..n)
+            .map(|me| FloodingConsensus::early_stopping(n, t, me, inputs[me]))
+            .collect();
+        let mut runner = Runner::new(nodes).unwrap();
+        let report = runner.run(FloodingConsensus::total_rounds(t) + 2);
+        assert!(report.metrics.rounds <= 4, "stops well before t+1 = 11 rounds");
+        assert!(report.non_faulty_deciders_agree());
+    }
+
+    #[test]
+    fn all_to_all_gossip_collects_every_rumor() {
+        let n = 25;
+        let t = 4;
+        let rumors: Vec<u64> = (0..n as u64).map(|i| 500 + i).collect();
+        let nodes = AllToAllGossip::for_all_nodes(n, t, &rumors);
+        let mut runner = Runner::new(nodes).unwrap();
+        let report = runner.run(AllToAllGossip::total_rounds(t) + 1);
+        assert!(report.all_non_faulty_decided());
+        let map = report.outputs[0].as_ref().unwrap();
+        assert!(map.0.iter().all(Option::is_some));
+    }
+
+    #[test]
+    fn naive_checkpointing_agrees_without_faults() {
+        let n = 25;
+        let t = 4;
+        let nodes = NaiveCheckpointing::for_all_nodes(n, t);
+        let mut runner = Runner::new(nodes).unwrap();
+        let report = runner.run(NaiveCheckpointing::total_rounds(t) + 1);
+        assert!(report.all_non_faulty_decided());
+        assert!(report.non_faulty_deciders_agree());
+        assert_eq!(report.agreed_value().unwrap().len(), n);
+    }
+
+    #[test]
+    fn parallel_ds_consensus_is_quadratic_but_correct() {
+        let n = 16;
+        let t = 3;
+        let directory = Arc::new(KeyDirectory::generate(n, 9));
+        let inputs: Vec<u64> = (0..n as u64).collect();
+        let nodes = ParallelDsConsensus::for_all_nodes(n, t, &inputs, directory);
+        let mut runner = Runner::new(nodes).unwrap();
+        let report = runner.run(ParallelDsConsensus::total_rounds(t) + 2);
+        assert!(report.all_non_faulty_decided());
+        assert!(report.non_faulty_deciders_agree());
+        assert_eq!(report.agreed_value(), Some(&(n as u64 - 1)));
+        assert!(report.metrics.messages >= (n * (n - 1)) as u64);
+    }
+}

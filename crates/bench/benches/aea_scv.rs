@@ -1,0 +1,17 @@
+//! Criterion benchmark: Theorems 5-6: almost-everywhere agreement and spread-common-value
+use criterion::{criterion_group, criterion_main, Criterion};
+use dft_bench::{measure_aea, measure_scv, Workload};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("aea_scv");
+    group.sample_size(10);
+    for n in [60usize, 120] {
+        let w = Workload::full_budget(n, n / 8, 11);
+        group.bench_function(format!("aea_n{n}"), |b| b.iter(|| measure_aea(&w)));
+        group.bench_function(format!("scv_n{n}"), |b| b.iter(|| measure_scv(&w)));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,17 @@
+//! Criterion benchmark: Theorem 11: authenticated-Byzantine consensus vs parallel Dolev-Strong
+use criterion::{criterion_group, criterion_main, Criterion};
+use dft_bench::{measure_ab_consensus, measure_parallel_ds, Workload};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("byzantine");
+    group.sample_size(10);
+    for n in [40usize, 80] {
+        let w = Workload::fault_free(n, (n as f64).sqrt() as usize, 31);
+        group.bench_function(format!("ab_consensus_n{n}"), |b| b.iter(|| measure_ab_consensus(&w)));
+        group.bench_function(format!("parallel_ds_n{n}"), |b| b.iter(|| measure_parallel_ds(&w)));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

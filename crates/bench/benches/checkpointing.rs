@@ -1,0 +1,17 @@
+//! Criterion benchmark: Theorem 10: checkpointing vs naive baseline
+use criterion::{criterion_group, criterion_main, Criterion};
+use dft_bench::{measure_checkpointing, measure_naive_checkpointing, Workload};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("checkpointing");
+    group.sample_size(10);
+    for n in [50usize, 100] {
+        let w = Workload::full_budget(n, n / 8, 29);
+        group.bench_function(format!("checkpointing_n{n}"), |b| b.iter(|| measure_checkpointing(&w)));
+        group.bench_function(format!("naive_n{n}"), |b| b.iter(|| measure_naive_checkpointing(&w)));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,17 @@
+//! Criterion benchmark: Theorem 7: few-crashes consensus vs flooding baseline
+use criterion::{criterion_group, criterion_main, Criterion};
+use dft_bench::{measure_few_crashes, measure_flooding, Workload};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("consensus_crash");
+    group.sample_size(10);
+    for n in [60usize, 120] {
+        let w = Workload::full_budget(n, n / 8, 17);
+        group.bench_function(format!("few_crashes_n{n}"), |b| b.iter(|| measure_few_crashes(&w)));
+        group.bench_function(format!("flooding_n{n}"), |b| b.iter(|| measure_flooding(&w)));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,17 @@
+//! Criterion benchmark: Theorem 8: many-crashes consensus across fault fractions
+use criterion::{criterion_group, criterion_main, Criterion};
+use dft_bench::{measure_many_crashes, Workload};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("consensus_many_crashes");
+    group.sample_size(10);
+    for alpha_pct in [10usize, 50, 90] {
+        let n = 80;
+        let w = Workload::full_budget(n, (n * alpha_pct / 100).clamp(1, n - 1), 19);
+        group.bench_function(format!("alpha_{alpha_pct}"), |b| b.iter(|| measure_many_crashes(&w)));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

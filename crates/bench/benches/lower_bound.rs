@@ -1,0 +1,16 @@
+//! Criterion benchmark: Theorem 13: single-port round growth in t and n
+use criterion::{criterion_group, criterion_main, Criterion};
+use dft_bench::{measure_linear_consensus, Workload};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lower_bound");
+    group.sample_size(10);
+    for (n, t) in [(40usize, 4usize), (80, 10)] {
+        let w = Workload::full_budget(n, t, 41);
+        group.bench_function(format!("n{n}_t{t}"), |b| b.iter(|| measure_linear_consensus(&w)));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

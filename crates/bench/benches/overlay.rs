@@ -1,0 +1,27 @@
+//! Criterion benchmark: Section 3 overlay properties (construction, spectral
+//! estimate, survival-subset peeling).
+use criterion::{criterion_group, criterion_main, Criterion};
+use dft_overlay::{build, properties, spectral};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("overlay");
+    group.sample_size(10);
+    for n in [256usize, 1024] {
+        group.bench_function(format!("construct_n{n}"), |b| {
+            b.iter(|| build::random_regular(n, 8, 99).unwrap())
+        });
+        let graph = build::random_regular(n, 8, 99).unwrap();
+        group.bench_function(format!("spectral_n{n}"), |b| {
+            b.iter(|| spectral::second_eigenvalue(&graph, 100, 5))
+        });
+        let survivors: Vec<usize> = (0..n - n / 5).collect();
+        let candidate = graph.mask(&survivors);
+        group.bench_function(format!("survival_subset_n{n}"), |b| {
+            b.iter(|| properties::survival_subset(&graph, &candidate, 2))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,16 @@
+//! Criterion benchmark: Theorem 12: single-port Linear-Consensus
+use criterion::{criterion_group, criterion_main, Criterion};
+use dft_bench::{measure_linear_consensus, Workload};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("single_port");
+    group.sample_size(10);
+    for n in [40usize, 80] {
+        let w = Workload::full_budget(n, n / 8, 37);
+        group.bench_function(format!("linear_consensus_n{n}"), |b| b.iter(|| measure_linear_consensus(&w)));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

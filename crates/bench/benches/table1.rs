@@ -1,0 +1,17 @@
+//! Criterion benchmark: Table 1 optimality boundary (consensus at t = n/log n)
+use criterion::{criterion_group, criterion_main, Criterion};
+use dft_bench::{measure_few_crashes, Workload};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(10);
+    for n in [60usize, 120] {
+        let t = (n as f64 / (n as f64).log2()) as usize;
+        let w = Workload::full_budget(n, t.max(1).min(n / 6), 7);
+        group.bench_function(format!("consensus_n{n}"), |b| b.iter(|| measure_few_crashes(&w)));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! Regenerates every experiment table (E1–E11) and prints them to stdout.
+//!
+//! Usage: `cargo run --release -p dft-bench --bin run_experiments [--full]`
+//! (`--full` uses the larger sizes recorded in `EXPERIMENTS.md`).
+
+use dft_bench::experiments::{all_experiments, Scale};
+
+fn main() {
+    let scale = if std::env::args().any(|a| a == "--full") {
+        Scale::Full
+    } else {
+        Scale::Quick
+    };
+    println!("linear-dft experiment harness (scale: {scale:?})\n");
+    for table in all_experiments(scale) {
+        println!("{}", table.render());
+    }
+}

@@ -1,0 +1,377 @@
+//! One function per experiment id (see `DESIGN.md`, per-experiment index).
+//!
+//! Every function returns a [`Table`] whose rows are measured executions; the
+//! `run_experiments` binary prints them, and `EXPERIMENTS.md` records one
+//! captured run next to the paper's claims.
+
+use dft_overlay::{build, properties, spectral};
+
+use crate::{
+    measure_ab_consensus, measure_aea, measure_all_to_all_gossip, measure_checkpointing,
+    measure_few_crashes, measure_flooding, measure_gossip, measure_linear_consensus,
+    measure_many_crashes, measure_naive_checkpointing, measure_parallel_ds, measure_scv,
+    Measurement, Table, Workload,
+};
+
+/// The scale of an experiment sweep.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scale {
+    /// Small sizes for CI and criterion runs (seconds).
+    Quick,
+    /// The sizes used for `EXPERIMENTS.md` (minutes).
+    Full,
+}
+
+impl Scale {
+    fn consensus_sizes(self) -> Vec<usize> {
+        match self {
+            Scale::Quick => vec![60, 120],
+            Scale::Full => vec![128, 256, 512, 1024],
+        }
+    }
+
+    fn heavy_sizes(self) -> Vec<usize> {
+        match self {
+            Scale::Quick => vec![50, 100],
+            Scale::Full => vec![128, 256, 512],
+        }
+    }
+}
+
+fn fmt_measurement(m: &Measurement) -> Vec<String> {
+    vec![
+        m.rounds.to_string(),
+        m.messages.to_string(),
+        m.bits.to_string(),
+        if m.all_decided { "yes" } else { "no" }.to_string(),
+        if m.agreement { "yes" } else { "no" }.to_string(),
+    ]
+}
+
+/// E1 — Table 1: the ranges of `t` for which time `O(t)` and communication
+/// `O(n)` hold simultaneously; measured as messages-per-node at the claimed
+/// boundary `t` for each problem.
+pub fn experiment_table1(scale: Scale) -> Table {
+    let mut table = Table::new(
+        "E1 table1_optimality",
+        "Table 1: consensus linear up to t=O(n/log n); gossip/checkpointing up to t=O(n/log^2 n); authenticated Byzantine up to t=O(sqrt n)",
+        &["problem", "n", "t", "rounds", "messages", "msgs/node"],
+    );
+    for &n in &scale.consensus_sizes() {
+        let log_n = (n as f64).log2();
+        let cases = [
+            ("consensus", (n as f64 / log_n) as usize, 0usize),
+            ("gossip", (n as f64 / (log_n * log_n)) as usize, 1),
+            ("checkpointing", (n as f64 / (log_n * log_n)) as usize, 2),
+            ("ab-consensus", (n as f64).sqrt() as usize, 3),
+        ];
+        for (problem, t_raw, kind) in cases {
+            let t = t_raw.clamp(1, n / 5 - 1.max(1));
+            let w = Workload::full_budget(n, t, 7);
+            let m = match kind {
+                0 => measure_few_crashes(&w),
+                1 => measure_gossip(&w),
+                2 => measure_checkpointing(&w),
+                _ => measure_ab_consensus(&Workload::fault_free(n, t, 7)),
+            };
+            table.push_row(vec![
+                problem.to_string(),
+                n.to_string(),
+                t.to_string(),
+                m.rounds.to_string(),
+                m.messages.to_string(),
+                format!("{:.1}", m.messages as f64 / n as f64),
+            ]);
+        }
+    }
+    table
+}
+
+/// E2 — Theorem 5: almost-everywhere agreement decider fraction, rounds and
+/// messages.
+pub fn experiment_aea(scale: Scale) -> Table {
+    let mut table = Table::new(
+        "E2 thm5_aea",
+        "Theorem 5: >= 3/5 n decide the same value, O(t) rounds, O(n) one-bit messages (t < n/5)",
+        &["n", "t", "rounds", "messages", "bits", "decider_frac", "agreement"],
+    );
+    for &n in &scale.consensus_sizes() {
+        for frac in [10, 6] {
+            let t = (n / frac).max(1);
+            let w = Workload::full_budget(n, t, 11);
+            let m = measure_aea(&w);
+            table.push_row(vec![
+                n.to_string(),
+                t.to_string(),
+                m.rounds.to_string(),
+                m.messages.to_string(),
+                m.bits.to_string(),
+                format!("{:.2}", m.decider_fraction),
+                if m.agreement { "yes" } else { "no" }.to_string(),
+            ]);
+        }
+    }
+    table
+}
+
+/// E3 — Theorem 6: spread-common-value rounds and messages.
+pub fn experiment_scv(scale: Scale) -> Table {
+    let mut table = Table::new(
+        "E3 thm6_scv",
+        "Theorem 6: O(log t) rounds and O(t log t) messages",
+        &["n", "t", "rounds", "messages", "bits", "all_decided", "agreement"],
+    );
+    for &n in &scale.consensus_sizes() {
+        for frac in [12, 6] {
+            let t = (n / frac).max(1);
+            let m = measure_scv(&Workload::full_budget(n, t, 13));
+            let mut row = vec![n.to_string(), t.to_string()];
+            row.extend(fmt_measurement(&m));
+            table.push_row(row);
+        }
+    }
+    table
+}
+
+/// E4 — Theorem 7: few-crashes consensus vs the flooding baseline.
+pub fn experiment_few_crashes(scale: Scale) -> Table {
+    let mut table = Table::new(
+        "E4 thm7_few_crashes",
+        "Theorem 7: O(t + log n) rounds, O(n + t log t) one-bit messages (t < n/5); flooding baseline is Theta(n^2) messages/round",
+        &["algorithm", "n", "t", "rounds", "messages", "bits", "all_decided", "agreement"],
+    );
+    for &n in &scale.consensus_sizes() {
+        let t = (n / 8).max(1);
+        let w = Workload::full_budget(n, t, 17);
+        for (name, m) in [
+            ("few-crashes", measure_few_crashes(&w)),
+            ("flooding", measure_flooding(&w)),
+        ] {
+            let mut row = vec![name.to_string(), n.to_string(), t.to_string()];
+            row.extend(fmt_measurement(&m));
+            table.push_row(row);
+        }
+    }
+    table
+}
+
+/// E5 — Theorem 8 / Corollary 1: many-crashes consensus across fault
+/// fractions.
+pub fn experiment_many_crashes(scale: Scale) -> Table {
+    let mut table = Table::new(
+        "E5 thm8_many_crashes",
+        "Theorem 8: <= n + 3(1+lg n) rounds and (5/(1-alpha))^8 n lg n one-bit messages for any t < n",
+        &["n", "alpha", "t", "rounds", "round_bound", "messages", "all_decided", "agreement"],
+    );
+    for &n in &scale.heavy_sizes() {
+        for alpha_pct in [10usize, 50, 90] {
+            let t = ((n * alpha_pct) / 100).clamp(1, n - 1);
+            let m = measure_many_crashes(&Workload::full_budget(n, t, 19));
+            let round_bound = n as u64 + 3 * (1 + (n as f64).log2().ceil() as u64);
+            table.push_row(vec![
+                n.to_string(),
+                format!("0.{alpha_pct:02}"),
+                t.to_string(),
+                m.rounds.to_string(),
+                round_bound.to_string(),
+                m.messages.to_string(),
+                if m.all_decided { "yes" } else { "no" }.to_string(),
+                if m.agreement { "yes" } else { "no" }.to_string(),
+            ]);
+        }
+    }
+    table
+}
+
+/// E6 — Theorem 9: gossip vs the all-to-all baseline.
+pub fn experiment_gossip(scale: Scale) -> Table {
+    let mut table = Table::new(
+        "E6 thm9_gossip",
+        "Theorem 9: O(log n log t) rounds, O(n + t log n log t) messages; all-to-all baseline is Theta(n^2 t)",
+        &["algorithm", "n", "t", "rounds", "messages", "bits", "all_decided", "agreement"],
+    );
+    for &n in &scale.heavy_sizes() {
+        let t = (n / 8).max(1);
+        let w = Workload::full_budget(n, t, 23);
+        for (name, m) in [
+            ("gossip", measure_gossip(&w)),
+            ("all-to-all", measure_all_to_all_gossip(&w)),
+        ] {
+            let mut row = vec![name.to_string(), n.to_string(), t.to_string()];
+            row.extend(fmt_measurement(&m));
+            table.push_row(row);
+        }
+    }
+    table
+}
+
+/// E7 — Theorem 10: checkpointing vs the naive baseline.
+pub fn experiment_checkpointing(scale: Scale) -> Table {
+    let mut table = Table::new(
+        "E7 thm10_checkpointing",
+        "Theorem 10: O(t + log n log t) rounds, O(n + t log n log t) messages; naive baseline is Theta(n^2 t)",
+        &["algorithm", "n", "t", "rounds", "messages", "bits", "all_decided", "agreement"],
+    );
+    for &n in &scale.heavy_sizes() {
+        let t = (n / 8).max(1);
+        let w = Workload::full_budget(n, t, 29);
+        for (name, m) in [
+            ("checkpointing", measure_checkpointing(&w)),
+            ("naive", measure_naive_checkpointing(&w)),
+        ] {
+            let mut row = vec![name.to_string(), n.to_string(), t.to_string()];
+            row.extend(fmt_measurement(&m));
+            table.push_row(row);
+        }
+    }
+    table
+}
+
+/// E8 — Theorem 11: authenticated-Byzantine consensus vs the parallel
+/// Dolev–Strong baseline.
+pub fn experiment_byzantine(scale: Scale) -> Table {
+    let mut table = Table::new(
+        "E8 thm11_byzantine",
+        "Theorem 11: O(t) rounds and O(t^2 + n) messages from non-faulty nodes (t < n/2); baseline is Theta(n^2) per round",
+        &["algorithm", "n", "t", "rounds", "messages", "bits", "all_decided", "agreement"],
+    );
+    for &n in &scale.heavy_sizes() {
+        let t = ((n as f64).sqrt() as usize).max(1);
+        let w = Workload::fault_free(n, t, 31);
+        for (name, m) in [
+            ("ab-consensus", measure_ab_consensus(&w)),
+            ("parallel-ds", measure_parallel_ds(&w)),
+        ] {
+            let mut row = vec![name.to_string(), n.to_string(), t.to_string()];
+            row.extend(fmt_measurement(&m));
+            table.push_row(row);
+        }
+    }
+    table
+}
+
+/// E9 — Theorem 12: the single-port adaptation.
+pub fn experiment_single_port(scale: Scale) -> Table {
+    let mut table = Table::new(
+        "E9 thm12_single_port",
+        "Theorem 12: single-port consensus in O(t + log n) rounds with O(n + t log n) bits",
+        &["n", "t", "sp_rounds", "messages", "bits", "all_decided", "agreement"],
+    );
+    for &n in &scale.heavy_sizes() {
+        let t = (n / 8).max(1);
+        let m = measure_linear_consensus(&Workload::full_budget(n, t, 37));
+        let mut row = vec![n.to_string(), t.to_string()];
+        row.extend(fmt_measurement(&m));
+        table.push_row(row);
+    }
+    table
+}
+
+/// E10 — Theorem 13: the single-port lower bound, demonstrated by running
+/// consensus against the information-splitting adversary and reporting the
+/// rounds needed as `t` and `n` grow.
+pub fn experiment_lower_bound(scale: Scale) -> Table {
+    let mut table = Table::new(
+        "E10 thm13_lower_bound",
+        "Theorem 13: every single-port algorithm needs Omega(t + log n) rounds; measured rounds grow with both t and n",
+        &["n", "t", "sp_rounds_measured", "t_plus_log_n"],
+    );
+    for &n in &scale.heavy_sizes() {
+        for frac in [16, 8] {
+            let t = (n / frac).max(1);
+            let m = measure_linear_consensus(&Workload::full_budget(n, t, 41));
+            table.push_row(vec![
+                n.to_string(),
+                t.to_string(),
+                m.rounds.to_string(),
+                (t as u64 + (n as f64).log2().ceil() as u64).to_string(),
+            ]);
+        }
+    }
+    table
+}
+
+/// E11 — Section 3 (Theorems 1–4): overlay-graph properties — spectral gap,
+/// Ramanujan bound, expansion sampling and the size of the survival subset
+/// after removing `t` adversarial vertices.
+pub fn experiment_overlay(scale: Scale) -> Table {
+    let mut table = Table::new(
+        "E11 overlay_properties",
+        "Theorems 1-4: Ramanujan overlays are l-expanding and (l, 3/4, delta)-compact; random regular graphs match the bound in practice",
+        &["n", "d", "lambda", "ramanujan_bound", "expanding", "survival_frac_after_t_removed"],
+    );
+    let sizes = match scale {
+        Scale::Quick => vec![(200usize, 8usize), (400, 12)],
+        Scale::Full => vec![(512, 8), (1024, 12), (2048, 16)],
+    };
+    for (n, d) in sizes {
+        let graph = build::random_regular(n, d, 99).expect("construction");
+        let est = spectral::second_eigenvalue(&graph, 200, 5);
+        let expanding = properties::sampled_expansion_check(&graph, n / 5, 30, 7);
+        // Remove the t = n/5 highest-index vertices and peel with delta = d/4.
+        let t = n / 5;
+        let survivors: Vec<usize> = (0..n - t).collect();
+        let candidate = graph.mask(&survivors);
+        let core = properties::survival_subset(&graph, &candidate, d / 4);
+        let frac = core.iter().filter(|&&b| b).count() as f64 / (n - t) as f64;
+        table.push_row(vec![
+            n.to_string(),
+            d.to_string(),
+            format!("{:.3}", est.lambda),
+            format!("{:.3}", est.ramanujan_bound),
+            if expanding { "yes" } else { "no" }.to_string(),
+            format!("{:.3}", frac),
+        ]);
+    }
+    table
+}
+
+/// Runs every experiment at the given scale.
+pub fn all_experiments(scale: Scale) -> Vec<Table> {
+    vec![
+        experiment_table1(scale),
+        experiment_aea(scale),
+        experiment_scv(scale),
+        experiment_few_crashes(scale),
+        experiment_many_crashes(scale),
+        experiment_gossip(scale),
+        experiment_checkpointing(scale),
+        experiment_byzantine(scale),
+        experiment_single_port(scale),
+        experiment_lower_bound(scale),
+        experiment_overlay(scale),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_overlay_experiment_has_rows() {
+        let table = experiment_overlay(Scale::Quick);
+        assert_eq!(table.rows.len(), 2);
+        assert!(table.render().contains("lambda"));
+    }
+
+    #[test]
+    fn quick_aea_experiment_reports_agreement() {
+        let table = experiment_aea(Scale::Quick);
+        assert!(!table.rows.is_empty());
+        for row in &table.rows {
+            assert_eq!(row.last().map(String::as_str), Some("yes"));
+        }
+    }
+
+    #[test]
+    fn quick_few_crashes_vs_flooding_crossover() {
+        let table = experiment_few_crashes(Scale::Quick);
+        // Rows alternate algorithm/baseline; the baseline sends more messages
+        // at every size.
+        for pair in table.rows.chunks(2) {
+            let ours: u64 = pair[0][4].parse().unwrap();
+            let baseline: u64 = pair[1][4].parse().unwrap();
+            assert!(baseline > ours, "baseline {baseline} vs ours {ours}");
+        }
+    }
+}

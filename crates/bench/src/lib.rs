@@ -1,0 +1,348 @@
+//! # dft-bench — experiment harness
+//!
+//! Regenerates the paper's Table 1 and the per-theorem complexity claims as
+//! measured tables (see `DESIGN.md`, "Per-experiment index", and
+//! `EXPERIMENTS.md` for paper-vs-measured discussion).  The harness exposes
+//! one `measure_*` function per algorithm/baseline — each runs a full
+//! simulated execution and returns a [`Measurement`] — plus one `experiment_*`
+//! function per experiment id (E1–E11) returning a printable [`Table`].
+//!
+//! `cargo run -p dft-bench --bin run_experiments` prints every table;
+//! `cargo bench` runs the corresponding criterion benchmarks.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+
+use std::sync::Arc;
+
+use dft_auth::KeyDirectory;
+use dft_baselines::{
+    AllToAllGossip, FloodingConsensus, NaiveCheckpointing, ParallelDsConsensus,
+};
+use dft_core::{
+    linear_consensus_for_all_nodes, AbConsensus, AlmostEverywhereAgreement, Checkpointing,
+    FewCrashesConsensus, Gossip, ManyCrashesConsensus, SpreadCommonValue, SystemConfig,
+};
+use dft_sim::{RandomCrashes, Runner, SinglePortRunner};
+use serde::{Deserialize, Serialize};
+
+/// One measured execution.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct Measurement {
+    /// Rounds until all non-faulty nodes halted (or the cap).
+    pub rounds: u64,
+    /// Messages sent by non-faulty nodes.
+    pub messages: u64,
+    /// Bits sent by non-faulty nodes.
+    pub bits: u64,
+    /// Whether every non-faulty node decided.
+    pub all_decided: bool,
+    /// Whether all non-faulty deciders agreed.
+    pub agreement: bool,
+    /// Fraction of nodes that decided (relevant for almost-everywhere
+    /// agreement).
+    pub decider_fraction: f64,
+}
+
+impl Measurement {
+    fn from_report<O: Clone + PartialEq + std::fmt::Debug>(
+        report: &dft_sim::ExecutionReport<O>,
+    ) -> Self {
+        Measurement {
+            rounds: report.metrics.rounds,
+            messages: report.metrics.messages,
+            bits: report.metrics.bits,
+            all_decided: report.all_non_faulty_decided(),
+            agreement: report.non_faulty_deciders_agree(),
+            decider_fraction: report.deciders().len() as f64 / report.n() as f64,
+        }
+    }
+}
+
+/// A workload: system size, fault budget and how many of the budgeted
+/// crashes the adversary actually uses.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct Workload {
+    /// Number of nodes.
+    pub n: usize,
+    /// Fault bound `t`.
+    pub t: usize,
+    /// Crashes actually injected (`≤ t`).
+    pub crashes: usize,
+    /// Seed for overlays, inputs and crash schedules.
+    pub seed: u64,
+}
+
+impl Workload {
+    /// A crash-free workload.
+    pub fn fault_free(n: usize, t: usize, seed: u64) -> Self {
+        Workload { n, t, crashes: 0, seed }
+    }
+
+    /// A workload that uses the full crash budget.
+    pub fn full_budget(n: usize, t: usize, seed: u64) -> Self {
+        Workload { n, t, crashes: t, seed }
+    }
+
+    fn adversary(&self, horizon: u64) -> Box<dyn dft_sim::CrashAdversary> {
+        if self.crashes == 0 {
+            Box::new(dft_sim::NoFaults)
+        } else {
+            Box::new(RandomCrashes::new(self.n, self.crashes, horizon, self.seed))
+        }
+    }
+
+    fn mixed_inputs(&self) -> Vec<bool> {
+        (0..self.n).map(|i| (i + self.seed as usize) % 2 == 0).collect()
+    }
+}
+
+fn config(w: &Workload) -> SystemConfig {
+    SystemConfig::new(w.n, w.t).expect("valid workload").with_seed(w.seed)
+}
+
+/// Measures `Almost-Everywhere-Agreement` (Theorem 5).
+pub fn measure_aea(w: &Workload) -> Measurement {
+    let cfg = config(w);
+    let inputs = w.mixed_inputs();
+    let nodes = AlmostEverywhereAgreement::for_all_nodes(&cfg, &inputs).expect("config");
+    let rounds = dft_core::AeaConfig::from_system(&cfg).expect("config").total_rounds();
+    let mut runner =
+        Runner::with_adversary(nodes, w.adversary(rounds), w.t).expect("runner");
+    Measurement::from_report(&runner.run(rounds + 2))
+}
+
+/// Measures `Spread-Common-Value` (Theorem 6) with 3/5·n initialized nodes.
+pub fn measure_scv(w: &Workload) -> Measurement {
+    let cfg = config(w);
+    let initialized = 3 * w.n / 5 + 1;
+    let initials: Vec<Option<bool>> = (0..w.n).map(|i| (i >= w.n - initialized).then_some(true)).collect();
+    let nodes = SpreadCommonValue::for_all_nodes(&cfg, &initials).expect("config");
+    let rounds = dft_core::ScvConfig::from_system(&cfg).expect("config").total_rounds();
+    let mut runner =
+        Runner::with_adversary(nodes, w.adversary(rounds), w.t).expect("runner");
+    Measurement::from_report(&runner.run(rounds + 2))
+}
+
+/// Measures `Few-Crashes-Consensus` (Theorem 7).
+pub fn measure_few_crashes(w: &Workload) -> Measurement {
+    let cfg = config(w);
+    let inputs = w.mixed_inputs();
+    let nodes = FewCrashesConsensus::for_all_nodes(&cfg, &inputs).expect("config");
+    let rounds = nodes[0].total_rounds();
+    let mut runner =
+        Runner::with_adversary(nodes, w.adversary(rounds), w.t).expect("runner");
+    Measurement::from_report(&runner.run(rounds + 2))
+}
+
+/// Measures `Many-Crashes-Consensus` (Theorem 8 / Corollary 1).
+pub fn measure_many_crashes(w: &Workload) -> Measurement {
+    let cfg = config(w);
+    let inputs = w.mixed_inputs();
+    let nodes = ManyCrashesConsensus::for_all_nodes(&cfg, &inputs).expect("config");
+    let rounds = nodes[0].total_rounds();
+    let mut runner =
+        Runner::with_adversary(nodes, w.adversary(rounds), w.t).expect("runner");
+    Measurement::from_report(&runner.run(rounds + 2))
+}
+
+/// Measures `Gossip` (Theorem 9).
+pub fn measure_gossip(w: &Workload) -> Measurement {
+    let cfg = config(w);
+    let rumors: Vec<u64> = (0..w.n as u64).map(|i| 1_000 + i).collect();
+    let nodes = Gossip::for_all_nodes(&cfg, &rumors).expect("config");
+    let rounds = nodes[0].total_rounds();
+    let mut runner =
+        Runner::with_adversary(nodes, w.adversary(rounds), w.t).expect("runner");
+    Measurement::from_report(&runner.run(rounds + 2))
+}
+
+/// Measures `Checkpointing` (Theorem 10).
+pub fn measure_checkpointing(w: &Workload) -> Measurement {
+    let cfg = config(w);
+    let nodes = Checkpointing::for_all_nodes(&cfg).expect("config");
+    let rounds = nodes[0].total_rounds();
+    let mut runner =
+        Runner::with_adversary(nodes, w.adversary(rounds), w.t).expect("runner");
+    Measurement::from_report(&runner.run(rounds + 2))
+}
+
+/// Measures `AB-Consensus` (Theorem 11) with all-honest participants (the
+/// cost side of the theorem counts non-faulty messages, which is maximised
+/// when everyone is honest).
+pub fn measure_ab_consensus(w: &Workload) -> Measurement {
+    let cfg = config(w);
+    let directory = Arc::new(KeyDirectory::generate(w.n, w.seed));
+    let inputs: Vec<u64> = (0..w.n as u64).collect();
+    let nodes = AbConsensus::for_all_nodes(&cfg, &inputs, directory).expect("config");
+    let rounds = nodes[0].total_rounds();
+    let mut runner = Runner::new(nodes).expect("runner");
+    Measurement::from_report(&runner.run(rounds + 2))
+}
+
+/// Measures single-port `Linear-Consensus` (Theorem 12).
+pub fn measure_linear_consensus(w: &Workload) -> Measurement {
+    let cfg = config(w);
+    let inputs = w.mixed_inputs();
+    let (nodes, sp_rounds) = linear_consensus_for_all_nodes(&cfg, &inputs).expect("config");
+    let mut runner =
+        SinglePortRunner::with_adversary(nodes, w.adversary(sp_rounds), w.t).expect("runner");
+    Measurement::from_report(&runner.run(sp_rounds + 4))
+}
+
+/// Measures the flooding-consensus baseline.
+pub fn measure_flooding(w: &Workload) -> Measurement {
+    let inputs = w.mixed_inputs();
+    let nodes = FloodingConsensus::for_all_nodes(w.n, w.t, &inputs);
+    let rounds = FloodingConsensus::total_rounds(w.t);
+    let mut runner =
+        Runner::with_adversary(nodes, w.adversary(rounds), w.t).expect("runner");
+    Measurement::from_report(&runner.run(rounds + 2))
+}
+
+/// Measures the all-to-all gossip baseline.
+pub fn measure_all_to_all_gossip(w: &Workload) -> Measurement {
+    let rumors: Vec<u64> = (0..w.n as u64).map(|i| 1_000 + i).collect();
+    let nodes = AllToAllGossip::for_all_nodes(w.n, w.t, &rumors);
+    let rounds = AllToAllGossip::total_rounds(w.t);
+    let mut runner =
+        Runner::with_adversary(nodes, w.adversary(rounds), w.t).expect("runner");
+    Measurement::from_report(&runner.run(rounds + 2))
+}
+
+/// Measures the naive checkpointing baseline.
+pub fn measure_naive_checkpointing(w: &Workload) -> Measurement {
+    let nodes = NaiveCheckpointing::for_all_nodes(w.n, w.t);
+    let rounds = NaiveCheckpointing::total_rounds(w.t);
+    let mut runner =
+        Runner::with_adversary(nodes, w.adversary(rounds), w.t).expect("runner");
+    Measurement::from_report(&runner.run(rounds + 2))
+}
+
+/// Measures the parallel Dolev–Strong Byzantine baseline.
+pub fn measure_parallel_ds(w: &Workload) -> Measurement {
+    let directory = Arc::new(KeyDirectory::generate(w.n, w.seed));
+    let inputs: Vec<u64> = (0..w.n as u64).collect();
+    let nodes = ParallelDsConsensus::for_all_nodes(w.n, w.t, &inputs, directory);
+    let rounds = ParallelDsConsensus::total_rounds(w.t);
+    let mut runner = Runner::new(nodes).expect("runner");
+    Measurement::from_report(&runner.run(rounds + 2))
+}
+
+/// A labelled table of measurement rows, printable as aligned text.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Table {
+    /// Experiment identifier (e.g. `"E4 thm7_few_crashes"`).
+    pub id: String,
+    /// What the paper claims for this experiment.
+    pub paper_claim: String,
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Rows of cells, already rendered as strings.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(id: &str, paper_claim: &str, columns: &[&str]) -> Self {
+        Table {
+            id: id.to_string(),
+            paper_claim: paper_claim.to_string(),
+            columns: columns.iter().map(|c| c.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        self.rows.push(cells);
+    }
+
+    /// Renders the table as aligned plain text.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.columns.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                if i < widths.len() {
+                    widths[i] = widths[i].max(cell.len());
+                }
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("== {} ==\n", self.id));
+        out.push_str(&format!("paper: {}\n", self.paper_claim));
+        let header: Vec<String> = self
+            .columns
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:width$}", c, width = widths[i]))
+            .collect();
+        out.push_str(&header.join("  "));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+        out.push('\n');
+        for row in &self.rows {
+            let line: Vec<String> = row
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:width$}", c, width = widths.get(i).copied().unwrap_or(0)))
+                .collect();
+            out.push_str(&line.join("  "));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Workload {
+        Workload::full_budget(60, 8, 3)
+    }
+
+    #[test]
+    fn consensus_measurements_report_agreement() {
+        let m = measure_few_crashes(&small());
+        assert!(m.all_decided);
+        assert!(m.agreement);
+        assert!(m.rounds > 0 && m.messages > 0);
+    }
+
+    #[test]
+    fn aea_measurement_reports_decider_fraction() {
+        let m = measure_aea(&small());
+        assert!(m.agreement);
+        assert!(m.decider_fraction >= 0.6 || m.all_decided);
+    }
+
+    #[test]
+    fn baselines_are_more_expensive_in_messages() {
+        let w = Workload::fault_free(80, 10, 5);
+        let ours = measure_few_crashes(&w);
+        let flooding = measure_flooding(&w);
+        assert!(flooding.messages > ours.messages, "{} vs {}", flooding.messages, ours.messages);
+    }
+
+    #[test]
+    fn table_renders_all_rows() {
+        let mut table = Table::new("T", "claim", &["a", "b"]);
+        table.push_row(vec!["1".into(), "2".into()]);
+        table.push_row(vec!["333".into(), "4".into()]);
+        let text = table.render();
+        assert!(text.contains("claim"));
+        assert!(text.contains("333"));
+        assert_eq!(text.lines().count(), 6);
+    }
+
+    #[test]
+    fn workload_constructors() {
+        let w = Workload::fault_free(10, 1, 0);
+        assert_eq!(w.crashes, 0);
+        let w = Workload::full_budget(10, 1, 0);
+        assert_eq!(w.crashes, 1);
+    }
+}

@@ -1,0 +1,76 @@
+//! Error type for protocol configuration.
+
+use std::error::Error as StdError;
+use std::fmt;
+
+/// Errors produced while configuring or instantiating protocols.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CoreError {
+    /// The fault bound `t` is incompatible with the system size or with the
+    /// protocol's assumption (for example `t ≥ n/5` for the few-crashes
+    /// algorithms, or `t ≥ n/2` for the Byzantine algorithm).
+    InvalidFaultBound {
+        /// Number of nodes.
+        n: usize,
+        /// Requested fault bound.
+        t: usize,
+        /// The constraint that was violated, e.g. `"t < n/5"`.
+        requirement: &'static str,
+    },
+    /// The system size is too small for the protocol to be instantiated.
+    SystemTooSmall {
+        /// Number of nodes requested.
+        n: usize,
+        /// Minimum supported size.
+        minimum: usize,
+    },
+    /// An overlay graph could not be constructed.
+    Overlay(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::InvalidFaultBound { n, t, requirement } => {
+                write!(f, "fault bound t={t} invalid for n={n} (requires {requirement})")
+            }
+            CoreError::SystemTooSmall { n, minimum } => {
+                write!(f, "system of {n} nodes is below the minimum of {minimum}")
+            }
+            CoreError::Overlay(msg) => write!(f, "overlay construction failed: {msg}"),
+        }
+    }
+}
+
+impl StdError for CoreError {}
+
+impl From<dft_overlay::OverlayError> for CoreError {
+    fn from(err: dft_overlay::OverlayError) -> Self {
+        CoreError::Overlay(err.to_string())
+    }
+}
+
+/// Convenience result alias for protocol configuration.
+pub type CoreResult<T> = Result<T, CoreError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let err = CoreError::InvalidFaultBound {
+            n: 10,
+            t: 9,
+            requirement: "t < n/5",
+        };
+        assert!(err.to_string().contains("t=9"));
+        assert!(err.to_string().contains("t < n/5"));
+        assert!(CoreError::SystemTooSmall { n: 2, minimum: 5 }
+            .to_string()
+            .contains("minimum of 5"));
+        let overlay_err: CoreError =
+            dft_overlay::OverlayError::InvalidParameters("bad".into()).into();
+        assert!(overlay_err.to_string().contains("bad"));
+    }
+}

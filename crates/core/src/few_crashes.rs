@@ -1,0 +1,312 @@
+//! `Few-Crashes-Consensus` (Section 4.3, Figure 3, Theorem 7).
+//!
+//! For `t < n/5`, consensus is solved by composing the two previous
+//! algorithms: `Almost-Everywhere-Agreement` establishes the same decision at
+//! `≥ 3/5·n` nodes, and `Spread-Common-Value` spreads that decision to every
+//! non-faulty node.  Theorem 7: `O(t + log n)` rounds and `O(n + t log t)`
+//! one-bit messages.
+//!
+//! The composition is generic over [`JoinValue`]: the scalar instance
+//! (`bool`) is the paper's binary consensus, and the [`crate::BitVector`]
+//! instance is the "n concurrent instances with combined messages" used by
+//! checkpointing (Section 6).
+
+use dft_sim::{Delivered, Outgoing, Payload, Round, SyncProtocol};
+
+use crate::aea::{AeaConfig, AeaMsg, AlmostEverywhereAgreement};
+use crate::config::SystemConfig;
+use crate::error::CoreResult;
+use crate::scv::{ScvConfig, ScvMsg, SpreadCommonValue};
+use crate::values::JoinValue;
+
+/// Combined configuration of the two stages.
+#[derive(Clone, Debug)]
+pub struct FewCrashesConfig {
+    /// Stage 1 configuration.
+    pub aea: AeaConfig,
+    /// Stage 2 configuration.
+    pub scv: ScvConfig,
+}
+
+impl FewCrashesConfig {
+    /// Derives both stage configurations from a [`SystemConfig`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error unless `t < n/5`.
+    pub fn from_system(config: &SystemConfig) -> CoreResult<Self> {
+        Ok(FewCrashesConfig {
+            aea: AeaConfig::from_system(config)?,
+            scv: ScvConfig::from_system(config)?,
+        })
+    }
+
+    /// Total number of rounds (AEA followed by SCV).
+    pub fn total_rounds(&self) -> u64 {
+        self.aea.total_rounds() + self.scv.total_rounds()
+    }
+}
+
+/// Messages of `Few-Crashes-Consensus`: stage-tagged wrappers around the
+/// component messages (one extra bit of framing on the wire).
+#[derive(Clone, Debug, PartialEq)]
+pub enum FcMsg<V> {
+    /// A message of the almost-everywhere-agreement stage.
+    Aea(AeaMsg<V>),
+    /// A message of the spread-common-value stage.
+    Scv(ScvMsg<V>),
+}
+
+impl<V: JoinValue> Payload for FcMsg<V> {
+    fn bit_len(&self) -> u64 {
+        match self {
+            FcMsg::Aea(m) => m.bit_len(),
+            FcMsg::Scv(m) => m.bit_len(),
+        }
+    }
+}
+
+/// Per-node state machine for `Few-Crashes-Consensus`.
+#[derive(Clone, Debug)]
+pub struct FewCrashesConsensus<V: JoinValue> {
+    aea: AlmostEverywhereAgreement<V>,
+    scv: SpreadCommonValue<V>,
+    aea_rounds: u64,
+    total_rounds: u64,
+    transitioned: bool,
+}
+
+impl<V: JoinValue> FewCrashesConsensus<V> {
+    /// Creates the state machine for node `me` with the given consensus
+    /// input.
+    pub fn new(config: FewCrashesConfig, me: usize, input: V) -> Self {
+        let aea_rounds = config.aea.total_rounds();
+        let total_rounds = config.total_rounds();
+        FewCrashesConsensus {
+            aea: AlmostEverywhereAgreement::new(config.aea, me, input),
+            scv: SpreadCommonValue::new(config.scv, me, None),
+            aea_rounds,
+            total_rounds,
+            transitioned: false,
+        }
+    }
+
+    /// Builds state machines for all nodes from per-node inputs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration errors (requires `t < n/5`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len() != config.n`.
+    pub fn for_all_nodes(config: &SystemConfig, inputs: &[V]) -> CoreResult<Vec<Self>> {
+        assert_eq!(inputs.len(), config.n, "one input per node required");
+        let shared = FewCrashesConfig::from_system(config)?;
+        Ok(inputs
+            .iter()
+            .enumerate()
+            .map(|(me, input)| Self::new(shared.clone(), me, input.clone()))
+            .collect())
+    }
+
+    /// Total rounds this protocol runs for.
+    pub fn total_rounds(&self) -> u64 {
+        self.total_rounds
+    }
+
+    fn ensure_transition(&mut self) {
+        if !self.transitioned {
+            self.scv.set_initial(self.aea.output());
+            self.transitioned = true;
+        }
+    }
+}
+
+impl<V: JoinValue> SyncProtocol for FewCrashesConsensus<V> {
+    type Msg = FcMsg<V>;
+    type Output = V;
+
+    fn send(&mut self, round: Round) -> Vec<Outgoing<FcMsg<V>>> {
+        let r = round.as_u64();
+        if r < self.aea_rounds {
+            self.aea
+                .send(Round::new(r))
+                .into_iter()
+                .map(|o| Outgoing::new(o.to, FcMsg::Aea(o.msg)))
+                .collect()
+        } else {
+            self.ensure_transition();
+            self.scv
+                .send(Round::new(r - self.aea_rounds))
+                .into_iter()
+                .map(|o| Outgoing::new(o.to, FcMsg::Scv(o.msg)))
+                .collect()
+        }
+    }
+
+    fn receive(&mut self, round: Round, inbox: &[Delivered<FcMsg<V>>]) {
+        let r = round.as_u64();
+        if r < self.aea_rounds {
+            let inner: Vec<Delivered<AeaMsg<V>>> = inbox
+                .iter()
+                .filter_map(|d| match &d.msg {
+                    FcMsg::Aea(m) => Some(Delivered::new(d.from, m.clone())),
+                    FcMsg::Scv(_) => None,
+                })
+                .collect();
+            self.aea.receive(Round::new(r), &inner);
+        } else {
+            self.ensure_transition();
+            let inner: Vec<Delivered<ScvMsg<V>>> = inbox
+                .iter()
+                .filter_map(|d| match &d.msg {
+                    FcMsg::Scv(m) => Some(Delivered::new(d.from, m.clone())),
+                    FcMsg::Aea(_) => None,
+                })
+                .collect();
+            self.scv.receive(Round::new(r - self.aea_rounds), &inner);
+        }
+    }
+
+    fn output(&self) -> Option<V> {
+        if self.transitioned {
+            self.scv.output()
+        } else {
+            None
+        }
+    }
+
+    fn has_halted(&self) -> bool {
+        self.transitioned && self.scv.has_halted()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dft_sim::{NoFaults, NodeId, RandomCrashes, Runner, TargetedCrashes};
+
+    fn run_consensus(
+        n: usize,
+        t: usize,
+        inputs: &[bool],
+        adversary: Box<dyn dft_sim::CrashAdversary>,
+        budget: usize,
+        seed: u64,
+    ) -> dft_sim::ExecutionReport<bool> {
+        let config = SystemConfig::new(n, t).unwrap().with_seed(seed);
+        let nodes = FewCrashesConsensus::for_all_nodes(&config, inputs).unwrap();
+        let total = FewCrashesConfig::from_system(&config).unwrap().total_rounds();
+        let mut runner = Runner::with_adversary(nodes, adversary, budget).unwrap();
+        runner.run(total + 2)
+    }
+
+    fn assert_consensus(report: &dft_sim::ExecutionReport<bool>, inputs: &[bool]) {
+        assert!(report.all_non_faulty_decided(), "termination");
+        assert!(report.non_faulty_deciders_agree(), "agreement");
+        let agreed = report.agreed_value().copied().expect("agreement value");
+        assert!(inputs.contains(&agreed), "validity");
+    }
+
+    #[test]
+    fn fault_free_unanimous_inputs() {
+        let n = 80;
+        for value in [false, true] {
+            let inputs = vec![value; n];
+            let report = run_consensus(n, 10, &inputs, Box::new(NoFaults), 0, 1);
+            assert_consensus(&report, &inputs);
+            assert_eq!(report.agreed_value(), Some(&value));
+        }
+    }
+
+    #[test]
+    fn fault_free_mixed_inputs() {
+        let n = 100;
+        let inputs: Vec<bool> = (0..n).map(|i| i % 4 == 0).collect();
+        let report = run_consensus(n, 12, &inputs, Box::new(NoFaults), 0, 2);
+        assert_consensus(&report, &inputs);
+    }
+
+    #[test]
+    fn random_crashes_within_budget() {
+        let n = 120;
+        let t = 20;
+        let inputs: Vec<bool> = (0..n).map(|i| i % 2 == 0).collect();
+        for seed in 0..4u64 {
+            let adversary = RandomCrashes::new(n, t, 60, seed);
+            let report = run_consensus(n, t, &inputs, Box::new(adversary), t, 3 + seed);
+            assert_consensus(&report, &inputs);
+        }
+    }
+
+    #[test]
+    fn targeted_crashes_on_little_nodes() {
+        let n = 120;
+        let t = 15;
+        let inputs = vec![true; n];
+        let victims: Vec<NodeId> = (0..t).map(NodeId::new).collect();
+        let adversary = TargetedCrashes::one_per_round(victims);
+        let report = run_consensus(n, t, &inputs, Box::new(adversary), t, 4);
+        assert_consensus(&report, &inputs);
+        assert_eq!(report.agreed_value(), Some(&true), "validity with unanimous 1");
+    }
+
+    #[test]
+    fn rounds_and_messages_scale_linearly() {
+        let n = 300;
+        let t = 30;
+        let inputs: Vec<bool> = (0..n).map(|i| i % 2 == 1).collect();
+        let report = run_consensus(n, t, &inputs, Box::new(NoFaults), 0, 5);
+        let config = SystemConfig::new(n, t).unwrap();
+        let total = FewCrashesConfig::from_system(&config).unwrap().total_rounds();
+        // Rounds: O(t + log n); the schedule is fixed so the report matches it.
+        assert!(report.metrics.rounds <= total + 2);
+        assert!(total <= 8 * t as u64 + 12 * (n as f64).log2().ceil() as u64 + 20);
+        // Bits: O(n + t log t) with a generous practical constant (the
+        // probing term t·log t·d dominates at this scale); the point is to
+        // stay far below the all-to-all n² = 90 000.
+        let bound = 250 * n as u64;
+        assert!(
+            report.metrics.bits < bound,
+            "{} bits exceeds {bound}",
+            report.metrics.bits
+        );
+    }
+
+    #[test]
+    fn one_crash_delays_by_constant_rounds() {
+        // The protocol has a fixed round schedule, so crashes cannot extend
+        // it; this checks the schedule is identical with and without a crash.
+        let n = 80;
+        let t = 8;
+        let inputs = vec![true; n];
+        let clean = run_consensus(n, t, &inputs, Box::new(NoFaults), 0, 6);
+        let adversary = RandomCrashes::new(n, 1, 5, 1);
+        let crashed = run_consensus(n, t, &inputs, Box::new(adversary), t, 6);
+        assert_eq!(clean.metrics.rounds, crashed.metrics.rounds);
+    }
+
+    #[test]
+    fn vectorised_consensus_for_checkpointing() {
+        use crate::values::BitVector;
+        let n = 60;
+        let t = 7;
+        let config = SystemConfig::new(n, t).unwrap().with_seed(9);
+        let inputs: Vec<BitVector> = (0..n)
+            .map(|i| BitVector::from_set_bits(n, [i, (i + 1) % n]))
+            .collect();
+        let nodes = FewCrashesConsensus::for_all_nodes(&config, &inputs).unwrap();
+        let total = FewCrashesConfig::from_system(&config).unwrap().total_rounds();
+        let mut runner = Runner::new(nodes).unwrap();
+        let report = runner.run(total + 2);
+        assert!(report.all_non_faulty_decided());
+        assert!(report.non_faulty_deciders_agree());
+    }
+
+    #[test]
+    fn config_rejects_large_t() {
+        let config = SystemConfig::new(50, 10).unwrap();
+        assert!(FewCrashesConfig::from_system(&config).is_err());
+    }
+}

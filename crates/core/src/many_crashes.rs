@@ -1,0 +1,375 @@
+//! `Many-Crashes-Consensus` (Section 4.4, Figure 4, Theorem 8, Corollary 1).
+//!
+//! Binary consensus for an arbitrary bound `t ≤ n − 1` on the number of
+//! crashes (`α = t/n`).  Three parts over the full-network Ramanujan overlay
+//! `G(n, d(α))`:
+//!
+//! 1. **Broadcasting** (`n − 1` rounds): rumor `1` floods along `G`.
+//! 2. **Local probing** (`2 + ⌈lg n⌉` rounds): survivors decide their rumor.
+//! 3. **Inquiring** (`1 + ⌈lg((1+3α)n/4)⌉` two-round phases): undecided
+//!    nodes inquire along per-phase overlays `G_i` of doubling degree and
+//!    adopt any response.
+//!
+//! Theorem 8: at most `n + 3(1 + lg n)` rounds and
+//! `(5/(1−α))⁸ · n·lg n` one-bit messages.
+
+use std::sync::Arc;
+
+use dft_overlay::{Graph, InquiryFamily};
+use dft_sim::{Delivered, NodeId, Outgoing, Payload, Round, SyncProtocol};
+
+use crate::config::SystemConfig;
+use crate::error::CoreResult;
+use crate::local_probing::LocalProbing;
+
+/// Static configuration shared by every node running
+/// [`ManyCrashesConsensus`].
+#[derive(Clone, Debug)]
+pub struct ManyCrashesConfig {
+    /// Number of nodes.
+    pub n: usize,
+    /// The full-network overlay graph `G(n, d(α))`.
+    pub graph: Arc<Graph>,
+    /// Survival threshold `δ` for local probing.
+    pub delta: usize,
+    /// Local-probing duration (`2 + ⌈lg n⌉`).
+    pub gamma: u64,
+    /// Length of the broadcasting part (the paper uses `n − 1`).
+    pub part1_rounds: u64,
+    /// The per-phase inquiry family for Part 3.
+    pub family: Arc<InquiryFamily>,
+}
+
+impl ManyCrashesConfig {
+    /// Derives the configuration from a [`SystemConfig`] (any `t < n`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SystemConfig`]-level validation errors.
+    pub fn from_system(config: &SystemConfig) -> CoreResult<Self> {
+        let params = config.full_params();
+        let graph = config.full_graph();
+        // The probing threshold is halved relative to the generic overlay
+        // parameters: `Many-Crashes-Consensus` must keep a surviving core
+        // even when the fault fraction approaches 1, where the adversary can
+        // remove most of every neighbourhood (the paper compensates with the
+        // enormous degree (4/(1−α))⁸; at practical degrees a lower δ plays
+        // that role).
+        let delta = (params.delta / 2).clamp(1, graph.min_degree().max(1));
+        Ok(ManyCrashesConfig {
+            n: config.n,
+            graph,
+            delta,
+            gamma: params.gamma as u64,
+            part1_rounds: (config.n as u64).saturating_sub(1).max(1),
+            family: config.many_crashes_family(),
+        })
+    }
+
+    /// Number of inquiry phases in Part 3.
+    pub fn phases(&self) -> u64 {
+        self.family.phases() as u64
+    }
+
+    /// Total number of rounds.
+    pub fn total_rounds(&self) -> u64 {
+        self.part1_rounds + self.gamma + 2 * self.phases()
+    }
+
+    fn probing_start(&self) -> u64 {
+        self.part1_rounds
+    }
+
+    fn inquiry_start(&self) -> u64 {
+        self.part1_rounds + self.gamma
+    }
+}
+
+/// Messages of `Many-Crashes-Consensus` (all carry at most one value bit).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum McMsg {
+    /// A rumor flooded in Parts 1–2.
+    Rumor(bool),
+    /// An inquiry from an undecided node (Part 3).
+    Inquiry,
+    /// A response carrying the sender's decision (Part 3).
+    Response(bool),
+}
+
+impl Payload for McMsg {
+    fn bit_len(&self) -> u64 {
+        1
+    }
+}
+
+/// Per-node state machine for `Many-Crashes-Consensus`.
+#[derive(Clone, Debug)]
+pub struct ManyCrashesConsensus {
+    config: ManyCrashesConfig,
+    me: usize,
+    candidate: bool,
+    pending_flood: bool,
+    probe: LocalProbing,
+    decided: Option<bool>,
+    inquirers: Vec<usize>,
+    halted: bool,
+}
+
+impl ManyCrashesConsensus {
+    /// Creates the state machine for node `me` with binary input `input`.
+    pub fn new(config: ManyCrashesConfig, me: usize, input: bool) -> Self {
+        let probe = LocalProbing::new(config.delta, config.gamma, true);
+        ManyCrashesConsensus {
+            config,
+            me,
+            candidate: input,
+            pending_flood: input,
+            probe,
+            decided: None,
+            inquirers: Vec::new(),
+            halted: false,
+        }
+    }
+
+    /// Builds state machines for all nodes from per-node binary inputs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len() != config.n`.
+    pub fn for_all_nodes(config: &SystemConfig, inputs: &[bool]) -> CoreResult<Vec<Self>> {
+        assert_eq!(inputs.len(), config.n, "one input per node required");
+        let shared = ManyCrashesConfig::from_system(config)?;
+        Ok(inputs
+            .iter()
+            .enumerate()
+            .map(|(me, &input)| Self::new(shared.clone(), me, input))
+            .collect())
+    }
+
+    /// Total rounds this protocol runs for.
+    pub fn total_rounds(&self) -> u64 {
+        self.config.total_rounds()
+    }
+
+    fn phase_of(&self, r: u64) -> Option<(u64, bool)> {
+        if r < self.config.inquiry_start() {
+            return None;
+        }
+        let offset = r - self.config.inquiry_start();
+        let phase = offset / 2 + 1;
+        if phase > self.config.phases() {
+            return None;
+        }
+        Some((phase, offset % 2 == 0))
+    }
+}
+
+impl SyncProtocol for ManyCrashesConsensus {
+    type Msg = McMsg;
+    type Output = bool;
+
+    fn send(&mut self, round: Round) -> Vec<Outgoing<McMsg>> {
+        let r = round.as_u64();
+        if r < self.config.probing_start() {
+            if self.pending_flood && self.candidate {
+                self.pending_flood = false;
+                return self
+                    .config
+                    .graph
+                    .neighbors(self.me)
+                    .iter()
+                    .map(|&v| Outgoing::new(NodeId::new(v), McMsg::Rumor(true)))
+                    .collect();
+            }
+            return Vec::new();
+        }
+        if r < self.config.inquiry_start() {
+            if self.probe.should_send() {
+                return self
+                    .config
+                    .graph
+                    .neighbors(self.me)
+                    .iter()
+                    .map(|&v| Outgoing::new(NodeId::new(v), McMsg::Rumor(self.candidate)))
+                    .collect();
+            }
+            return Vec::new();
+        }
+        let Some((phase, inquiry_round)) = self.phase_of(r) else {
+            return Vec::new();
+        };
+        if inquiry_round {
+            if self.decided.is_none() {
+                return self
+                    .config
+                    .family
+                    .graph(phase as usize)
+                    .neighbors(self.me)
+                    .iter()
+                    .filter(|&&v| v != self.me)
+                    .map(|&v| Outgoing::new(NodeId::new(v), McMsg::Inquiry))
+                    .collect();
+            }
+            Vec::new()
+        } else if let Some(decision) = self.decided {
+            let inquirers = std::mem::take(&mut self.inquirers);
+            inquirers
+                .into_iter()
+                .map(|v| Outgoing::new(NodeId::new(v), McMsg::Response(decision)))
+                .collect()
+        } else {
+            self.inquirers.clear();
+            Vec::new()
+        }
+    }
+
+    fn receive(&mut self, round: Round, inbox: &[Delivered<McMsg>]) {
+        let r = round.as_u64();
+        if r < self.config.probing_start() {
+            for msg in inbox {
+                if matches!(msg.msg, McMsg::Rumor(true)) && !self.candidate {
+                    self.candidate = true;
+                    self.pending_flood = true;
+                }
+            }
+        } else if r < self.config.inquiry_start() {
+            let mut received = 0;
+            for msg in inbox {
+                if let McMsg::Rumor(value) = msg.msg {
+                    received += 1;
+                    if value {
+                        self.candidate = true;
+                    }
+                }
+            }
+            self.probe.observe_round(received);
+            if r + 1 == self.config.inquiry_start() && self.probe.survived() {
+                self.decided = Some(self.candidate);
+            }
+        } else if let Some((_, inquiry_round)) = self.phase_of(r) {
+            if inquiry_round {
+                self.inquirers = inbox
+                    .iter()
+                    .filter(|m| matches!(m.msg, McMsg::Inquiry))
+                    .map(|m| m.from.index())
+                    .collect();
+            } else {
+                for msg in inbox {
+                    if let McMsg::Response(value) = msg.msg {
+                        if self.decided.is_none() {
+                            self.decided = Some(value);
+                        }
+                    }
+                }
+            }
+        }
+        if r + 1 >= self.config.total_rounds() {
+            self.halted = true;
+        }
+    }
+
+    fn output(&self) -> Option<bool> {
+        self.decided
+    }
+
+    fn has_halted(&self) -> bool {
+        self.halted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dft_sim::{NoFaults, RandomCrashes, Runner};
+
+    fn run_mc(
+        n: usize,
+        t: usize,
+        inputs: &[bool],
+        adversary: Box<dyn dft_sim::CrashAdversary>,
+        budget: usize,
+        seed: u64,
+    ) -> dft_sim::ExecutionReport<bool> {
+        let config = SystemConfig::new(n, t).unwrap().with_seed(seed);
+        let nodes = ManyCrashesConsensus::for_all_nodes(&config, inputs).unwrap();
+        let total = ManyCrashesConfig::from_system(&config).unwrap().total_rounds();
+        let mut runner = Runner::with_adversary(nodes, adversary, budget).unwrap();
+        runner.run(total + 2)
+    }
+
+    fn assert_consensus(report: &dft_sim::ExecutionReport<bool>, inputs: &[bool]) {
+        assert!(report.all_non_faulty_decided(), "termination");
+        assert!(report.non_faulty_deciders_agree(), "agreement");
+        let agreed = report.agreed_value().copied().expect("agreement value");
+        assert!(inputs.contains(&agreed), "validity");
+    }
+
+    #[test]
+    fn fault_free_unanimous_and_mixed() {
+        let n = 60;
+        for (label, inputs) in [
+            ("ones", vec![true; n]),
+            ("zeros", vec![false; n]),
+            ("mixed", (0..n).map(|i| i % 5 == 0).collect::<Vec<_>>()),
+        ] {
+            let report = run_mc(n, 10, &inputs, Box::new(NoFaults), 0, 1);
+            assert_consensus(&report, &inputs);
+            if label == "ones" {
+                assert_eq!(report.agreed_value(), Some(&true));
+            }
+            if label == "zeros" {
+                assert_eq!(report.agreed_value(), Some(&false));
+            }
+        }
+    }
+
+    #[test]
+    fn tolerates_nearly_half_crashes() {
+        let n = 60;
+        let t = 25;
+        let inputs: Vec<bool> = (0..n).map(|i| i % 2 == 0).collect();
+        let adversary = RandomCrashes::new(n, t, 30, 13);
+        let report = run_mc(n, t, &inputs, Box::new(adversary), t, 2);
+        assert_consensus(&report, &inputs);
+    }
+
+    #[test]
+    fn tolerates_majority_crashes() {
+        // t up to n - 1 is allowed; use a heavy fraction.
+        let n = 50;
+        let t = 35;
+        let inputs = vec![true; n];
+        let adversary = RandomCrashes::new(n, t, 40, 17);
+        let report = run_mc(n, t, &inputs, Box::new(adversary), t, 3);
+        assert!(report.non_faulty_deciders_agree());
+        assert!(report.all_non_faulty_decided());
+        assert_eq!(report.agreed_value(), Some(&true));
+    }
+
+    #[test]
+    fn round_bound_matches_theorem_8() {
+        let n = 200;
+        let config = SystemConfig::new(n, 50).unwrap();
+        let mc = ManyCrashesConfig::from_system(&config).unwrap();
+        let bound = n as u64 + 3 * (1 + (n as f64).log2().ceil() as u64) + 2 * mc.phases();
+        assert!(mc.total_rounds() <= bound + 8, "{} vs {bound}", mc.total_rounds());
+    }
+
+    #[test]
+    fn message_bound_is_n_log_n_shaped() {
+        let n = 150;
+        let t = 30;
+        let inputs: Vec<bool> = (0..n).map(|i| i % 2 == 0).collect();
+        let report = run_mc(n, t, &inputs, Box::new(NoFaults), 0, 4);
+        let n_log_n = n as f64 * (n as f64).log2();
+        assert!(
+            (report.metrics.messages as f64) < 40.0 * n_log_n,
+            "{} messages",
+            report.metrics.messages
+        );
+    }
+}

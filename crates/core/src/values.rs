@@ -1,0 +1,296 @@
+//! Protocol value types: joinable candidate values, extant sets and
+//! completion sets.
+
+use serde::{Deserialize, Serialize};
+
+/// A value that can only grow under a join (least-upper-bound) operation.
+///
+/// The paper's crash-tolerant algorithms flood information monotonically:
+/// binary consensus floods rumor `1` (the join is logical OR), and the
+/// checkpointing construction runs `n` such instances at once, which is the
+/// coordinate-wise OR of a bit vector.  Making the agreement protocols
+/// generic over this trait lets one implementation serve both the scalar and
+/// the vectorised ("combined message") cases.
+pub trait JoinValue: Clone + PartialEq + std::fmt::Debug {
+    /// Joins `other` into `self`; returns `true` if `self` changed.
+    fn join_in_place(&mut self, other: &Self) -> bool;
+
+    /// Whether this is the bottom element (nothing to flood).
+    fn is_bottom(&self) -> bool;
+
+    /// Wire size in bits when carried in a message.
+    fn wire_bits(&self) -> u64;
+}
+
+impl JoinValue for bool {
+    fn join_in_place(&mut self, other: &Self) -> bool {
+        let changed = !*self && *other;
+        *self |= *other;
+        changed
+    }
+
+    fn is_bottom(&self) -> bool {
+        !*self
+    }
+
+    fn wire_bits(&self) -> u64 {
+        1
+    }
+}
+
+/// A fixed-width bit vector joined by coordinate-wise OR — the "combined
+/// message" of `n` concurrent consensus instances used by checkpointing
+/// (Section 6).
+#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct BitVector {
+    bits: Vec<u64>,
+    len: usize,
+}
+
+impl BitVector {
+    /// An all-zero vector of `len` bits.
+    pub fn zeros(len: usize) -> Self {
+        BitVector {
+            bits: vec![0; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    /// Builds a vector from an iterator of set positions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a position is out of range.
+    pub fn from_set_bits<I: IntoIterator<Item = usize>>(len: usize, set: I) -> Self {
+        let mut v = Self::zeros(len);
+        for idx in set {
+            v.set(idx, true);
+        }
+        v
+    }
+
+    /// Number of bits.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the vector has zero width.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Value of bit `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn get(&self, idx: usize) -> bool {
+        assert!(idx < self.len, "bit index {idx} out of range {}", self.len);
+        self.bits[idx / 64] & (1 << (idx % 64)) != 0
+    }
+
+    /// Sets bit `idx` to `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn set(&mut self, idx: usize, value: bool) {
+        assert!(idx < self.len, "bit index {idx} out of range {}", self.len);
+        if value {
+            self.bits[idx / 64] |= 1 << (idx % 64);
+        } else {
+            self.bits[idx / 64] &= !(1 << (idx % 64));
+        }
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.bits.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Indices of set bits, ascending.
+    pub fn ones(&self) -> Vec<usize> {
+        (0..self.len).filter(|&i| self.get(i)).collect()
+    }
+}
+
+impl std::fmt::Debug for BitVector {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "BitVector[{}/{}]", self.count_ones(), self.len)
+    }
+}
+
+impl JoinValue for BitVector {
+    fn join_in_place(&mut self, other: &Self) -> bool {
+        let mut changed = false;
+        for (a, b) in self.bits.iter_mut().zip(&other.bits) {
+            let joined = *a | *b;
+            if joined != *a {
+                changed = true;
+                *a = joined;
+            }
+        }
+        changed
+    }
+
+    fn is_bottom(&self) -> bool {
+        self.bits.iter().all(|&w| w == 0)
+    }
+
+    fn wire_bits(&self) -> u64 {
+        self.len as u64
+    }
+}
+
+/// A rumor: the opaque input value a node contributes to gossiping.
+pub type Rumor = u64;
+
+/// An extant set: for every node, either the node's rumor (a *proper pair*)
+/// or `nil` (Section 5).
+#[derive(Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExtantSet {
+    entries: Vec<Option<Rumor>>,
+}
+
+impl ExtantSet {
+    /// An extant set of `n` nil pairs.
+    pub fn nil(n: usize) -> Self {
+        ExtantSet {
+            entries: vec![None; n],
+        }
+    }
+
+    /// Number of slots (the system size `n`).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the set has zero slots.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Whether node `idx` is *present* (has a proper pair).
+    pub fn is_present(&self, idx: usize) -> bool {
+        self.entries.get(idx).copied().flatten().is_some()
+    }
+
+    /// The rumor recorded for node `idx`, if present.
+    pub fn rumor_of(&self, idx: usize) -> Option<Rumor> {
+        self.entries.get(idx).copied().flatten()
+    }
+
+    /// Records `(idx, rumor)` if node `idx` is currently absent; returns
+    /// `true` if the set changed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn update(&mut self, idx: usize, rumor: Rumor) -> bool {
+        assert!(idx < self.entries.len(), "node {idx} out of range");
+        if self.entries[idx].is_none() {
+            self.entries[idx] = Some(rumor);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Merges every proper pair of `other` into `self`; returns `true` if
+    /// anything changed.
+    pub fn merge(&mut self, other: &ExtantSet) -> bool {
+        let mut changed = false;
+        for (idx, entry) in other.entries.iter().enumerate() {
+            if let Some(rumor) = entry {
+                changed |= self.update(idx, *rumor);
+            }
+        }
+        changed
+    }
+
+    /// Number of present nodes.
+    pub fn present_count(&self) -> usize {
+        self.entries.iter().filter(|e| e.is_some()).count()
+    }
+
+    /// The set of present node indices.
+    pub fn present_nodes(&self) -> Vec<usize> {
+        (0..self.len()).filter(|&i| self.is_present(i)).collect()
+    }
+
+    /// Wire size in bits: one presence bit per slot plus 64 bits per proper
+    /// pair.
+    pub fn wire_bits(&self) -> u64 {
+        self.len() as u64 + 64 * self.present_count() as u64
+    }
+}
+
+impl std::fmt::Debug for ExtantSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ExtantSet[{}/{}]", self.present_count(), self.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bool_join_is_or() {
+        let mut v = false;
+        assert!(!v.join_in_place(&false));
+        assert!(v.is_bottom());
+        assert!(v.join_in_place(&true));
+        assert!(!v.join_in_place(&true));
+        assert!(!v.is_bottom());
+        assert_eq!(true.wire_bits(), 1);
+    }
+
+    #[test]
+    fn bit_vector_join_and_accessors() {
+        let mut a = BitVector::from_set_bits(130, [0, 64, 129]);
+        let b = BitVector::from_set_bits(130, [1, 64]);
+        assert!(a.join_in_place(&b));
+        assert!(!a.join_in_place(&b));
+        assert_eq!(a.count_ones(), 4);
+        assert_eq!(a.ones(), vec![0, 1, 64, 129]);
+        assert!(a.get(129));
+        assert!(!a.get(2));
+        assert!(!a.is_bottom());
+        assert!(BitVector::zeros(10).is_bottom());
+        assert_eq!(a.wire_bits(), 130);
+        a.set(0, false);
+        assert!(!a.get(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bit_vector_rejects_out_of_range() {
+        let v = BitVector::zeros(4);
+        let _ = v.get(4);
+    }
+
+    #[test]
+    fn extant_set_updates_and_merges() {
+        let mut a = ExtantSet::nil(5);
+        assert_eq!(a.present_count(), 0);
+        assert!(a.update(2, 77));
+        assert!(!a.update(2, 99), "first rumor wins");
+        assert_eq!(a.rumor_of(2), Some(77));
+        let mut b = ExtantSet::nil(5);
+        b.update(0, 11);
+        b.update(2, 99);
+        assert!(a.merge(&b));
+        assert_eq!(a.present_nodes(), vec![0, 2]);
+        assert_eq!(a.rumor_of(2), Some(77), "merge does not overwrite");
+        assert!(!a.merge(&b));
+        assert_eq!(a.wire_bits(), 5 + 128);
+    }
+
+    #[test]
+    fn extant_set_debug_is_compact() {
+        let mut a = ExtantSet::nil(3);
+        a.update(1, 5);
+        assert_eq!(format!("{a:?}"), "ExtantSet[1/3]");
+    }
+}

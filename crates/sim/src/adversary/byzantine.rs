@@ -1,0 +1,203 @@
+//! Byzantine node strategies for the authenticated-Byzantine model.
+//!
+//! A node that is faulty in the authenticated Byzantine sense "may undergo
+//! arbitrary state transitions but cannot forge messages claiming that they
+//! are forwarded from other nodes" (Section 2).  The simulator models this by
+//! letting a Byzantine node run an arbitrary [`ByzantineStrategy`] instead of
+//! the honest protocol; unforgeability is provided by the `dft-auth`
+//! substrate, whose signatures a strategy cannot fabricate for keys it does
+//! not hold.
+//!
+//! The strategies in this module are *generic*: they work for any payload
+//! type by staying silent, replaying, or flooding previously observed
+//! messages.  Protocol-specific attacks (e.g. equivocation inside
+//! Dolev–Strong) live next to the protocols they attack, implemented against
+//! the concrete message type.
+
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::message::{Delivered, Outgoing, Payload};
+use crate::node::NodeId;
+use crate::round::Round;
+
+/// Behaviour of a Byzantine node in the synchronous model.
+///
+/// A strategy sees exactly what an honest node would see — its inbox each
+/// round — and may send arbitrary (well-typed) messages to arbitrary nodes.
+/// Messages sent by Byzantine nodes are *not* counted towards communication
+/// complexity, matching the paper's accounting.
+pub trait ByzantineStrategy<M: Payload> {
+    /// Messages the Byzantine node emits this round, given what it received
+    /// last round.
+    fn act(&mut self, round: Round, inbox: &[Delivered<M>]) -> Vec<Outgoing<M>>;
+}
+
+/// A Byzantine node that never sends anything — indistinguishable from a node
+/// that crashed before the execution started.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SilentByzantine;
+
+impl<M: Payload> ByzantineStrategy<M> for SilentByzantine {
+    fn act(&mut self, _round: Round, _inbox: &[Delivered<M>]) -> Vec<Outgoing<M>> {
+        Vec::new()
+    }
+}
+
+/// A Byzantine node that echoes every message it receives back to a rotating
+/// set of destinations, creating noise without being able to forge origin
+/// authentication.
+#[derive(Clone, Debug)]
+pub struct ReplayByzantine {
+    n: usize,
+    fanout: usize,
+    rng: ChaCha8Rng,
+}
+
+impl ReplayByzantine {
+    /// Creates a replayer in a system of `n` nodes that echoes each received
+    /// message to `fanout` random destinations.
+    pub fn new(n: usize, fanout: usize, seed: u64) -> Self {
+        ReplayByzantine {
+            n,
+            fanout,
+            rng: ChaCha8Rng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl<M: Payload> ByzantineStrategy<M> for ReplayByzantine {
+    fn act(&mut self, _round: Round, inbox: &[Delivered<M>]) -> Vec<Outgoing<M>> {
+        let mut out = Vec::new();
+        let all: Vec<usize> = (0..self.n).collect();
+        for delivered in inbox {
+            let dests: Vec<usize> = all
+                .choose_multiple(&mut self.rng, self.fanout.min(self.n))
+                .copied()
+                .collect();
+            for d in dests {
+                out.push(Outgoing::new(NodeId::new(d), delivered.msg.clone()));
+            }
+        }
+        out
+    }
+}
+
+/// A Byzantine node that replays its most recently received message to every
+/// node every round — a flooding attack whose messages are, per the paper's
+/// accounting, not charged to the algorithm.
+#[derive(Clone, Debug)]
+pub struct FloodByzantine<M> {
+    n: usize,
+    last: Option<M>,
+}
+
+impl<M> FloodByzantine<M> {
+    /// Creates a flooder in a system of `n` nodes.
+    pub fn new(n: usize) -> Self {
+        FloodByzantine { n, last: None }
+    }
+}
+
+impl<M: Payload> ByzantineStrategy<M> for FloodByzantine<M> {
+    fn act(&mut self, _round: Round, inbox: &[Delivered<M>]) -> Vec<Outgoing<M>> {
+        if let Some(first) = inbox.first() {
+            self.last = Some(first.msg.clone());
+        }
+        match &self.last {
+            Some(msg) => (0..self.n)
+                .map(|i| Outgoing::new(NodeId::new(i), msg.clone()))
+                .collect(),
+            None => Vec::new(),
+        }
+    }
+}
+
+/// Wraps a closure as a strategy, for protocol-specific attacks defined in
+/// tests and benchmarks.
+pub struct ScriptedByzantine<M, F>
+where
+    F: FnMut(Round, &[Delivered<M>]) -> Vec<Outgoing<M>>,
+{
+    script: F,
+    _marker: std::marker::PhantomData<M>,
+}
+
+impl<M, F> ScriptedByzantine<M, F>
+where
+    F: FnMut(Round, &[Delivered<M>]) -> Vec<Outgoing<M>>,
+{
+    /// Wraps `script` as a Byzantine strategy.
+    pub fn new(script: F) -> Self {
+        ScriptedByzantine {
+            script,
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+impl<M, F> std::fmt::Debug for ScriptedByzantine<M, F>
+where
+    F: FnMut(Round, &[Delivered<M>]) -> Vec<Outgoing<M>>,
+{
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ScriptedByzantine").finish_non_exhaustive()
+    }
+}
+
+impl<M: Payload, F> ByzantineStrategy<M> for ScriptedByzantine<M, F>
+where
+    F: FnMut(Round, &[Delivered<M>]) -> Vec<Outgoing<M>>,
+{
+    fn act(&mut self, round: Round, inbox: &[Delivered<M>]) -> Vec<Outgoing<M>> {
+        (self.script)(round, inbox)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn silent_sends_nothing() {
+        let mut s = SilentByzantine;
+        let inbox = vec![Delivered::new(NodeId::new(1), true)];
+        let out: Vec<Outgoing<bool>> = s.act(Round::ZERO, &inbox);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn replay_echoes_received_messages() {
+        let mut s = ReplayByzantine::new(10, 3, 7);
+        let inbox = vec![Delivered::new(NodeId::new(1), true)];
+        let out: Vec<Outgoing<bool>> = s.act(Round::ZERO, &inbox);
+        assert_eq!(out.len(), 3);
+        assert!(out.iter().all(|o| o.msg));
+    }
+
+    #[test]
+    fn flood_broadcasts_last_seen() {
+        let mut s = FloodByzantine::new(4);
+        let out: Vec<Outgoing<bool>> = s.act(Round::ZERO, &[]);
+        assert!(out.is_empty(), "nothing to flood yet");
+        let inbox = vec![Delivered::new(NodeId::new(2), true)];
+        let out = s.act(Round::new(1), &inbox);
+        assert_eq!(out.len(), 4);
+        let out = s.act(Round::new(2), &[]);
+        assert_eq!(out.len(), 4, "keeps flooding the remembered value");
+    }
+
+    #[test]
+    fn scripted_runs_closure() {
+        let mut s = ScriptedByzantine::new(|round: Round, _inbox: &[Delivered<bool>]| {
+            if round.as_u64() == 1 {
+                vec![Outgoing::new(NodeId::new(0), false)]
+            } else {
+                Vec::new()
+            }
+        });
+        assert!(s.act(Round::ZERO, &[]).is_empty());
+        assert_eq!(s.act(Round::new(1), &[]).len(), 1);
+    }
+}

@@ -1,0 +1,51 @@
+//! Error type for the simulator.
+
+use std::error::Error as StdError;
+use std::fmt;
+
+/// Errors produced by the runners.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SimError {
+    /// The runner was constructed with zero nodes.
+    EmptySystem,
+    /// A protocol violated an invariant the simulator enforces (for example
+    /// changing an irrevocable decision).
+    ProtocolViolation(String),
+    /// A configuration value was invalid (for example a fault budget larger
+    /// than the number of nodes).
+    InvalidConfig(String),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::EmptySystem => write!(f, "simulation requires at least one node"),
+            SimError::ProtocolViolation(msg) => write!(f, "protocol violation: {msg}"),
+            SimError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl StdError for SimError {}
+
+/// Convenience result alias for simulator operations.
+pub type SimResult<T> = Result<T, SimError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            SimError::EmptySystem.to_string(),
+            "simulation requires at least one node"
+        );
+        assert!(SimError::ProtocolViolation("decision changed".into())
+            .to_string()
+            .contains("decision changed"));
+        assert!(SimError::InvalidConfig("t > n".into())
+            .to_string()
+            .contains("t > n"));
+    }
+}

@@ -1,0 +1,109 @@
+//! # dft-sim — synchronous message-passing network simulator
+//!
+//! The substrate beneath the `linear-dft` reproduction of *Deterministic
+//! Fault-Tolerant Distributed Computing in Linear Time and Communication*
+//! (Chlebus, Kowalski, Olkowski, PODC 2023).  The paper assumes a synchronous
+//! complete network of `n` nodes prone to crash or authenticated-Byzantine
+//! failures, in either the multi-port or the single-port communication model
+//! (Section 2); this crate provides that execution environment:
+//!
+//! * [`SyncProtocol`] / [`Runner`] — the multi-port model: in each round a
+//!   node may send to any set of nodes and receives everything addressed to
+//!   it in that round.
+//! * [`SinglePortProtocol`] / [`SinglePortRunner`] — the single-port model of
+//!   Section 8: one send and one buffered-port poll per node per round.
+//! * [`CrashAdversary`] and concrete schedules ([`NoFaults`],
+//!   [`FixedCrashSchedule`], [`RandomCrashes`], [`TargetedCrashes`],
+//!   [`AdaptiveSplitAdversary`]) — adaptive crash fault injection limited by
+//!   the fault budget `t`.
+//! * [`adversary::byzantine`] — Byzantine node strategies for the
+//!   authenticated-Byzantine model of Section 7.
+//! * [`Metrics`] / [`ExecutionReport`] — the paper's performance accounting:
+//!   rounds until all non-faulty nodes halt, point-to-point messages and the
+//!   total bits they carry, counting only non-faulty senders in the Byzantine
+//!   model.
+//!
+//! # Quick example
+//!
+//! ```
+//! use dft_sim::{
+//!     CrashDirective, Delivered, FixedCrashSchedule, NodeId, Outgoing, Round, Runner,
+//!     SyncProtocol,
+//! };
+//!
+//! /// Every node broadcasts the OR of everything it has seen, then decides
+//! /// after three rounds.
+//! struct FloodOr {
+//!     n: usize,
+//!     value: bool,
+//!     rounds: u64,
+//!     decided: Option<bool>,
+//! }
+//!
+//! impl SyncProtocol for FloodOr {
+//!     type Msg = bool;
+//!     type Output = bool;
+//!
+//!     fn send(&mut self, _round: Round) -> Vec<Outgoing<bool>> {
+//!         (0..self.n).map(|i| Outgoing::new(NodeId::new(i), self.value)).collect()
+//!     }
+//!
+//!     fn receive(&mut self, _round: Round, inbox: &[Delivered<bool>]) {
+//!         for m in inbox {
+//!             self.value |= m.msg;
+//!         }
+//!         self.rounds += 1;
+//!         if self.rounds == 3 {
+//!             self.decided = Some(self.value);
+//!         }
+//!     }
+//!
+//!     fn output(&self) -> Option<bool> {
+//!         self.decided
+//!     }
+//!
+//!     fn has_halted(&self) -> bool {
+//!         self.decided.is_some()
+//!     }
+//! }
+//!
+//! let n = 8;
+//! let nodes: Vec<FloodOr> = (0..n)
+//!     .map(|i| FloodOr { n, value: i == 0, rounds: 0, decided: None })
+//!     .collect();
+//! let schedule = FixedCrashSchedule::new().crash_at(1, CrashDirective::silent(NodeId::new(2)));
+//! let mut runner = Runner::with_adversary(nodes, Box::new(schedule), 1).unwrap();
+//! let report = runner.run(10);
+//! assert!(report.non_faulty_deciders_agree());
+//! assert_eq!(report.agreed_value(), Some(&true));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adversary;
+mod error;
+mod message;
+mod metrics;
+mod node;
+mod protocol;
+mod report;
+mod round;
+mod runner;
+mod single_port;
+mod trace;
+
+pub use adversary::{
+    AdaptiveSplitAdversary, AdversaryView, CrashAdversary, CrashDirective, DeliveryFilter,
+    FixedCrashSchedule, NoFaults, RandomCrashes, TargetedCrashes,
+};
+pub use error::{SimError, SimResult};
+pub use message::{Delivered, Outgoing, Payload};
+pub use metrics::Metrics;
+pub use node::{NodeId, NodeSet};
+pub use protocol::{NodeStatus, SinglePortProtocol, SyncProtocol};
+pub use report::{ExecutionReport, Termination};
+pub use round::Round;
+pub use runner::{run_with_crashes, Participant, Runner};
+pub use single_port::SinglePortRunner;
+pub use trace::{Event, Trace};

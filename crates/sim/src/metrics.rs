@@ -1,0 +1,99 @@
+//! Communication and runtime metrics.
+//!
+//! The paper measures (Section 2):
+//!
+//! * **running time** — the number of rounds until all non-faulty nodes have
+//!   halted;
+//! * **communication** — either the number of point-to-point messages or the
+//!   total number of bits carried in them; for Byzantine faults, only
+//!   messages sent by non-faulty nodes are counted.
+
+use serde::{Deserialize, Serialize};
+
+/// Aggregated communication counters for one execution.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Metrics {
+    /// Rounds elapsed until the runner stopped (all non-faulty nodes halted
+    /// or the round cap was hit).
+    pub rounds: u64,
+    /// Point-to-point messages sent by counted (non-faulty) nodes.
+    pub messages: u64,
+    /// Total bits in counted messages.
+    pub bits: u64,
+    /// Messages per round, for plotting communication profiles.
+    pub messages_per_round: Vec<u64>,
+    /// Number of nodes that crashed during the execution.
+    pub crashes: u64,
+    /// Messages sent by Byzantine nodes (informational; excluded from
+    /// `messages`).
+    pub byzantine_messages: u64,
+}
+
+impl Metrics {
+    /// Creates an empty metrics record.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a counted message of `bits` bits sent in round `round`.
+    pub fn record_message(&mut self, round: u64, bits: u64) {
+        self.messages += 1;
+        self.bits += bits;
+        if self.messages_per_round.len() <= round as usize {
+            self.messages_per_round.resize(round as usize + 1, 0);
+        }
+        self.messages_per_round[round as usize] += 1;
+    }
+
+    /// Records a message sent by a Byzantine node (not counted).
+    pub fn record_byzantine_message(&mut self) {
+        self.byzantine_messages += 1;
+    }
+
+    /// Records a crash.
+    pub fn record_crash(&mut self) {
+        self.crashes += 1;
+    }
+
+    /// Average messages per node, given the system size.
+    pub fn messages_per_node(&self, n: usize) -> f64 {
+        if n == 0 {
+            0.0
+        } else {
+            self.messages as f64 / n as f64
+        }
+    }
+
+    /// Peak per-round message count.
+    pub fn peak_messages_in_a_round(&self) -> u64 {
+        self.messages_per_round.iter().copied().max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_aggregates() {
+        let mut m = Metrics::new();
+        m.record_message(0, 1);
+        m.record_message(0, 1);
+        m.record_message(3, 8);
+        m.record_crash();
+        m.record_byzantine_message();
+        assert_eq!(m.messages, 3);
+        assert_eq!(m.bits, 10);
+        assert_eq!(m.messages_per_round, vec![2, 0, 0, 1]);
+        assert_eq!(m.crashes, 1);
+        assert_eq!(m.byzantine_messages, 1);
+        assert_eq!(m.peak_messages_in_a_round(), 2);
+        assert!((m.messages_per_node(3) - 1.0).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn messages_per_node_handles_empty_system() {
+        let m = Metrics::new();
+        assert_eq!(m.messages_per_node(0), 0.0);
+    }
+}

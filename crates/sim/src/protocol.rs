@@ -1,0 +1,158 @@
+//! Protocol state-machine traits for the multi-port and single-port models.
+
+use crate::message::{Delivered, Outgoing, Payload};
+use crate::node::NodeId;
+use crate::round::Round;
+
+/// A deterministic protocol state machine for the **multi-port** synchronous
+/// model (Section 2 of the paper): in every round a node may send a message
+/// to any set of nodes and receives all messages addressed to it in that
+/// round.
+///
+/// The runner drives each node through rounds:
+///
+/// 1. [`SyncProtocol::send`] is called once to collect the node's outgoing
+///    messages for the round;
+/// 2. the adversary may crash nodes, possibly suppressing part of a crashing
+///    node's output;
+/// 3. [`SyncProtocol::receive`] is called once with every message delivered
+///    to the node in this round;
+/// 4. the node may record a decision ([`SyncProtocol::output`]) and/or halt
+///    ([`SyncProtocol::has_halted`]).
+///
+/// Implementations must be deterministic: the paper's algorithms are
+/// deterministic and the test-suite relies on reproducible executions.
+///
+/// # Examples
+///
+/// A trivial protocol in which every node decides on its input in round 0 and
+/// halts:
+///
+/// ```
+/// use dft_sim::{Delivered, NodeId, Outgoing, Round, SyncProtocol};
+///
+/// struct Trivial {
+///     input: bool,
+///     decided: Option<bool>,
+/// }
+///
+/// impl SyncProtocol for Trivial {
+///     type Msg = bool;
+///     type Output = bool;
+///
+///     fn send(&mut self, _round: Round) -> Vec<Outgoing<bool>> {
+///         Vec::new()
+///     }
+///
+///     fn receive(&mut self, _round: Round, _inbox: &[Delivered<bool>]) {
+///         self.decided = Some(self.input);
+///     }
+///
+///     fn output(&self) -> Option<bool> {
+///         self.decided
+///     }
+///
+///     fn has_halted(&self) -> bool {
+///         self.decided.is_some()
+///     }
+/// }
+/// ```
+pub trait SyncProtocol {
+    /// Payload type of messages exchanged by this protocol.
+    type Msg: Payload;
+    /// Decision value or other terminal output of a node.
+    type Output: Clone + std::fmt::Debug;
+
+    /// Messages this node sends at the beginning of `round`.
+    fn send(&mut self, round: Round) -> Vec<Outgoing<Self::Msg>>;
+
+    /// Processes all messages delivered to this node during `round`.
+    fn receive(&mut self, round: Round, inbox: &[Delivered<Self::Msg>]);
+
+    /// The node's decision, if it has made one.
+    ///
+    /// Once `Some`, the value must never change (decisions are irrevocable,
+    /// Section 2).  The runners assert this in debug builds.
+    fn output(&self) -> Option<Self::Output>;
+
+    /// Whether the node has voluntarily halted.
+    ///
+    /// A halted node no longer sends or receives messages and is considered
+    /// non-faulty for the rest of the execution.
+    fn has_halted(&self) -> bool;
+}
+
+/// A deterministic protocol state machine for the **single-port** model
+/// (Section 8): in every round a node may send at most one message and may
+/// poll at most one of its in-ports, retrieving the messages buffered there.
+///
+/// Ports are buffered and give no delivery signal: a node must decide which
+/// port to poll without knowing whether anything is waiting there.
+pub trait SinglePortProtocol {
+    /// Payload type of messages exchanged by this protocol.
+    type Msg: Payload;
+    /// Decision value or other terminal output of a node.
+    type Output: Clone + std::fmt::Debug;
+
+    /// The at-most-one message this node sends at the beginning of `round`.
+    fn send(&mut self, round: Round) -> Option<Outgoing<Self::Msg>>;
+
+    /// The in-port (identified by the sending node) this node polls in
+    /// `round`, or `None` to stay idle.
+    fn poll(&mut self, round: Round) -> Option<NodeId>;
+
+    /// Processes the messages drained from the polled port.
+    ///
+    /// Called only when [`SinglePortProtocol::poll`] returned `Some`; `msgs`
+    /// may be empty if nothing was buffered on that port.
+    fn receive(&mut self, round: Round, from: NodeId, msgs: Vec<Self::Msg>);
+
+    /// The node's decision, if it has made one.
+    fn output(&self) -> Option<Self::Output>;
+
+    /// Whether the node has voluntarily halted.
+    fn has_halted(&self) -> bool;
+}
+
+/// Blanket helper: the status of a node as seen by a runner.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NodeStatus {
+    /// The node is operational and still participating.
+    Running,
+    /// The node halted voluntarily (non-faulty).
+    Halted,
+    /// The node crashed (faulty) at the recorded round.
+    Crashed(Round),
+}
+
+impl NodeStatus {
+    /// Whether the node is still operational (running, not crashed and not
+    /// halted).
+    pub fn is_running(self) -> bool {
+        matches!(self, NodeStatus::Running)
+    }
+
+    /// Whether the node crashed.
+    pub fn is_crashed(self) -> bool {
+        matches!(self, NodeStatus::Crashed(_))
+    }
+
+    /// Whether the node halted voluntarily.
+    pub fn is_halted(self) -> bool {
+        matches!(self, NodeStatus::Halted)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_status_predicates() {
+        assert!(NodeStatus::Running.is_running());
+        assert!(!NodeStatus::Running.is_crashed());
+        assert!(NodeStatus::Halted.is_halted());
+        assert!(NodeStatus::Crashed(Round::new(3)).is_crashed());
+        assert!(!NodeStatus::Crashed(Round::new(3)).is_running());
+    }
+}

@@ -1,0 +1,566 @@
+//! The multi-port synchronous runner.
+//!
+//! Drives a set of protocol state machines through lock-step rounds under a
+//! crash adversary and/or Byzantine participants, collecting the metrics the
+//! paper reports: rounds until all non-faulty nodes halt, messages and bits
+//! sent by non-faulty nodes.
+
+use crate::adversary::byzantine::ByzantineStrategy;
+use crate::adversary::{AdversaryView, CrashAdversary, NoFaults};
+use crate::error::{SimError, SimResult};
+use crate::message::{Delivered, Outgoing, Payload};
+use crate::metrics::Metrics;
+use crate::node::{NodeId, NodeSet};
+use crate::protocol::{NodeStatus, SyncProtocol};
+use crate::report::{ExecutionReport, Termination};
+use crate::round::Round;
+use crate::trace::{Event, Trace};
+
+/// A participant in an execution: either an honest node running the protocol
+/// under test or a Byzantine node running an arbitrary strategy.
+pub enum Participant<P: SyncProtocol> {
+    /// An honest node executing the protocol.
+    Honest(P),
+    /// A Byzantine node executing an adversarial strategy over the same
+    /// message type.
+    Byzantine(Box<dyn ByzantineStrategy<P::Msg>>),
+}
+
+impl<P: SyncProtocol> Participant<P> {
+    fn is_byzantine(&self) -> bool {
+        matches!(self, Participant::Byzantine(_))
+    }
+}
+
+impl<P: SyncProtocol> std::fmt::Debug for Participant<P> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Participant::Honest(_) => write!(f, "Honest"),
+            Participant::Byzantine(_) => write!(f, "Byzantine"),
+        }
+    }
+}
+
+/// Multi-port synchronous runner.
+///
+/// # Examples
+///
+/// Running a toy protocol in which every node halts immediately:
+///
+/// ```
+/// use dft_sim::{Delivered, Outgoing, Round, Runner, SyncProtocol};
+///
+/// struct Halt;
+/// impl SyncProtocol for Halt {
+///     type Msg = bool;
+///     type Output = bool;
+///     fn send(&mut self, _: Round) -> Vec<Outgoing<bool>> { Vec::new() }
+///     fn receive(&mut self, _: Round, _: &[Delivered<bool>]) {}
+///     fn output(&self) -> Option<bool> { Some(true) }
+///     fn has_halted(&self) -> bool { true }
+/// }
+///
+/// let mut runner = Runner::new((0..4).map(|_| Halt).collect()).unwrap();
+/// let report = runner.run(10);
+/// assert!(report.all_non_faulty_decided());
+/// assert_eq!(report.metrics.rounds, 1);
+/// ```
+pub struct Runner<P: SyncProtocol> {
+    participants: Vec<Participant<P>>,
+    status: Vec<NodeStatus>,
+    outputs: Vec<Option<P::Output>>,
+    halted_at: Vec<Option<Round>>,
+    crashed_at: Vec<Option<Round>>,
+    adversary: Box<dyn CrashAdversary>,
+    fault_budget: usize,
+    crashes: usize,
+    round: Round,
+    metrics: Metrics,
+    trace: Trace,
+    inboxes: Vec<Vec<Delivered<P::Msg>>>,
+}
+
+impl<P: SyncProtocol> Runner<P> {
+    /// Creates a runner over honest nodes only, with no faults.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::EmptySystem`] if `protocols` is empty.
+    pub fn new(protocols: Vec<P>) -> SimResult<Self> {
+        Self::with_adversary(protocols, Box::new(NoFaults), 0)
+    }
+
+    /// Creates a runner over honest nodes with a crash adversary limited to
+    /// `fault_budget` crashes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::EmptySystem`] if `protocols` is empty, or
+    /// [`SimError::InvalidConfig`] if the budget is not smaller than the
+    /// number of nodes.
+    pub fn with_adversary(
+        protocols: Vec<P>,
+        adversary: Box<dyn CrashAdversary>,
+        fault_budget: usize,
+    ) -> SimResult<Self> {
+        let participants = protocols.into_iter().map(Participant::Honest).collect();
+        Self::with_participants(participants, adversary, fault_budget)
+    }
+
+    /// Creates a runner over a mix of honest and Byzantine participants.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::EmptySystem`] if `participants` is empty, or
+    /// [`SimError::InvalidConfig`] if the crash budget is not smaller than
+    /// the number of nodes.
+    pub fn with_participants(
+        participants: Vec<Participant<P>>,
+        adversary: Box<dyn CrashAdversary>,
+        fault_budget: usize,
+    ) -> SimResult<Self> {
+        if participants.is_empty() {
+            return Err(SimError::EmptySystem);
+        }
+        if fault_budget >= participants.len() {
+            return Err(SimError::InvalidConfig(format!(
+                "fault budget {fault_budget} must be smaller than the number of nodes {}",
+                participants.len()
+            )));
+        }
+        let n = participants.len();
+        Ok(Runner {
+            participants,
+            status: vec![NodeStatus::Running; n],
+            outputs: (0..n).map(|_| None).collect(),
+            halted_at: vec![None; n],
+            crashed_at: vec![None; n],
+            adversary,
+            fault_budget,
+            crashes: 0,
+            round: Round::ZERO,
+            metrics: Metrics::new(),
+            trace: Trace::disabled(),
+            inboxes: (0..n).map(|_| Vec::new()).collect(),
+        })
+    }
+
+    /// Enables coarse-grained event tracing.
+    pub fn enable_trace(&mut self) -> &mut Self {
+        self.trace = Trace::enabled();
+        self
+    }
+
+    /// Number of nodes.
+    pub fn n(&self) -> usize {
+        self.participants.len()
+    }
+
+    /// The current round (the next one to be executed).
+    pub fn round(&self) -> Round {
+        self.round
+    }
+
+    /// The recorded trace (empty unless [`Runner::enable_trace`] was called).
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Runs rounds until every non-faulty node has halted or `max_rounds`
+    /// rounds have been executed, and returns the execution report.
+    pub fn run(&mut self, max_rounds: u64) -> ExecutionReport<P::Output> {
+        let mut termination = Termination::RoundLimit;
+        for _ in 0..max_rounds {
+            self.step();
+            if self.all_non_faulty_halted() {
+                termination = Termination::AllHalted;
+                break;
+            }
+        }
+        self.report(termination)
+    }
+
+    /// Whether every node that has not crashed has halted voluntarily.
+    pub fn all_non_faulty_halted(&self) -> bool {
+        self.status
+            .iter()
+            .enumerate()
+            .all(|(i, s)| match s {
+                NodeStatus::Running => self.participants[i].is_byzantine(),
+                NodeStatus::Halted | NodeStatus::Crashed(_) => true,
+            })
+    }
+
+    /// Executes one synchronous round: collect sends, apply the crash
+    /// adversary, deliver, receive, update statuses.
+    pub fn step(&mut self) {
+        let n = self.n();
+        let round = self.round;
+
+        // Phase 1: collect outgoing messages from every operational participant.
+        let mut outgoing: Vec<Vec<Outgoing<P::Msg>>> = Vec::with_capacity(n);
+        for (i, participant) in self.participants.iter_mut().enumerate() {
+            let msgs = match (&self.status[i], participant) {
+                (NodeStatus::Running, Participant::Honest(p)) => p.send(round),
+                (NodeStatus::Running, Participant::Byzantine(b)) => {
+                    let inbox = std::mem::take(&mut self.inboxes[i]);
+                    // Byzantine nodes act on last round's inbox when sending.
+                    let msgs = b.act(round, &inbox);
+                    self.inboxes[i] = inbox;
+                    msgs
+                }
+                _ => Vec::new(),
+            };
+            outgoing.push(msgs);
+        }
+
+        // Phase 2: let the crash adversary pick this round's victims.
+        let alive = NodeSet::from_iter(
+            n,
+            self.status
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| !s.is_crashed())
+                .map(|(i, _)| NodeId::new(i)),
+        );
+        let crashed_set = NodeSet::from_iter(
+            n,
+            self.status
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| s.is_crashed())
+                .map(|(i, _)| NodeId::new(i)),
+        );
+        let send_intents: Vec<Vec<NodeId>> = outgoing
+            .iter()
+            .map(|msgs| msgs.iter().map(|m| m.to).collect())
+            .collect();
+        let poll_intents: Vec<Option<NodeId>> = Vec::new();
+        let view = AdversaryView {
+            round,
+            alive: &alive,
+            crashed: &crashed_set,
+            send_intents: &send_intents,
+            poll_intents: &poll_intents,
+            remaining_budget: self.fault_budget - self.crashes,
+        };
+        let directives = self.adversary.plan_round(&view);
+        let mut filters: Vec<Option<crate::adversary::DeliveryFilter>> = vec![None; n];
+        for directive in directives {
+            if self.crashes >= self.fault_budget {
+                break;
+            }
+            let idx = directive.node.index();
+            if idx >= n || self.status[idx].is_crashed() {
+                continue;
+            }
+            self.status[idx] = NodeStatus::Crashed(round);
+            self.crashed_at[idx] = Some(round);
+            self.crashes += 1;
+            self.metrics.record_crash();
+            self.trace.record(Event::Crashed {
+                round,
+                node: directive.node,
+            });
+            filters[idx] = Some(directive.deliver);
+        }
+
+        // Phase 3: deliver messages, counting only those actually dispatched
+        // by non-Byzantine senders.
+        let mut inboxes: Vec<Vec<Delivered<P::Msg>>> = (0..n).map(|_| Vec::new()).collect();
+        for (sender_idx, msgs) in outgoing.into_iter().enumerate() {
+            let sender = NodeId::new(sender_idx);
+            let crashed_this_round = filters[sender_idx].is_some();
+            for (msg_idx, out) in msgs.into_iter().enumerate() {
+                if crashed_this_round
+                    && !filters[sender_idx]
+                        .as_ref()
+                        .expect("filter present")
+                        .allows(msg_idx, out.to)
+                {
+                    continue;
+                }
+                if self.participants[sender_idx].is_byzantine() {
+                    self.metrics.record_byzantine_message();
+                } else {
+                    self.metrics
+                        .record_message(round.as_u64(), out.msg.bit_len());
+                }
+                let dest = out.to.index();
+                if dest < n && self.status[dest].is_running() {
+                    inboxes[dest].push(Delivered::new(sender, out.msg));
+                }
+            }
+        }
+
+        // Phase 4: receive and update statuses.
+        for (i, participant) in self.participants.iter_mut().enumerate() {
+            if !self.status[i].is_running() {
+                continue;
+            }
+            match participant {
+                Participant::Honest(p) => {
+                    p.receive(round, &inboxes[i]);
+                    let new_output = p.output();
+                    if let Some(output) = new_output {
+                        if self.outputs[i].is_none() {
+                            self.trace.record(Event::Decided {
+                                round,
+                                node: NodeId::new(i),
+                                value: format!("{output:?}"),
+                            });
+                            self.outputs[i] = Some(output);
+                        }
+                    }
+                    if p.has_halted() {
+                        self.status[i] = NodeStatus::Halted;
+                        self.halted_at[i] = Some(round);
+                        self.trace.record(Event::Halted {
+                            round,
+                            node: NodeId::new(i),
+                        });
+                    }
+                }
+                Participant::Byzantine(_) => {
+                    // Byzantine nodes just remember their inbox for next round.
+                    self.inboxes[i] = std::mem::take(&mut inboxes[i]);
+                }
+            }
+        }
+
+        self.metrics.rounds = round.as_u64() + 1;
+        self.round = round.next();
+    }
+
+    /// Builds the final report.
+    fn report(&mut self, termination: Termination) -> ExecutionReport<P::Output> {
+        let n = self.n();
+        let byzantine = NodeSet::from_iter(
+            n,
+            self.participants
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| p.is_byzantine())
+                .map(|(i, _)| NodeId::new(i)),
+        );
+        ExecutionReport {
+            outputs: self.outputs.clone(),
+            crashed_at: self.crashed_at.clone(),
+            halted_at: self.halted_at.clone(),
+            byzantine,
+            metrics: self.metrics.clone(),
+            termination,
+        }
+    }
+}
+
+impl<P: SyncProtocol> std::fmt::Debug for Runner<P> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Runner")
+            .field("n", &self.n())
+            .field("round", &self.round)
+            .field("crashes", &self.crashes)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Convenience: runs `protocols` under `adversary` with budget `t` for at
+/// most `max_rounds` rounds and returns the report.
+///
+/// # Errors
+///
+/// Propagates construction errors from [`Runner::with_adversary`].
+pub fn run_with_crashes<P: SyncProtocol>(
+    protocols: Vec<P>,
+    adversary: Box<dyn CrashAdversary>,
+    fault_budget: usize,
+    max_rounds: u64,
+) -> SimResult<ExecutionReport<P::Output>> {
+    let mut runner = Runner::with_adversary(protocols, adversary, fault_budget)?;
+    Ok(runner.run(max_rounds))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adversary::{CrashDirective, FixedCrashSchedule};
+
+    /// Every node floods its input to all nodes each round; decides on the OR
+    /// of everything seen after 3 rounds.
+    struct FloodOr {
+        n: usize,
+        value: bool,
+        decided: Option<bool>,
+        rounds_seen: u64,
+    }
+
+    impl FloodOr {
+        fn new(n: usize, value: bool) -> Self {
+            FloodOr {
+                n,
+                value,
+                decided: None,
+                rounds_seen: 0,
+            }
+        }
+    }
+
+    impl SyncProtocol for FloodOr {
+        type Msg = bool;
+        type Output = bool;
+
+        fn send(&mut self, _round: Round) -> Vec<Outgoing<bool>> {
+            (0..self.n)
+                .map(|i| Outgoing::new(NodeId::new(i), self.value))
+                .collect()
+        }
+
+        fn receive(&mut self, _round: Round, inbox: &[Delivered<bool>]) {
+            for msg in inbox {
+                self.value |= msg.msg;
+            }
+            self.rounds_seen += 1;
+            if self.rounds_seen >= 3 {
+                self.decided = Some(self.value);
+            }
+        }
+
+        fn output(&self) -> Option<bool> {
+            self.decided
+        }
+
+        fn has_halted(&self) -> bool {
+            self.decided.is_some()
+        }
+    }
+
+    #[test]
+    fn rejects_empty_system() {
+        let protocols: Vec<FloodOr> = Vec::new();
+        assert_eq!(Runner::new(protocols).err(), Some(SimError::EmptySystem));
+    }
+
+    #[test]
+    fn rejects_budget_not_below_n() {
+        let protocols = vec![FloodOr::new(2, false), FloodOr::new(2, true)];
+        let err = Runner::with_adversary(protocols, Box::new(NoFaults), 2).err();
+        assert!(matches!(err, Some(SimError::InvalidConfig(_))));
+    }
+
+    #[test]
+    fn flood_or_reaches_agreement_without_faults() {
+        let n = 8;
+        let protocols: Vec<FloodOr> = (0..n).map(|i| FloodOr::new(n, i == 3)).collect();
+        let mut runner = Runner::new(protocols).unwrap();
+        runner.enable_trace();
+        let report = runner.run(10);
+        assert_eq!(report.termination, Termination::AllHalted);
+        assert!(report.all_non_faulty_decided());
+        assert!(report.non_faulty_deciders_agree());
+        assert_eq!(report.agreed_value(), Some(&true));
+        assert_eq!(report.metrics.rounds, 3);
+        // Every node sends n messages in each of 3 rounds.
+        assert_eq!(report.metrics.messages, (n * n * 3) as u64);
+        assert_eq!(report.metrics.bits, (n * n * 3) as u64);
+        assert!(!runner.trace().is_empty());
+    }
+
+    #[test]
+    fn silent_crash_suppresses_messages() {
+        let n = 4;
+        // Only node 0 holds `true`; it crashes silently in round 0, so nobody
+        // ever learns the value and all decide `false`.
+        let protocols: Vec<FloodOr> = (0..n).map(|i| FloodOr::new(n, i == 0)).collect();
+        let adversary =
+            FixedCrashSchedule::new().crash_at(0, CrashDirective::silent(NodeId::new(0)));
+        let report = run_with_crashes(protocols, Box::new(adversary), 1, 10).unwrap();
+        assert_eq!(report.metrics.crashes, 1);
+        assert!(report.non_faulty_deciders_agree());
+        assert_eq!(report.agreed_value(), Some(&false));
+        assert_eq!(report.non_faulty().len(), n - 1);
+    }
+
+    #[test]
+    fn after_send_crash_still_delivers() {
+        let n = 4;
+        let protocols: Vec<FloodOr> = (0..n).map(|i| FloodOr::new(n, i == 0)).collect();
+        let adversary =
+            FixedCrashSchedule::new().crash_at(0, CrashDirective::after_send(NodeId::new(0)));
+        let report = run_with_crashes(protocols, Box::new(adversary), 1, 10).unwrap();
+        assert_eq!(report.agreed_value(), Some(&true));
+    }
+
+    #[test]
+    fn prefix_crash_delivers_partial_output() {
+        use crate::adversary::DeliveryFilter;
+        let n = 6;
+        let protocols: Vec<FloodOr> = (0..n).map(|i| FloodOr::new(n, i == 0)).collect();
+        // Node 0 reaches only its first two destinations (nodes 0 and 1) before crashing.
+        let adversary = FixedCrashSchedule::new().crash_at(
+            0,
+            CrashDirective {
+                node: NodeId::new(0),
+                deliver: DeliveryFilter::Prefix(2),
+            },
+        );
+        let report = run_with_crashes(protocols, Box::new(adversary), 1, 10).unwrap();
+        // Node 1 got the value and re-floods it, so everyone still decides true.
+        assert_eq!(report.agreed_value(), Some(&true));
+        assert!(report.non_faulty_deciders_agree());
+    }
+
+    #[test]
+    fn fault_budget_is_enforced() {
+        let n = 5;
+        let protocols: Vec<FloodOr> = (0..n).map(|_| FloodOr::new(n, false)).collect();
+        let adversary = FixedCrashSchedule::new().crash_all_at(0, (0..4).map(NodeId::new));
+        let report = run_with_crashes(protocols, Box::new(adversary), 2, 10).unwrap();
+        assert_eq!(report.metrics.crashes, 2, "only budget-many crashes applied");
+    }
+
+    #[test]
+    fn byzantine_messages_not_counted() {
+        use crate::adversary::byzantine::FloodByzantine;
+        let n = 4;
+        let mut participants: Vec<Participant<FloodOr>> = (1..n)
+            .map(|i| Participant::Honest(FloodOr::new(n, i == 1)))
+            .collect();
+        participants.insert(
+            0,
+            Participant::Byzantine(Box::new(FloodByzantine::<bool>::new(n))),
+        );
+        let mut runner =
+            Runner::with_participants(participants, Box::new(NoFaults), 0).unwrap();
+        let report = runner.run(10);
+        assert!(report.byzantine.contains(NodeId::new(0)));
+        assert_eq!(report.non_faulty().len(), n - 1);
+        // Honest nodes: 3 nodes * n messages * 3 rounds.
+        assert_eq!(report.metrics.messages, (3 * n * 3) as u64);
+        assert!(report.metrics.byzantine_messages > 0);
+        assert!(report.non_faulty_deciders_agree());
+    }
+
+    #[test]
+    fn round_limit_reported() {
+        // A protocol that never halts.
+        struct Never;
+        impl SyncProtocol for Never {
+            type Msg = bool;
+            type Output = bool;
+            fn send(&mut self, _: Round) -> Vec<Outgoing<bool>> {
+                Vec::new()
+            }
+            fn receive(&mut self, _: Round, _: &[Delivered<bool>]) {}
+            fn output(&self) -> Option<bool> {
+                None
+            }
+            fn has_halted(&self) -> bool {
+                false
+            }
+        }
+        let mut runner = Runner::new(vec![Never, Never]).unwrap();
+        let report = runner.run(5);
+        assert_eq!(report.termination, Termination::RoundLimit);
+        assert_eq!(report.metrics.rounds, 5);
+    }
+}

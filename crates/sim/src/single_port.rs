@@ -1,0 +1,477 @@
+//! The single-port synchronous runner (Section 8 of the paper).
+//!
+//! In the single-port model a node may choose only one other node to send a
+//! message to in a round, and may retrieve buffered messages from only one of
+//! its in-ports per round.  A node gets no signal that a port holds pending
+//! messages; it must decide which port to poll blindly.  Messages sent to a
+//! port are buffered until polled.
+
+use std::collections::VecDeque;
+
+use crate::adversary::{AdversaryView, CrashAdversary, NoFaults};
+use crate::error::{SimError, SimResult};
+use crate::message::Payload;
+use crate::metrics::Metrics;
+use crate::node::{NodeId, NodeSet};
+use crate::protocol::{NodeStatus, SinglePortProtocol};
+use crate::report::{ExecutionReport, Termination};
+use crate::round::Round;
+use crate::trace::{Event, Trace};
+
+/// Single-port synchronous runner.
+///
+/// # Examples
+///
+/// ```
+/// use dft_sim::{NodeId, Outgoing, Round, SinglePortProtocol, SinglePortRunner};
+///
+/// /// Node 0 sends its value to node 1 in round 0; node 1 polls port 0 in
+/// /// round 1 and decides on what it finds.
+/// struct Relay {
+///     me: usize,
+///     value: bool,
+///     decided: Option<bool>,
+/// }
+///
+/// impl SinglePortProtocol for Relay {
+///     type Msg = bool;
+///     type Output = bool;
+///
+///     fn send(&mut self, round: Round) -> Option<Outgoing<bool>> {
+///         (self.me == 0 && round.as_u64() == 0).then(|| Outgoing::new(NodeId::new(1), self.value))
+///     }
+///
+///     fn poll(&mut self, round: Round) -> Option<NodeId> {
+///         (self.me == 1 && round.as_u64() == 1).then(|| NodeId::new(0))
+///     }
+///
+///     fn receive(&mut self, _round: Round, _from: NodeId, msgs: Vec<bool>) {
+///         if let Some(&v) = msgs.first() {
+///             self.decided = Some(v);
+///         }
+///     }
+///
+///     fn output(&self) -> Option<bool> {
+///         self.decided.or(if self.me == 0 { Some(self.value) } else { None })
+///     }
+///
+///     fn has_halted(&self) -> bool {
+///         self.output().is_some()
+///     }
+/// }
+///
+/// let nodes = vec![
+///     Relay { me: 0, value: true, decided: None },
+///     Relay { me: 1, value: false, decided: None },
+/// ];
+/// let mut runner = SinglePortRunner::new(nodes).unwrap();
+/// let report = runner.run(5);
+/// assert_eq!(report.agreed_value(), Some(&true));
+/// ```
+pub struct SinglePortRunner<P: SinglePortProtocol> {
+    nodes: Vec<P>,
+    status: Vec<NodeStatus>,
+    outputs: Vec<Option<P::Output>>,
+    halted_at: Vec<Option<Round>>,
+    crashed_at: Vec<Option<Round>>,
+    adversary: Box<dyn CrashAdversary>,
+    fault_budget: usize,
+    crashes: usize,
+    round: Round,
+    metrics: Metrics,
+    trace: Trace,
+    /// `ports[to][from]` buffers messages sent from `from` to `to` that have
+    /// not been polled yet.
+    ports: Vec<Vec<VecDeque<P::Msg>>>,
+}
+
+impl<P: SinglePortProtocol> SinglePortRunner<P> {
+    /// Creates a fault-free single-port runner.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::EmptySystem`] if `nodes` is empty.
+    pub fn new(nodes: Vec<P>) -> SimResult<Self> {
+        Self::with_adversary(nodes, Box::new(NoFaults), 0)
+    }
+
+    /// Creates a single-port runner with a crash adversary limited to
+    /// `fault_budget` crashes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::EmptySystem`] if `nodes` is empty, or
+    /// [`SimError::InvalidConfig`] if the budget is not smaller than the
+    /// number of nodes.
+    pub fn with_adversary(
+        nodes: Vec<P>,
+        adversary: Box<dyn CrashAdversary>,
+        fault_budget: usize,
+    ) -> SimResult<Self> {
+        if nodes.is_empty() {
+            return Err(SimError::EmptySystem);
+        }
+        if fault_budget >= nodes.len() {
+            return Err(SimError::InvalidConfig(format!(
+                "fault budget {fault_budget} must be smaller than the number of nodes {}",
+                nodes.len()
+            )));
+        }
+        let n = nodes.len();
+        Ok(SinglePortRunner {
+            nodes,
+            status: vec![NodeStatus::Running; n],
+            outputs: (0..n).map(|_| None).collect(),
+            halted_at: vec![None; n],
+            crashed_at: vec![None; n],
+            adversary,
+            fault_budget,
+            crashes: 0,
+            round: Round::ZERO,
+            metrics: Metrics::new(),
+            trace: Trace::disabled(),
+            ports: (0..n).map(|_| (0..n).map(|_| VecDeque::new()).collect()).collect(),
+        })
+    }
+
+    /// Enables coarse-grained event tracing.
+    pub fn enable_trace(&mut self) -> &mut Self {
+        self.trace = Trace::enabled();
+        self
+    }
+
+    /// Number of nodes.
+    pub fn n(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The recorded trace.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Whether every node that has not crashed has halted voluntarily.
+    pub fn all_non_faulty_halted(&self) -> bool {
+        self.status.iter().all(|s| !s.is_running())
+    }
+
+    /// Runs until all non-faulty nodes halt or `max_rounds` rounds elapse.
+    pub fn run(&mut self, max_rounds: u64) -> ExecutionReport<P::Output> {
+        let mut termination = Termination::RoundLimit;
+        for _ in 0..max_rounds {
+            self.step();
+            if self.all_non_faulty_halted() {
+                termination = Termination::AllHalted;
+                break;
+            }
+        }
+        self.report(termination)
+    }
+
+    /// Executes one single-port round.
+    pub fn step(&mut self) {
+        let n = self.n();
+        let round = self.round;
+
+        // Phase 1: collect each running node's single send and poll intent.
+        let mut sends: Vec<Option<crate::message::Outgoing<P::Msg>>> = Vec::with_capacity(n);
+        let mut polls: Vec<Option<NodeId>> = Vec::with_capacity(n);
+        for (i, node) in self.nodes.iter_mut().enumerate() {
+            if self.status[i].is_running() {
+                sends.push(node.send(round));
+                polls.push(node.poll(round));
+            } else {
+                sends.push(None);
+                polls.push(None);
+            }
+        }
+
+        // Phase 2: crash adversary.
+        let alive = NodeSet::from_iter(
+            n,
+            self.status
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| !s.is_crashed())
+                .map(|(i, _)| NodeId::new(i)),
+        );
+        let crashed_set = NodeSet::from_iter(
+            n,
+            self.status
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| s.is_crashed())
+                .map(|(i, _)| NodeId::new(i)),
+        );
+        let send_intents: Vec<Vec<NodeId>> = sends
+            .iter()
+            .map(|s| s.iter().map(|o| o.to).collect())
+            .collect();
+        let view = AdversaryView {
+            round,
+            alive: &alive,
+            crashed: &crashed_set,
+            send_intents: &send_intents,
+            poll_intents: &polls,
+            remaining_budget: self.fault_budget - self.crashes,
+        };
+        let directives = self.adversary.plan_round(&view);
+        let mut crashed_this_round: Vec<Option<crate::adversary::DeliveryFilter>> = vec![None; n];
+        for directive in directives {
+            if self.crashes >= self.fault_budget {
+                break;
+            }
+            let idx = directive.node.index();
+            if idx >= n || self.status[idx].is_crashed() {
+                continue;
+            }
+            self.status[idx] = NodeStatus::Crashed(round);
+            self.crashed_at[idx] = Some(round);
+            self.crashes += 1;
+            self.metrics.record_crash();
+            self.trace.record(Event::Crashed {
+                round,
+                node: directive.node,
+            });
+            crashed_this_round[idx] = Some(directive.deliver);
+        }
+
+        // Phase 3: enqueue messages onto destination ports.
+        for (sender_idx, send) in sends.into_iter().enumerate() {
+            let Some(out) = send else { continue };
+            if let Some(filter) = &crashed_this_round[sender_idx] {
+                if !filter.allows(0, out.to) {
+                    continue;
+                }
+            }
+            self.metrics
+                .record_message(round.as_u64(), out.msg.bit_len());
+            let dest = out.to.index();
+            if dest < n && !self.status[dest].is_crashed() {
+                self.ports[dest][sender_idx].push_back(out.msg);
+            }
+        }
+
+        // Phase 4: polled ports are drained and delivered.
+        for (i, node) in self.nodes.iter_mut().enumerate() {
+            if !self.status[i].is_running() {
+                continue;
+            }
+            if let Some(port) = polls[i] {
+                let drained: Vec<P::Msg> = self.ports[i][port.index()].drain(..).collect();
+                node.receive(round, port, drained);
+            }
+            if let Some(output) = node.output() {
+                if self.outputs[i].is_none() {
+                    self.trace.record(Event::Decided {
+                        round,
+                        node: NodeId::new(i),
+                        value: format!("{output:?}"),
+                    });
+                    self.outputs[i] = Some(output);
+                }
+            }
+            if node.has_halted() {
+                self.status[i] = NodeStatus::Halted;
+                self.halted_at[i] = Some(round);
+                self.trace.record(Event::Halted {
+                    round,
+                    node: NodeId::new(i),
+                });
+            }
+        }
+
+        self.metrics.rounds = round.as_u64() + 1;
+        self.round = round.next();
+    }
+
+    fn report(&self, termination: Termination) -> ExecutionReport<P::Output> {
+        ExecutionReport {
+            outputs: self.outputs.clone(),
+            crashed_at: self.crashed_at.clone(),
+            halted_at: self.halted_at.clone(),
+            byzantine: NodeSet::empty(self.n()),
+            metrics: self.metrics.clone(),
+            termination,
+        }
+    }
+}
+
+impl<P: SinglePortProtocol> std::fmt::Debug for SinglePortRunner<P> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SinglePortRunner")
+            .field("n", &self.n())
+            .field("round", &self.round)
+            .field("crashes", &self.crashes)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adversary::AdaptiveSplitAdversary;
+    use crate::message::Outgoing;
+
+    /// A round-robin token ring: node i sends its accumulated OR to node
+    /// (i+1) mod n in round i, and polls port (i-1) mod n in every round.
+    struct Ring {
+        me: usize,
+        n: usize,
+        value: bool,
+        decided: Option<bool>,
+        rounds: u64,
+    }
+
+    impl SinglePortProtocol for Ring {
+        type Msg = bool;
+        type Output = bool;
+
+        fn send(&mut self, _round: Round) -> Option<Outgoing<bool>> {
+            Some(Outgoing::new(NodeId::new((self.me + 1) % self.n), self.value))
+        }
+
+        fn poll(&mut self, _round: Round) -> Option<NodeId> {
+            Some(NodeId::new((self.me + self.n - 1) % self.n))
+        }
+
+        fn receive(&mut self, _round: Round, _from: NodeId, msgs: Vec<bool>) {
+            for m in msgs {
+                self.value |= m;
+            }
+        }
+
+        fn output(&self) -> Option<bool> {
+            self.decided
+        }
+
+        fn has_halted(&self) -> bool {
+            self.decided.is_some()
+        }
+    }
+
+    impl Ring {
+        fn tick(&mut self) {
+            self.rounds += 1;
+        }
+    }
+
+    /// Wrapper that decides after 2n rounds.
+    struct RingUntil(Ring);
+
+    impl SinglePortProtocol for RingUntil {
+        type Msg = bool;
+        type Output = bool;
+
+        fn send(&mut self, round: Round) -> Option<Outgoing<bool>> {
+            self.0.send(round)
+        }
+
+        fn poll(&mut self, round: Round) -> Option<NodeId> {
+            self.0.poll(round)
+        }
+
+        fn receive(&mut self, round: Round, from: NodeId, msgs: Vec<bool>) {
+            self.0.receive(round, from, msgs);
+            self.0.tick();
+            if self.0.rounds >= 2 * self.0.n as u64 {
+                self.0.decided = Some(self.0.value);
+            }
+        }
+
+        fn output(&self) -> Option<bool> {
+            self.0.output()
+        }
+
+        fn has_halted(&self) -> bool {
+            self.0.has_halted()
+        }
+    }
+
+    fn ring(n: usize, one_at: usize) -> Vec<RingUntil> {
+        (0..n)
+            .map(|i| {
+                RingUntil(Ring {
+                    me: i,
+                    n,
+                    value: i == one_at,
+                    decided: None,
+                    rounds: 0,
+                })
+            })
+            .collect()
+    }
+
+    #[test]
+    fn rejects_empty_system() {
+        let nodes: Vec<RingUntil> = Vec::new();
+        assert!(matches!(
+            SinglePortRunner::new(nodes),
+            Err(SimError::EmptySystem)
+        ));
+    }
+
+    #[test]
+    fn ring_propagates_value_one_hop_per_round() {
+        let n = 6;
+        let mut runner = SinglePortRunner::new(ring(n, 0)).unwrap();
+        let report = runner.run(3 * n as u64);
+        assert!(report.all_non_faulty_decided());
+        assert!(report.non_faulty_deciders_agree());
+        assert_eq!(report.agreed_value(), Some(&true));
+        // Each node sends exactly one message per round.
+        assert_eq!(report.metrics.peak_messages_in_a_round(), n as u64);
+    }
+
+    #[test]
+    fn ports_buffer_until_polled() {
+        // A node that never polls never sees the message, but the message is
+        // still counted as sent.
+        struct SendOnly {
+            me: usize,
+            done: bool,
+        }
+        impl SinglePortProtocol for SendOnly {
+            type Msg = bool;
+            type Output = bool;
+            fn send(&mut self, round: Round) -> Option<Outgoing<bool>> {
+                (self.me == 0 && round.as_u64() == 0).then(|| Outgoing::new(NodeId::new(1), true))
+            }
+            fn poll(&mut self, _round: Round) -> Option<NodeId> {
+                None
+            }
+            fn receive(&mut self, _round: Round, _from: NodeId, _msgs: Vec<bool>) {}
+            fn output(&self) -> Option<bool> {
+                self.done.then_some(false)
+            }
+            fn has_halted(&self) -> bool {
+                self.done
+            }
+        }
+        let nodes = vec![SendOnly { me: 0, done: false }, SendOnly { me: 1, done: false }];
+        let mut runner = SinglePortRunner::new(nodes).unwrap();
+        let report = runner.run(3);
+        assert_eq!(report.metrics.messages, 1);
+        assert_eq!(report.termination, Termination::RoundLimit);
+    }
+
+    #[test]
+    fn adaptive_split_adversary_isolates_a_node() {
+        let n = 8;
+        let t = 6;
+        let adversary = AdaptiveSplitAdversary::new(NodeId::new(0));
+        let mut runner =
+            SinglePortRunner::with_adversary(ring(n, 0), Box::new(adversary), t).unwrap();
+        let report = runner.run(3 * n as u64);
+        // Node 0's neighbours get crashed, so the `true` held by node 0 cannot
+        // spread to everyone; the nodes far from 0 decide `false`.
+        let crashed = report.crashed();
+        assert!(crashed.len() <= t);
+        assert!(crashed.len() >= 1);
+        let zero_output = report.output_of(NodeId::new(0));
+        // Node 0 remains operational (the adversary crashes its neighbours,
+        // not node 0 itself).
+        assert!(report.non_faulty().contains(NodeId::new(0)));
+        assert_eq!(zero_output, Some(&true));
+    }
+}

@@ -1,0 +1,164 @@
+//! Lightweight execution tracing.
+//!
+//! Traces record coarse-grained events (crashes, halts, decisions) rather
+//! than every message, so they stay cheap enough to leave enabled in tests
+//! while still explaining *why* an execution unfolded the way it did.
+
+use std::fmt;
+
+use crate::node::NodeId;
+use crate::round::Round;
+
+/// A coarse-grained execution event.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Event {
+    /// A node crashed.
+    Crashed {
+        /// Round of the crash.
+        round: Round,
+        /// The crashed node.
+        node: NodeId,
+    },
+    /// A node halted voluntarily.
+    Halted {
+        /// Round of the halt.
+        round: Round,
+        /// The halting node.
+        node: NodeId,
+    },
+    /// A node decided (its output became `Some`); the value is rendered with
+    /// `Debug` to keep the trace type-erased.
+    Decided {
+        /// Round of the decision.
+        round: Round,
+        /// The deciding node.
+        node: NodeId,
+        /// `Debug` rendering of the decided value.
+        value: String,
+    },
+}
+
+impl Event {
+    /// The round the event happened in.
+    pub fn round(&self) -> Round {
+        match self {
+            Event::Crashed { round, .. }
+            | Event::Halted { round, .. }
+            | Event::Decided { round, .. } => *round,
+        }
+    }
+
+    /// The node the event concerns.
+    pub fn node(&self) -> NodeId {
+        match self {
+            Event::Crashed { node, .. }
+            | Event::Halted { node, .. }
+            | Event::Decided { node, .. } => *node,
+        }
+    }
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Event::Crashed { round, node } => write!(f, "[{round}] {node:?} crashed"),
+            Event::Halted { round, node } => write!(f, "[{round}] {node:?} halted"),
+            Event::Decided { round, node, value } => {
+                write!(f, "[{round}] {node:?} decided {value}")
+            }
+        }
+    }
+}
+
+/// An append-only log of [`Event`]s for one execution.
+#[derive(Clone, Debug, Default)]
+pub struct Trace {
+    events: Vec<Event>,
+    enabled: bool,
+}
+
+impl Trace {
+    /// Creates a disabled (no-op) trace.
+    pub fn disabled() -> Self {
+        Trace {
+            events: Vec::new(),
+            enabled: false,
+        }
+    }
+
+    /// Creates an enabled trace.
+    pub fn enabled() -> Self {
+        Trace {
+            events: Vec::new(),
+            enabled: true,
+        }
+    }
+
+    /// Whether events are being recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records an event if tracing is enabled.
+    pub fn record(&mut self, event: Event) {
+        if self.enabled {
+            self.events.push(event);
+        }
+    }
+
+    /// All recorded events in order.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Events concerning a particular node.
+    pub fn events_for(&self, node: NodeId) -> Vec<&Event> {
+        self.events.iter().filter(|e| e.node() == node).collect()
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether no events were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_trace_drops_events() {
+        let mut t = Trace::disabled();
+        t.record(Event::Crashed {
+            round: Round::ZERO,
+            node: NodeId::new(0),
+        });
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn enabled_trace_records_and_filters() {
+        let mut t = Trace::enabled();
+        t.record(Event::Crashed {
+            round: Round::ZERO,
+            node: NodeId::new(0),
+        });
+        t.record(Event::Decided {
+            round: Round::new(2),
+            node: NodeId::new(1),
+            value: "1".to_string(),
+        });
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.events_for(NodeId::new(1)).len(), 1);
+        assert_eq!(t.events()[0].round(), Round::ZERO);
+        assert_eq!(
+            format!("{}", t.events()[1]),
+            "[2] n1 decided 1".to_string()
+        );
+    }
+}

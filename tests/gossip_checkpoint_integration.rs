@@ -1,0 +1,83 @@
+//! Cross-crate integration tests for gossip and checkpointing: the paper's
+//! extant-set conditions checked end to end under crash schedules.
+
+use linear_dft::core::{Checkpointing, Gossip, SystemConfig};
+use linear_dft::sim::{FixedCrashSchedule, NodeId, RandomCrashes, Runner};
+
+#[test]
+fn gossip_extant_sets_respect_both_conditions() {
+    let n = 90;
+    let t = 11;
+    let config = SystemConfig::new(n, t).unwrap().with_seed(14);
+    let rumors: Vec<u64> = (0..n as u64).map(|i| 7_000 + i).collect();
+    let nodes = Gossip::for_all_nodes(&config, &rumors).unwrap();
+    let rounds = nodes[0].total_rounds();
+    // Crash some little nodes before they speak, and some other nodes later.
+    let adversary = FixedCrashSchedule::new()
+        .crash_all_at(0, [NodeId::new(0), NodeId::new(1)])
+        .crash_all_at(8, (40..44).map(NodeId::new));
+    let mut runner = Runner::with_adversary(nodes, Box::new(adversary), t).unwrap();
+    let report = runner.run(rounds + 2);
+
+    assert!(report.all_non_faulty_decided(), "every survivor decides an extant set");
+    let non_faulty = report.non_faulty();
+    for id in non_faulty.iter() {
+        let set = report.outputs[id.index()].as_ref().unwrap();
+        // Condition (1): nodes crashed at round 0 (before sending) are absent.
+        assert!(!set.is_present(0), "node 0 crashed before sending");
+        assert!(!set.is_present(1), "node 1 crashed before sending");
+        // Condition (2): every operational node's pair is present with its rumor.
+        for other in non_faulty.iter() {
+            assert_eq!(
+                set.rumor_of(other.index()),
+                Some(7_000 + other.index() as u64),
+                "node {} missing rumor of {}",
+                id.index(),
+                other.index()
+            );
+        }
+    }
+}
+
+#[test]
+fn checkpointing_reaches_identical_checkpoints_under_random_crashes() {
+    let n = 80;
+    let t = 9;
+    for seed in 0..2u64 {
+        let config = SystemConfig::new(n, t).unwrap().with_seed(seed);
+        let nodes = Checkpointing::for_all_nodes(&config).unwrap();
+        let rounds = nodes[0].total_rounds();
+        let adversary = RandomCrashes::new(n, t, 25, seed + 100);
+        let mut runner = Runner::with_adversary(nodes, Box::new(adversary), t).unwrap();
+        let report = runner.run(rounds + 2);
+
+        assert!(report.all_non_faulty_decided());
+        assert!(report.non_faulty_deciders_agree(), "checkpoint must be identical everywhere");
+        let checkpoint = report.agreed_value().unwrap();
+        for id in report.non_faulty().iter() {
+            assert!(checkpoint.contains(&id.index()));
+        }
+    }
+}
+
+#[test]
+fn checkpointing_is_cheaper_than_naive_baseline_in_messages_per_round() {
+    let n = 100;
+    let t = 12;
+    let config = SystemConfig::new(n, t).unwrap().with_seed(4);
+    let nodes = Checkpointing::for_all_nodes(&config).unwrap();
+    let rounds = nodes[0].total_rounds();
+    let mut runner = Runner::new(nodes).unwrap();
+    let ours = runner.run(rounds + 2);
+
+    let baseline_nodes = linear_dft::baselines::NaiveCheckpointing::for_all_nodes(n, t);
+    let mut baseline_runner = Runner::new(baseline_nodes).unwrap();
+    let baseline = baseline_runner.run(t as u64 + 3);
+
+    let ours_per_round = ours.metrics.messages as f64 / ours.metrics.rounds as f64;
+    let baseline_per_round = baseline.metrics.messages as f64 / baseline.metrics.rounds as f64;
+    assert!(
+        ours_per_round < baseline_per_round,
+        "per-round traffic {ours_per_round:.0} should beat the naive baseline {baseline_per_round:.0}"
+    );
+}

@@ -1,0 +1,108 @@
+//! Property-based tests (proptest): protocol safety invariants and overlay
+//! substrate invariants over randomly drawn parameters and crash schedules.
+
+use linear_dft::core::{FewCrashesConsensus, Gossip, SystemConfig};
+use linear_dft::overlay::{build, properties};
+use linear_dft::sim::{RandomCrashes, Runner};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Consensus safety (agreement + validity) holds for arbitrary system
+    /// sizes, fault bounds, input patterns and random crash schedules.
+    #[test]
+    fn consensus_safety_under_random_parameters(
+        n in 30usize..90,
+        t_frac in 6usize..12,
+        input_bits in any::<u64>(),
+        crash_seed in any::<u64>(),
+        overlay_seed in any::<u64>(),
+    ) {
+        let t = (n / t_frac).max(1);
+        let config = SystemConfig::new(n, t).unwrap().with_seed(overlay_seed);
+        let inputs: Vec<bool> = (0..n).map(|i| (input_bits >> (i % 64)) & 1 == 1).collect();
+        let nodes = FewCrashesConsensus::for_all_nodes(&config, &inputs).unwrap();
+        let rounds = nodes[0].total_rounds();
+        let adversary = RandomCrashes::new(n, t, rounds, crash_seed);
+        let mut runner = Runner::with_adversary(nodes, Box::new(adversary), t).unwrap();
+        let report = runner.run(rounds + 2);
+
+        // Agreement among non-faulty deciders.
+        prop_assert!(report.non_faulty_deciders_agree());
+        // Validity: the decision (if any) is some node's input.
+        if let Some(v) = report.agreed_value() {
+            prop_assert!(inputs.contains(v));
+        }
+        // Termination holds for every non-faulty node.
+        prop_assert!(report.all_non_faulty_decided());
+    }
+
+    /// Gossip never invents rumors: every proper pair in a decided extant set
+    /// is the actual rumor of that node, and the decider's own pair is there.
+    #[test]
+    fn gossip_never_invents_rumors(
+        n in 30usize..80,
+        crash_seed in any::<u64>(),
+    ) {
+        let t = (n / 8).max(1);
+        let config = SystemConfig::new(n, t).unwrap().with_seed(5);
+        let rumors: Vec<u64> = (0..n as u64).map(|i| 40_000 + i * 3).collect();
+        let nodes = Gossip::for_all_nodes(&config, &rumors).unwrap();
+        let rounds = nodes[0].total_rounds();
+        let adversary = RandomCrashes::new(n, t, rounds, crash_seed);
+        let mut runner = Runner::with_adversary(nodes, Box::new(adversary), t).unwrap();
+        let report = runner.run(rounds + 2);
+
+        for id in report.non_faulty().iter() {
+            let set = report.outputs[id.index()].as_ref().unwrap();
+            prop_assert!(set.is_present(id.index()), "own pair always present");
+            for j in 0..n {
+                if let Some(rumor) = set.rumor_of(j) {
+                    prop_assert_eq!(rumor, rumors[j], "rumor of {} corrupted", j);
+                }
+            }
+        }
+    }
+
+    /// The survival-subset peeling operator returns a set in which every
+    /// member keeps at least `delta` neighbours, and it is monotone in the
+    /// candidate set.
+    #[test]
+    fn survival_subset_invariants(
+        n in 50usize..200,
+        d in 6usize..12,
+        delta in 2usize..5,
+        removed in 0usize..30,
+        seed in any::<u64>(),
+    ) {
+        let graph = build::random_regular(n, d, seed).unwrap();
+        let survivors: Vec<usize> = (removed..n).collect();
+        let candidate = graph.mask(&survivors);
+        let core = properties::survival_subset(&graph, &candidate, delta);
+        prop_assert!(properties::is_survival_subset(&graph, &candidate, &core, delta));
+        // Monotonicity: a larger candidate yields a superset core.
+        let full = vec![true; n];
+        let full_core = properties::survival_subset(&graph, &full, delta);
+        for v in 0..n {
+            if core[v] {
+                prop_assert!(full_core[v], "core must be monotone in the candidate set");
+            }
+        }
+    }
+
+    /// Seeded overlay construction is deterministic and respects the degree
+    /// cap.
+    #[test]
+    fn overlay_construction_is_deterministic(
+        n in 20usize..150,
+        d in 4usize..10,
+        seed in any::<u64>(),
+    ) {
+        let a = build::capped_regular(n, d, seed);
+        let b = build::capped_regular(n, d, seed);
+        prop_assert_eq!(&a, &b);
+        prop_assert!(a.max_degree() <= d.max(n - 1));
+        prop_assert_eq!(a.num_vertices(), n);
+    }
+}
