@@ -109,9 +109,9 @@ impl KeyDirectory {
 
     /// Recomputes the expected tag of `digest` under node `signer`'s key.
     pub(crate) fn expected_tag(&self, signer: SignerId, digest: u64) -> Option<u64> {
-        self.keys.get(signer).map(|key| {
-            hash_words(&[key.material(), signer as u64, digest])
-        })
+        self.keys
+            .get(signer)
+            .map(|key| hash_words(&[key.material(), signer as u64, digest]))
     }
 }
 

@@ -80,7 +80,10 @@ mod tests {
     #[test]
     fn guessed_tag_fails_verification() {
         let directory = KeyDirectory::generate(4, 5);
-        let forged = Signature { signer: 2, tag: 0xDEAD_BEEF };
+        let forged = Signature {
+            signer: 2,
+            tag: 0xDEAD_BEEF,
+        };
         assert!(!directory.verify_digest(&forged, 100));
     }
 
@@ -88,7 +91,10 @@ mod tests {
     fn unknown_signer_fails_verification() {
         let directory = KeyDirectory::generate(2, 5);
         let sig = directory.signer(0).sign_digest(1);
-        let forged = Signature { signer: 7, tag: sig.tag };
+        let forged = Signature {
+            signer: 7,
+            tag: sig.tag,
+        };
         assert!(!directory.verify_digest(&forged, 1));
     }
 

@@ -174,7 +174,10 @@ mod tests {
             value: 7,
             signatures: vec![byz_signer.sign_digest(value_digest(0, 7))],
         };
-        assert!(!forged.verify_chain(&dir), "first signature must be the source's");
+        assert!(
+            !forged.verify_chain(&dir),
+            "first signature must be the source's"
+        );
     }
 
     #[test]

@@ -107,7 +107,7 @@ impl SyncProtocol for FloodingConsensus {
         } else {
             self.quiet_rounds = 0;
         }
-        let fixed_done = self.rounds_done >= self.t as u64 + 1;
+        let fixed_done = self.rounds_done > self.t as u64;
         let early_done = self.early_stopping && self.quiet_rounds >= 2;
         if self.decided.is_none() && (fixed_done || early_done) {
             self.decided = Some(self.value);
@@ -196,7 +196,7 @@ impl SyncProtocol for AllToAllGossip {
             }
         }
         self.rounds_done += 1;
-        if self.rounds_done >= self.t as u64 + 1 {
+        if self.rounds_done > self.t as u64 {
             self.decided = Some(self.known.clone());
         }
     }
@@ -279,12 +279,8 @@ impl SyncProtocol for NaiveCheckpointing {
             }
         }
         self.rounds_done += 1;
-        if self.rounds_done >= self.t as u64 + 1 {
-            self.decided = Some(
-                (0..self.n)
-                    .filter(|&i| self.seen[i])
-                    .collect(),
-            );
+        if self.rounds_done > self.t as u64 {
+            self.decided = Some((0..self.n).filter(|&i| self.seen[i]).collect());
         }
     }
 
@@ -447,7 +443,10 @@ mod tests {
         assert!(report.all_non_faulty_decided());
         assert!(report.non_faulty_deciders_agree());
         assert_eq!(report.agreed_value(), Some(&true));
-        assert!(report.metrics.messages >= (n * n) as u64, "quadratic traffic");
+        assert!(
+            report.metrics.messages >= (n * n) as u64,
+            "quadratic traffic"
+        );
     }
 
     #[test]
@@ -473,7 +472,10 @@ mod tests {
             .collect();
         let mut runner = Runner::new(nodes).unwrap();
         let report = runner.run(FloodingConsensus::total_rounds(t) + 2);
-        assert!(report.metrics.rounds <= 4, "stops well before t+1 = 11 rounds");
+        assert!(
+            report.metrics.rounds <= 4,
+            "stops well before t+1 = 11 rounds"
+        );
         assert!(report.non_faulty_deciders_agree());
     }
 

@@ -7,8 +7,12 @@ fn bench(c: &mut Criterion) {
     group.sample_size(10);
     for n in [40usize, 80] {
         let w = Workload::fault_free(n, (n as f64).sqrt() as usize, 31);
-        group.bench_function(format!("ab_consensus_n{n}"), |b| b.iter(|| measure_ab_consensus(&w)));
-        group.bench_function(format!("parallel_ds_n{n}"), |b| b.iter(|| measure_parallel_ds(&w)));
+        group.bench_function(format!("ab_consensus_n{n}"), |b| {
+            b.iter(|| measure_ab_consensus(&w))
+        });
+        group.bench_function(format!("parallel_ds_n{n}"), |b| {
+            b.iter(|| measure_parallel_ds(&w))
+        });
     }
     group.finish();
 }

@@ -7,8 +7,12 @@ fn bench(c: &mut Criterion) {
     group.sample_size(10);
     for n in [50usize, 100] {
         let w = Workload::full_budget(n, n / 8, 29);
-        group.bench_function(format!("checkpointing_n{n}"), |b| b.iter(|| measure_checkpointing(&w)));
-        group.bench_function(format!("naive_n{n}"), |b| b.iter(|| measure_naive_checkpointing(&w)));
+        group.bench_function(format!("checkpointing_n{n}"), |b| {
+            b.iter(|| measure_checkpointing(&w))
+        });
+        group.bench_function(format!("naive_n{n}"), |b| {
+            b.iter(|| measure_naive_checkpointing(&w))
+        });
     }
     group.finish();
 }

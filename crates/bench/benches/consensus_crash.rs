@@ -7,8 +7,12 @@ fn bench(c: &mut Criterion) {
     group.sample_size(10);
     for n in [60usize, 120] {
         let w = Workload::full_budget(n, n / 8, 17);
-        group.bench_function(format!("few_crashes_n{n}"), |b| b.iter(|| measure_few_crashes(&w)));
-        group.bench_function(format!("flooding_n{n}"), |b| b.iter(|| measure_flooding(&w)));
+        group.bench_function(format!("few_crashes_n{n}"), |b| {
+            b.iter(|| measure_few_crashes(&w))
+        });
+        group.bench_function(format!("flooding_n{n}"), |b| {
+            b.iter(|| measure_flooding(&w))
+        });
     }
     group.finish();
 }

@@ -8,7 +8,9 @@ fn bench(c: &mut Criterion) {
     for alpha_pct in [10usize, 50, 90] {
         let n = 80;
         let w = Workload::full_budget(n, (n * alpha_pct / 100).clamp(1, n - 1), 19);
-        group.bench_function(format!("alpha_{alpha_pct}"), |b| b.iter(|| measure_many_crashes(&w)));
+        group.bench_function(format!("alpha_{alpha_pct}"), |b| {
+            b.iter(|| measure_many_crashes(&w))
+        });
     }
     group.finish();
 }

@@ -1,6 +1,6 @@
 //! Criterion benchmark: Theorem 9: gossip vs all-to-all baseline
 use criterion::{criterion_group, criterion_main, Criterion};
-use dft_bench::{measure_gossip, measure_all_to_all_gossip, Workload};
+use dft_bench::{measure_all_to_all_gossip, measure_gossip, Workload};
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("gossip");
@@ -8,7 +8,9 @@ fn bench(c: &mut Criterion) {
     for n in [50usize, 100] {
         let w = Workload::full_budget(n, n / 8, 23);
         group.bench_function(format!("gossip_n{n}"), |b| b.iter(|| measure_gossip(&w)));
-        group.bench_function(format!("all_to_all_n{n}"), |b| b.iter(|| measure_all_to_all_gossip(&w)));
+        group.bench_function(format!("all_to_all_n{n}"), |b| {
+            b.iter(|| measure_all_to_all_gossip(&w))
+        });
     }
     group.finish();
 }

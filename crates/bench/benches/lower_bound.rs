@@ -7,7 +7,9 @@ fn bench(c: &mut Criterion) {
     group.sample_size(10);
     for (n, t) in [(40usize, 4usize), (80, 10)] {
         let w = Workload::full_budget(n, t, 41);
-        group.bench_function(format!("n{n}_t{t}"), |b| b.iter(|| measure_linear_consensus(&w)));
+        group.bench_function(format!("n{n}_t{t}"), |b| {
+            b.iter(|| measure_linear_consensus(&w))
+        });
     }
     group.finish();
 }

@@ -7,7 +7,9 @@ fn bench(c: &mut Criterion) {
     group.sample_size(10);
     for n in [40usize, 80] {
         let w = Workload::full_budget(n, n / 8, 37);
-        group.bench_function(format!("linear_consensus_n{n}"), |b| b.iter(|| measure_linear_consensus(&w)));
+        group.bench_function(format!("linear_consensus_n{n}"), |b| {
+            b.iter(|| measure_linear_consensus(&w))
+        });
     }
     group.finish();
 }

@@ -8,7 +8,9 @@ fn bench(c: &mut Criterion) {
     for n in [60usize, 120] {
         let t = (n as f64 / (n as f64).log2()) as usize;
         let w = Workload::full_budget(n, t.max(1).min(n / 6), 7);
-        group.bench_function(format!("consensus_n{n}"), |b| b.iter(|| measure_few_crashes(&w)));
+        group.bench_function(format!("consensus_n{n}"), |b| {
+            b.iter(|| measure_few_crashes(&w))
+        });
     }
     group.finish();
 }

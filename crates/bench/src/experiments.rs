@@ -66,7 +66,7 @@ pub fn experiment_table1(scale: Scale) -> Table {
             ("ab-consensus", (n as f64).sqrt() as usize, 3),
         ];
         for (problem, t_raw, kind) in cases {
-            let t = t_raw.clamp(1, n / 5 - 1.max(1));
+            let t = t_raw.clamp(1, n / 5 - 1);
             let w = Workload::full_budget(n, t, 7);
             let m = match kind {
                 0 => measure_few_crashes(&w),
@@ -93,7 +93,15 @@ pub fn experiment_aea(scale: Scale) -> Table {
     let mut table = Table::new(
         "E2 thm5_aea",
         "Theorem 5: >= 3/5 n decide the same value, O(t) rounds, O(n) one-bit messages (t < n/5)",
-        &["n", "t", "rounds", "messages", "bits", "decider_frac", "agreement"],
+        &[
+            "n",
+            "t",
+            "rounds",
+            "messages",
+            "bits",
+            "decider_frac",
+            "agreement",
+        ],
     );
     for &n in &scale.consensus_sizes() {
         for frac in [10, 6] {
@@ -119,7 +127,15 @@ pub fn experiment_scv(scale: Scale) -> Table {
     let mut table = Table::new(
         "E3 thm6_scv",
         "Theorem 6: O(log t) rounds and O(t log t) messages",
-        &["n", "t", "rounds", "messages", "bits", "all_decided", "agreement"],
+        &[
+            "n",
+            "t",
+            "rounds",
+            "messages",
+            "bits",
+            "all_decided",
+            "agreement",
+        ],
     );
     for &n in &scale.consensus_sizes() {
         for frac in [12, 6] {
@@ -255,7 +271,15 @@ pub fn experiment_single_port(scale: Scale) -> Table {
     let mut table = Table::new(
         "E9 thm12_single_port",
         "Theorem 12: single-port consensus in O(t + log n) rounds with O(n + t log n) bits",
-        &["n", "t", "sp_rounds", "messages", "bits", "all_decided", "agreement"],
+        &[
+            "n",
+            "t",
+            "sp_rounds",
+            "messages",
+            "bits",
+            "all_decided",
+            "agreement",
+        ],
     );
     for &n in &scale.heavy_sizes() {
         let t = (n / 8).max(1);

@@ -18,9 +18,7 @@ pub mod experiments;
 use std::sync::Arc;
 
 use dft_auth::KeyDirectory;
-use dft_baselines::{
-    AllToAllGossip, FloodingConsensus, NaiveCheckpointing, ParallelDsConsensus,
-};
+use dft_baselines::{AllToAllGossip, FloodingConsensus, NaiveCheckpointing, ParallelDsConsensus};
 use dft_core::{
     linear_consensus_for_all_nodes, AbConsensus, AlmostEverywhereAgreement, Checkpointing,
     FewCrashesConsensus, Gossip, ManyCrashesConsensus, SpreadCommonValue, SystemConfig,
@@ -78,12 +76,22 @@ pub struct Workload {
 impl Workload {
     /// A crash-free workload.
     pub fn fault_free(n: usize, t: usize, seed: u64) -> Self {
-        Workload { n, t, crashes: 0, seed }
+        Workload {
+            n,
+            t,
+            crashes: 0,
+            seed,
+        }
     }
 
     /// A workload that uses the full crash budget.
     pub fn full_budget(n: usize, t: usize, seed: u64) -> Self {
-        Workload { n, t, crashes: t, seed }
+        Workload {
+            n,
+            t,
+            crashes: t,
+            seed,
+        }
     }
 
     fn adversary(&self, horizon: u64) -> Box<dyn dft_sim::CrashAdversary> {
@@ -95,12 +103,16 @@ impl Workload {
     }
 
     fn mixed_inputs(&self) -> Vec<bool> {
-        (0..self.n).map(|i| (i + self.seed as usize) % 2 == 0).collect()
+        (0..self.n)
+            .map(|i| (i + self.seed as usize).is_multiple_of(2))
+            .collect()
     }
 }
 
 fn config(w: &Workload) -> SystemConfig {
-    SystemConfig::new(w.n, w.t).expect("valid workload").with_seed(w.seed)
+    SystemConfig::new(w.n, w.t)
+        .expect("valid workload")
+        .with_seed(w.seed)
 }
 
 /// Measures `Almost-Everywhere-Agreement` (Theorem 5).
@@ -108,9 +120,10 @@ pub fn measure_aea(w: &Workload) -> Measurement {
     let cfg = config(w);
     let inputs = w.mixed_inputs();
     let nodes = AlmostEverywhereAgreement::for_all_nodes(&cfg, &inputs).expect("config");
-    let rounds = dft_core::AeaConfig::from_system(&cfg).expect("config").total_rounds();
-    let mut runner =
-        Runner::with_adversary(nodes, w.adversary(rounds), w.t).expect("runner");
+    let rounds = dft_core::AeaConfig::from_system(&cfg)
+        .expect("config")
+        .total_rounds();
+    let mut runner = Runner::with_adversary(nodes, w.adversary(rounds), w.t).expect("runner");
     Measurement::from_report(&runner.run(rounds + 2))
 }
 
@@ -118,11 +131,14 @@ pub fn measure_aea(w: &Workload) -> Measurement {
 pub fn measure_scv(w: &Workload) -> Measurement {
     let cfg = config(w);
     let initialized = 3 * w.n / 5 + 1;
-    let initials: Vec<Option<bool>> = (0..w.n).map(|i| (i >= w.n - initialized).then_some(true)).collect();
+    let initials: Vec<Option<bool>> = (0..w.n)
+        .map(|i| (i >= w.n - initialized).then_some(true))
+        .collect();
     let nodes = SpreadCommonValue::for_all_nodes(&cfg, &initials).expect("config");
-    let rounds = dft_core::ScvConfig::from_system(&cfg).expect("config").total_rounds();
-    let mut runner =
-        Runner::with_adversary(nodes, w.adversary(rounds), w.t).expect("runner");
+    let rounds = dft_core::ScvConfig::from_system(&cfg)
+        .expect("config")
+        .total_rounds();
+    let mut runner = Runner::with_adversary(nodes, w.adversary(rounds), w.t).expect("runner");
     Measurement::from_report(&runner.run(rounds + 2))
 }
 
@@ -132,8 +148,7 @@ pub fn measure_few_crashes(w: &Workload) -> Measurement {
     let inputs = w.mixed_inputs();
     let nodes = FewCrashesConsensus::for_all_nodes(&cfg, &inputs).expect("config");
     let rounds = nodes[0].total_rounds();
-    let mut runner =
-        Runner::with_adversary(nodes, w.adversary(rounds), w.t).expect("runner");
+    let mut runner = Runner::with_adversary(nodes, w.adversary(rounds), w.t).expect("runner");
     Measurement::from_report(&runner.run(rounds + 2))
 }
 
@@ -143,8 +158,7 @@ pub fn measure_many_crashes(w: &Workload) -> Measurement {
     let inputs = w.mixed_inputs();
     let nodes = ManyCrashesConsensus::for_all_nodes(&cfg, &inputs).expect("config");
     let rounds = nodes[0].total_rounds();
-    let mut runner =
-        Runner::with_adversary(nodes, w.adversary(rounds), w.t).expect("runner");
+    let mut runner = Runner::with_adversary(nodes, w.adversary(rounds), w.t).expect("runner");
     Measurement::from_report(&runner.run(rounds + 2))
 }
 
@@ -154,8 +168,7 @@ pub fn measure_gossip(w: &Workload) -> Measurement {
     let rumors: Vec<u64> = (0..w.n as u64).map(|i| 1_000 + i).collect();
     let nodes = Gossip::for_all_nodes(&cfg, &rumors).expect("config");
     let rounds = nodes[0].total_rounds();
-    let mut runner =
-        Runner::with_adversary(nodes, w.adversary(rounds), w.t).expect("runner");
+    let mut runner = Runner::with_adversary(nodes, w.adversary(rounds), w.t).expect("runner");
     Measurement::from_report(&runner.run(rounds + 2))
 }
 
@@ -164,8 +177,7 @@ pub fn measure_checkpointing(w: &Workload) -> Measurement {
     let cfg = config(w);
     let nodes = Checkpointing::for_all_nodes(&cfg).expect("config");
     let rounds = nodes[0].total_rounds();
-    let mut runner =
-        Runner::with_adversary(nodes, w.adversary(rounds), w.t).expect("runner");
+    let mut runner = Runner::with_adversary(nodes, w.adversary(rounds), w.t).expect("runner");
     Measurement::from_report(&runner.run(rounds + 2))
 }
 
@@ -197,8 +209,7 @@ pub fn measure_flooding(w: &Workload) -> Measurement {
     let inputs = w.mixed_inputs();
     let nodes = FloodingConsensus::for_all_nodes(w.n, w.t, &inputs);
     let rounds = FloodingConsensus::total_rounds(w.t);
-    let mut runner =
-        Runner::with_adversary(nodes, w.adversary(rounds), w.t).expect("runner");
+    let mut runner = Runner::with_adversary(nodes, w.adversary(rounds), w.t).expect("runner");
     Measurement::from_report(&runner.run(rounds + 2))
 }
 
@@ -207,8 +218,7 @@ pub fn measure_all_to_all_gossip(w: &Workload) -> Measurement {
     let rumors: Vec<u64> = (0..w.n as u64).map(|i| 1_000 + i).collect();
     let nodes = AllToAllGossip::for_all_nodes(w.n, w.t, &rumors);
     let rounds = AllToAllGossip::total_rounds(w.t);
-    let mut runner =
-        Runner::with_adversary(nodes, w.adversary(rounds), w.t).expect("runner");
+    let mut runner = Runner::with_adversary(nodes, w.adversary(rounds), w.t).expect("runner");
     Measurement::from_report(&runner.run(rounds + 2))
 }
 
@@ -216,8 +226,7 @@ pub fn measure_all_to_all_gossip(w: &Workload) -> Measurement {
 pub fn measure_naive_checkpointing(w: &Workload) -> Measurement {
     let nodes = NaiveCheckpointing::for_all_nodes(w.n, w.t);
     let rounds = NaiveCheckpointing::total_rounds(w.t);
-    let mut runner =
-        Runner::with_adversary(nodes, w.adversary(rounds), w.t).expect("runner");
+    let mut runner = Runner::with_adversary(nodes, w.adversary(rounds), w.t).expect("runner");
     Measurement::from_report(&runner.run(rounds + 2))
 }
 
@@ -324,7 +333,12 @@ mod tests {
         let w = Workload::fault_free(80, 10, 5);
         let ours = measure_few_crashes(&w);
         let flooding = measure_flooding(&w);
-        assert!(flooding.messages > ours.messages, "{} vs {}", flooding.messages, ours.messages);
+        assert!(
+            flooding.messages > ours.messages,
+            "{} vs {}",
+            flooding.messages,
+            ours.messages
+        );
     }
 
     #[test]

@@ -57,9 +57,7 @@ impl CommonSet {
             let digest = dft_auth::value_digest(entry.source, entry.value);
             let mut seen: Vec<usize> = Vec::new();
             for signature in &entry.signatures {
-                if seen.contains(&signature.signer)
-                    || !directory.verify_digest(signature, digest)
-                {
+                if seen.contains(&signature.signer) || !directory.verify_digest(signature, digest) {
                     return false;
                 }
                 seen.push(signature.signer);
@@ -81,7 +79,11 @@ impl CommonSet {
 
     /// Wire size in bits.
     pub fn encoded_bits(&self) -> u64 {
-        64 + self.entries.iter().map(SignedValue::encoded_bits).sum::<u64>()
+        64 + self
+            .entries
+            .iter()
+            .map(SignedValue::encoded_bits)
+            .sum::<u64>()
     }
 }
 
@@ -264,7 +266,11 @@ impl AbConsensus {
 
     fn adopt(&mut self, set: CommonSet) {
         if self.common.is_none()
-            && set.verify(&self.config.directory, self.config.little, self.config.threshold)
+            && set.verify(
+                &self.config.directory,
+                self.config.little,
+                self.config.threshold,
+            )
         {
             self.common = Some(set);
             self.forward_pending = true;
@@ -337,7 +343,11 @@ impl AbConsensus {
             .map(|e| e.expect("endorsements built before finalization"))
             .collect();
         let set = CommonSet { entries };
-        if set.verify(&self.config.directory, self.config.little, self.config.threshold) {
+        if set.verify(
+            &self.config.directory,
+            self.config.little,
+            self.config.threshold,
+        ) {
             self.common = Some(set);
         }
     }
@@ -415,10 +425,9 @@ impl SyncProtocol for AbConsensus {
         if r == cfg.inquiry_round() {
             // Part 4, first round: signed inquiries from nodes without a set.
             if self.common.is_none() {
-                let signature = self.signer.sign_digest(dft_auth::hash::hash_words(&[
-                    0x1D_u64,
-                    self.me as u64,
-                ]));
+                let signature = self
+                    .signer
+                    .sign_digest(dft_auth::hash::hash_words(&[0x1D_u64, self.me as u64]));
                 return (0..cfg.little)
                     .filter(|&p| p != self.me)
                     .map(|p| Outgoing::new(NodeId::new(p), AbMsg::Inquiry(signature)))
@@ -483,10 +492,8 @@ impl SyncProtocol for AbConsensus {
                 match &delivered.msg {
                     AbMsg::CommonSet(set) => self.adopt(set.clone()),
                     AbMsg::Inquiry(signature) => {
-                        let digest = dft_auth::hash::hash_words(&[
-                            0x1D_u64,
-                            delivered.from.index() as u64,
-                        ]);
+                        let digest =
+                            dft_auth::hash::hash_words(&[0x1D_u64, delivered.from.index() as u64]);
                         if signature.signer == delivered.from.index()
                             && cfg.directory.verify_digest(signature, digest)
                         {
@@ -564,7 +571,10 @@ mod tests {
         let total = shared.total_rounds();
         let mut runner = Runner::with_participants(participants, Box::new(NoFaults), 0).unwrap();
         let report = runner.run(total + 2);
-        assert!(report.all_non_faulty_decided(), "termination despite silent Byzantine nodes");
+        assert!(
+            report.all_non_faulty_decided(),
+            "termination despite silent Byzantine nodes"
+        );
         assert!(report.non_faulty_deciders_agree());
         assert_eq!(report.agreed_value(), Some(&7));
         let _ = inputs;
@@ -598,7 +608,10 @@ mod tests {
         let total = shared.total_rounds();
         let mut runner = Runner::with_participants(participants, Box::new(NoFaults), 0).unwrap();
         let report = runner.run(total + 2);
-        assert!(report.non_faulty_deciders_agree(), "agreement under equivocation");
+        assert!(
+            report.non_faulty_deciders_agree(),
+            "agreement under equivocation"
+        );
         assert!(report.all_non_faulty_decided());
         // The equivocator resolves to null, so the decision is the maximum of
         // the honest little inputs (5), never 100 or 200.
@@ -626,7 +639,7 @@ mod tests {
     #[test]
     fn rejects_t_at_least_half() {
         let (config, directory) = setup(20, 10, 1);
-        assert!(AbConsensus::for_all_nodes(&config, &vec![0; 20], directory).is_err());
+        assert!(AbConsensus::for_all_nodes(&config, &[0; 20], directory).is_err());
     }
 
     #[test]

@@ -305,7 +305,11 @@ mod tests {
         assert!(report.non_faulty_deciders_agree());
         assert_eq!(report.agreed_value(), Some(&true));
         // At least 3/5 n nodes decide.
-        assert!(report.deciders().len() * 5 >= 3 * n, "{} deciders", report.deciders().len());
+        assert!(
+            report.deciders().len() * 5 >= 3 * n,
+            "{} deciders",
+            report.deciders().len()
+        );
     }
 
     #[test]
@@ -393,9 +397,7 @@ mod tests {
         let n = 50;
         let t = 6;
         let config = SystemConfig::new(n, t).unwrap().with_seed(3);
-        let inputs: Vec<BitVector> = (0..n)
-            .map(|i| BitVector::from_set_bits(n, [i]))
-            .collect();
+        let inputs: Vec<BitVector> = (0..n).map(|i| BitVector::from_set_bits(n, [i])).collect();
         let nodes = AlmostEverywhereAgreement::for_all_nodes(&config, &inputs).unwrap();
         let total = AeaConfig::from_system(&config).unwrap().total_rounds();
         let mut runner = Runner::new(nodes).unwrap();
@@ -415,6 +417,6 @@ mod tests {
     #[test]
     fn rejects_too_many_crashes() {
         let config = SystemConfig::new(20, 5).unwrap();
-        assert!(AlmostEverywhereAgreement::<bool>::for_all_nodes(&config, &vec![false; 20]).is_err());
+        assert!(AlmostEverywhereAgreement::<bool>::for_all_nodes(&config, &[false; 20]).is_err());
     }
 }

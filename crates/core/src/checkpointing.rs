@@ -215,7 +215,9 @@ mod tests {
     ) -> dft_sim::ExecutionReport<Checkpoint> {
         let config = SystemConfig::new(n, t).unwrap().with_seed(seed);
         let nodes = Checkpointing::for_all_nodes(&config).unwrap();
-        let total = CheckpointConfig::from_system(&config).unwrap().total_rounds();
+        let total = CheckpointConfig::from_system(&config)
+            .unwrap()
+            .total_rounds();
         let mut runner = Runner::with_adversary(nodes, adversary, budget).unwrap();
         runner.run(total + 2)
     }
@@ -236,8 +238,7 @@ mod tests {
         let n = 60;
         let t = 8;
         // Crash nodes 1 and 2 at round 0 before they send anything.
-        let adversary = FixedCrashSchedule::new()
-            .crash_all_at(0, [NodeId::new(1), NodeId::new(2)]);
+        let adversary = FixedCrashSchedule::new().crash_all_at(0, [NodeId::new(1), NodeId::new(2)]);
         let report = run_checkpointing(n, t, Box::new(adversary), t, 2);
         assert!(report.all_non_faulty_decided());
         assert!(report.non_faulty_deciders_agree());
@@ -277,6 +278,10 @@ mod tests {
         let log_n = (1000f64).log2().ceil() as u64;
         let log_t = (150f64).log2().ceil() as u64;
         let bound = 6 * 150 + 8 * log_n * (log_t + 6) + 80;
-        assert!(cp.total_rounds() <= bound, "{} vs {bound}", cp.total_rounds());
+        assert!(
+            cp.total_rounds() <= bound,
+            "{} vs {bound}",
+            cp.total_rounds()
+        );
     }
 }

@@ -122,7 +122,9 @@ impl SystemConfig {
     pub fn little_params(&self) -> OverlayParams {
         let m = self.little_count();
         match self.mode {
-            ParamMode::Paper => OverlayParams::paper(m, 5usize.pow(8).min(m.saturating_sub(1)).max(1)),
+            ParamMode::Paper => {
+                OverlayParams::paper(m, 5usize.pow(8).min(m.saturating_sub(1)).max(1))
+            }
             ParamMode::Practical => OverlayParams::practical(m, self.t.min(m)),
         }
     }
@@ -152,7 +154,11 @@ impl SystemConfig {
     /// The full-network overlay graph for `Many-Crashes-Consensus`.
     pub fn full_graph(&self) -> Arc<Graph> {
         let params = self.full_params();
-        Arc::new(build::capped_regular(self.n, params.degree, self.seed ^ 0xB2))
+        Arc::new(build::capped_regular(
+            self.n,
+            params.degree,
+            self.seed ^ 0xB2,
+        ))
     }
 
     /// The constant-degree broadcast graph `H` (degree 64 in the paper) used
@@ -162,18 +168,30 @@ impl SystemConfig {
             ParamMode::Paper => 64,
             ParamMode::Practical => 16,
         };
-        Arc::new(build::capped_regular(self.n, degree.min(self.n - 1), self.seed ^ 0xC3))
+        Arc::new(build::capped_regular(
+            self.n,
+            degree.min(self.n - 1),
+            self.seed ^ 0xC3,
+        ))
     }
 
     /// The per-phase inquiry family of Lemma 5 used by `Spread-Common-Value`
     /// Part 2.
     pub fn scv_family(&self) -> Arc<InquiryFamily> {
-        Arc::new(InquiryFamily::spread_common_value(self.n, self.t, self.seed ^ 0xD4))
+        Arc::new(InquiryFamily::spread_common_value(
+            self.n,
+            self.t,
+            self.seed ^ 0xD4,
+        ))
     }
 
     /// The per-phase inquiry family used by `Many-Crashes-Consensus` Part 3.
     pub fn many_crashes_family(&self) -> Arc<InquiryFamily> {
-        Arc::new(InquiryFamily::many_crashes(self.n, self.alpha(), self.seed ^ 0xE5))
+        Arc::new(InquiryFamily::many_crashes(
+            self.n,
+            self.alpha(),
+            self.seed ^ 0xE5,
+        ))
     }
 
     /// Number of rounds of Part 1 of `Spread-Common-Value`:
@@ -228,7 +246,9 @@ mod tests {
 
     #[test]
     fn paper_mode_caps_degrees() {
-        let cfg = SystemConfig::new(60, 4).unwrap().with_mode(ParamMode::Paper);
+        let cfg = SystemConfig::new(60, 4)
+            .unwrap()
+            .with_mode(ParamMode::Paper);
         // The paper degree 5^8 is capped at the little-count minus one.
         let g = cfg.little_graph();
         assert_eq!(g.num_vertices(), 20);

@@ -51,7 +51,11 @@ impl DolevStrongConfig {
     /// # Errors
     ///
     /// Returns [`CoreError::InvalidFaultBound`] if `t ≥ n`.
-    pub fn all_nodes(config: &SystemConfig, sources: Vec<usize>, directory: Arc<KeyDirectory>) -> CoreResult<Self> {
+    pub fn all_nodes(
+        config: &SystemConfig,
+        sources: Vec<usize>,
+        directory: Arc<KeyDirectory>,
+    ) -> CoreResult<Self> {
         if config.t >= config.n {
             return Err(CoreError::InvalidFaultBound {
                 n: config.n,
@@ -268,26 +272,27 @@ mod tests {
         // Node 0 is Byzantine: it sends value 7 to half the nodes and value 8
         // to the other half in round 0, each correctly signed by itself.
         let byz_signer = dir.signer(0);
-        let strategy = ScriptedByzantine::new(move |round: Round, _inbox: &[Delivered<DsBatch>]| {
-            if round.as_u64() != 0 {
-                return Vec::new();
-            }
-            (1..n)
-                .map(|p| {
-                    let value = if p % 2 == 0 { 7 } else { 8 };
-                    let sv = SignedValue::originate(&byz_signer, value);
-                    Outgoing::new(NodeId::new(p), DsBatch(vec![sv]))
-                })
-                .collect()
-        });
+        let strategy =
+            ScriptedByzantine::new(move |round: Round, _inbox: &[Delivered<DsBatch>]| {
+                if round.as_u64() != 0 {
+                    return Vec::new();
+                }
+                (1..n)
+                    .map(|p| {
+                        let value = if p % 2 == 0 { 7 } else { 8 };
+                        let sv = SignedValue::originate(&byz_signer, value);
+                        Outgoing::new(NodeId::new(p), DsBatch(vec![sv]))
+                    })
+                    .collect()
+            });
 
         let mut participants: Vec<Participant<DolevStrong>> = Vec::new();
         participants.push(Participant::Byzantine(Box::new(strategy)));
-        for me in 1..n {
+        for (me, &input) in inputs.iter().enumerate().skip(1) {
             participants.push(Participant::Honest(DolevStrong::new(
                 shared.clone(),
                 me,
-                inputs[me],
+                input,
             )));
         }
         let total = shared.total_rounds();
@@ -310,8 +315,12 @@ mod tests {
         participants.push(Participant::Byzantine(Box::new(
             dft_sim::adversary::byzantine::SilentByzantine,
         )));
-        for me in 1..n {
-            participants.push(Participant::Honest(DolevStrong::new(shared.clone(), me, inputs[me])));
+        for (me, &input) in inputs.iter().enumerate().skip(1) {
+            participants.push(Participant::Honest(DolevStrong::new(
+                shared.clone(),
+                me,
+                input,
+            )));
         }
         let total = shared.total_rounds();
         let mut runner = Runner::with_participants(participants, Box::new(NoFaults), 0).unwrap();

@@ -32,7 +32,10 @@ impl fmt::Display for CoreError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CoreError::InvalidFaultBound { n, t, requirement } => {
-                write!(f, "fault bound t={t} invalid for n={n} (requires {requirement})")
+                write!(
+                    f,
+                    "fault bound t={t} invalid for n={n} (requires {requirement})"
+                )
             }
             CoreError::SystemTooSmall { n, minimum } => {
                 write!(f, "system of {n} nodes is below the minimum of {minimum}")

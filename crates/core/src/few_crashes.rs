@@ -197,7 +197,9 @@ mod tests {
     ) -> dft_sim::ExecutionReport<bool> {
         let config = SystemConfig::new(n, t).unwrap().with_seed(seed);
         let nodes = FewCrashesConsensus::for_all_nodes(&config, inputs).unwrap();
-        let total = FewCrashesConfig::from_system(&config).unwrap().total_rounds();
+        let total = FewCrashesConfig::from_system(&config)
+            .unwrap()
+            .total_rounds();
         let mut runner = Runner::with_adversary(nodes, adversary, budget).unwrap();
         runner.run(total + 2)
     }
@@ -249,7 +251,11 @@ mod tests {
         let adversary = TargetedCrashes::one_per_round(victims);
         let report = run_consensus(n, t, &inputs, Box::new(adversary), t, 4);
         assert_consensus(&report, &inputs);
-        assert_eq!(report.agreed_value(), Some(&true), "validity with unanimous 1");
+        assert_eq!(
+            report.agreed_value(),
+            Some(&true),
+            "validity with unanimous 1"
+        );
     }
 
     #[test]
@@ -259,7 +265,9 @@ mod tests {
         let inputs: Vec<bool> = (0..n).map(|i| i % 2 == 1).collect();
         let report = run_consensus(n, t, &inputs, Box::new(NoFaults), 0, 5);
         let config = SystemConfig::new(n, t).unwrap();
-        let total = FewCrashesConfig::from_system(&config).unwrap().total_rounds();
+        let total = FewCrashesConfig::from_system(&config)
+            .unwrap()
+            .total_rounds();
         // Rounds: O(t + log n); the schedule is fixed so the report matches it.
         assert!(report.metrics.rounds <= total + 2);
         assert!(total <= 8 * t as u64 + 12 * (n as f64).log2().ceil() as u64 + 20);
@@ -297,7 +305,9 @@ mod tests {
             .map(|i| BitVector::from_set_bits(n, [i, (i + 1) % n]))
             .collect();
         let nodes = FewCrashesConsensus::for_all_nodes(&config, &inputs).unwrap();
-        let total = FewCrashesConfig::from_system(&config).unwrap().total_rounds();
+        let total = FewCrashesConfig::from_system(&config)
+            .unwrap()
+            .total_rounds();
         let mut runner = Runner::new(nodes).unwrap();
         let report = runner.run(total + 2);
         assert!(report.all_non_faulty_decided());

@@ -400,8 +400,8 @@ mod tests {
         let n = 80;
         let t = 10;
         // Crash a batch of little nodes at round 0 before they send anything.
-        let adversary = dft_sim::FixedCrashSchedule::new()
-            .crash_all_at(0, (0..5).map(dft_sim::NodeId::new));
+        let adversary =
+            dft_sim::FixedCrashSchedule::new().crash_all_at(0, (0..5).map(dft_sim::NodeId::new));
         let report = run_gossip(n, t, Box::new(adversary), t, 2);
         assert!(report.all_non_faulty_decided());
         let non_faulty = report.non_faulty();

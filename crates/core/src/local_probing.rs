@@ -147,7 +147,10 @@ mod tests {
         probe.observe_round(5);
         assert!(probe.survived());
         probe.observe_round(0);
-        assert!(probe.survived(), "late observations do not retract survival");
+        assert!(
+            probe.survived(),
+            "late observations do not retract survival"
+        );
         assert_eq!(probe.elapsed(), 1);
         assert_eq!(probe.duration(), 1);
     }

@@ -164,7 +164,7 @@ impl ManyCrashesConsensus {
         if phase > self.config.phases() {
             return None;
         }
-        Some((phase, offset % 2 == 0))
+        Some((phase, offset.is_multiple_of(2)))
     }
 }
 
@@ -296,7 +296,9 @@ mod tests {
     ) -> dft_sim::ExecutionReport<bool> {
         let config = SystemConfig::new(n, t).unwrap().with_seed(seed);
         let nodes = ManyCrashesConsensus::for_all_nodes(&config, inputs).unwrap();
-        let total = ManyCrashesConfig::from_system(&config).unwrap().total_rounds();
+        let total = ManyCrashesConfig::from_system(&config)
+            .unwrap()
+            .total_rounds();
         let mut runner = Runner::with_adversary(nodes, adversary, budget).unwrap();
         runner.run(total + 2)
     }
@@ -356,7 +358,11 @@ mod tests {
         let config = SystemConfig::new(n, 50).unwrap();
         let mc = ManyCrashesConfig::from_system(&config).unwrap();
         let bound = n as u64 + 3 * (1 + (n as f64).log2().ceil() as u64) + 2 * mc.phases();
-        assert!(mc.total_rounds() <= bound + 8, "{} vs {bound}", mc.total_rounds());
+        assert!(
+            mc.total_rounds() <= bound + 8,
+            "{} vs {bound}",
+            mc.total_rounds()
+        );
     }
 
     #[test]

@@ -183,7 +183,7 @@ impl<V: JoinValue> SpreadCommonValue<V> {
         if phase > self.config.inquiry_phases() {
             return None;
         }
-        Some((phase, offset % 2 == 0))
+        Some((phase, offset.is_multiple_of(2)))
     }
 }
 
@@ -354,8 +354,8 @@ mod tests {
         let t = 8;
         let report = run_scv(n, t, 0, Box::new(NoFaults), 0);
         assert!(report.deciders().is_empty());
-        assert_eq!(report.metrics.messages, 0 + report.metrics.messages.min(u64::MAX));
         // Undecided nodes still sent inquiries; nobody answered.
+        assert!(report.metrics.messages > 0);
         assert!(report.non_faulty_deciders_agree());
     }
 

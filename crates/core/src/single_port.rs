@@ -81,7 +81,9 @@ impl<P: SyncProtocol, L: PortPlan> SinglePortAdapter<P, L> {
     /// Number of single-port rounds needed to simulate `mp_rounds` multi-port
     /// rounds under `plan`.
     pub fn sp_rounds_for(plan: &L, mp_rounds: u64) -> u64 {
-        (0..mp_rounds).map(|r| 2 * plan.slots(r).max(1) as u64).sum()
+        (0..mp_rounds)
+            .map(|r| 2 * plan.slots(r).max(1) as u64)
+            .sum()
     }
 
     /// Access to the wrapped protocol.
@@ -210,11 +212,14 @@ impl LinearConsensusPlan {
         if phase > self.scv_phases {
             return None;
         }
-        Some((phase, offset % 2 == 0))
+        Some((phase, offset.is_multiple_of(2)))
     }
 
     fn phase_degree(&self, phase: u64) -> usize {
-        self.family.degree(phase as usize).min(self.inquiry_cap).max(1)
+        self.family
+            .degree(phase as usize)
+            .min(self.inquiry_cap)
+            .max(1)
     }
 }
 
@@ -285,11 +290,10 @@ pub fn linear_consensus_for_all_nodes<V: JoinValue>(
     let mut shared = FewCrashesConfig::from_system(config)?;
     shared.scv.force_phase_inquiry = true;
     let plan = LinearConsensusPlan::new(&shared);
-    let sp_rounds =
-        SinglePortAdapter::<FewCrashesConsensus<V>, LinearConsensusPlan>::sp_rounds_for(
-            &plan,
-            plan.mp_rounds(),
-        );
+    let sp_rounds = SinglePortAdapter::<FewCrashesConsensus<V>, LinearConsensusPlan>::sp_rounds_for(
+        &plan,
+        plan.mp_rounds(),
+    );
     let nodes = inputs
         .iter()
         .enumerate()

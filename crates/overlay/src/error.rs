@@ -24,7 +24,10 @@ impl fmt::Display for OverlayError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             OverlayError::VertexOutOfRange { vertex, n } => {
-                write!(f, "vertex {vertex} out of range for a graph on {n} vertices")
+                write!(
+                    f,
+                    "vertex {vertex} out of range for a graph on {n} vertices"
+                )
             }
             OverlayError::InvalidParameters(msg) => write!(f, "invalid parameters: {msg}"),
             OverlayError::ConstructionFailed(msg) => write!(f, "construction failed: {msg}"),

@@ -89,7 +89,11 @@ impl InquiryFamily {
         for i in 1..=phases {
             let target = degree_of_phase(i).ceil().max(1.0) as usize;
             let degree = target.min(n.saturating_sub(1));
-            graphs.push(build::capped_regular(n, degree, seed.wrapping_add(i as u64)));
+            graphs.push(build::capped_regular(
+                n,
+                degree,
+                seed.wrapping_add(i as u64),
+            ));
             degrees.push(degree);
         }
         InquiryFamily {
@@ -170,7 +174,7 @@ mod tests {
             FamilyKind::ManyCrashes { alpha_milli: 500 }
         ));
         assert!(family.degree(1) >= 1);
-        assert!(family.degree(9) <= n - 1);
+        assert!(family.degree(9) < n);
     }
 
     #[test]
@@ -185,7 +189,9 @@ mod tests {
         let family = InquiryFamily::spread_common_value(500, 31, 2);
         assert_eq!(
             family.total_degree(),
-            (1..=family.phases()).map(|i| family.degree(i)).sum::<usize>()
+            (1..=family.phases())
+                .map(|i| family.degree(i))
+                .sum::<usize>()
         );
     }
 }

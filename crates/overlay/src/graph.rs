@@ -86,7 +86,10 @@ impl Graph {
     /// Panics if either endpoint is out of range.
     pub fn add_edge(&mut self, u: VertexId, v: VertexId) -> bool {
         let n = self.num_vertices();
-        assert!(u < n && v < n, "edge ({u},{v}) out of range for {n} vertices");
+        assert!(
+            u < n && v < n,
+            "edge ({u},{v}) out of range for {n} vertices"
+        );
         if u == v || self.has_edge(u, v) {
             return false;
         }
@@ -192,7 +195,7 @@ impl Graph {
     pub fn bfs_distances(&self, source: VertexId, allowed: Option<&[bool]>) -> Vec<Option<usize>> {
         let n = self.num_vertices();
         let mut dist = vec![None; n];
-        let permitted = |v: VertexId| allowed.map_or(true, |a| a.get(v) == Some(&true));
+        let permitted = |v: VertexId| allowed.is_none_or(|a| a.get(v) == Some(&true));
         if source >= n || !permitted(source) {
             return dist;
         }
@@ -244,7 +247,7 @@ impl Graph {
     /// vertices when `None`); returns one vertex list per component.
     pub fn connected_components(&self, allowed: Option<&[bool]>) -> Vec<Vec<VertexId>> {
         let n = self.num_vertices();
-        let permitted = |v: VertexId| allowed.map_or(true, |a| a.get(v) == Some(&true));
+        let permitted = |v: VertexId| allowed.is_none_or(|a| a.get(v) == Some(&true));
         let mut seen = vec![false; n];
         let mut components = Vec::new();
         for start in 0..n {
@@ -319,7 +322,10 @@ mod tests {
     #[test]
     fn from_edges_rejects_out_of_range() {
         let err = Graph::from_edges(2, &[(0, 5)]).unwrap_err();
-        assert!(matches!(err, OverlayError::VertexOutOfRange { vertex: 5, n: 2 }));
+        assert!(matches!(
+            err,
+            OverlayError::VertexOutOfRange { vertex: 5, n: 2 }
+        ));
     }
 
     #[test]

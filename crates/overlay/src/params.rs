@@ -90,7 +90,9 @@ impl OverlayParams {
         let degree = ((8.0 + 64.0 * fault_fraction).ceil() as usize)
             .min(m - 1)
             .max(1);
-        let delta = ((degree as f64 * 0.25).floor() as usize).clamp(1, degree).max(1);
+        let delta = ((degree as f64 * 0.25).floor() as usize)
+            .clamp(1, degree)
+            .max(1);
         OverlayParams {
             degree,
             gamma: probing_radius(m),

@@ -26,9 +26,7 @@ use crate::graph::{Graph, VertexId};
 /// below `delta`.  The result may be empty.
 pub fn survival_subset(graph: &Graph, candidate: &[bool], delta: usize) -> Vec<bool> {
     let n = graph.num_vertices();
-    let mut inside: Vec<bool> = (0..n)
-        .map(|v| candidate.get(v) == Some(&true))
-        .collect();
+    let mut inside: Vec<bool> = (0..n).map(|v| candidate.get(v) == Some(&true)).collect();
     let mut degree: Vec<usize> = (0..n)
         .map(|v| {
             if inside[v] {
@@ -38,9 +36,7 @@ pub fn survival_subset(graph: &Graph, candidate: &[bool], delta: usize) -> Vec<b
             }
         })
         .collect();
-    let mut queue: Vec<VertexId> = (0..n)
-        .filter(|&v| inside[v] && degree[v] < delta)
-        .collect();
+    let mut queue: Vec<VertexId> = (0..n).filter(|&v| inside[v] && degree[v] < delta).collect();
     while let Some(v) = queue.pop() {
         if !inside[v] {
             continue;
@@ -133,7 +129,7 @@ pub fn dense_neighborhood(
         let mut removed = false;
         for v in 0..n {
             if inside[v]
-                && dist[v].is_some_and(|d| d + 1 <= gamma)
+                && dist[v].is_some_and(|d| d < gamma)
                 && graph.degree_within(v, &inside) < delta
             {
                 inside[v] = false;
@@ -298,7 +294,7 @@ mod tests {
         let g = build::cycle(8);
         let half = g.mask(&[0, 1, 2, 3]);
         assert!((expansion_of_set(&g, &half) - 0.5).abs() < 1e-9);
-        assert_eq!(expansion_of_set(&g, &vec![false; 8]), f64::INFINITY);
+        assert_eq!(expansion_of_set(&g, &[false; 8]), f64::INFINITY);
     }
 
     #[test]

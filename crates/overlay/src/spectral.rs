@@ -74,12 +74,12 @@ pub fn second_eigenvalue(graph: &Graph, iterations: usize, seed: u64) -> Spectra
     let mut lambda = 0.0;
     for _ in 0..iterations.max(1) {
         let mut next = vec![0.0; n];
-        for u in 0..n {
+        for (u, next_u) in next.iter_mut().enumerate() {
             let mut acc = 0.0;
             for &w in graph.neighbors(u) {
                 acc += v[w];
             }
-            next[u] = acc;
+            *next_u = acc;
         }
         deflate_uniform(&mut next);
         let norm = l2(&next);

@@ -173,7 +173,11 @@ impl NodeSet {
     /// Panics if the node index is outside the universe.
     pub fn contains(&self, node: NodeId) -> bool {
         let i = node.index();
-        assert!(i < self.universe, "node {i} outside universe {}", self.universe);
+        assert!(
+            i < self.universe,
+            "node {i} outside universe {}",
+            self.universe
+        );
         self.words[i / 64] & (1 << (i % 64)) != 0
     }
 
@@ -184,7 +188,11 @@ impl NodeSet {
     /// Panics if the node index is outside the universe.
     pub fn insert(&mut self, node: NodeId) -> bool {
         let i = node.index();
-        assert!(i < self.universe, "node {i} outside universe {}", self.universe);
+        assert!(
+            i < self.universe,
+            "node {i} outside universe {}",
+            self.universe
+        );
         let fresh = self.words[i / 64] & (1 << (i % 64)) == 0;
         self.words[i / 64] |= 1 << (i % 64);
         fresh
@@ -197,7 +205,11 @@ impl NodeSet {
     /// Panics if the node index is outside the universe.
     pub fn remove(&mut self, node: NodeId) -> bool {
         let i = node.index();
-        assert!(i < self.universe, "node {i} outside universe {}", self.universe);
+        assert!(
+            i < self.universe,
+            "node {i} outside universe {}",
+            self.universe
+        );
         let present = self.words[i / 64] & (1 << (i % 64)) != 0;
         self.words[i / 64] &= !(1 << (i % 64));
         present
@@ -253,7 +265,10 @@ impl NodeSet {
     /// Panics if the universes differ.
     pub fn is_subset(&self, other: &NodeSet) -> bool {
         assert_eq!(self.universe, other.universe, "universe mismatch");
-        self.words.iter().zip(&other.words).all(|(a, b)| a & !b == 0)
+        self.words
+            .iter()
+            .zip(&other.words)
+            .all(|(a, b)| a & !b == 0)
     }
 
     /// Collects the members into a vector of node identities.

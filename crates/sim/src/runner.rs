@@ -182,13 +182,10 @@ impl<P: SyncProtocol> Runner<P> {
 
     /// Whether every node that has not crashed has halted voluntarily.
     pub fn all_non_faulty_halted(&self) -> bool {
-        self.status
-            .iter()
-            .enumerate()
-            .all(|(i, s)| match s {
-                NodeStatus::Running => self.participants[i].is_byzantine(),
-                NodeStatus::Halted | NodeStatus::Crashed(_) => true,
-            })
+        self.status.iter().enumerate().all(|(i, s)| match s {
+            NodeStatus::Running => self.participants[i].is_byzantine(),
+            NodeStatus::Halted | NodeStatus::Crashed(_) => true,
+        })
     }
 
     /// Executes one synchronous round: collect sends, apply the crash
@@ -515,7 +512,10 @@ mod tests {
         let protocols: Vec<FloodOr> = (0..n).map(|_| FloodOr::new(n, false)).collect();
         let adversary = FixedCrashSchedule::new().crash_all_at(0, (0..4).map(NodeId::new));
         let report = run_with_crashes(protocols, Box::new(adversary), 2, 10).unwrap();
-        assert_eq!(report.metrics.crashes, 2, "only budget-many crashes applied");
+        assert_eq!(
+            report.metrics.crashes, 2,
+            "only budget-many crashes applied"
+        );
     }
 
     #[test]
@@ -529,8 +529,7 @@ mod tests {
             0,
             Participant::Byzantine(Box::new(FloodByzantine::<bool>::new(n))),
         );
-        let mut runner =
-            Runner::with_participants(participants, Box::new(NoFaults), 0).unwrap();
+        let mut runner = Runner::with_participants(participants, Box::new(NoFaults), 0).unwrap();
         let report = runner.run(10);
         assert!(report.byzantine.contains(NodeId::new(0)));
         assert_eq!(report.non_faulty().len(), n - 1);

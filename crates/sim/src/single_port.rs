@@ -130,7 +130,9 @@ impl<P: SinglePortProtocol> SinglePortRunner<P> {
             round: Round::ZERO,
             metrics: Metrics::new(),
             trace: Trace::disabled(),
-            ports: (0..n).map(|_| (0..n).map(|_| VecDeque::new()).collect()).collect(),
+            ports: (0..n)
+                .map(|_| (0..n).map(|_| VecDeque::new()).collect())
+                .collect(),
         })
     }
 
@@ -328,7 +330,10 @@ mod tests {
         type Output = bool;
 
         fn send(&mut self, _round: Round) -> Option<Outgoing<bool>> {
-            Some(Outgoing::new(NodeId::new((self.me + 1) % self.n), self.value))
+            Some(Outgoing::new(
+                NodeId::new((self.me + 1) % self.n),
+                self.value,
+            ))
         }
 
         fn poll(&mut self, _round: Round) -> Option<NodeId> {
@@ -448,7 +453,10 @@ mod tests {
                 self.done
             }
         }
-        let nodes = vec![SendOnly { me: 0, done: false }, SendOnly { me: 1, done: false }];
+        let nodes = vec![
+            SendOnly { me: 0, done: false },
+            SendOnly { me: 1, done: false },
+        ];
         let mut runner = SinglePortRunner::new(nodes).unwrap();
         let report = runner.run(3);
         assert_eq!(report.metrics.messages, 1);
@@ -467,7 +475,7 @@ mod tests {
         // spread to everyone; the nodes far from 0 decide `false`.
         let crashed = report.crashed();
         assert!(crashed.len() <= t);
-        assert!(crashed.len() >= 1);
+        assert!(!crashed.is_empty());
         let zero_output = report.output_of(NodeId::new(0));
         // Node 0 remains operational (the adversary crashes its neighbours,
         // not node 0 itself).

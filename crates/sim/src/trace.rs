@@ -156,9 +156,6 @@ mod tests {
         assert_eq!(t.len(), 2);
         assert_eq!(t.events_for(NodeId::new(1)).len(), 1);
         assert_eq!(t.events()[0].round(), Round::ZERO);
-        assert_eq!(
-            format!("{}", t.events()[1]),
-            "[2] n1 decided 1".to_string()
-        );
+        assert_eq!(format!("{}", t.events()[1]), "[2] n1 decided 1".to_string());
     }
 }

@@ -37,18 +37,26 @@ fn main() {
     participants.push(Participant::Byzantine(Box::new(equivocator)));
     participants.push(Participant::Byzantine(Box::new(SilentByzantine)));
     for me in 2..n {
-        participants.push(Participant::Honest(AbConsensus::new(shared.clone(), me, me as u64)));
+        participants.push(Participant::Honest(AbConsensus::new(
+            shared.clone(),
+            me,
+            me as u64,
+        )));
     }
 
     let rounds = shared.total_rounds();
-    let mut runner = Runner::with_participants(participants, Box::new(NoFaults), 0).expect("runner");
+    let mut runner =
+        Runner::with_participants(participants, Box::new(NoFaults), 0).expect("runner");
     let report = runner.run(rounds + 2);
 
     println!("=== AB-Consensus with Byzantine committee members (Theorem 11) ===");
     println!("nodes:              {n}   Byzantine: 2 (equivocator + silent)");
     println!("rounds:             {}", report.metrics.rounds);
     println!("non-faulty messages:{}", report.metrics.messages);
-    println!("Byzantine messages: {} (not charged)", report.metrics.byzantine_messages);
+    println!(
+        "Byzantine messages: {} (not charged)",
+        report.metrics.byzantine_messages
+    );
     println!("agreement:          {}", report.non_faulty_deciders_agree());
     println!("decision:           {:?}", report.agreed_value());
 

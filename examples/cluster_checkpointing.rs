@@ -27,11 +27,20 @@ fn main() {
     println!("rounds:           {}", report.metrics.rounds);
     println!("messages:         {}", report.metrics.messages);
     println!("checkpoint size:  {}", checkpoint.len());
-    println!("excluded early crashers 3, 4: {}", !checkpoint.contains(&3) && !checkpoint.contains(&4));
+    println!(
+        "excluded early crashers 3, 4: {}",
+        !checkpoint.contains(&3) && !checkpoint.contains(&4)
+    );
 
-    assert!(report.non_faulty_deciders_agree(), "all nodes agree on the same checkpoint");
+    assert!(
+        report.non_faulty_deciders_agree(),
+        "all nodes agree on the same checkpoint"
+    );
     assert!(!checkpoint.contains(&3) && !checkpoint.contains(&4));
     for id in report.non_faulty().iter() {
-        assert!(checkpoint.contains(&id.index()), "operational node {id:?} must be included");
+        assert!(
+            checkpoint.contains(&id.index()),
+            "operational node {id:?} must be included"
+        );
     }
 }

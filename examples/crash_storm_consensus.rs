@@ -24,11 +24,17 @@ fn main() {
 
     let survivors = report.non_faulty().len();
     println!("=== Many-Crashes-Consensus under a crash storm (Theorem 8) ===");
-    println!("nodes:            {n}   fault bound: {t} (alpha = {:.2})", t as f64 / n as f64);
+    println!(
+        "nodes:            {n}   fault bound: {t} (alpha = {:.2})",
+        t as f64 / n as f64
+    );
     println!("crashes injected: {}", report.metrics.crashes);
     println!("survivors:        {survivors}");
-    println!("rounds:           {} (bound: n + 3(1+lg n) = {})", report.metrics.rounds,
-        n + 3 * (1 + (n as f64).log2().ceil() as usize));
+    println!(
+        "rounds:           {} (bound: n + 3(1+lg n) = {})",
+        report.metrics.rounds,
+        n + 3 * (1 + (n as f64).log2().ceil() as usize)
+    );
     println!("messages:         {}", report.metrics.messages);
     println!("agreement:        {}", report.non_faulty_deciders_agree());
     println!("decision:         {:?}", report.agreed_value());

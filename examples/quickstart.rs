@@ -8,7 +8,9 @@ use linear_dft::sim::{RandomCrashes, Runner};
 fn main() {
     let n = 100;
     let t = 12;
-    let config = SystemConfig::new(n, t).expect("valid parameters").with_seed(2024);
+    let config = SystemConfig::new(n, t)
+        .expect("valid parameters")
+        .with_seed(2024);
 
     // Half the nodes propose 1, the other half 0.
     let inputs: Vec<bool> = (0..n).map(|i| i % 2 == 0).collect();

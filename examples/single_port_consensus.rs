@@ -15,15 +15,22 @@ fn main() {
     let (nodes, sp_rounds) = linear_consensus_for_all_nodes(&config, &inputs).expect("config");
 
     let adversary = RandomCrashes::new(n, t, sp_rounds / 4, 13);
-    let mut runner = SinglePortRunner::with_adversary(nodes, Box::new(adversary), t).expect("runner");
+    let mut runner =
+        SinglePortRunner::with_adversary(nodes, Box::new(adversary), t).expect("runner");
     let report = runner.run(sp_rounds + 4);
 
     println!("=== Linear-Consensus in the single-port model (Theorem 12) ===");
     println!("nodes:             {n}   fault bound: {t}");
-    println!("single-port rounds:{} (schedule length {sp_rounds})", report.metrics.rounds);
+    println!(
+        "single-port rounds:{} (schedule length {sp_rounds})",
+        report.metrics.rounds
+    );
     println!("messages:          {}", report.metrics.messages);
     println!("bits:              {}", report.metrics.bits);
-    println!("peak msgs/round:   {} (<= n, one send per node per round)", report.metrics.peak_messages_in_a_round());
+    println!(
+        "peak msgs/round:   {} (<= n, one send per node per round)",
+        report.metrics.peak_messages_in_a_round()
+    );
     println!("agreement:         {}", report.non_faulty_deciders_agree());
     println!("decision:          {:?}", report.agreed_value());
 

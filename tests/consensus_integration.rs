@@ -6,8 +6,8 @@ use linear_dft::core::{
     linear_consensus_for_all_nodes, FewCrashesConsensus, ManyCrashesConsensus, SystemConfig,
 };
 use linear_dft::sim::{
-    CrashAdversary, FixedCrashSchedule, NoFaults, NodeId, RandomCrashes, Runner,
-    SinglePortRunner, TargetedCrashes,
+    CrashAdversary, FixedCrashSchedule, NoFaults, NodeId, RandomCrashes, Runner, SinglePortRunner,
+    TargetedCrashes,
 };
 
 fn check_consensus_report(report: &linear_dft::sim::ExecutionReport<bool>, inputs: &[bool]) {
@@ -36,7 +36,9 @@ fn few_crashes_consensus_across_seeds_and_adversaries() {
     let n = 90;
     let t = 11;
     for seed in 0..3u64 {
-        let inputs: Vec<bool> = (0..n).map(|i| (i as u64 + seed) % 3 == 0).collect();
+        let inputs: Vec<bool> = (0..n)
+            .map(|i| (i as u64 + seed).is_multiple_of(3))
+            .collect();
         let adversaries: Vec<Box<dyn CrashAdversary>> = vec![
             Box::new(NoFaults),
             Box::new(RandomCrashes::new(n, t, 40, seed)),
@@ -120,8 +122,7 @@ fn crash_exactly_when_little_nodes_notify() {
     let aea_rounds = linear_dft::core::AeaConfig::from_system(&config)
         .unwrap()
         .total_rounds();
-    let adversary =
-        FixedCrashSchedule::new().crash_all_at(aea_rounds - 1, (0..t).map(NodeId::new));
+    let adversary = FixedCrashSchedule::new().crash_all_at(aea_rounds - 1, (0..t).map(NodeId::new));
     let mut runner = Runner::with_adversary(nodes, Box::new(adversary), t).unwrap();
     let report = runner.run(rounds + 2);
     check_consensus_report(&report, &inputs);

@@ -19,7 +19,10 @@ fn gossip_extant_sets_respect_both_conditions() {
     let mut runner = Runner::with_adversary(nodes, Box::new(adversary), t).unwrap();
     let report = runner.run(rounds + 2);
 
-    assert!(report.all_non_faulty_decided(), "every survivor decides an extant set");
+    assert!(
+        report.all_non_faulty_decided(),
+        "every survivor decides an extant set"
+    );
     let non_faulty = report.non_faulty();
     for id in non_faulty.iter() {
         let set = report.outputs[id.index()].as_ref().unwrap();
@@ -52,7 +55,10 @@ fn checkpointing_reaches_identical_checkpoints_under_random_crashes() {
         let report = runner.run(rounds + 2);
 
         assert!(report.all_non_faulty_decided());
-        assert!(report.non_faulty_deciders_agree(), "checkpoint must be identical everywhere");
+        assert!(
+            report.non_faulty_deciders_agree(),
+            "checkpoint must be identical everywhere"
+        );
         let checkpoint = report.agreed_value().unwrap();
         for id in report.non_faulty().iter() {
             assert!(checkpoint.contains(&id.index()));

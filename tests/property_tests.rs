@@ -57,9 +57,9 @@ proptest! {
         for id in report.non_faulty().iter() {
             let set = report.outputs[id.index()].as_ref().unwrap();
             prop_assert!(set.is_present(id.index()), "own pair always present");
-            for j in 0..n {
+            for (j, &expected) in rumors.iter().enumerate() {
                 if let Some(rumor) = set.rumor_of(j) {
-                    prop_assert_eq!(rumor, rumors[j], "rumor of {} corrupted", j);
+                    prop_assert_eq!(rumor, expected, "rumor of {} corrupted", j);
                 }
             }
         }

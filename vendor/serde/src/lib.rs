@@ -1,0 +1,33 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no registry access, so this crate provides just
+//! enough of serde's public surface for the workspace to compile: the
+//! `Serialize` / `Deserialize` traits (as blanket-implemented markers, since
+//! nothing in the workspace performs actual serialization yet) and the
+//! matching no-op derive macros.  Swapping in the real serde later is a
+//! one-line change in the workspace manifest; no source edits are required.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`; blanket-implemented for all types.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; blanket-implemented for all
+/// sized types.
+pub trait Deserialize<'de>: Sized {}
+
+impl<'de, T> Deserialize<'de> for T {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+
+impl<T> DeserializeOwned for T {}
+
+/// Stand-in for `serde::de`, so `serde::de::DeserializeOwned` paths resolve.
+pub mod de {
+    pub use super::{Deserialize, DeserializeOwned};
+}

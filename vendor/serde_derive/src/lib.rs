@@ -1,0 +1,20 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The vendored `serde` blanket-implements its marker traits for every type,
+//! so these derives only need to (a) accept the `#[derive(Serialize,
+//! Deserialize)]` syntax and (b) swallow `#[serde(...)]` helper attributes.
+//! They expand to nothing.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive; the blanket impl in `serde` covers every type.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive; the blanket impl in `serde` covers every type.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
