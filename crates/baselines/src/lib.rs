@@ -175,19 +175,22 @@ impl AllToAllGossip {
 }
 
 impl SyncProtocol for AllToAllGossip {
-    type Msg = RumorMap;
+    type Msg = Arc<RumorMap>;
     type Output = RumorMap;
 
-    fn send(&mut self, _round: Round) -> Vec<Outgoing<RumorMap>> {
+    fn send(&mut self, _round: Round) -> Vec<Outgoing<Arc<RumorMap>>> {
         if self.decided.is_some() {
             return Vec::new();
         }
+        // One shared map, reference-counted per recipient instead of n deep
+        // clones per round.
+        let known = Arc::new(self.known.clone());
         (0..self.n)
-            .map(|p| Outgoing::new(NodeId::new(p), self.known.clone()))
+            .map(|p| Outgoing::new(NodeId::new(p), Arc::clone(&known)))
             .collect()
     }
 
-    fn receive(&mut self, _round: Round, inbox: &[Delivered<RumorMap>]) {
+    fn receive(&mut self, _round: Round, inbox: &[Delivered<Arc<RumorMap>>]) {
         for msg in inbox {
             for (slot, value) in self.known.0.iter_mut().zip(&msg.msg.0) {
                 if slot.is_none() {
@@ -260,19 +263,21 @@ impl NaiveCheckpointing {
 }
 
 impl SyncProtocol for NaiveCheckpointing {
-    type Msg = Membership;
+    type Msg = Arc<Membership>;
     type Output = Vec<usize>;
 
-    fn send(&mut self, _round: Round) -> Vec<Outgoing<Membership>> {
+    fn send(&mut self, _round: Round) -> Vec<Outgoing<Arc<Membership>>> {
         if self.decided.is_some() {
             return Vec::new();
         }
+        // One shared membership vector, reference-counted per recipient.
+        let seen = Arc::new(Membership(self.seen.clone()));
         (0..self.n)
-            .map(|p| Outgoing::new(NodeId::new(p), Membership(self.seen.clone())))
+            .map(|p| Outgoing::new(NodeId::new(p), Arc::clone(&seen)))
             .collect()
     }
 
-    fn receive(&mut self, _round: Round, inbox: &[Delivered<Membership>]) {
+    fn receive(&mut self, _round: Round, inbox: &[Delivered<Arc<Membership>>]) {
         for msg in inbox {
             for (mine, theirs) in self.seen.iter_mut().zip(&msg.msg.0) {
                 *mine |= *theirs;
@@ -359,10 +364,10 @@ impl ParallelDsConsensus {
 }
 
 impl SyncProtocol for ParallelDsConsensus {
-    type Msg = SignedBatch;
+    type Msg = Arc<SignedBatch>;
     type Output = u64;
 
-    fn send(&mut self, round: Round) -> Vec<Outgoing<SignedBatch>> {
+    fn send(&mut self, round: Round) -> Vec<Outgoing<Arc<SignedBatch>>> {
         let r = round.as_u64();
         if r > self.t as u64 {
             return Vec::new();
@@ -377,27 +382,34 @@ impl SyncProtocol for ParallelDsConsensus {
         if batch.is_empty() {
             return Vec::new();
         }
+        // One shared batch, reference-counted per recipient: the baseline's
+        // n² fan-out would otherwise deep-clone every signature chain n times
+        // per round.
+        let batch = Arc::new(SignedBatch(batch));
         (0..self.n)
             .filter(|&p| p != self.me)
-            .map(|p| Outgoing::new(NodeId::new(p), SignedBatch(batch.clone())))
+            .map(|p| Outgoing::new(NodeId::new(p), Arc::clone(&batch)))
             .collect()
     }
 
-    fn receive(&mut self, round: Round, inbox: &[Delivered<SignedBatch>]) {
+    fn receive(&mut self, round: Round, inbox: &[Delivered<Arc<SignedBatch>>]) {
         let r = round.as_u64();
         if r <= self.t as u64 {
             for delivered in inbox {
                 for sv in &delivered.msg.0 {
+                    // Skip already-accepted values before paying for chain
+                    // verification; relays of known values dominate later
+                    // rounds.
                     if sv.source >= self.n
+                        || self.accepted[sv.source].contains(&sv.value)
                         || !sv.verify_chain_with_length(&self.directory, r as usize + 1)
                     {
                         continue;
                     }
-                    if self.accepted[sv.source].insert(sv.value) {
-                        let mut relay = sv.clone();
-                        relay.countersign(&self.signer);
-                        self.relay_queue.push(relay);
-                    }
+                    self.accepted[sv.source].insert(sv.value);
+                    let mut relay = sv.clone();
+                    relay.countersign(&self.signer);
+                    self.relay_queue.push(relay);
                 }
             }
         }

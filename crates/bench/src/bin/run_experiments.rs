@@ -1,18 +1,80 @@
 //! Regenerates every experiment table (E1–E11) and prints them to stdout.
 //!
-//! Usage: `cargo run --release -p dft-bench --bin run_experiments [--full]`
-//! (`--full` uses the larger sizes recorded in `EXPERIMENTS.md`).
+//! Usage:
+//!
+//! ```text
+//! run_experiments [--scale quick|full|paper] [--n N] [--t T] [--seed S] [--timings]
+//! ```
+//!
+//! * `--scale` picks the size tier (`quick` is the CI default, `full` the
+//!   sizes recorded in `EXPERIMENTS.md`, `paper` the n = 10^3–10^4 sizes of
+//!   the slow suite; `--full` is kept as an alias for `--scale full`);
+//! * `--n`, `--t`, `--seed` override system size, fault bound and base seed
+//!   for every experiment (see `SweepConfig`);
+//! * `--timings` appends one `[time] Ek: …s` line per experiment so perf
+//!   regressions show up in CI logs.
 
-use dft_bench::experiments::{all_experiments, Scale};
+use std::process::ExitCode;
+use std::time::Instant;
 
-fn main() {
-    let scale = if std::env::args().any(|a| a == "--full") {
-        Scale::Full
-    } else {
-        Scale::Quick
-    };
-    println!("linear-dft experiment harness (scale: {scale:?})\n");
-    for table in all_experiments(scale) {
-        println!("{}", table.render());
+use dft_bench::experiments::{experiment_catalog, Scale, SweepConfig};
+
+const USAGE: &str =
+    "usage: run_experiments [--scale quick|full|paper] [--n N] [--t T] [--seed S] [--timings]";
+
+fn fail(message: &str) -> ExitCode {
+    eprintln!("run_experiments: {message}\n{USAGE}");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut cfg = SweepConfig::default();
+    let mut timings = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            "--full" => cfg.scale = Scale::Full,
+            "--timings" => timings = true,
+            "--scale" => {
+                let Some(name) = args.next() else {
+                    return fail("--scale needs a value");
+                };
+                let Some(scale) = Scale::parse(&name) else {
+                    return fail(&format!("unknown scale {name:?}"));
+                };
+                cfg.scale = scale;
+            }
+            "--n" => match args.next().as_deref().map(str::parse) {
+                // Below ~20 nodes the per-experiment parameter formulas
+                // (t < n/5 boundaries, overlay degrees) degenerate.
+                Some(Ok(n)) if n >= 20 => cfg.n = Some(n),
+                _ => return fail("--n needs an integer >= 20"),
+            },
+            "--t" => match args.next().as_deref().map(str::parse) {
+                Some(Ok(t)) => cfg.t = Some(t),
+                _ => return fail("--t needs an integer"),
+            },
+            "--seed" => match args.next().as_deref().map(str::parse) {
+                Some(Ok(seed)) => cfg.seed = Some(seed),
+                _ => return fail("--seed needs an integer"),
+            },
+            other => return fail(&format!("unknown argument {other:?}")),
+        }
     }
+
+    println!("linear-dft experiment harness (scale: {:?})\n", cfg.scale);
+    for (id, experiment) in experiment_catalog() {
+        let start = Instant::now();
+        let table = experiment(&cfg);
+        let elapsed = start.elapsed().as_secs_f64();
+        println!("{}", table.render());
+        if timings {
+            println!("[time] {id}: {elapsed:.2}s\n");
+        }
+    }
+    ExitCode::SUCCESS
 }

@@ -3,6 +3,13 @@
 //! Every function returns a [`Table`] whose rows are measured executions; the
 //! `run_experiments` binary prints them, and `EXPERIMENTS.md` records one
 //! captured run next to the paper's claims.
+//!
+//! Experiments are parameterised by a [`SweepConfig`]: a [`Scale`] tier
+//! picking the default size sweep, plus optional `--n` / `--t` / `--seed`
+//! overrides wired through the `run_experiments` CLI.  At [`Scale::Paper`]
+//! the quadratic baselines (flooding, all-to-all, naive checkpointing,
+//! parallel Dolev–Strong) are skipped: they are Θ(n²·t) by construction and
+//! exist to show the crossover at small `n`, not to be run at `n = 10^3`.
 
 use dft_overlay::{build, properties, spectral};
 
@@ -14,19 +21,34 @@ use crate::{
 };
 
 /// The scale of an experiment sweep.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub enum Scale {
     /// Small sizes for CI and criterion runs (seconds).
+    #[default]
     Quick,
     /// The sizes used for `EXPERIMENTS.md` (minutes).
     Full,
+    /// Paper-scale sizes, n = 10^3–10^4 (the slow CI job; quadratic
+    /// baselines are skipped at this tier).
+    Paper,
 }
 
 impl Scale {
+    /// Parses a CLI scale name (`quick`, `full` or `paper`).
+    pub fn parse(name: &str) -> Option<Scale> {
+        match name.to_ascii_lowercase().as_str() {
+            "quick" => Some(Scale::Quick),
+            "full" => Some(Scale::Full),
+            "paper" => Some(Scale::Paper),
+            _ => None,
+        }
+    }
+
     fn consensus_sizes(self) -> Vec<usize> {
         match self {
             Scale::Quick => vec![60, 120],
             Scale::Full => vec![128, 256, 512, 1024],
+            Scale::Paper => vec![1000, 2000],
         }
     }
 
@@ -34,7 +56,100 @@ impl Scale {
         match self {
             Scale::Quick => vec![50, 100],
             Scale::Full => vec![128, 256, 512],
+            Scale::Paper => vec![1000],
         }
+    }
+
+    fn overlay_cases(self) -> Vec<(usize, usize)> {
+        match self {
+            Scale::Quick => vec![(200, 8), (400, 12)],
+            Scale::Full => vec![(512, 8), (1024, 12), (2048, 16)],
+            Scale::Paper => vec![(4096, 16), (8192, 16)],
+        }
+    }
+}
+
+/// Sweep parameters for one experiment run: the scale tier plus the optional
+/// `--n` / `--t` / `--seed` CLI overrides.
+///
+/// With `n` set, every experiment runs at exactly that system size instead of
+/// the tier's sweep; with `t` set, per-experiment fault-bound formulas and
+/// fraction sweeps collapse to that single value (clamped to `[1, n-1]`);
+/// with `seed` set, it replaces each experiment's fixed base seed.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SweepConfig {
+    /// Scale tier supplying the default sweeps (`Quick` by default).
+    pub scale: Scale,
+    /// Override: run every experiment at exactly this system size.
+    pub n: Option<usize>,
+    /// Override: use exactly this fault bound instead of the per-experiment
+    /// formulas.
+    pub t: Option<usize>,
+    /// Override: replace each experiment's fixed base seed.
+    pub seed: Option<u64>,
+}
+
+impl SweepConfig {
+    /// A configuration with no overrides at the given scale.
+    pub fn new(scale: Scale) -> Self {
+        SweepConfig {
+            scale,
+            ..Self::default()
+        }
+    }
+
+    /// Whether the quadratic baselines run at this tier.
+    pub fn include_baselines(&self) -> bool {
+        self.scale != Scale::Paper
+    }
+
+    fn consensus_sizes(&self) -> Vec<usize> {
+        self.n
+            .map_or_else(|| self.scale.consensus_sizes(), |n| vec![n])
+    }
+
+    fn heavy_sizes(&self) -> Vec<usize> {
+        self.n.map_or_else(|| self.scale.heavy_sizes(), |n| vec![n])
+    }
+
+    fn overlay_cases(&self) -> Vec<(usize, usize)> {
+        self.n.map_or_else(
+            || self.scale.overlay_cases(),
+            // Degree capped so the regular-graph construction stays
+            // realisable (`d + 1 < n`) at small overridden sizes.
+            |n| vec![(n, 12.min(n.saturating_sub(2)).max(2))],
+        )
+    }
+
+    /// The fault bound for size `n`: the override if set, otherwise the
+    /// experiment's own `default`.  The override is clamped into
+    /// `[1, bound - 1]`, where `bound` is the experiment's *exclusive*
+    /// validity limit (`n/5` for the crash algorithms, `n/2` for
+    /// authenticated Byzantine, `n` for many-crashes), so a `--t` chosen for
+    /// one experiment cannot push another outside its configuration range.
+    fn t_or(&self, default: usize, bound: usize) -> usize {
+        self.t
+            .map_or(default, |t| t.clamp(1, bound.saturating_sub(1).max(1)))
+    }
+
+    /// A sweep of fault bounds, collapsed to the (clamped) override when
+    /// `--t` was given.  `bound` is exclusive, as in [`SweepConfig::t_or`].
+    fn t_sweep(&self, defaults: Vec<usize>, bound: usize) -> Vec<usize> {
+        match self.t {
+            Some(t) => vec![t.clamp(1, bound.saturating_sub(1).max(1))],
+            None => defaults,
+        }
+    }
+
+    /// The seed for an experiment with fixed base seed `default`.
+    fn seed_or(&self, default: u64) -> u64 {
+        self.seed.unwrap_or(default)
+    }
+}
+
+impl From<Scale> for SweepConfig {
+    fn from(scale: Scale) -> Self {
+        SweepConfig::new(scale)
     }
 }
 
@@ -51,13 +166,13 @@ fn fmt_measurement(m: &Measurement) -> Vec<String> {
 /// E1 — Table 1: the ranges of `t` for which time `O(t)` and communication
 /// `O(n)` hold simultaneously; measured as messages-per-node at the claimed
 /// boundary `t` for each problem.
-pub fn experiment_table1(scale: Scale) -> Table {
+pub fn experiment_table1(cfg: &SweepConfig) -> Table {
     let mut table = Table::new(
         "E1 table1_optimality",
         "Table 1: consensus linear up to t=O(n/log n); gossip/checkpointing up to t=O(n/log^2 n); authenticated Byzantine up to t=O(sqrt n)",
         &["problem", "n", "t", "rounds", "messages", "msgs/node"],
     );
-    for &n in &scale.consensus_sizes() {
+    for &n in &cfg.consensus_sizes() {
         let log_n = (n as f64).log2();
         let cases = [
             ("consensus", (n as f64 / log_n) as usize, 0usize),
@@ -66,13 +181,16 @@ pub fn experiment_table1(scale: Scale) -> Table {
             ("ab-consensus", (n as f64).sqrt() as usize, 3),
         ];
         for (problem, t_raw, kind) in cases {
-            let t = t_raw.clamp(1, n / 5 - 1);
-            let w = Workload::full_budget(n, t, 7);
+            let cap = (n / 5).saturating_sub(1).max(1);
+            let bound = if kind == 3 { n / 2 } else { n / 5 };
+            let t = cfg.t_or(t_raw.clamp(1, cap), bound);
+            let seed = cfg.seed_or(7);
+            let w = Workload::full_budget(n, t, seed);
             let m = match kind {
                 0 => measure_few_crashes(&w),
                 1 => measure_gossip(&w),
                 2 => measure_checkpointing(&w),
-                _ => measure_ab_consensus(&Workload::fault_free(n, t, 7)),
+                _ => measure_ab_consensus(&Workload::fault_free(n, t, seed)),
             };
             table.push_row(vec![
                 problem.to_string(),
@@ -89,7 +207,7 @@ pub fn experiment_table1(scale: Scale) -> Table {
 
 /// E2 — Theorem 5: almost-everywhere agreement decider fraction, rounds and
 /// messages.
-pub fn experiment_aea(scale: Scale) -> Table {
+pub fn experiment_aea(cfg: &SweepConfig) -> Table {
     let mut table = Table::new(
         "E2 thm5_aea",
         "Theorem 5: >= 3/5 n decide the same value, O(t) rounds, O(n) one-bit messages (t < n/5)",
@@ -103,10 +221,9 @@ pub fn experiment_aea(scale: Scale) -> Table {
             "agreement",
         ],
     );
-    for &n in &scale.consensus_sizes() {
-        for frac in [10, 6] {
-            let t = (n / frac).max(1);
-            let w = Workload::full_budget(n, t, 11);
+    for &n in &cfg.consensus_sizes() {
+        for t in cfg.t_sweep(vec![(n / 10).max(1), (n / 6).max(1)], n / 5) {
+            let w = Workload::full_budget(n, t, cfg.seed_or(11));
             let m = measure_aea(&w);
             table.push_row(vec![
                 n.to_string(),
@@ -123,7 +240,7 @@ pub fn experiment_aea(scale: Scale) -> Table {
 }
 
 /// E3 — Theorem 6: spread-common-value rounds and messages.
-pub fn experiment_scv(scale: Scale) -> Table {
+pub fn experiment_scv(cfg: &SweepConfig) -> Table {
     let mut table = Table::new(
         "E3 thm6_scv",
         "Theorem 6: O(log t) rounds and O(t log t) messages",
@@ -137,10 +254,9 @@ pub fn experiment_scv(scale: Scale) -> Table {
             "agreement",
         ],
     );
-    for &n in &scale.consensus_sizes() {
-        for frac in [12, 6] {
-            let t = (n / frac).max(1);
-            let m = measure_scv(&Workload::full_budget(n, t, 13));
+    for &n in &cfg.consensus_sizes() {
+        for t in cfg.t_sweep(vec![(n / 12).max(1), (n / 6).max(1)], n / 5) {
+            let m = measure_scv(&Workload::full_budget(n, t, cfg.seed_or(13)));
             let mut row = vec![n.to_string(), t.to_string()];
             row.extend(fmt_measurement(&m));
             table.push_row(row);
@@ -150,19 +266,20 @@ pub fn experiment_scv(scale: Scale) -> Table {
 }
 
 /// E4 — Theorem 7: few-crashes consensus vs the flooding baseline.
-pub fn experiment_few_crashes(scale: Scale) -> Table {
+pub fn experiment_few_crashes(cfg: &SweepConfig) -> Table {
     let mut table = Table::new(
         "E4 thm7_few_crashes",
         "Theorem 7: O(t + log n) rounds, O(n + t log t) one-bit messages (t < n/5); flooding baseline is Theta(n^2) messages/round",
         &["algorithm", "n", "t", "rounds", "messages", "bits", "all_decided", "agreement"],
     );
-    for &n in &scale.consensus_sizes() {
-        let t = (n / 8).max(1);
-        let w = Workload::full_budget(n, t, 17);
-        for (name, m) in [
-            ("few-crashes", measure_few_crashes(&w)),
-            ("flooding", measure_flooding(&w)),
-        ] {
+    for &n in &cfg.consensus_sizes() {
+        let t = cfg.t_or((n / 8).max(1), n / 5);
+        let w = Workload::full_budget(n, t, cfg.seed_or(17));
+        let mut runs = vec![("few-crashes", measure_few_crashes(&w))];
+        if cfg.include_baselines() {
+            runs.push(("flooding", measure_flooding(&w)));
+        }
+        for (name, m) in runs {
             let mut row = vec![name.to_string(), n.to_string(), t.to_string()];
             row.extend(fmt_measurement(&m));
             table.push_row(row);
@@ -173,20 +290,23 @@ pub fn experiment_few_crashes(scale: Scale) -> Table {
 
 /// E5 — Theorem 8 / Corollary 1: many-crashes consensus across fault
 /// fractions.
-pub fn experiment_many_crashes(scale: Scale) -> Table {
+pub fn experiment_many_crashes(cfg: &SweepConfig) -> Table {
     let mut table = Table::new(
         "E5 thm8_many_crashes",
         "Theorem 8: <= n + 3(1+lg n) rounds and (5/(1-alpha))^8 n lg n one-bit messages for any t < n",
         &["n", "alpha", "t", "rounds", "round_bound", "messages", "all_decided", "agreement"],
     );
-    for &n in &scale.heavy_sizes() {
-        for alpha_pct in [10usize, 50, 90] {
-            let t = ((n * alpha_pct) / 100).clamp(1, n - 1);
-            let m = measure_many_crashes(&Workload::full_budget(n, t, 19));
+    for &n in &cfg.heavy_sizes() {
+        let defaults: Vec<usize> = [10usize, 50, 90]
+            .iter()
+            .map(|alpha_pct| ((n * alpha_pct) / 100).clamp(1, n - 1))
+            .collect();
+        for t in cfg.t_sweep(defaults, n) {
+            let m = measure_many_crashes(&Workload::full_budget(n, t, cfg.seed_or(19)));
             let round_bound = n as u64 + 3 * (1 + (n as f64).log2().ceil() as u64);
             table.push_row(vec![
                 n.to_string(),
-                format!("0.{alpha_pct:02}"),
+                format!("{:.2}", t as f64 / n as f64),
                 t.to_string(),
                 m.rounds.to_string(),
                 round_bound.to_string(),
@@ -200,19 +320,20 @@ pub fn experiment_many_crashes(scale: Scale) -> Table {
 }
 
 /// E6 — Theorem 9: gossip vs the all-to-all baseline.
-pub fn experiment_gossip(scale: Scale) -> Table {
+pub fn experiment_gossip(cfg: &SweepConfig) -> Table {
     let mut table = Table::new(
         "E6 thm9_gossip",
         "Theorem 9: O(log n log t) rounds, O(n + t log n log t) messages; all-to-all baseline is Theta(n^2 t)",
         &["algorithm", "n", "t", "rounds", "messages", "bits", "all_decided", "agreement"],
     );
-    for &n in &scale.heavy_sizes() {
-        let t = (n / 8).max(1);
-        let w = Workload::full_budget(n, t, 23);
-        for (name, m) in [
-            ("gossip", measure_gossip(&w)),
-            ("all-to-all", measure_all_to_all_gossip(&w)),
-        ] {
+    for &n in &cfg.heavy_sizes() {
+        let t = cfg.t_or((n / 8).max(1), n / 5);
+        let w = Workload::full_budget(n, t, cfg.seed_or(23));
+        let mut runs = vec![("gossip", measure_gossip(&w))];
+        if cfg.include_baselines() {
+            runs.push(("all-to-all", measure_all_to_all_gossip(&w)));
+        }
+        for (name, m) in runs {
             let mut row = vec![name.to_string(), n.to_string(), t.to_string()];
             row.extend(fmt_measurement(&m));
             table.push_row(row);
@@ -222,19 +343,20 @@ pub fn experiment_gossip(scale: Scale) -> Table {
 }
 
 /// E7 — Theorem 10: checkpointing vs the naive baseline.
-pub fn experiment_checkpointing(scale: Scale) -> Table {
+pub fn experiment_checkpointing(cfg: &SweepConfig) -> Table {
     let mut table = Table::new(
         "E7 thm10_checkpointing",
         "Theorem 10: O(t + log n log t) rounds, O(n + t log n log t) messages; naive baseline is Theta(n^2 t)",
         &["algorithm", "n", "t", "rounds", "messages", "bits", "all_decided", "agreement"],
     );
-    for &n in &scale.heavy_sizes() {
-        let t = (n / 8).max(1);
-        let w = Workload::full_budget(n, t, 29);
-        for (name, m) in [
-            ("checkpointing", measure_checkpointing(&w)),
-            ("naive", measure_naive_checkpointing(&w)),
-        ] {
+    for &n in &cfg.heavy_sizes() {
+        let t = cfg.t_or((n / 8).max(1), n / 5);
+        let w = Workload::full_budget(n, t, cfg.seed_or(29));
+        let mut runs = vec![("checkpointing", measure_checkpointing(&w))];
+        if cfg.include_baselines() {
+            runs.push(("naive", measure_naive_checkpointing(&w)));
+        }
+        for (name, m) in runs {
             let mut row = vec![name.to_string(), n.to_string(), t.to_string()];
             row.extend(fmt_measurement(&m));
             table.push_row(row);
@@ -245,19 +367,20 @@ pub fn experiment_checkpointing(scale: Scale) -> Table {
 
 /// E8 — Theorem 11: authenticated-Byzantine consensus vs the parallel
 /// Dolev–Strong baseline.
-pub fn experiment_byzantine(scale: Scale) -> Table {
+pub fn experiment_byzantine(cfg: &SweepConfig) -> Table {
     let mut table = Table::new(
         "E8 thm11_byzantine",
         "Theorem 11: O(t) rounds and O(t^2 + n) messages from non-faulty nodes (t < n/2); baseline is Theta(n^2) per round",
         &["algorithm", "n", "t", "rounds", "messages", "bits", "all_decided", "agreement"],
     );
-    for &n in &scale.heavy_sizes() {
-        let t = ((n as f64).sqrt() as usize).max(1);
-        let w = Workload::fault_free(n, t, 31);
-        for (name, m) in [
-            ("ab-consensus", measure_ab_consensus(&w)),
-            ("parallel-ds", measure_parallel_ds(&w)),
-        ] {
+    for &n in &cfg.heavy_sizes() {
+        let t = cfg.t_or(((n as f64).sqrt() as usize).max(1), n / 2);
+        let w = Workload::fault_free(n, t, cfg.seed_or(31));
+        let mut runs = vec![("ab-consensus", measure_ab_consensus(&w))];
+        if cfg.include_baselines() {
+            runs.push(("parallel-ds", measure_parallel_ds(&w)));
+        }
+        for (name, m) in runs {
             let mut row = vec![name.to_string(), n.to_string(), t.to_string()];
             row.extend(fmt_measurement(&m));
             table.push_row(row);
@@ -267,7 +390,7 @@ pub fn experiment_byzantine(scale: Scale) -> Table {
 }
 
 /// E9 — Theorem 12: the single-port adaptation.
-pub fn experiment_single_port(scale: Scale) -> Table {
+pub fn experiment_single_port(cfg: &SweepConfig) -> Table {
     let mut table = Table::new(
         "E9 thm12_single_port",
         "Theorem 12: single-port consensus in O(t + log n) rounds with O(n + t log n) bits",
@@ -281,9 +404,9 @@ pub fn experiment_single_port(scale: Scale) -> Table {
             "agreement",
         ],
     );
-    for &n in &scale.heavy_sizes() {
-        let t = (n / 8).max(1);
-        let m = measure_linear_consensus(&Workload::full_budget(n, t, 37));
+    for &n in &cfg.heavy_sizes() {
+        let t = cfg.t_or((n / 8).max(1), n / 5);
+        let m = measure_linear_consensus(&Workload::full_budget(n, t, cfg.seed_or(37)));
         let mut row = vec![n.to_string(), t.to_string()];
         row.extend(fmt_measurement(&m));
         table.push_row(row);
@@ -294,16 +417,15 @@ pub fn experiment_single_port(scale: Scale) -> Table {
 /// E10 — Theorem 13: the single-port lower bound, demonstrated by running
 /// consensus against the information-splitting adversary and reporting the
 /// rounds needed as `t` and `n` grow.
-pub fn experiment_lower_bound(scale: Scale) -> Table {
+pub fn experiment_lower_bound(cfg: &SweepConfig) -> Table {
     let mut table = Table::new(
         "E10 thm13_lower_bound",
         "Theorem 13: every single-port algorithm needs Omega(t + log n) rounds; measured rounds grow with both t and n",
         &["n", "t", "sp_rounds_measured", "t_plus_log_n"],
     );
-    for &n in &scale.heavy_sizes() {
-        for frac in [16, 8] {
-            let t = (n / frac).max(1);
-            let m = measure_linear_consensus(&Workload::full_budget(n, t, 41));
+    for &n in &cfg.heavy_sizes() {
+        for t in cfg.t_sweep(vec![(n / 16).max(1), (n / 8).max(1)], n / 5) {
+            let m = measure_linear_consensus(&Workload::full_budget(n, t, cfg.seed_or(41)));
             table.push_row(vec![
                 n.to_string(),
                 t.to_string(),
@@ -318,22 +440,18 @@ pub fn experiment_lower_bound(scale: Scale) -> Table {
 /// E11 — Section 3 (Theorems 1–4): overlay-graph properties — spectral gap,
 /// Ramanujan bound, expansion sampling and the size of the survival subset
 /// after removing `t` adversarial vertices.
-pub fn experiment_overlay(scale: Scale) -> Table {
+pub fn experiment_overlay(cfg: &SweepConfig) -> Table {
     let mut table = Table::new(
         "E11 overlay_properties",
         "Theorems 1-4: Ramanujan overlays are l-expanding and (l, 3/4, delta)-compact; random regular graphs match the bound in practice",
         &["n", "d", "lambda", "ramanujan_bound", "expanding", "survival_frac_after_t_removed"],
     );
-    let sizes = match scale {
-        Scale::Quick => vec![(200usize, 8usize), (400, 12)],
-        Scale::Full => vec![(512, 8), (1024, 12), (2048, 16)],
-    };
-    for (n, d) in sizes {
-        let graph = build::random_regular(n, d, 99).expect("construction");
+    for (n, d) in cfg.overlay_cases() {
+        let graph = build::random_regular(n, d, cfg.seed_or(99)).expect("construction");
         let est = spectral::second_eigenvalue(&graph, 200, 5);
         let expanding = properties::sampled_expansion_check(&graph, n / 5, 30, 7);
         // Remove the t = n/5 highest-index vertices and peel with delta = d/4.
-        let t = n / 5;
+        let t = cfg.t_or(n / 5, n);
         let survivors: Vec<usize> = (0..n - t).collect();
         let candidate = graph.mask(&survivors);
         let core = properties::survival_subset(&graph, &candidate, d / 4);
@@ -350,21 +468,39 @@ pub fn experiment_overlay(scale: Scale) -> Table {
     table
 }
 
-/// Runs every experiment at the given scale.
-pub fn all_experiments(scale: Scale) -> Vec<Table> {
+/// An experiment entry point: builds one table from a sweep configuration.
+pub type ExperimentFn = fn(&SweepConfig) -> Table;
+
+/// The full experiment catalogue: `(short id, experiment function)` pairs in
+/// E1–E11 order.  `run_experiments` iterates this to print per-experiment
+/// wall times.
+pub fn experiment_catalog() -> Vec<(&'static str, ExperimentFn)> {
     vec![
-        experiment_table1(scale),
-        experiment_aea(scale),
-        experiment_scv(scale),
-        experiment_few_crashes(scale),
-        experiment_many_crashes(scale),
-        experiment_gossip(scale),
-        experiment_checkpointing(scale),
-        experiment_byzantine(scale),
-        experiment_single_port(scale),
-        experiment_lower_bound(scale),
-        experiment_overlay(scale),
+        ("E1", experiment_table1 as ExperimentFn),
+        ("E2", experiment_aea),
+        ("E3", experiment_scv),
+        ("E4", experiment_few_crashes),
+        ("E5", experiment_many_crashes),
+        ("E6", experiment_gossip),
+        ("E7", experiment_checkpointing),
+        ("E8", experiment_byzantine),
+        ("E9", experiment_single_port),
+        ("E10", experiment_lower_bound),
+        ("E11", experiment_overlay),
     ]
+}
+
+/// Runs every experiment under the given configuration.
+pub fn all_experiments_cfg(cfg: &SweepConfig) -> Vec<Table> {
+    experiment_catalog()
+        .into_iter()
+        .map(|(_, f)| f(cfg))
+        .collect()
+}
+
+/// Runs every experiment at the given scale with no overrides.
+pub fn all_experiments(scale: Scale) -> Vec<Table> {
+    all_experiments_cfg(&scale.into())
 }
 
 #[cfg(test)]
@@ -373,14 +509,14 @@ mod tests {
 
     #[test]
     fn quick_overlay_experiment_has_rows() {
-        let table = experiment_overlay(Scale::Quick);
+        let table = experiment_overlay(&Scale::Quick.into());
         assert_eq!(table.rows.len(), 2);
         assert!(table.render().contains("lambda"));
     }
 
     #[test]
     fn quick_aea_experiment_reports_agreement() {
-        let table = experiment_aea(Scale::Quick);
+        let table = experiment_aea(&Scale::Quick.into());
         assert!(!table.rows.is_empty());
         for row in &table.rows {
             assert_eq!(row.last().map(String::as_str), Some("yes"));
@@ -389,7 +525,7 @@ mod tests {
 
     #[test]
     fn quick_few_crashes_vs_flooding_crossover() {
-        let table = experiment_few_crashes(Scale::Quick);
+        let table = experiment_few_crashes(&Scale::Quick.into());
         // Rows alternate algorithm/baseline; the baseline sends more messages
         // at every size.
         for pair in table.rows.chunks(2) {
@@ -397,5 +533,72 @@ mod tests {
             let baseline: u64 = pair[1][4].parse().unwrap();
             assert!(baseline > ours, "baseline {baseline} vs ours {ours}");
         }
+    }
+
+    #[test]
+    fn scale_parse_accepts_tiers() {
+        assert_eq!(Scale::parse("quick"), Some(Scale::Quick));
+        assert_eq!(Scale::parse("FULL"), Some(Scale::Full));
+        assert_eq!(Scale::parse("Paper"), Some(Scale::Paper));
+        assert_eq!(Scale::parse("huge"), None);
+    }
+
+    #[test]
+    fn overrides_collapse_sweeps() {
+        let cfg = SweepConfig {
+            scale: Scale::Quick,
+            n: Some(40),
+            t: Some(4),
+            seed: Some(5),
+        };
+        assert_eq!(cfg.consensus_sizes(), vec![40]);
+        assert_eq!(cfg.heavy_sizes(), vec![40]);
+        assert_eq!(cfg.t_sweep(vec![2, 8], 40 / 5), vec![4]);
+        assert_eq!(cfg.t_or(9, 40 / 5), 4);
+        assert_eq!(cfg.seed_or(7), 5);
+        let table = experiment_aea(&cfg);
+        assert_eq!(table.rows.len(), 1, "n and t overrides give one row");
+    }
+
+    #[test]
+    fn t_override_is_clamped_to_experiment_validity() {
+        let cfg = SweepConfig {
+            scale: Scale::Quick,
+            n: Some(40),
+            t: Some(39), // valid for many-crashes, far too big for t < n/5
+            seed: None,
+        };
+        assert_eq!(cfg.t_or(5, 40 / 5), 7, "clamped below n/5");
+        assert_eq!(cfg.t_sweep(vec![2], 40), vec![39], "full range kept");
+        // The t < n/5 experiments must not panic on an oversized override.
+        let table = experiment_aea(&cfg);
+        assert_eq!(table.rows.len(), 1);
+    }
+
+    #[test]
+    fn small_n_override_does_not_panic() {
+        // n = 20 is the smallest size the CLI accepts; every experiment must
+        // survive it (E1's t formulas and E11's overlay degree are the
+        // delicate ones).
+        let cfg = SweepConfig {
+            scale: Scale::Quick,
+            n: Some(20),
+            t: None,
+            seed: None,
+        };
+        for (_, experiment) in experiment_catalog() {
+            let table = experiment(&cfg);
+            assert!(!table.rows.is_empty());
+        }
+    }
+
+    #[test]
+    fn paper_scale_skips_baselines() {
+        let cfg = SweepConfig {
+            scale: Scale::Paper,
+            ..Default::default()
+        };
+        assert!(!cfg.include_baselines());
+        assert!(SweepConfig::new(Scale::Quick).include_baselines());
     }
 }

@@ -88,14 +88,20 @@ impl CommonSet {
 }
 
 /// Messages of `AB-Consensus`.
+///
+/// The bulky variants are [`Arc`]-wrapped: the same batch, endorsement list
+/// or common set is broadcast to many destinations each round, and sharing
+/// makes the per-recipient copy a reference-count bump instead of a deep
+/// clone of a signature chain.  Wire sizes ([`Payload::bit_len`]) are those
+/// of the inner values, so the paper's bit accounting is unchanged.
 #[derive(Clone, Debug, PartialEq)]
 pub enum AbMsg {
     /// Part 1: a batch of Dolev–Strong relays.
-    Ds(DsBatch),
+    Ds(Arc<DsBatch>),
     /// Part 1 endorsement round: a little node's endorsed entries.
-    Endorse(Vec<SignedValue>),
+    Endorse(Arc<Vec<SignedValue>>),
     /// Parts 2–4: the authenticated common set of values.
-    CommonSet(CommonSet),
+    CommonSet(Arc<CommonSet>),
     /// Part 4: an authenticated inquiry (signature over the inquirer's id).
     Inquiry(Signature),
 }
@@ -196,7 +202,7 @@ pub struct AbConsensus {
     relay_queue: Vec<SignedValue>,
     /// Merged endorsement chains per source, keyed by resolved value.
     endorsed: Vec<Option<SignedValue>>,
-    common: Option<CommonSet>,
+    common: Option<Arc<CommonSet>>,
     forward_pending: bool,
     inquirers: Vec<usize>,
     decided: Option<u64>,
@@ -264,7 +270,9 @@ impl AbConsensus {
             .collect()
     }
 
-    fn adopt(&mut self, set: CommonSet) {
+    fn adopt(&mut self, set: &Arc<CommonSet>) {
+        // Check the cheap guard before the (expensive) chain verification:
+        // once a node holds a verified set, further copies carry no news.
         if self.common.is_none()
             && set.verify(
                 &self.config.directory,
@@ -272,7 +280,7 @@ impl AbConsensus {
                 self.config.threshold,
             )
         {
-            self.common = Some(set);
+            self.common = Some(Arc::clone(set));
             self.forward_pending = true;
         }
     }
@@ -348,7 +356,7 @@ impl AbConsensus {
             self.config.little,
             self.config.threshold,
         ) {
-            self.common = Some(set);
+            self.common = Some(Arc::new(set));
         }
     }
 }
@@ -375,21 +383,22 @@ impl SyncProtocol for AbConsensus {
             if batch.is_empty() {
                 return Vec::new();
             }
+            let batch = Arc::new(DsBatch(batch));
             return self
                 .little_peers()
                 .into_iter()
-                .map(|p| Outgoing::new(NodeId::new(p), AbMsg::Ds(DsBatch(batch.clone()))))
+                .map(|p| Outgoing::new(NodeId::new(p), AbMsg::Ds(Arc::clone(&batch))))
                 .collect();
         }
         if r == cfg.endorse_round() {
             if !self.is_little() {
                 return Vec::new();
             }
-            let entries = self.build_endorsements();
+            let entries = Arc::new(self.build_endorsements());
             return self
                 .little_peers()
                 .into_iter()
-                .map(|p| Outgoing::new(NodeId::new(p), AbMsg::Endorse(entries.clone())))
+                .map(|p| Outgoing::new(NodeId::new(p), AbMsg::Endorse(Arc::clone(&entries))))
                 .collect();
         }
         if r == cfg.notify_round() {
@@ -401,7 +410,7 @@ impl SyncProtocol for AbConsensus {
                     return self
                         .related_nodes()
                         .into_iter()
-                        .map(|p| Outgoing::new(NodeId::new(p), AbMsg::CommonSet(set.clone())))
+                        .map(|p| Outgoing::new(NodeId::new(p), AbMsg::CommonSet(Arc::clone(set))))
                         .collect();
                 }
             }
@@ -416,7 +425,7 @@ impl SyncProtocol for AbConsensus {
                         .h_graph
                         .neighbors(self.me)
                         .iter()
-                        .map(|&p| Outgoing::new(NodeId::new(p), AbMsg::CommonSet(set.clone())))
+                        .map(|&p| Outgoing::new(NodeId::new(p), AbMsg::CommonSet(Arc::clone(set))))
                         .collect();
                 }
             }
@@ -441,7 +450,7 @@ impl SyncProtocol for AbConsensus {
                     let inquirers = std::mem::take(&mut self.inquirers);
                     return inquirers
                         .into_iter()
-                        .map(|p| Outgoing::new(NodeId::new(p), AbMsg::CommonSet(set.clone())))
+                        .map(|p| Outgoing::new(NodeId::new(p), AbMsg::CommonSet(Arc::clone(set))))
                         .collect();
                 }
             }
@@ -458,17 +467,19 @@ impl SyncProtocol for AbConsensus {
                 for delivered in inbox {
                     if let AbMsg::Ds(batch) = &delivered.msg {
                         for sv in &batch.0 {
+                            // Skip already-accepted values before paying for
+                            // chain verification: relays of known values are
+                            // the common case in later Dolev–Strong rounds.
                             if sv.source >= cfg.little
+                                || self.accepted[sv.source].contains_key(&sv.value)
                                 || !sv.verify_chain_with_length(&cfg.directory, r as usize + 1)
                             {
                                 continue;
                             }
-                            if !self.accepted[sv.source].contains_key(&sv.value) {
-                                let mut relay = sv.clone();
-                                relay.countersign(&self.signer);
-                                self.accepted[sv.source].insert(sv.value, sv.clone());
-                                self.relay_queue.push(relay);
-                            }
+                            let mut relay = sv.clone();
+                            relay.countersign(&self.signer);
+                            self.accepted[sv.source].insert(sv.value, sv.clone());
+                            self.relay_queue.push(relay);
                         }
                     }
                 }
@@ -476,21 +487,16 @@ impl SyncProtocol for AbConsensus {
         } else if r == cfg.endorse_round() {
             if self.is_little() {
                 // Our own endorsements were built in `send`; merge peers'.
-                let peer_entries: Vec<Vec<SignedValue>> = inbox
-                    .iter()
-                    .filter_map(|d| match &d.msg {
-                        AbMsg::Endorse(entries) => Some(entries.clone()),
-                        _ => None,
-                    })
-                    .collect();
-                for entries in &peer_entries {
-                    self.merge_endorsements(entries);
+                for delivered in inbox {
+                    if let AbMsg::Endorse(entries) = &delivered.msg {
+                        self.merge_endorsements(entries);
+                    }
                 }
             }
         } else {
             for delivered in inbox {
                 match &delivered.msg {
-                    AbMsg::CommonSet(set) => self.adopt(set.clone()),
+                    AbMsg::CommonSet(set) => self.adopt(set),
                     AbMsg::Inquiry(signature) => {
                         let digest =
                             dft_auth::hash::hash_words(&[0x1D_u64, delivered.from.index() as u64]);
@@ -596,7 +602,7 @@ mod tests {
                 .map(|p| {
                     let value = if p % 2 == 0 { 100 } else { 200 };
                     let sv = SignedValue::originate(&byz_signer, value);
-                    Outgoing::new(NodeId::new(p), AbMsg::Ds(DsBatch(vec![sv])))
+                    Outgoing::new(NodeId::new(p), AbMsg::Ds(Arc::new(DsBatch(vec![sv]))))
                 })
                 .collect()
         });

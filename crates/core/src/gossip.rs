@@ -79,6 +79,11 @@ impl GossipConfig {
 }
 
 /// Messages of `Gossip`.
+///
+/// The set-valued variants are [`Arc`]-wrapped: the same extant/completion
+/// set is pushed to many neighbours per round, and sharing turns each
+/// per-recipient copy into a reference-count bump.  Wire sizes are those of
+/// the inner sets, so bit accounting is unchanged.
 #[derive(Clone, Debug, PartialEq)]
 pub enum GossipMsg {
     /// Part 1, phase round 1: a little node asks a neighbour for its pair.
@@ -91,9 +96,9 @@ pub enum GossipMsg {
         rumor: Rumor,
     },
     /// An extant set (probing payload in Part 1, push payload in Part 2).
-    Extant(ExtantSet),
+    Extant(Arc<ExtantSet>),
     /// A completion set (probing payload in Part 2).
-    Completion(BitVector),
+    Completion(Arc<BitVector>),
 }
 
 impl Payload for GossipMsg {
@@ -245,11 +250,10 @@ impl SyncProtocol for Gossip {
                     for &v in &targets {
                         self.completion.set(v, true);
                     }
+                    let set = Arc::new(self.extant.clone());
                     return targets
                         .into_iter()
-                        .map(|v| {
-                            Outgoing::new(NodeId::new(v), GossipMsg::Extant(self.extant.clone()))
-                        })
+                        .map(|v| Outgoing::new(NodeId::new(v), GossipMsg::Extant(Arc::clone(&set))))
                         .collect();
                 }
                 Vec::new()
@@ -273,11 +277,11 @@ impl SyncProtocol for Gossip {
             (Stage::BuildCompletion, 1) => Vec::new(),
             // Probing rounds.
             (Stage::BuildExtant, _) => {
-                let msg = GossipMsg::Extant(self.extant.clone());
+                let msg = GossipMsg::Extant(Arc::new(self.extant.clone()));
                 self.probing_sends(msg)
             }
             (Stage::BuildCompletion, _) => {
-                let msg = GossipMsg::Completion(self.completion.clone());
+                let msg = GossipMsg::Completion(Arc::new(self.completion.clone()));
                 self.probing_sends(msg)
             }
         }

@@ -39,8 +39,13 @@ pub struct AdversaryView<'a> {
     /// For every node (indexed by node id), the destinations it intends to
     /// send to this round.  Crashed and halted nodes have empty intent lists.
     pub send_intents: &'a [Vec<NodeId>],
-    /// In the single-port model, the port each node intends to poll this
-    /// round (`None` when idle).  Empty slice in the multi-port model.
+    /// The port each node (indexed by node id) intends to poll this round.
+    ///
+    /// Per-model meaning: in the **single-port** model this is each node's
+    /// poll choice (`None` when idle; crashed and halted nodes are `None`).
+    /// In the **multi-port** model there is no polling, but the runner still
+    /// supplies one `None` slot per node so adversaries may index
+    /// `poll_intents[node]` without checking which model they run under.
     pub poll_intents: &'a [Option<NodeId>],
     /// How many more crashes the fault budget allows.
     pub remaining_budget: usize,

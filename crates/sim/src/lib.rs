@@ -82,6 +82,7 @@
 #![warn(missing_docs)]
 
 pub mod adversary;
+mod delivery;
 mod error;
 mod message;
 mod metrics;

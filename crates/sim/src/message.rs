@@ -87,6 +87,17 @@ impl<A: Payload, B: Payload> Payload for (A, B) {
     }
 }
 
+impl<T: Payload> Payload for std::sync::Arc<T> {
+    /// An `Arc` is a zero-cost sharing wrapper: the wire size is the inner
+    /// payload's.  Protocols that broadcast one (potentially large) value to
+    /// many destinations can wrap it in an `Arc` so the runner's per-copy
+    /// cost is a reference-count bump instead of a deep clone, without
+    /// changing the bit accounting.
+    fn bit_len(&self) -> u64 {
+        self.as_ref().bit_len()
+    }
+}
+
 /// A message a node asks the runner to transmit this round.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Outgoing<M> {

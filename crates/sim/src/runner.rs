@@ -4,17 +4,23 @@
 //! crash adversary and/or Byzantine participants, collecting the metrics the
 //! paper reports: rounds until all non-faulty nodes halt, messages and bits
 //! sent by non-faulty nodes.
+//!
+//! The round loop is built on the batched-delivery core in
+//! [`delivery`](crate::delivery): alive/crashed sets are maintained
+//! incrementally, and the per-round working storage (outgoing queues, send
+//! intents, inboxes) lives in flat buffers reused across rounds instead of
+//! being reallocated every round.
 
 use crate::adversary::byzantine::ByzantineStrategy;
-use crate::adversary::{AdversaryView, CrashAdversary, NoFaults};
+use crate::adversary::{CrashAdversary, NoFaults};
+use crate::delivery::EngineCore;
 use crate::error::{SimError, SimResult};
 use crate::message::{Delivered, Outgoing, Payload};
-use crate::metrics::Metrics;
 use crate::node::{NodeId, NodeSet};
 use crate::protocol::{NodeStatus, SyncProtocol};
 use crate::report::{ExecutionReport, Termination};
 use crate::round::Round;
-use crate::trace::{Event, Trace};
+use crate::trace::Trace;
 
 /// A participant in an execution: either an honest node running the protocol
 /// under test or a Byzantine node running an arbitrary strategy.
@@ -43,6 +49,11 @@ impl<P: SyncProtocol> std::fmt::Debug for Participant<P> {
 
 /// Multi-port synchronous runner.
 ///
+/// Messages addressed to nodes that have crashed **or halted** are dropped
+/// at delivery time (they are still counted against the sender): a halted
+/// node no longer participates in the protocol.  Both runners share this
+/// rule — see `SinglePortRunner` for the buffered-port variant.
+///
 /// # Examples
 ///
 /// Running a toy protocol in which every node halts immediately:
@@ -67,17 +78,20 @@ impl<P: SyncProtocol> std::fmt::Debug for Participant<P> {
 /// ```
 pub struct Runner<P: SyncProtocol> {
     participants: Vec<Participant<P>>,
-    status: Vec<NodeStatus>,
     outputs: Vec<Option<P::Output>>,
-    halted_at: Vec<Option<Round>>,
-    crashed_at: Vec<Option<Round>>,
     adversary: Box<dyn CrashAdversary>,
-    fault_budget: usize,
-    crashes: usize,
-    round: Round,
-    metrics: Metrics,
-    trace: Trace,
+    core: EngineCore,
+    /// Per-node outgoing queues for the current round (reused).
+    outgoing: Vec<Vec<Outgoing<P::Msg>>>,
+    /// Per-node intended destinations handed to the adversary (reused).
+    send_intents: Vec<Vec<NodeId>>,
+    /// The multi-port model has no polling; the adversary still sees one
+    /// (always-`None`) slot per node.  See [`crate::AdversaryView`].
+    poll_intents: Vec<Option<NodeId>>,
+    /// Per-node inboxes for the current round (reused).
     inboxes: Vec<Vec<Delivered<P::Msg>>>,
+    /// Byzantine nodes' retained previous-round inboxes.
+    byz_inboxes: Vec<Vec<Delivered<P::Msg>>>,
 }
 
 impl<P: SyncProtocol> Runner<P> {
@@ -131,23 +145,20 @@ impl<P: SyncProtocol> Runner<P> {
         let n = participants.len();
         Ok(Runner {
             participants,
-            status: vec![NodeStatus::Running; n],
             outputs: (0..n).map(|_| None).collect(),
-            halted_at: vec![None; n],
-            crashed_at: vec![None; n],
             adversary,
-            fault_budget,
-            crashes: 0,
-            round: Round::ZERO,
-            metrics: Metrics::new(),
-            trace: Trace::disabled(),
+            core: EngineCore::new(n, fault_budget),
+            outgoing: (0..n).map(|_| Vec::new()).collect(),
+            send_intents: (0..n).map(|_| Vec::new()).collect(),
+            poll_intents: vec![None; n],
             inboxes: (0..n).map(|_| Vec::new()).collect(),
+            byz_inboxes: (0..n).map(|_| Vec::new()).collect(),
         })
     }
 
     /// Enables coarse-grained event tracing.
     pub fn enable_trace(&mut self) -> &mut Self {
-        self.trace = Trace::enabled();
+        self.core.trace = Trace::enabled();
         self
     }
 
@@ -158,12 +169,12 @@ impl<P: SyncProtocol> Runner<P> {
 
     /// The current round (the next one to be executed).
     pub fn round(&self) -> Round {
-        self.round
+        self.core.round
     }
 
     /// The recorded trace (empty unless [`Runner::enable_trace`] was called).
     pub fn trace(&self) -> &Trace {
-        &self.trace
+        &self.core.trace
     }
 
     /// Runs rounds until every non-faulty node has halted or `max_rounds`
@@ -182,7 +193,7 @@ impl<P: SyncProtocol> Runner<P> {
 
     /// Whether every node that has not crashed has halted voluntarily.
     pub fn all_non_faulty_halted(&self) -> bool {
-        self.status.iter().enumerate().all(|(i, s)| match s {
+        self.core.status.iter().enumerate().all(|(i, s)| match s {
             NodeStatus::Running => self.participants[i].is_byzantine(),
             NodeStatus::Halted | NodeStatus::Crashed(_) => true,
         })
@@ -192,145 +203,87 @@ impl<P: SyncProtocol> Runner<P> {
     /// adversary, deliver, receive, update statuses.
     pub fn step(&mut self) {
         let n = self.n();
-        let round = self.round;
+        let round = self.core.round;
 
-        // Phase 1: collect outgoing messages from every operational participant.
-        let mut outgoing: Vec<Vec<Outgoing<P::Msg>>> = Vec::with_capacity(n);
+        // Phase 1: collect outgoing messages from every operational
+        // participant into the reused per-node queues.
         for (i, participant) in self.participants.iter_mut().enumerate() {
-            let msgs = match (&self.status[i], participant) {
+            self.outgoing[i] = match (&self.core.status[i], participant) {
                 (NodeStatus::Running, Participant::Honest(p)) => p.send(round),
                 (NodeStatus::Running, Participant::Byzantine(b)) => {
-                    let inbox = std::mem::take(&mut self.inboxes[i]);
                     // Byzantine nodes act on last round's inbox when sending.
-                    let msgs = b.act(round, &inbox);
-                    self.inboxes[i] = inbox;
-                    msgs
+                    b.act(round, &self.byz_inboxes[i])
                 }
                 _ => Vec::new(),
             };
-            outgoing.push(msgs);
         }
 
         // Phase 2: let the crash adversary pick this round's victims.
-        let alive = NodeSet::from_iter(
-            n,
-            self.status
-                .iter()
-                .enumerate()
-                .filter(|(_, s)| !s.is_crashed())
-                .map(|(i, _)| NodeId::new(i)),
-        );
-        let crashed_set = NodeSet::from_iter(
-            n,
-            self.status
-                .iter()
-                .enumerate()
-                .filter(|(_, s)| s.is_crashed())
-                .map(|(i, _)| NodeId::new(i)),
-        );
-        let send_intents: Vec<Vec<NodeId>> = outgoing
-            .iter()
-            .map(|msgs| msgs.iter().map(|m| m.to).collect())
-            .collect();
-        let poll_intents: Vec<Option<NodeId>> = Vec::new();
-        let view = AdversaryView {
-            round,
-            alive: &alive,
-            crashed: &crashed_set,
-            send_intents: &send_intents,
-            poll_intents: &poll_intents,
-            remaining_budget: self.fault_budget - self.crashes,
-        };
-        let directives = self.adversary.plan_round(&view);
-        let mut filters: Vec<Option<crate::adversary::DeliveryFilter>> = vec![None; n];
-        for directive in directives {
-            if self.crashes >= self.fault_budget {
-                break;
-            }
-            let idx = directive.node.index();
-            if idx >= n || self.status[idx].is_crashed() {
-                continue;
-            }
-            self.status[idx] = NodeStatus::Crashed(round);
-            self.crashed_at[idx] = Some(round);
-            self.crashes += 1;
-            self.metrics.record_crash();
-            self.trace.record(Event::Crashed {
-                round,
-                node: directive.node,
-            });
-            filters[idx] = Some(directive.deliver);
+        for (intents, msgs) in self.send_intents.iter_mut().zip(&self.outgoing) {
+            intents.clear();
+            intents.extend(msgs.iter().map(|m| m.to));
         }
+        self.core
+            .apply_crash_phase(&mut *self.adversary, &self.send_intents, &self.poll_intents);
 
         // Phase 3: deliver messages, counting only those actually dispatched
         // by non-Byzantine senders.
-        let mut inboxes: Vec<Vec<Delivered<P::Msg>>> = (0..n).map(|_| Vec::new()).collect();
-        for (sender_idx, msgs) in outgoing.into_iter().enumerate() {
+        for inbox in &mut self.inboxes {
+            inbox.clear();
+        }
+        for sender_idx in 0..n {
             let sender = NodeId::new(sender_idx);
-            let crashed_this_round = filters[sender_idx].is_some();
-            for (msg_idx, out) in msgs.into_iter().enumerate() {
-                if crashed_this_round
-                    && !filters[sender_idx]
-                        .as_ref()
-                        .expect("filter present")
-                        .allows(msg_idx, out.to)
-                {
-                    continue;
+            let is_byzantine = self.participants[sender_idx].is_byzantine();
+            for (msg_idx, out) in self.outgoing[sender_idx].drain(..).enumerate() {
+                if let Some(filter) = self.core.filter(sender_idx) {
+                    if !filter.allows(msg_idx, out.to) {
+                        continue;
+                    }
                 }
-                if self.participants[sender_idx].is_byzantine() {
-                    self.metrics.record_byzantine_message();
+                if is_byzantine {
+                    self.core.metrics.record_byzantine_message();
                 } else {
-                    self.metrics
+                    self.core
+                        .metrics
                         .record_message(round.as_u64(), out.msg.bit_len());
                 }
                 let dest = out.to.index();
-                if dest < n && self.status[dest].is_running() {
-                    inboxes[dest].push(Delivered::new(sender, out.msg));
+                if dest < n && self.core.status[dest].is_running() {
+                    self.inboxes[dest].push(Delivered::new(sender, out.msg));
                 }
             }
         }
 
         // Phase 4: receive and update statuses.
         for (i, participant) in self.participants.iter_mut().enumerate() {
-            if !self.status[i].is_running() {
+            if !self.core.status[i].is_running() {
                 continue;
             }
             match participant {
                 Participant::Honest(p) => {
-                    p.receive(round, &inboxes[i]);
-                    let new_output = p.output();
-                    if let Some(output) = new_output {
+                    p.receive(round, &self.inboxes[i]);
+                    if let Some(output) = p.output() {
                         if self.outputs[i].is_none() {
-                            self.trace.record(Event::Decided {
-                                round,
-                                node: NodeId::new(i),
-                                value: format!("{output:?}"),
-                            });
+                            self.core.record_decision(i, &output);
                             self.outputs[i] = Some(output);
                         }
                     }
                     if p.has_halted() {
-                        self.status[i] = NodeStatus::Halted;
-                        self.halted_at[i] = Some(round);
-                        self.trace.record(Event::Halted {
-                            round,
-                            node: NodeId::new(i),
-                        });
+                        self.core.mark_halted(i);
                     }
                 }
                 Participant::Byzantine(_) => {
                     // Byzantine nodes just remember their inbox for next round.
-                    self.inboxes[i] = std::mem::take(&mut inboxes[i]);
+                    std::mem::swap(&mut self.byz_inboxes[i], &mut self.inboxes[i]);
                 }
             }
         }
 
-        self.metrics.rounds = round.as_u64() + 1;
-        self.round = round.next();
+        self.core.finish_round();
     }
 
     /// Builds the final report.
-    fn report(&mut self, termination: Termination) -> ExecutionReport<P::Output> {
+    fn report(&self, termination: Termination) -> ExecutionReport<P::Output> {
         let n = self.n();
         let byzantine = NodeSet::from_iter(
             n,
@@ -342,10 +295,10 @@ impl<P: SyncProtocol> Runner<P> {
         );
         ExecutionReport {
             outputs: self.outputs.clone(),
-            crashed_at: self.crashed_at.clone(),
-            halted_at: self.halted_at.clone(),
+            crashed_at: self.core.crashed_at.clone(),
+            halted_at: self.core.halted_at.clone(),
             byzantine,
-            metrics: self.metrics.clone(),
+            metrics: self.core.metrics.clone(),
             termination,
         }
     }
@@ -355,8 +308,8 @@ impl<P: SyncProtocol> std::fmt::Debug for Runner<P> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Runner")
             .field("n", &self.n())
-            .field("round", &self.round)
-            .field("crashes", &self.crashes)
+            .field("round", &self.core.round)
+            .field("crashes", &self.core.crashes)
             .finish_non_exhaustive()
     }
 }
@@ -380,7 +333,7 @@ pub fn run_with_crashes<P: SyncProtocol>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::adversary::{CrashDirective, FixedCrashSchedule};
+    use crate::adversary::{AdversaryView, CrashDirective, FixedCrashSchedule};
 
     /// Every node floods its input to all nodes each round; decides on the OR
     /// of everything seen after 3 rounds.
@@ -561,5 +514,92 @@ mod tests {
         let report = runner.run(5);
         assert_eq!(report.termination, Termination::RoundLimit);
         assert_eq!(report.metrics.rounds, 5);
+    }
+
+    /// Sends one message per round to a fixed target and counts how many
+    /// messages it has ever received; never halts on its own.
+    struct CountingSender {
+        target: usize,
+        received: u64,
+        halt_after: Option<u64>,
+        rounds: u64,
+    }
+
+    impl SyncProtocol for CountingSender {
+        type Msg = bool;
+        type Output = u64;
+
+        fn send(&mut self, _round: Round) -> Vec<Outgoing<bool>> {
+            vec![Outgoing::new(NodeId::new(self.target), true)]
+        }
+
+        fn receive(&mut self, _round: Round, inbox: &[Delivered<bool>]) {
+            self.received += inbox.len() as u64;
+            self.rounds += 1;
+        }
+
+        fn output(&self) -> Option<u64> {
+            Some(self.received)
+        }
+
+        fn has_halted(&self) -> bool {
+            self.halt_after.is_some_and(|h| self.rounds >= h)
+        }
+    }
+
+    /// Regression test for the halted-destination rule: once a node halts,
+    /// messages addressed to it are dropped (but still counted against the
+    /// sender), exactly like messages to a crashed node.
+    #[test]
+    fn messages_to_halted_nodes_are_counted_but_dropped() {
+        // Node 1 halts after its first round; node 0 keeps sending to it.
+        let nodes = vec![
+            CountingSender {
+                target: 1,
+                received: 0,
+                halt_after: None,
+                rounds: 0,
+            },
+            CountingSender {
+                target: 0,
+                received: 0,
+                halt_after: Some(1),
+                rounds: 0,
+            },
+        ];
+        let mut runner = Runner::new(nodes).unwrap();
+        let report = runner.run(5);
+        assert_eq!(report.halted_at[1], Some(Round::new(0)));
+        // All 5 of node 0's sends are counted, plus node 1's single send.
+        assert_eq!(report.metrics.messages, 6);
+        // Node 1 received exactly one message (round 0) before halting.
+        assert_eq!(report.output_of(NodeId::new(1)), Some(&1));
+    }
+
+    /// Regression test: the multi-port runner hands the adversary one poll
+    /// slot per node (all `None`), so adversaries written for the
+    /// single-port model may index `poll_intents[node]` without panicking.
+    #[test]
+    fn adversary_view_has_one_poll_slot_per_node() {
+        struct IndexesPolls;
+        impl CrashAdversary for IndexesPolls {
+            fn plan_round(&mut self, view: &AdversaryView<'_>) -> Vec<CrashDirective> {
+                // Direct indexing, as `AdaptiveSplitAdversary` effectively
+                // does; this panicked when the view carried an empty slice.
+                for node in 0..view.n() {
+                    assert_eq!(view.poll_intents[node], None);
+                }
+                assert_eq!(view.poll_intents.len(), view.n());
+                // Crash node 0 so the report proves plan_round actually ran
+                // (and its assertions executed).
+                vec![CrashDirective::silent(NodeId::new(0))]
+            }
+        }
+        let n = 4;
+        let protocols: Vec<FloodOr> = (0..n).map(|i| FloodOr::new(n, i == 0)).collect();
+        let mut runner = Runner::with_adversary(protocols, Box::new(IndexesPolls), 1).unwrap();
+        let report = runner.run(5);
+        assert_eq!(report.metrics.crashes, 1, "the adversary was consulted");
+        assert_eq!(report.termination, Termination::AllHalted);
     }
 }

@@ -5,20 +5,30 @@
 //! its in-ports per round.  A node gets no signal that a port holds pending
 //! messages; it must decide which port to poll blindly.  Messages sent to a
 //! port are buffered until polled.
+//!
+//! The engine shares the batched-delivery core of
+//! [`delivery`](crate::delivery) with the multi-port runner.  Port buffers
+//! live in a sparse [`PortMap`](crate::delivery) rather than the seed's
+//! dense `n × n` queue matrix, so a runner over `n` nodes costs
+//! `O(n + live messages)` memory — the property that makes paper-scale
+//! `n = 10^3`–`10^4` runs feasible.
 
-use std::collections::VecDeque;
-
-use crate::adversary::{AdversaryView, CrashAdversary, NoFaults};
+use crate::adversary::{CrashAdversary, NoFaults};
+use crate::delivery::{EngineCore, PortMap};
 use crate::error::{SimError, SimResult};
 use crate::message::Payload;
 use crate::metrics::Metrics;
 use crate::node::{NodeId, NodeSet};
-use crate::protocol::{NodeStatus, SinglePortProtocol};
+use crate::protocol::SinglePortProtocol;
 use crate::report::{ExecutionReport, Termination};
-use crate::round::Round;
-use crate::trace::{Event, Trace};
+use crate::trace::Trace;
 
 /// Single-port synchronous runner.
+///
+/// Messages addressed to nodes that have crashed **or halted** are dropped
+/// instead of buffered (the send is still counted): a halted node never
+/// polls again, so buffering onto its ports could only leak memory.  This
+/// matches the multi-port `Runner`'s halted-destination rule.
 ///
 /// # Examples
 ///
@@ -70,19 +80,18 @@ use crate::trace::{Event, Trace};
 /// ```
 pub struct SinglePortRunner<P: SinglePortProtocol> {
     nodes: Vec<P>,
-    status: Vec<NodeStatus>,
     outputs: Vec<Option<P::Output>>,
-    halted_at: Vec<Option<Round>>,
-    crashed_at: Vec<Option<Round>>,
     adversary: Box<dyn CrashAdversary>,
-    fault_budget: usize,
-    crashes: usize,
-    round: Round,
-    metrics: Metrics,
-    trace: Trace,
-    /// `ports[to][from]` buffers messages sent from `from` to `to` that have
-    /// not been polled yet.
-    ports: Vec<Vec<VecDeque<P::Msg>>>,
+    core: EngineCore,
+    /// Per-node single send for the current round (reused).
+    sends: Vec<Option<crate::message::Outgoing<P::Msg>>>,
+    /// Per-node poll intent for the current round (reused).
+    polls: Vec<Option<NodeId>>,
+    /// Per-node intended destinations handed to the adversary (reused; each
+    /// holds at most one entry in this model).
+    send_intents: Vec<Vec<NodeId>>,
+    /// Sparse `(destination, sender)` port buffers.
+    ports: PortMap<P::Msg>,
 }
 
 impl<P: SinglePortProtocol> SinglePortRunner<P> {
@@ -120,25 +129,19 @@ impl<P: SinglePortProtocol> SinglePortRunner<P> {
         let n = nodes.len();
         Ok(SinglePortRunner {
             nodes,
-            status: vec![NodeStatus::Running; n],
             outputs: (0..n).map(|_| None).collect(),
-            halted_at: vec![None; n],
-            crashed_at: vec![None; n],
             adversary,
-            fault_budget,
-            crashes: 0,
-            round: Round::ZERO,
-            metrics: Metrics::new(),
-            trace: Trace::disabled(),
-            ports: (0..n)
-                .map(|_| (0..n).map(|_| VecDeque::new()).collect())
-                .collect(),
+            core: EngineCore::new(n, fault_budget),
+            sends: (0..n).map(|_| None).collect(),
+            polls: vec![None; n],
+            send_intents: (0..n).map(|_| Vec::new()).collect(),
+            ports: PortMap::new(),
         })
     }
 
     /// Enables coarse-grained event tracing.
     pub fn enable_trace(&mut self) -> &mut Self {
-        self.trace = Trace::enabled();
+        self.core.trace = Trace::enabled();
         self
     }
 
@@ -149,12 +152,25 @@ impl<P: SinglePortProtocol> SinglePortRunner<P> {
 
     /// The recorded trace.
     pub fn trace(&self) -> &Trace {
-        &self.trace
+        &self.core.trace
+    }
+
+    /// Total number of sent-but-not-yet-polled messages currently buffered
+    /// on ports.  Together with [`SinglePortRunner::ports_in_use`] this
+    /// exposes the engine's memory footprint: both are `O(live messages)`,
+    /// never `O(n²)`.
+    pub fn buffered_messages(&self) -> usize {
+        self.ports.buffered_messages()
+    }
+
+    /// Number of ports currently buffering at least one message.
+    pub fn ports_in_use(&self) -> usize {
+        self.ports.ports_in_use()
     }
 
     /// Whether every node that has not crashed has halted voluntarily.
     pub fn all_non_faulty_halted(&self) -> bool {
-        self.status.iter().all(|s| !s.is_running())
+        self.core.status.iter().all(|s| !s.is_running())
     }
 
     /// Runs until all non-faulty nodes halt or `max_rounds` rounds elapse.
@@ -173,129 +189,89 @@ impl<P: SinglePortProtocol> SinglePortRunner<P> {
     /// Executes one single-port round.
     pub fn step(&mut self) {
         let n = self.n();
-        let round = self.round;
+        let round = self.core.round;
 
         // Phase 1: collect each running node's single send and poll intent.
-        let mut sends: Vec<Option<crate::message::Outgoing<P::Msg>>> = Vec::with_capacity(n);
-        let mut polls: Vec<Option<NodeId>> = Vec::with_capacity(n);
         for (i, node) in self.nodes.iter_mut().enumerate() {
-            if self.status[i].is_running() {
-                sends.push(node.send(round));
-                polls.push(node.poll(round));
+            if self.core.status[i].is_running() {
+                self.sends[i] = node.send(round);
+                self.polls[i] = node.poll(round);
             } else {
-                sends.push(None);
-                polls.push(None);
+                self.sends[i] = None;
+                self.polls[i] = None;
             }
         }
 
         // Phase 2: crash adversary.
-        let alive = NodeSet::from_iter(
-            n,
-            self.status
-                .iter()
-                .enumerate()
-                .filter(|(_, s)| !s.is_crashed())
-                .map(|(i, _)| NodeId::new(i)),
-        );
-        let crashed_set = NodeSet::from_iter(
-            n,
-            self.status
-                .iter()
-                .enumerate()
-                .filter(|(_, s)| s.is_crashed())
-                .map(|(i, _)| NodeId::new(i)),
-        );
-        let send_intents: Vec<Vec<NodeId>> = sends
-            .iter()
-            .map(|s| s.iter().map(|o| o.to).collect())
-            .collect();
-        let view = AdversaryView {
-            round,
-            alive: &alive,
-            crashed: &crashed_set,
-            send_intents: &send_intents,
-            poll_intents: &polls,
-            remaining_budget: self.fault_budget - self.crashes,
-        };
-        let directives = self.adversary.plan_round(&view);
-        let mut crashed_this_round: Vec<Option<crate::adversary::DeliveryFilter>> = vec![None; n];
-        for directive in directives {
-            if self.crashes >= self.fault_budget {
-                break;
-            }
-            let idx = directive.node.index();
-            if idx >= n || self.status[idx].is_crashed() {
-                continue;
-            }
-            self.status[idx] = NodeStatus::Crashed(round);
-            self.crashed_at[idx] = Some(round);
-            self.crashes += 1;
-            self.metrics.record_crash();
-            self.trace.record(Event::Crashed {
-                round,
-                node: directive.node,
-            });
-            crashed_this_round[idx] = Some(directive.deliver);
+        for (intents, send) in self.send_intents.iter_mut().zip(&self.sends) {
+            intents.clear();
+            intents.extend(send.iter().map(|o| o.to));
+        }
+        self.core
+            .apply_crash_phase(&mut *self.adversary, &self.send_intents, &self.polls);
+        for &victim in self.core.crashed_this_round() {
+            // A crashed node never polls again; free its buffered ports.
+            self.ports.drop_destination(victim);
         }
 
         // Phase 3: enqueue messages onto destination ports.
-        for (sender_idx, send) in sends.into_iter().enumerate() {
-            let Some(out) = send else { continue };
-            if let Some(filter) = &crashed_this_round[sender_idx] {
+        for sender_idx in 0..n {
+            let Some(out) = self.sends[sender_idx].take() else {
+                continue;
+            };
+            if let Some(filter) = self.core.filter(sender_idx) {
                 if !filter.allows(0, out.to) {
                     continue;
                 }
             }
-            self.metrics
+            self.core
+                .metrics
                 .record_message(round.as_u64(), out.msg.bit_len());
             let dest = out.to.index();
-            if dest < n && !self.status[dest].is_crashed() {
-                self.ports[dest][sender_idx].push_back(out.msg);
+            if dest < n && self.core.status[dest].is_running() {
+                self.ports.push(dest, sender_idx, out.msg);
             }
         }
 
         // Phase 4: polled ports are drained and delivered.
         for (i, node) in self.nodes.iter_mut().enumerate() {
-            if !self.status[i].is_running() {
+            if !self.core.status[i].is_running() {
                 continue;
             }
-            if let Some(port) = polls[i] {
-                let drained: Vec<P::Msg> = self.ports[i][port.index()].drain(..).collect();
+            if let Some(port) = self.polls[i] {
+                let drained = self.ports.drain(i, port.index());
                 node.receive(round, port, drained);
             }
             if let Some(output) = node.output() {
                 if self.outputs[i].is_none() {
-                    self.trace.record(Event::Decided {
-                        round,
-                        node: NodeId::new(i),
-                        value: format!("{output:?}"),
-                    });
+                    self.core.record_decision(i, &output);
                     self.outputs[i] = Some(output);
                 }
             }
             if node.has_halted() {
-                self.status[i] = NodeStatus::Halted;
-                self.halted_at[i] = Some(round);
-                self.trace.record(Event::Halted {
-                    round,
-                    node: NodeId::new(i),
-                });
+                self.core.mark_halted(i);
+                // A halted node never polls again; free its buffered ports.
+                self.ports.drop_destination(i);
             }
         }
 
-        self.metrics.rounds = round.as_u64() + 1;
-        self.round = round.next();
+        self.core.finish_round();
     }
 
     fn report(&self, termination: Termination) -> ExecutionReport<P::Output> {
         ExecutionReport {
             outputs: self.outputs.clone(),
-            crashed_at: self.crashed_at.clone(),
-            halted_at: self.halted_at.clone(),
+            crashed_at: self.core.crashed_at.clone(),
+            halted_at: self.core.halted_at.clone(),
             byzantine: NodeSet::empty(self.n()),
-            metrics: self.metrics.clone(),
+            metrics: self.core.metrics.clone(),
             termination,
         }
+    }
+
+    /// The metrics accumulated so far (also available via the report).
+    pub fn metrics(&self) -> &Metrics {
+        &self.core.metrics
     }
 }
 
@@ -303,8 +279,8 @@ impl<P: SinglePortProtocol> std::fmt::Debug for SinglePortRunner<P> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("SinglePortRunner")
             .field("n", &self.n())
-            .field("round", &self.round)
-            .field("crashes", &self.crashes)
+            .field("round", &self.core.round)
+            .field("crashes", &self.core.crashes)
             .finish_non_exhaustive()
     }
 }
@@ -314,6 +290,7 @@ mod tests {
     use super::*;
     use crate::adversary::AdaptiveSplitAdversary;
     use crate::message::Outgoing;
+    use crate::round::Round;
 
     /// A round-robin token ring: node i sends its accumulated OR to node
     /// (i+1) mod n in round i, and polls port (i-1) mod n in every round.
@@ -460,6 +437,8 @@ mod tests {
         let mut runner = SinglePortRunner::new(nodes).unwrap();
         let report = runner.run(3);
         assert_eq!(report.metrics.messages, 1);
+        assert_eq!(runner.buffered_messages(), 1, "unpolled message buffered");
+        assert_eq!(runner.ports_in_use(), 1);
         assert_eq!(report.termination, Termination::RoundLimit);
     }
 
@@ -481,5 +460,89 @@ mod tests {
         // not node 0 itself).
         assert!(report.non_faulty().contains(NodeId::new(0)));
         assert_eq!(zero_output, Some(&true));
+    }
+
+    /// Regression test for the halted-destination rule: the seed engine kept
+    /// buffering messages onto halted nodes' ports (only crashed
+    /// destinations were dropped), which leaks memory at scale — a halted
+    /// node can never poll.  Both runners now drop such messages while still
+    /// counting them against the sender.
+    #[test]
+    fn messages_to_halted_nodes_are_counted_but_not_buffered() {
+        /// Node 1 halts in round 0; node 0 keeps sending to node 1 forever.
+        struct Pesterer {
+            me: usize,
+        }
+        impl SinglePortProtocol for Pesterer {
+            type Msg = bool;
+            type Output = bool;
+            fn send(&mut self, _round: Round) -> Option<Outgoing<bool>> {
+                (self.me == 0).then(|| Outgoing::new(NodeId::new(1), true))
+            }
+            fn poll(&mut self, _round: Round) -> Option<NodeId> {
+                None
+            }
+            fn receive(&mut self, _round: Round, _from: NodeId, _msgs: Vec<bool>) {}
+            fn output(&self) -> Option<bool> {
+                (self.me == 1).then_some(true)
+            }
+            fn has_halted(&self) -> bool {
+                self.me == 1
+            }
+        }
+        let nodes = vec![Pesterer { me: 0 }, Pesterer { me: 1 }];
+        let mut runner = SinglePortRunner::new(nodes).unwrap();
+        // Round 0: node 1 still runs, so node 0's first message is buffered;
+        // node 1 halts at the end of the round and its ports are dropped.
+        runner.step();
+        assert_eq!(runner.core.halted_at[1], Some(Round::new(0)));
+        assert_eq!(runner.buffered_messages(), 0, "halted ports freed");
+        // Rounds 1..: messages to the halted node are counted, not buffered.
+        for _ in 0..4 {
+            runner.step();
+        }
+        assert_eq!(runner.metrics().messages, 5, "every send is counted");
+        assert_eq!(runner.buffered_messages(), 0);
+        assert_eq!(runner.ports_in_use(), 0);
+    }
+
+    #[test]
+    fn crashed_destination_ports_are_freed() {
+        use crate::adversary::{CrashDirective, FixedCrashSchedule};
+        /// Node 0 sends to node 2 every round; node 2 never polls, so its
+        /// port from node 0 accumulates messages until node 2 crashes.
+        struct Pester;
+        impl SinglePortProtocol for Pester {
+            type Msg = bool;
+            type Output = bool;
+            fn send(&mut self, _round: Round) -> Option<Outgoing<bool>> {
+                Some(Outgoing::new(NodeId::new(2), true))
+            }
+            fn poll(&mut self, _round: Round) -> Option<NodeId> {
+                None
+            }
+            fn receive(&mut self, _round: Round, _from: NodeId, _msgs: Vec<bool>) {}
+            fn output(&self) -> Option<bool> {
+                None
+            }
+            fn has_halted(&self) -> bool {
+                false
+            }
+        }
+        let adversary =
+            FixedCrashSchedule::new().crash_at(2, CrashDirective::silent(NodeId::new(2)));
+        let nodes = vec![Pester, Pester, Pester];
+        let mut runner = SinglePortRunner::with_adversary(nodes, Box::new(adversary), 1).unwrap();
+        runner.step();
+        runner.step();
+        // Two rounds of three senders each, all addressed to node 2.
+        assert_eq!(runner.buffered_messages(), 6);
+        // Round 2: node 2 crashes before delivery; its buffered ports are
+        // dropped and this round's sends to it are skipped at push time.
+        runner.step();
+        assert!(runner.core.status[2].is_crashed());
+        assert_eq!(runner.buffered_messages(), 0, "crash freed node 2's ports");
+        assert_eq!(runner.ports_in_use(), 0);
+        assert_eq!(runner.metrics().messages, 8, "sends still counted");
     }
 }

@@ -28,7 +28,7 @@ fn main() {
             .map(|p| {
                 let value = if p % 2 == 0 { 1_000_000 } else { 2_000_000 };
                 let sv = SignedValue::originate(&byz_signer, value);
-                Outgoing::new(NodeId::new(p), AbMsg::Ds(DsBatch(vec![sv])))
+                Outgoing::new(NodeId::new(p), AbMsg::Ds(Arc::new(DsBatch(vec![sv]))))
             })
             .collect()
     });
