@@ -3,33 +3,129 @@
 //! Usage:
 //!
 //! ```text
-//! run_experiments [--scale quick|full|paper] [--n N] [--t T] [--seed S] [--timings]
+//! run_experiments [--scale quick|full|paper] [--n N] [--t T] [--seed S]
+//!                 [--jobs J] [--samples K] [--timings]
 //! ```
 //!
 //! * `--scale` picks the size tier (`quick` is the CI default, `full` the
 //!   sizes recorded in `EXPERIMENTS.md`, `paper` the n = 10^3–10^4 sizes of
 //!   the slow suite; `--full` is kept as an alias for `--scale full`);
 //! * `--n`, `--t`, `--seed` override system size, fault bound and base seed
-//!   for every experiment (see `SweepConfig`);
+//!   for every experiment (see `SweepConfig`; out-of-range `--t` overrides
+//!   are clamped per experiment with a warning on stderr);
+//! * `--jobs J` (default: available parallelism; `--jobs 1` forces the
+//!   fully serial harness) is a total thread budget split across the two
+//!   parallelism levels: up to 11 threads fan independent experiments out,
+//!   and any budget beyond the experiment count goes to each runner's
+//!   per-node phase workers (so `--jobs 44` runs 11 experiments × 4 phase
+//!   workers, never `J²` threads).  Tables are byte-identical at any
+//!   setting and always print in canonical E1–E11 order — the determinism
+//!   suite in `tests/determinism.rs` pins this;
+//! * `--samples K` measures each experiment `K` times (tables are printed
+//!   from the first sample; `K > 1` implies `--timings`, which is the only
+//!   consumer of the extra runs);
 //! * `--timings` appends one `[time] Ek: …s` line per experiment so perf
-//!   regressions show up in CI logs.
+//!   regressions show up in CI logs; with `--samples K > 1` the line becomes
+//!   the criterion-style `[min mean max] trimmed …` summary with IQR outlier
+//!   rejection.
 
 use std::process::ExitCode;
-use std::time::Instant;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
 
 use dft_bench::experiments::{experiment_catalog, Scale, SweepConfig};
+use dft_bench::Table;
 
-const USAGE: &str =
-    "usage: run_experiments [--scale quick|full|paper] [--n N] [--t T] [--seed S] [--timings]";
+const USAGE: &str = "usage: run_experiments [--scale quick|full|paper] [--n N] [--t T] \
+                     [--seed S] [--jobs J] [--samples K] [--timings]";
 
 fn fail(message: &str) -> ExitCode {
     eprintln!("run_experiments: {message}\n{USAGE}");
     ExitCode::from(2)
 }
 
+/// One experiment's outcome: its rendered table plus every timed sample.
+struct Outcome {
+    table: Table,
+    times: Vec<Duration>,
+}
+
+/// Splits the `--jobs` thread budget between the two parallelism levels:
+/// up to `catalog_len` threads fan experiments out, and any budget left
+/// beyond that goes to each runner's intra-run phase workers.  Running both
+/// levels at `jobs` simultaneously would put up to `jobs²` CPU-bound
+/// threads in flight; the split keeps the total at ~`jobs`.
+fn split_jobs(jobs: usize, catalog_len: usize) -> (usize, usize) {
+    let inter = jobs.min(catalog_len).max(1);
+    let intra = (jobs / inter).max(1);
+    (inter, intra)
+}
+
+/// Runs the whole catalogue, fanning independent experiments out across
+/// the inter-run share of the `jobs` budget (see [`split_jobs`]).  Results
+/// land in catalogue order regardless of which worker computed them, so the
+/// printed output is identical to a serial harness run.
+fn run_catalog(cfg: &SweepConfig, jobs: usize, samples: usize) -> Vec<(&'static str, Outcome)> {
+    let catalog = experiment_catalog();
+    let slots: Vec<Mutex<Option<Outcome>>> = catalog.iter().map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    let (workers, runner_jobs) = split_jobs(jobs, catalog.len());
+    let cfg = SweepConfig {
+        jobs: runner_jobs,
+        ..*cfg
+    };
+    let cfg = &cfg;
+    let run_one = |index: usize| {
+        let (_, experiment) = catalog[index];
+        let mut times = Vec::with_capacity(samples);
+        let mut table = None;
+        for _ in 0..samples {
+            let start = Instant::now();
+            let result = experiment(cfg);
+            times.push(start.elapsed());
+            table.get_or_insert(result);
+        }
+        *slots[index].lock().expect("experiment slot") = Some(Outcome {
+            table: table.expect("at least one sample"),
+            times,
+        });
+    };
+    if workers == 1 {
+        for index in 0..catalog.len() {
+            run_one(index);
+        }
+    } else {
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(|| loop {
+                    let index = next.fetch_add(1, Ordering::Relaxed);
+                    if index >= catalog.len() {
+                        break;
+                    }
+                    run_one(index);
+                });
+            }
+        });
+    }
+    catalog
+        .into_iter()
+        .zip(slots)
+        .map(|((id, _), slot)| {
+            let outcome = slot
+                .into_inner()
+                .expect("experiment slot")
+                .expect("every experiment ran");
+            (id, outcome)
+        })
+        .collect()
+}
+
 fn main() -> ExitCode {
     let mut cfg = SweepConfig::default();
     let mut timings = false;
+    let mut jobs = dft_sim::available_jobs();
+    let mut samples = 1usize;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -62,18 +158,37 @@ fn main() -> ExitCode {
                 Some(Ok(seed)) => cfg.seed = Some(seed),
                 _ => return fail("--seed needs an integer"),
             },
+            "--jobs" => match args.next().as_deref().map(str::parse) {
+                Some(Ok(j)) if j >= 1 => jobs = j,
+                _ => return fail("--jobs needs an integer >= 1"),
+            },
+            "--samples" => match args.next().as_deref().map(str::parse) {
+                Some(Ok(k)) if k >= 1 => samples = k,
+                _ => return fail("--samples needs an integer >= 1"),
+            },
             other => return fail(&format!("unknown argument {other:?}")),
         }
     }
+    // --samples exists to feed the timing summary; without --timings the
+    // extra runs would be measured and thrown away.
+    if samples > 1 {
+        timings = true;
+    }
 
-    println!("linear-dft experiment harness (scale: {:?})\n", cfg.scale);
-    for (id, experiment) in experiment_catalog() {
-        let start = Instant::now();
-        let table = experiment(&cfg);
-        let elapsed = start.elapsed().as_secs_f64();
-        println!("{}", table.render());
+    println!(
+        "linear-dft experiment harness (scale: {:?}, jobs: {jobs})\n",
+        cfg.scale
+    );
+    for (id, outcome) in run_catalog(&cfg, jobs, samples) {
+        println!("{}", outcome.table.render());
         if timings {
-            println!("[time] {id}: {elapsed:.2}s\n");
+            if outcome.times.len() == 1 {
+                println!("[time] {id}: {:.2}s\n", outcome.times[0].as_secs_f64());
+            } else {
+                let summary =
+                    criterion::stats::summarize(&outcome.times).expect("at least one timed sample");
+                println!("[time] {id}: {}\n", criterion::format_summary(&summary));
+            }
         }
     }
     ExitCode::SUCCESS

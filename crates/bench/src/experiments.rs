@@ -87,6 +87,10 @@ pub struct SweepConfig {
     pub t: Option<usize>,
     /// Override: replace each experiment's fixed base seed.
     pub seed: Option<u64>,
+    /// Worker threads for each runner's phase loops (`0` and `1` both mean
+    /// serial).  Purely a performance knob: tables are byte-identical at any
+    /// setting — the determinism suite pins this.
+    pub jobs: usize,
 }
 
 impl SweepConfig {
@@ -121,24 +125,43 @@ impl SweepConfig {
         )
     }
 
+    /// Resolved worker-thread count for runners (`0` is normalised to 1).
+    pub fn jobs(&self) -> usize {
+        self.jobs.max(1)
+    }
+
     /// The fault bound for size `n`: the override if set, otherwise the
     /// experiment's own `default`.  The override is clamped into
     /// `[1, bound - 1]`, where `bound` is the experiment's *exclusive*
     /// validity limit (`n/5` for the crash algorithms, `n/2` for
     /// authenticated Byzantine, `n` for many-crashes), so a `--t` chosen for
     /// one experiment cannot push another outside its configuration range.
+    /// A clamp is reported on stderr so a paper-tier run cannot silently
+    /// mislabel its parameters.
     fn t_or(&self, default: usize, bound: usize) -> usize {
-        self.t
-            .map_or(default, |t| t.clamp(1, bound.saturating_sub(1).max(1)))
+        self.t.map_or(default, |t| self.clamp_t(t, bound))
     }
 
     /// A sweep of fault bounds, collapsed to the (clamped) override when
     /// `--t` was given.  `bound` is exclusive, as in [`SweepConfig::t_or`].
     fn t_sweep(&self, defaults: Vec<usize>, bound: usize) -> Vec<usize> {
         match self.t {
-            Some(t) => vec![t.clamp(1, bound.saturating_sub(1).max(1))],
+            Some(t) => vec![self.clamp_t(t, bound)],
             None => defaults,
         }
+    }
+
+    /// Clamps a `--t` override into an experiment's validity range, warning
+    /// on stderr whenever the requested value was actually changed.
+    fn clamp_t(&self, t: usize, bound: usize) -> usize {
+        let clamped = t.clamp(1, bound.saturating_sub(1).max(1));
+        if clamped != t {
+            eprintln!(
+                "run_experiments: warning: --t {t} is outside an experiment's validity \
+                 range (t < {bound}); using t = {clamped} for that experiment"
+            );
+        }
+        clamped
     }
 
     /// The seed for an experiment with fixed base seed `default`.
@@ -185,12 +208,12 @@ pub fn experiment_table1(cfg: &SweepConfig) -> Table {
             let bound = if kind == 3 { n / 2 } else { n / 5 };
             let t = cfg.t_or(t_raw.clamp(1, cap), bound);
             let seed = cfg.seed_or(7);
-            let w = Workload::full_budget(n, t, seed);
+            let w = Workload::full_budget(n, t, seed).with_jobs(cfg.jobs());
             let m = match kind {
                 0 => measure_few_crashes(&w),
                 1 => measure_gossip(&w),
                 2 => measure_checkpointing(&w),
-                _ => measure_ab_consensus(&Workload::fault_free(n, t, seed)),
+                _ => measure_ab_consensus(&Workload::fault_free(n, t, seed).with_jobs(cfg.jobs())),
             };
             table.push_row(vec![
                 problem.to_string(),
@@ -223,7 +246,7 @@ pub fn experiment_aea(cfg: &SweepConfig) -> Table {
     );
     for &n in &cfg.consensus_sizes() {
         for t in cfg.t_sweep(vec![(n / 10).max(1), (n / 6).max(1)], n / 5) {
-            let w = Workload::full_budget(n, t, cfg.seed_or(11));
+            let w = Workload::full_budget(n, t, cfg.seed_or(11)).with_jobs(cfg.jobs());
             let m = measure_aea(&w);
             table.push_row(vec![
                 n.to_string(),
@@ -256,7 +279,8 @@ pub fn experiment_scv(cfg: &SweepConfig) -> Table {
     );
     for &n in &cfg.consensus_sizes() {
         for t in cfg.t_sweep(vec![(n / 12).max(1), (n / 6).max(1)], n / 5) {
-            let m = measure_scv(&Workload::full_budget(n, t, cfg.seed_or(13)));
+            let m =
+                measure_scv(&Workload::full_budget(n, t, cfg.seed_or(13)).with_jobs(cfg.jobs()));
             let mut row = vec![n.to_string(), t.to_string()];
             row.extend(fmt_measurement(&m));
             table.push_row(row);
@@ -274,7 +298,7 @@ pub fn experiment_few_crashes(cfg: &SweepConfig) -> Table {
     );
     for &n in &cfg.consensus_sizes() {
         let t = cfg.t_or((n / 8).max(1), n / 5);
-        let w = Workload::full_budget(n, t, cfg.seed_or(17));
+        let w = Workload::full_budget(n, t, cfg.seed_or(17)).with_jobs(cfg.jobs());
         let mut runs = vec![("few-crashes", measure_few_crashes(&w))];
         if cfg.include_baselines() {
             runs.push(("flooding", measure_flooding(&w)));
@@ -294,7 +318,7 @@ pub fn experiment_many_crashes(cfg: &SweepConfig) -> Table {
     let mut table = Table::new(
         "E5 thm8_many_crashes",
         "Theorem 8: <= n + 3(1+lg n) rounds and (5/(1-alpha))^8 n lg n one-bit messages for any t < n",
-        &["n", "alpha", "t", "rounds", "round_bound", "messages", "all_decided", "agreement"],
+        &["n", "alpha", "t", "rounds", "budget", "thm8_bound", "messages", "all_decided", "agreement"],
     );
     for &n in &cfg.heavy_sizes() {
         let defaults: Vec<usize> = [10usize, 50, 90]
@@ -302,14 +326,18 @@ pub fn experiment_many_crashes(cfg: &SweepConfig) -> Table {
             .map(|alpha_pct| ((n * alpha_pct) / 100).clamp(1, n - 1))
             .collect();
         for t in cfg.t_sweep(defaults, n) {
-            let m = measure_many_crashes(&Workload::full_budget(n, t, cfg.seed_or(19)));
-            let round_bound = n as u64 + 3 * (1 + (n as f64).log2().ceil() as u64);
+            let m = measure_many_crashes(
+                &Workload::full_budget(n, t, cfg.seed_or(19)).with_jobs(cfg.jobs()),
+            );
             table.push_row(vec![
                 n.to_string(),
                 format!("{:.2}", t as f64 / n as f64),
                 t.to_string(),
                 m.rounds.to_string(),
-                round_bound.to_string(),
+                // The α-aware budget is derived from the phase schedule; the
+                // closed form of Theorem 8 is its α → 1 worst case.
+                dft_core::round_budget_for(n, t).to_string(),
+                dft_core::theorem8_round_bound(n).to_string(),
                 m.messages.to_string(),
                 if m.all_decided { "yes" } else { "no" }.to_string(),
                 if m.agreement { "yes" } else { "no" }.to_string(),
@@ -328,7 +356,7 @@ pub fn experiment_gossip(cfg: &SweepConfig) -> Table {
     );
     for &n in &cfg.heavy_sizes() {
         let t = cfg.t_or((n / 8).max(1), n / 5);
-        let w = Workload::full_budget(n, t, cfg.seed_or(23));
+        let w = Workload::full_budget(n, t, cfg.seed_or(23)).with_jobs(cfg.jobs());
         let mut runs = vec![("gossip", measure_gossip(&w))];
         if cfg.include_baselines() {
             runs.push(("all-to-all", measure_all_to_all_gossip(&w)));
@@ -351,7 +379,7 @@ pub fn experiment_checkpointing(cfg: &SweepConfig) -> Table {
     );
     for &n in &cfg.heavy_sizes() {
         let t = cfg.t_or((n / 8).max(1), n / 5);
-        let w = Workload::full_budget(n, t, cfg.seed_or(29));
+        let w = Workload::full_budget(n, t, cfg.seed_or(29)).with_jobs(cfg.jobs());
         let mut runs = vec![("checkpointing", measure_checkpointing(&w))];
         if cfg.include_baselines() {
             runs.push(("naive", measure_naive_checkpointing(&w)));
@@ -375,7 +403,7 @@ pub fn experiment_byzantine(cfg: &SweepConfig) -> Table {
     );
     for &n in &cfg.heavy_sizes() {
         let t = cfg.t_or(((n as f64).sqrt() as usize).max(1), n / 2);
-        let w = Workload::fault_free(n, t, cfg.seed_or(31));
+        let w = Workload::fault_free(n, t, cfg.seed_or(31)).with_jobs(cfg.jobs());
         let mut runs = vec![("ab-consensus", measure_ab_consensus(&w))];
         if cfg.include_baselines() {
             runs.push(("parallel-ds", measure_parallel_ds(&w)));
@@ -406,7 +434,9 @@ pub fn experiment_single_port(cfg: &SweepConfig) -> Table {
     );
     for &n in &cfg.heavy_sizes() {
         let t = cfg.t_or((n / 8).max(1), n / 5);
-        let m = measure_linear_consensus(&Workload::full_budget(n, t, cfg.seed_or(37)));
+        let m = measure_linear_consensus(
+            &Workload::full_budget(n, t, cfg.seed_or(37)).with_jobs(cfg.jobs()),
+        );
         let mut row = vec![n.to_string(), t.to_string()];
         row.extend(fmt_measurement(&m));
         table.push_row(row);
@@ -425,7 +455,9 @@ pub fn experiment_lower_bound(cfg: &SweepConfig) -> Table {
     );
     for &n in &cfg.heavy_sizes() {
         for t in cfg.t_sweep(vec![(n / 16).max(1), (n / 8).max(1)], n / 5) {
-            let m = measure_linear_consensus(&Workload::full_budget(n, t, cfg.seed_or(41)));
+            let m = measure_linear_consensus(
+                &Workload::full_budget(n, t, cfg.seed_or(41)).with_jobs(cfg.jobs()),
+            );
             table.push_row(vec![
                 n.to_string(),
                 t.to_string(),
@@ -550,6 +582,7 @@ mod tests {
             n: Some(40),
             t: Some(4),
             seed: Some(5),
+            jobs: 1,
         };
         assert_eq!(cfg.consensus_sizes(), vec![40]);
         assert_eq!(cfg.heavy_sizes(), vec![40]);
@@ -567,6 +600,7 @@ mod tests {
             n: Some(40),
             t: Some(39), // valid for many-crashes, far too big for t < n/5
             seed: None,
+            jobs: 1,
         };
         assert_eq!(cfg.t_or(5, 40 / 5), 7, "clamped below n/5");
         assert_eq!(cfg.t_sweep(vec![2], 40), vec![39], "full range kept");
@@ -585,6 +619,7 @@ mod tests {
             n: Some(20),
             t: None,
             seed: None,
+            jobs: 1,
         };
         for (_, experiment) in experiment_catalog() {
             let table = experiment(&cfg);

@@ -71,6 +71,9 @@ pub struct Workload {
     pub crashes: usize,
     /// Seed for overlays, inputs and crash schedules.
     pub seed: u64,
+    /// Worker threads for the runner's phase loops (1 = serial; purely a
+    /// performance knob — measurements are byte-identical at any setting).
+    pub jobs: usize,
 }
 
 impl Workload {
@@ -81,6 +84,7 @@ impl Workload {
             t,
             crashes: 0,
             seed,
+            jobs: 1,
         }
     }
 
@@ -91,7 +95,16 @@ impl Workload {
             t,
             crashes: t,
             seed,
+            jobs: 1,
         }
+    }
+
+    /// Sets the runner worker-thread count (see [`dft_sim::Runner::set_jobs`];
+    /// `0` lets the runner pick the machine's available parallelism).
+    #[must_use]
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs;
+        self
     }
 
     fn adversary(&self, horizon: u64) -> Box<dyn dft_sim::CrashAdversary> {
@@ -124,6 +137,7 @@ pub fn measure_aea(w: &Workload) -> Measurement {
         .expect("config")
         .total_rounds();
     let mut runner = Runner::with_adversary(nodes, w.adversary(rounds), w.t).expect("runner");
+    runner.set_jobs(w.jobs);
     Measurement::from_report(&runner.run(rounds + 2))
 }
 
@@ -139,6 +153,7 @@ pub fn measure_scv(w: &Workload) -> Measurement {
         .expect("config")
         .total_rounds();
     let mut runner = Runner::with_adversary(nodes, w.adversary(rounds), w.t).expect("runner");
+    runner.set_jobs(w.jobs);
     Measurement::from_report(&runner.run(rounds + 2))
 }
 
@@ -149,6 +164,7 @@ pub fn measure_few_crashes(w: &Workload) -> Measurement {
     let nodes = FewCrashesConsensus::for_all_nodes(&cfg, &inputs).expect("config");
     let rounds = nodes[0].total_rounds();
     let mut runner = Runner::with_adversary(nodes, w.adversary(rounds), w.t).expect("runner");
+    runner.set_jobs(w.jobs);
     Measurement::from_report(&runner.run(rounds + 2))
 }
 
@@ -159,6 +175,7 @@ pub fn measure_many_crashes(w: &Workload) -> Measurement {
     let nodes = ManyCrashesConsensus::for_all_nodes(&cfg, &inputs).expect("config");
     let rounds = nodes[0].total_rounds();
     let mut runner = Runner::with_adversary(nodes, w.adversary(rounds), w.t).expect("runner");
+    runner.set_jobs(w.jobs);
     Measurement::from_report(&runner.run(rounds + 2))
 }
 
@@ -169,6 +186,7 @@ pub fn measure_gossip(w: &Workload) -> Measurement {
     let nodes = Gossip::for_all_nodes(&cfg, &rumors).expect("config");
     let rounds = nodes[0].total_rounds();
     let mut runner = Runner::with_adversary(nodes, w.adversary(rounds), w.t).expect("runner");
+    runner.set_jobs(w.jobs);
     Measurement::from_report(&runner.run(rounds + 2))
 }
 
@@ -178,6 +196,7 @@ pub fn measure_checkpointing(w: &Workload) -> Measurement {
     let nodes = Checkpointing::for_all_nodes(&cfg).expect("config");
     let rounds = nodes[0].total_rounds();
     let mut runner = Runner::with_adversary(nodes, w.adversary(rounds), w.t).expect("runner");
+    runner.set_jobs(w.jobs);
     Measurement::from_report(&runner.run(rounds + 2))
 }
 
@@ -191,6 +210,7 @@ pub fn measure_ab_consensus(w: &Workload) -> Measurement {
     let nodes = AbConsensus::for_all_nodes(&cfg, &inputs, directory).expect("config");
     let rounds = nodes[0].total_rounds();
     let mut runner = Runner::new(nodes).expect("runner");
+    runner.set_jobs(w.jobs);
     Measurement::from_report(&runner.run(rounds + 2))
 }
 
@@ -201,6 +221,7 @@ pub fn measure_linear_consensus(w: &Workload) -> Measurement {
     let (nodes, sp_rounds) = linear_consensus_for_all_nodes(&cfg, &inputs).expect("config");
     let mut runner =
         SinglePortRunner::with_adversary(nodes, w.adversary(sp_rounds), w.t).expect("runner");
+    runner.set_jobs(w.jobs);
     Measurement::from_report(&runner.run(sp_rounds + 4))
 }
 
@@ -210,6 +231,7 @@ pub fn measure_flooding(w: &Workload) -> Measurement {
     let nodes = FloodingConsensus::for_all_nodes(w.n, w.t, &inputs);
     let rounds = FloodingConsensus::total_rounds(w.t);
     let mut runner = Runner::with_adversary(nodes, w.adversary(rounds), w.t).expect("runner");
+    runner.set_jobs(w.jobs);
     Measurement::from_report(&runner.run(rounds + 2))
 }
 
@@ -219,6 +241,7 @@ pub fn measure_all_to_all_gossip(w: &Workload) -> Measurement {
     let nodes = AllToAllGossip::for_all_nodes(w.n, w.t, &rumors);
     let rounds = AllToAllGossip::total_rounds(w.t);
     let mut runner = Runner::with_adversary(nodes, w.adversary(rounds), w.t).expect("runner");
+    runner.set_jobs(w.jobs);
     Measurement::from_report(&runner.run(rounds + 2))
 }
 
@@ -227,6 +250,7 @@ pub fn measure_naive_checkpointing(w: &Workload) -> Measurement {
     let nodes = NaiveCheckpointing::for_all_nodes(w.n, w.t);
     let rounds = NaiveCheckpointing::total_rounds(w.t);
     let mut runner = Runner::with_adversary(nodes, w.adversary(rounds), w.t).expect("runner");
+    runner.set_jobs(w.jobs);
     Measurement::from_report(&runner.run(rounds + 2))
 }
 
@@ -237,6 +261,7 @@ pub fn measure_parallel_ds(w: &Workload) -> Measurement {
     let nodes = ParallelDsConsensus::for_all_nodes(w.n, w.t, &inputs, directory);
     let rounds = ParallelDsConsensus::total_rounds(w.t);
     let mut runner = Runner::new(nodes).expect("runner");
+    runner.set_jobs(w.jobs);
     Measurement::from_report(&runner.run(rounds + 2))
 }
 

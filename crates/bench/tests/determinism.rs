@@ -1,0 +1,240 @@
+//! Determinism suite: serial and parallel executions must be byte-identical.
+//!
+//! The parallel layer (PR 3) promises that `--jobs N` only changes wall-clock
+//! time, never results: per-worker scratch is merged in fixed node-index
+//! order, so reports, metrics, traces and experiment tables match a serial
+//! run byte for byte.  This suite pins that promise at two levels:
+//!
+//! * rendered experiment tables for a fixed-seed E1/E5/E8 subset, compared
+//!   between `jobs = 1` and `jobs = 4` (both at the Quick-tier sizes and at
+//!   an `--n` override above the fork threshold so the worker pool actually
+//!   engages);
+//! * property tests over random crash schedules comparing full
+//!   `Runner` / `SinglePortRunner` transcripts (report + trace) between
+//!   serial and parallel execution.
+
+use dft_bench::experiments::{
+    experiment_byzantine, experiment_many_crashes, experiment_table1, Scale, SweepConfig,
+};
+use dft_sim::{
+    CrashDirective, Delivered, DeliveryFilter, ExecutionReport, FixedCrashSchedule, NodeId,
+    Outgoing, Round, Runner, SinglePortProtocol, SinglePortRunner, SyncProtocol,
+};
+use proptest::prelude::*;
+
+/// The smallest system size that crosses the runners' fork threshold (see
+/// `dft_sim::parallel`), so parallel table runs genuinely exercise the
+/// worker pool.
+const FORKING_N: usize = 150;
+
+fn cfg(jobs: usize, n: Option<usize>) -> SweepConfig {
+    SweepConfig {
+        scale: Scale::Quick,
+        n,
+        t: None,
+        seed: None,
+        jobs,
+    }
+}
+
+type ExperimentFn = fn(&SweepConfig) -> dft_bench::Table;
+
+#[test]
+fn e1_e5_e8_tables_are_byte_identical_across_jobs() {
+    let experiments: [(&str, ExperimentFn); 3] = [
+        ("E1", experiment_table1),
+        ("E5", experiment_many_crashes),
+        ("E8", experiment_byzantine),
+    ];
+    for (id, experiment) in experiments {
+        for n in [None, Some(FORKING_N)] {
+            let serial = experiment(&cfg(1, n)).render();
+            let parallel = experiment(&cfg(4, n)).render();
+            assert_eq!(serial, parallel, "{id} tables drifted (n override {n:?})");
+        }
+    }
+}
+
+/// Every node floods the OR of everything seen and decides after a few
+/// rounds — enough traffic that delivery order and metric merging matter.
+struct FloodOr {
+    n: usize,
+    value: bool,
+    rounds: u64,
+    decided: Option<bool>,
+}
+
+impl SyncProtocol for FloodOr {
+    type Msg = bool;
+    type Output = bool;
+
+    fn send(&mut self, _round: Round) -> Vec<Outgoing<bool>> {
+        (0..self.n)
+            .map(|i| Outgoing::new(NodeId::new(i), self.value))
+            .collect()
+    }
+
+    fn receive(&mut self, _round: Round, inbox: &[Delivered<bool>]) {
+        for m in inbox {
+            self.value |= m.msg;
+        }
+        self.rounds += 1;
+        if self.rounds >= 4 {
+            self.decided = Some(self.value);
+        }
+    }
+
+    fn output(&self) -> Option<bool> {
+        self.decided
+    }
+
+    fn has_halted(&self) -> bool {
+        self.decided.is_some()
+    }
+}
+
+/// A token ring for the single-port model: node `i` sends its OR to
+/// `i + 1` and polls `i − 1`, deciding after `2n` receives.
+struct Ring {
+    me: usize,
+    n: usize,
+    value: bool,
+    rounds: u64,
+    decided: Option<bool>,
+}
+
+impl SinglePortProtocol for Ring {
+    type Msg = bool;
+    type Output = bool;
+
+    fn send(&mut self, _round: Round) -> Option<Outgoing<bool>> {
+        Some(Outgoing::new(
+            NodeId::new((self.me + 1) % self.n),
+            self.value,
+        ))
+    }
+
+    fn poll(&mut self, _round: Round) -> Option<NodeId> {
+        Some(NodeId::new((self.me + self.n - 1) % self.n))
+    }
+
+    fn receive(&mut self, _round: Round, _from: NodeId, msgs: Vec<bool>) {
+        for m in msgs {
+            self.value |= m;
+        }
+        self.rounds += 1;
+        if self.rounds >= 2 * self.n as u64 {
+            self.decided = Some(self.value);
+        }
+    }
+
+    fn output(&self) -> Option<bool> {
+        self.decided
+    }
+
+    fn has_halted(&self) -> bool {
+        self.decided.is_some()
+    }
+}
+
+/// Builds a crash schedule from sampled bits: up to five directives with
+/// varying rounds, victims and delivery filters.
+fn schedule_from(n: usize, seed: u64, crashes: usize) -> (FixedCrashSchedule, usize) {
+    let mut schedule = FixedCrashSchedule::new();
+    let mut state = seed | 1;
+    let mut next = move || {
+        state ^= state >> 12;
+        state ^= state << 25;
+        state ^= state >> 27;
+        state.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    };
+    let budget = crashes.clamp(1, 5);
+    for _ in 0..budget {
+        let round = next() % 6;
+        let node = NodeId::new((next() % n as u64) as usize);
+        let deliver = match next() % 4 {
+            0 => DeliveryFilter::All,
+            1 => DeliveryFilter::None,
+            2 => DeliveryFilter::Prefix((next() % n as u64) as usize),
+            _ => DeliveryFilter::Only(vec![NodeId::new((next() % n as u64) as usize)]),
+        };
+        schedule = schedule.crash_at(round, CrashDirective { node, deliver });
+    }
+    (schedule, budget)
+}
+
+fn flood_run(n: usize, seed: u64, crashes: usize, jobs: usize) -> (ExecutionReport<bool>, String) {
+    let nodes: Vec<FloodOr> = (0..n)
+        .map(|i| FloodOr {
+            n,
+            value: (i as u64).wrapping_mul(seed).is_multiple_of(7),
+            rounds: 0,
+            decided: None,
+        })
+        .collect();
+    let (schedule, budget) = schedule_from(n, seed, crashes);
+    let mut runner = Runner::with_adversary(nodes, Box::new(schedule), budget)
+        .unwrap()
+        .with_jobs(jobs);
+    runner.enable_trace();
+    let report = runner.run(12);
+    let trace = format!("{:?}", runner.trace().events());
+    (report, trace)
+}
+
+fn ring_run(n: usize, seed: u64, crashes: usize, jobs: usize) -> (ExecutionReport<bool>, String) {
+    let nodes: Vec<Ring> = (0..n)
+        .map(|me| Ring {
+            me,
+            n,
+            value: me as u64 == seed % n as u64,
+            rounds: 0,
+            decided: None,
+        })
+        .collect();
+    let (schedule, budget) = schedule_from(n, seed, crashes);
+    let mut runner = SinglePortRunner::with_adversary(nodes, Box::new(schedule), budget)
+        .unwrap()
+        .with_jobs(jobs);
+    // The single-port default threshold only engages the pool for very
+    // large systems; force it so the property genuinely compares the
+    // parallel and serial paths at a testable size.
+    runner.set_fork_threshold(1);
+    runner.enable_trace();
+    let report = runner.run(3 * n as u64);
+    let trace = format!("{:?}", runner.trace().events());
+    (report, trace)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Random crash schedules: the multi-port runner's full transcript
+    /// (report including per-round metrics, plus the event trace) matches
+    /// between serial and `jobs = 4` execution.
+    #[test]
+    fn multi_port_transcripts_match_under_random_crashes(
+        n in 130usize..170,
+        seed in any::<u64>(),
+        crashes in 1usize..6,
+    ) {
+        let (serial_report, serial_trace) = flood_run(n, seed, crashes, 1);
+        let (parallel_report, parallel_trace) = flood_run(n, seed, crashes, 4);
+        prop_assert_eq!(&serial_report, &parallel_report);
+        prop_assert_eq!(serial_trace, parallel_trace);
+    }
+
+    /// Random crash schedules: the single-port runner's full transcript
+    /// matches between serial and `jobs = 4` execution.
+    #[test]
+    fn single_port_transcripts_match_under_random_crashes(
+        n in 130usize..170,
+        seed in any::<u64>(),
+        crashes in 1usize..6,
+    ) {
+        let (serial_report, serial_trace) = ring_run(n, seed, crashes, 1);
+        let (parallel_report, parallel_trace) = ring_run(n, seed, crashes, 4);
+        prop_assert_eq!(&serial_report, &parallel_report);
+        prop_assert_eq!(serial_trace, parallel_trace);
+    }
+}

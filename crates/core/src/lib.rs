@@ -73,7 +73,9 @@ pub use error::{CoreError, CoreResult};
 pub use few_crashes::{FcMsg, FewCrashesConfig, FewCrashesConsensus};
 pub use gossip::{Gossip, GossipConfig, GossipMsg};
 pub use local_probing::LocalProbing;
-pub use many_crashes::{ManyCrashesConfig, ManyCrashesConsensus, McMsg};
+pub use many_crashes::{
+    round_budget_for, theorem8_round_bound, ManyCrashesConfig, ManyCrashesConsensus, McMsg,
+};
 pub use scv::{ScvConfig, ScvMsg, SpreadCommonValue};
 pub use single_port::{
     linear_consensus_for_all_nodes, LinearConsensus, LinearConsensusPlan, PortPlan,

@@ -50,12 +50,23 @@ impl ManyCrashesConfig {
         let params = config.full_params();
         let graph = config.full_graph();
         // The probing threshold is halved relative to the generic overlay
-        // parameters: `Many-Crashes-Consensus` must keep a surviving core
-        // even when the fault fraction approaches 1, where the adversary can
-        // remove most of every neighbourhood (the paper compensates with the
-        // enormous degree (4/(1−α))⁸; at practical degrees a lower δ plays
-        // that role).
-        let delta = (params.delta / 2).clamp(1, graph.min_degree().max(1));
+        // parameters and additionally made α-aware: `Many-Crashes-Consensus`
+        // must keep a surviving core even when the fault fraction approaches
+        // 1, where the adversary can remove most of every neighbourhood.  The
+        // paper compensates with the enormous degree `(4/(1−α))⁸` while
+        // keeping `δ(d)` fixed; at practical degrees the α-dependence has to
+        // live in `δ` instead.  A node's expected operational degree after
+        // all `t = αn` crashes is `(1 − α)·d`, so the threshold is capped at
+        // half of that — with the paper-mode `δ/2` kept as an upper bound so
+        // low fault fractions behave exactly as before.  Without the cap,
+        // probing at `α ≥ 0.9` and `n ≥ 1000` has *zero* survivors: nobody
+        // decides in Part 2, so Part 3's inquiries go unanswered and the
+        // schedule ends with undecided correct nodes (the old E5 failure).
+        let alive_degree = (1.0 - config.alpha()) * params.degree as f64;
+        let alpha_cap = ((alive_degree / 2.0).floor() as usize).max(1);
+        let delta = (params.delta / 2)
+            .min(alpha_cap)
+            .clamp(1, graph.min_degree().max(1));
         Ok(ManyCrashesConfig {
             n: config.n,
             graph,
@@ -76,6 +87,28 @@ impl ManyCrashesConfig {
         self.part1_rounds + self.gamma + 2 * self.phases()
     }
 
+    /// The α-aware round budget: the number of rounds within which every
+    /// correct node decides, derived from the actual phase schedule —
+    /// Part 1 (`n − 1` rounds) + local probing (`γ = 2 + ⌈lg n⌉`) + two
+    /// rounds per inquiry phase (`1 + ⌈lg((1+3α)n/4)⌉` phases).
+    ///
+    /// Theorem 8's closed form `n + 3(1 + lg n)` is this schedule evaluated
+    /// at the worst case α → 1, where the phase count reaches
+    /// `1 + ⌈lg n⌉`; for smaller α the schedule is strictly shorter.  The
+    /// budget therefore never exceeds `n + 3(1 + ⌈lg n⌉)` (pinned by
+    /// `round_budget_stays_within_theorem_8`), and — unlike the closed form
+    /// read with an exact `lg n` — it cannot be exhausted before the last
+    /// inquiry phase completes at any fault fraction.
+    pub fn round_budget(&self) -> u64 {
+        self.total_rounds()
+    }
+
+    /// Theorem 8's closed-form round bound `n + 3(1 + ⌈lg n⌉)`, for
+    /// comparison against the α-aware [`ManyCrashesConfig::round_budget`].
+    pub fn theorem8_round_bound(&self) -> u64 {
+        theorem8_round_bound(self.n)
+    }
+
     fn probing_start(&self) -> u64 {
         self.part1_rounds
     }
@@ -83,6 +116,27 @@ impl ManyCrashesConfig {
     fn inquiry_start(&self) -> u64 {
         self.part1_rounds + self.gamma
     }
+}
+
+/// The α-aware round budget of `Many-Crashes-Consensus` for a system of `n`
+/// nodes with fault bound `t`, computed in closed form (no overlay graphs are
+/// materialised): `(n − 1) + (2 + ⌈lg n⌉) + 2·(1 + ⌈lg((1+3α)n/4)⌉)` where
+/// `α = t/n` — the same schedule [`ManyCrashesConfig::round_budget`] derives
+/// from a materialised configuration (`budget_formula_matches_config` pins
+/// the two against each other).
+pub fn round_budget_for(n: usize, t: usize) -> u64 {
+    let part1 = (n as u64).saturating_sub(1).max(1);
+    let gamma = 2 + (n.max(1) as f64).log2().ceil() as u64;
+    let alpha = t as f64 / n.max(1) as f64;
+    let m = (1.0 + 3.0 * alpha) * n as f64 / 4.0;
+    let phases = (1.0 + m.log2().ceil()).max(1.0) as u64;
+    part1 + gamma + 2 * phases
+}
+
+/// Theorem 8's closed-form round bound `n + 3(1 + ⌈lg n⌉)` — the α → 1
+/// worst case of [`round_budget_for`].
+pub fn theorem8_round_bound(n: usize) -> u64 {
+    n as u64 + 3 * (1 + (n.max(2) as f64).log2().ceil() as u64)
 }
 
 /// Messages of `Many-Crashes-Consensus` (all carry at most one value bit).
@@ -362,6 +416,63 @@ mod tests {
             mc.total_rounds() <= bound + 8,
             "{} vs {bound}",
             mc.total_rounds()
+        );
+    }
+
+    /// The closed-form budget matches the schedule a materialised
+    /// configuration derives, across fault fractions and sizes.
+    #[test]
+    fn budget_formula_matches_config() {
+        for n in [60usize, 200, 500] {
+            for t in [1, n / 10, n / 2, (9 * n) / 10, n - 1] {
+                let config = SystemConfig::new(n, t).unwrap();
+                let mc = ManyCrashesConfig::from_system(&config).unwrap();
+                assert_eq!(
+                    mc.round_budget(),
+                    round_budget_for(n, t),
+                    "n={n} t={t}: schedule-derived and closed-form budgets drifted"
+                );
+            }
+        }
+    }
+
+    /// The α-aware budget is monotone in α and never exceeds Theorem 8's
+    /// closed form `n + 3(1 + ⌈lg n⌉)`.
+    #[test]
+    fn round_budget_stays_within_theorem_8() {
+        for n in [100usize, 1000, 4096] {
+            let mut last = 0;
+            for t in [1, n / 10, n / 2, (9 * n) / 10, n - 1] {
+                let budget = round_budget_for(n, t);
+                assert!(budget >= last, "budget shrank as alpha grew");
+                last = budget;
+                assert!(
+                    budget <= theorem8_round_bound(n),
+                    "n={n} t={t}: budget {budget} exceeds theorem bound {}",
+                    theorem8_round_bound(n)
+                );
+            }
+        }
+    }
+
+    /// Regression for the old E5 failure: at α = 0.9 and n ≥ 1000 the
+    /// pre-α-aware probing threshold left local probing with *zero*
+    /// survivors, so Part 3's inquiries were never answered and correct
+    /// nodes finished the schedule undecided.  With the α-aware δ every
+    /// correct node must decide within the stated round budget.
+    #[test]
+    fn decides_at_alpha_09_n_1000_within_budget() {
+        let n = 1000;
+        let t = 900;
+        let inputs: Vec<bool> = (0..n).map(|i| i % 2 == 0).collect();
+        let horizon = round_budget_for(n, t);
+        let adversary = RandomCrashes::new(n, t, horizon, 19);
+        let report = run_mc(n, t, &inputs, Box::new(adversary), t, 19);
+        assert_consensus(&report, &inputs);
+        assert!(
+            report.metrics.rounds <= horizon,
+            "rounds {} exceed the alpha-aware budget {horizon}",
+            report.metrics.rounds
         );
     }
 

@@ -28,8 +28,9 @@ use crate::few_crashes::{FewCrashesConfig, FewCrashesConsensus};
 use crate::values::JoinValue;
 
 /// A static communication plan: how a multi-port protocol's rounds map onto
-/// single-port slots.
-pub trait PortPlan: Clone {
+/// single-port slots.  (`Send` so adapted protocols satisfy the simulator's
+/// threading bounds; plans are plain data.)
+pub trait PortPlan: Clone + Send {
     /// Number of send slots (= number of poll slots) allotted to multi-port
     /// round `mp_round`.  Must be at least 1 and identical at every node.
     fn slots(&self, mp_round: u64) -> usize;

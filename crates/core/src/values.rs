@@ -11,7 +11,9 @@ use serde::{Deserialize, Serialize};
 /// coordinate-wise OR of a bit vector.  Making the agreement protocols
 /// generic over this trait lets one implementation serve both the scalar and
 /// the vectorised ("combined message") cases.
-pub trait JoinValue: Clone + PartialEq + std::fmt::Debug {
+/// (`Send + Sync` so protocols generic over a join value satisfy the
+/// simulator's threading bounds; every value type here is plain data.)
+pub trait JoinValue: Clone + PartialEq + std::fmt::Debug + Send + Sync {
     /// Joins `other` into `self`; returns `true` if `self` changed.
     fn join_in_place(&mut self, other: &Self) -> bool;
 

@@ -24,15 +24,10 @@ use rand_chacha::ChaCha8Rng;
 use crate::error::{OverlayError, OverlayResult};
 use crate::graph::Graph;
 
-/// The complete graph `K_n`.
+/// The complete graph `K_n` (built directly in `O(n²)`; see
+/// [`Graph::complete`]).
 pub fn complete(n: usize) -> Graph {
-    let mut g = Graph::empty(n);
-    for u in 0..n {
-        for v in (u + 1)..n {
-            g.add_edge(u, v);
-        }
-    }
-    g
+    Graph::complete(n)
 }
 
 /// The cycle `C_n`.
@@ -130,13 +125,18 @@ pub fn random_regular(n: usize, d: usize, seed: u64) -> OverlayResult<Graph> {
         )));
     }
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
-    let mut g = Graph::empty(n);
+    // Collect the edge list and build the graph in one bulk pass
+    // (`Graph::from_edges` sorts each adjacency list once): identical result
+    // to inserting edge by edge, but `O(n·d log d)` instead of `O(n·d²)` —
+    // the difference between seconds and minutes for the near-complete
+    // inquiry-phase graphs at paper scale.
     let cycles = d / 2;
+    let mut edges: Vec<(usize, usize)> = Vec::with_capacity(cycles * n + n / 2);
     for _ in 0..cycles {
         let mut order: Vec<usize> = (0..n).collect();
         order.shuffle(&mut rng);
         for i in 0..n {
-            g.add_edge(order[i], order[(i + 1) % n]);
+            edges.push((order[i], order[(i + 1) % n]));
         }
     }
     if d % 2 == 1 {
@@ -144,10 +144,10 @@ pub fn random_regular(n: usize, d: usize, seed: u64) -> OverlayResult<Graph> {
         let mut order: Vec<usize> = (0..n).collect();
         order.shuffle(&mut rng);
         for pair in order.chunks_exact(2) {
-            g.add_edge(pair[0], pair[1]);
+            edges.push((pair[0], pair[1]));
         }
     }
-    Ok(g)
+    Ok(Graph::from_edges(n, &edges).expect("endpoints in range by construction"))
 }
 
 /// The degree-capped overlay the protocols actually use: a seeded
@@ -173,15 +173,15 @@ pub fn bernoulli(n: usize, degree_target: f64, seed: u64) -> Graph {
     use rand::Rng;
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let p = (degree_target / n as f64).clamp(0.0, 1.0);
-    let mut g = Graph::empty(n);
+    let mut edges: Vec<(usize, usize)> = Vec::new();
     for v in 0..n {
         for w in 0..n {
             if v != w && rng.gen_bool(p) {
-                g.add_edge(v, w);
+                edges.push((v, w));
             }
         }
     }
-    g
+    Graph::from_edges(n, &edges).expect("endpoints in range by construction")
 }
 
 #[cfg(test)]

@@ -49,13 +49,20 @@ impl Graph {
 
     /// Creates a graph from an explicit edge list.
     ///
-    /// Self-loops and duplicate edges are ignored.
+    /// Self-loops and duplicate edges are ignored.  Adjacency lists are
+    /// built in bulk — pushed unsorted, then sorted and deduplicated once
+    /// per vertex — so construction is `O(E log E)` instead of the
+    /// `O(E · degree)` that repeated [`Graph::add_edge`] sorted insertions
+    /// cost.  The result is identical to inserting the edges one at a time
+    /// (same edge set, same sorted lists); the bulk path is what keeps
+    /// paper-scale high-degree overlays (the inquiry families' near-complete
+    /// graphs at `n = 4 · 10^3`) affordable to build.
     ///
     /// # Errors
     ///
     /// Returns [`OverlayError::VertexOutOfRange`] if an endpoint is ≥ `n`.
     pub fn from_edges(n: usize, edges: &[(VertexId, VertexId)]) -> OverlayResult<Self> {
-        let mut graph = Graph::empty(n);
+        let mut adjacency: Vec<Vec<VertexId>> = vec![Vec::new(); n];
         for &(u, v) in edges {
             if u >= n || v >= n {
                 return Err(OverlayError::VertexOutOfRange {
@@ -63,9 +70,35 @@ impl Graph {
                     n,
                 });
             }
-            graph.add_edge(u, v);
+            if u == v {
+                continue;
+            }
+            adjacency[u].push(v);
+            adjacency[v].push(u);
         }
-        Ok(graph)
+        let mut endpoint_count = 0;
+        for adj in &mut adjacency {
+            adj.sort_unstable();
+            adj.dedup();
+            endpoint_count += adj.len();
+        }
+        Ok(Graph {
+            adjacency,
+            num_edges: endpoint_count / 2,
+        })
+    }
+
+    /// The complete graph `K_n`, built directly (each adjacency list is
+    /// `0..n` minus the vertex itself, already sorted) — `O(n²)`, versus the
+    /// cubic cost of inserting the edges one at a time.
+    pub fn complete(n: usize) -> Self {
+        let adjacency: Vec<Vec<VertexId>> = (0..n)
+            .map(|u| (0..n).filter(|&v| v != u).collect())
+            .collect();
+        Graph {
+            adjacency,
+            num_edges: if n < 2 { 0 } else { n * (n - 1) / 2 },
+        }
     }
 
     /// Number of vertices.

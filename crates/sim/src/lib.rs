@@ -22,6 +22,11 @@
 //!   rounds until all non-faulty nodes halt, point-to-point messages and the
 //!   total bits they carry, counting only non-faulty senders in the Byzantine
 //!   model.
+//! * [`parallel`] — the deterministic worker-pool layer: both runners accept
+//!   a job count (`set_jobs`) and split their per-node phase loops across a
+//!   [`std::thread::scope`] pool, merging per-worker scratch in fixed
+//!   node-index order so parallel runs are byte-identical to serial ones.
+//!   The crash-adversary phase always stays serial.
 //!
 //! # Quick example
 //!
@@ -87,6 +92,7 @@ mod error;
 mod message;
 mod metrics;
 mod node;
+pub mod parallel;
 mod protocol;
 mod report;
 mod round;
@@ -102,6 +108,7 @@ pub use error::{SimError, SimResult};
 pub use message::{Delivered, Outgoing, Payload};
 pub use metrics::Metrics;
 pub use node::{NodeId, NodeSet};
+pub use parallel::available_jobs;
 pub use protocol::{NodeStatus, SinglePortProtocol, SyncProtocol};
 pub use report::{ExecutionReport, Termination};
 pub use round::Round;

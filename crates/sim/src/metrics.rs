@@ -55,6 +55,10 @@ struct PerRoundWindow {
 
 impl PerRoundWindow {
     fn record(&mut self, round: u64) {
+        self.record_many(round, 1);
+    }
+
+    fn record_many(&mut self, round: u64, count: u64) {
         debug_assert!(
             round >= self.first_round,
             "rounds are recorded monotonically"
@@ -80,7 +84,7 @@ impl PerRoundWindow {
         if idx >= self.counts.len() {
             self.counts.resize(idx + 1, 0);
         }
-        self.counts[idx] += 1;
+        self.counts[idx] += count;
         self.peak = self.peak.max(self.counts[idx]);
     }
 }
@@ -101,6 +105,23 @@ impl Metrics {
         self.messages += 1;
         self.bits += bits;
         self.per_round.record(round);
+    }
+
+    /// Records `count` counted messages totalling `bits` bits, all sent in
+    /// round `round`.
+    ///
+    /// Equivalent to `count` calls to [`Metrics::record_message`] with the
+    /// same round (the per-round profile, its peak and the aggregate counters
+    /// end up byte-identical) — this is how the parallel round engines merge
+    /// per-worker message counters without replaying every message.  A zero
+    /// `count` is a no-op, exactly like not recording at all.
+    pub fn record_messages(&mut self, round: u64, count: u64, bits: u64) {
+        if count == 0 {
+            return;
+        }
+        self.messages += count;
+        self.bits += bits;
+        self.per_round.record_many(round, count);
     }
 
     /// Records a message sent by a Byzantine node (not counted).
@@ -167,6 +188,21 @@ mod tests {
         assert_eq!(m.byzantine_messages, 1);
         assert_eq!(m.peak_messages_in_a_round(), 2);
         assert!((m.messages_per_node(3) - 1.0).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn batched_recording_matches_repeated_recording() {
+        let mut one_by_one = Metrics::new();
+        for _ in 0..5 {
+            one_by_one.record_message(2, 3);
+        }
+        one_by_one.record_message(4, 1);
+        let mut batched = Metrics::new();
+        batched.record_messages(2, 5, 15);
+        batched.record_messages(3, 0, 0); // no-op, like not recording at all
+        batched.record_messages(4, 1, 1);
+        assert_eq!(one_by_one, batched);
+        assert_eq!(batched.peak_messages_in_a_round(), 5);
     }
 
     #[test]

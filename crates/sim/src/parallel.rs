@@ -1,0 +1,118 @@
+//! Deterministic worker-pool helpers for the parallel round engines.
+//!
+//! Both runners can split their per-node phase loops (send collection,
+//! delivery, receive) across a [`std::thread::scope`] worker pool.  The
+//! parallel schedule is *deterministic by construction*: nodes are
+//! partitioned into contiguous index chunks, each worker owns one chunk, and
+//! every cross-chunk effect (delivered messages, metric counters, decision
+//! and halt events) is collected into per-worker scratch buffers that the
+//! main thread merges in fixed node-index order.  Serial and parallel
+//! executions of the same seeded workload therefore produce byte-identical
+//! reports, traces and experiment tables — the determinism suite in
+//! `crates/bench/tests/determinism.rs` pins this.
+//!
+//! The crash-adversary phase is *never* parallelised: the adversary contract
+//! ([`crate::CrashAdversary`]) hands a single mutable strategy a coherent
+//! view of the whole round, so it runs serially on the main thread between
+//! the send and delivery phases (see `EngineCore::apply_crash_phase`).
+
+/// Number of worker threads worth spawning on this machine: the standard
+/// library's available-parallelism estimate, with a fallback of 1 when the
+/// estimate is unavailable (e.g. restricted sandboxes).
+pub fn available_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Below this node count the per-round fork/join overhead outweighs any
+/// speedup; the runners fall back to their serial loops (which are
+/// observationally identical, so the cutoff is invisible to callers).
+///
+/// This is the multi-port threshold: a multi-port round moves
+/// `O(n · degree)` messages, so even modest systems amortise the
+/// ~0.3–0.5 ms cost of spawning the phase workers.
+pub(crate) const MIN_NODES_PER_FORK: usize = 128;
+
+/// The single-port fork threshold is far higher: a single-port round is one
+/// send and one poll per node — `O(n)` work with a tiny constant — while
+/// executions run for `Θ(t + log n)` *slots* (tens of thousands of rounds at
+/// paper scale), so per-round forking only pays off once a single round's
+/// node loop is itself worth ~1 ms.
+pub(crate) const MIN_NODES_PER_FORK_SINGLE_PORT: usize = 8192;
+
+/// Normalises a requested job count: `0` means "pick for me"
+/// ([`available_jobs`]), anything else is used as given.
+pub(crate) fn effective_jobs(requested: usize) -> usize {
+    if requested == 0 {
+        available_jobs()
+    } else {
+        requested
+    }
+}
+
+/// The contiguous chunk length that splits `n` nodes across `jobs` workers.
+pub(crate) fn chunk_len(n: usize, jobs: usize) -> usize {
+    n.div_ceil(jobs.max(1)).max(1)
+}
+
+/// A decision/halt event observed by a phase worker, replayed by the main
+/// thread in node-index order so traces and statuses update exactly as in a
+/// serial run.  Shared by both runners' receive phases (the replay loops
+/// themselves differ: the single-port runner additionally frees a halted
+/// node's buffered ports).
+pub(crate) struct NodeEvent {
+    /// The node the event concerns.
+    pub node: usize,
+    /// The node produced its first output this round.
+    pub decided: bool,
+    /// The node voluntarily halted this round.
+    pub halted: bool,
+}
+
+/// Whether a runner over `n` nodes with this job setting and fork threshold
+/// should take the parallel path.
+pub(crate) fn should_fork(n: usize, jobs: usize, threshold: usize) -> bool {
+    jobs > 1 && n >= threshold
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn available_jobs_is_positive() {
+        assert!(available_jobs() >= 1);
+    }
+
+    #[test]
+    fn chunking_covers_all_nodes() {
+        for n in [1usize, 5, 127, 128, 1000] {
+            for jobs in [1usize, 2, 3, 4, 16] {
+                let chunk = chunk_len(n, jobs);
+                assert!(chunk >= 1);
+                assert!(chunk * jobs >= n, "n={n} jobs={jobs} chunk={chunk}");
+                // No more than `jobs` chunks are ever produced.
+                assert!(n.div_ceil(chunk) <= jobs.max(1));
+            }
+        }
+    }
+
+    #[test]
+    fn effective_jobs_resolves_zero() {
+        assert_eq!(effective_jobs(3), 3);
+        assert!(effective_jobs(0) >= 1);
+    }
+
+    #[test]
+    fn forking_needs_both_jobs_and_scale() {
+        assert!(!should_fork(1000, 1, MIN_NODES_PER_FORK));
+        assert!(!should_fork(10, 4, MIN_NODES_PER_FORK));
+        assert!(should_fork(MIN_NODES_PER_FORK, 2, MIN_NODES_PER_FORK));
+        assert!(!should_fork(
+            MIN_NODES_PER_FORK,
+            4,
+            MIN_NODES_PER_FORK_SINGLE_PORT
+        ));
+    }
+}

@@ -23,6 +23,11 @@ use crate::round::Round;
 /// Implementations must be deterministic: the paper's algorithms are
 /// deterministic and the test-suite relies on reproducible executions.
 ///
+/// Protocols are `Send` (and outputs `Send`) so a runner may drive disjoint
+/// groups of nodes from worker threads; state machines are plain data, so
+/// the bound is auto-derived.  Determinism is unaffected: the runners merge
+/// per-worker results in fixed node-index order (see `DESIGN.md`).
+///
 /// # Examples
 ///
 /// A trivial protocol in which every node decides on its input in round 0 and
@@ -57,11 +62,11 @@ use crate::round::Round;
 ///     }
 /// }
 /// ```
-pub trait SyncProtocol {
+pub trait SyncProtocol: Send {
     /// Payload type of messages exchanged by this protocol.
     type Msg: Payload;
     /// Decision value or other terminal output of a node.
-    type Output: Clone + std::fmt::Debug;
+    type Output: Clone + std::fmt::Debug + Send;
 
     /// Messages this node sends at the beginning of `round`.
     fn send(&mut self, round: Round) -> Vec<Outgoing<Self::Msg>>;
@@ -88,11 +93,14 @@ pub trait SyncProtocol {
 ///
 /// Ports are buffered and give no delivery signal: a node must decide which
 /// port to poll without knowing whether anything is waiting there.
-pub trait SinglePortProtocol {
+///
+/// Like [`SyncProtocol`], implementations are `Send` so the runner may drive
+/// disjoint node groups from worker threads.
+pub trait SinglePortProtocol: Send {
     /// Payload type of messages exchanged by this protocol.
     type Msg: Payload;
     /// Decision value or other terminal output of a node.
-    type Output: Clone + std::fmt::Debug;
+    type Output: Clone + std::fmt::Debug + Send;
 
     /// The at-most-one message this node sends at the beginning of `round`.
     fn send(&mut self, round: Round) -> Option<Outgoing<Self::Msg>>;

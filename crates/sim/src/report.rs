@@ -21,7 +21,11 @@ pub enum Termination {
 /// Indexed views (`outputs`, `crashed_at`, `halted_at`) are per node.  The
 /// helper methods implement the checks the paper's correctness definitions
 /// need: which nodes decided, whether all deciders agree, and so on.
-#[derive(Clone, Debug)]
+///
+/// Reports compare by value (given comparable outputs); the determinism
+/// suite relies on this to assert that serial and parallel executions of the
+/// same seeded workload are indistinguishable.
+#[derive(Clone, Debug, PartialEq)]
 pub struct ExecutionReport<O> {
     /// Per-node decision value, if the node decided.
     pub outputs: Vec<Option<O>>,

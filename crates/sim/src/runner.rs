@@ -10,6 +10,13 @@
 //! incrementally, and the per-round working storage (outgoing queues, send
 //! intents, inboxes) lives in flat buffers reused across rounds instead of
 //! being reallocated every round.
+//!
+//! With [`Runner::set_jobs`] the per-node phase loops (send collection,
+//! delivery, receive) run on a [`std::thread::scope`] worker pool; the
+//! crash-adversary phase always stays serial.  Parallel execution is
+//! deterministic: per-worker scratch buffers are merged in fixed node-index
+//! order, so reports, metrics and traces are byte-identical to a serial run
+//! (see [`crate::parallel`] and the threading-model notes in `DESIGN.md`).
 
 use crate::adversary::byzantine::ByzantineStrategy;
 use crate::adversary::{CrashAdversary, NoFaults};
@@ -17,6 +24,7 @@ use crate::delivery::EngineCore;
 use crate::error::{SimError, SimResult};
 use crate::message::{Delivered, Outgoing, Payload};
 use crate::node::{NodeId, NodeSet};
+use crate::parallel::{self, NodeEvent};
 use crate::protocol::{NodeStatus, SyncProtocol};
 use crate::report::{ExecutionReport, Termination};
 use crate::round::Round;
@@ -24,12 +32,15 @@ use crate::trace::Trace;
 
 /// A participant in an execution: either an honest node running the protocol
 /// under test or a Byzantine node running an arbitrary strategy.
+///
+/// Byzantine strategies are boxed with a `Send` bound so the runner may call
+/// them from phase workers; every strategy in this repository is plain data.
 pub enum Participant<P: SyncProtocol> {
     /// An honest node executing the protocol.
     Honest(P),
     /// A Byzantine node executing an adversarial strategy over the same
     /// message type.
-    Byzantine(Box<dyn ByzantineStrategy<P::Msg>>),
+    Byzantine(Box<dyn ByzantineStrategy<P::Msg> + Send>),
 }
 
 impl<P: SyncProtocol> Participant<P> {
@@ -78,9 +89,18 @@ impl<P: SyncProtocol> std::fmt::Debug for Participant<P> {
 /// ```
 pub struct Runner<P: SyncProtocol> {
     participants: Vec<Participant<P>>,
+    /// `byzantine_mask[i]` iff participant `i` is Byzantine.  Membership is
+    /// fixed at construction; the mask lets delivery workers read it without
+    /// requiring `Sync` on participants.
+    byzantine_mask: Vec<bool>,
     outputs: Vec<Option<P::Output>>,
     adversary: Box<dyn CrashAdversary>,
     core: EngineCore,
+    /// Worker threads used for the per-node phase loops (1 = serial).
+    jobs: usize,
+    /// Node count above which `jobs > 1` engages the worker pool (see
+    /// [`parallel::MIN_NODES_PER_FORK`]).
+    fork_threshold: usize,
     /// Per-node outgoing queues for the current round (reused).
     outgoing: Vec<Vec<Outgoing<P::Msg>>>,
     /// Per-node intended destinations handed to the adversary (reused).
@@ -143,11 +163,15 @@ impl<P: SyncProtocol> Runner<P> {
             )));
         }
         let n = participants.len();
+        let byzantine_mask = participants.iter().map(Participant::is_byzantine).collect();
         Ok(Runner {
             participants,
+            byzantine_mask,
             outputs: (0..n).map(|_| None).collect(),
             adversary,
             core: EngineCore::new(n, fault_budget),
+            jobs: 1,
+            fork_threshold: parallel::MIN_NODES_PER_FORK,
             outgoing: (0..n).map(|_| Vec::new()).collect(),
             send_intents: (0..n).map(|_| Vec::new()).collect(),
             poll_intents: vec![None; n],
@@ -159,6 +183,40 @@ impl<P: SyncProtocol> Runner<P> {
     /// Enables coarse-grained event tracing.
     pub fn enable_trace(&mut self) -> &mut Self {
         self.core.trace = Trace::enabled();
+        self
+    }
+
+    /// Sets the number of worker threads for the per-node phase loops.
+    ///
+    /// `1` (the default) keeps the serial loops; `0` means "pick for me"
+    /// ([`parallel::available_jobs`]).  Parallel execution is deterministic —
+    /// reports, metrics and traces are byte-identical to a serial run — so
+    /// this is purely a performance knob.  Systems below the fork threshold
+    /// stay on the serial path regardless.
+    pub fn set_jobs(&mut self, jobs: usize) -> &mut Self {
+        self.jobs = parallel::effective_jobs(jobs);
+        self
+    }
+
+    /// Builder-style variant of [`Runner::set_jobs`].
+    #[must_use]
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.set_jobs(jobs);
+        self
+    }
+
+    /// The configured worker-thread count.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Overrides the node-count threshold above which `jobs > 1` engages
+    /// the worker pool (default: [`parallel::MIN_NODES_PER_FORK`]).  Both
+    /// paths are byte-identical; this only trades fork/join overhead
+    /// against parallel speedup, e.g. for rounds that do unusually heavy
+    /// per-node work.
+    pub fn set_fork_threshold(&mut self, nodes: usize) -> &mut Self {
+        self.fork_threshold = nodes.max(1);
         self
     }
 
@@ -201,12 +259,39 @@ impl<P: SyncProtocol> Runner<P> {
 
     /// Executes one synchronous round: collect sends, apply the crash
     /// adversary, deliver, receive, update statuses.
+    ///
+    /// With more than one configured job (see [`Runner::set_jobs`]) the three
+    /// per-node phase loops run on a scoped worker pool; the crash-adversary
+    /// phase always runs serially on this thread.  Both paths produce
+    /// byte-identical state, so the fork decision is invisible to callers.
     pub fn step(&mut self) {
-        let n = self.n();
-        let round = self.core.round;
+        let fork = parallel::should_fork(self.n(), self.jobs, self.fork_threshold);
+        // Phase 1: collect outgoing messages and adversary-visible intents
+        // from every operational participant into the reused per-node queues.
+        if fork {
+            self.collect_sends_parallel();
+        } else {
+            self.collect_sends_serial();
+        }
+        // Phase 2 (always serial): the crash adversary picks this round's
+        // victims from one coherent view of the whole round.
+        self.core
+            .apply_crash_phase(&mut *self.adversary, &self.send_intents, &self.poll_intents);
+        // Phases 3 and 4: deliver surviving messages, then receive and
+        // update statuses.
+        if fork {
+            self.deliver_parallel();
+            self.receive_parallel();
+        } else {
+            self.deliver_serial();
+            self.receive_serial();
+        }
+        self.core.finish_round();
+    }
 
-        // Phase 1: collect outgoing messages from every operational
-        // participant into the reused per-node queues.
+    /// Phase 1, serial path.
+    fn collect_sends_serial(&mut self) {
+        let round = self.core.round;
         for (i, participant) in self.participants.iter_mut().enumerate() {
             self.outgoing[i] = match (&self.core.status[i], participant) {
                 (NodeStatus::Running, Participant::Honest(p)) => p.send(round),
@@ -216,18 +301,51 @@ impl<P: SyncProtocol> Runner<P> {
                 }
                 _ => Vec::new(),
             };
+            self.send_intents[i].clear();
+            let intents = self.outgoing[i].iter().map(|m| m.to);
+            self.send_intents[i].extend(intents);
         }
+    }
 
-        // Phase 2: let the crash adversary pick this round's victims.
-        for (intents, msgs) in self.send_intents.iter_mut().zip(&self.outgoing) {
-            intents.clear();
-            intents.extend(msgs.iter().map(|m| m.to));
-        }
-        self.core
-            .apply_crash_phase(&mut *self.adversary, &self.send_intents, &self.poll_intents);
+    /// Phase 1, parallel path: each worker collects sends and intents for a
+    /// contiguous chunk of nodes.  Protocol state machines are independent,
+    /// so chunked `send` calls observe exactly what they would serially.
+    fn collect_sends_parallel(&mut self) {
+        let round = self.core.round;
+        let chunk = parallel::chunk_len(self.n(), self.jobs);
+        let status = &self.core.status;
+        std::thread::scope(|s| {
+            let chunks = self
+                .participants
+                .chunks_mut(chunk)
+                .zip(self.outgoing.chunks_mut(chunk))
+                .zip(self.send_intents.chunks_mut(chunk))
+                .zip(self.byz_inboxes.chunks(chunk))
+                .enumerate();
+            for (ci, (((parts, outs), intents), byz)) in chunks {
+                let base = ci * chunk;
+                s.spawn(move || {
+                    for (i, participant) in parts.iter_mut().enumerate() {
+                        outs[i] = match (&status[base + i], participant) {
+                            (NodeStatus::Running, Participant::Honest(p)) => p.send(round),
+                            (NodeStatus::Running, Participant::Byzantine(b)) => {
+                                b.act(round, &byz[i])
+                            }
+                            _ => Vec::new(),
+                        };
+                        intents[i].clear();
+                        intents[i].extend(outs[i].iter().map(|m| m.to));
+                    }
+                });
+            }
+        });
+    }
 
-        // Phase 3: deliver messages, counting only those actually dispatched
-        // by non-Byzantine senders.
+    /// Phase 3, serial path: deliver messages, counting only those actually
+    /// dispatched by non-Byzantine senders.
+    fn deliver_serial(&mut self) {
+        let n = self.n();
+        let round = self.core.round;
         for inbox in &mut self.inboxes {
             inbox.clear();
         }
@@ -253,8 +371,78 @@ impl<P: SyncProtocol> Runner<P> {
                 }
             }
         }
+    }
 
-        // Phase 4: receive and update statuses.
+    /// Phase 3, parallel path: workers scan contiguous sender chunks into
+    /// per-worker scratch (surviving messages in sender order plus message /
+    /// bit / Byzantine counters); the main thread merges the scratch in
+    /// worker order, which *is* sender-index order, so inbox ordering and
+    /// metric totals match the serial loop byte for byte.
+    fn deliver_parallel(&mut self) {
+        let n = self.n();
+        let round = self.core.round;
+        let chunk = parallel::chunk_len(n, self.jobs);
+        for inbox in &mut self.inboxes {
+            inbox.clear();
+        }
+        let core = &self.core;
+        let byzantine_mask = &self.byzantine_mask;
+        type Scratch<M> = (Vec<(usize, Delivered<M>)>, u64, u64, u64);
+        let worker_results: Vec<Scratch<P::Msg>> = std::thread::scope(|s| {
+            let handles: Vec<_> = self
+                .outgoing
+                .chunks_mut(chunk)
+                .enumerate()
+                .map(|(ci, outs)| {
+                    let base = ci * chunk;
+                    s.spawn(move || {
+                        let mut delivered = Vec::new();
+                        let (mut msgs, mut bits, mut byz) = (0u64, 0u64, 0u64);
+                        for (i, queue) in outs.iter_mut().enumerate() {
+                            let sender_idx = base + i;
+                            let sender = NodeId::new(sender_idx);
+                            let is_byzantine = byzantine_mask[sender_idx];
+                            for (msg_idx, out) in queue.drain(..).enumerate() {
+                                if let Some(filter) = core.filter(sender_idx) {
+                                    if !filter.allows(msg_idx, out.to) {
+                                        continue;
+                                    }
+                                }
+                                if is_byzantine {
+                                    byz += 1;
+                                } else {
+                                    msgs += 1;
+                                    bits += out.msg.bit_len();
+                                }
+                                let dest = out.to.index();
+                                if dest < n && core.status[dest].is_running() {
+                                    delivered.push((dest, Delivered::new(sender, out.msg)));
+                                }
+                            }
+                        }
+                        (delivered, msgs, bits, byz)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("delivery worker panicked"))
+                .collect()
+        });
+        for (delivered, msgs, bits, byz) in worker_results {
+            self.core
+                .metrics
+                .record_messages(round.as_u64(), msgs, bits);
+            self.core.metrics.byzantine_messages += byz;
+            for (dest, msg) in delivered {
+                self.inboxes[dest].push(msg);
+            }
+        }
+    }
+
+    /// Phase 4, serial path: receive and update statuses.
+    fn receive_serial(&mut self) {
+        let round = self.core.round;
         for (i, participant) in self.participants.iter_mut().enumerate() {
             if !self.core.status[i].is_running() {
                 continue;
@@ -278,8 +466,80 @@ impl<P: SyncProtocol> Runner<P> {
                 }
             }
         }
+    }
 
-        self.core.finish_round();
+    /// Phase 4, parallel path: workers drive `receive` for contiguous node
+    /// chunks, writing outputs in place and recording decision/halt events in
+    /// per-worker scratch; the main thread replays the events in node-index
+    /// order so status transitions and trace entries match the serial loop.
+    fn receive_parallel(&mut self) {
+        let round = self.core.round;
+        let chunk = parallel::chunk_len(self.n(), self.jobs);
+        let status = &self.core.status;
+        let events: Vec<Vec<NodeEvent>> = std::thread::scope(|s| {
+            let chunks = self
+                .participants
+                .chunks_mut(chunk)
+                .zip(self.inboxes.chunks_mut(chunk))
+                .zip(self.byz_inboxes.chunks_mut(chunk))
+                .zip(self.outputs.chunks_mut(chunk))
+                .enumerate();
+            let handles: Vec<_> = chunks
+                .map(|(ci, (((parts, inboxes), byz), outputs))| {
+                    let base = ci * chunk;
+                    s.spawn(move || {
+                        let mut events = Vec::new();
+                        for (i, participant) in parts.iter_mut().enumerate() {
+                            if !status[base + i].is_running() {
+                                continue;
+                            }
+                            match participant {
+                                Participant::Honest(p) => {
+                                    p.receive(round, &inboxes[i]);
+                                    let mut decided = false;
+                                    if let Some(output) = p.output() {
+                                        if outputs[i].is_none() {
+                                            outputs[i] = Some(output);
+                                            decided = true;
+                                        }
+                                    }
+                                    let halted = p.has_halted();
+                                    if decided || halted {
+                                        events.push(NodeEvent {
+                                            node: base + i,
+                                            decided,
+                                            halted,
+                                        });
+                                    }
+                                }
+                                Participant::Byzantine(_) => {
+                                    std::mem::swap(&mut byz[i], &mut inboxes[i]);
+                                }
+                            }
+                        }
+                        events
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("receive worker panicked"))
+                .collect()
+        });
+        // Workers scan contiguous ascending chunks, so flattening in worker
+        // order replays decisions and halts in node-index order — the same
+        // order (and trace) the serial loop produces.
+        for event in events.into_iter().flatten() {
+            if event.decided {
+                let output = self.outputs[event.node]
+                    .as_ref()
+                    .expect("decision recorded");
+                self.core.record_decision(event.node, output);
+            }
+            if event.halted {
+                self.core.mark_halted(event.node);
+            }
+        }
     }
 
     /// Builds the final report.
@@ -545,6 +805,69 @@ mod tests {
         fn has_halted(&self) -> bool {
             self.halt_after.is_some_and(|h| self.rounds >= h)
         }
+    }
+
+    /// Parallel phase loops must be observationally identical to the serial
+    /// ones: same report (outputs, crash/halt rounds, metrics including the
+    /// per-round profile) and same trace, event for event.  `n` sits above
+    /// the fork threshold so the worker-pool path actually runs.
+    #[test]
+    fn parallel_execution_is_byte_identical_to_serial() {
+        use crate::parallel::MIN_NODES_PER_FORK;
+        let n = MIN_NODES_PER_FORK + 9;
+        let run = |jobs: usize| {
+            let protocols: Vec<FloodOr> = (0..n).map(|i| FloodOr::new(n, i == 3)).collect();
+            let adversary = FixedCrashSchedule::new()
+                .crash_at(0, CrashDirective::silent(NodeId::new(1)))
+                .crash_at(
+                    1,
+                    CrashDirective {
+                        node: NodeId::new(4),
+                        deliver: crate::adversary::DeliveryFilter::Prefix(3),
+                    },
+                )
+                .crash_at(2, CrashDirective::after_send(NodeId::new(n - 1)));
+            let mut runner = Runner::with_adversary(protocols, Box::new(adversary), 3)
+                .unwrap()
+                .with_jobs(jobs);
+            runner.enable_trace();
+            let report = runner.run(10);
+            (report, runner.trace().events().to_vec())
+        };
+        let (serial_report, serial_trace) = run(1);
+        for jobs in [2, 4, 7] {
+            let (parallel_report, parallel_trace) = run(jobs);
+            assert_eq!(serial_report, parallel_report, "report with jobs={jobs}");
+            assert_eq!(serial_trace, parallel_trace, "trace with jobs={jobs}");
+        }
+        assert_eq!(serial_report.metrics.crashes, 3);
+        assert!(serial_report.all_non_faulty_decided());
+    }
+
+    /// The parallel path preserves Byzantine accounting: uncounted Byzantine
+    /// messages, per-node inbox retention, identical honest-side metrics.
+    #[test]
+    fn parallel_execution_matches_serial_with_byzantine_nodes() {
+        use crate::adversary::byzantine::FloodByzantine;
+        use crate::parallel::MIN_NODES_PER_FORK;
+        let n = MIN_NODES_PER_FORK + 2;
+        let run = |jobs: usize| {
+            let mut participants: Vec<Participant<FloodOr>> = (1..n)
+                .map(|i| Participant::Honest(FloodOr::new(n, i == 1)))
+                .collect();
+            participants.insert(
+                0,
+                Participant::Byzantine(Box::new(FloodByzantine::<bool>::new(n))),
+            );
+            let mut runner = Runner::with_participants(participants, Box::new(NoFaults), 0)
+                .unwrap()
+                .with_jobs(jobs);
+            runner.run(10)
+        };
+        let serial = run(1);
+        let parallel = run(4);
+        assert_eq!(serial, parallel);
+        assert!(parallel.metrics.byzantine_messages > 0);
     }
 
     /// Regression test for the halted-destination rule: once a node halts,

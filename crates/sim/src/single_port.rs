@@ -19,6 +19,7 @@ use crate::error::{SimError, SimResult};
 use crate::message::Payload;
 use crate::metrics::Metrics;
 use crate::node::{NodeId, NodeSet};
+use crate::parallel::{self, NodeEvent};
 use crate::protocol::SinglePortProtocol;
 use crate::report::{ExecutionReport, Termination};
 use crate::trace::Trace;
@@ -92,6 +93,17 @@ pub struct SinglePortRunner<P: SinglePortProtocol> {
     send_intents: Vec<Vec<NodeId>>,
     /// Sparse `(destination, sender)` port buffers.
     ports: PortMap<P::Msg>,
+    /// Per-node pre-drained poll results for the parallel receive phase
+    /// (reused; `Some` only for running nodes that polled this round).
+    drained: Vec<Option<Vec<P::Msg>>>,
+    /// Worker threads used for the per-node phase loops (1 = serial).
+    jobs: usize,
+    /// Node count above which `jobs > 1` engages the worker pool.  The
+    /// single-port default ([`parallel::MIN_NODES_PER_FORK_SINGLE_PORT`])
+    /// is far higher than the multi-port one: a single-port round is one
+    /// send and one poll per node, so per-round forking only pays off for
+    /// very large systems.
+    fork_threshold: usize,
 }
 
 impl<P: SinglePortProtocol> SinglePortRunner<P> {
@@ -136,7 +148,44 @@ impl<P: SinglePortProtocol> SinglePortRunner<P> {
             polls: vec![None; n],
             send_intents: (0..n).map(|_| Vec::new()).collect(),
             ports: PortMap::new(),
+            drained: (0..n).map(|_| None).collect(),
+            jobs: 1,
+            fork_threshold: parallel::MIN_NODES_PER_FORK_SINGLE_PORT,
         })
+    }
+
+    /// Sets the number of worker threads for the per-node phase loops.
+    ///
+    /// `1` (the default) keeps the serial loops; `0` means "pick for me"
+    /// ([`parallel::available_jobs`]).  Parallel execution is deterministic —
+    /// reports, metrics and traces are byte-identical to a serial run — so
+    /// this is purely a performance knob.
+    pub fn set_jobs(&mut self, jobs: usize) -> &mut Self {
+        self.jobs = parallel::effective_jobs(jobs);
+        self
+    }
+
+    /// Builder-style variant of [`SinglePortRunner::set_jobs`].
+    #[must_use]
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.set_jobs(jobs);
+        self
+    }
+
+    /// The configured worker-thread count.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Overrides the node-count threshold above which `jobs > 1` engages
+    /// the worker pool (default:
+    /// [`parallel::MIN_NODES_PER_FORK_SINGLE_PORT`]).  Both paths are
+    /// byte-identical; this only trades fork/join overhead against
+    /// parallel speedup, e.g. for protocols with unusually heavy per-node
+    /// `send`/`receive` work.
+    pub fn set_fork_threshold(&mut self, nodes: usize) -> &mut Self {
+        self.fork_threshold = nodes.max(1);
+        self
     }
 
     /// Enables coarse-grained event tracing.
@@ -187,22 +236,26 @@ impl<P: SinglePortProtocol> SinglePortRunner<P> {
     }
 
     /// Executes one single-port round.
+    ///
+    /// With more than one configured job (see [`SinglePortRunner::set_jobs`])
+    /// the send-collection and receive loops run on a scoped worker pool; the
+    /// crash-adversary phase and the port-map mutations (enqueue, drain,
+    /// drop) always stay serial — the sparse [`PortMap`] is shared state, and
+    /// at one message per node per round the enqueue loop is memory-movement
+    /// bound anyway.  Both paths produce byte-identical state.
     pub fn step(&mut self) {
         let n = self.n();
         let round = self.core.round;
+        let fork = parallel::should_fork(n, self.jobs, self.fork_threshold);
 
         // Phase 1: collect each running node's single send and poll intent.
-        for (i, node) in self.nodes.iter_mut().enumerate() {
-            if self.core.status[i].is_running() {
-                self.sends[i] = node.send(round);
-                self.polls[i] = node.poll(round);
-            } else {
-                self.sends[i] = None;
-                self.polls[i] = None;
-            }
+        if fork {
+            self.collect_sends_parallel();
+        } else {
+            self.collect_sends_serial();
         }
 
-        // Phase 2: crash adversary.
+        // Phase 2 (always serial): crash adversary.
         for (intents, send) in self.send_intents.iter_mut().zip(&self.sends) {
             intents.clear();
             intents.extend(send.iter().map(|o| o.to));
@@ -214,7 +267,7 @@ impl<P: SinglePortProtocol> SinglePortRunner<P> {
             self.ports.drop_destination(victim);
         }
 
-        // Phase 3: enqueue messages onto destination ports.
+        // Phase 3 (always serial): enqueue messages onto destination ports.
         for sender_idx in 0..n {
             let Some(out) = self.sends[sender_idx].take() else {
                 continue;
@@ -234,6 +287,62 @@ impl<P: SinglePortProtocol> SinglePortRunner<P> {
         }
 
         // Phase 4: polled ports are drained and delivered.
+        if fork {
+            self.receive_parallel();
+        } else {
+            self.receive_serial();
+        }
+
+        self.core.finish_round();
+    }
+
+    /// Phase 1, serial path.
+    fn collect_sends_serial(&mut self) {
+        let round = self.core.round;
+        for (i, node) in self.nodes.iter_mut().enumerate() {
+            if self.core.status[i].is_running() {
+                self.sends[i] = node.send(round);
+                self.polls[i] = node.poll(round);
+            } else {
+                self.sends[i] = None;
+                self.polls[i] = None;
+            }
+        }
+    }
+
+    /// Phase 1, parallel path: each worker collects the single send and poll
+    /// intent for a contiguous chunk of nodes.
+    fn collect_sends_parallel(&mut self) {
+        let round = self.core.round;
+        let chunk = parallel::chunk_len(self.n(), self.jobs);
+        let status = &self.core.status;
+        std::thread::scope(|s| {
+            let chunks = self
+                .nodes
+                .chunks_mut(chunk)
+                .zip(self.sends.chunks_mut(chunk))
+                .zip(self.polls.chunks_mut(chunk))
+                .enumerate();
+            for (ci, ((nodes, sends), polls)) in chunks {
+                let base = ci * chunk;
+                s.spawn(move || {
+                    for (i, node) in nodes.iter_mut().enumerate() {
+                        if status[base + i].is_running() {
+                            sends[i] = node.send(round);
+                            polls[i] = node.poll(round);
+                        } else {
+                            sends[i] = None;
+                            polls[i] = None;
+                        }
+                    }
+                });
+            }
+        });
+    }
+
+    /// Phase 4, serial path.
+    fn receive_serial(&mut self) {
+        let round = self.core.round;
         for (i, node) in self.nodes.iter_mut().enumerate() {
             if !self.core.status[i].is_running() {
                 continue;
@@ -254,8 +363,83 @@ impl<P: SinglePortProtocol> SinglePortRunner<P> {
                 self.ports.drop_destination(i);
             }
         }
+    }
 
-        self.core.finish_round();
+    /// Phase 4, parallel path: polled ports are pre-drained serially in
+    /// node-index order (each drain touches only the polling node's own
+    /// in-ports, so this is exactly what the serial loop does), workers then
+    /// drive `receive` for contiguous node chunks, and the main thread
+    /// replays decision/halt events — including freeing halted destinations'
+    /// ports — in node-index order.
+    fn receive_parallel(&mut self) {
+        let round = self.core.round;
+        let chunk = parallel::chunk_len(self.n(), self.jobs);
+        for (i, poll) in self.polls.iter().enumerate() {
+            self.drained[i] = if self.core.status[i].is_running() {
+                poll.map(|port| self.ports.drain(i, port.index()))
+            } else {
+                None
+            };
+        }
+        let status = &self.core.status;
+        let events: Vec<Vec<NodeEvent>> = std::thread::scope(|s| {
+            let chunks = self
+                .nodes
+                .chunks_mut(chunk)
+                .zip(self.polls.chunks(chunk))
+                .zip(self.drained.chunks_mut(chunk))
+                .zip(self.outputs.chunks_mut(chunk))
+                .enumerate();
+            let handles: Vec<_> = chunks
+                .map(|(ci, (((nodes, polls), drained), outputs))| {
+                    let base = ci * chunk;
+                    s.spawn(move || {
+                        let mut events = Vec::new();
+                        for (i, node) in nodes.iter_mut().enumerate() {
+                            if !status[base + i].is_running() {
+                                continue;
+                            }
+                            if let Some(port) = polls[i] {
+                                let msgs = drained[i].take().unwrap_or_default();
+                                node.receive(round, port, msgs);
+                            }
+                            let mut decided = false;
+                            if let Some(output) = node.output() {
+                                if outputs[i].is_none() {
+                                    outputs[i] = Some(output);
+                                    decided = true;
+                                }
+                            }
+                            let halted = node.has_halted();
+                            if decided || halted {
+                                events.push(NodeEvent {
+                                    node: base + i,
+                                    decided,
+                                    halted,
+                                });
+                            }
+                        }
+                        events
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("receive worker panicked"))
+                .collect()
+        });
+        for event in events.into_iter().flatten() {
+            if event.decided {
+                let output = self.outputs[event.node]
+                    .as_ref()
+                    .expect("decision recorded");
+                self.core.record_decision(event.node, output);
+            }
+            if event.halted {
+                self.core.mark_halted(event.node);
+                self.ports.drop_destination(event.node);
+            }
+        }
     }
 
     fn report(&self, termination: Termination) -> ExecutionReport<P::Output> {
@@ -504,6 +688,44 @@ mod tests {
         assert_eq!(runner.metrics().messages, 5, "every send is counted");
         assert_eq!(runner.buffered_messages(), 0);
         assert_eq!(runner.ports_in_use(), 0);
+    }
+
+    /// Parallel phase loops must be observationally identical to the serial
+    /// ones: same report, same trace, same buffered-port diagnostics.
+    #[test]
+    fn parallel_execution_is_byte_identical_to_serial() {
+        use crate::adversary::{CrashDirective, FixedCrashSchedule};
+        use crate::parallel::MIN_NODES_PER_FORK;
+        let n = MIN_NODES_PER_FORK + 5;
+        let run = |jobs: usize| {
+            let adversary = FixedCrashSchedule::new()
+                .crash_at(1, CrashDirective::silent(NodeId::new(2)))
+                .crash_at(3, CrashDirective::after_send(NodeId::new(n - 1)));
+            let mut runner = SinglePortRunner::with_adversary(ring(n, 0), Box::new(adversary), 2)
+                .unwrap()
+                .with_jobs(jobs);
+            // The single-port default threshold only engages the pool for
+            // very large systems; force it so this test exercises the
+            // parallel path at a testable size.
+            runner.set_fork_threshold(1);
+            runner.enable_trace();
+            let report = runner.run(3 * n as u64);
+            (
+                report,
+                runner.trace().events().to_vec(),
+                runner.buffered_messages(),
+                runner.ports_in_use(),
+            )
+        };
+        let serial = run(1);
+        for jobs in [2, 4] {
+            let parallel = run(jobs);
+            assert_eq!(serial.0, parallel.0, "report with jobs={jobs}");
+            assert_eq!(serial.1, parallel.1, "trace with jobs={jobs}");
+            assert_eq!(serial.2, parallel.2, "buffered messages with jobs={jobs}");
+            assert_eq!(serial.3, parallel.3, "ports in use with jobs={jobs}");
+        }
+        assert_eq!(serial.0.metrics.crashes, 2);
     }
 
     #[test]

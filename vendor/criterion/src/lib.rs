@@ -4,12 +4,127 @@
 //! `benchmark_group`, `sample_size`, `bench_function`, `finish`, `Bencher::
 //! iter`, `black_box`, and the `criterion_group!` / `criterion_main!` macros.
 //! Each benchmark runs `sample_size` timed samples and prints
-//! min / mean / max wall-clock time per iteration — no statistics engine, no
-//! HTML reports, but honest timings with a stable output format.
+//! min / mean / max wall-clock time per iteration plus an IQR-trimmed mean
+//! (see [`stats`]) — no HTML reports, but honest timings with a stable
+//! output format and the same Tukey-fence outlier rejection real criterion
+//! applies before reporting.
 
 #![forbid(unsafe_code)]
 
 use std::time::{Duration, Instant};
+
+pub mod stats {
+    //! Minimal sample statistics: min / mean / max plus interquartile-range
+    //! (Tukey fence) outlier rejection, the piece of real criterion's
+    //! statistics engine the offline stand-in reproduces.  Exposed publicly
+    //! so the experiment harness (`run_experiments --timings --samples K`)
+    //! can report the same summary for per-experiment wall times.
+
+    use std::time::Duration;
+
+    /// Summary of a set of timing samples.
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub struct Summary {
+        /// Fastest sample.
+        pub min: Duration,
+        /// Untrimmed arithmetic mean.
+        pub mean: Duration,
+        /// Slowest sample.
+        pub max: Duration,
+        /// Mean of the samples inside the Tukey fences
+        /// `[q1 − 1.5·IQR, q3 + 1.5·IQR]`.
+        pub trimmed_mean: Duration,
+        /// Samples rejected by the fences.
+        pub outliers: usize,
+        /// Total samples observed.
+        pub samples: usize,
+    }
+
+    /// Summarises `times`; `None` when empty.
+    ///
+    /// Quartiles use the nearest-rank positions `n/4` and `3n/4` of the
+    /// sorted samples — crude next to real criterion's bootstrap, but
+    /// deterministic and adequate for rejecting the warm-up / scheduler
+    /// spikes that dominate wall-clock noise.  With fewer than four samples
+    /// the fences degenerate and nothing is rejected, so the trimmed mean
+    /// equals the mean.
+    pub fn summarize(times: &[Duration]) -> Option<Summary> {
+        if times.is_empty() {
+            return None;
+        }
+        let mut sorted: Vec<Duration> = times.to_vec();
+        sorted.sort_unstable();
+        let n = sorted.len();
+        let min = sorted[0];
+        let max = sorted[n - 1];
+        let mean = mean_of(&sorted);
+        let (q1, q3) = (sorted[n / 4], sorted[(3 * n / 4).min(n - 1)]);
+        let iqr = q3.saturating_sub(q1);
+        let low = q1.saturating_sub(iqr * 3 / 2);
+        let high = q3.saturating_add(iqr * 3 / 2);
+        let kept: Vec<Duration> = sorted
+            .iter()
+            .copied()
+            .filter(|&t| t >= low && t <= high)
+            .collect();
+        // The fences always contain the quartiles themselves, so `kept` is
+        // never empty.
+        let trimmed_mean = mean_of(&kept);
+        Some(Summary {
+            min,
+            mean,
+            max,
+            trimmed_mean,
+            outliers: n - kept.len(),
+            samples: n,
+        })
+    }
+
+    fn mean_of(times: &[Duration]) -> Duration {
+        let total: u128 = times.iter().map(Duration::as_nanos).sum();
+        Duration::from_nanos((total / times.len() as u128) as u64)
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn empty_samples_have_no_summary() {
+            assert!(summarize(&[]).is_none());
+        }
+
+        #[test]
+        fn uniform_samples_reject_nothing() {
+            let times = vec![Duration::from_millis(10); 8];
+            let s = summarize(&times).unwrap();
+            assert_eq!(s.min, s.max);
+            assert_eq!(s.mean, s.trimmed_mean);
+            assert_eq!(s.outliers, 0);
+            assert_eq!(s.samples, 8);
+        }
+
+        #[test]
+        fn iqr_rejects_a_far_outlier() {
+            let mut times = vec![Duration::from_millis(10); 9];
+            times.push(Duration::from_secs(5));
+            let s = summarize(&times).unwrap();
+            assert_eq!(s.outliers, 1);
+            assert_eq!(s.trimmed_mean, Duration::from_millis(10));
+            // The untrimmed mean is dragged way up by the outlier.
+            assert!(s.mean > Duration::from_millis(100));
+            assert_eq!(s.max, Duration::from_secs(5));
+        }
+
+        #[test]
+        fn tiny_sample_sets_keep_everything() {
+            let times = [Duration::from_millis(1), Duration::from_millis(9)];
+            let s = summarize(&times).unwrap();
+            assert_eq!(s.outliers, 0);
+            assert_eq!(s.samples, 2);
+        }
+    }
+}
 
 /// Opaque-to-the-optimizer identity function.
 pub fn black_box<T>(x: T) -> T {
@@ -81,21 +196,26 @@ fn run_one<F: FnMut(&mut Bencher)>(id: &str, samples: usize, f: &mut F) {
     for _ in 0..samples {
         f(&mut bencher);
     }
-    let times = &bencher.samples;
-    if times.is_empty() {
+    let Some(summary) = stats::summarize(&bencher.samples) else {
         println!("  {id}: no samples");
         return;
-    }
-    let min = times.iter().min().copied().unwrap_or_default();
-    let max = times.iter().max().copied().unwrap_or_default();
-    let mean = times.iter().sum::<Duration>() / times.len() as u32;
-    println!(
-        "  {id}: [{} {} {}] ({} samples)",
-        fmt_duration(min),
-        fmt_duration(mean),
-        fmt_duration(max),
-        times.len()
-    );
+    };
+    println!("  {id}: {}", format_summary(&summary));
+}
+
+/// Renders a summary as `[min mean max] trimmed T (k outliers, n samples)`.
+pub fn format_summary(summary: &stats::Summary) -> String {
+    format!(
+        "[{} {} {}] trimmed {} ({} outlier{}, {} sample{})",
+        fmt_duration(summary.min),
+        fmt_duration(summary.mean),
+        fmt_duration(summary.max),
+        fmt_duration(summary.trimmed_mean),
+        summary.outliers,
+        if summary.outliers == 1 { "" } else { "s" },
+        summary.samples,
+        if summary.samples == 1 { "" } else { "s" },
+    )
 }
 
 fn fmt_duration(d: Duration) -> String {

@@ -1,8 +1,10 @@
 //! Offline stand-in for `proptest`.
 //!
-//! Supports the macro syntax the workspace's property tests use:
+//! Supports the macro syntax the workspace's property tests use
+//! (a `text` block, not a doctest: `cargo test -- --ignored` would
+//! otherwise try to compile this illustrative snippet and fail):
 //!
-//! ```ignore
+//! ```text
 //! proptest! {
 //!     #![proptest_config(ProptestConfig::with_cases(12))]
 //!     #[test]
