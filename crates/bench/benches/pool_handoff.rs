@@ -1,0 +1,209 @@
+//! Criterion benchmark: persistent-pool phase dispatch vs per-phase
+//! fork/join, and per-round engine throughput with and without the pool.
+//!
+//! The numbers produced here justify the fork thresholds in
+//! `dft_sim::parallel` (recorded in `DESIGN.md`): `dispatch` puts a cost on
+//! one *phase handoff* under the retired per-phase `thread::scope` design
+//! versus the persistent pool, and the `*_round` groups measure whole
+//! engine rounds at n ∈ {256, 1024, 4096} serially and with the pool
+//! engaged, which is where the single-port cutoff
+//! (`MIN_NODES_PER_FORK_SINGLE_PORT = 1024`) comes from.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dft_sim::pool::WorkerPool;
+use dft_sim::{
+    Delivered, NodeId, Outgoing, Round, Runner, SinglePortProtocol, SinglePortRunner, SyncProtocol,
+};
+use std::sync::mpsc;
+
+/// Worker count for the dispatch-latency comparison: the intra-run share a
+/// 4-core `--jobs 4` CI box gives each runner.
+const WORKERS: usize = 4;
+
+/// Dispatches per timed sample, so one sample is well above timer
+/// resolution; reported times are therefore per `DISPATCHES` handoffs.
+const DISPATCHES: usize = 100;
+
+/// One phase dispatch the way the retired engine did it: spawn `WORKERS`
+/// scoped threads, run a trivial closure on each, join them all.
+fn fork_join_dispatch() -> usize {
+    let mut done = 0;
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..WORKERS)
+            .map(|i| s.spawn(move || criterion::black_box(i)))
+            .collect();
+        for handle in handles {
+            done += handle.join().expect("scoped worker").min(1);
+        }
+    });
+    done
+}
+
+/// One phase dispatch through the persistent pool: submit a trivial job to
+/// each (already running) worker and collect the results.
+fn pool_dispatch(pool: &WorkerPool) -> usize {
+    let (tx, rx) = mpsc::channel();
+    for i in 0..pool.workers() {
+        let tx = tx.clone();
+        pool.submit(
+            i,
+            Box::new(move || tx.send(criterion::black_box(i)).map_or((), drop)),
+        );
+    }
+    drop(tx);
+    let mut done = 0;
+    while let Ok(i) = rx.recv() {
+        done += i.min(1);
+    }
+    done
+}
+
+fn bench_dispatch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dispatch");
+    group.sample_size(20);
+    group.bench_function(format!("fork_join_x{DISPATCHES}"), |b| {
+        b.iter(|| (0..DISPATCHES).map(|_| fork_join_dispatch()).sum::<usize>())
+    });
+    let pool = WorkerPool::new(WORKERS);
+    group.bench_function(format!("persistent_pool_x{DISPATCHES}"), |b| {
+        b.iter(|| (0..DISPATCHES).map(|_| pool_dispatch(&pool)).sum::<usize>())
+    });
+    group.finish();
+}
+
+/// A minimal multi-port round: every node messages a constant-degree
+/// neighbourhood and ORs its inbox — the engine's per-round bookkeeping
+/// dominates, which is what the fork threshold trades against.
+struct Neighbours {
+    me: usize,
+    n: usize,
+    value: bool,
+}
+
+impl SyncProtocol for Neighbours {
+    type Msg = bool;
+    type Output = bool;
+
+    fn send(&mut self, _round: Round) -> Vec<Outgoing<bool>> {
+        (1..=8usize)
+            .map(|d| Outgoing::new(NodeId::new((self.me + d) % self.n), self.value))
+            .collect()
+    }
+
+    fn receive(&mut self, _round: Round, inbox: &[Delivered<bool>]) {
+        for m in inbox {
+            self.value |= m.msg;
+        }
+    }
+
+    fn output(&self) -> Option<bool> {
+        None
+    }
+
+    fn has_halted(&self) -> bool {
+        false
+    }
+}
+
+/// A minimal single-port round: one send, one poll — the paper's port
+/// model, where executions run for Θ(t + log n) slots and per-round
+/// dispatch overhead matters most.
+struct PortRing {
+    me: usize,
+    n: usize,
+    value: bool,
+}
+
+impl SinglePortProtocol for PortRing {
+    type Msg = bool;
+    type Output = bool;
+
+    fn send(&mut self, _round: Round) -> Option<Outgoing<bool>> {
+        Some(Outgoing::new(
+            NodeId::new((self.me + 1) % self.n),
+            self.value,
+        ))
+    }
+
+    fn poll(&mut self, _round: Round) -> Option<NodeId> {
+        Some(NodeId::new((self.me + self.n - 1) % self.n))
+    }
+
+    fn receive(&mut self, _round: Round, _from: NodeId, msgs: Vec<bool>) {
+        for m in msgs {
+            self.value |= m;
+        }
+    }
+
+    fn output(&self) -> Option<bool> {
+        None
+    }
+
+    fn has_halted(&self) -> bool {
+        false
+    }
+}
+
+/// Rounds per timed sample for the engine-throughput groups.
+const MULTI_PORT_ROUNDS: u64 = 32;
+const SINGLE_PORT_ROUNDS: u64 = 256;
+
+fn bench_multi_port_round(c: &mut Criterion) {
+    let mut group = c.benchmark_group("multi_port_round");
+    group.sample_size(10);
+    for n in [256usize, 1024, 4096] {
+        for (label, jobs) in [("serial", 1usize), ("pool_j2", 2)] {
+            group.bench_function(format!("n{n}_{label}_x{MULTI_PORT_ROUNDS}"), |b| {
+                b.iter(|| {
+                    let nodes: Vec<Neighbours> = (0..n)
+                        .map(|me| Neighbours {
+                            me,
+                            n,
+                            value: me == 0,
+                        })
+                        .collect();
+                    let mut runner = Runner::new(nodes).expect("runner").with_jobs(jobs);
+                    // Engage the pool at every benchmarked size so the
+                    // crossover (where pool_j2 beats serial) is visible.
+                    runner.set_fork_threshold(1);
+                    runner.run(MULTI_PORT_ROUNDS)
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_single_port_round(c: &mut Criterion) {
+    let mut group = c.benchmark_group("single_port_round");
+    group.sample_size(10);
+    for n in [256usize, 1024, 4096] {
+        for (label, jobs) in [("serial", 1usize), ("pool_j2", 2)] {
+            group.bench_function(format!("n{n}_{label}_x{SINGLE_PORT_ROUNDS}"), |b| {
+                b.iter(|| {
+                    let nodes: Vec<PortRing> = (0..n)
+                        .map(|me| PortRing {
+                            me,
+                            n,
+                            value: me == 0,
+                        })
+                        .collect();
+                    let mut runner = SinglePortRunner::new(nodes)
+                        .expect("runner")
+                        .with_jobs(jobs);
+                    runner.set_fork_threshold(1);
+                    runner.run(SINGLE_PORT_ROUNDS)
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_dispatch,
+    bench_multi_port_round,
+    bench_single_port_round
+);
+criterion_main!(benches);

@@ -5,6 +5,7 @@
 //! ```text
 //! run_experiments [--scale quick|full|paper] [--n N] [--t T] [--seed S]
 //!                 [--jobs J] [--samples K] [--timings]
+//!                 [--bench-json PATH] [--bench-compare BASELINE]
 //! ```
 //!
 //! * `--scale` picks the size tier (`quick` is the CI default, `full` the
@@ -15,30 +16,46 @@
 //!   are clamped per experiment with a warning on stderr);
 //! * `--jobs J` (default: available parallelism; `--jobs 1` forces the
 //!   fully serial harness) is a total thread budget split across the two
-//!   parallelism levels: up to 11 threads fan independent experiments out,
-//!   and any budget beyond the experiment count goes to each runner's
-//!   per-node phase workers (so `--jobs 44` runs 11 experiments × 4 phase
-//!   workers, never `J²` threads).  Tables are byte-identical at any
-//!   setting and always print in canonical E1–E11 order — the determinism
-//!   suite in `tests/determinism.rs` pins this;
+//!   parallelism levels: experiment fan-out first, with any budget beyond
+//!   the experiment count going to each runner's persistent phase-worker
+//!   pool (so `--jobs 44` runs 11 experiments × 4 phase workers, never
+//!   `J²` threads).  An explicit `--jobs` is honoured as given; going
+//!   beyond the physical core count only adds scheduling overhead
+//!   (measured ~13% on the paper sweep at `--jobs 4` on one core).
+//!   Tables are byte-identical at any setting and always print in canonical
+//!   E1–E11 order — the determinism suite in `tests/determinism.rs` pins
+//!   this;
 //! * `--samples K` measures each experiment `K` times (tables are printed
 //!   from the first sample; `K > 1` implies `--timings`, which is the only
 //!   consumer of the extra runs);
 //! * `--timings` appends one `[time] Ek: …s` line per experiment so perf
 //!   regressions show up in CI logs; with `--samples K > 1` the line becomes
 //!   the criterion-style `[min mean max] trimmed …` summary with IQR outlier
-//!   rejection.
+//!   rejection;
+//! * `--bench-json PATH` writes the machine-readable perf baseline
+//!   (`dft_bench::baseline::BenchReport`): per-experiment wall / trimmed
+//!   timings, message and bit totals, and the run configuration including
+//!   the git revision;
+//! * `--bench-compare BASELINE` loads a committed baseline JSON and exits
+//!   non-zero if any experiment's trimmed-mean wall time regressed more
+//!   than 2× against the baseline's (with one sample the trimmed mean *is*
+//!   the single wall sample, so compare with the same `--samples` the
+//!   baseline was captured with; baselines under the 10 ms noise floor are
+//!   never gated; comparing against a baseline captured under a different
+//!   workload is an error, not a pass).
 
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
+use dft_bench::baseline::{self, BenchConfig, BenchReport, ExperimentBench};
 use dft_bench::experiments::{experiment_catalog, Scale, SweepConfig};
 use dft_bench::Table;
 
 const USAGE: &str = "usage: run_experiments [--scale quick|full|paper] [--n N] [--t T] \
-                     [--seed S] [--jobs J] [--samples K] [--timings]";
+                     [--seed S] [--jobs J] [--samples K] [--timings] \
+                     [--bench-json PATH] [--bench-compare BASELINE]";
 
 fn fail(message: &str) -> ExitCode {
     eprintln!("run_experiments: {message}\n{USAGE}");
@@ -52,14 +69,42 @@ struct Outcome {
 }
 
 /// Splits the `--jobs` thread budget between the two parallelism levels:
-/// up to `catalog_len` threads fan experiments out, and any budget left
-/// beyond that goes to each runner's intra-run phase workers.  Running both
+/// experiment fan-out first, with any budget left beyond the experiment
+/// count going to each runner's persistent phase-worker pool.  Running both
 /// levels at `jobs` simultaneously would put up to `jobs²` CPU-bound
-/// threads in flight; the split keeps the total at ~`jobs`.
+/// threads in flight; the split keeps the total at ~`jobs`.  An explicit
+/// `--jobs` is honoured as given, even beyond the machine's core count
+/// (oversubscribing time-shares, measured ~13% wall overhead on the paper
+/// sweep at `--jobs 4` on one core, but the CI determinism diff relies on
+/// `--jobs 4` genuinely engaging the parallel paths); the *default* is the
+/// available parallelism, so only a deliberate override oversubscribes.
 fn split_jobs(jobs: usize, catalog_len: usize) -> (usize, usize) {
-    let inter = jobs.min(catalog_len).max(1);
-    let intra = (jobs / inter).max(1);
+    let budget = jobs.max(1);
+    let inter = budget.min(catalog_len).max(1);
+    let intra = (budget / inter).max(1);
     (inter, intra)
+}
+
+/// The order experiments are *started* in: heaviest first (weights from the
+/// paper-scale n = 1000 capture in `EXPERIMENTS.md`), so a long experiment
+/// is never stranded last on an otherwise idle pool — the classic
+/// longest-processing-time heuristic.  Printing stays in canonical E1–E11
+/// order regardless.
+fn execution_order(catalog_len: usize) -> Vec<usize> {
+    // Canonical ids by descending measured weight: E7 E6 E1 E8 E10 E9 E5
+    // E3 E4 E2 E11 (indices are id - 1).
+    const HEAVIEST_FIRST: [usize; 11] = [6, 5, 0, 7, 9, 8, 4, 2, 3, 1, 10];
+    let mut order: Vec<usize> = HEAVIEST_FIRST
+        .iter()
+        .copied()
+        .filter(|&i| i < catalog_len)
+        .collect();
+    for index in 0..catalog_len {
+        if !order.contains(&index) {
+            order.push(index);
+        }
+    }
+    order
 }
 
 /// Runs the whole catalogue, fanning independent experiments out across
@@ -69,6 +114,7 @@ fn split_jobs(jobs: usize, catalog_len: usize) -> (usize, usize) {
 fn run_catalog(cfg: &SweepConfig, jobs: usize, samples: usize) -> Vec<(&'static str, Outcome)> {
     let catalog = experiment_catalog();
     let slots: Vec<Mutex<Option<Outcome>>> = catalog.iter().map(|_| Mutex::new(None)).collect();
+    let order = execution_order(catalog.len());
     let next = AtomicUsize::new(0);
     let (workers, runner_jobs) = split_jobs(jobs, catalog.len());
     let cfg = SweepConfig {
@@ -92,17 +138,17 @@ fn run_catalog(cfg: &SweepConfig, jobs: usize, samples: usize) -> Vec<(&'static 
         });
     };
     if workers == 1 {
-        for index in 0..catalog.len() {
+        for &index in &order {
             run_one(index);
         }
     } else {
         std::thread::scope(|s| {
             for _ in 0..workers {
                 s.spawn(|| loop {
-                    let index = next.fetch_add(1, Ordering::Relaxed);
-                    if index >= catalog.len() {
+                    let slot = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(&index) = order.get(slot) else {
                         break;
-                    }
+                    };
                     run_one(index);
                 });
             }
@@ -121,11 +167,52 @@ fn run_catalog(cfg: &SweepConfig, jobs: usize, samples: usize) -> Vec<(&'static 
         .collect()
 }
 
+/// Builds the machine-readable baseline from a finished catalogue run.
+fn bench_report(
+    cfg: &SweepConfig,
+    jobs: usize,
+    samples: usize,
+    outcomes: &[(&'static str, Outcome)],
+    total_wall: Duration,
+) -> BenchReport {
+    let experiments = outcomes
+        .iter()
+        .map(|(id, outcome)| {
+            let summary =
+                criterion::stats::summarize(&outcome.times).expect("at least one timed sample");
+            ExperimentBench {
+                id: (*id).to_string(),
+                wall_s: outcome.times[0].as_secs_f64(),
+                trimmed_mean_s: summary.trimmed_mean.as_secs_f64(),
+                min_s: summary.min.as_secs_f64(),
+                max_s: summary.max.as_secs_f64(),
+                messages: outcome.table.column_sum("messages"),
+                bits: outcome.table.column_sum("bits"),
+            }
+        })
+        .collect();
+    BenchReport {
+        config: BenchConfig {
+            scale: format!("{:?}", cfg.scale).to_ascii_lowercase(),
+            n: cfg.n.map(|n| n as u64),
+            t: cfg.t.map(|t| t as u64),
+            seed: cfg.seed,
+            jobs: jobs as u64,
+            samples: samples as u64,
+            git_rev: baseline::git_revision(),
+        },
+        experiments,
+        total_wall_s: total_wall.as_secs_f64(),
+    }
+}
+
 fn main() -> ExitCode {
     let mut cfg = SweepConfig::default();
     let mut timings = false;
     let mut jobs = dft_sim::available_jobs();
     let mut samples = 1usize;
+    let mut bench_json: Option<String> = None;
+    let mut bench_compare: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -166,6 +253,14 @@ fn main() -> ExitCode {
                 Some(Ok(k)) if k >= 1 => samples = k,
                 _ => return fail("--samples needs an integer >= 1"),
             },
+            "--bench-json" => match args.next() {
+                Some(path) => bench_json = Some(path),
+                None => return fail("--bench-json needs a path"),
+            },
+            "--bench-compare" => match args.next() {
+                Some(path) => bench_compare = Some(path),
+                None => return fail("--bench-compare needs a path"),
+            },
             other => return fail(&format!("unknown argument {other:?}")),
         }
     }
@@ -179,7 +274,10 @@ fn main() -> ExitCode {
         "linear-dft experiment harness (scale: {:?}, jobs: {jobs})\n",
         cfg.scale
     );
-    for (id, outcome) in run_catalog(&cfg, jobs, samples) {
+    let start = Instant::now();
+    let outcomes = run_catalog(&cfg, jobs, samples);
+    let total_wall = start.elapsed();
+    for (id, outcome) in &outcomes {
         println!("{}", outcome.table.render());
         if timings {
             if outcome.times.len() == 1 {
@@ -188,6 +286,53 @@ fn main() -> ExitCode {
                 let summary =
                     criterion::stats::summarize(&outcome.times).expect("at least one timed sample");
                 println!("[time] {id}: {}\n", criterion::format_summary(&summary));
+            }
+        }
+    }
+
+    if bench_json.is_none() && bench_compare.is_none() {
+        return ExitCode::SUCCESS;
+    }
+    let report = bench_report(&cfg, jobs, samples, &outcomes, total_wall);
+    if let Some(path) = bench_json {
+        if let Err(error) = std::fs::write(&path, report.to_json()) {
+            eprintln!("run_experiments: cannot write {path}: {error}");
+            return ExitCode::from(2);
+        }
+        eprintln!("run_experiments: wrote perf baseline to {path}");
+    }
+    if let Some(path) = bench_compare {
+        let text = match std::fs::read_to_string(&path) {
+            Ok(text) => text,
+            Err(error) => {
+                eprintln!("run_experiments: cannot read baseline {path}: {error}");
+                return ExitCode::from(2);
+            }
+        };
+        let committed = match BenchReport::parse(&text) {
+            Ok(committed) => committed,
+            Err(error) => {
+                eprintln!("run_experiments: malformed baseline {path}: {error}");
+                return ExitCode::from(2);
+            }
+        };
+        match committed.regressions_in(&report, baseline::DEFAULT_REGRESSION_FACTOR) {
+            Ok(regressions) if regressions.is_empty() => {
+                eprintln!(
+                    "run_experiments: no regressions > {:.1}x against {path} (rev {})",
+                    baseline::DEFAULT_REGRESSION_FACTOR,
+                    committed.config.git_rev,
+                );
+            }
+            Ok(regressions) => {
+                for line in &regressions {
+                    eprintln!("run_experiments: perf regression: {line}");
+                }
+                return ExitCode::FAILURE;
+            }
+            Err(error) => {
+                eprintln!("run_experiments: cannot compare against {path}: {error}");
+                return ExitCode::from(2);
             }
         }
     }

@@ -13,6 +13,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod baseline;
 pub mod experiments;
 
 use std::sync::Arc;
@@ -294,6 +295,22 @@ impl Table {
         self.rows.push(cells);
     }
 
+    /// Sums the parseable integer cells of the column named `name`, if the
+    /// table has one.  This is how the perf baseline (`--bench-json`) reads
+    /// message/bit totals out of an experiment without every experiment
+    /// having to thread counters through separately; non-numeric cells
+    /// (e.g. `yes`/`no`) contribute nothing.
+    pub fn column_sum(&self, name: &str) -> Option<u64> {
+        let index = self.columns.iter().position(|c| c == name)?;
+        Some(
+            self.rows
+                .iter()
+                .filter_map(|row| row.get(index))
+                .filter_map(|cell| cell.parse::<u64>().ok())
+                .sum(),
+        )
+    }
+
     /// Renders the table as aligned plain text.
     pub fn render(&self) -> String {
         let mut widths: Vec<usize> = self.columns.iter().map(String::len).collect();
@@ -375,6 +392,16 @@ mod tests {
         assert!(text.contains("claim"));
         assert!(text.contains("333"));
         assert_eq!(text.lines().count(), 6);
+    }
+
+    #[test]
+    fn column_sum_totals_numeric_cells_only() {
+        let mut table = Table::new("T", "claim", &["n", "messages", "agreement"]);
+        table.push_row(vec!["60".into(), "100".into(), "yes".into()]);
+        table.push_row(vec!["120".into(), "250".into(), "no".into()]);
+        assert_eq!(table.column_sum("messages"), Some(350));
+        assert_eq!(table.column_sum("agreement"), Some(0), "no numeric cells");
+        assert_eq!(table.column_sum("bits"), None, "no such column");
     }
 
     #[test]

@@ -14,7 +14,8 @@
 //!   serial and parallel execution.
 
 use dft_bench::experiments::{
-    experiment_byzantine, experiment_many_crashes, experiment_table1, Scale, SweepConfig,
+    experiment_byzantine, experiment_many_crashes, experiment_single_port, experiment_table1,
+    Scale, SweepConfig,
 };
 use dft_sim::{
     CrashDirective, Delivered, DeliveryFilter, ExecutionReport, FixedCrashSchedule, NodeId,
@@ -26,6 +27,12 @@ use proptest::prelude::*;
 /// `dft_sim::parallel`), so parallel table runs genuinely exercise the
 /// worker pool.
 const FORKING_N: usize = 150;
+
+/// A system size above the lowered single-port fork threshold (1024) but
+/// well below the old per-phase fork/join one (8192): at this size the
+/// persistent pool engages for single-port executions where the retired
+/// engine stayed serial, so the tables below exercise the lowered cutoff.
+const SINGLE_PORT_FORKING_N: usize = 1100;
 
 fn cfg(jobs: usize, n: Option<usize>) -> SweepConfig {
     SweepConfig {
@@ -52,6 +59,37 @@ fn e1_e5_e8_tables_are_byte_identical_across_jobs() {
             let parallel = experiment(&cfg(4, n)).render();
             assert_eq!(serial, parallel, "{id} tables drifted (n override {n:?})");
         }
+    }
+}
+
+/// The lowered single-port cutoff: at `SINGLE_PORT_FORKING_N` the
+/// single-port engine (E9) now routes every round through the persistent
+/// pool, which the old 8192-node threshold never reached in tests.  The
+/// table must still be byte-identical to a serial run.
+#[test]
+fn e9_table_is_byte_identical_below_old_single_port_threshold() {
+    let n = Some(SINGLE_PORT_FORKING_N);
+    let serial = experiment_single_port(&cfg(1, n)).render();
+    let parallel = experiment_single_port(&cfg(4, n)).render();
+    assert_eq!(serial, parallel, "E9 tables drifted (n override {n:?})");
+}
+
+/// The multi-port engines at the same below-the-old-cutoff size: E1/E5/E8
+/// take minutes in a debug build, so they run in the weekly slow CI job
+/// (`cargo test --release -- --ignored`) alongside the paper-scale suite.
+#[test]
+#[ignore = "minutes in debug builds; the slow CI job runs it in release"]
+fn e1_e5_e8_tables_are_byte_identical_below_old_single_port_threshold() {
+    let experiments: [(&str, ExperimentFn); 3] = [
+        ("E1", experiment_table1),
+        ("E5", experiment_many_crashes),
+        ("E8", experiment_byzantine),
+    ];
+    for (id, experiment) in experiments {
+        let n = Some(SINGLE_PORT_FORKING_N);
+        let serial = experiment(&cfg(1, n)).render();
+        let parallel = experiment(&cfg(4, n)).render();
+        assert_eq!(serial, parallel, "{id} tables drifted (n override {n:?})");
     }
 }
 

@@ -54,6 +54,11 @@ pub(crate) struct EngineCore {
     filters: Vec<Option<DeliveryFilter>>,
     /// Nodes crashed in the current round (indices into `filters`).
     struck: Vec<usize>,
+    /// Number of nodes still [`NodeStatus::Running`] — maintained on every
+    /// crash/halt transition so the runners' per-round "has everyone
+    /// halted?" check is O(1) instead of an O(n) status scan (single-port
+    /// executions run for tens of thousands of rounds).
+    running: usize,
 }
 
 impl EngineCore {
@@ -72,12 +77,18 @@ impl EngineCore {
             trace: Trace::disabled(),
             filters: vec![None; n],
             struck: Vec::new(),
+            running: n,
         }
     }
 
     /// Number of nodes.
     pub fn n(&self) -> usize {
         self.status.len()
+    }
+
+    /// Number of nodes still running (neither crashed nor halted).
+    pub fn running_nodes(&self) -> usize {
+        self.running
     }
 
     /// Runs the crash-adversary phase of the current round: builds the
@@ -107,6 +118,9 @@ impl EngineCore {
             if idx >= self.n() || self.status[idx].is_crashed() {
                 continue;
             }
+            if self.status[idx].is_running() {
+                self.running -= 1;
+            }
             self.status[idx] = NodeStatus::Crashed(round);
             self.crashed_at[idx] = Some(round);
             self.alive.remove(directive.node);
@@ -134,6 +148,9 @@ impl EngineCore {
 
     /// Marks a node as voluntarily halted in the current round.
     pub fn mark_halted(&mut self, idx: usize) {
+        if self.status[idx].is_running() {
+            self.running -= 1;
+        }
         self.status[idx] = NodeStatus::Halted;
         self.halted_at[idx] = Some(self.round);
         self.trace.record(Event::Halted {
@@ -315,6 +332,27 @@ mod tests {
         }
         core.apply_crash_phase(&mut Expect, &intents, &polls);
         let _ = NoFaults;
+    }
+
+    #[test]
+    fn running_count_tracks_crashes_and_halts() {
+        let mut core = EngineCore::new(4, 2);
+        assert_eq!(core.running_nodes(), 4);
+        core.mark_halted(0);
+        assert_eq!(core.running_nodes(), 3);
+        // Re-halting an already-halted node must not double-count.
+        core.mark_halted(0);
+        assert_eq!(core.running_nodes(), 3);
+        let mut adversary = FixedCrashSchedule::new()
+            .crash_at(0, CrashDirective::silent(NodeId::new(0)))
+            .crash_at(0, CrashDirective::silent(NodeId::new(1)));
+        let intents = vec![Vec::new(); 4];
+        let polls = vec![None; 4];
+        // Node 0 is halted (not running) when crashed: only node 1's crash
+        // takes a running node away.
+        core.apply_crash_phase(&mut adversary, &intents, &polls);
+        assert_eq!(core.running_nodes(), 2);
+        assert_eq!(core.crashes, 2);
     }
 
     #[test]

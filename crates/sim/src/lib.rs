@@ -22,11 +22,12 @@
 //!   rounds until all non-faulty nodes halt, point-to-point messages and the
 //!   total bits they carry, counting only non-faulty senders in the Byzantine
 //!   model.
-//! * [`parallel`] — the deterministic worker-pool layer: both runners accept
-//!   a job count (`set_jobs`) and split their per-node phase loops across a
-//!   [`std::thread::scope`] pool, merging per-worker scratch in fixed
-//!   node-index order so parallel runs are byte-identical to serial ones.
-//!   The crash-adversary phase always stays serial.
+//! * [`parallel`] — the deterministic parallel-execution layer: both
+//!   runners accept a job count (`set_jobs`) and split their per-node phase
+//!   loops across a *persistent* worker pool (spawned once per runner,
+//!   parked between phases; see the `pool` module), merging per-worker
+//!   scratch in fixed node-index order so parallel runs are byte-identical
+//!   to serial ones.  The crash-adversary phase always stays serial.
 //!
 //! # Quick example
 //!
@@ -93,6 +94,7 @@ mod message;
 mod metrics;
 mod node;
 pub mod parallel;
+pub mod pool;
 mod protocol;
 mod report;
 mod round;

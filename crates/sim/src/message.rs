@@ -15,9 +15,10 @@ use crate::node::NodeId;
 /// reproduce the paper's bit-communication accounting (e.g. the consensus
 /// algorithms of Section 4 send one-bit messages).
 ///
-/// Payloads are `Send + Sync` so the runners may hand a round's messages to
-/// worker threads (see the threading-model notes in `DESIGN.md`); every
-/// payload in this repository is plain data, so the bounds are auto-derived.
+/// Payloads are `Send + Sync + 'static` so the runners may hand a round's
+/// messages to the persistent worker pool, whose threads outlive any single
+/// borrow (see the threading-model notes in `DESIGN.md`); every payload in
+/// this repository is plain owned data, so the bounds are auto-derived.
 ///
 /// # Examples
 ///
@@ -35,7 +36,7 @@ use crate::node::NodeId;
 ///
 /// assert_eq!(Rumor(true).bit_len(), 1);
 /// ```
-pub trait Payload: Clone + fmt::Debug + Send + Sync {
+pub trait Payload: Clone + fmt::Debug + Send + Sync + 'static {
     /// Number of bits this payload occupies on the wire.
     fn bit_len(&self) -> u64;
 }

@@ -23,10 +23,12 @@ use crate::round::Round;
 /// Implementations must be deterministic: the paper's algorithms are
 /// deterministic and the test-suite relies on reproducible executions.
 ///
-/// Protocols are `Send` (and outputs `Send`) so a runner may drive disjoint
-/// groups of nodes from worker threads; state machines are plain data, so
-/// the bound is auto-derived.  Determinism is unaffected: the runners merge
-/// per-worker results in fixed node-index order (see `DESIGN.md`).
+/// Protocols are `Send + 'static` (and outputs `Send + 'static`) so a
+/// runner may hand disjoint groups of nodes to the persistent worker pool
+/// (`dft_sim::pool`), whose threads outlive any single borrow; state
+/// machines are plain owned data, so both bounds are auto-derived.
+/// Determinism is unaffected: the runners merge per-worker results in fixed
+/// node-index order (see `DESIGN.md`).
 ///
 /// # Examples
 ///
@@ -62,11 +64,11 @@ use crate::round::Round;
 ///     }
 /// }
 /// ```
-pub trait SyncProtocol: Send {
+pub trait SyncProtocol: Send + 'static {
     /// Payload type of messages exchanged by this protocol.
     type Msg: Payload;
     /// Decision value or other terminal output of a node.
-    type Output: Clone + std::fmt::Debug + Send;
+    type Output: Clone + std::fmt::Debug + Send + 'static;
 
     /// Messages this node sends at the beginning of `round`.
     fn send(&mut self, round: Round) -> Vec<Outgoing<Self::Msg>>;
@@ -94,13 +96,13 @@ pub trait SyncProtocol: Send {
 /// Ports are buffered and give no delivery signal: a node must decide which
 /// port to poll without knowing whether anything is waiting there.
 ///
-/// Like [`SyncProtocol`], implementations are `Send` so the runner may drive
-/// disjoint node groups from worker threads.
-pub trait SinglePortProtocol: Send {
+/// Like [`SyncProtocol`], implementations are `Send + 'static` so the
+/// runner may hand disjoint node groups to the persistent worker pool.
+pub trait SinglePortProtocol: Send + 'static {
     /// Payload type of messages exchanged by this protocol.
     type Msg: Payload;
     /// Decision value or other terminal output of a node.
-    type Output: Clone + std::fmt::Debug + Send;
+    type Output: Clone + std::fmt::Debug + Send + 'static;
 
     /// The at-most-one message this node sends at the beginning of `round`.
     fn send(&mut self, round: Round) -> Option<Outgoing<Self::Msg>>;

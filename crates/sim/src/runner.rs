@@ -12,19 +12,25 @@
 //! being reallocated every round.
 //!
 //! With [`Runner::set_jobs`] the per-node phase loops (send collection,
-//! delivery, receive) run on a [`std::thread::scope`] worker pool; the
+//! delivery, receive) run on the persistent worker pool of [`crate::pool`]:
+//! workers are spawned once, on the first forked round, and phase work is
+//! handed to them by moving owned node-range chunks over channels (the
+//! ownership-shuttle design described in the pool module docs); the
 //! crash-adversary phase always stays serial.  Parallel execution is
-//! deterministic: per-worker scratch buffers are merged in fixed node-index
+//! deterministic: per-chunk scratch buffers are merged in fixed node-index
 //! order, so reports, metrics and traces are byte-identical to a serial run
 //! (see [`crate::parallel`] and the threading-model notes in `DESIGN.md`).
 
+use std::sync::Arc;
+
 use crate::adversary::byzantine::ByzantineStrategy;
-use crate::adversary::{CrashAdversary, NoFaults};
+use crate::adversary::{CrashAdversary, DeliveryFilter, NoFaults};
 use crate::delivery::EngineCore;
 use crate::error::{SimError, SimResult};
 use crate::message::{Delivered, Outgoing, Payload};
 use crate::node::{NodeId, NodeSet};
-use crate::parallel::{self, NodeEvent};
+use crate::parallel::{self, ChunkPlan, NodeEvent};
+use crate::pool::WorkerPool;
 use crate::protocol::{NodeStatus, SyncProtocol};
 use crate::report::{ExecutionReport, Termination};
 use crate::round::Round;
@@ -112,6 +118,152 @@ pub struct Runner<P: SyncProtocol> {
     inboxes: Vec<Vec<Delivered<P::Msg>>>,
     /// Byzantine nodes' retained previous-round inboxes.
     byz_inboxes: Vec<Vec<Delivered<P::Msg>>>,
+    /// Byzantine participants still running — with
+    /// [`EngineCore::running_nodes`] this makes the per-round "has every
+    /// non-faulty node halted?" check O(1).
+    byz_running: usize,
+    /// Persistent phase workers; spawned lazily on the first forked round
+    /// and reused for every subsequent one.
+    pool: Option<WorkerPool>,
+    /// Owned per-worker node-range partitions of the per-node state above.
+    /// Empty while the runner executes serially; populated (and the flat
+    /// vectors drained) while the pool is engaged.  Slots are `None` only
+    /// transiently, while their chunk is out on a worker.
+    chunks: Vec<Option<Chunk<P>>>,
+    /// The partition the current `chunks` were built with.
+    plan: Option<ChunkPlan>,
+}
+
+/// One worker's owned slice of the runner state while the pool is engaged
+/// (nodes `base .. base + participants.len()`).
+///
+/// The scratch fields (`delivered`, `events`, the metric counters and every
+/// per-node queue) persist across rounds: a phase dispatch moves the whole
+/// chunk to its worker and back, so buffer capacity survives instead of
+/// being reallocated per phase as the retired `thread::scope` design did.
+struct Chunk<P: SyncProtocol> {
+    /// Global index of the first node in this chunk.
+    base: usize,
+    participants: Vec<Participant<P>>,
+    /// Chunk-local mirror of `EngineCore::status[base..]`, kept in sync by
+    /// the main thread after the crash phase and the event replay.
+    status: Vec<NodeStatus>,
+    /// Chunk-local mirror of the runner's Byzantine mask.
+    byz: Vec<bool>,
+    outgoing: Vec<Vec<Outgoing<P::Msg>>>,
+    send_intents: Vec<Vec<NodeId>>,
+    inboxes: Vec<Vec<Delivered<P::Msg>>>,
+    byz_inboxes: Vec<Vec<Delivered<P::Msg>>>,
+    outputs: Vec<Option<P::Output>>,
+    /// Delivery scratch: surviving messages in sender order, tagged with
+    /// their destination for the main thread's merge.
+    delivered: Vec<(usize, Delivered<P::Msg>)>,
+    /// Receive scratch: decision/halt events for the main thread's replay.
+    events: Vec<NodeEvent>,
+    /// Messages / bits sent by non-Byzantine senders this round.
+    msgs: u64,
+    bits: u64,
+    /// Messages sent by Byzantine senders this round (counted separately).
+    byz_msgs: u64,
+}
+
+impl<P: SyncProtocol> Chunk<P> {
+    /// Phase 1: collect sends and adversary-visible intents for this
+    /// chunk's nodes — the chunked transcription of
+    /// `Runner::collect_sends_serial`.
+    fn collect_sends(&mut self, round: Round) {
+        for (i, participant) in self.participants.iter_mut().enumerate() {
+            self.outgoing[i] = match (&self.status[i], participant) {
+                (NodeStatus::Running, Participant::Honest(p)) => p.send(round),
+                (NodeStatus::Running, Participant::Byzantine(b)) => {
+                    // Byzantine nodes act on last round's inbox when sending.
+                    b.act(round, &self.byz_inboxes[i])
+                }
+                _ => Vec::new(),
+            };
+            self.send_intents[i].clear();
+            let intents = self.outgoing[i].iter().map(|m| m.to);
+            self.send_intents[i].extend(intents);
+        }
+    }
+
+    /// Phase 3, worker side: scan this chunk's senders into the delivery
+    /// scratch (surviving messages in sender order plus message / bit /
+    /// Byzantine counters).  `filters` holds the delivery filters of nodes
+    /// that crashed this round (globally indexed; almost always empty).
+    /// The destination-status check happens on the main thread during the
+    /// merge, which also clears this chunk's inboxes for the new round —
+    /// done here, while the chunk is exclusively owned by its worker.
+    fn deliver(&mut self, filters: &[(usize, DeliveryFilter)]) {
+        for inbox in &mut self.inboxes {
+            inbox.clear();
+        }
+        self.delivered.clear();
+        self.msgs = 0;
+        self.bits = 0;
+        self.byz_msgs = 0;
+        for (i, queue) in self.outgoing.iter_mut().enumerate() {
+            let sender_idx = self.base + i;
+            let sender = NodeId::new(sender_idx);
+            let is_byzantine = self.byz[i];
+            let filter = filters
+                .iter()
+                .find(|(node, _)| *node == sender_idx)
+                .map(|(_, filter)| filter);
+            for (msg_idx, out) in queue.drain(..).enumerate() {
+                if let Some(filter) = filter {
+                    if !filter.allows(msg_idx, out.to) {
+                        continue;
+                    }
+                }
+                if is_byzantine {
+                    self.byz_msgs += 1;
+                } else {
+                    self.msgs += 1;
+                    self.bits += out.msg.bit_len();
+                }
+                self.delivered
+                    .push((out.to.index(), Delivered::new(sender, out.msg)));
+            }
+        }
+    }
+
+    /// Phase 4, worker side: drive `receive` for this chunk's nodes,
+    /// writing outputs in place and recording decision/halt events for the
+    /// main thread's in-order replay — the chunked transcription of
+    /// `Runner::receive_serial`.
+    fn receive(&mut self, round: Round) {
+        self.events.clear();
+        for (i, participant) in self.participants.iter_mut().enumerate() {
+            if !self.status[i].is_running() {
+                continue;
+            }
+            match participant {
+                Participant::Honest(p) => {
+                    p.receive(round, &self.inboxes[i]);
+                    let mut decided = false;
+                    if let Some(output) = p.output() {
+                        if self.outputs[i].is_none() {
+                            self.outputs[i] = Some(output);
+                            decided = true;
+                        }
+                    }
+                    let halted = p.has_halted();
+                    if decided || halted {
+                        self.events.push(NodeEvent {
+                            node: self.base + i,
+                            decided,
+                            halted,
+                        });
+                    }
+                }
+                Participant::Byzantine(_) => {
+                    // Byzantine nodes just remember their inbox for next round.
+                    std::mem::swap(&mut self.byz_inboxes[i], &mut self.inboxes[i]);
+                }
+            }
+        }
+    }
 }
 
 impl<P: SyncProtocol> Runner<P> {
@@ -163,7 +315,9 @@ impl<P: SyncProtocol> Runner<P> {
             )));
         }
         let n = participants.len();
-        let byzantine_mask = participants.iter().map(Participant::is_byzantine).collect();
+        let byzantine_mask: Vec<bool> =
+            participants.iter().map(Participant::is_byzantine).collect();
+        let byz_running = byzantine_mask.iter().filter(|&&b| b).count();
         Ok(Runner {
             participants,
             byzantine_mask,
@@ -177,6 +331,10 @@ impl<P: SyncProtocol> Runner<P> {
             poll_intents: vec![None; n],
             inboxes: (0..n).map(|_| Vec::new()).collect(),
             byz_inboxes: (0..n).map(|_| Vec::new()).collect(),
+            byz_running,
+            pool: None,
+            chunks: Vec::new(),
+            plan: None,
         })
     }
 
@@ -222,7 +380,9 @@ impl<P: SyncProtocol> Runner<P> {
 
     /// Number of nodes.
     pub fn n(&self) -> usize {
-        self.participants.len()
+        // Not `participants.len()`: that vector is drained into the pool
+        // chunks while the forked path is engaged.
+        self.core.n()
     }
 
     /// The current round (the next one to be executed).
@@ -250,43 +410,58 @@ impl<P: SyncProtocol> Runner<P> {
     }
 
     /// Whether every node that has not crashed has halted voluntarily.
+    ///
+    /// O(1): the engine core counts running nodes incrementally and
+    /// Byzantine participants never halt, so the check reduces to "are the
+    /// only nodes still running the surviving Byzantine ones?".
     pub fn all_non_faulty_halted(&self) -> bool {
-        self.core.status.iter().enumerate().all(|(i, s)| match s {
-            NodeStatus::Running => self.participants[i].is_byzantine(),
-            NodeStatus::Halted | NodeStatus::Crashed(_) => true,
-        })
+        self.core.running_nodes() == self.byz_running
     }
 
     /// Executes one synchronous round: collect sends, apply the crash
     /// adversary, deliver, receive, update statuses.
     ///
-    /// With more than one configured job (see [`Runner::set_jobs`]) the three
-    /// per-node phase loops run on a scoped worker pool; the crash-adversary
-    /// phase always runs serially on this thread.  Both paths produce
-    /// byte-identical state, so the fork decision is invisible to callers.
+    /// With more than one configured job (see [`Runner::set_jobs`]) the
+    /// three per-node phase loops run on the runner's persistent worker
+    /// pool; the crash-adversary phase always runs serially on this thread.
+    /// Both paths produce byte-identical state, so the fork decision is
+    /// invisible to callers.
     pub fn step(&mut self) {
-        let fork = parallel::should_fork(self.n(), self.jobs, self.fork_threshold);
+        if parallel::should_fork(self.n(), self.jobs, self.fork_threshold) {
+            self.step_forked();
+        } else {
+            self.step_serial();
+        }
+    }
+
+    /// One round on the serial path (also the reference semantics the
+    /// forked path must reproduce byte for byte).
+    fn step_serial(&mut self) {
+        self.ensure_flat();
         // Phase 1: collect outgoing messages and adversary-visible intents
         // from every operational participant into the reused per-node queues.
-        if fork {
-            self.collect_sends_parallel();
-        } else {
-            self.collect_sends_serial();
-        }
+        self.collect_sends_serial();
         // Phase 2 (always serial): the crash adversary picks this round's
         // victims from one coherent view of the whole round.
-        self.core
-            .apply_crash_phase(&mut *self.adversary, &self.send_intents, &self.poll_intents);
+        self.apply_crash_phase();
         // Phases 3 and 4: deliver surviving messages, then receive and
         // update statuses.
-        if fork {
-            self.deliver_parallel();
-            self.receive_parallel();
-        } else {
-            self.deliver_serial();
-            self.receive_serial();
-        }
+        self.deliver_serial();
+        self.receive_serial();
         self.core.finish_round();
+    }
+
+    /// Runs the crash phase and keeps the Byzantine-survivor count in sync
+    /// (both execution paths must route crashes through here).
+    fn apply_crash_phase(&mut self) {
+        self.core
+            .apply_crash_phase(&mut *self.adversary, &self.send_intents, &self.poll_intents);
+        for &idx in self.core.crashed_this_round() {
+            if self.byzantine_mask[idx] {
+                // Byzantine nodes never halt, so a struck one was running.
+                self.byz_running -= 1;
+            }
+        }
     }
 
     /// Phase 1, serial path.
@@ -307,63 +482,33 @@ impl<P: SyncProtocol> Runner<P> {
         }
     }
 
-    /// Phase 1, parallel path: each worker collects sends and intents for a
-    /// contiguous chunk of nodes.  Protocol state machines are independent,
-    /// so chunked `send` calls observe exactly what they would serially.
-    fn collect_sends_parallel(&mut self) {
-        let round = self.core.round;
-        let chunk = parallel::chunk_len(self.n(), self.jobs);
-        let status = &self.core.status;
-        std::thread::scope(|s| {
-            let chunks = self
-                .participants
-                .chunks_mut(chunk)
-                .zip(self.outgoing.chunks_mut(chunk))
-                .zip(self.send_intents.chunks_mut(chunk))
-                .zip(self.byz_inboxes.chunks(chunk))
-                .enumerate();
-            for (ci, (((parts, outs), intents), byz)) in chunks {
-                let base = ci * chunk;
-                s.spawn(move || {
-                    for (i, participant) in parts.iter_mut().enumerate() {
-                        outs[i] = match (&status[base + i], participant) {
-                            (NodeStatus::Running, Participant::Honest(p)) => p.send(round),
-                            (NodeStatus::Running, Participant::Byzantine(b)) => {
-                                b.act(round, &byz[i])
-                            }
-                            _ => Vec::new(),
-                        };
-                        intents[i].clear();
-                        intents[i].extend(outs[i].iter().map(|m| m.to));
-                    }
-                });
-            }
-        });
-    }
-
     /// Phase 3, serial path: deliver messages, counting only those actually
-    /// dispatched by non-Byzantine senders.
+    /// dispatched by non-Byzantine senders.  The per-sender filter lookup is
+    /// hoisted out of the message loop and the counters are accumulated
+    /// locally, then recorded once per round ([`Metrics::record_messages`]
+    /// is documented byte-identical to per-message recording).
     fn deliver_serial(&mut self) {
         let n = self.n();
         let round = self.core.round;
         for inbox in &mut self.inboxes {
             inbox.clear();
         }
+        let (mut msgs, mut bits, mut byz) = (0u64, 0u64, 0u64);
         for sender_idx in 0..n {
             let sender = NodeId::new(sender_idx);
-            let is_byzantine = self.participants[sender_idx].is_byzantine();
+            let is_byzantine = self.byzantine_mask[sender_idx];
+            let filter = self.core.filter(sender_idx);
             for (msg_idx, out) in self.outgoing[sender_idx].drain(..).enumerate() {
-                if let Some(filter) = self.core.filter(sender_idx) {
+                if let Some(filter) = filter {
                     if !filter.allows(msg_idx, out.to) {
                         continue;
                     }
                 }
                 if is_byzantine {
-                    self.core.metrics.record_byzantine_message();
+                    byz += 1;
                 } else {
-                    self.core
-                        .metrics
-                        .record_message(round.as_u64(), out.msg.bit_len());
+                    msgs += 1;
+                    bits += out.msg.bit_len();
                 }
                 let dest = out.to.index();
                 if dest < n && self.core.status[dest].is_running() {
@@ -371,73 +516,10 @@ impl<P: SyncProtocol> Runner<P> {
                 }
             }
         }
-    }
-
-    /// Phase 3, parallel path: workers scan contiguous sender chunks into
-    /// per-worker scratch (surviving messages in sender order plus message /
-    /// bit / Byzantine counters); the main thread merges the scratch in
-    /// worker order, which *is* sender-index order, so inbox ordering and
-    /// metric totals match the serial loop byte for byte.
-    fn deliver_parallel(&mut self) {
-        let n = self.n();
-        let round = self.core.round;
-        let chunk = parallel::chunk_len(n, self.jobs);
-        for inbox in &mut self.inboxes {
-            inbox.clear();
-        }
-        let core = &self.core;
-        let byzantine_mask = &self.byzantine_mask;
-        type Scratch<M> = (Vec<(usize, Delivered<M>)>, u64, u64, u64);
-        let worker_results: Vec<Scratch<P::Msg>> = std::thread::scope(|s| {
-            let handles: Vec<_> = self
-                .outgoing
-                .chunks_mut(chunk)
-                .enumerate()
-                .map(|(ci, outs)| {
-                    let base = ci * chunk;
-                    s.spawn(move || {
-                        let mut delivered = Vec::new();
-                        let (mut msgs, mut bits, mut byz) = (0u64, 0u64, 0u64);
-                        for (i, queue) in outs.iter_mut().enumerate() {
-                            let sender_idx = base + i;
-                            let sender = NodeId::new(sender_idx);
-                            let is_byzantine = byzantine_mask[sender_idx];
-                            for (msg_idx, out) in queue.drain(..).enumerate() {
-                                if let Some(filter) = core.filter(sender_idx) {
-                                    if !filter.allows(msg_idx, out.to) {
-                                        continue;
-                                    }
-                                }
-                                if is_byzantine {
-                                    byz += 1;
-                                } else {
-                                    msgs += 1;
-                                    bits += out.msg.bit_len();
-                                }
-                                let dest = out.to.index();
-                                if dest < n && core.status[dest].is_running() {
-                                    delivered.push((dest, Delivered::new(sender, out.msg)));
-                                }
-                            }
-                        }
-                        (delivered, msgs, bits, byz)
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("delivery worker panicked"))
-                .collect()
-        });
-        for (delivered, msgs, bits, byz) in worker_results {
-            self.core
-                .metrics
-                .record_messages(round.as_u64(), msgs, bits);
-            self.core.metrics.byzantine_messages += byz;
-            for (dest, msg) in delivered {
-                self.inboxes[dest].push(msg);
-            }
-        }
+        self.core
+            .metrics
+            .record_messages(round.as_u64(), msgs, bits);
+        self.core.metrics.byzantine_messages += byz;
     }
 
     /// Phase 4, serial path: receive and update statuses.
@@ -468,93 +550,202 @@ impl<P: SyncProtocol> Runner<P> {
         }
     }
 
-    /// Phase 4, parallel path: workers drive `receive` for contiguous node
-    /// chunks, writing outputs in place and recording decision/halt events in
-    /// per-worker scratch; the main thread replays the events in node-index
-    /// order so status transitions and trace entries match the serial loop.
-    fn receive_parallel(&mut self) {
+    /// One round on the forked path: the three per-node phase loops run on
+    /// the persistent pool, one owned [`Chunk`] per worker, and the main
+    /// thread does everything order-sensitive (crash phase, metric merge,
+    /// inbox routing, decision/halt replay) in fixed node-index order.
+    fn step_forked(&mut self) {
+        let plan = ChunkPlan::new(self.n(), self.jobs);
+        self.ensure_chunked(plan);
+        let n = self.n();
         let round = self.core.round;
-        let chunk = parallel::chunk_len(self.n(), self.jobs);
-        let status = &self.core.status;
-        let events: Vec<Vec<NodeEvent>> = std::thread::scope(|s| {
-            let chunks = self
-                .participants
-                .chunks_mut(chunk)
-                .zip(self.inboxes.chunks_mut(chunk))
-                .zip(self.byz_inboxes.chunks_mut(chunk))
-                .zip(self.outputs.chunks_mut(chunk))
-                .enumerate();
-            let handles: Vec<_> = chunks
-                .map(|(ci, (((parts, inboxes), byz), outputs))| {
-                    let base = ci * chunk;
-                    s.spawn(move || {
-                        let mut events = Vec::new();
-                        for (i, participant) in parts.iter_mut().enumerate() {
-                            if !status[base + i].is_running() {
-                                continue;
-                            }
-                            match participant {
-                                Participant::Honest(p) => {
-                                    p.receive(round, &inboxes[i]);
-                                    let mut decided = false;
-                                    if let Some(output) = p.output() {
-                                        if outputs[i].is_none() {
-                                            outputs[i] = Some(output);
-                                            decided = true;
-                                        }
-                                    }
-                                    let halted = p.has_halted();
-                                    if decided || halted {
-                                        events.push(NodeEvent {
-                                            node: base + i,
-                                            decided,
-                                            halted,
-                                        });
-                                    }
-                                }
-                                Participant::Byzantine(_) => {
-                                    std::mem::swap(&mut byz[i], &mut inboxes[i]);
-                                }
-                            }
-                        }
-                        events
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("receive worker panicked"))
-                .collect()
-        });
-        // Workers scan contiguous ascending chunks, so flattening in worker
-        // order replays decisions and halts in node-index order — the same
-        // order (and trace) the serial loop produces.
-        for event in events.into_iter().flatten() {
-            if event.decided {
-                let output = self.outputs[event.node]
-                    .as_ref()
-                    .expect("decision recorded");
-                self.core.record_decision(event.node, output);
-            }
-            if event.halted {
-                self.core.mark_halted(event.node);
+
+        // Phase 1: collect sends and intents on the workers.
+        self.run_phase(move |chunk| chunk.collect_sends(round));
+        // Expose the freshly collected intents to the adversary through the
+        // flat per-node view its contract promises: ownership of each
+        // node's intent vector ping-pongs between the chunk and the flat
+        // slot (both sides rebuild per round, so only capacity persists).
+        for slot in &mut self.chunks {
+            let chunk = slot.as_mut().expect("chunk home between phases");
+            for (i, intents) in chunk.send_intents.iter_mut().enumerate() {
+                std::mem::swap(&mut self.send_intents[chunk.base + i], intents);
             }
         }
+
+        // Phase 2 (always serial): the crash adversary picks this round's
+        // victims from one coherent view of the whole round; new crashes
+        // are mirrored into the owning chunks' status copies, and their
+        // delivery filters collected for the delivery workers.
+        self.apply_crash_phase();
+        let mut filters: Vec<(usize, DeliveryFilter)> = Vec::new();
+        for &idx in self.core.crashed_this_round() {
+            let chunk = self.chunks[plan.chunk_of(idx)]
+                .as_mut()
+                .expect("chunk home between phases");
+            chunk.status[idx - chunk.base] = self.core.status[idx];
+            if let Some(filter) = self.core.filter(idx) {
+                filters.push((idx, filter.clone()));
+            }
+        }
+
+        // Phase 3: workers scan their senders into per-chunk delivery
+        // scratch; the merge below walks chunks in ascending order, which
+        // *is* sender-index order, so inbox ordering and metric totals
+        // match the serial loop byte for byte.
+        let filters = Arc::new(filters);
+        self.run_phase(move |chunk| chunk.deliver(&filters));
+        for ci in 0..self.chunks.len() {
+            let (msgs, bits, byz, mut delivered) = {
+                let chunk = self.chunks[ci].as_mut().expect("chunk home");
+                (
+                    chunk.msgs,
+                    chunk.bits,
+                    chunk.byz_msgs,
+                    std::mem::take(&mut chunk.delivered),
+                )
+            };
+            self.core
+                .metrics
+                .record_messages(round.as_u64(), msgs, bits);
+            self.core.metrics.byzantine_messages += byz;
+            for (dest, msg) in delivered.drain(..) {
+                if dest < n && self.core.status[dest].is_running() {
+                    let dest_chunk = self.chunks[plan.chunk_of(dest)]
+                        .as_mut()
+                        .expect("chunk home");
+                    dest_chunk.inboxes[dest - dest_chunk.base].push(msg);
+                }
+            }
+            // Hand the (now empty) scratch back so its capacity persists.
+            self.chunks[ci].as_mut().expect("chunk home").delivered = delivered;
+        }
+
+        // Phase 4: workers drive `receive`; the replay below walks chunks
+        // in ascending order, so decisions and halts land in node-index
+        // order — the same order (and trace) the serial loop produces.
+        self.run_phase(move |chunk| chunk.receive(round));
+        for ci in 0..self.chunks.len() {
+            let events = {
+                let chunk = self.chunks[ci].as_mut().expect("chunk home");
+                std::mem::take(&mut chunk.events)
+            };
+            for event in &events {
+                if event.decided {
+                    let chunk = self.chunks[ci].as_ref().expect("chunk home");
+                    let output = chunk.outputs[event.node - chunk.base]
+                        .as_ref()
+                        .expect("decision recorded");
+                    self.core.record_decision(event.node, output);
+                }
+                if event.halted {
+                    self.core.mark_halted(event.node);
+                    let chunk = self.chunks[ci].as_mut().expect("chunk home");
+                    chunk.status[event.node - chunk.base] = NodeStatus::Halted;
+                }
+            }
+            self.chunks[ci].as_mut().expect("chunk home").events = events;
+        }
+        self.core.finish_round();
     }
 
-    /// Builds the final report.
+    /// Dispatches one phase closure per chunk to the persistent pool and
+    /// waits for every chunk to come home.  Chunk `i` always runs on worker
+    /// `i`; see [`WorkerPool::run_phase`] for the ownership-shuttle
+    /// protocol and the panic behaviour.
+    fn run_phase(&mut self, phase: impl Fn(&mut Chunk<P>) + Clone + Send + 'static) {
+        let pool = self.pool.as_ref().expect("pool engaged");
+        pool.run_phase(&mut self.chunks, phase);
+    }
+
+    /// Splits the flat per-node state into owned per-worker chunks (and
+    /// spawns or resizes the pool) according to `plan`.  No-op when the
+    /// current chunks already follow `plan`.
+    fn ensure_chunked(&mut self, plan: ChunkPlan) {
+        if self.plan == Some(plan) {
+            return;
+        }
+        self.ensure_flat();
+        let n = self.n();
+        if self.pool.as_ref().map(WorkerPool::workers) != Some(plan.chunks) {
+            self.pool = Some(WorkerPool::new(plan.chunks));
+        }
+        let mut participants = std::mem::take(&mut self.participants);
+        let mut outgoing = std::mem::take(&mut self.outgoing);
+        let mut inboxes = std::mem::take(&mut self.inboxes);
+        let mut byz_inboxes = std::mem::take(&mut self.byz_inboxes);
+        let mut outputs = std::mem::take(&mut self.outputs);
+        let mut participants = participants.drain(..);
+        let mut outgoing = outgoing.drain(..);
+        let mut inboxes = inboxes.drain(..);
+        let mut byz_inboxes = byz_inboxes.drain(..);
+        let mut outputs = outputs.drain(..);
+        self.chunks = (0..plan.chunks)
+            .map(|ci| {
+                let range = plan.range(ci, n);
+                let len = range.len();
+                Some(Chunk {
+                    base: range.start,
+                    participants: participants.by_ref().take(len).collect(),
+                    status: self.core.status[range.clone()].to_vec(),
+                    byz: self.byzantine_mask[range].to_vec(),
+                    outgoing: outgoing.by_ref().take(len).collect(),
+                    send_intents: (0..len).map(|_| Vec::new()).collect(),
+                    inboxes: inboxes.by_ref().take(len).collect(),
+                    byz_inboxes: byz_inboxes.by_ref().take(len).collect(),
+                    outputs: outputs.by_ref().take(len).collect(),
+                    delivered: Vec::new(),
+                    events: Vec::new(),
+                    msgs: 0,
+                    bits: 0,
+                    byz_msgs: 0,
+                })
+            })
+            .collect();
+        self.plan = Some(plan);
+    }
+
+    /// Moves chunked state back into the flat per-node vectors (the serial
+    /// path's representation).  The pool itself is kept: re-entering the
+    /// forked path reuses its workers.
+    fn ensure_flat(&mut self) {
+        if self.chunks.is_empty() {
+            return;
+        }
+        for slot in self.chunks.drain(..) {
+            let chunk = slot.expect("chunk home");
+            self.participants.extend(chunk.participants);
+            self.outgoing.extend(chunk.outgoing);
+            self.inboxes.extend(chunk.inboxes);
+            self.byz_inboxes.extend(chunk.byz_inboxes);
+            self.outputs.extend(chunk.outputs);
+        }
+        self.plan = None;
+    }
+
+    /// Builds the final report.  Works in either representation: outputs
+    /// are gathered from the chunks (in ascending base order) whenever the
+    /// pool holds the node state.
     fn report(&self, termination: Termination) -> ExecutionReport<P::Output> {
         let n = self.n();
         let byzantine = NodeSet::from_iter(
             n,
-            self.participants
+            self.byzantine_mask
                 .iter()
                 .enumerate()
-                .filter(|(_, p)| p.is_byzantine())
+                .filter(|(_, &byz)| byz)
                 .map(|(i, _)| NodeId::new(i)),
         );
+        let outputs = if self.chunks.is_empty() {
+            self.outputs.clone()
+        } else {
+            self.chunks
+                .iter()
+                .flat_map(|slot| slot.as_ref().expect("chunk home").outputs.iter().cloned())
+                .collect()
+        };
         ExecutionReport {
-            outputs: self.outputs.clone(),
+            outputs,
             crashed_at: self.core.crashed_at.clone(),
             halted_at: self.core.halted_at.clone(),
             byzantine,
@@ -842,6 +1033,44 @@ mod tests {
         }
         assert_eq!(serial_report.metrics.crashes, 3);
         assert!(serial_report.all_non_faulty_decided());
+    }
+
+    /// A pool reused across two consecutive `run()`s on the same runner
+    /// produces transcripts identical to two fresh serial runs: the workers
+    /// and their chunk scratch persist between `run()` calls, and nothing
+    /// about that persistence may leak into results.
+    #[test]
+    fn pool_reused_across_two_runs_matches_two_serial_runs() {
+        use crate::parallel::MIN_NODES_PER_FORK;
+        let n = MIN_NODES_PER_FORK + 3;
+        let run_twice = |jobs: usize| {
+            let protocols: Vec<CountingSender> = (0..n)
+                .map(|i| CountingSender {
+                    target: (i + 1) % n,
+                    received: 0,
+                    halt_after: Some(7),
+                    rounds: 0,
+                })
+                .collect();
+            let adversary = FixedCrashSchedule::new()
+                .crash_at(1, CrashDirective::silent(NodeId::new(0)))
+                .crash_at(5, CrashDirective::after_send(NodeId::new(2)));
+            let mut runner = Runner::with_adversary(protocols, Box::new(adversary), 2)
+                .unwrap()
+                .with_jobs(jobs);
+            runner.enable_trace();
+            // Two back-to-back run() calls: the second resumes the same
+            // execution (and, with jobs > 1, the same pool and chunks).
+            let first = runner.run(4);
+            let second = runner.run(10);
+            (first, second, runner.trace().events().to_vec())
+        };
+        let serial = run_twice(1);
+        let pooled = run_twice(4);
+        assert_eq!(serial.0, pooled.0, "first run() report");
+        assert_eq!(serial.1, pooled.1, "second run() report");
+        assert_eq!(serial.2, pooled.2, "combined trace");
+        assert_eq!(pooled.1.metrics.crashes, 2);
     }
 
     /// The parallel path preserves Byzantine accounting: uncounted Byzantine

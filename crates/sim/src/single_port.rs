@@ -16,11 +16,12 @@
 use crate::adversary::{CrashAdversary, NoFaults};
 use crate::delivery::{EngineCore, PortMap};
 use crate::error::{SimError, SimResult};
-use crate::message::Payload;
+use crate::message::{Outgoing, Payload};
 use crate::metrics::Metrics;
 use crate::node::{NodeId, NodeSet};
-use crate::parallel::{self, NodeEvent};
-use crate::protocol::SinglePortProtocol;
+use crate::parallel::{self, ChunkPlan, NodeEvent};
+use crate::pool::WorkerPool;
+use crate::protocol::{NodeStatus, SinglePortProtocol};
 use crate::report::{ExecutionReport, Termination};
 use crate::trace::Trace;
 
@@ -93,17 +94,89 @@ pub struct SinglePortRunner<P: SinglePortProtocol> {
     send_intents: Vec<Vec<NodeId>>,
     /// Sparse `(destination, sender)` port buffers.
     ports: PortMap<P::Msg>,
-    /// Per-node pre-drained poll results for the parallel receive phase
-    /// (reused; `Some` only for running nodes that polled this round).
-    drained: Vec<Option<Vec<P::Msg>>>,
     /// Worker threads used for the per-node phase loops (1 = serial).
     jobs: usize,
     /// Node count above which `jobs > 1` engages the worker pool.  The
     /// single-port default ([`parallel::MIN_NODES_PER_FORK_SINGLE_PORT`])
-    /// is far higher than the multi-port one: a single-port round is one
-    /// send and one poll per node, so per-round forking only pays off for
-    /// very large systems.
+    /// is higher than the multi-port one: a single-port round is one send
+    /// and one poll per node, so even the pool's ~µs dispatch only pays
+    /// off once a round's node loop is itself substantial.
     fork_threshold: usize,
+    /// Persistent phase workers; spawned lazily on the first forked round
+    /// and reused for every subsequent one.
+    pool: Option<WorkerPool>,
+    /// Owned per-worker node-range partitions (empty while serial; see the
+    /// multi-port `Runner` for the representation contract).
+    chunks: Vec<Option<SpChunk<P>>>,
+    /// The partition the current `chunks` were built with.
+    plan: Option<ChunkPlan>,
+}
+
+/// One worker's owned slice of the single-port runner state while the pool
+/// is engaged (nodes `base .. base + nodes.len()`).  Scratch (the per-node
+/// option slots and the event list) persists across rounds with the chunk.
+struct SpChunk<P: SinglePortProtocol> {
+    /// Global index of the first node in this chunk.
+    base: usize,
+    nodes: Vec<P>,
+    /// Chunk-local mirror of `EngineCore::status[base..]`.
+    status: Vec<NodeStatus>,
+    /// Per-node single send for the current round.
+    sends: Vec<Option<Outgoing<P::Msg>>>,
+    /// Per-node poll intent for the current round.
+    polls: Vec<Option<NodeId>>,
+    /// Per-node pre-drained poll results (`Some` only for running nodes
+    /// that polled this round; filled serially by the main thread).
+    drained: Vec<Option<Vec<P::Msg>>>,
+    outputs: Vec<Option<P::Output>>,
+    /// Receive scratch: decision/halt events for the main thread's replay.
+    events: Vec<NodeEvent>,
+}
+
+impl<P: SinglePortProtocol> SpChunk<P> {
+    /// Phase 1: collect each running node's single send and poll intent —
+    /// the chunked transcription of the serial collect loop.
+    fn collect_sends(&mut self, round: crate::round::Round) {
+        for (i, node) in self.nodes.iter_mut().enumerate() {
+            if self.status[i].is_running() {
+                self.sends[i] = node.send(round);
+                self.polls[i] = node.poll(round);
+            } else {
+                self.sends[i] = None;
+                self.polls[i] = None;
+            }
+        }
+    }
+
+    /// Phase 4, worker side: deliver pre-drained polls and advance outputs,
+    /// recording decision/halt events for the main thread's in-order replay.
+    fn receive(&mut self, round: crate::round::Round) {
+        self.events.clear();
+        for (i, node) in self.nodes.iter_mut().enumerate() {
+            if !self.status[i].is_running() {
+                continue;
+            }
+            if let Some(port) = self.polls[i] {
+                let msgs = self.drained[i].take().unwrap_or_default();
+                node.receive(round, port, msgs);
+            }
+            let mut decided = false;
+            if let Some(output) = node.output() {
+                if self.outputs[i].is_none() {
+                    self.outputs[i] = Some(output);
+                    decided = true;
+                }
+            }
+            let halted = node.has_halted();
+            if decided || halted {
+                self.events.push(NodeEvent {
+                    node: self.base + i,
+                    decided,
+                    halted,
+                });
+            }
+        }
+    }
 }
 
 impl<P: SinglePortProtocol> SinglePortRunner<P> {
@@ -148,9 +221,11 @@ impl<P: SinglePortProtocol> SinglePortRunner<P> {
             polls: vec![None; n],
             send_intents: (0..n).map(|_| Vec::new()).collect(),
             ports: PortMap::new(),
-            drained: (0..n).map(|_| None).collect(),
             jobs: 1,
             fork_threshold: parallel::MIN_NODES_PER_FORK_SINGLE_PORT,
+            pool: None,
+            chunks: Vec::new(),
+            plan: None,
         })
     }
 
@@ -196,7 +271,9 @@ impl<P: SinglePortProtocol> SinglePortRunner<P> {
 
     /// Number of nodes.
     pub fn n(&self) -> usize {
-        self.nodes.len()
+        // Not `nodes.len()`: that vector is drained into the pool chunks
+        // while the forked path is engaged.
+        self.core.n()
     }
 
     /// The recorded trace.
@@ -218,8 +295,12 @@ impl<P: SinglePortProtocol> SinglePortRunner<P> {
     }
 
     /// Whether every node that has not crashed has halted voluntarily.
+    ///
+    /// O(1): the engine core counts running nodes incrementally, so
+    /// long-running single-port executions do not pay an O(n) status scan
+    /// per round.
     pub fn all_non_faulty_halted(&self) -> bool {
-        self.core.status.iter().all(|s| !s.is_running())
+        self.core.running_nodes() == 0
     }
 
     /// Runs until all non-faulty nodes halt or `max_rounds` rounds elapse.
@@ -238,67 +319,28 @@ impl<P: SinglePortProtocol> SinglePortRunner<P> {
     /// Executes one single-port round.
     ///
     /// With more than one configured job (see [`SinglePortRunner::set_jobs`])
-    /// the send-collection and receive loops run on a scoped worker pool; the
-    /// crash-adversary phase and the port-map mutations (enqueue, drain,
-    /// drop) always stay serial — the sparse [`PortMap`] is shared state, and
-    /// at one message per node per round the enqueue loop is memory-movement
-    /// bound anyway.  Both paths produce byte-identical state.
+    /// the send-collection and receive loops run on the runner's persistent
+    /// worker pool; the crash-adversary phase and the port-map mutations
+    /// (enqueue, drain, drop) always stay serial — the sparse [`PortMap`] is
+    /// shared state, and at one message per node per round the enqueue loop
+    /// is memory-movement bound anyway.  Both paths produce byte-identical
+    /// state.
     pub fn step(&mut self) {
-        let n = self.n();
-        let round = self.core.round;
-        let fork = parallel::should_fork(n, self.jobs, self.fork_threshold);
-
-        // Phase 1: collect each running node's single send and poll intent.
-        if fork {
-            self.collect_sends_parallel();
+        if parallel::should_fork(self.n(), self.jobs, self.fork_threshold) {
+            self.step_forked();
         } else {
-            self.collect_sends_serial();
+            self.step_serial();
         }
-
-        // Phase 2 (always serial): crash adversary.
-        for (intents, send) in self.send_intents.iter_mut().zip(&self.sends) {
-            intents.clear();
-            intents.extend(send.iter().map(|o| o.to));
-        }
-        self.core
-            .apply_crash_phase(&mut *self.adversary, &self.send_intents, &self.polls);
-        for &victim in self.core.crashed_this_round() {
-            // A crashed node never polls again; free its buffered ports.
-            self.ports.drop_destination(victim);
-        }
-
-        // Phase 3 (always serial): enqueue messages onto destination ports.
-        for sender_idx in 0..n {
-            let Some(out) = self.sends[sender_idx].take() else {
-                continue;
-            };
-            if let Some(filter) = self.core.filter(sender_idx) {
-                if !filter.allows(0, out.to) {
-                    continue;
-                }
-            }
-            self.core
-                .metrics
-                .record_message(round.as_u64(), out.msg.bit_len());
-            let dest = out.to.index();
-            if dest < n && self.core.status[dest].is_running() {
-                self.ports.push(dest, sender_idx, out.msg);
-            }
-        }
-
-        // Phase 4: polled ports are drained and delivered.
-        if fork {
-            self.receive_parallel();
-        } else {
-            self.receive_serial();
-        }
-
-        self.core.finish_round();
     }
 
-    /// Phase 1, serial path.
-    fn collect_sends_serial(&mut self) {
+    /// One round on the serial path (also the reference semantics the
+    /// forked path must reproduce byte for byte).
+    fn step_serial(&mut self) {
+        self.ensure_flat();
+        let n = self.n();
         let round = self.core.round;
+
+        // Phase 1: collect each running node's single send and poll intent.
         for (i, node) in self.nodes.iter_mut().enumerate() {
             if self.core.status[i].is_running() {
                 self.sends[i] = node.send(round);
@@ -308,41 +350,23 @@ impl<P: SinglePortProtocol> SinglePortRunner<P> {
                 self.polls[i] = None;
             }
         }
-    }
 
-    /// Phase 1, parallel path: each worker collects the single send and poll
-    /// intent for a contiguous chunk of nodes.
-    fn collect_sends_parallel(&mut self) {
-        let round = self.core.round;
-        let chunk = parallel::chunk_len(self.n(), self.jobs);
-        let status = &self.core.status;
-        std::thread::scope(|s| {
-            let chunks = self
-                .nodes
-                .chunks_mut(chunk)
-                .zip(self.sends.chunks_mut(chunk))
-                .zip(self.polls.chunks_mut(chunk))
-                .enumerate();
-            for (ci, ((nodes, sends), polls)) in chunks {
-                let base = ci * chunk;
-                s.spawn(move || {
-                    for (i, node) in nodes.iter_mut().enumerate() {
-                        if status[base + i].is_running() {
-                            sends[i] = node.send(round);
-                            polls[i] = node.poll(round);
-                        } else {
-                            sends[i] = None;
-                            polls[i] = None;
-                        }
-                    }
-                });
-            }
-        });
-    }
+        // Phase 2 (always serial): crash adversary.
+        for (intents, send) in self.send_intents.iter_mut().zip(&self.sends) {
+            intents.clear();
+            intents.extend(send.iter().map(|o| o.to));
+        }
+        self.apply_crash_phase();
 
-    /// Phase 4, serial path.
-    fn receive_serial(&mut self) {
-        let round = self.core.round;
+        // Phase 3 (always serial): enqueue messages onto destination ports.
+        for sender_idx in 0..n {
+            let Some(out) = self.sends[sender_idx].take() else {
+                continue;
+            };
+            self.enqueue(sender_idx, out);
+        }
+
+        // Phase 4: polled ports are drained and delivered.
         for (i, node) in self.nodes.iter_mut().enumerate() {
             if !self.core.status[i].is_running() {
                 continue;
@@ -363,88 +387,201 @@ impl<P: SinglePortProtocol> SinglePortRunner<P> {
                 self.ports.drop_destination(i);
             }
         }
+
+        self.core.finish_round();
     }
 
-    /// Phase 4, parallel path: polled ports are pre-drained serially in
-    /// node-index order (each drain touches only the polling node's own
-    /// in-ports, so this is exactly what the serial loop does), workers then
-    /// drive `receive` for contiguous node chunks, and the main thread
-    /// replays decision/halt events — including freeing halted destinations'
-    /// ports — in node-index order.
-    fn receive_parallel(&mut self) {
+    /// Runs the crash phase and frees crashed destinations' buffered ports
+    /// (both execution paths route crashes through here).
+    fn apply_crash_phase(&mut self) {
+        self.core
+            .apply_crash_phase(&mut *self.adversary, &self.send_intents, &self.polls);
+        for &victim in self.core.crashed_this_round() {
+            // A crashed node never polls again; free its buffered ports.
+            self.ports.drop_destination(victim);
+        }
+    }
+
+    /// Phase 3 body shared by both paths: filters, counts and buffers one
+    /// sender's message.
+    fn enqueue(&mut self, sender_idx: usize, out: Outgoing<P::Msg>) {
+        if let Some(filter) = self.core.filter(sender_idx) {
+            if !filter.allows(0, out.to) {
+                return;
+            }
+        }
+        self.core
+            .metrics
+            .record_message(self.core.round.as_u64(), out.msg.bit_len());
+        let dest = out.to.index();
+        if dest < self.core.n() && self.core.status[dest].is_running() {
+            self.ports.push(dest, sender_idx, out.msg);
+        }
+    }
+
+    /// One round on the forked path: the send-collection and receive loops
+    /// run on the persistent pool, one owned [`SpChunk`] per worker; the
+    /// adversary view, the port-map mutations (enqueue in sender order,
+    /// pre-drain in poller order, halt-time drops) and the decision/halt
+    /// replay stay on the main thread in fixed node-index order.
+    fn step_forked(&mut self) {
+        let plan = ChunkPlan::new(self.n(), self.jobs);
+        self.ensure_chunked(plan);
         let round = self.core.round;
-        let chunk = parallel::chunk_len(self.n(), self.jobs);
-        for (i, poll) in self.polls.iter().enumerate() {
-            self.drained[i] = if self.core.status[i].is_running() {
-                poll.map(|port| self.ports.drain(i, port.index()))
-            } else {
-                None
+
+        // Phase 1: collect sends and poll intents on the workers.
+        self.run_phase(move |chunk| chunk.collect_sends(round));
+
+        // Phase 2 (always serial): expose intents to the adversary through
+        // the flat per-node view its contract promises, then apply crashes
+        // and mirror the new statuses into the owning chunks.
+        for slot in &mut self.chunks {
+            let chunk = slot.as_mut().expect("chunk home between phases");
+            for (i, send) in chunk.sends.iter().enumerate() {
+                let global = chunk.base + i;
+                self.send_intents[global].clear();
+                self.send_intents[global].extend(send.iter().map(|o| o.to));
+                self.polls[global] = chunk.polls[i];
+            }
+        }
+        self.apply_crash_phase();
+        for &victim in self.core.crashed_this_round() {
+            let chunk = self.chunks[plan.chunk_of(victim)]
+                .as_mut()
+                .expect("chunk home between phases");
+            chunk.status[victim - chunk.base] = self.core.status[victim];
+        }
+
+        // Phase 3 (always serial): enqueue onto destination ports, walking
+        // chunks in ascending order — exactly the serial sender order.
+        for ci in 0..self.chunks.len() {
+            let (base, len) = {
+                let chunk = self.chunks[ci].as_ref().expect("chunk home");
+                (chunk.base, chunk.nodes.len())
             };
-        }
-        let status = &self.core.status;
-        let events: Vec<Vec<NodeEvent>> = std::thread::scope(|s| {
-            let chunks = self
-                .nodes
-                .chunks_mut(chunk)
-                .zip(self.polls.chunks(chunk))
-                .zip(self.drained.chunks_mut(chunk))
-                .zip(self.outputs.chunks_mut(chunk))
-                .enumerate();
-            let handles: Vec<_> = chunks
-                .map(|(ci, (((nodes, polls), drained), outputs))| {
-                    let base = ci * chunk;
-                    s.spawn(move || {
-                        let mut events = Vec::new();
-                        for (i, node) in nodes.iter_mut().enumerate() {
-                            if !status[base + i].is_running() {
-                                continue;
-                            }
-                            if let Some(port) = polls[i] {
-                                let msgs = drained[i].take().unwrap_or_default();
-                                node.receive(round, port, msgs);
-                            }
-                            let mut decided = false;
-                            if let Some(output) = node.output() {
-                                if outputs[i].is_none() {
-                                    outputs[i] = Some(output);
-                                    decided = true;
-                                }
-                            }
-                            let halted = node.has_halted();
-                            if decided || halted {
-                                events.push(NodeEvent {
-                                    node: base + i,
-                                    decided,
-                                    halted,
-                                });
-                            }
-                        }
-                        events
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("receive worker panicked"))
-                .collect()
-        });
-        for event in events.into_iter().flatten() {
-            if event.decided {
-                let output = self.outputs[event.node]
-                    .as_ref()
-                    .expect("decision recorded");
-                self.core.record_decision(event.node, output);
-            }
-            if event.halted {
-                self.core.mark_halted(event.node);
-                self.ports.drop_destination(event.node);
+            for i in 0..len {
+                let out = self.chunks[ci].as_mut().expect("chunk home").sends[i].take();
+                let Some(out) = out else { continue };
+                self.enqueue(base + i, out);
             }
         }
+
+        // Pre-drain polled ports serially in node-index order (each drain
+        // touches only the polling node's own in-ports, so this is exactly
+        // what the serial loop does).
+        for slot in &mut self.chunks {
+            let chunk = slot.as_mut().expect("chunk home");
+            for i in 0..chunk.nodes.len() {
+                let global = chunk.base + i;
+                chunk.drained[i] = if chunk.status[i].is_running() {
+                    chunk.polls[i].map(|port| self.ports.drain(global, port.index()))
+                } else {
+                    None
+                };
+            }
+        }
+
+        // Phase 4: workers drive `receive`; the replay below walks chunks
+        // in ascending order so decisions, halts and halted-port drops land
+        // in node-index order, matching the serial loop (and its trace).
+        self.run_phase(move |chunk| chunk.receive(round));
+        for ci in 0..self.chunks.len() {
+            let events = {
+                let chunk = self.chunks[ci].as_mut().expect("chunk home");
+                std::mem::take(&mut chunk.events)
+            };
+            for event in &events {
+                if event.decided {
+                    let chunk = self.chunks[ci].as_ref().expect("chunk home");
+                    let output = chunk.outputs[event.node - chunk.base]
+                        .as_ref()
+                        .expect("decision recorded");
+                    self.core.record_decision(event.node, output);
+                }
+                if event.halted {
+                    self.core.mark_halted(event.node);
+                    self.ports.drop_destination(event.node);
+                    let chunk = self.chunks[ci].as_mut().expect("chunk home");
+                    chunk.status[event.node - chunk.base] = NodeStatus::Halted;
+                }
+            }
+            self.chunks[ci].as_mut().expect("chunk home").events = events;
+        }
+        self.core.finish_round();
     }
 
+    /// Dispatches one phase closure per chunk to the persistent pool and
+    /// waits for every chunk to come home (see [`WorkerPool::run_phase`]
+    /// for the ownership-shuttle protocol and panic behaviour).
+    fn run_phase(&mut self, phase: impl Fn(&mut SpChunk<P>) + Clone + Send + 'static) {
+        let pool = self.pool.as_ref().expect("pool engaged");
+        pool.run_phase(&mut self.chunks, phase);
+    }
+
+    /// Splits the flat per-node state into owned per-worker chunks (and
+    /// spawns or resizes the pool) according to `plan`.  No-op when the
+    /// current chunks already follow `plan`.
+    fn ensure_chunked(&mut self, plan: ChunkPlan) {
+        if self.plan == Some(plan) {
+            return;
+        }
+        self.ensure_flat();
+        let n = self.n();
+        if self.pool.as_ref().map(WorkerPool::workers) != Some(plan.chunks) {
+            self.pool = Some(WorkerPool::new(plan.chunks));
+        }
+        let mut nodes = std::mem::take(&mut self.nodes);
+        let mut outputs = std::mem::take(&mut self.outputs);
+        let mut nodes = nodes.drain(..);
+        let mut outputs = outputs.drain(..);
+        self.chunks = (0..plan.chunks)
+            .map(|ci| {
+                let range = plan.range(ci, n);
+                let len = range.len();
+                Some(SpChunk {
+                    base: range.start,
+                    nodes: nodes.by_ref().take(len).collect(),
+                    status: self.core.status[range].to_vec(),
+                    sends: (0..len).map(|_| None).collect(),
+                    polls: vec![None; len],
+                    drained: (0..len).map(|_| None).collect(),
+                    outputs: outputs.by_ref().take(len).collect(),
+                    events: Vec::new(),
+                })
+            })
+            .collect();
+        self.plan = Some(plan);
+    }
+
+    /// Moves chunked state back into the flat per-node vectors (the serial
+    /// path's representation).  The pool itself is kept: re-entering the
+    /// forked path reuses its workers.
+    fn ensure_flat(&mut self) {
+        if self.chunks.is_empty() {
+            return;
+        }
+        for slot in self.chunks.drain(..) {
+            let chunk = slot.expect("chunk home");
+            self.nodes.extend(chunk.nodes);
+            self.outputs.extend(chunk.outputs);
+        }
+        self.plan = None;
+    }
+
+    /// Builds the final report.  Works in either representation: outputs
+    /// are gathered from the chunks (in ascending base order) whenever the
+    /// pool holds the node state.
     fn report(&self, termination: Termination) -> ExecutionReport<P::Output> {
+        let outputs = if self.chunks.is_empty() {
+            self.outputs.clone()
+        } else {
+            self.chunks
+                .iter()
+                .flat_map(|slot| slot.as_ref().expect("chunk home").outputs.iter().cloned())
+                .collect()
+        };
         ExecutionReport {
-            outputs: self.outputs.clone(),
+            outputs,
             crashed_at: self.core.crashed_at.clone(),
             halted_at: self.core.halted_at.clone(),
             byzantine: NodeSet::empty(self.n()),
@@ -726,6 +863,42 @@ mod tests {
             assert_eq!(serial.3, parallel.3, "ports in use with jobs={jobs}");
         }
         assert_eq!(serial.0.metrics.crashes, 2);
+    }
+
+    /// A pool reused across two consecutive `run()`s on the same runner
+    /// produces transcripts identical to two fresh serial runs (the
+    /// single-port variant of the multi-port runner's test: port buffers
+    /// carry state across the boundary too).
+    #[test]
+    fn pool_reused_across_two_runs_matches_two_serial_runs() {
+        use crate::adversary::{CrashDirective, FixedCrashSchedule};
+        let n = 40;
+        let run_twice = |jobs: usize| {
+            let adversary = FixedCrashSchedule::new()
+                .crash_at(2, CrashDirective::silent(NodeId::new(3)))
+                .crash_at(n as u64, CrashDirective::after_send(NodeId::new(7)));
+            let mut runner = SinglePortRunner::with_adversary(ring(n, 0), Box::new(adversary), 2)
+                .unwrap()
+                .with_jobs(jobs);
+            // Force the pool at a testable size (the production threshold
+            // only engages it at paper scale).
+            runner.set_fork_threshold(1);
+            runner.enable_trace();
+            let first = runner.run(n as u64);
+            let second = runner.run(3 * n as u64);
+            (
+                first,
+                second,
+                runner.trace().events().to_vec(),
+                runner.buffered_messages(),
+            )
+        };
+        let serial = run_twice(1);
+        let pooled = run_twice(4);
+        assert_eq!(serial.0, pooled.0, "first run() report");
+        assert_eq!(serial.1, pooled.1, "second run() report");
+        assert_eq!(serial.2, pooled.2, "combined trace");
+        assert_eq!(serial.3, pooled.3, "buffered ports after both runs");
     }
 
     #[test]
