@@ -24,6 +24,20 @@ impl Signature {
     pub const BIT_LEN: u64 = 64 + 64;
 }
 
+impl dft_sim::shard::Wire for Signature {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.signer.encode(out);
+        self.tag.encode(out);
+    }
+
+    fn decode(r: &mut dft_sim::shard::WireReader<'_>) -> dft_sim::shard::WireResult<Self> {
+        Ok(Signature {
+            signer: SignerId::decode(r)?,
+            tag: u64::decode(r)?,
+        })
+    }
+}
+
 impl Signer {
     /// Signs a 64-bit message digest.
     ///

@@ -33,6 +33,22 @@ pub struct SignedValue {
     pub signatures: Vec<Signature>,
 }
 
+impl dft_sim::shard::Wire for SignedValue {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.source.encode(out);
+        self.value.encode(out);
+        self.signatures.encode(out);
+    }
+
+    fn decode(r: &mut dft_sim::shard::WireReader<'_>) -> dft_sim::shard::WireResult<Self> {
+        Ok(SignedValue {
+            source: crate::keys::SignerId::decode(r)?,
+            value: u64::decode(r)?,
+            signatures: Vec::decode(r)?,
+        })
+    }
+}
+
 impl SignedValue {
     /// Originates a new signed value: the source signs `(source, value)`.
     pub fn originate(signer: &Signer, value: u64) -> Self {

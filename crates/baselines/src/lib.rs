@@ -439,6 +439,67 @@ impl SyncProtocol for ParallelDsConsensus {
     }
 }
 
+/// Shard wire codecs for the baseline message/output types, so the
+/// quadratic baselines can also run under `run_experiments --shards N`.
+mod wire_impls {
+    use dft_sim::shard::{Wire, WireReader, WireResult};
+
+    use super::{Membership, RumorMap, SignedBatch};
+
+    impl Wire for RumorMap {
+        fn encode(&self, out: &mut Vec<u8>) {
+            self.0.encode(out);
+        }
+
+        fn decode(r: &mut WireReader<'_>) -> WireResult<Self> {
+            Ok(RumorMap(Vec::decode(r)?))
+        }
+    }
+
+    impl Wire for Membership {
+        fn encode(&self, out: &mut Vec<u8>) {
+            self.0.encode(out);
+        }
+
+        fn decode(r: &mut WireReader<'_>) -> WireResult<Self> {
+            Ok(Membership(Vec::decode(r)?))
+        }
+    }
+
+    impl Wire for SignedBatch {
+        fn encode(&self, out: &mut Vec<u8>) {
+            self.0.encode(out);
+        }
+
+        fn decode(r: &mut WireReader<'_>) -> WireResult<Self> {
+            Ok(SignedBatch(Vec::decode(r)?))
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use dft_sim::shard::{from_bytes, to_bytes};
+
+        #[test]
+        fn baseline_payloads_round_trip() {
+            let map = RumorMap(vec![Some(7), None, Some(9)]);
+            assert_eq!(from_bytes::<RumorMap>(&to_bytes(&map)).unwrap(), map);
+            let membership = Membership(vec![true, false, true]);
+            assert_eq!(
+                from_bytes::<Membership>(&to_bytes(&membership)).unwrap(),
+                membership
+            );
+            let directory = dft_auth::KeyDirectory::generate(3, 5);
+            let batch = SignedBatch(vec![dft_auth::SignedValue::originate(
+                &directory.signer(0),
+                12,
+            )]);
+            assert_eq!(from_bytes::<SignedBatch>(&to_bytes(&batch)).unwrap(), batch);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -42,6 +42,9 @@ pub struct BenchConfig {
     pub seed: Option<u64>,
     /// `--jobs` as requested on the command line.
     pub jobs: u64,
+    /// `--shards` as requested on the command line (0 in baselines captured
+    /// before the sharding layer existed; 1 means "this process only").
+    pub shards: u64,
     /// Timed samples per experiment.
     pub samples: u64,
     /// Git revision the binary was built from (`unknown` outside a repo).
@@ -95,6 +98,7 @@ impl BenchReport {
         let _ = writeln!(out, "    \"t\": {},", json_opt(self.config.t));
         let _ = writeln!(out, "    \"seed\": {},", json_opt(self.config.seed));
         let _ = writeln!(out, "    \"jobs\": {},", self.config.jobs);
+        let _ = writeln!(out, "    \"shards\": {},", self.config.shards);
         let _ = writeln!(out, "    \"samples\": {},", self.config.samples);
         let _ = writeln!(out, "    \"git_rev\": \"{}\"", self.config.git_rev);
         out.push_str("  },\n  \"experiments\": [\n");
@@ -155,6 +159,8 @@ impl BenchReport {
                 report.config.seed = parse_opt(value)?;
             } else if let Some(value) = field(line, "jobs") {
                 report.config.jobs = parse_num(value)?;
+            } else if let Some(value) = field(line, "shards") {
+                report.config.shards = parse_num(value)?;
             } else if let Some(value) = field(line, "samples") {
                 report.config.samples = parse_num(value)?;
             } else if let Some(value) = field(line, "git_rev") {
@@ -169,15 +175,19 @@ impl BenchReport {
         Ok(report)
     }
 
-    /// Compares `current` against this baseline: every experiment present
-    /// in both whose trimmed-mean wall time exceeds `factor ×` the
-    /// baseline's is reported as a regression line.
+    /// Compares `current` against this baseline: every experiment whose
+    /// trimmed-mean wall time exceeds `factor ×` the baseline's is reported
+    /// as a regression line.
     ///
     /// # Errors
     ///
     /// Returns an error when the two reports were captured under different
     /// workloads (scale / n / t / seed) — comparing those wall times would
-    /// be meaningless, and silently passing would mask a broken CI wiring.
+    /// be meaningless — **or when their experiment sets differ**: a run
+    /// that drops an experiment present in the baseline (or a baseline
+    /// missing a newly added one) is a broken wiring, not a pass.
+    /// Comparing only the intersection used to let a silently-skipped
+    /// experiment sail through the perf gate.
     pub fn regressions_in(
         &self,
         current: &BenchReport,
@@ -201,11 +211,41 @@ impl BenchReport {
                 current.config.seed,
             ));
         }
+        let baseline_ids: Vec<&str> = self.experiments.iter().map(|e| e.id.as_str()).collect();
+        let current_ids: Vec<&str> = current.experiments.iter().map(|e| e.id.as_str()).collect();
+        let dropped: Vec<&str> = baseline_ids
+            .iter()
+            .filter(|id| !current_ids.contains(id))
+            .copied()
+            .collect();
+        let unexpected: Vec<&str> = current_ids
+            .iter()
+            .filter(|id| !baseline_ids.contains(id))
+            .copied()
+            .collect();
+        if !dropped.is_empty() || !unexpected.is_empty() {
+            let mut parts = Vec::new();
+            if !dropped.is_empty() {
+                parts.push(format!(
+                    "the current run is missing baseline experiment(s) {}",
+                    dropped.join(", ")
+                ));
+            }
+            if !unexpected.is_empty() {
+                parts.push(format!(
+                    "the baseline has no entry for experiment(s) {} — recapture it",
+                    unexpected.join(", ")
+                ));
+            }
+            return Err(parts.join("; "));
+        }
         let mut regressions = Vec::new();
         for base in &self.experiments {
-            let Some(now) = current.experiments.iter().find(|e| e.id == base.id) else {
-                continue;
-            };
+            let now = current
+                .experiments
+                .iter()
+                .find(|e| e.id == base.id)
+                .expect("experiment sets verified equal");
             if base.trimmed_mean_s < GATE_FLOOR_S {
                 continue;
             }
@@ -310,6 +350,7 @@ mod tests {
                 t: Some(4),
                 seed: None,
                 jobs: 4,
+                shards: 1,
                 samples: 3,
                 git_rev: "abc1234".to_string(),
             },
@@ -394,6 +435,50 @@ mod tests {
                 .len(),
             1
         );
+    }
+
+    /// Regression test for the intersection bug: a current run that
+    /// *drops* a baseline experiment (or adds one the baseline has never
+    /// seen) must fail the comparison with a clear message — it used to
+    /// pass silently because only the intersection was compared.
+    #[test]
+    fn regression_gate_rejects_mismatched_experiment_sets() {
+        let baseline = sample();
+        // Current run dropped E11 entirely (e.g. a broken catalogue).
+        let mut current = sample();
+        current.experiments.retain(|e| e.id != "E11");
+        let err = baseline
+            .regressions_in(&current, DEFAULT_REGRESSION_FACTOR)
+            .unwrap_err();
+        assert!(err.contains("missing baseline experiment(s) E11"), "{err}");
+        // Current run grew an experiment the committed baseline predates.
+        let mut current = sample();
+        current.experiments.push(ExperimentBench {
+            id: "E12".to_string(),
+            ..ExperimentBench::default()
+        });
+        let err = baseline
+            .regressions_in(&current, DEFAULT_REGRESSION_FACTOR)
+            .unwrap_err();
+        assert!(err.contains("no entry for experiment(s) E12"), "{err}");
+        assert!(err.contains("recapture"), "{err}");
+    }
+
+    #[test]
+    fn shards_round_trips_and_defaults_to_zero_for_old_baselines() {
+        let mut report = sample();
+        report.config.shards = 2;
+        let parsed = BenchReport::parse(&report.to_json()).unwrap();
+        assert_eq!(parsed.config.shards, 2);
+        // A baseline captured before the sharding layer has no shards line.
+        let legacy = report
+            .to_json()
+            .lines()
+            .filter(|line| !line.contains("\"shards\""))
+            .collect::<Vec<_>>()
+            .join("\n");
+        let parsed = BenchReport::parse(&legacy).unwrap();
+        assert_eq!(parsed.config.shards, 0, "absent field defaults");
     }
 
     #[test]

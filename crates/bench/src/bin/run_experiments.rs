@@ -4,8 +4,9 @@
 //!
 //! ```text
 //! run_experiments [--scale quick|full|paper] [--n N] [--t T] [--seed S]
-//!                 [--jobs J] [--samples K] [--timings]
+//!                 [--jobs J] [--shards S] [--samples K] [--timings]
 //!                 [--bench-json PATH] [--bench-compare BASELINE]
+//! run_experiments --shard-worker
 //! ```
 //!
 //! * `--scale` picks the size tier (`quick` is the CI default, `full` the
@@ -25,6 +26,19 @@
 //!   Tables are byte-identical at any setting and always print in canonical
 //!   E1–E11 order — the determinism suite in `tests/determinism.rs` pins
 //!   this;
+//! * `--shards S` partitions every measurement's execution across `S`
+//!   worker **processes** (spawned as `run_experiments --shard-worker`,
+//!   connected by length-prefixed pipes; see `dft_bench::shard` and the
+//!   sharding section of `DESIGN.md`).  The crash-adversary phase and the
+//!   deterministic merge stay in this process, so tables remain
+//!   byte-identical to `--jobs`/serial runs — CI diffs them.  Within a
+//!   sharded measurement each worker serves its node range serially:
+//!   `--shards` *displaces* the per-runner share of `--jobs` (which still
+//!   governs experiment fan-out in this process), so `--shards 2 --jobs 8`
+//!   runs up to 8 experiments at once, each split over 2 serial workers;
+//! * `--shard-worker` (internal) turns this invocation into a shard worker
+//!   serving its node range over stdin/stdout; never combine it with other
+//!   flags;
 //! * `--samples K` measures each experiment `K` times (tables are printed
 //!   from the first sample; `K > 1` implies `--timings`, which is the only
 //!   consumer of the extra runs);
@@ -54,7 +68,7 @@ use dft_bench::experiments::{experiment_catalog, Scale, SweepConfig};
 use dft_bench::Table;
 
 const USAGE: &str = "usage: run_experiments [--scale quick|full|paper] [--n N] [--t T] \
-                     [--seed S] [--jobs J] [--samples K] [--timings] \
+                     [--seed S] [--jobs J] [--shards S] [--samples K] [--timings] \
                      [--bench-json PATH] [--bench-compare BASELINE]";
 
 fn fail(message: &str) -> ExitCode {
@@ -62,10 +76,13 @@ fn fail(message: &str) -> ExitCode {
     ExitCode::from(2)
 }
 
-/// One experiment's outcome: its rendered table plus every timed sample.
+/// One experiment's outcome: its rendered table, every timed sample, and
+/// the stderr diagnostics it emitted (buffered per experiment so fan-out
+/// cannot interleave them; flushed in canonical E1–E11 order).
 struct Outcome {
     table: Table,
     times: Vec<Duration>,
+    stderr: Vec<String>,
 }
 
 /// Splits the `--jobs` thread budget between the two parallelism levels:
@@ -126,15 +143,18 @@ fn run_catalog(cfg: &SweepConfig, jobs: usize, samples: usize) -> Vec<(&'static 
         let (_, experiment) = catalog[index];
         let mut times = Vec::with_capacity(samples);
         let mut table = None;
-        for _ in 0..samples {
-            let start = Instant::now();
-            let result = experiment(cfg);
-            times.push(start.elapsed());
-            table.get_or_insert(result);
-        }
+        let ((), stderr) = dft_bench::diag::capture(|| {
+            for _ in 0..samples {
+                let start = Instant::now();
+                let result = experiment(cfg);
+                times.push(start.elapsed());
+                table.get_or_insert(result);
+            }
+        });
         *slots[index].lock().expect("experiment slot") = Some(Outcome {
             table: table.expect("at least one sample"),
             times,
+            stderr,
         });
     };
     if workers == 1 {
@@ -171,6 +191,7 @@ fn run_catalog(cfg: &SweepConfig, jobs: usize, samples: usize) -> Vec<(&'static 
 fn bench_report(
     cfg: &SweepConfig,
     jobs: usize,
+    shards: usize,
     samples: usize,
     outcomes: &[(&'static str, Outcome)],
     total_wall: Duration,
@@ -198,6 +219,7 @@ fn bench_report(
             t: cfg.t.map(|t| t as u64),
             seed: cfg.seed,
             jobs: jobs as u64,
+            shards: shards as u64,
             samples: samples as u64,
             git_rev: baseline::git_revision(),
         },
@@ -207,9 +229,21 @@ fn bench_report(
 }
 
 fn main() -> ExitCode {
+    // Shard-worker mode first, before anything can touch stdout: the
+    // parent's frame pipe is this process's stdout.
+    {
+        let mut args = std::env::args().skip(1);
+        if args.next().as_deref() == Some("--shard-worker") {
+            if args.next().is_some() {
+                return fail("--shard-worker takes no further arguments");
+            }
+            return dft_bench::shard::serve_stdio();
+        }
+    }
     let mut cfg = SweepConfig::default();
     let mut timings = false;
     let mut jobs = dft_sim::available_jobs();
+    let mut shards = 1usize;
     let mut samples = 1usize;
     let mut bench_json: Option<String> = None;
     let mut bench_compare: Option<String> = None;
@@ -247,8 +281,17 @@ fn main() -> ExitCode {
             },
             "--jobs" => match args.next().as_deref().map(str::parse) {
                 Some(Ok(j)) if j >= 1 => jobs = j,
+                // `0` must be a usage error, not a silent "pick for me"
+                // fallback: the runners treat 0 as available parallelism,
+                // which would make `--jobs 0` mean the opposite of what it
+                // says.
                 _ => return fail("--jobs needs an integer >= 1"),
             },
+            "--shards" => match args.next().as_deref().map(str::parse) {
+                Some(Ok(s)) if s >= 1 => shards = s,
+                _ => return fail("--shards needs an integer >= 1"),
+            },
+            "--shard-worker" => return fail("--shard-worker must be the first and only argument"),
             "--samples" => match args.next().as_deref().map(str::parse) {
                 Some(Ok(k)) if k >= 1 => samples = k,
                 _ => return fail("--samples needs an integer >= 1"),
@@ -269,14 +312,30 @@ fn main() -> ExitCode {
     if samples > 1 {
         timings = true;
     }
+    cfg.shards = shards;
 
+    // The shard count only appears in the header when sharding is active,
+    // so `--shards 1` output stays byte-identical to historical captures
+    // (and the CI diffs strip the header line anyway).
+    let sharding = if shards > 1 {
+        format!(", shards: {shards}")
+    } else {
+        String::new()
+    };
     println!(
-        "linear-dft experiment harness (scale: {:?}, jobs: {jobs})\n",
+        "linear-dft experiment harness (scale: {:?}, jobs: {jobs}{sharding})\n",
         cfg.scale
     );
     let start = Instant::now();
     let outcomes = run_catalog(&cfg, jobs, samples);
     let total_wall = start.elapsed();
+    // Flush buffered per-experiment diagnostics in canonical E1-E11 order,
+    // so stderr is stable under any --jobs/--shards fan-out.
+    for (_, outcome) in &outcomes {
+        for line in &outcome.stderr {
+            eprintln!("{line}");
+        }
+    }
     for (id, outcome) in &outcomes {
         println!("{}", outcome.table.render());
         if timings {
@@ -293,7 +352,7 @@ fn main() -> ExitCode {
     if bench_json.is_none() && bench_compare.is_none() {
         return ExitCode::SUCCESS;
     }
-    let report = bench_report(&cfg, jobs, samples, &outcomes, total_wall);
+    let report = bench_report(&cfg, jobs, shards, samples, &outcomes, total_wall);
     if let Some(path) = bench_json {
         if let Err(error) = std::fs::write(&path, report.to_json()) {
             eprintln!("run_experiments: cannot write {path}: {error}");

@@ -91,6 +91,10 @@ pub struct SweepConfig {
     /// serial).  Purely a performance knob: tables are byte-identical at any
     /// setting — the determinism suite pins this.
     pub jobs: usize,
+    /// Shard worker processes each measurement is partitioned across (`0`
+    /// and `1` both mean "this process only"; see `crate::shard`).  Also a
+    /// pure performance/topology knob — tables stay byte-identical.
+    pub shards: usize,
 }
 
 impl SweepConfig {
@@ -130,6 +134,11 @@ impl SweepConfig {
         self.jobs.max(1)
     }
 
+    /// Resolved shard-process count (`0` is normalised to 1).
+    pub fn shards(&self) -> usize {
+        self.shards.max(1)
+    }
+
     /// The fault bound for size `n`: the override if set, otherwise the
     /// experiment's own `default`.  The override is clamped into
     /// `[1, bound - 1]`, where `bound` is the experiment's *exclusive*
@@ -156,10 +165,13 @@ impl SweepConfig {
     fn clamp_t(&self, t: usize, bound: usize) -> usize {
         let clamped = t.clamp(1, bound.saturating_sub(1).max(1));
         if clamped != t {
-            eprintln!(
+            // Routed through the buffered sink so `--jobs`/`--shards`
+            // fan-out cannot interleave warnings from different
+            // experiments; the harness flushes them in E1-E11 order.
+            crate::diag::warn(format!(
                 "run_experiments: warning: --t {t} is outside an experiment's validity \
                  range (t < {bound}); using t = {clamped} for that experiment"
-            );
+            ));
         }
         clamped
     }
@@ -208,12 +220,18 @@ pub fn experiment_table1(cfg: &SweepConfig) -> Table {
             let bound = if kind == 3 { n / 2 } else { n / 5 };
             let t = cfg.t_or(t_raw.clamp(1, cap), bound);
             let seed = cfg.seed_or(7);
-            let w = Workload::full_budget(n, t, seed).with_jobs(cfg.jobs());
+            let w = Workload::full_budget(n, t, seed)
+                .with_jobs(cfg.jobs())
+                .with_shards(cfg.shards());
             let m = match kind {
                 0 => measure_few_crashes(&w),
                 1 => measure_gossip(&w),
                 2 => measure_checkpointing(&w),
-                _ => measure_ab_consensus(&Workload::fault_free(n, t, seed).with_jobs(cfg.jobs())),
+                _ => measure_ab_consensus(
+                    &Workload::fault_free(n, t, seed)
+                        .with_jobs(cfg.jobs())
+                        .with_shards(cfg.shards()),
+                ),
             };
             table.push_row(vec![
                 problem.to_string(),
@@ -246,7 +264,9 @@ pub fn experiment_aea(cfg: &SweepConfig) -> Table {
     );
     for &n in &cfg.consensus_sizes() {
         for t in cfg.t_sweep(vec![(n / 10).max(1), (n / 6).max(1)], n / 5) {
-            let w = Workload::full_budget(n, t, cfg.seed_or(11)).with_jobs(cfg.jobs());
+            let w = Workload::full_budget(n, t, cfg.seed_or(11))
+                .with_jobs(cfg.jobs())
+                .with_shards(cfg.shards());
             let m = measure_aea(&w);
             table.push_row(vec![
                 n.to_string(),
@@ -279,8 +299,11 @@ pub fn experiment_scv(cfg: &SweepConfig) -> Table {
     );
     for &n in &cfg.consensus_sizes() {
         for t in cfg.t_sweep(vec![(n / 12).max(1), (n / 6).max(1)], n / 5) {
-            let m =
-                measure_scv(&Workload::full_budget(n, t, cfg.seed_or(13)).with_jobs(cfg.jobs()));
+            let m = measure_scv(
+                &Workload::full_budget(n, t, cfg.seed_or(13))
+                    .with_jobs(cfg.jobs())
+                    .with_shards(cfg.shards()),
+            );
             let mut row = vec![n.to_string(), t.to_string()];
             row.extend(fmt_measurement(&m));
             table.push_row(row);
@@ -298,7 +321,9 @@ pub fn experiment_few_crashes(cfg: &SweepConfig) -> Table {
     );
     for &n in &cfg.consensus_sizes() {
         let t = cfg.t_or((n / 8).max(1), n / 5);
-        let w = Workload::full_budget(n, t, cfg.seed_or(17)).with_jobs(cfg.jobs());
+        let w = Workload::full_budget(n, t, cfg.seed_or(17))
+            .with_jobs(cfg.jobs())
+            .with_shards(cfg.shards());
         let mut runs = vec![("few-crashes", measure_few_crashes(&w))];
         if cfg.include_baselines() {
             runs.push(("flooding", measure_flooding(&w)));
@@ -327,7 +352,9 @@ pub fn experiment_many_crashes(cfg: &SweepConfig) -> Table {
             .collect();
         for t in cfg.t_sweep(defaults, n) {
             let m = measure_many_crashes(
-                &Workload::full_budget(n, t, cfg.seed_or(19)).with_jobs(cfg.jobs()),
+                &Workload::full_budget(n, t, cfg.seed_or(19))
+                    .with_jobs(cfg.jobs())
+                    .with_shards(cfg.shards()),
             );
             table.push_row(vec![
                 n.to_string(),
@@ -356,7 +383,9 @@ pub fn experiment_gossip(cfg: &SweepConfig) -> Table {
     );
     for &n in &cfg.heavy_sizes() {
         let t = cfg.t_or((n / 8).max(1), n / 5);
-        let w = Workload::full_budget(n, t, cfg.seed_or(23)).with_jobs(cfg.jobs());
+        let w = Workload::full_budget(n, t, cfg.seed_or(23))
+            .with_jobs(cfg.jobs())
+            .with_shards(cfg.shards());
         let mut runs = vec![("gossip", measure_gossip(&w))];
         if cfg.include_baselines() {
             runs.push(("all-to-all", measure_all_to_all_gossip(&w)));
@@ -379,7 +408,9 @@ pub fn experiment_checkpointing(cfg: &SweepConfig) -> Table {
     );
     for &n in &cfg.heavy_sizes() {
         let t = cfg.t_or((n / 8).max(1), n / 5);
-        let w = Workload::full_budget(n, t, cfg.seed_or(29)).with_jobs(cfg.jobs());
+        let w = Workload::full_budget(n, t, cfg.seed_or(29))
+            .with_jobs(cfg.jobs())
+            .with_shards(cfg.shards());
         let mut runs = vec![("checkpointing", measure_checkpointing(&w))];
         if cfg.include_baselines() {
             runs.push(("naive", measure_naive_checkpointing(&w)));
@@ -403,7 +434,9 @@ pub fn experiment_byzantine(cfg: &SweepConfig) -> Table {
     );
     for &n in &cfg.heavy_sizes() {
         let t = cfg.t_or(((n as f64).sqrt() as usize).max(1), n / 2);
-        let w = Workload::fault_free(n, t, cfg.seed_or(31)).with_jobs(cfg.jobs());
+        let w = Workload::fault_free(n, t, cfg.seed_or(31))
+            .with_jobs(cfg.jobs())
+            .with_shards(cfg.shards());
         let mut runs = vec![("ab-consensus", measure_ab_consensus(&w))];
         if cfg.include_baselines() {
             runs.push(("parallel-ds", measure_parallel_ds(&w)));
@@ -435,7 +468,9 @@ pub fn experiment_single_port(cfg: &SweepConfig) -> Table {
     for &n in &cfg.heavy_sizes() {
         let t = cfg.t_or((n / 8).max(1), n / 5);
         let m = measure_linear_consensus(
-            &Workload::full_budget(n, t, cfg.seed_or(37)).with_jobs(cfg.jobs()),
+            &Workload::full_budget(n, t, cfg.seed_or(37))
+                .with_jobs(cfg.jobs())
+                .with_shards(cfg.shards()),
         );
         let mut row = vec![n.to_string(), t.to_string()];
         row.extend(fmt_measurement(&m));
@@ -456,7 +491,9 @@ pub fn experiment_lower_bound(cfg: &SweepConfig) -> Table {
     for &n in &cfg.heavy_sizes() {
         for t in cfg.t_sweep(vec![(n / 16).max(1), (n / 8).max(1)], n / 5) {
             let m = measure_linear_consensus(
-                &Workload::full_budget(n, t, cfg.seed_or(41)).with_jobs(cfg.jobs()),
+                &Workload::full_budget(n, t, cfg.seed_or(41))
+                    .with_jobs(cfg.jobs())
+                    .with_shards(cfg.shards()),
             );
             table.push_row(vec![
                 n.to_string(),
@@ -583,6 +620,7 @@ mod tests {
             t: Some(4),
             seed: Some(5),
             jobs: 1,
+            shards: 1,
         };
         assert_eq!(cfg.consensus_sizes(), vec![40]);
         assert_eq!(cfg.heavy_sizes(), vec![40]);
@@ -601,6 +639,7 @@ mod tests {
             t: Some(39), // valid for many-crashes, far too big for t < n/5
             seed: None,
             jobs: 1,
+            shards: 1,
         };
         assert_eq!(cfg.t_or(5, 40 / 5), 7, "clamped below n/5");
         assert_eq!(cfg.t_sweep(vec![2], 40), vec![39], "full range kept");
@@ -620,6 +659,7 @@ mod tests {
             t: None,
             seed: None,
             jobs: 1,
+            shards: 1,
         };
         for (_, experiment) in experiment_catalog() {
             let table = experiment(&cfg);

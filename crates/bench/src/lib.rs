@@ -14,7 +14,9 @@
 #![warn(missing_docs)]
 
 pub mod baseline;
+pub mod diag;
 pub mod experiments;
+pub mod shard;
 
 use std::sync::Arc;
 
@@ -75,6 +77,11 @@ pub struct Workload {
     /// Worker threads for the runner's phase loops (1 = serial; purely a
     /// performance knob — measurements are byte-identical at any setting).
     pub jobs: usize,
+    /// Shard worker **processes** the execution is partitioned across
+    /// (1 = this process only).  Like `jobs`, purely a performance /
+    /// topology knob: sharded measurements are byte-identical to local
+    /// ones — the determinism suite pins this.
+    pub shards: usize,
 }
 
 impl Workload {
@@ -86,6 +93,7 @@ impl Workload {
             crashes: 0,
             seed,
             jobs: 1,
+            shards: 1,
         }
     }
 
@@ -97,6 +105,7 @@ impl Workload {
             crashes: t,
             seed,
             jobs: 1,
+            shards: 1,
         }
     }
 
@@ -105,6 +114,14 @@ impl Workload {
     #[must_use]
     pub fn with_jobs(mut self, jobs: usize) -> Self {
         self.jobs = jobs;
+        self
+    }
+
+    /// Sets the number of shard worker processes (see [`crate::shard`];
+    /// `0` and `1` both mean "run in this process").
+    #[must_use]
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
         self
     }
 
@@ -129,21 +146,26 @@ fn config(w: &Workload) -> SystemConfig {
         .with_seed(w.seed)
 }
 
-/// Measures `Almost-Everywhere-Agreement` (Theorem 5).
-pub fn measure_aea(w: &Workload) -> Measurement {
+/// A deterministically constructed node set plus the protocol's round
+/// budget.  Both the local `measure_*` path and a `--shard-worker` process
+/// build through these, so a shard worker reconstructs byte-identical nodes
+/// from the workload alone (see [`crate::shard`]).
+pub(crate) struct BuiltNodes<P> {
+    pub(crate) nodes: Vec<P>,
+    pub(crate) rounds: u64,
+}
+
+pub(crate) fn build_aea(w: &Workload) -> BuiltNodes<AlmostEverywhereAgreement<bool>> {
     let cfg = config(w);
     let inputs = w.mixed_inputs();
     let nodes = AlmostEverywhereAgreement::for_all_nodes(&cfg, &inputs).expect("config");
     let rounds = dft_core::AeaConfig::from_system(&cfg)
         .expect("config")
         .total_rounds();
-    let mut runner = Runner::with_adversary(nodes, w.adversary(rounds), w.t).expect("runner");
-    runner.set_jobs(w.jobs);
-    Measurement::from_report(&runner.run(rounds + 2))
+    BuiltNodes { nodes, rounds }
 }
 
-/// Measures `Spread-Common-Value` (Theorem 6) with 3/5·n initialized nodes.
-pub fn measure_scv(w: &Workload) -> Measurement {
+pub(crate) fn build_scv(w: &Workload) -> BuiltNodes<SpreadCommonValue<bool>> {
     let cfg = config(w);
     let initialized = 3 * w.n / 5 + 1;
     let initials: Vec<Option<bool>> = (0..w.n)
@@ -153,117 +175,225 @@ pub fn measure_scv(w: &Workload) -> Measurement {
     let rounds = dft_core::ScvConfig::from_system(&cfg)
         .expect("config")
         .total_rounds();
-    let mut runner = Runner::with_adversary(nodes, w.adversary(rounds), w.t).expect("runner");
-    runner.set_jobs(w.jobs);
-    Measurement::from_report(&runner.run(rounds + 2))
+    BuiltNodes { nodes, rounds }
 }
 
-/// Measures `Few-Crashes-Consensus` (Theorem 7).
-pub fn measure_few_crashes(w: &Workload) -> Measurement {
+pub(crate) fn build_few_crashes(w: &Workload) -> BuiltNodes<FewCrashesConsensus<bool>> {
     let cfg = config(w);
     let inputs = w.mixed_inputs();
     let nodes = FewCrashesConsensus::for_all_nodes(&cfg, &inputs).expect("config");
     let rounds = nodes[0].total_rounds();
-    let mut runner = Runner::with_adversary(nodes, w.adversary(rounds), w.t).expect("runner");
-    runner.set_jobs(w.jobs);
-    Measurement::from_report(&runner.run(rounds + 2))
+    BuiltNodes { nodes, rounds }
 }
 
-/// Measures `Many-Crashes-Consensus` (Theorem 8 / Corollary 1).
-pub fn measure_many_crashes(w: &Workload) -> Measurement {
+pub(crate) fn build_many_crashes(w: &Workload) -> BuiltNodes<ManyCrashesConsensus> {
     let cfg = config(w);
     let inputs = w.mixed_inputs();
     let nodes = ManyCrashesConsensus::for_all_nodes(&cfg, &inputs).expect("config");
     let rounds = nodes[0].total_rounds();
-    let mut runner = Runner::with_adversary(nodes, w.adversary(rounds), w.t).expect("runner");
-    runner.set_jobs(w.jobs);
-    Measurement::from_report(&runner.run(rounds + 2))
+    BuiltNodes { nodes, rounds }
 }
 
-/// Measures `Gossip` (Theorem 9).
-pub fn measure_gossip(w: &Workload) -> Measurement {
+pub(crate) fn build_gossip(w: &Workload) -> BuiltNodes<Gossip> {
     let cfg = config(w);
     let rumors: Vec<u64> = (0..w.n as u64).map(|i| 1_000 + i).collect();
     let nodes = Gossip::for_all_nodes(&cfg, &rumors).expect("config");
     let rounds = nodes[0].total_rounds();
-    let mut runner = Runner::with_adversary(nodes, w.adversary(rounds), w.t).expect("runner");
+    BuiltNodes { nodes, rounds }
+}
+
+pub(crate) fn build_checkpointing(w: &Workload) -> BuiltNodes<Checkpointing> {
+    let cfg = config(w);
+    let nodes = Checkpointing::for_all_nodes(&cfg).expect("config");
+    let rounds = nodes[0].total_rounds();
+    BuiltNodes { nodes, rounds }
+}
+
+pub(crate) fn build_ab_consensus(w: &Workload) -> BuiltNodes<AbConsensus> {
+    let cfg = config(w);
+    let directory = Arc::new(KeyDirectory::generate(w.n, w.seed));
+    let inputs: Vec<u64> = (0..w.n as u64).collect();
+    let nodes = AbConsensus::for_all_nodes(&cfg, &inputs, directory).expect("config");
+    let rounds = nodes[0].total_rounds();
+    BuiltNodes { nodes, rounds }
+}
+
+pub(crate) fn build_linear_consensus(w: &Workload) -> BuiltNodes<dft_core::LinearConsensus<bool>> {
+    let cfg = config(w);
+    let inputs = w.mixed_inputs();
+    let (nodes, sp_rounds) = linear_consensus_for_all_nodes(&cfg, &inputs).expect("config");
+    BuiltNodes {
+        nodes,
+        rounds: sp_rounds,
+    }
+}
+
+pub(crate) fn build_flooding(w: &Workload) -> BuiltNodes<FloodingConsensus> {
+    let inputs = w.mixed_inputs();
+    BuiltNodes {
+        nodes: FloodingConsensus::for_all_nodes(w.n, w.t, &inputs),
+        rounds: FloodingConsensus::total_rounds(w.t),
+    }
+}
+
+pub(crate) fn build_all_to_all_gossip(w: &Workload) -> BuiltNodes<AllToAllGossip> {
+    let rumors: Vec<u64> = (0..w.n as u64).map(|i| 1_000 + i).collect();
+    BuiltNodes {
+        nodes: AllToAllGossip::for_all_nodes(w.n, w.t, &rumors),
+        rounds: AllToAllGossip::total_rounds(w.t),
+    }
+}
+
+pub(crate) fn build_naive_checkpointing(w: &Workload) -> BuiltNodes<NaiveCheckpointing> {
+    BuiltNodes {
+        nodes: NaiveCheckpointing::for_all_nodes(w.n, w.t),
+        rounds: NaiveCheckpointing::total_rounds(w.t),
+    }
+}
+
+pub(crate) fn build_parallel_ds(w: &Workload) -> BuiltNodes<ParallelDsConsensus> {
+    let directory = Arc::new(KeyDirectory::generate(w.n, w.seed));
+    let inputs: Vec<u64> = (0..w.n as u64).collect();
+    BuiltNodes {
+        nodes: ParallelDsConsensus::for_all_nodes(w.n, w.t, &inputs, directory),
+        rounds: ParallelDsConsensus::total_rounds(w.t),
+    }
+}
+
+/// Runs a built multi-port workload locally under the workload's crash
+/// adversary and fault budget.
+fn run_multi_port<P: dft_sim::SyncProtocol<Output: PartialEq>>(
+    w: &Workload,
+    built: BuiltNodes<P>,
+    fault_budget: usize,
+    adversary: Box<dyn dft_sim::CrashAdversary>,
+) -> Measurement {
+    let mut runner = Runner::with_adversary(built.nodes, adversary, fault_budget).expect("runner");
     runner.set_jobs(w.jobs);
-    Measurement::from_report(&runner.run(rounds + 2))
+    Measurement::from_report(&runner.run(built.rounds + 2))
+}
+
+/// Measures `Almost-Everywhere-Agreement` (Theorem 5).
+pub fn measure_aea(w: &Workload) -> Measurement {
+    if w.shards > 1 {
+        return shard::measure_sharded(shard::MeasureKind::Aea, w);
+    }
+    let built = build_aea(w);
+    let adversary = w.adversary(built.rounds);
+    run_multi_port(w, built, w.t, adversary)
+}
+
+/// Measures `Spread-Common-Value` (Theorem 6) with 3/5·n initialized nodes.
+pub fn measure_scv(w: &Workload) -> Measurement {
+    if w.shards > 1 {
+        return shard::measure_sharded(shard::MeasureKind::Scv, w);
+    }
+    let built = build_scv(w);
+    let adversary = w.adversary(built.rounds);
+    run_multi_port(w, built, w.t, adversary)
+}
+
+/// Measures `Few-Crashes-Consensus` (Theorem 7).
+pub fn measure_few_crashes(w: &Workload) -> Measurement {
+    if w.shards > 1 {
+        return shard::measure_sharded(shard::MeasureKind::FewCrashes, w);
+    }
+    let built = build_few_crashes(w);
+    let adversary = w.adversary(built.rounds);
+    run_multi_port(w, built, w.t, adversary)
+}
+
+/// Measures `Many-Crashes-Consensus` (Theorem 8 / Corollary 1).
+pub fn measure_many_crashes(w: &Workload) -> Measurement {
+    if w.shards > 1 {
+        return shard::measure_sharded(shard::MeasureKind::ManyCrashes, w);
+    }
+    let built = build_many_crashes(w);
+    let adversary = w.adversary(built.rounds);
+    run_multi_port(w, built, w.t, adversary)
+}
+
+/// Measures `Gossip` (Theorem 9).
+pub fn measure_gossip(w: &Workload) -> Measurement {
+    if w.shards > 1 {
+        return shard::measure_sharded(shard::MeasureKind::Gossip, w);
+    }
+    let built = build_gossip(w);
+    let adversary = w.adversary(built.rounds);
+    run_multi_port(w, built, w.t, adversary)
 }
 
 /// Measures `Checkpointing` (Theorem 10).
 pub fn measure_checkpointing(w: &Workload) -> Measurement {
-    let cfg = config(w);
-    let nodes = Checkpointing::for_all_nodes(&cfg).expect("config");
-    let rounds = nodes[0].total_rounds();
-    let mut runner = Runner::with_adversary(nodes, w.adversary(rounds), w.t).expect("runner");
-    runner.set_jobs(w.jobs);
-    Measurement::from_report(&runner.run(rounds + 2))
+    if w.shards > 1 {
+        return shard::measure_sharded(shard::MeasureKind::Checkpointing, w);
+    }
+    let built = build_checkpointing(w);
+    let adversary = w.adversary(built.rounds);
+    run_multi_port(w, built, w.t, adversary)
 }
 
 /// Measures `AB-Consensus` (Theorem 11) with all-honest participants (the
 /// cost side of the theorem counts non-faulty messages, which is maximised
 /// when everyone is honest).
 pub fn measure_ab_consensus(w: &Workload) -> Measurement {
-    let cfg = config(w);
-    let directory = Arc::new(KeyDirectory::generate(w.n, w.seed));
-    let inputs: Vec<u64> = (0..w.n as u64).collect();
-    let nodes = AbConsensus::for_all_nodes(&cfg, &inputs, directory).expect("config");
-    let rounds = nodes[0].total_rounds();
-    let mut runner = Runner::new(nodes).expect("runner");
-    runner.set_jobs(w.jobs);
-    Measurement::from_report(&runner.run(rounds + 2))
+    if w.shards > 1 {
+        return shard::measure_sharded(shard::MeasureKind::AbConsensus, w);
+    }
+    let built = build_ab_consensus(w);
+    run_multi_port(w, built, 0, Box::new(dft_sim::NoFaults))
 }
 
 /// Measures single-port `Linear-Consensus` (Theorem 12).
 pub fn measure_linear_consensus(w: &Workload) -> Measurement {
-    let cfg = config(w);
-    let inputs = w.mixed_inputs();
-    let (nodes, sp_rounds) = linear_consensus_for_all_nodes(&cfg, &inputs).expect("config");
+    if w.shards > 1 {
+        return shard::measure_sharded(shard::MeasureKind::LinearConsensus, w);
+    }
+    let built = build_linear_consensus(w);
+    let sp_rounds = built.rounds;
     let mut runner =
-        SinglePortRunner::with_adversary(nodes, w.adversary(sp_rounds), w.t).expect("runner");
+        SinglePortRunner::with_adversary(built.nodes, w.adversary(sp_rounds), w.t).expect("runner");
     runner.set_jobs(w.jobs);
     Measurement::from_report(&runner.run(sp_rounds + 4))
 }
 
 /// Measures the flooding-consensus baseline.
 pub fn measure_flooding(w: &Workload) -> Measurement {
-    let inputs = w.mixed_inputs();
-    let nodes = FloodingConsensus::for_all_nodes(w.n, w.t, &inputs);
-    let rounds = FloodingConsensus::total_rounds(w.t);
-    let mut runner = Runner::with_adversary(nodes, w.adversary(rounds), w.t).expect("runner");
-    runner.set_jobs(w.jobs);
-    Measurement::from_report(&runner.run(rounds + 2))
+    if w.shards > 1 {
+        return shard::measure_sharded(shard::MeasureKind::Flooding, w);
+    }
+    let built = build_flooding(w);
+    let adversary = w.adversary(built.rounds);
+    run_multi_port(w, built, w.t, adversary)
 }
 
 /// Measures the all-to-all gossip baseline.
 pub fn measure_all_to_all_gossip(w: &Workload) -> Measurement {
-    let rumors: Vec<u64> = (0..w.n as u64).map(|i| 1_000 + i).collect();
-    let nodes = AllToAllGossip::for_all_nodes(w.n, w.t, &rumors);
-    let rounds = AllToAllGossip::total_rounds(w.t);
-    let mut runner = Runner::with_adversary(nodes, w.adversary(rounds), w.t).expect("runner");
-    runner.set_jobs(w.jobs);
-    Measurement::from_report(&runner.run(rounds + 2))
+    if w.shards > 1 {
+        return shard::measure_sharded(shard::MeasureKind::AllToAllGossip, w);
+    }
+    let built = build_all_to_all_gossip(w);
+    let adversary = w.adversary(built.rounds);
+    run_multi_port(w, built, w.t, adversary)
 }
 
 /// Measures the naive checkpointing baseline.
 pub fn measure_naive_checkpointing(w: &Workload) -> Measurement {
-    let nodes = NaiveCheckpointing::for_all_nodes(w.n, w.t);
-    let rounds = NaiveCheckpointing::total_rounds(w.t);
-    let mut runner = Runner::with_adversary(nodes, w.adversary(rounds), w.t).expect("runner");
-    runner.set_jobs(w.jobs);
-    Measurement::from_report(&runner.run(rounds + 2))
+    if w.shards > 1 {
+        return shard::measure_sharded(shard::MeasureKind::NaiveCheckpointing, w);
+    }
+    let built = build_naive_checkpointing(w);
+    let adversary = w.adversary(built.rounds);
+    run_multi_port(w, built, w.t, adversary)
 }
 
 /// Measures the parallel Dolev–Strong Byzantine baseline.
 pub fn measure_parallel_ds(w: &Workload) -> Measurement {
-    let directory = Arc::new(KeyDirectory::generate(w.n, w.seed));
-    let inputs: Vec<u64> = (0..w.n as u64).collect();
-    let nodes = ParallelDsConsensus::for_all_nodes(w.n, w.t, &inputs, directory);
-    let rounds = ParallelDsConsensus::total_rounds(w.t);
-    let mut runner = Runner::new(nodes).expect("runner");
-    runner.set_jobs(w.jobs);
-    Measurement::from_report(&runner.run(rounds + 2))
+    if w.shards > 1 {
+        return shard::measure_sharded(shard::MeasureKind::ParallelDs, w);
+    }
+    let built = build_parallel_ds(w);
+    run_multi_port(w, built, 0, Box::new(dft_sim::NoFaults))
 }
 
 /// A labelled table of measurement rows, printable as aligned text.

@@ -1,0 +1,461 @@
+//! Cross-process sharding of a single measurement.
+//!
+//! With `Workload::shards > 1` (CLI: `run_experiments --shards N`) each
+//! `measure_*` execution is partitioned across `N` **worker processes**: the
+//! parent spawns `run_experiments --shard-worker` children connected by
+//! length-prefixed pipes, hands each a [`MeasureKind`] + workload handshake,
+//! and then drives the round protocol of [`dft_sim::shard`] — keeping the
+//! crash-adversary phase and the fixed-chunk-order merge, so sharded tables
+//! are **byte-identical** to `--jobs N` and serial ones.
+//!
+//! A worker rebuilds the experiment's nodes deterministically from the
+//! workload (node construction is a pure function of `(kind, n, t, seed)`;
+//! see the `build_*` functions in the crate root), keeps only its contiguous
+//! node range, and serves it until shutdown.  Nothing protocol-specific
+//! crosses the pipe except wire-encoded messages and outputs
+//! ([`dft_sim::shard::Wire`]).
+//!
+//! The handshake is versioned ([`dft_sim::shard::WIRE_VERSION`]): a stale
+//! worker binary is rejected loudly at spawn time, never silently
+//! mis-decoded mid-run.
+
+use std::io;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::sync::{Arc, OnceLock};
+
+use dft_baselines::{Membership, RumorMap, SignedBatch};
+use dft_core::{AbMsg, CheckpointMsg, ExtantSet, FcMsg, GossipMsg, McMsg};
+use dft_sim::shard::{
+    self, frame, open_frame, serve_multi_port, serve_single_port, shard_count, shard_range,
+    ShardTransport, ShardedRunner, SpShardedRunner, StreamTransport, Wire, WireMsg, WireOutput,
+};
+use dft_sim::{NodeSet, Participant, SinglePortProtocol, SyncProtocol};
+
+use crate::{
+    build_ab_consensus, build_aea, build_all_to_all_gossip, build_checkpointing, build_few_crashes,
+    build_flooding, build_gossip, build_linear_consensus, build_many_crashes,
+    build_naive_checkpointing, build_parallel_ds, build_scv, BuiltNodes, Measurement, Workload,
+};
+
+/// Handshake frame tags (distinct from the round-protocol tags of
+/// `dft_sim::shard`, which start lower).
+const TAG_HELLO: u8 = 200;
+const TAG_HELLO_ACK: u8 = 201;
+
+/// Which measurement a shard worker should reconstruct.
+///
+/// The discriminant is part of the handshake wire format; variants map 1:1
+/// onto the crate's `measure_*` functions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MeasureKind {
+    /// `measure_aea` (Theorem 5).
+    Aea,
+    /// `measure_scv` (Theorem 6).
+    Scv,
+    /// `measure_few_crashes` (Theorem 7).
+    FewCrashes,
+    /// `measure_many_crashes` (Theorem 8).
+    ManyCrashes,
+    /// `measure_gossip` (Theorem 9).
+    Gossip,
+    /// `measure_checkpointing` (Theorem 10).
+    Checkpointing,
+    /// `measure_ab_consensus` (Theorem 11).
+    AbConsensus,
+    /// `measure_linear_consensus` (Theorem 12, single-port).
+    LinearConsensus,
+    /// `measure_flooding` (baseline).
+    Flooding,
+    /// `measure_all_to_all_gossip` (baseline).
+    AllToAllGossip,
+    /// `measure_naive_checkpointing` (baseline).
+    NaiveCheckpointing,
+    /// `measure_parallel_ds` (baseline).
+    ParallelDs,
+}
+
+impl MeasureKind {
+    fn code(self) -> u8 {
+        match self {
+            MeasureKind::Aea => 0,
+            MeasureKind::Scv => 1,
+            MeasureKind::FewCrashes => 2,
+            MeasureKind::ManyCrashes => 3,
+            MeasureKind::Gossip => 4,
+            MeasureKind::Checkpointing => 5,
+            MeasureKind::AbConsensus => 6,
+            MeasureKind::LinearConsensus => 7,
+            MeasureKind::Flooding => 8,
+            MeasureKind::AllToAllGossip => 9,
+            MeasureKind::NaiveCheckpointing => 10,
+            MeasureKind::ParallelDs => 11,
+        }
+    }
+
+    fn from_code(code: u8) -> Option<MeasureKind> {
+        Some(match code {
+            0 => MeasureKind::Aea,
+            1 => MeasureKind::Scv,
+            2 => MeasureKind::FewCrashes,
+            3 => MeasureKind::ManyCrashes,
+            4 => MeasureKind::Gossip,
+            5 => MeasureKind::Checkpointing,
+            6 => MeasureKind::AbConsensus,
+            7 => MeasureKind::LinearConsensus,
+            8 => MeasureKind::Flooding,
+            9 => MeasureKind::AllToAllGossip,
+            10 => MeasureKind::NaiveCheckpointing,
+            11 => MeasureKind::ParallelDs,
+            _ => return None,
+        })
+    }
+
+    /// Whether the local `measure_*` path runs this kind under the
+    /// workload's crash adversary (the authenticated-Byzantine measurements
+    /// run fault-free with budget 0).
+    fn uses_crash_adversary(self) -> bool {
+        !matches!(self, MeasureKind::AbConsensus | MeasureKind::ParallelDs)
+    }
+
+    /// Extra rounds beyond the protocol budget the local path allows
+    /// (`+ 2` multi-port, `+ 4` single-port — see `measure_*`).
+    fn round_slack(self) -> u64 {
+        if self == MeasureKind::LinearConsensus {
+            4
+        } else {
+            2
+        }
+    }
+}
+
+static WORKER_BINARY: OnceLock<PathBuf> = OnceLock::new();
+
+/// Overrides the binary spawned as `--shard-worker` (first call wins).
+///
+/// The default is this process's own executable, which is correct for
+/// `run_experiments`; test harnesses point this at
+/// `env!("CARGO_BIN_EXE_run_experiments")` because *their* executable is the
+/// test runner.  The `DFT_SHARD_WORKER_BIN` environment variable has the
+/// same effect without code.
+pub fn set_worker_binary(path: PathBuf) {
+    let _ = WORKER_BINARY.set(path);
+}
+
+fn worker_binary() -> &'static Path {
+    WORKER_BINARY.get_or_init(|| {
+        std::env::var_os("DFT_SHARD_WORKER_BIN")
+            .map(PathBuf::from)
+            .unwrap_or_else(|| {
+                std::env::current_exe().expect("cannot resolve the shard worker binary path")
+            })
+    })
+}
+
+fn hello_frame(kind: MeasureKind, w: &Workload, index: usize) -> Vec<u8> {
+    let mut out = frame(TAG_HELLO);
+    out.push(kind.code());
+    w.n.encode(&mut out);
+    w.t.encode(&mut out);
+    (w.crashes).encode(&mut out);
+    w.seed.encode(&mut out);
+    w.shards.encode(&mut out);
+    index.encode(&mut out);
+    out
+}
+
+/// One spawned worker: the child process and its frame pipe.
+struct Worker {
+    child: Child,
+    transport: Box<dyn ShardTransport>,
+    /// The protocol round budget the worker derived from its rebuilt nodes.
+    rounds: u64,
+}
+
+fn spawn_worker(kind: MeasureKind, w: &Workload, index: usize) -> Worker {
+    let binary = worker_binary();
+    let mut child = Command::new(binary)
+        .arg("--shard-worker")
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .spawn()
+        .unwrap_or_else(|err| panic!("cannot spawn shard worker {}: {err}", binary.display()));
+    let stdin = child.stdin.take().expect("piped stdin");
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut transport: Box<dyn ShardTransport> = Box::new(StreamTransport::new(stdout, stdin));
+    transport
+        .send(&hello_frame(kind, w, index))
+        .expect("shard worker rejected the handshake");
+    let ack = transport
+        .recv()
+        .expect("shard worker closed the pipe before acknowledging the handshake");
+    let (tag, mut r) = open_frame(&ack).expect("malformed handshake ack");
+    assert_eq!(tag, TAG_HELLO_ACK, "unexpected handshake ack tag {tag}");
+    let rounds = u64::decode(&mut r).expect("handshake ack round budget");
+    Worker {
+        child,
+        transport,
+        rounds,
+    }
+}
+
+fn spawn_workers(
+    kind: MeasureKind,
+    w: &Workload,
+) -> (Vec<Child>, Vec<Box<dyn ShardTransport>>, u64) {
+    let count = shard_count(w.n, w.shards);
+    let mut children = Vec::with_capacity(count);
+    let mut transports = Vec::with_capacity(count);
+    let mut rounds = None;
+    for index in 0..count {
+        let worker = spawn_worker(kind, w, index);
+        if let Some(previous) = rounds {
+            assert_eq!(
+                previous, worker.rounds,
+                "shard workers disagree on the round budget — mixed binaries?"
+            );
+        }
+        rounds = Some(worker.rounds);
+        children.push(worker.child);
+        transports.push(worker.transport);
+    }
+    (children, transports, rounds.expect("at least one worker"))
+}
+
+fn reap(mut children: Vec<Child>) {
+    for child in &mut children {
+        let status = child.wait().expect("waiting for shard worker");
+        assert!(
+            status.success(),
+            "shard worker exited with {status} (its stderr above has the details)"
+        );
+    }
+}
+
+fn adversary_for(
+    kind: MeasureKind,
+    w: &Workload,
+    rounds: u64,
+) -> (Box<dyn dft_sim::CrashAdversary>, usize) {
+    if kind.uses_crash_adversary() {
+        (w.adversary(rounds), w.t)
+    } else {
+        (Box::new(dft_sim::NoFaults), 0)
+    }
+}
+
+fn drive<M: WireMsg, O: WireOutput>(kind: MeasureKind, w: &Workload) -> Measurement {
+    let (children, transports, rounds) = spawn_workers(kind, w);
+    let (adversary, budget) = adversary_for(kind, w, rounds);
+    let mut runner = ShardedRunner::<M, O>::connect(
+        w.n,
+        adversary,
+        budget,
+        NodeSet::empty(w.n),
+        w.shards,
+        transports,
+    )
+    .expect("sharded coordinator");
+    let report = runner
+        .run(rounds + kind.round_slack())
+        .expect("sharded execution");
+    reap(children);
+    Measurement::from_report(&report)
+}
+
+fn drive_single_port<M: WireMsg, O: WireOutput>(kind: MeasureKind, w: &Workload) -> Measurement {
+    let (children, transports, rounds) = spawn_workers(kind, w);
+    let (adversary, budget) = adversary_for(kind, w, rounds);
+    let mut runner = SpShardedRunner::<M, O>::connect(w.n, adversary, budget, w.shards, transports)
+        .expect("sharded coordinator");
+    let report = runner
+        .run(rounds + kind.round_slack())
+        .expect("sharded execution");
+    reap(children);
+    Measurement::from_report(&report)
+}
+
+/// Runs one measurement partitioned across `w.shards` worker processes.
+/// Byte-identical to the local `measure_*` path for the same workload.
+pub(crate) fn measure_sharded(kind: MeasureKind, w: &Workload) -> Measurement {
+    match kind {
+        MeasureKind::Aea => drive::<dft_core::AeaMsg<bool>, bool>(kind, w),
+        MeasureKind::Scv => drive::<dft_core::ScvMsg<bool>, bool>(kind, w),
+        MeasureKind::FewCrashes => drive::<FcMsg<bool>, bool>(kind, w),
+        MeasureKind::ManyCrashes => drive::<McMsg, bool>(kind, w),
+        MeasureKind::Gossip => drive::<GossipMsg, ExtantSet>(kind, w),
+        MeasureKind::Checkpointing => drive::<CheckpointMsg, Vec<usize>>(kind, w),
+        MeasureKind::AbConsensus => drive::<AbMsg, u64>(kind, w),
+        MeasureKind::LinearConsensus => drive_single_port::<FcMsg<bool>, bool>(kind, w),
+        MeasureKind::Flooding => drive::<bool, bool>(kind, w),
+        MeasureKind::AllToAllGossip => drive::<Arc<RumorMap>, RumorMap>(kind, w),
+        MeasureKind::NaiveCheckpointing => drive::<Arc<Membership>, Vec<usize>>(kind, w),
+        MeasureKind::ParallelDs => drive::<Arc<SignedBatch>, u64>(kind, w),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Worker side
+// ---------------------------------------------------------------------------
+
+/// Serves one shard over stdin/stdout: the body of
+/// `run_experiments --shard-worker`.
+///
+/// Reads the handshake, deterministically rebuilds the named measurement's
+/// nodes, keeps this shard's node range, acknowledges with the protocol's
+/// round budget, and then serves the round protocol until shutdown.
+pub fn serve_stdio() -> std::process::ExitCode {
+    let mut transport = StreamTransport::new(io::stdin(), io::stdout());
+    match serve(&mut transport) {
+        Ok(()) => std::process::ExitCode::SUCCESS,
+        Err(err) => {
+            eprintln!("run_experiments --shard-worker: {err}");
+            std::process::ExitCode::FAILURE
+        }
+    }
+}
+
+fn bad_data(message: String) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, message)
+}
+
+fn serve(transport: &mut dyn ShardTransport) -> io::Result<()> {
+    let hello = transport.recv()?;
+    let decode_err = |err: shard::WireError| bad_data(format!("malformed handshake: {err}"));
+    let (tag, mut r) = open_frame(&hello).map_err(decode_err)?;
+    if tag != TAG_HELLO {
+        return Err(bad_data(format!("expected handshake, got frame tag {tag}")));
+    }
+    let kind_code = r.u8().map_err(decode_err)?;
+    let kind = MeasureKind::from_code(kind_code)
+        .ok_or_else(|| bad_data(format!("unknown measurement kind {kind_code}")))?;
+    let n = usize::decode(&mut r).map_err(decode_err)?;
+    let t = usize::decode(&mut r).map_err(decode_err)?;
+    let crashes = usize::decode(&mut r).map_err(decode_err)?;
+    let seed = u64::decode(&mut r).map_err(decode_err)?;
+    let shards = usize::decode(&mut r).map_err(decode_err)?;
+    let index = usize::decode(&mut r).map_err(decode_err)?;
+    if index >= shard_count(n, shards) {
+        return Err(bad_data(format!(
+            "shard index {index} out of range for n = {n}, shards = {shards}"
+        )));
+    }
+    let w = Workload {
+        n,
+        t,
+        crashes,
+        seed,
+        jobs: 1,
+        shards,
+    };
+    match kind {
+        MeasureKind::Aea => serve_chunk(build_aea(&w), &w, index, transport),
+        MeasureKind::Scv => serve_chunk(build_scv(&w), &w, index, transport),
+        MeasureKind::FewCrashes => serve_chunk(build_few_crashes(&w), &w, index, transport),
+        MeasureKind::ManyCrashes => serve_chunk(build_many_crashes(&w), &w, index, transport),
+        MeasureKind::Gossip => serve_chunk(build_gossip(&w), &w, index, transport),
+        MeasureKind::Checkpointing => serve_chunk(build_checkpointing(&w), &w, index, transport),
+        MeasureKind::AbConsensus => serve_chunk(build_ab_consensus(&w), &w, index, transport),
+        MeasureKind::LinearConsensus => {
+            serve_chunk_single_port(build_linear_consensus(&w), &w, index, transport)
+        }
+        MeasureKind::Flooding => serve_chunk(build_flooding(&w), &w, index, transport),
+        MeasureKind::AllToAllGossip => {
+            serve_chunk(build_all_to_all_gossip(&w), &w, index, transport)
+        }
+        MeasureKind::NaiveCheckpointing => {
+            serve_chunk(build_naive_checkpointing(&w), &w, index, transport)
+        }
+        MeasureKind::ParallelDs => serve_chunk(build_parallel_ds(&w), &w, index, transport),
+    }
+}
+
+fn ack(transport: &mut dyn ShardTransport, rounds: u64) -> io::Result<()> {
+    let mut out = frame(TAG_HELLO_ACK);
+    rounds.encode(&mut out);
+    transport.send(&out)
+}
+
+fn serve_chunk<P>(
+    built: BuiltNodes<P>,
+    w: &Workload,
+    index: usize,
+    transport: &mut dyn ShardTransport,
+) -> io::Result<()>
+where
+    P: SyncProtocol,
+    P::Msg: Wire,
+    P::Output: Wire,
+{
+    ack(transport, built.rounds)?;
+    let range = shard_range(w.n, w.shards, index);
+    let chunk: Vec<Participant<P>> = built
+        .nodes
+        .into_iter()
+        .skip(range.start)
+        .take(range.len())
+        .map(Participant::Honest)
+        .collect();
+    serve_multi_port(chunk, range.start, transport)
+}
+
+fn serve_chunk_single_port<P>(
+    built: BuiltNodes<P>,
+    w: &Workload,
+    index: usize,
+    transport: &mut dyn ShardTransport,
+) -> io::Result<()>
+where
+    P: SinglePortProtocol,
+    P::Msg: Wire,
+    P::Output: Wire,
+{
+    ack(transport, built.rounds)?;
+    let range = shard_range(w.n, w.shards, index);
+    let chunk: Vec<P> = built
+        .nodes
+        .into_iter()
+        .skip(range.start)
+        .take(range.len())
+        .collect();
+    serve_single_port(chunk, range.start, transport)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measure_kind_codes_round_trip() {
+        for code in 0..12 {
+            let kind = MeasureKind::from_code(code).expect("valid code");
+            assert_eq!(kind.code(), code);
+        }
+        assert_eq!(MeasureKind::from_code(12), None);
+    }
+
+    #[test]
+    fn hello_frame_parses_back() {
+        let w = Workload::full_budget(60, 8, 3).with_shards(2);
+        let hello = hello_frame(MeasureKind::Gossip, &w, 1);
+        let (tag, mut r) = open_frame(&hello).expect("version header");
+        assert_eq!(tag, TAG_HELLO);
+        assert_eq!(r.u8().unwrap(), MeasureKind::Gossip.code());
+        assert_eq!(usize::decode(&mut r).unwrap(), 60);
+        assert_eq!(usize::decode(&mut r).unwrap(), 8);
+        assert_eq!(usize::decode(&mut r).unwrap(), 8, "crashes = full budget");
+        assert_eq!(u64::decode(&mut r).unwrap(), 3);
+        assert_eq!(usize::decode(&mut r).unwrap(), 2);
+        assert_eq!(usize::decode(&mut r).unwrap(), 1);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn byzantine_kinds_run_fault_free() {
+        assert!(!MeasureKind::AbConsensus.uses_crash_adversary());
+        assert!(!MeasureKind::ParallelDs.uses_crash_adversary());
+        assert!(MeasureKind::Gossip.uses_crash_adversary());
+        assert_eq!(MeasureKind::LinearConsensus.round_slack(), 4);
+        assert_eq!(MeasureKind::Aea.round_slack(), 2);
+    }
+}

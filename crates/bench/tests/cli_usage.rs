@@ -1,0 +1,96 @@
+//! CLI argument-validation regression tests for `run_experiments`.
+//!
+//! Audits the parse paths the sharding PR touched: every zero or malformed
+//! count (`--jobs 0`, `--shards 0`, `--samples 0`, …) must exit with the
+//! usage error (code 2) and never panic, fall back silently, or start a
+//! multi-second experiment run.  These spawn the real binary — the same one
+//! the shard workers use — so the checks cover exactly what users type.
+
+use std::process::{Command, Output};
+
+fn run(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_run_experiments"))
+        .args(args)
+        .output()
+        .expect("spawn run_experiments")
+}
+
+fn assert_usage_error(args: &[&str]) {
+    let output = run(args);
+    assert_eq!(
+        output.status.code(),
+        Some(2),
+        "{args:?} should be a usage error; stderr: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        stderr.contains("usage: run_experiments"),
+        "{args:?} stderr missing usage line: {stderr}"
+    );
+    assert!(
+        output.stdout.is_empty(),
+        "{args:?} printed tables despite the usage error"
+    );
+}
+
+#[test]
+fn zero_counts_are_usage_errors() {
+    // `0` would silently mean "available parallelism" inside the runners
+    // (`--jobs`), or make no sense at all (`--shards`, `--samples`); the
+    // CLI must reject all three instead of guessing.
+    assert_usage_error(&["--jobs", "0"]);
+    assert_usage_error(&["--shards", "0"]);
+    assert_usage_error(&["--samples", "0"]);
+}
+
+#[test]
+fn malformed_counts_are_usage_errors() {
+    assert_usage_error(&["--jobs", "-1"]);
+    assert_usage_error(&["--jobs", "many"]);
+    assert_usage_error(&["--jobs"]);
+    assert_usage_error(&["--shards", "two"]);
+    assert_usage_error(&["--shards"]);
+    assert_usage_error(&["--samples", "1.5"]);
+    assert_usage_error(&["--seed", "abc"]);
+}
+
+#[test]
+fn undersized_n_and_unknown_flags_are_usage_errors() {
+    assert_usage_error(&["--n", "5"]);
+    assert_usage_error(&["--n", "0"]);
+    assert_usage_error(&["--scale", "huge"]);
+    assert_usage_error(&["--scale"]);
+    assert_usage_error(&["--frobnicate"]);
+    assert_usage_error(&["--bench-json"]);
+    assert_usage_error(&["--bench-compare"]);
+}
+
+#[test]
+fn shard_worker_must_be_the_only_argument() {
+    // `--shard-worker` anywhere but first (alone) is a usage error, not a
+    // silent hang waiting for a handshake that never comes.
+    assert_usage_error(&["--jobs", "2", "--shard-worker"]);
+    assert_usage_error(&["--shard-worker", "--jobs", "2"]);
+}
+
+#[test]
+fn help_exits_successfully_with_usage() {
+    let output = run(&["--help"]);
+    assert_eq!(output.status.code(), Some(0));
+    assert!(String::from_utf8_lossy(&output.stdout).contains("usage: run_experiments"));
+}
+
+#[test]
+fn shard_worker_with_closed_stdin_fails_cleanly() {
+    // A worker whose parent vanishes before the handshake must exit
+    // non-zero with a diagnostic, not hang or panic.
+    let output = Command::new(env!("CARGO_BIN_EXE_run_experiments"))
+        .arg("--shard-worker")
+        .stdin(std::process::Stdio::null())
+        .output()
+        .expect("spawn run_experiments");
+    assert_eq!(output.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("--shard-worker"), "stderr: {stderr}");
+}

@@ -11,7 +11,12 @@
 //!   engages);
 //! * property tests over random crash schedules comparing full
 //!   `Runner` / `SinglePortRunner` transcripts (report + trace) between
-//!   serial and parallel execution.
+//!   serial and parallel execution;
+//! * the sharding layer (PR 5): full experiment tables at `--shards 2`
+//!   diffed against serial ones (the shard workers are real
+//!   `run_experiments --shard-worker` child processes), in-process sharded
+//!   transcripts (report + trace) proptested against serial runs, and
+//!   worker-process measurements proptested under random crash schedules.
 
 use dft_bench::experiments::{
     experiment_byzantine, experiment_many_crashes, experiment_single_port, experiment_table1,
@@ -41,6 +46,22 @@ fn cfg(jobs: usize, n: Option<usize>) -> SweepConfig {
         t: None,
         seed: None,
         jobs,
+        shards: 1,
+    }
+}
+
+/// Points the sharding layer at the real `run_experiments` binary (the
+/// default — this test executable — cannot serve `--shard-worker`).
+fn use_real_worker_binary() {
+    dft_bench::shard::set_worker_binary(std::path::PathBuf::from(env!(
+        "CARGO_BIN_EXE_run_experiments"
+    )));
+}
+
+fn sharded_cfg(shards: usize, n: Option<usize>) -> SweepConfig {
+    SweepConfig {
+        shards,
+        ..cfg(1, n)
     }
 }
 
@@ -90,6 +111,52 @@ fn e1_e5_e8_tables_are_byte_identical_below_old_single_port_threshold() {
         let serial = experiment(&cfg(1, n)).render();
         let parallel = experiment(&cfg(4, n)).render();
         assert_eq!(serial, parallel, "{id} tables drifted (n override {n:?})");
+    }
+}
+
+/// The tentpole pin for PR 5: fixed-seed E1/E5/E8 tables must be
+/// byte-identical between a serial run and one sharded across **two worker
+/// processes** (real `run_experiments --shard-worker` children over pipes).
+#[test]
+fn e1_e5_e8_tables_are_byte_identical_across_shards() {
+    use_real_worker_binary();
+    let experiments: [(&str, ExperimentFn); 3] = [
+        ("E1", experiment_table1),
+        ("E5", experiment_many_crashes),
+        ("E8", experiment_byzantine),
+    ];
+    for (id, experiment) in experiments {
+        let serial = experiment(&cfg(1, None)).render();
+        let sharded = experiment(&sharded_cfg(2, None)).render();
+        assert_eq!(serial, sharded, "{id} tables drifted with --shards 2");
+    }
+}
+
+/// Every remaining experiment kind under the worker-process backend: E2–E4,
+/// E6, E7 and the single-port E9/E10 cover the measurement kinds E1/E5/E8
+/// do not (AEA, SCV, the three quadratic baselines, linear consensus), so
+/// together with the test above every `--shard-worker` code path is diffed
+/// against serial output.
+#[test]
+fn remaining_tables_are_byte_identical_across_shards() {
+    use dft_bench::experiments::{
+        experiment_aea, experiment_checkpointing, experiment_few_crashes, experiment_gossip,
+        experiment_lower_bound, experiment_scv, experiment_single_port,
+    };
+    use_real_worker_binary();
+    let experiments: [(&str, ExperimentFn); 7] = [
+        ("E2", experiment_aea),
+        ("E3", experiment_scv),
+        ("E4", experiment_few_crashes),
+        ("E6", experiment_gossip),
+        ("E7", experiment_checkpointing),
+        ("E9", experiment_single_port),
+        ("E10", experiment_lower_bound),
+    ];
+    for (id, experiment) in experiments {
+        let serial = experiment(&cfg(1, None)).render();
+        let sharded = experiment(&sharded_cfg(2, None)).render();
+        assert_eq!(serial, sharded, "{id} tables drifted with --shards 2");
     }
 }
 
@@ -244,6 +311,69 @@ fn ring_run(n: usize, seed: u64, crashes: usize, jobs: usize) -> (ExecutionRepor
     (report, trace)
 }
 
+/// In-process sharded execution of the flooding workload (full wire
+/// protocol over channel transports), for transcript comparison.
+fn flood_run_sharded(
+    n: usize,
+    seed: u64,
+    crashes: usize,
+    shards: usize,
+) -> (ExecutionReport<bool>, String) {
+    use dft_sim::Participant;
+    let participants: Vec<Participant<FloodOr>> = (0..n)
+        .map(|i| {
+            Participant::Honest(FloodOr {
+                n,
+                value: (i as u64).wrapping_mul(seed).is_multiple_of(7),
+                rounds: 0,
+                decided: None,
+            })
+        })
+        .collect();
+    let (schedule, budget) = schedule_from(n, seed, crashes);
+    let mut runner = dft_sim::shard::ShardedRunner::<bool, bool>::in_process(
+        participants,
+        Box::new(schedule),
+        budget,
+        shards,
+    )
+    .unwrap();
+    runner.enable_trace();
+    let report = runner.run(12).expect("sharded run");
+    let trace = format!("{:?}", runner.trace().events());
+    (report, trace)
+}
+
+/// In-process sharded execution of the single-port ring workload.
+fn ring_run_sharded(
+    n: usize,
+    seed: u64,
+    crashes: usize,
+    shards: usize,
+) -> (ExecutionReport<bool>, String) {
+    let nodes: Vec<Ring> = (0..n)
+        .map(|me| Ring {
+            me,
+            n,
+            value: me as u64 == seed % n as u64,
+            rounds: 0,
+            decided: None,
+        })
+        .collect();
+    let (schedule, budget) = schedule_from(n, seed, crashes);
+    let mut runner = dft_sim::shard::SpShardedRunner::<bool, bool>::in_process(
+        nodes,
+        Box::new(schedule),
+        budget,
+        shards,
+    )
+    .unwrap();
+    runner.enable_trace();
+    let report = runner.run(3 * n as u64).expect("sharded run");
+    let trace = format!("{:?}", runner.trace().events());
+    (report, trace)
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(10))]
 
@@ -274,5 +404,77 @@ proptest! {
         let (parallel_report, parallel_trace) = ring_run(n, seed, crashes, 4);
         prop_assert_eq!(&serial_report, &parallel_report);
         prop_assert_eq!(serial_trace, parallel_trace);
+    }
+
+    /// Random crash schedules through the shard wire protocol (in-process
+    /// channel backend — every message, intent, event and metric delta
+    /// crosses the full codec): transcripts match serial execution.
+    #[test]
+    fn sharded_multi_port_transcripts_match_under_random_crashes(
+        n in 40usize..90,
+        seed in any::<u64>(),
+        crashes in 1usize..6,
+        shards in 2usize..5,
+    ) {
+        let (serial_report, serial_trace) = flood_run(n, seed, crashes, 1);
+        let (sharded_report, sharded_trace) = flood_run_sharded(n, seed, crashes, shards);
+        prop_assert_eq!(&serial_report, &sharded_report);
+        prop_assert_eq!(serial_trace, sharded_trace);
+    }
+
+    /// The single-port variant of the property above.
+    #[test]
+    fn sharded_single_port_transcripts_match_under_random_crashes(
+        n in 40usize..90,
+        seed in any::<u64>(),
+        crashes in 1usize..6,
+        shards in 2usize..5,
+    ) {
+        let (serial_report, serial_trace) = ring_run(n, seed, crashes, 1);
+        let (sharded_report, sharded_trace) = ring_run_sharded(n, seed, crashes, shards);
+        prop_assert_eq!(&serial_report, &sharded_report);
+        prop_assert_eq!(serial_trace, sharded_trace);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// The **worker-process** backend under random crash schedules: a
+    /// sharded `measure_few_crashes` (multi-port, real `--shard-worker`
+    /// children over pipes, `RandomCrashes` adversary in the parent) must
+    /// reproduce the local measurement exactly.
+    #[test]
+    fn worker_process_measurements_match_under_random_crashes(
+        n in 40usize..70,
+        seed in any::<u64>(),
+        shards in 2usize..4,
+    ) {
+        use_real_worker_binary();
+        let t = (n / 8).max(1);
+        let local = dft_bench::measure_few_crashes(
+            &dft_bench::Workload::full_budget(n, t, seed),
+        );
+        let sharded = dft_bench::measure_few_crashes(
+            &dft_bench::Workload::full_budget(n, t, seed).with_shards(shards),
+        );
+        prop_assert_eq!(local, sharded);
+    }
+
+    /// The single-port worker-process backend under random crash schedules.
+    #[test]
+    fn worker_process_single_port_measurements_match_under_random_crashes(
+        n in 30usize..50,
+        seed in any::<u64>(),
+    ) {
+        use_real_worker_binary();
+        let t = (n / 8).max(1);
+        let local = dft_bench::measure_linear_consensus(
+            &dft_bench::Workload::full_budget(n, t, seed),
+        );
+        let sharded = dft_bench::measure_linear_consensus(
+            &dft_bench::Workload::full_budget(n, t, seed).with_shards(2),
+        );
+        prop_assert_eq!(local, sharded);
     }
 }

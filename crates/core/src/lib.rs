@@ -63,6 +63,7 @@ pub mod many_crashes;
 pub mod scv;
 pub mod single_port;
 mod values;
+pub mod wire;
 
 pub use ab_consensus::{AbConfig, AbConsensus, AbMsg, CommonSet, NULL_VALUE};
 pub use aea::{AeaConfig, AeaMsg, AlmostEverywhereAgreement};

@@ -115,6 +115,26 @@ impl BitVector {
     pub fn ones(&self) -> Vec<usize> {
         (0..self.len).filter(|&i| self.get(i)).collect()
     }
+
+    /// The backing 64-bit words (for the shard wire codec).
+    pub(crate) fn raw_words(&self) -> &[u64] {
+        &self.bits
+    }
+
+    /// Rebuilds a vector from its backing words, validating the word count
+    /// and masking bits beyond `len` so decoded vectors are canonical.
+    pub(crate) fn from_raw_words(len: usize, mut bits: Vec<u64>) -> Option<Self> {
+        if bits.len() != len.div_ceil(64) {
+            return None;
+        }
+        if let Some(last) = bits.last_mut() {
+            let used = len % 64;
+            if used != 0 {
+                *last &= (1u64 << used) - 1;
+            }
+        }
+        Some(BitVector { bits, len })
+    }
 }
 
 impl std::fmt::Debug for BitVector {

@@ -1,0 +1,372 @@
+//! Shard wire codecs ([`dft_sim::shard::Wire`]) for the protocol message
+//! and output types, so any of the paper's executions can be partitioned
+//! across `run_experiments --shard-worker` processes.
+//!
+//! Encodings are tag-per-variant and little-endian throughout (the codec's
+//! house style); each type's encoding is the natural transcription of its
+//! fields.  The types also carry `serde` derives for the day the real
+//! crates.io `serde` replaces the vendored stand-in — at which point these
+//! impls become a thin adapter over a generic format.
+
+use std::sync::Arc;
+
+use dft_sim::shard::{Wire, WireError, WireReader, WireResult};
+
+use crate::ab_consensus::{AbMsg, CommonSet};
+use crate::aea::AeaMsg;
+use crate::checkpointing::CheckpointMsg;
+use crate::dolev_strong::DsBatch;
+use crate::few_crashes::FcMsg;
+use crate::gossip::GossipMsg;
+use crate::many_crashes::McMsg;
+use crate::scv::ScvMsg;
+use crate::values::{BitVector, ExtantSet, JoinValue};
+
+fn bad_tag(what: &str, tag: u8) -> WireError {
+    WireError::new(format!("invalid {what} tag {tag}"))
+}
+
+impl<V: JoinValue + Wire> Wire for AeaMsg<V> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            AeaMsg::Rumor(v) => {
+                out.push(0);
+                v.encode(out);
+            }
+            AeaMsg::Decision(v) => {
+                out.push(1);
+                v.encode(out);
+            }
+        }
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> WireResult<Self> {
+        match r.u8()? {
+            0 => Ok(AeaMsg::Rumor(V::decode(r)?)),
+            1 => Ok(AeaMsg::Decision(V::decode(r)?)),
+            tag => Err(bad_tag("AeaMsg", tag)),
+        }
+    }
+}
+
+impl<V: JoinValue + Wire> Wire for ScvMsg<V> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            ScvMsg::Value(v) => {
+                out.push(0);
+                v.encode(out);
+            }
+            ScvMsg::Inquiry => out.push(1),
+            ScvMsg::Response(v) => {
+                out.push(2);
+                v.encode(out);
+            }
+        }
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> WireResult<Self> {
+        match r.u8()? {
+            0 => Ok(ScvMsg::Value(V::decode(r)?)),
+            1 => Ok(ScvMsg::Inquiry),
+            2 => Ok(ScvMsg::Response(V::decode(r)?)),
+            tag => Err(bad_tag("ScvMsg", tag)),
+        }
+    }
+}
+
+impl<V: JoinValue + Wire> Wire for FcMsg<V> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            FcMsg::Aea(m) => {
+                out.push(0);
+                m.encode(out);
+            }
+            FcMsg::Scv(m) => {
+                out.push(1);
+                m.encode(out);
+            }
+        }
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> WireResult<Self> {
+        match r.u8()? {
+            0 => Ok(FcMsg::Aea(AeaMsg::decode(r)?)),
+            1 => Ok(FcMsg::Scv(ScvMsg::decode(r)?)),
+            tag => Err(bad_tag("FcMsg", tag)),
+        }
+    }
+}
+
+impl Wire for McMsg {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            McMsg::Rumor(v) => {
+                out.push(0);
+                v.encode(out);
+            }
+            McMsg::Inquiry => out.push(1),
+            McMsg::Response(v) => {
+                out.push(2);
+                v.encode(out);
+            }
+        }
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> WireResult<Self> {
+        match r.u8()? {
+            0 => Ok(McMsg::Rumor(bool::decode(r)?)),
+            1 => Ok(McMsg::Inquiry),
+            2 => Ok(McMsg::Response(bool::decode(r)?)),
+            tag => Err(bad_tag("McMsg", tag)),
+        }
+    }
+}
+
+impl Wire for BitVector {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.len().encode(out);
+        self.raw_words().to_vec().encode(out);
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> WireResult<Self> {
+        let len = usize::decode(r)?;
+        let words = Vec::decode(r)?;
+        BitVector::from_raw_words(len, words)
+            .ok_or_else(|| WireError::new("BitVector word count does not match its length"))
+    }
+}
+
+impl Wire for ExtantSet {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.len().encode(out);
+        let pairs: Vec<(usize, u64)> = (0..self.len())
+            .filter_map(|idx| self.rumor_of(idx).map(|rumor| (idx, rumor)))
+            .collect();
+        pairs.encode(out);
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> WireResult<Self> {
+        let len = usize::decode(r)?;
+        let pairs: Vec<(usize, u64)> = Vec::decode(r)?;
+        let mut set = ExtantSet::nil(len);
+        for (idx, rumor) in pairs {
+            if idx >= len {
+                return Err(WireError::new(format!(
+                    "ExtantSet pair index {idx} out of range {len}"
+                )));
+            }
+            set.update(idx, rumor);
+        }
+        Ok(set)
+    }
+}
+
+impl Wire for GossipMsg {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            GossipMsg::Inquiry => out.push(0),
+            GossipMsg::Pair { node, rumor } => {
+                out.push(1);
+                node.encode(out);
+                rumor.encode(out);
+            }
+            GossipMsg::Extant(set) => {
+                out.push(2);
+                set.encode(out);
+            }
+            GossipMsg::Completion(bits) => {
+                out.push(3);
+                bits.encode(out);
+            }
+        }
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> WireResult<Self> {
+        match r.u8()? {
+            0 => Ok(GossipMsg::Inquiry),
+            1 => Ok(GossipMsg::Pair {
+                node: u64::decode(r)?,
+                rumor: u64::decode(r)?,
+            }),
+            2 => Ok(GossipMsg::Extant(Arc::decode(r)?)),
+            3 => Ok(GossipMsg::Completion(Arc::decode(r)?)),
+            tag => Err(bad_tag("GossipMsg", tag)),
+        }
+    }
+}
+
+impl Wire for CheckpointMsg {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            CheckpointMsg::Gossip(m) => {
+                out.push(0);
+                m.encode(out);
+            }
+            CheckpointMsg::Consensus(m) => {
+                out.push(1);
+                m.encode(out);
+            }
+        }
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> WireResult<Self> {
+        match r.u8()? {
+            0 => Ok(CheckpointMsg::Gossip(GossipMsg::decode(r)?)),
+            1 => Ok(CheckpointMsg::Consensus(FcMsg::decode(r)?)),
+            tag => Err(bad_tag("CheckpointMsg", tag)),
+        }
+    }
+}
+
+impl Wire for DsBatch {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.0.encode(out);
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> WireResult<Self> {
+        Ok(DsBatch(Vec::decode(r)?))
+    }
+}
+
+impl Wire for CommonSet {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.entries.encode(out);
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> WireResult<Self> {
+        Ok(CommonSet {
+            entries: Vec::decode(r)?,
+        })
+    }
+}
+
+impl Wire for AbMsg {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            AbMsg::Ds(batch) => {
+                out.push(0);
+                batch.encode(out);
+            }
+            AbMsg::Endorse(entries) => {
+                out.push(1);
+                entries.encode(out);
+            }
+            AbMsg::CommonSet(set) => {
+                out.push(2);
+                set.encode(out);
+            }
+            AbMsg::Inquiry(signature) => {
+                out.push(3);
+                signature.encode(out);
+            }
+        }
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> WireResult<Self> {
+        match r.u8()? {
+            0 => Ok(AbMsg::Ds(Arc::decode(r)?)),
+            1 => Ok(AbMsg::Endorse(Arc::decode(r)?)),
+            2 => Ok(AbMsg::CommonSet(Arc::decode(r)?)),
+            3 => Ok(AbMsg::Inquiry(dft_auth::Signature::decode(r)?)),
+            tag => Err(bad_tag("AbMsg", tag)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dft_auth::{KeyDirectory, SignedValue};
+    use dft_sim::shard::{from_bytes, to_bytes};
+
+    fn round_trip<T: Wire + PartialEq + std::fmt::Debug>(value: T) {
+        let bytes = to_bytes(&value);
+        assert_eq!(from_bytes::<T>(&bytes).expect("round trip"), value);
+    }
+
+    #[test]
+    fn consensus_messages_round_trip() {
+        round_trip(AeaMsg::Rumor(true));
+        round_trip(AeaMsg::Decision(false));
+        round_trip(ScvMsg::<bool>::Inquiry);
+        round_trip(ScvMsg::Value(true));
+        round_trip(FcMsg::Aea(AeaMsg::Rumor(true)));
+        round_trip(FcMsg::<bool>::Scv(ScvMsg::Response(false)));
+        round_trip(McMsg::Rumor(true));
+        round_trip(McMsg::Inquiry);
+        round_trip(McMsg::Response(false));
+    }
+
+    #[test]
+    fn value_types_round_trip() {
+        round_trip(BitVector::from_set_bits(130, [0, 64, 129]));
+        round_trip(BitVector::zeros(0));
+        let mut set = ExtantSet::nil(5);
+        set.update(1, 77);
+        set.update(4, 99);
+        round_trip(set);
+        round_trip(ExtantSet::nil(0));
+    }
+
+    #[test]
+    fn decoded_bit_vectors_are_canonical() {
+        // A wire peer could claim set bits beyond `len`; decoding must mask
+        // them so equality and joins behave.
+        let mut bytes = Vec::new();
+        70usize.encode(&mut bytes);
+        vec![u64::MAX, u64::MAX].encode(&mut bytes);
+        let decoded: BitVector = from_bytes(&bytes).expect("decodes");
+        assert_eq!(decoded.count_ones(), 70);
+        // Wrong word count is rejected outright.
+        let mut bad = Vec::new();
+        70usize.encode(&mut bad);
+        vec![u64::MAX].encode(&mut bad);
+        assert!(from_bytes::<BitVector>(&bad).is_err());
+    }
+
+    #[test]
+    fn gossip_and_checkpoint_messages_round_trip() {
+        round_trip(GossipMsg::Inquiry);
+        round_trip(GossipMsg::Pair {
+            node: 3,
+            rumor: 1003,
+        });
+        let mut set = ExtantSet::nil(4);
+        set.update(2, 5);
+        round_trip(GossipMsg::Extant(Arc::new(set)));
+        round_trip(GossipMsg::Completion(Arc::new(BitVector::from_set_bits(
+            10,
+            [1, 9],
+        ))));
+        round_trip(CheckpointMsg::Gossip(GossipMsg::Inquiry));
+        round_trip(CheckpointMsg::Consensus(FcMsg::Aea(AeaMsg::Rumor(
+            BitVector::from_set_bits(8, [0, 7]),
+        ))));
+    }
+
+    #[test]
+    fn authenticated_messages_round_trip() {
+        let directory = KeyDirectory::generate(4, 7);
+        let mut value = SignedValue::originate(&directory.signer(0), 42);
+        value.countersign(&directory.signer(2));
+        round_trip(DsBatch(vec![value.clone()]));
+        round_trip(CommonSet {
+            entries: vec![value.clone()],
+        });
+        round_trip(AbMsg::Ds(Arc::new(DsBatch(vec![value.clone()]))));
+        round_trip(AbMsg::Endorse(Arc::new(vec![value.clone()])));
+        round_trip(AbMsg::CommonSet(Arc::new(CommonSet {
+            entries: vec![value],
+        })));
+        round_trip(AbMsg::Inquiry(directory.signer(1).sign_digest(9)));
+    }
+
+    #[test]
+    fn decoded_signatures_still_verify() {
+        let directory = KeyDirectory::generate(3, 11);
+        let signature = directory.signer(1).sign_digest(1234);
+        let decoded: dft_auth::Signature = from_bytes(&to_bytes(&signature)).unwrap();
+        assert!(directory.verify_digest(&decoded, 1234));
+        assert!(!directory.verify_digest(&decoded, 1235));
+    }
+}

@@ -14,6 +14,9 @@ pub enum SimError {
     /// A configuration value was invalid (for example a fault budget larger
     /// than the number of nodes).
     InvalidConfig(String),
+    /// A shard transport failed or a shard worker sent a malformed or
+    /// unexpected frame (see [`crate::shard`]).
+    Shard(String),
 }
 
 impl fmt::Display for SimError {
@@ -22,6 +25,7 @@ impl fmt::Display for SimError {
             SimError::EmptySystem => write!(f, "simulation requires at least one node"),
             SimError::ProtocolViolation(msg) => write!(f, "protocol violation: {msg}"),
             SimError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            SimError::Shard(msg) => write!(f, "shard protocol failure: {msg}"),
         }
     }
 }

@@ -28,6 +28,12 @@
 //!   parked between phases; see the `pool` module), merging per-worker
 //!   scratch in fixed node-index order so parallel runs are byte-identical
 //!   to serial ones.  The crash-adversary phase always stays serial.
+//! * [`shard`] — the cross-process layer above the pool: one execution's
+//!   chunks served by shard workers (in-process threads or
+//!   `run_experiments --shard-worker` child processes) behind a versioned
+//!   binary wire format, with the crash phase and the fixed-chunk-order
+//!   merge kept in the coordinating process so sharded runs stay
+//!   byte-identical too.
 //!
 //! # Quick example
 //!
@@ -99,6 +105,7 @@ mod protocol;
 mod report;
 mod round;
 mod runner;
+pub mod shard;
 mod single_port;
 mod trace;
 

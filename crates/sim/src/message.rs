@@ -7,6 +7,8 @@
 
 use std::fmt;
 
+use serde::{Deserialize, Serialize};
+
 use crate::node::NodeId;
 
 /// A message payload exchanged by a protocol.
@@ -104,7 +106,11 @@ impl<T: Payload> Payload for std::sync::Arc<T> {
 }
 
 /// A message a node asks the runner to transmit this round.
-#[derive(Clone, Debug, PartialEq, Eq)]
+///
+/// Carries `serde` derives for the day the real crates.io `serde` replaces
+/// the vendored stand-in; the shard layer's explicit codec
+/// ([`crate::shard::Wire`]) is what moves envelopes between processes today.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Outgoing<M> {
     /// Destination node.
     pub to: NodeId,
@@ -120,7 +126,7 @@ impl<M> Outgoing<M> {
 }
 
 /// A message delivered to a node, tagged with its sender.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Delivered<M> {
     /// The node that sent the message.
     pub from: NodeId,

@@ -141,37 +141,65 @@ pub struct Runner<P: SyncProtocol> {
 /// per-node queue) persist across rounds: a phase dispatch moves the whole
 /// chunk to its worker and back, so buffer capacity survives instead of
 /// being reallocated per phase as the retired `thread::scope` design did.
-struct Chunk<P: SyncProtocol> {
+///
+/// `pub(crate)` because the sharding layer ([`crate::shard`]) serves exactly
+/// this struct on the far side of a [`crate::shard::ShardTransport`]: a
+/// shard worker is a `Chunk` whose phase inputs and outputs cross a frame
+/// pipe instead of a channel.
+pub(crate) struct Chunk<P: SyncProtocol> {
     /// Global index of the first node in this chunk.
-    base: usize,
-    participants: Vec<Participant<P>>,
+    pub(crate) base: usize,
+    pub(crate) participants: Vec<Participant<P>>,
     /// Chunk-local mirror of `EngineCore::status[base..]`, kept in sync by
     /// the main thread after the crash phase and the event replay.
-    status: Vec<NodeStatus>,
+    pub(crate) status: Vec<NodeStatus>,
     /// Chunk-local mirror of the runner's Byzantine mask.
-    byz: Vec<bool>,
-    outgoing: Vec<Vec<Outgoing<P::Msg>>>,
-    send_intents: Vec<Vec<NodeId>>,
-    inboxes: Vec<Vec<Delivered<P::Msg>>>,
-    byz_inboxes: Vec<Vec<Delivered<P::Msg>>>,
-    outputs: Vec<Option<P::Output>>,
+    pub(crate) byz: Vec<bool>,
+    pub(crate) outgoing: Vec<Vec<Outgoing<P::Msg>>>,
+    pub(crate) send_intents: Vec<Vec<NodeId>>,
+    pub(crate) inboxes: Vec<Vec<Delivered<P::Msg>>>,
+    pub(crate) byz_inboxes: Vec<Vec<Delivered<P::Msg>>>,
+    pub(crate) outputs: Vec<Option<P::Output>>,
     /// Delivery scratch: surviving messages in sender order, tagged with
     /// their destination for the main thread's merge.
-    delivered: Vec<(usize, Delivered<P::Msg>)>,
+    pub(crate) delivered: Vec<(usize, Delivered<P::Msg>)>,
     /// Receive scratch: decision/halt events for the main thread's replay.
-    events: Vec<NodeEvent>,
+    pub(crate) events: Vec<NodeEvent>,
     /// Messages / bits sent by non-Byzantine senders this round.
-    msgs: u64,
-    bits: u64,
+    pub(crate) msgs: u64,
+    pub(crate) bits: u64,
     /// Messages sent by Byzantine senders this round (counted separately).
-    byz_msgs: u64,
+    pub(crate) byz_msgs: u64,
 }
 
 impl<P: SyncProtocol> Chunk<P> {
+    /// A fresh chunk at the start of an execution (every node `Running`,
+    /// all scratch empty) — how a shard worker starts before round 0.
+    pub(crate) fn fresh(base: usize, participants: Vec<Participant<P>>) -> Self {
+        let len = participants.len();
+        let byz = participants.iter().map(Participant::is_byzantine).collect();
+        Chunk {
+            base,
+            participants,
+            status: vec![NodeStatus::Running; len],
+            byz,
+            outgoing: (0..len).map(|_| Vec::new()).collect(),
+            send_intents: (0..len).map(|_| Vec::new()).collect(),
+            inboxes: (0..len).map(|_| Vec::new()).collect(),
+            byz_inboxes: (0..len).map(|_| Vec::new()).collect(),
+            outputs: (0..len).map(|_| None).collect(),
+            delivered: Vec::new(),
+            events: Vec::new(),
+            msgs: 0,
+            bits: 0,
+            byz_msgs: 0,
+        }
+    }
+
     /// Phase 1: collect sends and adversary-visible intents for this
     /// chunk's nodes — the chunked transcription of
     /// `Runner::collect_sends_serial`.
-    fn collect_sends(&mut self, round: Round) {
+    pub(crate) fn collect_sends(&mut self, round: Round) {
         for (i, participant) in self.participants.iter_mut().enumerate() {
             self.outgoing[i] = match (&self.status[i], participant) {
                 (NodeStatus::Running, Participant::Honest(p)) => p.send(round),
@@ -194,7 +222,7 @@ impl<P: SyncProtocol> Chunk<P> {
     /// The destination-status check happens on the main thread during the
     /// merge, which also clears this chunk's inboxes for the new round —
     /// done here, while the chunk is exclusively owned by its worker.
-    fn deliver(&mut self, filters: &[(usize, DeliveryFilter)]) {
+    pub(crate) fn deliver(&mut self, filters: &[(usize, DeliveryFilter)]) {
         for inbox in &mut self.inboxes {
             inbox.clear();
         }
@@ -232,7 +260,7 @@ impl<P: SyncProtocol> Chunk<P> {
     /// writing outputs in place and recording decision/halt events for the
     /// main thread's in-order replay — the chunked transcription of
     /// `Runner::receive_serial`.
-    fn receive(&mut self, round: Round) {
+    pub(crate) fn receive(&mut self, round: Round) {
         self.events.clear();
         for (i, participant) in self.participants.iter_mut().enumerate() {
             if !self.status[i].is_running() {

@@ -1,0 +1,1011 @@
+//! Sharding a **single execution** across OS worker processes.
+//!
+//! The persistent worker pool (see [`crate::pool`]) exhausted intra-process
+//! parallelism; this module is the next order of magnitude: the per-node
+//! phase work of one run is partitioned into contiguous node-range chunks —
+//! exactly the [`Chunk`]/[`SpChunk`] ownership unit the pool already uses —
+//! and each chunk is served by a **shard worker** on the far side of a
+//! [`ShardTransport`].  Two backends exist:
+//!
+//! * in-process: workers are jobs on the runner's own [`WorkerPool`],
+//!   connected by [`ChannelTransport`] pairs (every frame still crosses the
+//!   full wire codec, so the in-process backend exercises the same protocol
+//!   the pipes do);
+//! * worker processes: `run_experiments --shard-worker` children connected
+//!   by length-prefixed pipes ([`StreamTransport`]); moving a shard to
+//!   another machine is a transport swap (pipe → socket), not a rewrite.
+//!
+//! # Determinism
+//!
+//! The coordinating process keeps everything order-sensitive, exactly as the
+//! pool's forked path does: the **crash-adversary phase** runs only in the
+//! parent (the adversary contract hands one mutable strategy a coherent view
+//! of the whole round), and per-chunk results — intents, delivered messages
+//! in sender order, metric deltas, decision/halt events — are merged in
+//! **fixed chunk order**, which is node-index order.  A sharded run is
+//! therefore byte-identical to a serial or `--jobs N` run of the same
+//! seeded workload; `crates/bench/tests/determinism.rs` pins this with
+//! table diffs and transcript proptests.
+//!
+//! # Protocol
+//!
+//! Each frame is `[u16 version][u8 tag][payload]` (see [`WIRE_VERSION`] and
+//! the [`wire`] codec).  Per round the parent sends `Collect`, merges the
+//! returned intents, runs the crash phase, sends `Deliver` (multi-port; the
+//! worker returns surviving messages and metric deltas) or performs the
+//! port-map mutations itself (single-port), routes inbound messages, sends
+//! `Receive`, and replays the returned decision/halt events in chunk order.
+//! `Shutdown` ends the loop; a worker treats transport EOF as shutdown, so
+//! a dying parent never leaves workers spinning.
+//!
+//! [`Chunk`]: crate::runner::Chunk
+//! [`SpChunk`]: crate::single_port::SpChunk
+//! [`WorkerPool`]: crate::pool::WorkerPool
+
+pub mod transport;
+pub mod wire;
+
+use std::io;
+use std::marker::PhantomData;
+use std::ops::Range;
+
+use crate::adversary::{CrashAdversary, DeliveryFilter};
+use crate::delivery::{EngineCore, PortMap};
+use crate::error::{SimError, SimResult};
+use crate::message::{Delivered, Outgoing, Payload};
+use crate::node::{NodeId, NodeSet};
+use crate::parallel::ChunkPlan;
+use crate::pool::WorkerPool;
+use crate::protocol::{NodeStatus, SinglePortProtocol, SyncProtocol};
+use crate::report::{ExecutionReport, Termination};
+use crate::round::Round;
+use crate::runner::{Chunk, Participant};
+use crate::single_port::SpChunk;
+use crate::trace::Trace;
+
+pub use transport::{ChannelTransport, ShardTransport, StreamTransport, MAX_FRAME_LEN};
+pub use wire::{from_bytes, to_bytes, Wire, WireError, WireReader, WireResult};
+
+/// Version of the shard wire format.  Every frame carries it; both sides
+/// reject a mismatch, so a stale worker binary fails loudly instead of
+/// silently mis-decoding.
+pub const WIRE_VERSION: u16 = 1;
+
+/// Frame tags (parent → worker).
+const REQ_COLLECT: u8 = 1;
+const REQ_DELIVER: u8 = 2;
+const REQ_RECEIVE: u8 = 3;
+const REQ_SP_RECEIVE: u8 = 4;
+const REQ_SHUTDOWN: u8 = 5;
+
+/// Frame tags (worker → parent).
+const RESP_INTENTS: u8 = 64;
+const RESP_SP_INTENTS: u8 = 65;
+const RESP_DELIVERED: u8 = 66;
+const RESP_EVENTS: u8 = 67;
+
+/// Starts a frame: the `[u16 version][u8 tag]` header every shard frame
+/// (including the bench layer's handshake) opens with.  Append the payload
+/// with [`Wire::encode`] calls.
+pub fn frame(tag: u8) -> Vec<u8> {
+    let mut out = Vec::with_capacity(64);
+    WIRE_VERSION.encode(&mut out);
+    out.push(tag);
+    out
+}
+
+/// Opens a frame: checks the version and returns the tag and a reader over
+/// the payload.
+///
+/// # Errors
+///
+/// Returns a [`WireError`] on a truncated header or a version mismatch (a
+/// stale worker binary must fail loudly, never mis-decode).
+pub fn open_frame(buf: &[u8]) -> WireResult<(u8, WireReader<'_>)> {
+    let mut r = WireReader::new(buf);
+    let version = r.u16()?;
+    if version != WIRE_VERSION {
+        return Err(WireError::new(format!(
+            "shard wire version mismatch: peer speaks v{version}, this binary v{WIRE_VERSION}"
+        )));
+    }
+    let tag = r.u8()?;
+    Ok((tag, r))
+}
+
+fn wire_io(err: WireError) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, err.to_string())
+}
+
+fn shard_err(context: &str, err: impl std::fmt::Display) -> SimError {
+    SimError::Shard(format!("{context}: {err}"))
+}
+
+/// The number of shard workers a system of `n` nodes actually uses when
+/// `shards` are requested: the chunk partition never creates empty trailing
+/// chunks, so tiny systems use fewer workers than requested (see
+/// [`crate::parallel`]'s `ChunkPlan`).  Parent and workers must agree on
+/// this; both derive it from here.
+pub fn shard_count(n: usize, shards: usize) -> usize {
+    ChunkPlan::new(n, shards).chunks
+}
+
+/// The node range owned by shard `index` of `shards` over `n` nodes.
+pub fn shard_range(n: usize, shards: usize, index: usize) -> Range<usize> {
+    ChunkPlan::new(n, shards).range(index, n)
+}
+
+/// A decision/halt event reported by a shard worker: the global node index,
+/// whether the node voluntarily halted, and — on the node's first decision —
+/// its output value.
+struct WireEvent<O> {
+    node: usize,
+    halted: bool,
+    output: Option<O>,
+}
+
+impl<O: Wire> Wire for WireEvent<O> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.node.encode(out);
+        self.halted.encode(out);
+        self.output.encode(out);
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> WireResult<Self> {
+        Ok(WireEvent {
+            node: usize::decode(r)?,
+            halted: bool::decode(r)?,
+            output: Option::decode(r)?,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Worker side
+// ---------------------------------------------------------------------------
+
+/// Encodes a chunk's decision/halt events as a `RESP_EVENTS` frame and
+/// applies this round's voluntary halts to the chunk's local status mirror
+/// (the pool's forked path does the latter during the main thread's replay;
+/// on a shard worker the serve loop is the only writer).  Shared by both
+/// serve loops so the event semantics cannot drift between the runner
+/// families.
+fn events_response<O: Wire + Clone>(
+    events: &[crate::parallel::NodeEvent],
+    outputs: &[Option<O>],
+    status: &mut [NodeStatus],
+    base: usize,
+) -> Vec<u8> {
+    let mut resp = frame(RESP_EVENTS);
+    let wire_events: Vec<WireEvent<O>> = events
+        .iter()
+        .map(|event| WireEvent {
+            node: event.node,
+            halted: event.halted,
+            output: event.decided.then(|| {
+                outputs[event.node - base]
+                    .clone()
+                    .expect("decided event has an output")
+            }),
+        })
+        .collect();
+    wire_events.encode(&mut resp);
+    for event in events {
+        if event.halted {
+            status[event.node - base] = NodeStatus::Halted;
+        }
+    }
+    resp
+}
+
+/// Serves one multi-port chunk over `transport` until `Shutdown` (or EOF).
+///
+/// The chunk owns nodes `base .. base + participants.len()` of the sharded
+/// execution and runs the same three phase bodies the worker pool runs
+/// ([`Chunk`]'s `collect_sends` / `deliver` / `receive`); only the phase
+/// inputs and outputs cross the transport.
+///
+/// # Errors
+///
+/// Returns an I/O error when the transport fails mid-execution or a frame is
+/// malformed; a clean EOF before a request is treated as shutdown.
+pub fn serve_multi_port<P>(
+    participants: Vec<Participant<P>>,
+    base: usize,
+    transport: &mut dyn ShardTransport,
+) -> io::Result<()>
+where
+    P: SyncProtocol,
+    P::Msg: Wire,
+    P::Output: Wire,
+{
+    let mut chunk = Chunk::fresh(base, participants);
+    loop {
+        let request = match transport.recv() {
+            Ok(frame) => frame,
+            Err(err) if err.kind() == io::ErrorKind::UnexpectedEof => return Ok(()),
+            Err(err) => return Err(err),
+        };
+        let (tag, mut r) = open_frame(&request).map_err(wire_io)?;
+        match tag {
+            REQ_COLLECT => {
+                let round = Round::decode(&mut r).map_err(wire_io)?;
+                chunk.collect_sends(round);
+                let mut resp = frame(RESP_INTENTS);
+                chunk.send_intents.encode(&mut resp);
+                transport.send(&resp)?;
+            }
+            REQ_DELIVER => {
+                let round = Round::decode(&mut r).map_err(wire_io)?;
+                let crashed: Vec<(usize, DeliveryFilter)> = Vec::decode(&mut r).map_err(wire_io)?;
+                let mut filters = Vec::with_capacity(crashed.len());
+                for (local, filter) in crashed {
+                    chunk.status[local] = NodeStatus::Crashed(round);
+                    filters.push((base + local, filter));
+                }
+                chunk.deliver(&filters);
+                let mut resp = frame(RESP_DELIVERED);
+                chunk.msgs.encode(&mut resp);
+                chunk.bits.encode(&mut resp);
+                chunk.byz_msgs.encode(&mut resp);
+                chunk.delivered.encode(&mut resp);
+                chunk.delivered.clear();
+                transport.send(&resp)?;
+            }
+            REQ_RECEIVE => {
+                let round = Round::decode(&mut r).map_err(wire_io)?;
+                let inbound: Vec<(usize, Delivered<P::Msg>)> =
+                    Vec::decode(&mut r).map_err(wire_io)?;
+                for (local, msg) in inbound {
+                    chunk.inboxes[local].push(msg);
+                }
+                chunk.receive(round);
+                let resp = events_response(&chunk.events, &chunk.outputs, &mut chunk.status, base);
+                transport.send(&resp)?;
+            }
+            REQ_SHUTDOWN => return Ok(()),
+            other => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("unexpected shard request tag {other}"),
+                ))
+            }
+        }
+    }
+}
+
+/// Serves one single-port chunk over `transport` until `Shutdown` (or EOF).
+///
+/// The port map and its mutations (enqueue, drain, drop) live in the parent
+/// — they are shared, order-sensitive state — so the single-port worker only
+/// runs the per-node `send`/`poll` collection and the `receive` loop over
+/// parent-pre-drained port contents.
+///
+/// # Errors
+///
+/// Returns an I/O error when the transport fails mid-execution or a frame is
+/// malformed; a clean EOF before a request is treated as shutdown.
+pub fn serve_single_port<P>(
+    nodes: Vec<P>,
+    base: usize,
+    transport: &mut dyn ShardTransport,
+) -> io::Result<()>
+where
+    P: SinglePortProtocol,
+    P::Msg: Wire,
+    P::Output: Wire,
+{
+    let mut chunk = SpChunk::fresh(base, nodes);
+    loop {
+        let request = match transport.recv() {
+            Ok(frame) => frame,
+            Err(err) if err.kind() == io::ErrorKind::UnexpectedEof => return Ok(()),
+            Err(err) => return Err(err),
+        };
+        let (tag, mut r) = open_frame(&request).map_err(wire_io)?;
+        match tag {
+            REQ_COLLECT => {
+                let round = Round::decode(&mut r).map_err(wire_io)?;
+                chunk.collect_sends(round);
+                let mut resp = frame(RESP_SP_INTENTS);
+                // The parent enqueues the sends itself, so they are *moved*
+                // out of the chunk exactly as the pool's forked path takes
+                // them.
+                let sends: Vec<Option<Outgoing<P::Msg>>> =
+                    chunk.sends.iter_mut().map(Option::take).collect();
+                sends.encode(&mut resp);
+                chunk.polls.encode(&mut resp);
+                transport.send(&resp)?;
+            }
+            REQ_SP_RECEIVE => {
+                let round = Round::decode(&mut r).map_err(wire_io)?;
+                let crashed: Vec<usize> = Vec::decode(&mut r).map_err(wire_io)?;
+                let drained: Vec<Option<Vec<P::Msg>>> = Vec::decode(&mut r).map_err(wire_io)?;
+                for local in crashed {
+                    chunk.status[local] = NodeStatus::Crashed(round);
+                }
+                chunk.drained = drained;
+                chunk.receive(round);
+                let resp = events_response(&chunk.events, &chunk.outputs, &mut chunk.status, base);
+                transport.send(&resp)?;
+            }
+            REQ_SHUTDOWN => return Ok(()),
+            other => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("unexpected shard request tag {other}"),
+                ))
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parent side
+// ---------------------------------------------------------------------------
+
+/// State common to both sharded coordinators.
+struct Coordinator {
+    core: EngineCore,
+    adversary: Box<dyn CrashAdversary>,
+    transports: Vec<Box<dyn ShardTransport>>,
+    plan: ChunkPlan,
+    send_intents: Vec<Vec<NodeId>>,
+    poll_intents: Vec<Option<NodeId>>,
+    /// Keeps in-process serving threads alive for the coordinator's
+    /// lifetime; `None` for remote (process/pipe) backends.
+    _pool: Option<WorkerPool>,
+}
+
+impl Coordinator {
+    fn new(
+        n: usize,
+        adversary: Box<dyn CrashAdversary>,
+        fault_budget: usize,
+        shards: usize,
+        transports: Vec<Box<dyn ShardTransport>>,
+        pool: Option<WorkerPool>,
+    ) -> SimResult<Self> {
+        if n == 0 {
+            return Err(SimError::EmptySystem);
+        }
+        if fault_budget >= n {
+            return Err(SimError::InvalidConfig(format!(
+                "fault budget {fault_budget} must be smaller than the number of nodes {n}"
+            )));
+        }
+        // Parent and workers must agree on the partition, so both derive it
+        // from the *requested* shard count (see [`shard_count`] /
+        // [`shard_range`]), never from the transport count.
+        let plan = ChunkPlan::new(n, shards.max(1));
+        if plan.chunks != transports.len() {
+            return Err(SimError::InvalidConfig(format!(
+                "{} shard transports for a partition of {} chunks (use shard_count({n}, {shards}))",
+                transports.len(),
+                plan.chunks
+            )));
+        }
+        Ok(Coordinator {
+            core: EngineCore::new(n, fault_budget),
+            adversary,
+            transports,
+            plan,
+            send_intents: (0..n).map(|_| Vec::new()).collect(),
+            poll_intents: vec![None; n],
+            _pool: pool,
+        })
+    }
+
+    fn n(&self) -> usize {
+        self.core.n()
+    }
+
+    /// Broadcasts one already-encoded request to every shard worker.
+    fn broadcast(&mut self, frame: &[u8]) -> SimResult<()> {
+        for (ci, transport) in self.transports.iter_mut().enumerate() {
+            transport
+                .send(frame)
+                .map_err(|err| shard_err(&format!("sending to shard {ci}"), err))?;
+        }
+        Ok(())
+    }
+
+    /// Receives shard `ci`'s next response and checks its tag.
+    fn recv_expect(&mut self, ci: usize, expected: u8) -> SimResult<Vec<u8>> {
+        let response = self.transports[ci]
+            .recv()
+            .map_err(|err| shard_err(&format!("receiving from shard {ci}"), err))?;
+        let (tag, _) = open_frame(&response)
+            .map_err(|err| shard_err(&format!("decoding shard {ci} response"), err))?;
+        if tag != expected {
+            return Err(SimError::Shard(format!(
+                "shard {ci} answered with tag {tag}, expected {expected}"
+            )));
+        }
+        Ok(response)
+    }
+
+    /// Best-effort shutdown of every worker (errors ignored: a worker that
+    /// already went away has nothing left to shut down).
+    fn shutdown(&mut self) {
+        let request = frame(REQ_SHUTDOWN);
+        for transport in &mut self.transports {
+            let _ = transport.send(&request);
+        }
+    }
+}
+
+/// Bound alias for message types the shard protocol can carry.
+pub trait WireMsg: Payload + Wire {}
+impl<M: Payload + Wire> WireMsg for M {}
+
+/// Bound alias for output types the shard protocol can carry.
+pub trait WireOutput: Wire + Clone + PartialEq + std::fmt::Debug + Send + 'static {}
+impl<O: Wire + Clone + PartialEq + std::fmt::Debug + Send + 'static> WireOutput for O {}
+
+/// Coordinates one **multi-port** execution whose chunks live behind shard
+/// transports.
+///
+/// The coordinator is generic over the message and output wire types only —
+/// it never holds protocol state machines, so the worker-process backend
+/// does not pay for a redundant parent-side node construction.  Use
+/// [`ShardedRunner::in_process`] to serve the chunks on this process's own
+/// worker pool, or [`ShardedRunner::connect`] with transports to external
+/// workers (see `run_experiments --shard-worker`).
+pub struct ShardedRunner<M: WireMsg, O: WireOutput> {
+    inner: Coordinator,
+    outputs: Vec<Option<O>>,
+    byzantine: NodeSet,
+    byz_running: usize,
+    _msg: PhantomData<fn() -> M>,
+}
+
+impl<M: WireMsg, O: WireOutput> ShardedRunner<M, O> {
+    /// Connects a coordinator over `n` nodes to already-serving shard
+    /// workers (one transport per chunk of `shard_count(n, shards)`).
+    ///
+    /// `byzantine` names the Byzantine participants the workers were built
+    /// with (empty for honest-only executions) — the coordinator needs it
+    /// for message accounting and the final report.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::EmptySystem`] for zero nodes,
+    /// [`SimError::InvalidConfig`] when the fault budget or transport count
+    /// is inconsistent with `n`.
+    pub fn connect(
+        n: usize,
+        adversary: Box<dyn CrashAdversary>,
+        fault_budget: usize,
+        byzantine: NodeSet,
+        shards: usize,
+        transports: Vec<Box<dyn ShardTransport>>,
+    ) -> SimResult<Self> {
+        let byz_running = byzantine.len();
+        Ok(ShardedRunner {
+            inner: Coordinator::new(n, adversary, fault_budget, shards, transports, None)?,
+            outputs: (0..n).map(|_| None).collect(),
+            byzantine,
+            byz_running,
+            _msg: PhantomData,
+        })
+    }
+
+    /// Spawns an in-process sharded execution: the participants are split
+    /// into `shard_count(n, shards)` chunks, each served by a job on a
+    /// fresh [`WorkerPool`] behind a [`ChannelTransport`] — the same wire
+    /// protocol the worker-process backend speaks, without the processes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::EmptySystem`] if `participants` is empty, or
+    /// [`SimError::InvalidConfig`] if the budget is not smaller than the
+    /// number of nodes.
+    pub fn in_process<P>(
+        participants: Vec<Participant<P>>,
+        adversary: Box<dyn CrashAdversary>,
+        fault_budget: usize,
+        shards: usize,
+    ) -> SimResult<ShardedRunner<P::Msg, P::Output>>
+    where
+        P: SyncProtocol<Msg = M, Output = O>,
+    {
+        if participants.is_empty() {
+            return Err(SimError::EmptySystem);
+        }
+        let n = participants.len();
+        let byzantine = NodeSet::from_iter(
+            n,
+            participants
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| matches!(p, Participant::Byzantine(_)))
+                .map(|(i, _)| NodeId::new(i)),
+        );
+        let plan = ChunkPlan::new(n, shards.max(1));
+        let pool = WorkerPool::new(plan.chunks);
+        let mut transports: Vec<Box<dyn ShardTransport>> = Vec::with_capacity(plan.chunks);
+        let mut participants = participants.into_iter();
+        for ci in 0..plan.chunks {
+            let range = plan.range(ci, n);
+            let chunk_participants: Vec<Participant<P>> =
+                participants.by_ref().take(range.len()).collect();
+            let (parent_end, mut worker_end) = ChannelTransport::pair();
+            let base = range.start;
+            pool.submit(
+                ci,
+                Box::new(move || {
+                    serve_multi_port(chunk_participants, base, &mut worker_end)
+                        .expect("in-process shard worker failed");
+                }),
+            );
+            transports.push(Box::new(parent_end));
+        }
+        let byz_running = byzantine.len();
+        Ok(ShardedRunner {
+            inner: Coordinator::new(n, adversary, fault_budget, shards, transports, Some(pool))?,
+            outputs: (0..n).map(|_| None).collect(),
+            byzantine,
+            byz_running,
+            _msg: PhantomData,
+        })
+    }
+
+    /// Enables coarse-grained event tracing (decisions, halts, crashes) in
+    /// the coordinator.
+    pub fn enable_trace(&mut self) -> &mut Self {
+        self.inner.core.trace = Trace::enabled();
+        self
+    }
+
+    /// The recorded trace.
+    pub fn trace(&self) -> &Trace {
+        &self.inner.core.trace
+    }
+
+    /// Whether every node that has not crashed has halted voluntarily.
+    pub fn all_non_faulty_halted(&self) -> bool {
+        self.inner.core.running_nodes() == self.byz_running
+    }
+
+    /// Runs the sharded execution until every non-faulty node has halted or
+    /// `max_rounds` rounds have been executed, shuts the workers down, and
+    /// returns the execution report.
+    ///
+    /// Single-shot: the workers are gone afterwards.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Shard`] when a worker dies or answers with a
+    /// malformed frame mid-execution.
+    pub fn run(&mut self, max_rounds: u64) -> SimResult<ExecutionReport<O>> {
+        let mut termination = Termination::RoundLimit;
+        for _ in 0..max_rounds {
+            self.step()?;
+            if self.all_non_faulty_halted() {
+                termination = Termination::AllHalted;
+                break;
+            }
+        }
+        self.inner.shutdown();
+        Ok(ExecutionReport {
+            outputs: self.outputs.clone(),
+            crashed_at: self.inner.core.crashed_at.clone(),
+            halted_at: self.inner.core.halted_at.clone(),
+            byzantine: self.byzantine.clone(),
+            metrics: self.inner.core.metrics.clone(),
+            termination,
+        })
+    }
+
+    /// One sharded multi-port round: the transcription of the pool engine's
+    /// forked `step` with the three phase dispatches replaced by frames.
+    fn step(&mut self) -> SimResult<()> {
+        let n = self.inner.n();
+        let plan = self.inner.plan;
+        let round = self.inner.core.round;
+
+        // Phase 1: collect sends on the workers; merge intents flat.
+        let mut request = frame(REQ_COLLECT);
+        round.encode(&mut request);
+        self.inner.broadcast(&request)?;
+        for ci in 0..self.inner.transports.len() {
+            let response = self.inner.recv_expect(ci, RESP_INTENTS)?;
+            let (_, mut r) = open_frame(&response).expect("tag already checked");
+            let intents: Vec<Vec<NodeId>> = Vec::decode(&mut r)
+                .map_err(|err| shard_err(&format!("shard {ci} intents"), err))?;
+            let range = plan.range(ci, n);
+            if intents.len() != range.len() {
+                return Err(SimError::Shard(format!(
+                    "shard {ci} reported {} intent lists for {} nodes",
+                    intents.len(),
+                    range.len()
+                )));
+            }
+            for (i, list) in intents.into_iter().enumerate() {
+                self.inner.send_intents[range.start + i] = list;
+            }
+        }
+
+        // Phase 2 (parent only): the crash adversary sees the whole round.
+        self.inner.core.apply_crash_phase(
+            &mut *self.inner.adversary,
+            &self.inner.send_intents,
+            &self.inner.poll_intents,
+        );
+        let mut crashed_by_chunk: Vec<Vec<(usize, DeliveryFilter)>> =
+            (0..self.inner.transports.len())
+                .map(|_| Vec::new())
+                .collect();
+        for &idx in self.inner.core.crashed_this_round() {
+            if self.byzantine.contains(NodeId::new(idx)) {
+                self.byz_running -= 1;
+            }
+            let ci = plan.chunk_of(idx);
+            let filter = self
+                .inner
+                .core
+                .filter(idx)
+                .cloned()
+                .unwrap_or(DeliveryFilter::All);
+            crashed_by_chunk[ci].push((idx - plan.range(ci, n).start, filter));
+        }
+
+        // Phase 3: workers deliver; merge metric deltas and route surviving
+        // messages in ascending chunk (= sender) order.
+        for (ci, crashed) in crashed_by_chunk.into_iter().enumerate() {
+            let mut request = frame(REQ_DELIVER);
+            round.encode(&mut request);
+            crashed.encode(&mut request);
+            self.inner.transports[ci]
+                .send(&request)
+                .map_err(|err| shard_err(&format!("sending to shard {ci}"), err))?;
+        }
+        let mut inbound_by_chunk: Vec<Vec<(usize, Delivered<M>)>> =
+            (0..self.inner.transports.len())
+                .map(|_| Vec::new())
+                .collect();
+        for ci in 0..self.inner.transports.len() {
+            let response = self.inner.recv_expect(ci, RESP_DELIVERED)?;
+            let (_, mut r) = open_frame(&response).expect("tag already checked");
+            let context = |err| shard_err(&format!("shard {ci} delivery"), err);
+            let msgs = u64::decode(&mut r).map_err(context)?;
+            let bits = u64::decode(&mut r).map_err(context)?;
+            let byz_msgs = u64::decode(&mut r).map_err(context)?;
+            let delivered: Vec<(usize, Delivered<M>)> = Vec::decode(&mut r).map_err(context)?;
+            self.inner
+                .core
+                .metrics
+                .record_messages(round.as_u64(), msgs, bits);
+            self.inner.core.metrics.byzantine_messages += byz_msgs;
+            for (dest, msg) in delivered {
+                if dest < n && self.inner.core.status[dest].is_running() {
+                    let dest_chunk = plan.chunk_of(dest);
+                    let local = dest - plan.range(dest_chunk, n).start;
+                    inbound_by_chunk[dest_chunk].push((local, msg));
+                }
+            }
+        }
+
+        // Phase 4: workers receive; replay decision/halt events in chunk
+        // order so traces and statuses update exactly as in a serial run.
+        for (ci, inbound) in inbound_by_chunk.into_iter().enumerate() {
+            let mut request = frame(REQ_RECEIVE);
+            round.encode(&mut request);
+            inbound.encode(&mut request);
+            self.inner.transports[ci]
+                .send(&request)
+                .map_err(|err| shard_err(&format!("sending to shard {ci}"), err))?;
+        }
+        for ci in 0..self.inner.transports.len() {
+            let response = self.inner.recv_expect(ci, RESP_EVENTS)?;
+            let (_, mut r) = open_frame(&response).expect("tag already checked");
+            let events: Vec<WireEvent<O>> =
+                Vec::decode(&mut r).map_err(|err| shard_err(&format!("shard {ci} events"), err))?;
+            for event in events {
+                if event.node >= n {
+                    return Err(SimError::Shard(format!(
+                        "shard {ci} reported an event for node {} of {n}",
+                        event.node
+                    )));
+                }
+                if let Some(output) = event.output {
+                    self.inner.core.record_decision(event.node, &output);
+                    self.outputs[event.node] = Some(output);
+                }
+                if event.halted {
+                    self.inner.core.mark_halted(event.node);
+                }
+            }
+        }
+        self.inner.core.finish_round();
+        Ok(())
+    }
+}
+
+impl<M: WireMsg, O: WireOutput> std::fmt::Debug for ShardedRunner<M, O> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedRunner")
+            .field("n", &self.inner.n())
+            .field("round", &self.inner.core.round)
+            .field("shards", &self.inner.transports.len())
+            .finish_non_exhaustive()
+    }
+}
+
+/// Coordinates one **single-port** execution whose chunks live behind shard
+/// transports.
+///
+/// The sparse port map and every mutation of it (enqueue in sender order,
+/// pre-drain in poller order, crash/halt-time drops) stay in the parent —
+/// exactly the split the pool's forked path uses.
+pub struct SpShardedRunner<M: WireMsg, O: WireOutput> {
+    inner: Coordinator,
+    outputs: Vec<Option<O>>,
+    ports: PortMap<M>,
+    sends: Vec<Option<Outgoing<M>>>,
+}
+
+impl<M: WireMsg, O: WireOutput> SpShardedRunner<M, O> {
+    /// Connects a coordinator over `n` nodes to already-serving single-port
+    /// shard workers (one transport per chunk of `shard_count(n, shards)`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::EmptySystem`] for zero nodes,
+    /// [`SimError::InvalidConfig`] when the fault budget or transport count
+    /// is inconsistent with `n`.
+    pub fn connect(
+        n: usize,
+        adversary: Box<dyn CrashAdversary>,
+        fault_budget: usize,
+        shards: usize,
+        transports: Vec<Box<dyn ShardTransport>>,
+    ) -> SimResult<Self> {
+        Ok(SpShardedRunner {
+            inner: Coordinator::new(n, adversary, fault_budget, shards, transports, None)?,
+            outputs: (0..n).map(|_| None).collect(),
+            ports: PortMap::new(),
+            sends: (0..n).map(|_| None).collect(),
+        })
+    }
+
+    /// Spawns an in-process sharded single-port execution (see
+    /// [`ShardedRunner::in_process`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::EmptySystem`] if `nodes` is empty, or
+    /// [`SimError::InvalidConfig`] if the budget is not smaller than the
+    /// number of nodes.
+    pub fn in_process<P>(
+        nodes: Vec<P>,
+        adversary: Box<dyn CrashAdversary>,
+        fault_budget: usize,
+        shards: usize,
+    ) -> SimResult<SpShardedRunner<P::Msg, P::Output>>
+    where
+        P: SinglePortProtocol<Msg = M, Output = O>,
+    {
+        if nodes.is_empty() {
+            return Err(SimError::EmptySystem);
+        }
+        let n = nodes.len();
+        let plan = ChunkPlan::new(n, shards.max(1));
+        let pool = WorkerPool::new(plan.chunks);
+        let mut transports: Vec<Box<dyn ShardTransport>> = Vec::with_capacity(plan.chunks);
+        let mut nodes = nodes.into_iter();
+        for ci in 0..plan.chunks {
+            let range = plan.range(ci, n);
+            let chunk_nodes: Vec<P> = nodes.by_ref().take(range.len()).collect();
+            let (parent_end, mut worker_end) = ChannelTransport::pair();
+            let base = range.start;
+            pool.submit(
+                ci,
+                Box::new(move || {
+                    serve_single_port(chunk_nodes, base, &mut worker_end)
+                        .expect("in-process shard worker failed");
+                }),
+            );
+            transports.push(Box::new(parent_end));
+        }
+        Ok(SpShardedRunner {
+            inner: Coordinator::new(n, adversary, fault_budget, shards, transports, Some(pool))?,
+            outputs: (0..n).map(|_| None).collect(),
+            ports: PortMap::new(),
+            sends: (0..n).map(|_| None).collect(),
+        })
+    }
+
+    /// Enables coarse-grained event tracing in the coordinator.
+    pub fn enable_trace(&mut self) -> &mut Self {
+        self.inner.core.trace = Trace::enabled();
+        self
+    }
+
+    /// The recorded trace.
+    pub fn trace(&self) -> &Trace {
+        &self.inner.core.trace
+    }
+
+    /// Total sent-but-not-yet-polled messages currently buffered on ports.
+    pub fn buffered_messages(&self) -> usize {
+        self.ports.buffered_messages()
+    }
+
+    /// Number of ports currently buffering at least one message.
+    pub fn ports_in_use(&self) -> usize {
+        self.ports.ports_in_use()
+    }
+
+    /// Whether every node that has not crashed has halted voluntarily.
+    pub fn all_non_faulty_halted(&self) -> bool {
+        self.inner.core.running_nodes() == 0
+    }
+
+    /// Runs the sharded execution until every non-faulty node has halted or
+    /// `max_rounds` rounds have been executed, shuts the workers down, and
+    /// returns the execution report.  Single-shot.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Shard`] when a worker dies or answers with a
+    /// malformed frame mid-execution.
+    pub fn run(&mut self, max_rounds: u64) -> SimResult<ExecutionReport<O>> {
+        let mut termination = Termination::RoundLimit;
+        for _ in 0..max_rounds {
+            self.step()?;
+            if self.all_non_faulty_halted() {
+                termination = Termination::AllHalted;
+                break;
+            }
+        }
+        self.inner.shutdown();
+        Ok(ExecutionReport {
+            outputs: self.outputs.clone(),
+            crashed_at: self.inner.core.crashed_at.clone(),
+            halted_at: self.inner.core.halted_at.clone(),
+            byzantine: NodeSet::empty(self.inner.n()),
+            metrics: self.inner.core.metrics.clone(),
+            termination,
+        })
+    }
+
+    /// One sharded single-port round: the transcription of the pool
+    /// engine's forked `step` with the two phase dispatches replaced by
+    /// frames.
+    fn step(&mut self) -> SimResult<()> {
+        let n = self.inner.n();
+        let plan = self.inner.plan;
+        let round = self.inner.core.round;
+
+        // Phase 1: collect each node's single send and poll intent.
+        let mut request = frame(REQ_COLLECT);
+        round.encode(&mut request);
+        self.inner.broadcast(&request)?;
+        for ci in 0..self.inner.transports.len() {
+            let response = self.inner.recv_expect(ci, RESP_SP_INTENTS)?;
+            let (_, mut r) = open_frame(&response).expect("tag already checked");
+            let context = |err| shard_err(&format!("shard {ci} intents"), err);
+            let sends: Vec<Option<Outgoing<M>>> = Vec::decode(&mut r).map_err(context)?;
+            let polls: Vec<Option<NodeId>> = Vec::decode(&mut r).map_err(context)?;
+            let range = plan.range(ci, n);
+            if sends.len() != range.len() || polls.len() != range.len() {
+                return Err(SimError::Shard(format!(
+                    "shard {ci} reported {}/{} send/poll slots for {} nodes",
+                    sends.len(),
+                    polls.len(),
+                    range.len()
+                )));
+            }
+            for (i, (send, poll)) in sends.into_iter().zip(polls).enumerate() {
+                let global = range.start + i;
+                self.inner.send_intents[global].clear();
+                self.inner.send_intents[global].extend(send.iter().map(|o| o.to));
+                self.sends[global] = send;
+                self.inner.poll_intents[global] = poll;
+            }
+        }
+
+        // Phase 2 (parent only): crash adversary; crashed destinations'
+        // buffered ports are freed, exactly as in the serial engine.
+        self.inner.core.apply_crash_phase(
+            &mut *self.inner.adversary,
+            &self.inner.send_intents,
+            &self.inner.poll_intents,
+        );
+        let mut crashed_by_chunk: Vec<Vec<usize>> = (0..self.inner.transports.len())
+            .map(|_| Vec::new())
+            .collect();
+        for &victim in self.inner.core.crashed_this_round() {
+            self.ports.drop_destination(victim);
+            let ci = plan.chunk_of(victim);
+            crashed_by_chunk[ci].push(victim - plan.range(ci, n).start);
+        }
+
+        // Phase 3 (parent only): enqueue onto destination ports in sender
+        // order, applying mid-round crash filters and counting every send.
+        for sender_idx in 0..n {
+            let Some(out) = self.sends[sender_idx].take() else {
+                continue;
+            };
+            if let Some(filter) = self.inner.core.filter(sender_idx) {
+                if !filter.allows(0, out.to) {
+                    continue;
+                }
+            }
+            self.inner
+                .core
+                .metrics
+                .record_message(round.as_u64(), out.msg.bit_len());
+            let dest = out.to.index();
+            if dest < n && self.inner.core.status[dest].is_running() {
+                self.ports.push(dest, sender_idx, out.msg);
+            }
+        }
+
+        // Pre-drain polled ports in node-index order, then hand each chunk
+        // its drained contents together with this round's crash mirror.
+        for (ci, crashed) in crashed_by_chunk.into_iter().enumerate() {
+            let range = plan.range(ci, n);
+            let drained: Vec<Option<Vec<M>>> = range
+                .clone()
+                .map(|global| {
+                    if self.inner.core.status[global].is_running() {
+                        self.inner.poll_intents[global]
+                            .map(|port| self.ports.drain(global, port.index()))
+                    } else {
+                        None
+                    }
+                })
+                .collect();
+            let mut request = frame(REQ_SP_RECEIVE);
+            round.encode(&mut request);
+            crashed.encode(&mut request);
+            drained.encode(&mut request);
+            self.inner.transports[ci]
+                .send(&request)
+                .map_err(|err| shard_err(&format!("sending to shard {ci}"), err))?;
+        }
+
+        // Phase 4: replay decision/halt events in chunk order; halted
+        // nodes' buffered ports are freed.
+        for ci in 0..self.inner.transports.len() {
+            let response = self.inner.recv_expect(ci, RESP_EVENTS)?;
+            let (_, mut r) = open_frame(&response).expect("tag already checked");
+            let events: Vec<WireEvent<O>> =
+                Vec::decode(&mut r).map_err(|err| shard_err(&format!("shard {ci} events"), err))?;
+            for event in events {
+                if event.node >= n {
+                    return Err(SimError::Shard(format!(
+                        "shard {ci} reported an event for node {} of {n}",
+                        event.node
+                    )));
+                }
+                if let Some(output) = event.output {
+                    self.inner.core.record_decision(event.node, &output);
+                    self.outputs[event.node] = Some(output);
+                }
+                if event.halted {
+                    self.inner.core.mark_halted(event.node);
+                    self.ports.drop_destination(event.node);
+                }
+            }
+        }
+        self.inner.core.finish_round();
+        Ok(())
+    }
+}
+
+impl<M: WireMsg, O: WireOutput> std::fmt::Debug for SpShardedRunner<M, O> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SpShardedRunner")
+            .field("n", &self.inner.n())
+            .field("round", &self.inner.core.round)
+            .field("shards", &self.inner.transports.len())
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,418 @@
+//! Shard-layer tests: the sharded coordinators must be byte-identical to
+//! the serial runners, over both transport backends.
+
+use std::io::{self, Read, Write};
+use std::sync::mpsc::{Receiver, Sender};
+
+use super::*;
+use crate::adversary::byzantine::FloodByzantine;
+use crate::adversary::{CrashDirective, FixedCrashSchedule, NoFaults};
+use crate::runner::Runner;
+use crate::single_port::SinglePortRunner;
+
+/// Every node floods the OR of everything seen; decides after 3 receives.
+struct FloodOr {
+    n: usize,
+    value: bool,
+    rounds: u64,
+    decided: Option<bool>,
+}
+
+impl FloodOr {
+    fn nodes(n: usize, one_at: usize) -> Vec<FloodOr> {
+        (0..n)
+            .map(|i| FloodOr {
+                n,
+                value: i == one_at,
+                rounds: 0,
+                decided: None,
+            })
+            .collect()
+    }
+}
+
+impl SyncProtocol for FloodOr {
+    type Msg = bool;
+    type Output = bool;
+
+    fn send(&mut self, _round: Round) -> Vec<Outgoing<bool>> {
+        (0..self.n)
+            .map(|i| Outgoing::new(NodeId::new(i), self.value))
+            .collect()
+    }
+
+    fn receive(&mut self, _round: Round, inbox: &[Delivered<bool>]) {
+        for m in inbox {
+            self.value |= m.msg;
+        }
+        self.rounds += 1;
+        if self.rounds >= 3 {
+            self.decided = Some(self.value);
+        }
+    }
+
+    fn output(&self) -> Option<bool> {
+        self.decided
+    }
+
+    fn has_halted(&self) -> bool {
+        self.decided.is_some()
+    }
+}
+
+/// Ring for the single-port model: node `i` sends its OR to `i + 1`, polls
+/// `i − 1`, decides after `2n` receives.
+struct Ring {
+    me: usize,
+    n: usize,
+    value: bool,
+    rounds: u64,
+    decided: Option<bool>,
+}
+
+impl Ring {
+    fn nodes(n: usize, one_at: usize) -> Vec<Ring> {
+        (0..n)
+            .map(|me| Ring {
+                me,
+                n,
+                value: me == one_at,
+                rounds: 0,
+                decided: None,
+            })
+            .collect()
+    }
+}
+
+impl SinglePortProtocol for Ring {
+    type Msg = bool;
+    type Output = bool;
+
+    fn send(&mut self, _round: Round) -> Option<Outgoing<bool>> {
+        Some(Outgoing::new(
+            NodeId::new((self.me + 1) % self.n),
+            self.value,
+        ))
+    }
+
+    fn poll(&mut self, _round: Round) -> Option<NodeId> {
+        Some(NodeId::new((self.me + self.n - 1) % self.n))
+    }
+
+    fn receive(&mut self, _round: Round, _from: NodeId, msgs: Vec<bool>) {
+        for m in msgs {
+            self.value |= m;
+        }
+        self.rounds += 1;
+        if self.rounds >= 2 * self.n as u64 {
+            self.decided = Some(self.value);
+        }
+    }
+
+    fn output(&self) -> Option<bool> {
+        self.decided
+    }
+
+    fn has_halted(&self) -> bool {
+        self.decided.is_some()
+    }
+}
+
+fn crash_schedule(n: usize) -> FixedCrashSchedule {
+    FixedCrashSchedule::new()
+        .crash_at(0, CrashDirective::silent(NodeId::new(1)))
+        .crash_at(
+            1,
+            CrashDirective {
+                node: NodeId::new(n / 2),
+                deliver: DeliveryFilter::Prefix(3),
+            },
+        )
+        .crash_at(2, CrashDirective::after_send(NodeId::new(n - 1)))
+}
+
+#[test]
+fn shard_partition_helpers_tile_the_node_range() {
+    for n in [1usize, 2, 9, 64, 100] {
+        for shards in [1usize, 2, 3, 8] {
+            let count = shard_count(n, shards);
+            assert!(count >= 1 && count <= shards.max(1));
+            let mut covered = 0;
+            for index in 0..count {
+                let range = shard_range(n, shards, index);
+                assert_eq!(range.start, covered, "contiguous n={n} shards={shards}");
+                assert!(!range.is_empty());
+                covered = range.end;
+            }
+            assert_eq!(covered, n);
+        }
+    }
+}
+
+#[test]
+fn multi_port_sharded_transcript_matches_serial() {
+    let n = 24;
+    let serial = {
+        let mut runner =
+            Runner::with_adversary(FloodOr::nodes(n, 3), Box::new(crash_schedule(n)), 3).unwrap();
+        runner.enable_trace();
+        let report = runner.run(10);
+        (report, runner.trace().events().to_vec())
+    };
+    for shards in [1usize, 2, 3, 5] {
+        let participants = FloodOr::nodes(n, 3)
+            .into_iter()
+            .map(Participant::Honest)
+            .collect();
+        let mut sharded = ShardedRunner::<bool, bool>::in_process(
+            participants,
+            Box::new(crash_schedule(n)),
+            3,
+            shards,
+        )
+        .unwrap();
+        sharded.enable_trace();
+        let report = sharded.run(10).expect("sharded run");
+        assert_eq!(serial.0, report, "report with shards={shards}");
+        assert_eq!(
+            serial.1,
+            sharded.trace().events().to_vec(),
+            "trace with shards={shards}"
+        );
+    }
+    assert_eq!(serial.0.metrics.crashes, 3);
+    assert!(serial.0.all_non_faulty_decided());
+}
+
+#[test]
+fn multi_port_sharded_matches_serial_with_byzantine_nodes() {
+    let n = 12;
+    let build = || {
+        let mut participants: Vec<Participant<FloodOr>> = FloodOr::nodes(n, 1)
+            .into_iter()
+            .skip(1)
+            .map(Participant::Honest)
+            .collect();
+        participants.insert(
+            0,
+            Participant::Byzantine(Box::new(FloodByzantine::<bool>::new(n))),
+        );
+        participants
+    };
+    let serial = {
+        let mut runner = Runner::with_participants(build(), Box::new(NoFaults), 0).unwrap();
+        runner.run(10)
+    };
+    let mut sharded =
+        ShardedRunner::<bool, bool>::in_process(build(), Box::new(NoFaults), 0, 3).unwrap();
+    let report = sharded.run(10).expect("sharded run");
+    assert_eq!(serial, report);
+    assert!(report.byzantine.contains(NodeId::new(0)));
+    assert!(report.metrics.byzantine_messages > 0);
+}
+
+#[test]
+fn single_port_sharded_transcript_matches_serial() {
+    let n = 16;
+    let serial = {
+        let mut runner =
+            SinglePortRunner::with_adversary(Ring::nodes(n, 0), Box::new(crash_schedule(n)), 3)
+                .unwrap();
+        runner.enable_trace();
+        let report = runner.run(3 * n as u64);
+        (
+            report,
+            runner.trace().events().to_vec(),
+            runner.buffered_messages(),
+            runner.ports_in_use(),
+        )
+    };
+    for shards in [2usize, 4] {
+        let mut sharded = SpShardedRunner::<bool, bool>::in_process(
+            Ring::nodes(n, 0),
+            Box::new(crash_schedule(n)),
+            3,
+            shards,
+        )
+        .unwrap();
+        sharded.enable_trace();
+        let report = sharded.run(3 * n as u64).expect("sharded run");
+        assert_eq!(serial.0, report, "report with shards={shards}");
+        assert_eq!(
+            serial.1,
+            sharded.trace().events().to_vec(),
+            "trace with shards={shards}"
+        );
+        assert_eq!(
+            serial.2,
+            sharded.buffered_messages(),
+            "buffered with shards={shards}"
+        );
+        assert_eq!(
+            serial.3,
+            sharded.ports_in_use(),
+            "ports with shards={shards}"
+        );
+    }
+    assert_eq!(serial.0.metrics.crashes, 3);
+}
+
+#[test]
+fn coordinator_rejects_mismatched_transport_count() {
+    let (a, _b) = ChannelTransport::pair();
+    let err = ShardedRunner::<bool, bool>::connect(
+        10,
+        Box::new(NoFaults),
+        0,
+        NodeSet::empty(10),
+        2,
+        vec![Box::new(a)],
+    )
+    .unwrap_err();
+    assert!(matches!(err, SimError::InvalidConfig(_)), "{err}");
+}
+
+#[test]
+fn coordinator_rejects_empty_and_overbudget_systems() {
+    assert!(matches!(
+        ShardedRunner::<bool, bool>::connect(
+            0,
+            Box::new(NoFaults),
+            0,
+            NodeSet::empty(0),
+            1,
+            Vec::new()
+        ),
+        Err(SimError::EmptySystem)
+    ));
+    let (a, _b) = ChannelTransport::pair();
+    assert!(matches!(
+        SpShardedRunner::<bool, bool>::connect(3, Box::new(NoFaults), 3, 1, vec![Box::new(a)]),
+        Err(SimError::InvalidConfig(_))
+    ));
+}
+
+#[test]
+fn dead_worker_surfaces_as_shard_error_not_a_hang() {
+    let (parent, worker) = ChannelTransport::pair();
+    drop(worker); // the "worker process" died before round 0
+    let mut sharded = ShardedRunner::<bool, bool>::connect(
+        4,
+        Box::new(NoFaults),
+        0,
+        NodeSet::empty(4),
+        1,
+        vec![Box::new(parent)],
+    )
+    .unwrap();
+    let err = sharded.run(5).unwrap_err();
+    assert!(matches!(err, SimError::Shard(_)), "{err}");
+}
+
+/// A `Read`/`Write` pair over byte channels, so the stream transport can be
+/// exercised end-to-end without OS pipes.
+struct ChannelStream {
+    tx: Sender<Vec<u8>>,
+    rx: Receiver<Vec<u8>>,
+    pending: Vec<u8>,
+}
+
+impl ChannelStream {
+    fn pair() -> (ChannelStream, ChannelStream) {
+        let (a_tx, b_rx) = std::sync::mpsc::channel();
+        let (b_tx, a_rx) = std::sync::mpsc::channel();
+        (
+            ChannelStream {
+                tx: a_tx,
+                rx: a_rx,
+                pending: Vec::new(),
+            },
+            ChannelStream {
+                tx: b_tx,
+                rx: b_rx,
+                pending: Vec::new(),
+            },
+        )
+    }
+}
+
+impl Read for ChannelStream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        if self.pending.is_empty() {
+            match self.rx.recv() {
+                Ok(bytes) => self.pending = bytes,
+                Err(_) => return Ok(0), // EOF
+            }
+        }
+        let len = buf.len().min(self.pending.len());
+        buf[..len].copy_from_slice(&self.pending[..len]);
+        self.pending.drain(..len);
+        Ok(len)
+    }
+}
+
+impl Write for ChannelStream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.tx
+            .send(buf.to_vec())
+            .map_err(|_| io::Error::new(io::ErrorKind::BrokenPipe, "peer gone"))?;
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// End-to-end over the *stream* backend: a worker thread serving its chunk
+/// through length-prefixed frames (the same path `--shard-worker` pipes
+/// use) produces a transcript identical to the serial runner.
+#[test]
+fn stream_backend_matches_serial() {
+    let n = 10;
+    let shards = 2;
+    let serial = {
+        let mut runner =
+            Runner::with_adversary(FloodOr::nodes(n, 2), Box::new(crash_schedule(n)), 3).unwrap();
+        runner.run(10)
+    };
+
+    let mut transports: Vec<Box<dyn ShardTransport>> = Vec::new();
+    let mut handles = Vec::new();
+    let mut all_nodes = FloodOr::nodes(n, 2).into_iter();
+    for index in 0..shard_count(n, shards) {
+        let range = shard_range(n, shards, index);
+        let chunk: Vec<Participant<FloodOr>> = all_nodes
+            .by_ref()
+            .take(range.len())
+            .map(Participant::Honest)
+            .collect();
+        // One simplex stream per direction: the parent writes into the
+        // first pair, the worker into the second.
+        let (parent_to_worker_w, parent_to_worker_r) = ChannelStream::pair();
+        let (worker_to_parent_w, worker_to_parent_r) = ChannelStream::pair();
+        let base = range.start;
+        handles.push(std::thread::spawn(move || {
+            let mut transport = StreamTransport::new(parent_to_worker_r, worker_to_parent_w);
+            serve_multi_port(chunk, base, &mut transport).expect("stream worker");
+        }));
+        transports.push(Box::new(StreamTransport::new(
+            worker_to_parent_r,
+            parent_to_worker_w,
+        )));
+    }
+    let mut sharded = ShardedRunner::<bool, bool>::connect(
+        n,
+        Box::new(crash_schedule(n)),
+        3,
+        NodeSet::empty(n),
+        shards,
+        transports,
+    )
+    .unwrap();
+    let report = sharded.run(10).expect("sharded run");
+    assert_eq!(serial, report);
+    for handle in handles {
+        handle.join().expect("worker thread");
+    }
+}

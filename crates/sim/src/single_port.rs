@@ -115,28 +115,44 @@ pub struct SinglePortRunner<P: SinglePortProtocol> {
 /// One worker's owned slice of the single-port runner state while the pool
 /// is engaged (nodes `base .. base + nodes.len()`).  Scratch (the per-node
 /// option slots and the event list) persists across rounds with the chunk.
-struct SpChunk<P: SinglePortProtocol> {
+pub(crate) struct SpChunk<P: SinglePortProtocol> {
     /// Global index of the first node in this chunk.
-    base: usize,
-    nodes: Vec<P>,
+    pub(crate) base: usize,
+    pub(crate) nodes: Vec<P>,
     /// Chunk-local mirror of `EngineCore::status[base..]`.
-    status: Vec<NodeStatus>,
+    pub(crate) status: Vec<NodeStatus>,
     /// Per-node single send for the current round.
-    sends: Vec<Option<Outgoing<P::Msg>>>,
+    pub(crate) sends: Vec<Option<Outgoing<P::Msg>>>,
     /// Per-node poll intent for the current round.
-    polls: Vec<Option<NodeId>>,
+    pub(crate) polls: Vec<Option<NodeId>>,
     /// Per-node pre-drained poll results (`Some` only for running nodes
     /// that polled this round; filled serially by the main thread).
-    drained: Vec<Option<Vec<P::Msg>>>,
-    outputs: Vec<Option<P::Output>>,
+    pub(crate) drained: Vec<Option<Vec<P::Msg>>>,
+    pub(crate) outputs: Vec<Option<P::Output>>,
     /// Receive scratch: decision/halt events for the main thread's replay.
-    events: Vec<NodeEvent>,
+    pub(crate) events: Vec<NodeEvent>,
 }
 
 impl<P: SinglePortProtocol> SpChunk<P> {
+    /// A fresh chunk at the start of an execution (every node `Running`,
+    /// all scratch empty) — how a shard worker starts before round 0.
+    pub(crate) fn fresh(base: usize, nodes: Vec<P>) -> Self {
+        let len = nodes.len();
+        SpChunk {
+            base,
+            nodes,
+            status: vec![NodeStatus::Running; len],
+            sends: (0..len).map(|_| None).collect(),
+            polls: vec![None; len],
+            drained: (0..len).map(|_| None).collect(),
+            outputs: (0..len).map(|_| None).collect(),
+            events: Vec::new(),
+        }
+    }
+
     /// Phase 1: collect each running node's single send and poll intent —
     /// the chunked transcription of the serial collect loop.
-    fn collect_sends(&mut self, round: crate::round::Round) {
+    pub(crate) fn collect_sends(&mut self, round: crate::round::Round) {
         for (i, node) in self.nodes.iter_mut().enumerate() {
             if self.status[i].is_running() {
                 self.sends[i] = node.send(round);
@@ -150,7 +166,7 @@ impl<P: SinglePortProtocol> SpChunk<P> {
 
     /// Phase 4, worker side: deliver pre-drained polls and advance outputs,
     /// recording decision/halt events for the main thread's in-order replay.
-    fn receive(&mut self, round: crate::round::Round) {
+    pub(crate) fn receive(&mut self, round: crate::round::Round) {
         self.events.clear();
         for (i, node) in self.nodes.iter_mut().enumerate() {
             if !self.status[i].is_running() {
