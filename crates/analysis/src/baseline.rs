@@ -1,0 +1,349 @@
+//! The committed findings baseline (`ANALYSIS_baseline.json`).
+//!
+//! `dft-analyze` fails CI only on *new* findings: every intentional
+//! exception (an `expect` whose invariant is real, float threshold math,
+//! bounds-proved indexing) lives in the baseline with a one-line
+//! justification.  Entries are keyed by `(file, rule, snippet)` — the
+//! whitespace-normalised source line, not a line *number* — so unrelated
+//! edits above a finding do not invalidate it.  Noisy per-expression rules
+//! (`index-slicing`, `float-protocol`) use one *bucket* entry per file
+//! (`"snippet": "*"`) holding a count: the ratchet direction still holds
+//! (new sites push the count over the allowance and fail CI) without a
+//! thousand-line baseline.
+//!
+//! `dft-analyze --update-baseline` regenerates the file, carrying existing
+//! justifications over and stamping `TODO: justify` on new entries so
+//! review can find them.
+
+use std::collections::BTreeMap;
+
+use crate::findings::Finding;
+use crate::json::{self, escape, Json};
+
+/// The bucket wildcard snippet.
+pub const BUCKET: &str = "*";
+
+/// Rules whose baseline entries are per-file count buckets rather than
+/// per-snippet lines (too many individually-harmless sites to enumerate).
+pub const BUCKET_RULES: &[&str] = &["index-slicing", "float-protocol"];
+
+/// One allowance: up to `count` findings of `rule` in `file` matching
+/// `snippet` (or any snippet, for [`BUCKET`] entries) are intentional.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Entry {
+    /// Root-relative file the allowance applies to.
+    pub file: String,
+    /// Rule identifier.
+    pub rule: String,
+    /// Normalised source line, or [`BUCKET`] for a per-file count bucket.
+    pub snippet: String,
+    /// How many matching findings are allowed.
+    pub count: usize,
+    /// One-line justification (reviewed; `TODO: justify` marks fresh ones).
+    pub why: String,
+}
+
+/// The parsed baseline.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Baseline {
+    /// All allowances, in file order.
+    pub entries: Vec<Entry>,
+}
+
+/// The result of matching current findings against a baseline.
+#[derive(Debug, Default)]
+pub struct Diff<'a> {
+    /// Findings with no remaining allowance — these fail `--ci`.
+    pub new: Vec<&'a Finding>,
+    /// Entries whose allowance exceeds the current findings (code was
+    /// fixed or deleted): `(entry, matched_count)`.  Reported as warnings
+    /// so the baseline gets re-tightened, but never a CI failure.
+    pub stale: Vec<(&'a Entry, usize)>,
+}
+
+impl Baseline {
+    /// Parses the JSON baseline format.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed construct or missing
+    /// field.
+    pub fn parse(text: &str) -> Result<Baseline, String> {
+        let doc = json::parse(text)?;
+        let entries_json = doc
+            .get("entries")
+            .and_then(Json::as_arr)
+            .ok_or("baseline has no \"entries\" array")?;
+        let mut entries = Vec::with_capacity(entries_json.len());
+        for (i, entry) in entries_json.iter().enumerate() {
+            let field = |key: &str| -> Result<String, String> {
+                entry
+                    .get(key)
+                    .and_then(Json::as_str)
+                    .map(str::to_string)
+                    .ok_or(format!("entry {i}: missing string field {key:?}"))
+            };
+            entries.push(Entry {
+                file: field("file")?,
+                rule: field("rule")?,
+                snippet: field("snippet")?,
+                count: entry
+                    .get("count")
+                    .and_then(Json::as_usize)
+                    .ok_or(format!("entry {i}: missing integer field \"count\""))?,
+                why: field("why")?,
+            });
+        }
+        Ok(Baseline { entries })
+    }
+
+    /// Renders the baseline, sorted by `(file, rule, snippet)` so updates
+    /// diff cleanly.
+    pub fn to_json(&self) -> String {
+        let mut sorted: Vec<&Entry> = self.entries.iter().collect();
+        sorted.sort_by(|a, b| (&a.file, &a.rule, &a.snippet).cmp(&(&b.file, &b.rule, &b.snippet)));
+        let mut out = String::from("{\n  \"schema\": 1,\n  \"entries\": [\n");
+        for (i, e) in sorted.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{ \"file\": \"{}\", \"rule\": \"{}\", \"count\": {}, \"snippet\": \"{}\",\n      \"why\": \"{}\" }}{}\n",
+                escape(&e.file),
+                escape(&e.rule),
+                e.count,
+                escape(&e.snippet),
+                escape(&e.why),
+                if i + 1 < sorted.len() { "," } else { "" },
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Matches `findings` against the allowances.  Exact snippet entries
+    /// are consumed first; leftovers then draw from the file's bucket entry
+    /// (if any).  Unmatched findings are new; unconsumed allowances are
+    /// stale.
+    pub fn diff<'a>(&'a self, findings: &'a [Finding]) -> Diff<'a> {
+        // Remaining allowance per exact key and per bucket.
+        let mut exact: BTreeMap<(&str, &str, &str), usize> = BTreeMap::new();
+        let mut bucket: BTreeMap<(&str, &str), usize> = BTreeMap::new();
+        for e in &self.entries {
+            if e.snippet == BUCKET {
+                *bucket
+                    .entry((e.file.as_str(), e.rule.as_str()))
+                    .or_default() += e.count;
+            } else {
+                *exact
+                    .entry((e.file.as_str(), e.rule.as_str(), e.snippet.as_str()))
+                    .or_default() += e.count;
+            }
+        }
+        let mut diff = Diff::default();
+        for finding in findings {
+            let ekey = (
+                finding.file.as_str(),
+                finding.rule,
+                finding.snippet.as_str(),
+            );
+            if let Some(left) = exact.get_mut(&ekey).filter(|left| **left > 0) {
+                *left -= 1;
+                continue;
+            }
+            let bkey = (finding.file.as_str(), finding.rule);
+            if let Some(left) = bucket.get_mut(&bkey).filter(|left| **left > 0) {
+                *left -= 1;
+                continue;
+            }
+            diff.new.push(finding);
+        }
+        for e in &self.entries {
+            let left = if e.snippet == BUCKET {
+                bucket.get(&(e.file.as_str(), e.rule.as_str())).copied()
+            } else {
+                exact
+                    .get(&(e.file.as_str(), e.rule.as_str(), e.snippet.as_str()))
+                    .copied()
+            };
+            // `left` is the *pooled* remainder; attribute it to the first
+            // entry of the pool only (duplicate keys in a hand-edited file
+            // are pooled, which is the forgiving behaviour).
+            if let Some(left) = left.filter(|l| *l > 0) {
+                diff.stale
+                    .push((e, e.count.saturating_sub(left.min(e.count))));
+                if e.snippet == BUCKET {
+                    bucket.insert((e.file.as_str(), e.rule.as_str()), 0);
+                } else {
+                    exact.insert((e.file.as_str(), e.rule.as_str(), e.snippet.as_str()), 0);
+                }
+            }
+        }
+        diff
+    }
+
+    /// Builds a fresh baseline covering exactly `findings`, per-snippet for
+    /// precise rules and per-file buckets for [`BUCKET_RULES`], carrying
+    /// over justifications from `self` where a key survives.
+    pub fn updated(&self, findings: &[Finding]) -> Baseline {
+        let mut counts: BTreeMap<(String, &'static str, String), usize> = BTreeMap::new();
+        for f in findings {
+            let snippet = if BUCKET_RULES.contains(&f.rule) {
+                BUCKET.to_string()
+            } else {
+                f.snippet.clone()
+            };
+            *counts.entry((f.file.clone(), f.rule, snippet)).or_default() += 1;
+        }
+        let why_of = |file: &str, rule: &str, snippet: &str| -> Option<String> {
+            self.entries
+                .iter()
+                .find(|e| e.file == file && e.rule == rule && e.snippet == snippet)
+                .or_else(|| {
+                    self.entries
+                        .iter()
+                        .find(|e| e.file == file && e.rule == rule && e.snippet == BUCKET)
+                })
+                .map(|e| e.why.clone())
+        };
+        let entries = counts
+            .into_iter()
+            .map(|((file, rule, snippet), count)| Entry {
+                why: why_of(&file, rule, &snippet).unwrap_or_else(|| "TODO: justify".to_string()),
+                file,
+                rule: rule.to_string(),
+                snippet,
+                count,
+            })
+            .collect();
+        Baseline { entries }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(file: &str, rule: &'static str, snippet: &str) -> Finding {
+        Finding {
+            file: file.to_string(),
+            line: 1,
+            rule,
+            message: String::new(),
+            snippet: snippet.to_string(),
+        }
+    }
+
+    fn entry(file: &str, rule: &str, snippet: &str, count: usize) -> Entry {
+        Entry {
+            file: file.to_string(),
+            rule: rule.to_string(),
+            snippet: snippet.to_string(),
+            count,
+            why: "because".to_string(),
+        }
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let baseline = Baseline {
+            entries: vec![
+                entry("a.rs", "panic-expect", "x.expect(\"y\")", 2),
+                entry("b.rs", "index-slicing", BUCKET, 7),
+            ],
+        };
+        let parsed = Baseline::parse(&baseline.to_json()).expect("parses");
+        assert_eq!(parsed, baseline);
+    }
+
+    #[test]
+    fn exact_allowance_consumed_then_new() {
+        let baseline = Baseline {
+            entries: vec![entry("a.rs", "panic-expect", "snip", 1)],
+        };
+        let findings = vec![
+            finding("a.rs", "panic-expect", "snip"),
+            finding("a.rs", "panic-expect", "snip"),
+        ];
+        let diff = baseline.diff(&findings);
+        assert_eq!(diff.new.len(), 1, "second identical finding is new");
+        assert!(diff.stale.is_empty());
+    }
+
+    #[test]
+    fn bucket_covers_any_snippet_in_file() {
+        let baseline = Baseline {
+            entries: vec![entry("a.rs", "index-slicing", BUCKET, 2)],
+        };
+        let findings = vec![
+            finding("a.rs", "index-slicing", "x[0]"),
+            finding("a.rs", "index-slicing", "y[i + 1]"),
+        ];
+        let diff = baseline.diff(&findings);
+        assert!(diff.new.is_empty());
+        // A third site overflows the bucket.
+        let findings3 = [
+            findings.clone(),
+            vec![finding("a.rs", "index-slicing", "z[j]")],
+        ]
+        .concat();
+        assert_eq!(baseline.diff(&findings3).new.len(), 1);
+    }
+
+    #[test]
+    fn bucket_does_not_leak_across_files_or_rules() {
+        let baseline = Baseline {
+            entries: vec![entry("a.rs", "index-slicing", BUCKET, 5)],
+        };
+        let findings = vec![
+            finding("b.rs", "index-slicing", "x[0]"),
+            finding("a.rs", "panic-unwrap", "x.unwrap()"),
+        ];
+        assert_eq!(baseline.diff(&findings).new.len(), 2);
+    }
+
+    #[test]
+    fn unused_allowances_are_stale() {
+        let baseline = Baseline {
+            entries: vec![entry("a.rs", "panic-expect", "snip", 3)],
+        };
+        let findings = vec![finding("a.rs", "panic-expect", "snip")];
+        let diff = baseline.diff(&findings);
+        assert!(diff.new.is_empty());
+        assert_eq!(diff.stale.len(), 1);
+        assert_eq!(diff.stale[0].1, 1, "only one of three matched");
+    }
+
+    #[test]
+    fn update_preserves_justifications_and_buckets() {
+        let old = Baseline {
+            entries: vec![
+                entry("a.rs", "panic-expect", "snip", 1),
+                entry("b.rs", "index-slicing", BUCKET, 9),
+            ],
+        };
+        let findings = vec![
+            finding("a.rs", "panic-expect", "snip"),
+            finding("a.rs", "panic-expect", "other"),
+            finding("b.rs", "index-slicing", "v[0]"),
+            finding("b.rs", "index-slicing", "v[1]"),
+        ];
+        let updated = old.updated(&findings);
+        let get = |file: &str, snippet: &str| {
+            updated
+                .entries
+                .iter()
+                .find(|e| e.file == file && e.snippet == snippet)
+                .expect("entry present")
+        };
+        assert_eq!(get("a.rs", "snip").why, "because");
+        assert_eq!(get("a.rs", "other").why, "TODO: justify");
+        let bucket = get("b.rs", BUCKET);
+        assert_eq!(bucket.count, 2, "bucket re-counted from findings");
+        assert_eq!(bucket.why, "because");
+    }
+
+    #[test]
+    fn parse_rejects_malformed() {
+        assert!(Baseline::parse("{}").is_err());
+        assert!(Baseline::parse("{\"entries\": [{}]}").is_err());
+        assert!(Baseline::parse("not json").is_err());
+    }
+}

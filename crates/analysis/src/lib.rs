@@ -1,0 +1,39 @@
+//! `dft-analysis`: determinism & panic-hygiene static analysis.
+//!
+//! The workspace's headline guarantee — parallel (`--jobs N`) and sharded
+//! (`--shards N`) runs byte-identical to serial — is enforced dynamically
+//! by the E1–E11 diff suite, which only catches a hazard a quick-scale run
+//! happens to exercise.  This crate is the *static* half of the contract:
+//! `dft-analyze` walks every non-vendored source file with a hand-rolled
+//! Rust lexer (the build has no registry access, so no `syn`) and reports
+//! `file:line` diagnostics for whole hazard classes:
+//!
+//! * **nondeterminism** — unordered `HashMap`/`HashSet` iteration, wall
+//!   clocks, thread identity, ambient randomness, float arithmetic in
+//!   protocol logic;
+//! * **panic hygiene** — `unwrap`/`expect`/`panic!`/indexing in library
+//!   code;
+//! * **wire-format completeness** — every `impl Wire for T` named by a
+//!   test, every frame decode routed through the `WIRE_VERSION` check;
+//! * **lint-suppression audit** — every `#[allow(…)]` justified by an
+//!   adjacent comment.
+//!
+//! Findings diff against the committed [`ANALYSIS_baseline.json`]
+//! (`baseline`), so CI (`dft-analyze --ci`) fails only on *new* findings;
+//! intentional exceptions carry one-line justifications.  See `DESIGN.md`
+//! §"Determinism invariants" for how this pass and the dynamic diffs split
+//! the enforcement, and `CONTRIBUTING.md` for the baseline workflow.
+//!
+//! [`ANALYSIS_baseline.json`]: baseline::Baseline
+
+pub mod baseline;
+pub mod findings;
+pub mod json;
+pub mod lexer;
+pub mod regions;
+pub mod rules;
+pub mod walk;
+
+pub use baseline::Baseline;
+pub use findings::Finding;
+pub use rules::analyze;

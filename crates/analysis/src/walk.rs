@@ -1,0 +1,128 @@
+//! Workspace discovery: which `.rs` files to scan, and as what.
+//!
+//! The walk is recursive with sorted directory entries, so the file order —
+//! and therefore finding order and baseline layout — is deterministic (the
+//! analyzer holds itself to the invariant it enforces).  `vendor/` and
+//! `target/` are third-party/generated and skipped outright; `fixtures/`
+//! trees are the analyzer's own seeded-violation corpora and must never
+//! leak into a real scan.
+//!
+//! Classification is path-based:
+//! * files under a `tests/` directory, or named `tests.rs` (the
+//!   `#[cfg(test)] mod tests;` out-of-line idiom), are **test** files —
+//!   exempt from the rules, but their identifiers feed the wire-coverage
+//!   corpus;
+//! * files under `benches/` or `examples/` are neither library code nor
+//!   test evidence and are skipped;
+//! * files under `src/bin/` or named `main.rs` are **bin** files: scanned,
+//!   but exempt from the panic-hygiene rules (a harness aborting with a
+//!   usage message is correct behaviour, and its timing code is its
+//!   product).
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// How a discovered file participates in the scan.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FileKind {
+    /// Library code: every rule applies.
+    Lib,
+    /// Binary code: nondeterminism rules apply, panic hygiene does not.
+    Bin,
+    /// Test code: no rules; contributes to the wire-coverage corpus.
+    Test,
+}
+
+/// One file to scan.
+#[derive(Clone, Debug)]
+pub struct SourceFile {
+    /// Absolute (or root-joined) path for reading.
+    pub path: PathBuf,
+    /// Root-relative path with forward slashes, for reporting.
+    pub rel: String,
+    /// Participation.
+    pub kind: FileKind,
+}
+
+const SKIP_DIRS: &[&str] = &[
+    "vendor", "target", ".git", "fixtures", "benches", "examples",
+];
+
+/// Discovers every scannable `.rs` file under `root`, deterministically
+/// ordered.
+///
+/// # Errors
+///
+/// Propagates filesystem errors (an unreadable tree must fail the run, not
+/// silently shrink it).
+pub fn discover(root: &Path) -> io::Result<Vec<SourceFile>> {
+    let mut files = Vec::new();
+    walk_dir(root, root, &mut files)?;
+    files.sort_by(|a, b| a.rel.cmp(&b.rel));
+    Ok(files)
+}
+
+fn walk_dir(root: &Path, dir: &Path, out: &mut Vec<SourceFile>) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .map(|entry| entry.map(|e| e.path()))
+        .collect::<io::Result<_>>()?;
+    entries.sort();
+    for path in entries {
+        let name = path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or_default()
+            .to_string();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_str()) || name.starts_with('.') {
+                continue;
+            }
+            walk_dir(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy())
+                .collect::<Vec<_>>()
+                .join("/");
+            out.push(SourceFile {
+                kind: classify(&rel),
+                path,
+                rel,
+            });
+        }
+    }
+    Ok(())
+}
+
+fn classify(rel: &str) -> FileKind {
+    let parts: Vec<&str> = rel.split('/').collect();
+    let name = parts.last().copied().unwrap_or_default();
+    if parts.contains(&"tests") || name == "tests.rs" {
+        FileKind::Test
+    } else if parts.contains(&"bin") || name == "main.rs" {
+        FileKind::Bin
+    } else {
+        FileKind::Lib
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification() {
+        assert_eq!(classify("crates/sim/src/runner.rs"), FileKind::Lib);
+        assert_eq!(classify("crates/sim/src/shard/tests.rs"), FileKind::Test);
+        assert_eq!(classify("crates/bench/tests/cli_usage.rs"), FileKind::Test);
+        assert_eq!(classify("tests/facade_smoke.rs"), FileKind::Test);
+        assert_eq!(
+            classify("crates/bench/src/bin/run_experiments.rs"),
+            FileKind::Bin
+        );
+        assert_eq!(classify("src/main.rs"), FileKind::Bin);
+        assert_eq!(classify("src/lib.rs"), FileKind::Lib);
+    }
+}

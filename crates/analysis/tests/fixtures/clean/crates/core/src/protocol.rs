@@ -1,0 +1,64 @@
+//! The clean twin: the same shapes as the dirty tree, written the way the
+//! rules expect — sorted iteration contexts, integer arithmetic, errors
+//! instead of panics, justified suppressions.  The golden test asserts this
+//! tree produces zero findings.
+
+use std::collections::{BTreeSet, HashMap, HashSet};
+
+pub struct State {
+    pub votes: HashMap<usize, u64>,
+    pub seen: HashSet<usize>,
+}
+
+impl State {
+    pub fn tally(&self) -> Vec<u64> {
+        // Locally sorted: collect then sort before anything order-sensitive.
+        let mut out: Vec<u64> = self.votes.values().copied().collect();
+        out.sort_unstable();
+        out
+    }
+
+    pub fn first_seen(&self) -> Option<usize> {
+        // Locally sorted: an ordered collect, then the minimum is stable.
+        let ordered: BTreeSet<usize> = self.seen.iter().copied().collect();
+        ordered.first().copied()
+    }
+
+    pub fn total_votes(&self) -> u64 {
+        // A commutative reduction never depends on iteration order.
+        self.votes.values().sum()
+    }
+
+    pub fn threshold(&self, n: usize) -> usize {
+        // Integer arithmetic: 2n/3 without rounding hazards.
+        n.saturating_mul(2) / 3
+    }
+
+    pub fn quorum_reached(&self, n: usize) -> Result<bool, String> {
+        if self.seen.len() > n {
+            return Err(format!("{} voters for {n} nodes", self.seen.len()));
+        }
+        Ok(self.seen.len() >= self.threshold(n))
+    }
+}
+
+// A string literal mentioning .unwrap() or Instant::now() is documentation,
+// not code; the lexer drops string contents so this must stay quiet.
+pub const HELP: &str = "never call .unwrap() or Instant::now() in protocol code";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_code_may_panic_freely() {
+        let state = State {
+            votes: HashMap::new(),
+            seen: HashSet::new(),
+        };
+        // unwrap/expect/indexing in test code are exempt.
+        assert!(state.quorum_reached(4).unwrap() == false || true);
+        let v = vec![1u64];
+        assert_eq!(v[0], *v.first().expect("non-empty"));
+    }
+}

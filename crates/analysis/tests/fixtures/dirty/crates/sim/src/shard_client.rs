@@ -1,0 +1,42 @@
+//! Seeded violations: panic hygiene, unchecked frame decodes, an untested
+//! wire impl, randomness, and an unjustified lint suppression.
+
+use crate::wire::{Wire, WireReader, WireResult};
+
+pub struct Unpinned {
+    pub id: u64,
+}
+
+impl Wire for Unpinned {
+    // wire-untested: no test anywhere names `Unpinned`.
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.id.to_le_bytes());
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> WireResult<Self> {
+        Ok(Unpinned { id: r.u64()? })
+    }
+}
+
+#[allow(dead_code)]
+pub fn decode_raw(buf: &[u8]) -> u64 {
+    // wire-version: a reader built outside `open_frame` skips the check.
+    let mut r = WireReader::new(buf);
+    // panic-unwrap: library code must return the error.
+    r.u64().unwrap()
+}
+
+pub fn head(frames: &[Vec<u8>]) -> &Vec<u8> {
+    // index-slicing + panic-expect.
+    let first = &frames[0];
+    frames.first().expect("at least one frame");
+    first
+}
+
+pub fn pick(n: usize) -> usize {
+    // nondet-rand: ambient randomness instead of the seeded streams.
+    let roll = rand::thread_rng();
+    let _ = roll;
+    // panic-macro.
+    panic!("unreachable pick of {n}")
+}

@@ -6,7 +6,7 @@
 //! nodes it does not control.  We simulate this with per-node 64-bit secret
 //! keys and keyed MACs:
 //!
-//! * a [`Signer`] holds one node's secret key and can produce [`Signature`]s
+//! * a [`Signer`] holds one node's secret key and can produce [`Signature`](crate::Signature)s
 //!   (see [`crate::signature`]);
 //! * the [`KeyDirectory`] plays the role of the public-key infrastructure:
 //!   it can *verify* any node's signature but is never handed to Byzantine

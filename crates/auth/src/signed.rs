@@ -1,7 +1,7 @@
 //! Signed values with signature chains, as used by the Dolev–Strong
 //! broadcast and the authenticated consensus of Section 7.
 //!
-//! In Dolev–Strong [24], the source signs its value and every relayer adds
+//! In Dolev–Strong (reference \[24\] in the paper), the source signs its value and every relayer adds
 //! its own signature before forwarding; a value is accepted in round `k` only
 //! if it carries `k` valid signatures from distinct nodes, the first being
 //! the source.  [`SignedValue`] captures that structure: all signatures are

@@ -8,9 +8,9 @@ fn bench(c: &mut Criterion) {
     group.sample_size(10);
     for n in [256usize, 1024] {
         group.bench_function(format!("construct_n{n}"), |b| {
-            b.iter(|| build::random_regular(n, 8, 99).unwrap())
+            b.iter(|| build::random_regular(n, 8, 99).expect("regular graph"))
         });
-        let graph = build::random_regular(n, 8, 99).unwrap();
+        let graph = build::random_regular(n, 8, 99).expect("regular graph");
         group.bench_function(format!("spectral_n{n}"), |b| {
             b.iter(|| spectral::second_eigenvalue(&graph, 100, 5))
         });

@@ -6,6 +6,7 @@
 //! run_experiments [--scale quick|full|paper] [--n N] [--t T] [--seed S]
 //!                 [--jobs J] [--shards S] [--samples K] [--timings]
 //!                 [--bench-json PATH] [--bench-compare BASELINE]
+//!                 [--diag-json PATH]
 //! run_experiments --shard-worker
 //! ```
 //!
@@ -56,7 +57,12 @@
 //!   the single wall sample, so compare with the same `--samples` the
 //!   baseline was captured with; baselines under the 10 ms noise floor are
 //!   never gated; comparing against a baseline captured under a different
-//!   workload is an error, not a pass).
+//!   workload is an error, not a pass);
+//! * `--diag-json PATH` additionally writes every buffered stderr
+//!   diagnostic as one JSON object per line (`tool` / `level` /
+//!   `experiment` / `message`), in the same canonical E1–E11 flush order as
+//!   stderr and the same object-per-line idiom as `dft-analyze --json`, so
+//!   one parser reads both tools' diagnostics (see `dft_bench::diag`).
 
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -69,7 +75,7 @@ use dft_bench::Table;
 
 const USAGE: &str = "usage: run_experiments [--scale quick|full|paper] [--n N] [--t T] \
                      [--seed S] [--jobs J] [--shards S] [--samples K] [--timings] \
-                     [--bench-json PATH] [--bench-compare BASELINE]";
+                     [--bench-json PATH] [--bench-compare BASELINE] [--diag-json PATH]";
 
 fn fail(message: &str) -> ExitCode {
     eprintln!("run_experiments: {message}\n{USAGE}");
@@ -247,6 +253,7 @@ fn main() -> ExitCode {
     let mut samples = 1usize;
     let mut bench_json: Option<String> = None;
     let mut bench_compare: Option<String> = None;
+    let mut diag_json: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -304,6 +311,10 @@ fn main() -> ExitCode {
                 Some(path) => bench_compare = Some(path),
                 None => return fail("--bench-compare needs a path"),
             },
+            "--diag-json" => match args.next() {
+                Some(path) => diag_json = Some(path),
+                None => return fail("--diag-json needs a path"),
+            },
             other => return fail(&format!("unknown argument {other:?}")),
         }
     }
@@ -334,6 +345,26 @@ fn main() -> ExitCode {
     for (_, outcome) in &outcomes {
         for line in &outcome.stderr {
             eprintln!("{line}");
+        }
+    }
+    // Machine-readable escape hatch for the same diagnostics: one JSON
+    // object per line, same canonical order as the stderr flush above, in
+    // the shared `tool`/`level`/`message` idiom of `dft-analyze --json`.
+    if let Some(path) = &diag_json {
+        let mut out = String::new();
+        for (id, outcome) in &outcomes {
+            for line in &outcome.stderr {
+                out.push_str(&dft_bench::diag::json_line(
+                    "run_experiments",
+                    "warn",
+                    id,
+                    line,
+                ));
+                out.push('\n');
+            }
+        }
+        if let Err(error) = std::fs::write(path, out) {
+            return fail(&format!("cannot write {path}: {error}"));
         }
     }
     for (id, outcome) in &outcomes {

@@ -10,10 +10,52 @@
 //! `experiment_*` directly — [`warn`] degrades to plain stderr, so no
 //! diagnostic is ever silently dropped.
 
+//!
+//! For machine consumers, [`json_line`] renders a diagnostic in the
+//! workspace's shared object-per-line idiom (`tool` / `level` / `message`
+//! keys) — the same shape `dft-analyze --json` emits — so one parser reads
+//! both tools' output (`run_experiments --diag-json`).
+
 use std::cell::RefCell;
 
 thread_local! {
     static CAPTURE: RefCell<Option<Vec<String>>> = const { RefCell::new(None) };
+}
+
+/// Renders one diagnostic as a machine-readable JSON object on a single
+/// line: `{"tool": …, "level": …, "experiment": …, "message": …}`.
+///
+/// The key set and one-object-per-line framing are shared with
+/// `dft-analyze --json`; keep the two in sync so downstream tooling needs
+/// exactly one parser.
+pub fn json_line(tool: &str, level: &str, experiment: &str, message: &str) -> String {
+    format!(
+        "{{\"tool\": \"{}\", \"level\": \"{}\", \"experiment\": \"{}\", \"message\": \"{}\"}}",
+        escape(tool),
+        escape(level),
+        escape(experiment),
+        escape(message)
+    )
+}
+
+/// JSON string escaping: quotes, backslashes and control characters.
+/// Non-ASCII passes through (the output is UTF-8).
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 /// Reports a diagnostic line: buffered when the calling thread is inside
@@ -70,5 +112,32 @@ mod tests {
         let (value, lines) = capture(|| 41 + 1);
         assert_eq!(value, 42);
         assert!(lines.is_empty());
+    }
+
+    #[test]
+    fn json_line_has_the_shared_key_set() {
+        let line = json_line("run_experiments", "warn", "E3", "t clamped to 12");
+        assert_eq!(
+            line,
+            "{\"tool\": \"run_experiments\", \"level\": \"warn\", \
+             \"experiment\": \"E3\", \"message\": \"t clamped to 12\"}"
+        );
+        assert!(!line.contains('\n'), "one object per line");
+    }
+
+    #[test]
+    fn json_line_escapes_quotes_backslashes_and_controls() {
+        let line = json_line("t", "warn", "E1", "path \"C:\\x\"\nnext\tcol\u{1}");
+        assert_eq!(
+            line,
+            "{\"tool\": \"t\", \"level\": \"warn\", \"experiment\": \"E1\", \
+             \"message\": \"path \\\"C:\\\\x\\\"\\nnext\\tcol\\u0001\"}"
+        );
+    }
+
+    #[test]
+    fn json_line_passes_non_ascii_through() {
+        let line = json_line("t", "warn", "E1", "ε = 0.1 → groups");
+        assert!(line.contains("ε = 0.1 → groups"));
     }
 }

@@ -64,6 +64,54 @@ fn undersized_n_and_unknown_flags_are_usage_errors() {
     assert_usage_error(&["--frobnicate"]);
     assert_usage_error(&["--bench-json"]);
     assert_usage_error(&["--bench-compare"]);
+    assert_usage_error(&["--diag-json"]);
+}
+
+#[test]
+fn diag_json_mirrors_stderr_diagnostics() {
+    // `--t 9999` is clamped per experiment with a warning, so the run
+    // produces a deterministic set of diagnostics; `--diag-json` must
+    // mirror each stderr line as one machine-readable JSON object, in the
+    // same canonical order.
+    let path = std::env::temp_dir().join(format!("diag_json_{}.jsonl", std::process::id()));
+    let output = run(&[
+        "--n",
+        "20",
+        "--t",
+        "9999",
+        "--diag-json",
+        path.to_str().expect("utf-8 temp path"),
+    ]);
+    assert_eq!(
+        output.status.code(),
+        Some(0),
+        "stderr: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    let warnings: Vec<&str> = stderr.lines().filter(|l| l.contains("warning")).collect();
+    assert!(!warnings.is_empty(), "clamping should have warned");
+    let written = std::fs::read_to_string(&path).expect("diag json written");
+    std::fs::remove_file(&path).ok();
+    let lines: Vec<&str> = written.lines().collect();
+    assert_eq!(
+        lines.len(),
+        warnings.len(),
+        "one JSON object per stderr diagnostic"
+    );
+    for (line, warning) in lines.iter().zip(&warnings) {
+        assert!(
+            line.starts_with("{\"tool\": \"run_experiments\", \"level\": \"warn\", "),
+            "shared idiom drifted: {line}"
+        );
+        // The message field carries the stderr line verbatim (modulo JSON
+        // escaping, which these diagnostics do not need).
+        let expected = format!("\"message\": \"{warning}\"}}");
+        assert!(
+            line.ends_with(&expected),
+            "order or content drifted: {line}"
+        );
+    }
 }
 
 #[test]

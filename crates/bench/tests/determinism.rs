@@ -279,7 +279,7 @@ fn flood_run(n: usize, seed: u64, crashes: usize, jobs: usize) -> (ExecutionRepo
         .collect();
     let (schedule, budget) = schedule_from(n, seed, crashes);
     let mut runner = Runner::with_adversary(nodes, Box::new(schedule), budget)
-        .unwrap()
+        .expect("runner")
         .with_jobs(jobs);
     runner.enable_trace();
     let report = runner.run(12);
@@ -299,7 +299,7 @@ fn ring_run(n: usize, seed: u64, crashes: usize, jobs: usize) -> (ExecutionRepor
         .collect();
     let (schedule, budget) = schedule_from(n, seed, crashes);
     let mut runner = SinglePortRunner::with_adversary(nodes, Box::new(schedule), budget)
-        .unwrap()
+        .expect("runner")
         .with_jobs(jobs);
     // The single-port default threshold only engages the pool for very
     // large systems; force it so the property genuinely compares the
@@ -337,7 +337,7 @@ fn flood_run_sharded(
         budget,
         shards,
     )
-    .unwrap();
+    .expect("sharded runner");
     runner.enable_trace();
     let report = runner.run(12).expect("sharded run");
     let trace = format!("{:?}", runner.trace().events());
@@ -367,7 +367,7 @@ fn ring_run_sharded(
         budget,
         shards,
     )
-    .unwrap();
+    .expect("sharded runner");
     runner.enable_trace();
     let report = runner.run(3 * n as u64).expect("sharded run");
     let trace = format!("{:?}", runner.trace().events());

@@ -4,15 +4,15 @@
 //! excluding nodes that crashed before sending anything and including every
 //! node that halts operational.  The paper's construction is:
 //!
-//! 1. **Part 1** — run [`Gossip`](crate::Gossip) with a dummy rumor, so every
+//! 1. **Part 1** — run [`Gossip`] with a dummy rumor, so every
 //!    node learns (a superset of) the operational nodes;
 //! 2. **Part 2** — run `n` concurrent instances of
-//!    [`FewCrashesConsensus`](crate::FewCrashesConsensus), instance `i`
+//!    [`FewCrashesConsensus`], instance `i`
 //!    having input 1 at `p` iff node `i` is present in `p`'s gossip output;
 //!    per-link messages of all instances are combined into one big message.
 //!
 //! The combined-message optimisation is exactly the
-//! [`BitVector`](crate::BitVector) instantiation of the generic consensus
+//! [`BitVector`] instantiation of the generic consensus
 //! stack, so Part 2 is a single `FewCrashesConsensus<BitVector>` run.
 //!
 //! Theorem 10: `O(t + log n·log t)` rounds and `O(n + t·log n·log t)`

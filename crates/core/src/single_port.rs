@@ -14,7 +14,7 @@
 //! [`SyncProtocol`] given a [`PortPlan`] describing, per multi-port round,
 //! how many slots to allot and which ports each node polls.
 //! [`LinearConsensus`] instantiates it for
-//! [`FewCrashesConsensus`](crate::FewCrashesConsensus), matching Theorem 12's
+//! [`FewCrashesConsensus`], matching Theorem 12's
 //! `O(t + log n)` running time and `O(n + t log n)` communication.
 
 use std::sync::Arc;

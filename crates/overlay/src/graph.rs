@@ -123,12 +123,20 @@ impl Graph {
             u < n && v < n,
             "edge ({u},{v}) out of range for {n} vertices"
         );
-        if u == v || self.has_edge(u, v) {
+        if u == v {
             return false;
         }
-        let pos_u = self.adjacency[u].binary_search(&v).unwrap_err();
+        // Adjacency lists are kept sorted, so the binary search doubles as
+        // the membership test: `Ok` means the edge already exists.
+        let pos_u = match self.adjacency[u].binary_search(&v) {
+            Ok(_) => return false,
+            Err(pos) => pos,
+        };
+        let pos_v = match self.adjacency[v].binary_search(&u) {
+            Ok(_) => return false,
+            Err(pos) => pos,
+        };
         self.adjacency[u].insert(pos_u, v);
-        let pos_v = self.adjacency[v].binary_search(&u).unwrap_err();
         self.adjacency[v].insert(pos_v, u);
         self.num_edges += 1;
         true

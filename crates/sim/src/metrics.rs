@@ -40,7 +40,7 @@ pub struct Metrics {
 }
 
 /// A sliding window over per-round message counts: the last
-/// [`MESSAGES_PER_ROUND_WINDOW`] rounds, plus the exact all-time peak.
+/// `MESSAGES_PER_ROUND_WINDOW` rounds, plus the exact all-time peak.
 #[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 struct PerRoundWindow {
     /// `counts[i]` is the number of messages recorded in round
@@ -138,7 +138,7 @@ impl Metrics {
     /// communication profiles.
     ///
     /// Slot `i` holds the count for round [`Metrics::messages_per_round_start`]` + i`.
-    /// At most [`MESSAGES_PER_ROUND_WINDOW`] trailing rounds are retained;
+    /// At most `MESSAGES_PER_ROUND_WINDOW` trailing rounds are retained;
     /// executions shorter than the window keep their full profile (as the
     /// unbounded seed implementation did).  Like the seed, the profile ends
     /// at the last round in which a message was recorded.

@@ -105,7 +105,7 @@ pub struct Runner<P: SyncProtocol> {
     /// Worker threads used for the per-node phase loops (1 = serial).
     jobs: usize,
     /// Node count above which `jobs > 1` engages the worker pool (see
-    /// [`parallel::MIN_NODES_PER_FORK`]).
+    /// `parallel::MIN_NODES_PER_FORK`).
     fork_threshold: usize,
     /// Per-node outgoing queues for the current round (reused).
     outgoing: Vec<Vec<Outgoing<P::Msg>>>,
@@ -397,7 +397,7 @@ impl<P: SyncProtocol> Runner<P> {
     }
 
     /// Overrides the node-count threshold above which `jobs > 1` engages
-    /// the worker pool (default: [`parallel::MIN_NODES_PER_FORK`]).  Both
+    /// the worker pool (default: `parallel::MIN_NODES_PER_FORK`).  Both
     /// paths are byte-identical; this only trades fork/join overhead
     /// against parallel speedup, e.g. for rounds that do unusually heavy
     /// per-node work.
@@ -513,7 +513,7 @@ impl<P: SyncProtocol> Runner<P> {
     /// Phase 3, serial path: deliver messages, counting only those actually
     /// dispatched by non-Byzantine senders.  The per-sender filter lookup is
     /// hoisted out of the message loop and the counters are accumulated
-    /// locally, then recorded once per round ([`Metrics::record_messages`]
+    /// locally, then recorded once per round (`Metrics::record_messages`
     /// is documented byte-identical to per-message recording).
     fn deliver_serial(&mut self) {
         let n = self.n();

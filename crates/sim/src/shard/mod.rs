@@ -3,7 +3,7 @@
 //! The persistent worker pool (see [`crate::pool`]) exhausted intra-process
 //! parallelism; this module is the next order of magnitude: the per-node
 //! phase work of one run is partitioned into contiguous node-range chunks —
-//! exactly the [`Chunk`]/[`SpChunk`] ownership unit the pool already uses —
+//! exactly the `Chunk`/`SpChunk` ownership unit the pool already uses —
 //! and each chunk is served by a **shard worker** on the far side of a
 //! [`ShardTransport`].  Two backends exist:
 //!
@@ -38,8 +38,6 @@
 //! `Shutdown` ends the loop; a worker treats transport EOF as shutdown, so
 //! a dying parent never leaves workers spinning.
 //!
-//! [`Chunk`]: crate::runner::Chunk
-//! [`SpChunk`]: crate::single_port::SpChunk
 //! [`WorkerPool`]: crate::pool::WorkerPool
 
 pub mod transport;
@@ -202,7 +200,7 @@ fn events_response<O: Wire + Clone>(
 ///
 /// The chunk owns nodes `base .. base + participants.len()` of the sharded
 /// execution and runs the same three phase bodies the worker pool runs
-/// ([`Chunk`]'s `collect_sends` / `deliver` / `receive`); only the phase
+/// (`Chunk`'s `collect_sends` / `deliver` / `receive`); only the phase
 /// inputs and outputs cross the transport.
 ///
 /// # Errors

@@ -416,3 +416,23 @@ fn stream_backend_matches_serial() {
         handle.join().expect("worker thread");
     }
 }
+
+#[test]
+fn wire_event_round_trips() {
+    let decided = WireEvent::<u64> {
+        node: 17,
+        halted: false,
+        output: Some(42),
+    };
+    let halted = WireEvent::<u64> {
+        node: 3,
+        halted: true,
+        output: None,
+    };
+    for event in [decided, halted] {
+        let decoded: WireEvent<u64> = from_bytes(&to_bytes(&event)).expect("WireEvent round trip");
+        assert_eq!(decoded.node, event.node);
+        assert_eq!(decoded.halted, event.halted);
+        assert_eq!(decoded.output, event.output);
+    }
+}

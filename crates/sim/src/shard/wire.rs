@@ -404,6 +404,14 @@ mod tests {
         round_trip(0xDEAD_BEEFu32);
         round_trip(u64::MAX);
         round_trip(usize::MAX);
+        // Width extremes, spelling out each type: the analyzer's
+        // wire-untested rule requires every `impl Wire for T` to be *named*
+        // by a test, and a suffixed literal like `0xBEEFu16` is not a name.
+        round_trip(u8::MAX);
+        round_trip(u16::MAX);
+        round_trip(u32::MAX);
+        round_trip(u64::MIN);
+        round_trip(usize::MIN);
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //!
 //! The engine shares the batched-delivery core of
 //! [`delivery`](crate::delivery) with the multi-port runner.  Port buffers
-//! live in a sparse [`PortMap`](crate::delivery) rather than the seed's
+//! live in a sparse `PortMap`(crate::delivery) rather than the seed's
 //! dense `n × n` queue matrix, so a runner over `n` nodes costs
 //! `O(n + live messages)` memory — the property that makes paper-scale
 //! `n = 10^3`–`10^4` runs feasible.
@@ -97,7 +97,7 @@ pub struct SinglePortRunner<P: SinglePortProtocol> {
     /// Worker threads used for the per-node phase loops (1 = serial).
     jobs: usize,
     /// Node count above which `jobs > 1` engages the worker pool.  The
-    /// single-port default ([`parallel::MIN_NODES_PER_FORK_SINGLE_PORT`])
+    /// single-port default (`parallel::MIN_NODES_PER_FORK_SINGLE_PORT`)
     /// is higher than the multi-port one: a single-port round is one send
     /// and one poll per node, so even the pool's ~µs dispatch only pays
     /// off once a round's node loop is itself substantial.
@@ -270,7 +270,7 @@ impl<P: SinglePortProtocol> SinglePortRunner<P> {
 
     /// Overrides the node-count threshold above which `jobs > 1` engages
     /// the worker pool (default:
-    /// [`parallel::MIN_NODES_PER_FORK_SINGLE_PORT`]).  Both paths are
+    /// `parallel::MIN_NODES_PER_FORK_SINGLE_PORT`).  Both paths are
     /// byte-identical; this only trades fork/join overhead against
     /// parallel speedup, e.g. for protocols with unusually heavy per-node
     /// `send`/`receive` work.
@@ -337,7 +337,7 @@ impl<P: SinglePortProtocol> SinglePortRunner<P> {
     /// With more than one configured job (see [`SinglePortRunner::set_jobs`])
     /// the send-collection and receive loops run on the runner's persistent
     /// worker pool; the crash-adversary phase and the port-map mutations
-    /// (enqueue, drain, drop) always stay serial — the sparse [`PortMap`] is
+    /// (enqueue, drain, drop) always stay serial — the sparse `PortMap` is
     /// shared state, and at one message per node per round the enqueue loop
     /// is memory-movement bound anyway.  Both paths produce byte-identical
     /// state.

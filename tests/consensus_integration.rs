@@ -24,10 +24,12 @@ fn run_few_crashes(
     adversary: Box<dyn CrashAdversary>,
     seed: u64,
 ) -> linear_dft::sim::ExecutionReport<bool> {
-    let config = SystemConfig::new(n, t).unwrap().with_seed(seed);
-    let nodes = FewCrashesConsensus::for_all_nodes(&config, inputs).unwrap();
+    let config = SystemConfig::new(n, t)
+        .expect("valid (n, t)")
+        .with_seed(seed);
+    let nodes = FewCrashesConsensus::for_all_nodes(&config, inputs).expect("valid config");
     let rounds = nodes[0].total_rounds();
-    let mut runner = Runner::with_adversary(nodes, adversary, t).unwrap();
+    let mut runner = Runner::with_adversary(nodes, adversary, t).expect("runner");
     runner.run(rounds + 2)
 }
 
@@ -71,7 +73,7 @@ fn many_crashes_consensus_with_heavy_crash_schedule() {
     // must hold.
     let n = 64;
     let t = 32;
-    let config = SystemConfig::new(n, t).unwrap().with_seed(8);
+    let config = SystemConfig::new(n, t).expect("valid (n, t)").with_seed(8);
     let inputs: Vec<bool> = (0..n).map(|i| i >= 60).collect();
     let nodes = ManyCrashesConsensus::for_all_nodes(&config, &inputs).unwrap();
     let rounds = nodes[0].total_rounds();
@@ -89,7 +91,7 @@ fn many_crashes_consensus_safety_at_extreme_fault_fraction() {
     // must still hold unconditionally.
     let n = 64;
     let t = 40;
-    let config = SystemConfig::new(n, t).unwrap().with_seed(8);
+    let config = SystemConfig::new(n, t).expect("valid (n, t)").with_seed(8);
     let inputs: Vec<bool> = (0..n).map(|i| i >= 60).collect();
     let nodes = ManyCrashesConsensus::for_all_nodes(&config, &inputs).unwrap();
     let rounds = nodes[0].total_rounds();
@@ -115,7 +117,7 @@ fn crash_exactly_when_little_nodes_notify() {
     // attack the hand-off between stages.
     let n = 75;
     let t = 9;
-    let config = SystemConfig::new(n, t).unwrap().with_seed(4);
+    let config = SystemConfig::new(n, t).expect("valid (n, t)").with_seed(4);
     let inputs = vec![true; n];
     let nodes = FewCrashesConsensus::for_all_nodes(&config, &inputs).unwrap();
     let rounds = nodes[0].total_rounds();
@@ -138,7 +140,7 @@ fn single_port_and_multi_port_agree_on_the_same_inputs() {
     let multi = run_few_crashes(n, t, &inputs, Box::new(NoFaults), 2);
     check_consensus_report(&multi, &inputs);
 
-    let config = SystemConfig::new(n, t).unwrap().with_seed(2);
+    let config = SystemConfig::new(n, t).expect("valid (n, t)").with_seed(2);
     let (nodes, sp_rounds) = linear_consensus_for_all_nodes(&config, &inputs).unwrap();
     let mut runner = SinglePortRunner::new(nodes).unwrap();
     let single = runner.run(sp_rounds + 4);
