@@ -45,6 +45,10 @@ pub const RULE_WIRE_VERSION: &str = "wire-version";
 pub const RULE_WIRE_UNTESTED: &str = "wire-untested";
 /// `#[allow(…)]` without an adjacent justification comment.
 pub const RULE_ALLOW: &str = "allow-unjustified";
+/// `std::net` / `std::io` / `std::thread` inside the sans-I/O layer (the
+/// driver module and `crates/core`): round semantics must stay pure state
+/// transitions, with all I/O and threading owned by the backends.
+pub const RULE_SANS_IO: &str = "sans-io-boundary";
 
 /// Every rule, for documentation and validation.
 pub const RULES: &[&str] = &[
@@ -60,6 +64,7 @@ pub const RULES: &[&str] = &[
     RULE_WIRE_VERSION,
     RULE_WIRE_UNTESTED,
     RULE_ALLOW,
+    RULE_SANS_IO,
 ];
 
 /// Methods that iterate a hash collection in allocation order.
@@ -157,6 +162,7 @@ fn check_file(p: &Prepared, corpus: &BTreeSet<String>, out: &mut Vec<Finding>) {
     let tokens = &p.lexed.tokens;
     let hash_names = hash_collection_names(tokens);
     let in_core = p.file.rel.starts_with("crates/core/src");
+    let in_driver = p.file.rel.ends_with("sim/src/driver.rs");
     let lib_code = p.file.kind == FileKind::Lib;
     let is_codec_module = p.file.rel.ends_with("shard/wire.rs");
 
@@ -195,6 +201,24 @@ fn check_file(p: &Prepared, corpus: &BTreeSet<String>, out: &mut Vec<Finding>) {
                         RULE_RAND,
                         "unseeded randomness; use the run's seeded ChaCha streams".to_string(),
                     ));
+                }
+                // I/O and threading inside the sans-I/O layer: the driver
+                // module and `crates/core` express round semantics as pure
+                // state transitions; sockets, streams and threads belong to
+                // the backends that drive them.
+                if (in_driver || in_core) && name == "std" {
+                    if let Some(seg) = next_path_segment(tokens, i) {
+                        if matches!(seg, "net" | "io" | "thread") {
+                            out.push(p.finding(
+                                line,
+                                RULE_SANS_IO,
+                                format!(
+                                    "`std::{seg}` in the sans-I/O layer; I/O and threading \
+                                     belong to the backends"
+                                ),
+                            ));
+                        }
+                    }
                 }
                 // Floats in protocol logic.
                 if in_core && matches!(name, "f32" | "f64") {

@@ -1,0 +1,24 @@
+//! The clean twin: a driver-layer module that stays sans-I/O — pure state
+//! transitions over owned buffers, `std::mem` and ordered collections only.
+//! The backend moves bytes; this module never sees a socket, stream, or
+//! thread, so it produces zero findings.
+
+use std::collections::BTreeMap;
+
+pub struct Core {
+    inboxes: BTreeMap<usize, Vec<u64>>,
+}
+
+impl Core {
+    pub fn accept(&mut self, node: usize, msg: u64) {
+        self.inboxes.entry(node).or_default().push(msg);
+    }
+
+    pub fn drain(&mut self, node: usize) -> Vec<u64> {
+        let mut staged = Vec::new();
+        if let Some(inbox) = self.inboxes.get_mut(&node) {
+            std::mem::swap(&mut staged, inbox);
+        }
+        staged
+    }
+}

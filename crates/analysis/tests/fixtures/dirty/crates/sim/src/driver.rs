@@ -1,0 +1,16 @@
+//! Seeded violations of the `sans-io-boundary` rule: a driver-layer module
+//! that reaches for sockets, streams, and threads.  The round cores must
+//! stay pure state transitions; every `std::net` / `std::io` /
+//! `std::thread` mention below must be reported.
+
+// sans-io-boundary: stream types leak into the driver layer.
+use std::io::Write;
+// sans-io-boundary: socket types leak into the driver layer.
+use std::net::TcpStream;
+
+pub fn leak_io(stream: &mut TcpStream, bytes: &[u8]) -> std::io::Result<()> {
+    // sans-io-boundary: the driver paces itself with a thread sleep.
+    std::thread::sleep(std::time::Duration::from_millis(1));
+    // (the `std::io::Result` in the signature above is the fourth hit)
+    stream.write_all(bytes)
+}

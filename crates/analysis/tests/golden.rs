@@ -41,6 +41,7 @@ fn dirty_tree_trips_every_rule() {
 
     let core = "crates/core/src/protocol.rs";
     let sim = "crates/sim/src/shard_client.rs";
+    let driver = "crates/sim/src/driver.rs";
     let expected: &[(&str, &str, usize)] = &[
         // Two hash iterations: the `for` loop and `.iter().next()`.
         (core, "nondet-hash-iter", 2),
@@ -48,6 +49,12 @@ fn dirty_tree_trips_every_rule() {
         (core, "nondet-thread-id", 1),
         // `n as f64 * 0.66`: the type *and* the literal each count.
         (core, "float-protocol", 2),
+        // `std::thread::current()` in worker_tag: `crates/core` is part of
+        // the sans-I/O layer, so the boundary rule fires alongside the
+        // thread-id rule.
+        (core, "sans-io-boundary", 1),
+        // `std::io` twice (use + return type), `std::net`, `std::thread`.
+        (driver, "sans-io-boundary", 4),
         (sim, "nondet-rand", 1),
         (sim, "panic-unwrap", 1),
         (sim, "panic-expect", 1),

@@ -133,7 +133,11 @@ impl Workload {
         }
     }
 
-    fn mixed_inputs(&self) -> Vec<bool> {
+    /// The deterministic mixed boolean inputs every execution path derives
+    /// from `(n, seed)` alone — `measure_*`, shard workers and the
+    /// `dft-node` cluster all call this so a process can rebuild its input
+    /// without any input wiring on the command line.
+    pub fn mixed_inputs(&self) -> Vec<bool> {
         (0..self.n)
             .map(|i| (i + self.seed as usize).is_multiple_of(2))
             .collect()

@@ -22,9 +22,13 @@ use dft_bench::experiments::{
     experiment_byzantine, experiment_many_crashes, experiment_single_port, experiment_table1,
     Scale, SweepConfig,
 };
+use std::collections::BTreeMap;
+
 use dft_sim::{
-    CrashDirective, Delivered, DeliveryFilter, ExecutionReport, FixedCrashSchedule, NodeId,
-    Outgoing, Round, Runner, SinglePortProtocol, SinglePortRunner, SyncProtocol,
+    AdversaryView, CrashAdversary, CrashDirective, Delivered, DeliveryFilter, ExecutionReport,
+    FixedCrashSchedule, NodeEvent, NodeId, NodeSet, Outgoing, Participant, Payload, Round,
+    RoundCore, Runner, SinglePortCore, SinglePortProtocol, SinglePortRunner, SyncProtocol,
+    Termination,
 };
 use proptest::prelude::*;
 
@@ -476,5 +480,412 @@ proptest! {
             &dft_bench::Workload::full_budget(n, t, seed).with_shards(2),
         );
         prop_assert_eq!(local, sharded);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sans-I/O core conformance (PR 7): a reference backend written against the
+// *public* `RoundCore` / `SinglePortCore` API — no threads, no pipes, no
+// access to runner internals — must reproduce the runners' executions
+// byte for byte.  This pins the core API as sufficient for new backends
+// (the shard workers and the `dft-node` TCP cluster are exactly such
+// backends) and pins the backend contract the driver docs spell out:
+// central crash phase, deliver-then-merge, finalize-then-replay.
+// ---------------------------------------------------------------------------
+
+/// Everything a backend's execution produces, flattened for byte-for-byte
+/// comparison between a runner and the reference driver.
+#[derive(Debug, PartialEq)]
+struct Transcript {
+    outputs: Vec<Option<bool>>,
+    crashed_at: Vec<Option<Round>>,
+    halted_at: Vec<Option<Round>>,
+    rounds: u64,
+    messages: u64,
+    bits: u64,
+    crashes: u64,
+    all_halted: bool,
+}
+
+fn transcript_of(report: &ExecutionReport<bool>) -> Transcript {
+    Transcript {
+        outputs: report.outputs.clone(),
+        crashed_at: report.crashed_at.clone(),
+        halted_at: report.halted_at.clone(),
+        rounds: report.metrics.rounds,
+        messages: report.metrics.messages,
+        bits: report.metrics.bits,
+        crashes: report.metrics.crashes,
+        all_halted: report.termination == Termination::AllHalted,
+    }
+}
+
+/// Shared backend bookkeeping for the reference drivers: status sets for
+/// the adversary view plus the crash-acceptance rules every backend must
+/// replicate (budget cut-off, re-crash immunity, halted nodes crashable).
+struct RefBackend {
+    alive: NodeSet,
+    crashed: NodeSet,
+    crashed_at: Vec<Option<Round>>,
+    halted_at: Vec<Option<Round>>,
+    budget: usize,
+    crashes: usize,
+    running: usize,
+}
+
+impl RefBackend {
+    fn new(n: usize, budget: usize) -> Self {
+        RefBackend {
+            alive: NodeSet::full(n),
+            crashed: NodeSet::empty(n),
+            crashed_at: vec![None; n],
+            halted_at: vec![None; n],
+            budget,
+            crashes: 0,
+            running: n,
+        }
+    }
+
+    fn is_running(&self, node: usize) -> bool {
+        self.crashed_at[node].is_none() && self.halted_at[node].is_none()
+    }
+
+    /// Runs the central crash phase: consults the adversary over the whole
+    /// round's intents and applies its directives under the acceptance
+    /// rules, returning this round's `(victim, filter)` pairs.
+    fn crash_phase(
+        &mut self,
+        adversary: &mut dyn CrashAdversary,
+        round: Round,
+        send_intents: &[Vec<NodeId>],
+        poll_intents: &[Option<NodeId>],
+    ) -> Vec<(usize, DeliveryFilter)> {
+        let directives = adversary.plan_round(&AdversaryView {
+            round,
+            alive: &self.alive,
+            crashed: &self.crashed,
+            send_intents,
+            poll_intents,
+            remaining_budget: self.budget - self.crashes,
+        });
+        let n = self.crashed_at.len();
+        let mut filters = Vec::new();
+        for directive in directives {
+            if self.crashes >= self.budget {
+                break;
+            }
+            let idx = directive.node.index();
+            if idx >= n || self.crashed_at[idx].is_some() {
+                continue;
+            }
+            if self.halted_at[idx].is_none() {
+                self.running -= 1;
+            }
+            self.crashed_at[idx] = Some(round);
+            self.alive.remove(directive.node);
+            self.crashed.insert(directive.node);
+            self.crashes += 1;
+            filters.push((idx, directive.deliver));
+        }
+        filters
+    }
+
+    fn mark_halted(&mut self, node: usize, round: Round) {
+        self.halted_at[node] = Some(round);
+        self.running -= 1;
+    }
+}
+
+/// Splits `n` nodes into `core_count` contiguous chunks (remainder spread
+/// over the leading chunks) and returns each chunk's range.  The partition
+/// is deliberately *not* the runners' `ChunkPlan`: identity must hold for
+/// any partition a backend picks.
+fn partition(n: usize, core_count: usize) -> Vec<std::ops::Range<usize>> {
+    let mut ranges = Vec::new();
+    let mut base = 0;
+    for ci in 0..core_count {
+        let len = n / core_count + usize::from(ci < n % core_count);
+        ranges.push(base..base + len);
+        base += len;
+    }
+    ranges
+}
+
+/// The reference multi-port backend: drives `RoundCore`s through the four
+/// documented phases, entirely through the public API.
+fn reference_flood_run(n: usize, seed: u64, crashes: usize, core_count: usize) -> Transcript {
+    let (mut adversary, budget) = schedule_from(n, seed, crashes);
+    let ranges = partition(n, core_count);
+    let mut owner = vec![0usize; n];
+    let mut cores: Vec<RoundCore<FloodOr>> = Vec::new();
+    for (ci, range) in ranges.iter().enumerate() {
+        for node in range.clone() {
+            owner[node] = ci;
+        }
+        let participants = range
+            .clone()
+            .map(|i| {
+                Participant::Honest(FloodOr {
+                    n,
+                    value: (i as u64).wrapping_mul(seed).is_multiple_of(7),
+                    rounds: 0,
+                    decided: None,
+                })
+            })
+            .collect();
+        cores.push(RoundCore::new(range.start, participants));
+    }
+
+    let mut backend = RefBackend::new(n, budget);
+    let poll_intents = vec![None; n];
+    let (mut rounds, mut messages, mut bits) = (0u64, 0u64, 0u64);
+    let mut all_halted = false;
+    for r in 0..12u64 {
+        let round = Round::new(r);
+        // Phase 1: collect sends and intents.
+        for core in &mut cores {
+            core.begin_round(round);
+        }
+        let mut send_intents: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+        for core in &cores {
+            for (i, intents) in core.send_intents().iter().enumerate() {
+                send_intents[core.base() + i] = intents.clone();
+            }
+        }
+        // Phase 2 (central): crash adversary; mirror verdicts into cores.
+        let filters = backend.crash_phase(&mut adversary, round, &send_intents, &poll_intents);
+        for &(victim, _) in &filters {
+            let core = &mut cores[owner[victim]];
+            core.set_crashed(victim - core.base(), round);
+        }
+        // Phase 3: deliver in every core, then merge in ascending core
+        // (= sender-index) order, dropping dead destinations.
+        for core in &mut cores {
+            core.deliver(&filters);
+        }
+        for ci in 0..cores.len() {
+            let staged: Vec<(usize, Delivered<bool>)> = cores[ci].delivered().to_vec();
+            for (dest, msg) in staged {
+                if dest < n && backend.is_running(dest) {
+                    let core = &mut cores[owner[dest]];
+                    core.accept(dest - core.base(), msg);
+                }
+            }
+        }
+        // Phase 4: finalize every core, then replay events in ascending
+        // core order so halts land in node-index order.
+        let mut all_events: Vec<Vec<NodeEvent>> = Vec::new();
+        for core in &mut cores {
+            let outcome = core.finalize(round);
+            messages += outcome.messages;
+            bits += outcome.bits;
+            all_events.push(outcome.events.to_vec());
+        }
+        for events in &all_events {
+            for event in events {
+                if event.halted {
+                    backend.mark_halted(event.node, round);
+                    let core = &mut cores[owner[event.node]];
+                    core.set_halted(event.node - core.base());
+                }
+            }
+        }
+        rounds = r + 1;
+        if backend.running == 0 {
+            all_halted = true;
+            break;
+        }
+    }
+
+    let mut outputs = vec![None; n];
+    for core in &cores {
+        for i in 0..core.len() {
+            outputs[core.base() + i] = core.output(i).cloned();
+        }
+    }
+    Transcript {
+        outputs,
+        crashed_at: backend.crashed_at,
+        halted_at: backend.halted_at,
+        rounds,
+        messages,
+        bits,
+        crashes: backend.crashes as u64,
+        all_halted,
+    }
+}
+
+/// The reference single-port backend: port buffers live here (a plain
+/// ordered map keyed by `(destination, sender)` — the backend owns
+/// order-sensitive state), the cores only collect intents and receive
+/// pre-drained contents.
+fn reference_ring_run(n: usize, seed: u64, crashes: usize, core_count: usize) -> Transcript {
+    let (mut adversary, budget) = schedule_from(n, seed, crashes);
+    let ranges = partition(n, core_count);
+    let mut owner = vec![0usize; n];
+    let mut cores: Vec<SinglePortCore<Ring>> = Vec::new();
+    for (ci, range) in ranges.iter().enumerate() {
+        for node in range.clone() {
+            owner[node] = ci;
+        }
+        let nodes = range
+            .clone()
+            .map(|me| Ring {
+                me,
+                n,
+                value: me as u64 == seed % n as u64,
+                rounds: 0,
+                decided: None,
+            })
+            .collect();
+        cores.push(SinglePortCore::new(range.start, nodes));
+    }
+
+    let mut backend = RefBackend::new(n, budget);
+    let mut ports: BTreeMap<(usize, usize), Vec<bool>> = BTreeMap::new();
+    let (mut rounds, mut messages, mut bits) = (0u64, 0u64, 0u64);
+    let mut all_halted = false;
+    for r in 0..3 * n as u64 {
+        let round = Round::new(r);
+        // Phase 1: collect each node's single send and poll intent.
+        for core in &mut cores {
+            core.begin_round(round);
+        }
+        let mut send_intents: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+        let mut poll_intents: Vec<Option<NodeId>> = vec![None; n];
+        for core in &cores {
+            for (i, send) in core.sends().iter().enumerate() {
+                send_intents[core.base() + i].extend(send.iter().map(|o| o.to));
+                poll_intents[core.base() + i] = core.polls()[i];
+            }
+        }
+        // Phase 2 (central): crash adversary; a crashed node never polls
+        // again, so its buffered ports are freed immediately.
+        let filters = backend.crash_phase(&mut adversary, round, &send_intents, &poll_intents);
+        for &(victim, _) in &filters {
+            let core = &mut cores[owner[victim]];
+            core.set_crashed(victim - core.base(), round);
+            ports.retain(|&(dest, _), _| dest != victim);
+        }
+        // Phase 3 (serial by contract): enqueue onto destination ports in
+        // sender-index order, filtering and counting as the backend must.
+        for core in &mut cores {
+            let (base, len) = (core.base(), core.len());
+            for i in 0..len {
+                let Some(out) = core.take_send(i) else {
+                    continue;
+                };
+                let sender = base + i;
+                if let Some((_, filter)) = filters.iter().find(|(v, _)| *v == sender) {
+                    if !filter.allows(0, out.to) {
+                        continue;
+                    }
+                }
+                messages += 1;
+                bits += out.msg.bit_len();
+                let dest = out.to.index();
+                if dest < n && backend.is_running(dest) {
+                    ports.entry((dest, sender)).or_default().push(out.msg);
+                }
+            }
+        }
+        // Pre-drain polled ports in node-index order.
+        for core in &mut cores {
+            for i in 0..core.len() {
+                let global = core.base() + i;
+                let drained = if backend.is_running(global) {
+                    core.polls()[i]
+                        .map(|port| ports.remove(&(global, port.index())).unwrap_or_default())
+                } else {
+                    None
+                };
+                core.set_drained(i, drained);
+            }
+        }
+        // Phase 4: finalize every core, then replay halts (freeing the
+        // halted node's buffered ports) in ascending core order.
+        let mut all_events: Vec<Vec<NodeEvent>> = Vec::new();
+        for core in &mut cores {
+            all_events.push(core.finalize(round).events.to_vec());
+        }
+        for events in &all_events {
+            for event in events {
+                if event.halted {
+                    backend.mark_halted(event.node, round);
+                    ports.retain(|&(dest, _), _| dest != event.node);
+                    let core = &mut cores[owner[event.node]];
+                    core.set_halted(event.node - core.base());
+                }
+            }
+        }
+        rounds = r + 1;
+        if backend.running == 0 {
+            all_halted = true;
+            break;
+        }
+    }
+
+    let mut outputs = vec![None; n];
+    for core in &cores {
+        for i in 0..core.len() {
+            outputs[core.base() + i] = core.output(i).cloned();
+        }
+    }
+    Transcript {
+        outputs,
+        crashed_at: backend.crashed_at,
+        halted_at: backend.halted_at,
+        rounds,
+        messages,
+        bits,
+        crashes: backend.crashes as u64,
+        all_halted,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Random crash schedules and arbitrary core partitions: the reference
+    /// multi-port backend written against the public `RoundCore` API
+    /// reproduces the `Runner`'s execution byte for byte — outputs, crash
+    /// and halt rounds, message/bit totals, round count and termination.
+    #[test]
+    fn reference_round_core_backend_matches_runner_under_random_crashes(
+        n in 20usize..60,
+        seed in any::<u64>(),
+        crashes in 1usize..6,
+        core_count in 1usize..4,
+    ) {
+        let (runner_report, _) = flood_run(n, seed, crashes, 1);
+        let reference = reference_flood_run(n, seed, crashes, core_count);
+        prop_assert_eq!(transcript_of(&runner_report), reference);
+    }
+
+    /// The single-port variant: the reference backend (port buffers in a
+    /// plain ordered map on the backend side) reproduces the
+    /// `SinglePortRunner`'s execution byte for byte.
+    #[test]
+    fn reference_single_port_core_backend_matches_runner_under_random_crashes(
+        n in 10usize..30,
+        seed in any::<u64>(),
+        crashes in 1usize..6,
+        core_count in 1usize..4,
+    ) {
+        let nodes: Vec<Ring> = (0..n)
+            .map(|me| Ring {
+                me,
+                n,
+                value: me as u64 == seed % n as u64,
+                rounds: 0,
+                decided: None,
+            })
+            .collect();
+        let (schedule, budget) = schedule_from(n, seed, crashes);
+        let mut runner = SinglePortRunner::with_adversary(nodes, Box::new(schedule), budget)
+            .expect("runner");
+        let runner_report = runner.run(3 * n as u64);
+        let reference = reference_ring_run(n, seed, crashes, core_count);
+        prop_assert_eq!(transcript_of(&runner_report), reference);
     }
 }

@@ -1,0 +1,1068 @@
+//! `dft-node` — one OS process per protocol node, speaking the versioned
+//! wire format over real TCP sockets.
+//!
+//! This binary is the third execution backend for the sans-I/O round cores
+//! of [`dft_sim::driver`]: the same [`RoundCore`] that the in-process
+//! runners and the shard workers drive is driven here by a per-node TCP
+//! event loop.  Two modes:
+//!
+//! * `dft-node --cluster N …` — the launcher: derives the effective crash
+//!   schedule from the same seeded [`RandomCrashes`] adversary the
+//!   simulators use, spawns `N` copies of itself as node processes on
+//!   localhost, collects their results into a decision table, runs the same
+//!   workload through the serial in-process [`Runner`], and diffs the two
+//!   tables byte-for-byte (exit 0 only when identical).
+//! * `dft-node --me ID --peers …` — one node: builds a full TCP mesh
+//!   (connect down to lower ids, accept from higher ids), then runs the
+//!   lock-step round synchronizer described below.
+//!
+//! # Round synchronizer
+//!
+//! Every process executes the same loop: `begin_round` on its single-node
+//! core, apply its own crash directive (every process knows the full
+//! schedule, so the central crash phase of the simulators is replayed
+//! identically everywhere), `deliver` through its own filter, send exactly
+//! one `ROUND` frame to every peer it still owes one (a sync marker even
+//! when the payload is empty), then read exactly one frame from every peer
+//! it still expects one from, merge inboxes in ascending sender order, and
+//! `finalize`.  A node expects a round-`r` frame from peer `p` iff `p` has
+//! not announced a voluntary halt (`GOODBYE`) and `p`'s scheduled crash
+//! round is absent or `>= r` — a peer crashing *at* `r` still owes its
+//! final, filter-limited frame.  All sends complete before any read, so the
+//! lock step cannot deadlock (frames park in kernel socket buffers).
+//!
+//! Exit is a half-close: shut down the write side of every link (FIN), then
+//! drain reads to EOF, so a departing node can never reset a connection
+//! while its last frames are still in flight.
+
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::process::{Command, ExitCode, Stdio};
+use std::time::{Duration, Instant};
+
+use dft_baselines::FloodingConsensus;
+use dft_bench::baseline::{self, BenchConfig, BenchReport, ExperimentBench};
+use dft_bench::{Table, Workload};
+use dft_sim::shard::{
+    frame, from_bytes, open_frame, to_bytes, ShardTransport, StreamTransport, Wire,
+};
+use dft_sim::{
+    AdversaryView, CrashAdversary, Delivered, DeliveryFilter, NoFaults, NodeId, NodeSet,
+    Participant, RandomCrashes, Round, RoundCore, Runner,
+};
+
+/// Frame tags of the node-to-node protocol (the shard protocol uses low tag
+/// numbers; this range is disjoint so a misdirected frame fails loudly).
+const TAG_HELLO: u8 = 110;
+const TAG_ROUND: u8 = 111;
+const TAG_GOODBYE: u8 = 112;
+
+/// The effective crash schedule: `(round, node, filter)` triples, already
+/// passed through the engine's budget/acceptance rules by the launcher, so
+/// every process can replay the central crash phase without an adversary.
+type Schedule = Vec<(Round, usize, DeliveryFilter)>;
+
+const USAGE: &str = "\
+usage: dft-node --cluster N [--t T] [--crashes C] [--seed S]
+                [--out PATH] [--serial-out PATH] [--bench-json PATH]
+       dft-node --me ID --peers ADDR,ADDR,... --t T --seed S [--schedule HEX]
+
+cluster mode (launcher):
+  --cluster N        node processes to spawn on localhost (N >= 2)
+  --t T              fault bound, < N (default 2)
+  --crashes C        crashes to inject, <= T (default min(2, T))
+  --seed S           seed for inputs and the crash schedule (default 7)
+  --out PATH         also write the cluster decision table to PATH
+  --serial-out PATH  also write the serial decision table to PATH
+  --bench-json PATH  write socket-cluster timings in the BENCH_*.json schema
+
+node mode (one process per node; normally spawned by the launcher):
+  --me ID            this node's index into --peers
+  --peers LIST       every node's host:port in node-id order (includes own)
+  --t T              fault bound (default 2)
+  --seed S           seed the inputs derive from (default 7)
+  --schedule HEX     hex-encoded wire bytes of the effective crash schedule";
+
+fn usage_error(msg: &str) -> ExitCode {
+    eprintln!("dft-node: {msg}");
+    eprintln!("{USAGE}");
+    ExitCode::from(2)
+}
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("dft-node: {msg}");
+    ExitCode::from(1)
+}
+
+// ---------------------------------------------------------------------------
+// CLI parsing
+
+struct ClusterArgs {
+    n: usize,
+    t: usize,
+    crashes: usize,
+    seed: u64,
+    out: Option<String>,
+    serial_out: Option<String>,
+    bench_json: Option<String>,
+}
+
+struct WorkerArgs {
+    me: usize,
+    peers: Vec<SocketAddr>,
+    t: usize,
+    seed: u64,
+    schedule: Schedule,
+}
+
+enum Mode {
+    Cluster(ClusterArgs),
+    Worker(Box<WorkerArgs>),
+}
+
+fn parse_count(flag: &str, value: Option<String>) -> Result<usize, String> {
+    let value = value.ok_or_else(|| format!("{flag} needs a value"))?;
+    value
+        .parse::<usize>()
+        .map_err(|_| format!("{flag} needs a non-negative integer, got `{value}`"))
+}
+
+fn parse_seed(value: Option<String>) -> Result<u64, String> {
+    let value = value.ok_or("--seed needs a value")?;
+    value
+        .parse::<u64>()
+        .map_err(|_| format!("--seed needs a non-negative integer, got `{value}`"))
+}
+
+fn parse_path(flag: &str, value: Option<String>) -> Result<String, String> {
+    value.ok_or_else(|| format!("{flag} needs a path"))
+}
+
+fn parse_args(args: Vec<String>) -> Result<Mode, String> {
+    let mut cluster: Option<usize> = None;
+    let mut me: Option<usize> = None;
+    let mut peers: Option<String> = None;
+    let mut t: usize = 2;
+    let mut crashes: Option<usize> = None;
+    let mut seed: u64 = 7;
+    let mut schedule_hex: Option<String> = None;
+    let mut out = None;
+    let mut serial_out = None;
+    let mut bench_json = None;
+
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--cluster" => cluster = Some(parse_count("--cluster", it.next())?),
+            "--me" => me = Some(parse_count("--me", it.next())?),
+            "--peers" => peers = Some(it.next().ok_or("--peers needs an address list")?),
+            "--t" => t = parse_count("--t", it.next())?,
+            "--crashes" => crashes = Some(parse_count("--crashes", it.next())?),
+            "--seed" => seed = parse_seed(it.next())?,
+            "--schedule" => schedule_hex = Some(it.next().ok_or("--schedule needs hex bytes")?),
+            "--out" => out = Some(parse_path("--out", it.next())?),
+            "--serial-out" => serial_out = Some(parse_path("--serial-out", it.next())?),
+            "--bench-json" => bench_json = Some(parse_path("--bench-json", it.next())?),
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+
+    match (cluster, me) {
+        (Some(_), Some(_)) => Err("--cluster and --me are mutually exclusive".to_string()),
+        (Some(n), None) => {
+            if n < 2 {
+                return Err(format!("--cluster needs at least 2 nodes, got {n}"));
+            }
+            if t >= n {
+                return Err(format!("--t must be < n ({n}), got {t}"));
+            }
+            let crashes = crashes.unwrap_or_else(|| t.min(2));
+            if crashes > t {
+                return Err(format!("--crashes must be <= t ({t}), got {crashes}"));
+            }
+            Ok(Mode::Cluster(ClusterArgs {
+                n,
+                t,
+                crashes,
+                seed,
+                out,
+                serial_out,
+                bench_json,
+            }))
+        }
+        (None, Some(me)) => {
+            let peers = peers.ok_or("node mode needs --peers")?;
+            if peers.is_empty() {
+                return Err("--peers must list at least two addresses, got none".to_string());
+            }
+            let peers = peers
+                .split(',')
+                .map(|addr| {
+                    addr.parse::<SocketAddr>()
+                        .map_err(|_| format!("bad peer address `{addr}` (want host:port)"))
+                })
+                .collect::<Result<Vec<SocketAddr>, String>>()?;
+            if peers.len() < 2 {
+                return Err(format!(
+                    "--peers must list at least two addresses, got {}",
+                    peers.len()
+                ));
+            }
+            if me >= peers.len() {
+                return Err(format!(
+                    "--me {me} is out of range for {} peers",
+                    peers.len()
+                ));
+            }
+            if t >= peers.len() {
+                return Err(format!("--t must be < n ({}), got {t}", peers.len()));
+            }
+            let schedule = match schedule_hex {
+                None => Vec::new(),
+                Some(hex) => {
+                    let bytes = hex_decode(&hex)
+                        .ok_or_else(|| format!("--schedule is not hex: `{hex}`"))?;
+                    from_bytes::<Schedule>(&bytes)
+                        .map_err(|err| format!("--schedule does not decode: {err}"))?
+                }
+            };
+            Ok(Mode::Worker(Box::new(WorkerArgs {
+                me,
+                peers,
+                t,
+                seed,
+                schedule,
+            })))
+        }
+        (None, None) => Err("pick a mode: --cluster N or --me ID".to_string()),
+    }
+}
+
+fn hex_encode(bytes: &[u8]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        let _ = write!(out, "{b:02x}");
+    }
+    out
+}
+
+fn hex_decode(hex: &str) -> Option<Vec<u8>> {
+    if !hex.len().is_multiple_of(2) {
+        return None;
+    }
+    (0..hex.len())
+        .step_by(2)
+        .map(|i| u8::from_str_radix(hex.get(i..i + 2)?, 16).ok())
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Shared: schedule extraction and the decision table
+
+/// Replays the crash adversary against synthetic views and the engine's
+/// acceptance rules ([`dft_sim`]'s budget `break`, out-of-range /
+/// already-crashed `continue`) to obtain the *effective* schedule — exactly
+/// the crashes a serial run applies.  Sound because [`RandomCrashes`] plans
+/// from `(seed, round)` alone, never from the view's intents; the launcher
+/// passes the result to every node process so all of them replay the same
+/// central crash phase.
+fn extract_schedule(n: usize, t: usize, crashes: usize, horizon: u64, seed: u64) -> Schedule {
+    let mut accepted: Schedule = Vec::new();
+    if crashes == 0 {
+        return accepted;
+    }
+    let mut adversary = RandomCrashes::new(n, crashes, horizon, seed);
+    let mut alive = NodeSet::full(n);
+    let mut crashed = NodeSet::empty(n);
+    let send_intents: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+    let poll_intents: Vec<Option<NodeId>> = vec![None; n];
+    for r in 0..horizon {
+        let round = Round::new(r);
+        let directives = adversary.plan_round(&AdversaryView {
+            round,
+            alive: &alive,
+            crashed: &crashed,
+            send_intents: &send_intents,
+            poll_intents: &poll_intents,
+            remaining_budget: t - accepted.len(),
+        });
+        for directive in directives {
+            if accepted.len() >= t {
+                break;
+            }
+            let idx = directive.node.index();
+            if idx >= n || crashed.contains(directive.node) {
+                continue;
+            }
+            alive.remove(directive.node);
+            crashed.insert(directive.node);
+            accepted.push((round, idx, directive.deliver));
+        }
+    }
+    accepted
+}
+
+/// Everything one decision table needs; built identically from the cluster's
+/// `RESULT` lines and from a serial [`Runner`] report so the two renderings
+/// can be compared byte-for-byte.
+struct DecisionData {
+    n: usize,
+    t: usize,
+    crashes: usize,
+    seed: u64,
+    inputs: Vec<bool>,
+    outputs: Vec<Option<bool>>,
+    crashed_at: Vec<Option<u64>>,
+    halted_at: Vec<Option<u64>>,
+    rounds: u64,
+    messages: u64,
+    bits: u64,
+}
+
+fn opt_bool(value: Option<bool>) -> String {
+    value.map_or_else(|| "-".to_string(), |v| u8::from(v).to_string())
+}
+
+fn opt_u64(value: Option<u64>) -> String {
+    value.map_or_else(|| "-".to_string(), |v| v.to_string())
+}
+
+fn decision_table(data: &DecisionData) -> String {
+    let DecisionData {
+        n,
+        t,
+        crashes,
+        seed,
+        ..
+    } = data;
+    let mut table = Table::new(
+        "EC1 cluster_flooding",
+        &format!(
+            "flooding consensus, n={n} t={t} crashes={crashes} seed={seed}: \
+             every surviving node decides the OR of inputs that reached it"
+        ),
+        &["node", "input", "output", "crashed@", "halted@"],
+    );
+    for i in 0..data.n {
+        table.push_row(vec![
+            i.to_string(),
+            u8::from(data.inputs[i]).to_string(),
+            opt_bool(data.outputs[i]),
+            opt_u64(data.crashed_at[i]),
+            opt_u64(data.halted_at[i]),
+        ]);
+    }
+    format!(
+        "{}rounds    {}\nmessages  {}\nbits      {}\n",
+        table.render(),
+        data.rounds,
+        data.messages,
+        data.bits
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Node mode: the TCP event loop around one single-node RoundCore
+
+/// One mesh link: the framed transport plus the raw socket handle kept for
+/// the half-close at exit.
+struct Link {
+    transport: StreamTransport<TcpStream, TcpStream>,
+    sock: TcpStream,
+}
+
+fn make_link(sock: TcpStream) -> Result<Link, String> {
+    sock.set_nodelay(true).ok();
+    let reader = sock
+        .try_clone()
+        .map_err(|err| format!("clone socket: {err}"))?;
+    let writer = sock
+        .try_clone()
+        .map_err(|err| format!("clone socket: {err}"))?;
+    Ok(Link {
+        transport: StreamTransport::new(reader, writer),
+        sock,
+    })
+}
+
+fn bind_with_retry(addr: SocketAddr) -> Result<TcpListener, String> {
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        match TcpListener::bind(addr) {
+            Ok(listener) => return Ok(listener),
+            Err(err) => {
+                if Instant::now() >= deadline {
+                    return Err(format!("bind {addr}: {err}"));
+                }
+                std::thread::sleep(Duration::from_millis(25));
+            }
+        }
+    }
+}
+
+fn connect_with_retry(addr: SocketAddr) -> Result<TcpStream, String> {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        match TcpStream::connect(addr) {
+            Ok(sock) => return Ok(sock),
+            Err(err) => {
+                if Instant::now() >= deadline {
+                    return Err(format!("connect {addr}: {err}"));
+                }
+                std::thread::sleep(Duration::from_millis(20));
+            }
+        }
+    }
+}
+
+/// Builds the full mesh: listen on `peers[me]`, connect down to every lower
+/// id (announcing ourselves with a `HELLO` frame), accept one connection
+/// from every higher id.  Connect direction is strictly downwards, so the
+/// handshake cannot deadlock.
+fn build_mesh(me: usize, peers: &[SocketAddr]) -> Result<Vec<Option<Link>>, String> {
+    let n = peers.len();
+    let listener = bind_with_retry(peers[me])?;
+    let mut links: Vec<Option<Link>> = (0..n).map(|_| None).collect();
+    for (p, addr) in peers.iter().enumerate().take(me) {
+        let mut link = make_link(connect_with_retry(*addr)?)?;
+        let mut hello = frame(TAG_HELLO);
+        me.encode(&mut hello);
+        link.transport
+            .send(&hello)
+            .map_err(|err| format!("hello to node {p}: {err}"))?;
+        links[p] = Some(link);
+    }
+    for _ in me + 1..n {
+        let (sock, _) = listener.accept().map_err(|err| format!("accept: {err}"))?;
+        let mut link = make_link(sock)?;
+        let buf = link
+            .transport
+            .recv()
+            .map_err(|err| format!("read hello: {err}"))?;
+        let (tag, mut reader) =
+            open_frame(&buf).map_err(|err| format!("bad hello frame: {err}"))?;
+        if tag != TAG_HELLO {
+            return Err(format!("expected HELLO, got tag {tag}"));
+        }
+        let peer = usize::decode(&mut reader).map_err(|err| format!("bad hello body: {err}"))?;
+        if peer <= me || peer >= n {
+            return Err(format!("hello from unexpected node {peer}"));
+        }
+        if links[peer].is_some() {
+            return Err(format!("duplicate hello from node {peer}"));
+        }
+        links[peer] = Some(link);
+    }
+    Ok(links)
+}
+
+fn link_mut(links: &mut [Option<Link>], p: usize) -> &mut Link {
+    links[p].as_mut().expect("mesh link established at startup")
+}
+
+fn run_worker(args: &WorkerArgs) -> Result<(), String> {
+    let n = args.peers.len();
+    let me = args.me;
+    let rounds = FloodingConsensus::total_rounds(args.t);
+    let inputs = Workload {
+        n,
+        t: args.t,
+        crashes: 0,
+        seed: args.seed,
+        jobs: 1,
+        shards: 1,
+    }
+    .mixed_inputs();
+    let node = FloodingConsensus::for_all_nodes(n, args.t, &inputs)
+        .into_iter()
+        .nth(me)
+        .expect("me < n validated at parse time");
+    let mut core: RoundCore<FloodingConsensus> =
+        RoundCore::new(me, vec![Participant::Honest(node)]);
+
+    let my_crash = args
+        .schedule
+        .iter()
+        .find(|(_, victim, _)| *victim == me)
+        .map(|(round, _, filter)| (round.as_u64(), filter.clone()));
+    let crash_round_of = |p: usize| {
+        args.schedule
+            .iter()
+            .find(|(_, victim, _)| *victim == p)
+            .map(|(round, _, _)| round.as_u64())
+    };
+
+    let mut links = build_mesh(me, &args.peers)?;
+    let mut goodbyed = vec![false; n];
+    let mut halted_at: Option<u64> = None;
+    let mut messages = 0u64;
+    let mut bits = 0u64;
+
+    for r in 0..rounds {
+        let round = Round::new(r);
+        core.begin_round(round);
+
+        // Replay of the central crash phase: my own verdict only — peers
+        // apply theirs, so the filters seen across the cluster are exactly
+        // the serial engine's.
+        let crashing = matches!(&my_crash, Some((cr, _)) if *cr == r);
+        let filters: Vec<(usize, DeliveryFilter)> = if crashing {
+            let (_, filter) = my_crash.as_ref().expect("crashing implies schedule entry");
+            core.set_crashed(0, round);
+            vec![(me, filter.clone())]
+        } else {
+            Vec::new()
+        };
+        core.deliver(&filters);
+
+        // Stage this round's surviving messages per destination.
+        let mut per_dest: Vec<Vec<Delivered<bool>>> = (0..n).map(|_| Vec::new()).collect();
+        for (dest, msg) in core.delivered() {
+            if *dest < n {
+                per_dest[*dest].push(msg.clone());
+            }
+        }
+
+        // Send phase: one ROUND frame to every peer that still expects one
+        // (a sync marker even when empty).  Peers that crashed at a round
+        // <= r or said GOODBYE are gone — the serial merge drops messages
+        // to them too.
+        for p in 0..n {
+            if p == me || goodbyed[p] || crash_round_of(p).is_some_and(|cr| cr <= r) {
+                continue;
+            }
+            let mut buf = frame(TAG_ROUND);
+            (round, std::mem::take(&mut per_dest[p])).encode(&mut buf);
+            link_mut(&mut links, p)
+                .transport
+                .send(&buf)
+                .map_err(|err| format!("round {r} frame to node {p}: {err}"))?;
+        }
+
+        if crashing {
+            // A crashed node never receives or halts; `finalize` only
+            // surfaces the counters `deliver` recorded for the filtered
+            // final sends.
+            let outcome = core.finalize(round);
+            messages += outcome.messages;
+            bits += outcome.bits;
+            break;
+        }
+
+        // Read phase: exactly one frame from every peer still owing one.
+        let mut from_peer: Vec<Vec<Delivered<bool>>> = (0..n).map(|_| Vec::new()).collect();
+        for p in 0..n {
+            if p == me || goodbyed[p] || crash_round_of(p).is_some_and(|cr| cr < r) {
+                continue;
+            }
+            let buf = link_mut(&mut links, p)
+                .transport
+                .recv()
+                .map_err(|err| format!("round {r} frame from node {p}: {err}"))?;
+            let (tag, mut reader) =
+                open_frame(&buf).map_err(|err| format!("bad frame from node {p}: {err}"))?;
+            match tag {
+                TAG_ROUND => {
+                    let (sent_round, msgs): (Round, Vec<Delivered<bool>>) =
+                        Wire::decode(&mut reader)
+                            .map_err(|err| format!("bad round body from node {p}: {err}"))?;
+                    if !reader.is_empty() {
+                        return Err(format!("trailing bytes in round frame from node {p}"));
+                    }
+                    if sent_round != round {
+                        return Err(format!(
+                            "node {p} sent a round-{} frame during round {r}",
+                            sent_round.as_u64()
+                        ));
+                    }
+                    from_peer[p] = msgs;
+                }
+                TAG_GOODBYE => {
+                    goodbyed[p] = true;
+                }
+                other => return Err(format!("unexpected tag {other} from node {p}")),
+            }
+        }
+
+        // Merge in ascending sender order — the exact order the serial
+        // engine's fixed-chunk merge produces.
+        #[allow(clippy::needless_range_loop)] // `p` switches between two vectors
+        for p in 0..n {
+            let staged = if p == me {
+                std::mem::take(&mut per_dest[me])
+            } else {
+                std::mem::take(&mut from_peer[p])
+            };
+            for msg in staged {
+                core.accept(0, msg);
+            }
+        }
+
+        let (halted, round_messages, round_bits) = {
+            let outcome = core.finalize(round);
+            (
+                outcome.events.iter().any(|event| event.halted),
+                outcome.messages,
+                outcome.bits,
+            )
+        };
+        messages += round_messages;
+        bits += round_bits;
+        if halted {
+            core.set_halted(0);
+            halted_at = Some(r);
+            if r + 1 < rounds {
+                // Early halt (not taken by fixed-length flooding, but the
+                // synchronizer supports it): release peers from expecting
+                // further frames.
+                #[allow(clippy::needless_range_loop)] // `p` also keys `link_mut`
+                for p in 0..n {
+                    if p == me || goodbyed[p] || crash_round_of(p).is_some_and(|cr| cr <= r) {
+                        continue;
+                    }
+                    let mut buf = frame(TAG_GOODBYE);
+                    round.encode(&mut buf);
+                    link_mut(&mut links, p)
+                        .transport
+                        .send(&buf)
+                        .map_err(|err| format!("goodbye to node {p}: {err}"))?;
+                }
+            }
+            break;
+        }
+    }
+
+    println!(
+        "RESULT me={me} output={} halted={} msgs={messages} bits={bits}",
+        opt_bool(core.output(0).copied()),
+        opt_u64(halted_at),
+    );
+
+    // Half-close: FIN everything first, then drain to EOF.  Because every
+    // process FINs before it blocks on a drain read, the drains cannot
+    // deadlock, and no process can reset a socket that still carries
+    // undelivered frames.
+    for link in links.iter().flatten() {
+        link.sock.shutdown(Shutdown::Write).ok();
+    }
+    for link in links.iter_mut().flatten() {
+        while link.transport.recv().is_ok() {}
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Cluster mode: launcher, collector, differ
+
+struct NodeResult {
+    output: Option<bool>,
+    halted_at: Option<u64>,
+    messages: u64,
+    bits: u64,
+}
+
+fn parse_result_line(me: usize, stdout: &str) -> Result<NodeResult, String> {
+    let line = stdout
+        .lines()
+        .find_map(|line| line.strip_prefix("RESULT "))
+        .ok_or_else(|| format!("node {me} printed no RESULT line"))?;
+    let mut result = NodeResult {
+        output: None,
+        halted_at: None,
+        messages: 0,
+        bits: 0,
+    };
+    let mut seen_me = None;
+    for token in line.split_whitespace() {
+        let (key, value) = token
+            .split_once('=')
+            .ok_or_else(|| format!("node {me}: bad RESULT token `{token}`"))?;
+        let parsed = match (key, value) {
+            ("me", _) => {
+                seen_me = value.parse::<usize>().ok();
+                seen_me.is_some()
+            }
+            ("output", "-") => true,
+            ("output", _) => {
+                result.output = match value {
+                    "0" => Some(false),
+                    "1" => Some(true),
+                    _ => None,
+                };
+                result.output.is_some()
+            }
+            ("halted", "-") => true,
+            ("halted", _) => {
+                result.halted_at = value.parse::<u64>().ok();
+                result.halted_at.is_some()
+            }
+            ("msgs", _) => value.parse::<u64>().map(|v| result.messages = v).is_ok(),
+            ("bits", _) => value.parse::<u64>().map(|v| result.bits = v).is_ok(),
+            _ => false,
+        };
+        if !parsed {
+            return Err(format!("node {me}: bad RESULT token `{token}`"));
+        }
+    }
+    if seen_me != Some(me) {
+        return Err(format!("node {me}: RESULT line identifies {seen_me:?}"));
+    }
+    Ok(result)
+}
+
+/// Picks a contiguous localhost port range that is currently free, derived
+/// deterministically from the seed so reruns collide rarely and CI logs are
+/// reproducible.  The probe binds all `n` ports at once before releasing
+/// them; the small bind-to-spawn race is covered by the workers' bind retry.
+fn pick_base_port(n: usize, seed: u64) -> Option<u16> {
+    for attempt in 0..64u64 {
+        let offset = seed
+            .wrapping_mul(2_654_435_761)
+            .wrapping_add(attempt.wrapping_mul(653))
+            % 30_000;
+        let base = 20_000 + offset as u16;
+        if usize::from(base) + n > usize::from(u16::MAX) {
+            continue;
+        }
+        let held: Result<Vec<TcpListener>, _> = (0..n)
+            .map(|i| TcpListener::bind(("127.0.0.1", base + i as u16)))
+            .collect();
+        if held.is_ok() {
+            return Some(base);
+        }
+    }
+    None
+}
+
+fn serial_decision_data(
+    args: &ClusterArgs,
+    horizon: u64,
+    inputs: &[bool],
+) -> Result<DecisionData, String> {
+    let nodes = FloodingConsensus::for_all_nodes(args.n, args.t, inputs);
+    let adversary: Box<dyn CrashAdversary> = if args.crashes == 0 {
+        Box::new(NoFaults)
+    } else {
+        Box::new(RandomCrashes::new(args.n, args.crashes, horizon, args.seed))
+    };
+    let mut runner =
+        Runner::with_adversary(nodes, adversary, args.t).map_err(|err| err.to_string())?;
+    let report = runner.run(horizon + 2);
+    Ok(DecisionData {
+        n: args.n,
+        t: args.t,
+        crashes: args.crashes,
+        seed: args.seed,
+        inputs: inputs.to_vec(),
+        outputs: report.outputs.clone(),
+        crashed_at: report
+            .crashed_at
+            .iter()
+            .map(|round| round.map(Round::as_u64))
+            .collect(),
+        halted_at: report
+            .halted_at
+            .iter()
+            .map(|round| round.map(Round::as_u64))
+            .collect(),
+        rounds: report.metrics.rounds,
+        messages: report.metrics.messages,
+        bits: report.metrics.bits,
+    })
+}
+
+fn write_table(path: &str, table: &str) -> Result<(), String> {
+    std::fs::write(path, table).map_err(|err| format!("write {path}: {err}"))
+}
+
+fn run_cluster(args: &ClusterArgs) -> Result<ExitCode, String> {
+    let horizon = FloodingConsensus::total_rounds(args.t);
+    let schedule = extract_schedule(args.n, args.t, args.crashes, horizon, args.seed);
+    let inputs = Workload {
+        n: args.n,
+        t: args.t,
+        crashes: args.crashes,
+        seed: args.seed,
+        jobs: 1,
+        shards: 1,
+    }
+    .mixed_inputs();
+
+    let base =
+        pick_base_port(args.n, args.seed).ok_or("no free localhost port range for the cluster")?;
+    let peers: Vec<String> = (0..args.n)
+        .map(|i| format!("127.0.0.1:{}", base + i as u16))
+        .collect();
+    let peers_arg = peers.join(",");
+    let schedule_hex = hex_encode(&to_bytes(&schedule));
+    let exe = std::env::current_exe().map_err(|err| format!("current_exe: {err}"))?;
+
+    eprintln!(
+        "dft-node: spawning {} node processes on 127.0.0.1:{}..{} ({} scheduled crashes)",
+        args.n,
+        base,
+        usize::from(base) + args.n - 1,
+        schedule.len()
+    );
+    let started = Instant::now();
+    let mut children = Vec::new();
+    for i in 0..args.n {
+        let child = Command::new(&exe)
+            .arg("--me")
+            .arg(i.to_string())
+            .arg("--peers")
+            .arg(&peers_arg)
+            .arg("--t")
+            .arg(args.t.to_string())
+            .arg("--seed")
+            .arg(args.seed.to_string())
+            .arg("--schedule")
+            .arg(&schedule_hex)
+            .stdout(Stdio::piped())
+            .spawn()
+            .map_err(|err| format!("spawn node {i}: {err}"))?;
+        children.push(child);
+    }
+    let mut results = Vec::new();
+    for (i, child) in children.into_iter().enumerate() {
+        let output = child
+            .wait_with_output()
+            .map_err(|err| format!("wait for node {i}: {err}"))?;
+        if !output.status.success() {
+            return Err(format!("node {i} exited with {:?}", output.status.code()));
+        }
+        results.push(parse_result_line(
+            i,
+            &String::from_utf8_lossy(&output.stdout),
+        )?);
+    }
+    let wall = started.elapsed();
+
+    let crashed_at: Vec<Option<u64>> = (0..args.n)
+        .map(|i| {
+            schedule
+                .iter()
+                .find(|(_, victim, _)| *victim == i)
+                .map(|(round, _, _)| round.as_u64())
+        })
+        .collect();
+    let cluster = DecisionData {
+        n: args.n,
+        t: args.t,
+        crashes: args.crashes,
+        seed: args.seed,
+        inputs: inputs.clone(),
+        outputs: results.iter().map(|r| r.output).collect(),
+        crashed_at,
+        halted_at: results.iter().map(|r| r.halted_at).collect(),
+        rounds: results
+            .iter()
+            .filter_map(|r| r.halted_at)
+            .map(|halted| halted + 1)
+            .max()
+            .unwrap_or(horizon),
+        messages: results.iter().map(|r| r.messages).sum(),
+        bits: results.iter().map(|r| r.bits).sum(),
+    };
+    let cluster_table = decision_table(&cluster);
+    let serial_table = decision_table(&serial_decision_data(args, horizon, &inputs)?);
+
+    if let Some(path) = &args.out {
+        write_table(path, &cluster_table)?;
+    }
+    if let Some(path) = &args.serial_out {
+        write_table(path, &serial_table)?;
+    }
+    if let Some(path) = &args.bench_json {
+        let wall_s = wall.as_secs_f64();
+        let report = BenchReport {
+            config: BenchConfig {
+                scale: "cluster".to_string(),
+                n: Some(args.n as u64),
+                t: Some(args.t as u64),
+                seed: Some(args.seed),
+                jobs: 1,
+                shards: args.n as u64,
+                samples: 1,
+                git_rev: baseline::git_revision(),
+            },
+            experiments: vec![ExperimentBench {
+                id: "EC1 cluster_flooding".to_string(),
+                wall_s,
+                trimmed_mean_s: wall_s,
+                min_s: wall_s,
+                max_s: wall_s,
+                messages: Some(cluster.messages),
+                bits: Some(cluster.bits),
+            }],
+            total_wall_s: wall_s,
+        };
+        std::fs::write(path, report.to_json()).map_err(|err| format!("write {path}: {err}"))?;
+    }
+
+    print!("{cluster_table}");
+    if cluster_table == serial_table {
+        println!("cluster and serial decision tables are byte-identical");
+        Ok(ExitCode::SUCCESS)
+    } else {
+        println!("cluster and serial decision tables DIFFER; serial says:");
+        print!("{serial_table}");
+        Ok(ExitCode::FAILURE)
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match parse_args(args) {
+        Ok(Mode::Cluster(cluster)) => match run_cluster(&cluster) {
+            Ok(code) => code,
+            Err(err) => fail(&err),
+        },
+        Ok(Mode::Worker(worker)) => match run_worker(&worker) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(err) => fail(&err),
+        },
+        Err(err) => usage_error(&err),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dft_sim::FixedCrashSchedule;
+
+    #[test]
+    fn hex_round_trips() {
+        let bytes = vec![0u8, 1, 0xab, 0xff, 16];
+        assert_eq!(hex_decode(&hex_encode(&bytes)), Some(bytes));
+        assert_eq!(hex_decode("zz"), None);
+        assert_eq!(hex_decode("abc"), None);
+        assert_eq!(hex_decode(""), Some(Vec::new()));
+    }
+
+    #[test]
+    fn schedule_wire_round_trips_through_hex() {
+        let schedule: Schedule = vec![
+            (Round::new(0), 3, DeliveryFilter::None),
+            (Round::new(2), 1, DeliveryFilter::Prefix(4)),
+            (Round::new(2), 4, DeliveryFilter::Only(vec![NodeId::new(0)])),
+        ];
+        let hex = hex_encode(&to_bytes(&schedule));
+        let bytes = hex_decode(&hex).expect("valid hex");
+        let decoded: Schedule = from_bytes(&bytes).expect("valid wire bytes");
+        assert_eq!(decoded, schedule);
+    }
+
+    /// The extraction replica must agree with what a real serial run
+    /// applies: same victims, same rounds.
+    #[test]
+    fn extracted_schedule_matches_serial_crash_bookkeeping() {
+        for seed in [0u64, 7, 42, 1337] {
+            let (n, t, crashes) = (9, 4, 4);
+            let horizon = FloodingConsensus::total_rounds(t);
+            let schedule = extract_schedule(n, t, crashes, horizon, seed);
+            let inputs: Vec<bool> = (0..n)
+                .map(|i| (i + seed as usize).is_multiple_of(2))
+                .collect();
+            let nodes = FloodingConsensus::for_all_nodes(n, t, &inputs);
+            let adversary = Box::new(RandomCrashes::new(n, crashes, horizon, seed));
+            let mut runner = Runner::with_adversary(nodes, adversary, t).expect("runner");
+            let report = runner.run(horizon + 2);
+            let mut expected: Vec<Option<u64>> = vec![None; n];
+            for (round, victim, _) in &schedule {
+                expected[*victim] = Some(round.as_u64());
+            }
+            let actual: Vec<Option<u64>> = report
+                .crashed_at
+                .iter()
+                .map(|round| round.map(Round::as_u64))
+                .collect();
+            assert_eq!(actual, expected, "seed {seed}");
+        }
+    }
+
+    /// Replaying the effective schedule through a [`FixedCrashSchedule`]
+    /// must reproduce the RandomCrashes run exactly — this is the identity
+    /// node processes rely on when they apply their own directive locally.
+    #[test]
+    fn effective_schedule_reproduces_the_random_run() {
+        let (n, t, crashes, seed) = (7, 3, 3, 11);
+        let horizon = FloodingConsensus::total_rounds(t);
+        let schedule = extract_schedule(n, t, crashes, horizon, seed);
+        let inputs: Vec<bool> = (0..n)
+            .map(|i| (i + seed as usize).is_multiple_of(2))
+            .collect();
+
+        let mut random = Runner::with_adversary(
+            FloodingConsensus::for_all_nodes(n, t, &inputs),
+            Box::new(RandomCrashes::new(n, crashes, horizon, seed)),
+            t,
+        )
+        .expect("runner");
+        let random_report = random.run(horizon + 2);
+
+        let mut fixed_schedule = FixedCrashSchedule::new();
+        for (round, victim, filter) in &schedule {
+            fixed_schedule = fixed_schedule.crash_at(
+                round.as_u64(),
+                dft_sim::CrashDirective {
+                    node: NodeId::new(*victim),
+                    deliver: filter.clone(),
+                },
+            );
+        }
+        let mut fixed = Runner::with_adversary(
+            FloodingConsensus::for_all_nodes(n, t, &inputs),
+            Box::new(fixed_schedule),
+            t,
+        )
+        .expect("runner");
+        let fixed_report = fixed.run(horizon + 2);
+        assert_eq!(random_report, fixed_report);
+    }
+
+    #[test]
+    fn result_lines_round_trip() {
+        let parsed =
+            parse_result_line(3, "RESULT me=3 output=1 halted=2 msgs=15 bits=15\n").expect("parse");
+        assert_eq!(parsed.output, Some(true));
+        assert_eq!(parsed.halted_at, Some(2));
+        assert_eq!(parsed.messages, 15);
+        assert_eq!(parsed.bits, 15);
+
+        let crashed =
+            parse_result_line(0, "RESULT me=0 output=- halted=- msgs=5 bits=5\n").expect("parse");
+        assert_eq!(crashed.output, None);
+        assert_eq!(crashed.halted_at, None);
+
+        assert!(parse_result_line(1, "no result here\n").is_err());
+        assert!(parse_result_line(1, "RESULT me=2 output=- halted=- msgs=0 bits=0\n").is_err());
+    }
+
+    #[test]
+    fn decision_table_renders_placeholders() {
+        let table = decision_table(&DecisionData {
+            n: 2,
+            t: 1,
+            crashes: 1,
+            seed: 7,
+            inputs: vec![true, false],
+            outputs: vec![Some(true), None],
+            crashed_at: vec![None, Some(0)],
+            halted_at: vec![Some(1), None],
+            rounds: 2,
+            messages: 6,
+            bits: 6,
+        });
+        assert!(table.contains("EC1 cluster_flooding"));
+        assert!(table.contains("rounds    2"));
+        assert!(table.contains("messages  6"));
+        let row: Vec<&str> = table
+            .lines()
+            .find(|line| line.starts_with('1'))
+            .expect("row for node 1")
+            .split_whitespace()
+            .collect();
+        assert_eq!(row, ["1", "0", "-", "0", "-"]);
+    }
+}

@@ -1,0 +1,93 @@
+//! CLI argument-validation regression tests for `dft-node`.
+//!
+//! Mirrors the `run_experiments` suite: every malformed invocation must be
+//! a usage error (exit code 2, `usage:` line on stderr, nothing on stdout)
+//! — never a panic, a silent default, or a node process blocking on a mesh
+//! handshake that can never complete.
+
+use std::process::{Command, Output};
+
+fn run(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_dft-node"))
+        .args(args)
+        .output()
+        .expect("spawn dft-node")
+}
+
+fn assert_usage_error(args: &[&str]) {
+    let output = run(args);
+    assert_eq!(
+        output.status.code(),
+        Some(2),
+        "{args:?} should be a usage error; stderr: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        stderr.contains("usage: dft-node"),
+        "{args:?} stderr missing usage line: {stderr}"
+    );
+    assert!(
+        output.stdout.is_empty(),
+        "{args:?} printed output despite the usage error"
+    );
+}
+
+#[test]
+fn missing_or_conflicting_modes_are_usage_errors() {
+    assert_usage_error(&[]);
+    assert_usage_error(&["--cluster", "5", "--me", "0"]);
+    assert_usage_error(&["--frobnicate"]);
+    assert_usage_error(&["--seed", "abc", "--cluster", "5"]);
+}
+
+#[test]
+fn bad_addresses_are_usage_errors() {
+    // An unparseable peer address must fail before any socket is touched —
+    // otherwise the node would sit in the connect-retry loop for seconds.
+    assert_usage_error(&["--me", "0", "--peers", "not-an-address,127.0.0.1:9001"]);
+    assert_usage_error(&["--me", "0", "--peers", "127.0.0.1:9001,127.0.0.1"]);
+    assert_usage_error(&["--me", "0", "--peers", "127.0.0.1:9001,127.0.0.1:hi"]);
+}
+
+#[test]
+fn zero_or_too_few_peers_are_usage_errors() {
+    assert_usage_error(&["--me", "0", "--peers", ""]);
+    assert_usage_error(&["--me", "0", "--peers", "127.0.0.1:9001"]);
+    assert_usage_error(&["--me", "0"]);
+}
+
+#[test]
+fn out_of_range_ids_and_budgets_are_usage_errors() {
+    assert_usage_error(&["--me", "2", "--peers", "127.0.0.1:9001,127.0.0.1:9002"]);
+    assert_usage_error(&[
+        "--me",
+        "0",
+        "--peers",
+        "127.0.0.1:9001,127.0.0.1:9002",
+        "--t",
+        "2",
+    ]);
+    assert_usage_error(&["--cluster", "0"]);
+    assert_usage_error(&["--cluster", "1"]);
+    assert_usage_error(&["--cluster", "5", "--t", "5"]);
+    assert_usage_error(&["--cluster", "5", "--t", "2", "--crashes", "3"]);
+}
+
+#[test]
+fn malformed_schedules_are_usage_errors() {
+    let peers = "127.0.0.1:9001,127.0.0.1:9002";
+    assert_usage_error(&["--me", "0", "--peers", peers, "--schedule", "zz"]);
+    assert_usage_error(&["--me", "0", "--peers", peers, "--schedule", "abc"]);
+    // Valid hex, but not a wire-encoded schedule.
+    assert_usage_error(&["--me", "0", "--peers", peers, "--schedule", "ff"]);
+}
+
+#[test]
+fn missing_values_are_usage_errors() {
+    assert_usage_error(&["--cluster"]);
+    assert_usage_error(&["--cluster", "5", "--seed"]);
+    assert_usage_error(&["--cluster", "5", "--out"]);
+    assert_usage_error(&["--cluster", "5", "--bench-json"]);
+    assert_usage_error(&["--me", "0", "--peers"]);
+}

@@ -1,0 +1,83 @@
+//! End-to-end socket-cluster smoke test: the acceptance gate of the
+//! sans-I/O refactor, run against the real binary.
+//!
+//! Spawns the launcher, which itself spawns 5 node processes on localhost,
+//! injects 2 crashes from the seeded `RandomCrashes` schedule, and diffs
+//! the cluster decision table against a serial in-process run.  The
+//! launcher exits non-zero on any divergence, so this test is the
+//! byte-identity check — CI's `cluster-smoke` job runs the same command.
+
+use std::process::Command;
+
+fn run_cluster(extra: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_dft-node"))
+        .args(["--cluster", "5", "--t", "2", "--crashes", "2"])
+        .args(extra)
+        .output()
+        .expect("spawn dft-node launcher")
+}
+
+#[test]
+fn five_process_cluster_matches_serial_run() {
+    let output = run_cluster(&["--seed", "7"]);
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        output.status.success(),
+        "launcher failed\nstdout:\n{stdout}\nstderr:\n{stderr}"
+    );
+    assert!(
+        stdout.contains("cluster and serial decision tables are byte-identical"),
+        "launcher did not report byte identity:\n{stdout}"
+    );
+    // The decision table itself is on stdout: every node row accounted for.
+    for node in 0..5 {
+        assert!(
+            stdout
+                .lines()
+                .any(|line| line.starts_with(&node.to_string())),
+            "missing row for node {node}:\n{stdout}"
+        );
+    }
+}
+
+#[test]
+fn cluster_emits_bench_json_and_tables() {
+    let dir = std::env::temp_dir().join(format!("dft_node_smoke_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    let bench = dir.join("BENCH_cluster.json");
+    let table = dir.join("cluster_table.txt");
+    let serial = dir.join("serial_table.txt");
+    let output = run_cluster(&[
+        "--seed",
+        "42",
+        "--bench-json",
+        bench.to_str().expect("utf-8 path"),
+        "--out",
+        table.to_str().expect("utf-8 path"),
+        "--serial-out",
+        serial.to_str().expect("utf-8 path"),
+    ]);
+    assert!(
+        output.status.success(),
+        "launcher failed: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let cluster_table = std::fs::read_to_string(&table).expect("cluster table written");
+    let serial_table = std::fs::read_to_string(&serial).expect("serial table written");
+    assert_eq!(
+        cluster_table, serial_table,
+        "written tables must be byte-identical"
+    );
+    let json = std::fs::read_to_string(&bench).expect("bench json written");
+    assert!(json.contains("\"schema\": 1"), "bench json schema: {json}");
+    assert!(
+        json.contains("\"scale\": \"cluster\""),
+        "bench json scale: {json}"
+    );
+    assert!(
+        json.contains("EC1 cluster_flooding"),
+        "bench json experiment id: {json}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -22,6 +22,11 @@
 //!   rounds until all non-faulty nodes halt, point-to-point messages and the
 //!   total bits they carry, counting only non-faulty senders in the Byzantine
 //!   model.
+//! * [`driver`] — the sans-I/O round cores ([`RoundCore`] /
+//!   [`SinglePortCore`]): the four-phase round semantics as pure state
+//!   transitions, with no knowledge of threads, pipes, or sockets.  Every
+//!   backend below — the in-process runners, the worker pool, the shard
+//!   workers, and the `dft-node` TCP cluster — drives these same structs.
 //! * [`parallel`] — the deterministic parallel-execution layer: both
 //!   runners accept a job count (`set_jobs`) and split their per-node phase
 //!   loops across a *persistent* worker pool (spawned once per runner,
@@ -95,6 +100,7 @@
 
 pub mod adversary;
 mod delivery;
+pub mod driver;
 mod error;
 mod message;
 mod metrics;
@@ -113,6 +119,7 @@ pub use adversary::{
     AdaptiveSplitAdversary, AdversaryView, CrashAdversary, CrashDirective, DeliveryFilter,
     FixedCrashSchedule, NoFaults, RandomCrashes, TargetedCrashes,
 };
+pub use driver::{NodeEvent, RoundCore, RoundOutcome, SinglePortCore};
 pub use error::{SimError, SimResult};
 pub use message::{Delivered, Outgoing, Payload};
 pub use metrics::Metrics;

@@ -95,20 +95,6 @@ impl ChunkPlan {
     }
 }
 
-/// A decision/halt event observed by a phase worker, replayed by the main
-/// thread in node-index order so traces and statuses update exactly as in a
-/// serial run.  Shared by both runners' receive phases (the replay loops
-/// themselves differ: the single-port runner additionally frees a halted
-/// node's buffered ports).
-pub(crate) struct NodeEvent {
-    /// The node the event concerns.
-    pub node: usize,
-    /// The node produced its first output this round.
-    pub decided: bool,
-    /// The node voluntarily halted this round.
-    pub halted: bool,
-}
-
 /// Whether a runner over `n` nodes with this job setting and fork threshold
 /// should take the parallel path.
 pub(crate) fn should_fork(n: usize, jobs: usize, threshold: usize) -> bool {

@@ -5,31 +5,31 @@
 //! paper reports: rounds until all non-faulty nodes halt, messages and bits
 //! sent by non-faulty nodes.
 //!
-//! The round loop is built on the batched-delivery core in
-//! [`delivery`](crate::delivery): alive/crashed sets are maintained
-//! incrementally, and the per-round working storage (outgoing queues, send
-//! intents, inboxes) lives in flat buffers reused across rounds instead of
-//! being reallocated every round.
+//! The round semantics live in the sans-I/O [`RoundCore`]
+//! (see [`crate::driver`]): the runner partitions its nodes into one or more
+//! cores and drives the same four-phase protocol every backend drives —
+//! collect sends, run the crash adversary centrally, deliver, finalize.
+//! With one core (the default) the phases run inline on this thread; with
+//! [`Runner::set_jobs`] the per-core phase bodies run on the persistent
+//! worker pool of [`crate::pool`] (workers are spawned once, on the first
+//! forked round, and phase work is handed to them by moving owned cores
+//! over channels — the ownership-shuttle design described in the pool
+//! module docs).  The crash-adversary phase always stays serial.
 //!
-//! With [`Runner::set_jobs`] the per-node phase loops (send collection,
-//! delivery, receive) run on the persistent worker pool of [`crate::pool`]:
-//! workers are spawned once, on the first forked round, and phase work is
-//! handed to them by moving owned node-range chunks over channels (the
-//! ownership-shuttle design described in the pool module docs); the
-//! crash-adversary phase always stays serial.  Parallel execution is
-//! deterministic: per-chunk scratch buffers are merged in fixed node-index
-//! order, so reports, metrics and traces are byte-identical to a serial run
-//! (see [`crate::parallel`] and the threading-model notes in `DESIGN.md`).
+//! Execution is deterministic regardless of the partition: per-core scratch
+//! buffers are merged in fixed node-index order, so reports, metrics and
+//! traces are byte-identical across core counts (see [`crate::parallel`]
+//! and the threading-model notes in `DESIGN.md`).
 
 use std::sync::Arc;
 
 use crate::adversary::byzantine::ByzantineStrategy;
 use crate::adversary::{CrashAdversary, DeliveryFilter, NoFaults};
 use crate::delivery::EngineCore;
+use crate::driver::RoundCore;
 use crate::error::{SimError, SimResult};
-use crate::message::{Delivered, Outgoing, Payload};
 use crate::node::{NodeId, NodeSet};
-use crate::parallel::{self, ChunkPlan, NodeEvent};
+use crate::parallel::{self, ChunkPlan};
 use crate::pool::WorkerPool;
 use crate::protocol::{NodeStatus, SyncProtocol};
 use crate::report::{ExecutionReport, Termination};
@@ -50,7 +50,7 @@ pub enum Participant<P: SyncProtocol> {
 }
 
 impl<P: SyncProtocol> Participant<P> {
-    fn is_byzantine(&self) -> bool {
+    pub(crate) fn is_byzantine(&self) -> bool {
         matches!(self, Participant::Byzantine(_))
     }
 }
@@ -94,12 +94,10 @@ impl<P: SyncProtocol> std::fmt::Debug for Participant<P> {
 /// assert_eq!(report.metrics.rounds, 1);
 /// ```
 pub struct Runner<P: SyncProtocol> {
-    participants: Vec<Participant<P>>,
     /// `byzantine_mask[i]` iff participant `i` is Byzantine.  Membership is
     /// fixed at construction; the mask lets delivery workers read it without
     /// requiring `Sync` on participants.
     byzantine_mask: Vec<bool>,
-    outputs: Vec<Option<P::Output>>,
     adversary: Box<dyn CrashAdversary>,
     core: EngineCore,
     /// Worker threads used for the per-node phase loops (1 = serial).
@@ -107,191 +105,24 @@ pub struct Runner<P: SyncProtocol> {
     /// Node count above which `jobs > 1` engages the worker pool (see
     /// `parallel::MIN_NODES_PER_FORK`).
     fork_threshold: usize,
-    /// Per-node outgoing queues for the current round (reused).
-    outgoing: Vec<Vec<Outgoing<P::Msg>>>,
     /// Per-node intended destinations handed to the adversary (reused).
     send_intents: Vec<Vec<NodeId>>,
     /// The multi-port model has no polling; the adversary still sees one
     /// (always-`None`) slot per node.  See [`crate::AdversaryView`].
     poll_intents: Vec<Option<NodeId>>,
-    /// Per-node inboxes for the current round (reused).
-    inboxes: Vec<Vec<Delivered<P::Msg>>>,
-    /// Byzantine nodes' retained previous-round inboxes.
-    byz_inboxes: Vec<Vec<Delivered<P::Msg>>>,
     /// Byzantine participants still running — with
     /// [`EngineCore::running_nodes`] this makes the per-round "has every
     /// non-faulty node halted?" check O(1).
     byz_running: usize,
     /// Persistent phase workers; spawned lazily on the first forked round
-    /// and reused for every subsequent one.
+    /// and reused for every subsequent one (kept across re-partitions).
     pool: Option<WorkerPool>,
-    /// Owned per-worker node-range partitions of the per-node state above.
-    /// Empty while the runner executes serially; populated (and the flat
-    /// vectors drained) while the pool is engaged.  Slots are `None` only
-    /// transiently, while their chunk is out on a worker.
-    chunks: Vec<Option<Chunk<P>>>,
-    /// The partition the current `chunks` were built with.
-    plan: Option<ChunkPlan>,
-}
-
-/// One worker's owned slice of the runner state while the pool is engaged
-/// (nodes `base .. base + participants.len()`).
-///
-/// The scratch fields (`delivered`, `events`, the metric counters and every
-/// per-node queue) persist across rounds: a phase dispatch moves the whole
-/// chunk to its worker and back, so buffer capacity survives instead of
-/// being reallocated per phase as the retired `thread::scope` design did.
-///
-/// `pub(crate)` because the sharding layer ([`crate::shard`]) serves exactly
-/// this struct on the far side of a [`crate::shard::ShardTransport`]: a
-/// shard worker is a `Chunk` whose phase inputs and outputs cross a frame
-/// pipe instead of a channel.
-pub(crate) struct Chunk<P: SyncProtocol> {
-    /// Global index of the first node in this chunk.
-    pub(crate) base: usize,
-    pub(crate) participants: Vec<Participant<P>>,
-    /// Chunk-local mirror of `EngineCore::status[base..]`, kept in sync by
-    /// the main thread after the crash phase and the event replay.
-    pub(crate) status: Vec<NodeStatus>,
-    /// Chunk-local mirror of the runner's Byzantine mask.
-    pub(crate) byz: Vec<bool>,
-    pub(crate) outgoing: Vec<Vec<Outgoing<P::Msg>>>,
-    pub(crate) send_intents: Vec<Vec<NodeId>>,
-    pub(crate) inboxes: Vec<Vec<Delivered<P::Msg>>>,
-    pub(crate) byz_inboxes: Vec<Vec<Delivered<P::Msg>>>,
-    pub(crate) outputs: Vec<Option<P::Output>>,
-    /// Delivery scratch: surviving messages in sender order, tagged with
-    /// their destination for the main thread's merge.
-    pub(crate) delivered: Vec<(usize, Delivered<P::Msg>)>,
-    /// Receive scratch: decision/halt events for the main thread's replay.
-    pub(crate) events: Vec<NodeEvent>,
-    /// Messages / bits sent by non-Byzantine senders this round.
-    pub(crate) msgs: u64,
-    pub(crate) bits: u64,
-    /// Messages sent by Byzantine senders this round (counted separately).
-    pub(crate) byz_msgs: u64,
-}
-
-impl<P: SyncProtocol> Chunk<P> {
-    /// A fresh chunk at the start of an execution (every node `Running`,
-    /// all scratch empty) — how a shard worker starts before round 0.
-    pub(crate) fn fresh(base: usize, participants: Vec<Participant<P>>) -> Self {
-        let len = participants.len();
-        let byz = participants.iter().map(Participant::is_byzantine).collect();
-        Chunk {
-            base,
-            participants,
-            status: vec![NodeStatus::Running; len],
-            byz,
-            outgoing: (0..len).map(|_| Vec::new()).collect(),
-            send_intents: (0..len).map(|_| Vec::new()).collect(),
-            inboxes: (0..len).map(|_| Vec::new()).collect(),
-            byz_inboxes: (0..len).map(|_| Vec::new()).collect(),
-            outputs: (0..len).map(|_| None).collect(),
-            delivered: Vec::new(),
-            events: Vec::new(),
-            msgs: 0,
-            bits: 0,
-            byz_msgs: 0,
-        }
-    }
-
-    /// Phase 1: collect sends and adversary-visible intents for this
-    /// chunk's nodes — the chunked transcription of
-    /// `Runner::collect_sends_serial`.
-    pub(crate) fn collect_sends(&mut self, round: Round) {
-        for (i, participant) in self.participants.iter_mut().enumerate() {
-            self.outgoing[i] = match (&self.status[i], participant) {
-                (NodeStatus::Running, Participant::Honest(p)) => p.send(round),
-                (NodeStatus::Running, Participant::Byzantine(b)) => {
-                    // Byzantine nodes act on last round's inbox when sending.
-                    b.act(round, &self.byz_inboxes[i])
-                }
-                _ => Vec::new(),
-            };
-            self.send_intents[i].clear();
-            let intents = self.outgoing[i].iter().map(|m| m.to);
-            self.send_intents[i].extend(intents);
-        }
-    }
-
-    /// Phase 3, worker side: scan this chunk's senders into the delivery
-    /// scratch (surviving messages in sender order plus message / bit /
-    /// Byzantine counters).  `filters` holds the delivery filters of nodes
-    /// that crashed this round (globally indexed; almost always empty).
-    /// The destination-status check happens on the main thread during the
-    /// merge, which also clears this chunk's inboxes for the new round —
-    /// done here, while the chunk is exclusively owned by its worker.
-    pub(crate) fn deliver(&mut self, filters: &[(usize, DeliveryFilter)]) {
-        for inbox in &mut self.inboxes {
-            inbox.clear();
-        }
-        self.delivered.clear();
-        self.msgs = 0;
-        self.bits = 0;
-        self.byz_msgs = 0;
-        for (i, queue) in self.outgoing.iter_mut().enumerate() {
-            let sender_idx = self.base + i;
-            let sender = NodeId::new(sender_idx);
-            let is_byzantine = self.byz[i];
-            let filter = filters
-                .iter()
-                .find(|(node, _)| *node == sender_idx)
-                .map(|(_, filter)| filter);
-            for (msg_idx, out) in queue.drain(..).enumerate() {
-                if let Some(filter) = filter {
-                    if !filter.allows(msg_idx, out.to) {
-                        continue;
-                    }
-                }
-                if is_byzantine {
-                    self.byz_msgs += 1;
-                } else {
-                    self.msgs += 1;
-                    self.bits += out.msg.bit_len();
-                }
-                self.delivered
-                    .push((out.to.index(), Delivered::new(sender, out.msg)));
-            }
-        }
-    }
-
-    /// Phase 4, worker side: drive `receive` for this chunk's nodes,
-    /// writing outputs in place and recording decision/halt events for the
-    /// main thread's in-order replay — the chunked transcription of
-    /// `Runner::receive_serial`.
-    pub(crate) fn receive(&mut self, round: Round) {
-        self.events.clear();
-        for (i, participant) in self.participants.iter_mut().enumerate() {
-            if !self.status[i].is_running() {
-                continue;
-            }
-            match participant {
-                Participant::Honest(p) => {
-                    p.receive(round, &self.inboxes[i]);
-                    let mut decided = false;
-                    if let Some(output) = p.output() {
-                        if self.outputs[i].is_none() {
-                            self.outputs[i] = Some(output);
-                            decided = true;
-                        }
-                    }
-                    let halted = p.has_halted();
-                    if decided || halted {
-                        self.events.push(NodeEvent {
-                            node: self.base + i,
-                            decided,
-                            halted,
-                        });
-                    }
-                }
-                Participant::Byzantine(_) => {
-                    // Byzantine nodes just remember their inbox for next round.
-                    std::mem::swap(&mut self.byz_inboxes[i], &mut self.inboxes[i]);
-                }
-            }
-        }
-    }
+    /// The sans-I/O cores holding all per-node state, partitioned per
+    /// `plan` (one core while serial).  Slots are `None` only transiently,
+    /// while their core is out on a pool worker.
+    cores: Vec<Option<RoundCore<P>>>,
+    /// The partition the current `cores` were built with.
+    plan: ChunkPlan,
 }
 
 impl<P: SyncProtocol> Runner<P> {
@@ -347,22 +178,17 @@ impl<P: SyncProtocol> Runner<P> {
             participants.iter().map(Participant::is_byzantine).collect();
         let byz_running = byzantine_mask.iter().filter(|&&b| b).count();
         Ok(Runner {
-            participants,
             byzantine_mask,
-            outputs: (0..n).map(|_| None).collect(),
             adversary,
             core: EngineCore::new(n, fault_budget),
             jobs: 1,
             fork_threshold: parallel::MIN_NODES_PER_FORK,
-            outgoing: (0..n).map(|_| Vec::new()).collect(),
             send_intents: (0..n).map(|_| Vec::new()).collect(),
             poll_intents: vec![None; n],
-            inboxes: (0..n).map(|_| Vec::new()).collect(),
-            byz_inboxes: (0..n).map(|_| Vec::new()).collect(),
             byz_running,
             pool: None,
-            chunks: Vec::new(),
-            plan: None,
+            cores: vec![Some(RoundCore::new(0, participants))],
+            plan: ChunkPlan::new(n, 1),
         })
     }
 
@@ -374,11 +200,11 @@ impl<P: SyncProtocol> Runner<P> {
 
     /// Sets the number of worker threads for the per-node phase loops.
     ///
-    /// `1` (the default) keeps the serial loops; `0` means "pick for me"
-    /// ([`parallel::available_jobs`]).  Parallel execution is deterministic —
-    /// reports, metrics and traces are byte-identical to a serial run — so
-    /// this is purely a performance knob.  Systems below the fork threshold
-    /// stay on the serial path regardless.
+    /// `1` (the default) keeps the single inline core; `0` means "pick for
+    /// me" ([`parallel::available_jobs`]).  Parallel execution is
+    /// deterministic — reports, metrics and traces are byte-identical to a
+    /// serial run — so this is purely a performance knob.  Systems below
+    /// the fork threshold stay on the single-core path regardless.
     pub fn set_jobs(&mut self, jobs: usize) -> &mut Self {
         self.jobs = parallel::effective_jobs(jobs);
         self
@@ -408,8 +234,6 @@ impl<P: SyncProtocol> Runner<P> {
 
     /// Number of nodes.
     pub fn n(&self) -> usize {
-        // Not `participants.len()`: that vector is drained into the pool
-        // chunks while the forked path is engaged.
         self.core.n()
     }
 
@@ -447,40 +271,117 @@ impl<P: SyncProtocol> Runner<P> {
     }
 
     /// Executes one synchronous round: collect sends, apply the crash
-    /// adversary, deliver, receive, update statuses.
+    /// adversary, deliver, finalize statuses.
     ///
-    /// With more than one configured job (see [`Runner::set_jobs`]) the
-    /// three per-node phase loops run on the runner's persistent worker
-    /// pool; the crash-adversary phase always runs serially on this thread.
-    /// Both paths produce byte-identical state, so the fork decision is
-    /// invisible to callers.
+    /// The four phases drive the sans-I/O [`RoundCore`]s; everything
+    /// order-sensitive (crash phase, metric merge, inbox routing,
+    /// decision/halt replay) happens on this thread in fixed node-index
+    /// order.  With more than one configured job (see [`Runner::set_jobs`])
+    /// the per-core phase bodies run on the runner's persistent worker
+    /// pool; the partition is invisible to callers.
     pub fn step(&mut self) {
-        if parallel::should_fork(self.n(), self.jobs, self.fork_threshold) {
-            self.step_forked();
+        let n = self.n();
+        let desired = if parallel::should_fork(n, self.jobs, self.fork_threshold) {
+            ChunkPlan::new(n, self.jobs)
         } else {
-            self.step_serial();
-        }
-    }
+            ChunkPlan::new(n, 1)
+        };
+        self.ensure_plan(desired);
+        let plan = self.plan;
+        let round = self.core.round;
 
-    /// One round on the serial path (also the reference semantics the
-    /// forked path must reproduce byte for byte).
-    fn step_serial(&mut self) {
-        self.ensure_flat();
-        // Phase 1: collect outgoing messages and adversary-visible intents
-        // from every operational participant into the reused per-node queues.
-        self.collect_sends_serial();
+        // Phase 1: collect sends and intents in the cores.
+        self.run_phase(move |core| core.begin_round(round));
+        // Expose the freshly collected intents to the adversary through the
+        // flat per-node view its contract promises: ownership of each
+        // node's intent vector ping-pongs between the core and the flat
+        // slot (both sides rebuild per round, so only capacity persists).
+        for slot in &mut self.cores {
+            let core = slot.as_mut().expect("core home between phases");
+            for (i, intents) in core.send_intents.iter_mut().enumerate() {
+                std::mem::swap(&mut self.send_intents[core.base + i], intents);
+            }
+        }
+
         // Phase 2 (always serial): the crash adversary picks this round's
-        // victims from one coherent view of the whole round.
+        // victims from one coherent view of the whole round; new crashes
+        // are mirrored into the owning cores' status copies, and their
+        // delivery filters collected for the delivery phase.
         self.apply_crash_phase();
-        // Phases 3 and 4: deliver surviving messages, then receive and
-        // update statuses.
-        self.deliver_serial();
-        self.receive_serial();
+        let mut filters: Vec<(usize, DeliveryFilter)> = Vec::new();
+        for &idx in self.core.crashed_this_round() {
+            let core = self.cores[plan.chunk_of(idx)]
+                .as_mut()
+                .expect("core home between phases");
+            let local = idx - core.base;
+            core.status[local] = self.core.status[idx];
+            if let Some(filter) = self.core.filter(idx) {
+                filters.push((idx, filter.clone()));
+            }
+        }
+
+        // Phase 3: cores scan their senders into per-core delivery
+        // scratch; the merge below walks cores in ascending order, which
+        // *is* sender-index order, so inbox ordering and metric totals are
+        // independent of the partition.
+        let filters = Arc::new(filters);
+        self.run_phase(move |core| core.deliver(&filters));
+        for ci in 0..self.cores.len() {
+            let (msgs, bits, byz, mut delivered) = {
+                let core = self.cores[ci].as_mut().expect("core home");
+                (
+                    core.msgs,
+                    core.bits,
+                    core.byz_msgs,
+                    std::mem::take(&mut core.delivered),
+                )
+            };
+            self.core
+                .metrics
+                .record_messages(round.as_u64(), msgs, bits);
+            self.core.metrics.byzantine_messages += byz;
+            for (dest, msg) in delivered.drain(..) {
+                if dest < n && self.core.status[dest].is_running() {
+                    let dest_core = self.cores[plan.chunk_of(dest)].as_mut().expect("core home");
+                    dest_core.inboxes[dest - dest_core.base].push(msg);
+                }
+            }
+            // Hand the (now empty) scratch back so its capacity persists.
+            self.cores[ci].as_mut().expect("core home").delivered = delivered;
+        }
+
+        // Phase 4: cores drive `receive`; the replay below walks cores in
+        // ascending order, so decisions and halts land in node-index order
+        // and the trace is independent of the partition.
+        self.run_phase(move |core| {
+            core.finalize(round);
+        });
+        for ci in 0..self.cores.len() {
+            let events = {
+                let core = self.cores[ci].as_mut().expect("core home");
+                std::mem::take(&mut core.events)
+            };
+            for event in &events {
+                if event.decided {
+                    let core = self.cores[ci].as_ref().expect("core home");
+                    let output = core.outputs[event.node - core.base]
+                        .as_ref()
+                        .expect("decision recorded");
+                    self.core.record_decision(event.node, output);
+                }
+                if event.halted {
+                    self.core.mark_halted(event.node);
+                    let core = self.cores[ci].as_mut().expect("core home");
+                    core.status[event.node - core.base] = NodeStatus::Halted;
+                }
+            }
+            self.cores[ci].as_mut().expect("core home").events = events;
+        }
         self.core.finish_round();
     }
 
     /// Runs the crash phase and keeps the Byzantine-survivor count in sync
-    /// (both execution paths must route crashes through here).
+    /// (every crash must route through here).
     fn apply_crash_phase(&mut self) {
         self.core
             .apply_crash_phase(&mut *self.adversary, &self.send_intents, &self.poll_intents);
@@ -492,227 +393,56 @@ impl<P: SyncProtocol> Runner<P> {
         }
     }
 
-    /// Phase 1, serial path.
-    fn collect_sends_serial(&mut self) {
-        let round = self.core.round;
-        for (i, participant) in self.participants.iter_mut().enumerate() {
-            self.outgoing[i] = match (&self.core.status[i], participant) {
-                (NodeStatus::Running, Participant::Honest(p)) => p.send(round),
-                (NodeStatus::Running, Participant::Byzantine(b)) => {
-                    // Byzantine nodes act on last round's inbox when sending.
-                    b.act(round, &self.byz_inboxes[i])
-                }
-                _ => Vec::new(),
-            };
-            self.send_intents[i].clear();
-            let intents = self.outgoing[i].iter().map(|m| m.to);
-            self.send_intents[i].extend(intents);
+    /// Runs one phase body over every core: inline on this thread while the
+    /// partition has a single core, on the persistent pool otherwise.
+    /// Core `i` always runs on worker `i`; see [`WorkerPool::run_phase`]
+    /// for the ownership-shuttle protocol and the panic behaviour.
+    fn run_phase(&mut self, phase: impl Fn(&mut RoundCore<P>) + Clone + Send + 'static) {
+        if self.cores.len() > 1 {
+            let pool = self.pool.as_ref().expect("pool engaged");
+            pool.run_phase(&mut self.cores, phase);
+        } else {
+            let core = self.cores[0].as_mut().expect("core home");
+            phase(core);
         }
     }
 
-    /// Phase 3, serial path: deliver messages, counting only those actually
-    /// dispatched by non-Byzantine senders.  The per-sender filter lookup is
-    /// hoisted out of the message loop and the counters are accumulated
-    /// locally, then recorded once per round (`Metrics::record_messages`
-    /// is documented byte-identical to per-message recording).
-    fn deliver_serial(&mut self) {
-        let n = self.n();
-        let round = self.core.round;
-        for inbox in &mut self.inboxes {
-            inbox.clear();
-        }
-        let (mut msgs, mut bits, mut byz) = (0u64, 0u64, 0u64);
-        for sender_idx in 0..n {
-            let sender = NodeId::new(sender_idx);
-            let is_byzantine = self.byzantine_mask[sender_idx];
-            let filter = self.core.filter(sender_idx);
-            for (msg_idx, out) in self.outgoing[sender_idx].drain(..).enumerate() {
-                if let Some(filter) = filter {
-                    if !filter.allows(msg_idx, out.to) {
-                        continue;
-                    }
-                }
-                if is_byzantine {
-                    byz += 1;
-                } else {
-                    msgs += 1;
-                    bits += out.msg.bit_len();
-                }
-                let dest = out.to.index();
-                if dest < n && self.core.status[dest].is_running() {
-                    self.inboxes[dest].push(Delivered::new(sender, out.msg));
-                }
-            }
-        }
-        self.core
-            .metrics
-            .record_messages(round.as_u64(), msgs, bits);
-        self.core.metrics.byzantine_messages += byz;
-    }
-
-    /// Phase 4, serial path: receive and update statuses.
-    fn receive_serial(&mut self) {
-        let round = self.core.round;
-        for (i, participant) in self.participants.iter_mut().enumerate() {
-            if !self.core.status[i].is_running() {
-                continue;
-            }
-            match participant {
-                Participant::Honest(p) => {
-                    p.receive(round, &self.inboxes[i]);
-                    if let Some(output) = p.output() {
-                        if self.outputs[i].is_none() {
-                            self.core.record_decision(i, &output);
-                            self.outputs[i] = Some(output);
-                        }
-                    }
-                    if p.has_halted() {
-                        self.core.mark_halted(i);
-                    }
-                }
-                Participant::Byzantine(_) => {
-                    // Byzantine nodes just remember their inbox for next round.
-                    std::mem::swap(&mut self.byz_inboxes[i], &mut self.inboxes[i]);
-                }
-            }
-        }
-    }
-
-    /// One round on the forked path: the three per-node phase loops run on
-    /// the persistent pool, one owned [`Chunk`] per worker, and the main
-    /// thread does everything order-sensitive (crash phase, metric merge,
-    /// inbox routing, decision/halt replay) in fixed node-index order.
-    fn step_forked(&mut self) {
-        let plan = ChunkPlan::new(self.n(), self.jobs);
-        self.ensure_chunked(plan);
-        let n = self.n();
-        let round = self.core.round;
-
-        // Phase 1: collect sends and intents on the workers.
-        self.run_phase(move |chunk| chunk.collect_sends(round));
-        // Expose the freshly collected intents to the adversary through the
-        // flat per-node view its contract promises: ownership of each
-        // node's intent vector ping-pongs between the chunk and the flat
-        // slot (both sides rebuild per round, so only capacity persists).
-        for slot in &mut self.chunks {
-            let chunk = slot.as_mut().expect("chunk home between phases");
-            for (i, intents) in chunk.send_intents.iter_mut().enumerate() {
-                std::mem::swap(&mut self.send_intents[chunk.base + i], intents);
-            }
-        }
-
-        // Phase 2 (always serial): the crash adversary picks this round's
-        // victims from one coherent view of the whole round; new crashes
-        // are mirrored into the owning chunks' status copies, and their
-        // delivery filters collected for the delivery workers.
-        self.apply_crash_phase();
-        let mut filters: Vec<(usize, DeliveryFilter)> = Vec::new();
-        for &idx in self.core.crashed_this_round() {
-            let chunk = self.chunks[plan.chunk_of(idx)]
-                .as_mut()
-                .expect("chunk home between phases");
-            chunk.status[idx - chunk.base] = self.core.status[idx];
-            if let Some(filter) = self.core.filter(idx) {
-                filters.push((idx, filter.clone()));
-            }
-        }
-
-        // Phase 3: workers scan their senders into per-chunk delivery
-        // scratch; the merge below walks chunks in ascending order, which
-        // *is* sender-index order, so inbox ordering and metric totals
-        // match the serial loop byte for byte.
-        let filters = Arc::new(filters);
-        self.run_phase(move |chunk| chunk.deliver(&filters));
-        for ci in 0..self.chunks.len() {
-            let (msgs, bits, byz, mut delivered) = {
-                let chunk = self.chunks[ci].as_mut().expect("chunk home");
-                (
-                    chunk.msgs,
-                    chunk.bits,
-                    chunk.byz_msgs,
-                    std::mem::take(&mut chunk.delivered),
-                )
-            };
-            self.core
-                .metrics
-                .record_messages(round.as_u64(), msgs, bits);
-            self.core.metrics.byzantine_messages += byz;
-            for (dest, msg) in delivered.drain(..) {
-                if dest < n && self.core.status[dest].is_running() {
-                    let dest_chunk = self.chunks[plan.chunk_of(dest)]
-                        .as_mut()
-                        .expect("chunk home");
-                    dest_chunk.inboxes[dest - dest_chunk.base].push(msg);
-                }
-            }
-            // Hand the (now empty) scratch back so its capacity persists.
-            self.chunks[ci].as_mut().expect("chunk home").delivered = delivered;
-        }
-
-        // Phase 4: workers drive `receive`; the replay below walks chunks
-        // in ascending order, so decisions and halts land in node-index
-        // order — the same order (and trace) the serial loop produces.
-        self.run_phase(move |chunk| chunk.receive(round));
-        for ci in 0..self.chunks.len() {
-            let events = {
-                let chunk = self.chunks[ci].as_mut().expect("chunk home");
-                std::mem::take(&mut chunk.events)
-            };
-            for event in &events {
-                if event.decided {
-                    let chunk = self.chunks[ci].as_ref().expect("chunk home");
-                    let output = chunk.outputs[event.node - chunk.base]
-                        .as_ref()
-                        .expect("decision recorded");
-                    self.core.record_decision(event.node, output);
-                }
-                if event.halted {
-                    self.core.mark_halted(event.node);
-                    let chunk = self.chunks[ci].as_mut().expect("chunk home");
-                    chunk.status[event.node - chunk.base] = NodeStatus::Halted;
-                }
-            }
-            self.chunks[ci].as_mut().expect("chunk home").events = events;
-        }
-        self.core.finish_round();
-    }
-
-    /// Dispatches one phase closure per chunk to the persistent pool and
-    /// waits for every chunk to come home.  Chunk `i` always runs on worker
-    /// `i`; see [`WorkerPool::run_phase`] for the ownership-shuttle
-    /// protocol and the panic behaviour.
-    fn run_phase(&mut self, phase: impl Fn(&mut Chunk<P>) + Clone + Send + 'static) {
-        let pool = self.pool.as_ref().expect("pool engaged");
-        pool.run_phase(&mut self.chunks, phase);
-    }
-
-    /// Splits the flat per-node state into owned per-worker chunks (and
-    /// spawns or resizes the pool) according to `plan`.  No-op when the
-    /// current chunks already follow `plan`.
-    fn ensure_chunked(&mut self, plan: ChunkPlan) {
-        if self.plan == Some(plan) {
+    /// Re-partitions the cores (and spawns or resizes the pool) according
+    /// to `plan`.  No-op when the current cores already follow `plan`.
+    fn ensure_plan(&mut self, plan: ChunkPlan) {
+        if self.plan == plan {
             return;
         }
-        self.ensure_flat();
         let n = self.n();
-        if self.pool.as_ref().map(WorkerPool::workers) != Some(plan.chunks) {
+        if plan.chunks > 1 && self.pool.as_ref().map(WorkerPool::workers) != Some(plan.chunks) {
             self.pool = Some(WorkerPool::new(plan.chunks));
         }
-        let mut participants = std::mem::take(&mut self.participants);
-        let mut outgoing = std::mem::take(&mut self.outgoing);
-        let mut inboxes = std::mem::take(&mut self.inboxes);
-        let mut byz_inboxes = std::mem::take(&mut self.byz_inboxes);
-        let mut outputs = std::mem::take(&mut self.outputs);
+        // Drain the old partition into flat per-node state, then deal it
+        // back out chunk by chunk (statuses re-mirrored from the engine
+        // core, scratch rebuilt empty — it is between-rounds state).
+        let mut participants = Vec::with_capacity(n);
+        let mut outgoing = Vec::with_capacity(n);
+        let mut inboxes = Vec::with_capacity(n);
+        let mut byz_inboxes = Vec::with_capacity(n);
+        let mut outputs = Vec::with_capacity(n);
+        for slot in self.cores.drain(..) {
+            let core = slot.expect("core home");
+            participants.extend(core.participants);
+            outgoing.extend(core.outgoing);
+            inboxes.extend(core.inboxes);
+            byz_inboxes.extend(core.byz_inboxes);
+            outputs.extend(core.outputs);
+        }
         let mut participants = participants.drain(..);
         let mut outgoing = outgoing.drain(..);
         let mut inboxes = inboxes.drain(..);
         let mut byz_inboxes = byz_inboxes.drain(..);
         let mut outputs = outputs.drain(..);
-        self.chunks = (0..plan.chunks)
+        self.cores = (0..plan.chunks)
             .map(|ci| {
                 let range = plan.range(ci, n);
                 let len = range.len();
-                Some(Chunk {
+                Some(RoundCore {
                     base: range.start,
                     participants: participants.by_ref().take(len).collect(),
                     status: self.core.status[range.clone()].to_vec(),
@@ -730,30 +460,11 @@ impl<P: SyncProtocol> Runner<P> {
                 })
             })
             .collect();
-        self.plan = Some(plan);
+        self.plan = plan;
     }
 
-    /// Moves chunked state back into the flat per-node vectors (the serial
-    /// path's representation).  The pool itself is kept: re-entering the
-    /// forked path reuses its workers.
-    fn ensure_flat(&mut self) {
-        if self.chunks.is_empty() {
-            return;
-        }
-        for slot in self.chunks.drain(..) {
-            let chunk = slot.expect("chunk home");
-            self.participants.extend(chunk.participants);
-            self.outgoing.extend(chunk.outgoing);
-            self.inboxes.extend(chunk.inboxes);
-            self.byz_inboxes.extend(chunk.byz_inboxes);
-            self.outputs.extend(chunk.outputs);
-        }
-        self.plan = None;
-    }
-
-    /// Builds the final report.  Works in either representation: outputs
-    /// are gathered from the chunks (in ascending base order) whenever the
-    /// pool holds the node state.
+    /// Builds the final report: outputs are gathered from the cores in
+    /// ascending base order.
     fn report(&self, termination: Termination) -> ExecutionReport<P::Output> {
         let n = self.n();
         let byzantine = NodeSet::from_iter(
@@ -764,14 +475,11 @@ impl<P: SyncProtocol> Runner<P> {
                 .filter(|(_, &byz)| byz)
                 .map(|(i, _)| NodeId::new(i)),
         );
-        let outputs = if self.chunks.is_empty() {
-            self.outputs.clone()
-        } else {
-            self.chunks
-                .iter()
-                .flat_map(|slot| slot.as_ref().expect("chunk home").outputs.iter().cloned())
-                .collect()
-        };
+        let outputs = self
+            .cores
+            .iter()
+            .flat_map(|slot| slot.as_ref().expect("core home").outputs.iter().cloned())
+            .collect();
         ExecutionReport {
             outputs,
             crashed_at: self.core.crashed_at.clone(),
@@ -813,6 +521,7 @@ pub fn run_with_crashes<P: SyncProtocol>(
 mod tests {
     use super::*;
     use crate::adversary::{AdversaryView, CrashDirective, FixedCrashSchedule};
+    use crate::message::{Delivered, Outgoing};
 
     /// Every node floods its input to all nodes each round; decides on the OR
     /// of everything seen after 3 rounds.
@@ -1065,7 +774,7 @@ mod tests {
 
     /// A pool reused across two consecutive `run()`s on the same runner
     /// produces transcripts identical to two fresh serial runs: the workers
-    /// and their chunk scratch persist between `run()` calls, and nothing
+    /// and their core scratch persist between `run()` calls, and nothing
     /// about that persistence may leak into results.
     #[test]
     fn pool_reused_across_two_runs_matches_two_serial_runs() {
@@ -1088,7 +797,7 @@ mod tests {
                 .with_jobs(jobs);
             runner.enable_trace();
             // Two back-to-back run() calls: the second resumes the same
-            // execution (and, with jobs > 1, the same pool and chunks).
+            // execution (and, with jobs > 1, the same pool and cores).
             let first = runner.run(4);
             let second = runner.run(10);
             (first, second, runner.trace().events().to_vec())

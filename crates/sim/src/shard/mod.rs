@@ -3,9 +3,10 @@
 //! The persistent worker pool (see [`crate::pool`]) exhausted intra-process
 //! parallelism; this module is the next order of magnitude: the per-node
 //! phase work of one run is partitioned into contiguous node-range chunks —
-//! exactly the `Chunk`/`SpChunk` ownership unit the pool already uses —
-//! and each chunk is served by a **shard worker** on the far side of a
-//! [`ShardTransport`].  Two backends exist:
+//! exactly the sans-I/O [`RoundCore`]/[`SinglePortCore`] ownership unit the
+//! pool already dispatches (see [`crate::driver`]) — and each chunk is
+//! served by a **shard worker** on the far side of a [`ShardTransport`].
+//! Two backends exist:
 //!
 //! * in-process: workers are jobs on the runner's own [`WorkerPool`],
 //!   connected by [`ChannelTransport`] pairs (every frame still crosses the
@@ -49,6 +50,7 @@ use std::ops::Range;
 
 use crate::adversary::{CrashAdversary, DeliveryFilter};
 use crate::delivery::{EngineCore, PortMap};
+use crate::driver::{NodeEvent, RoundCore, SinglePortCore};
 use crate::error::{SimError, SimResult};
 use crate::message::{Delivered, Outgoing, Payload};
 use crate::node::{NodeId, NodeSet};
@@ -57,8 +59,7 @@ use crate::pool::WorkerPool;
 use crate::protocol::{NodeStatus, SinglePortProtocol, SyncProtocol};
 use crate::report::{ExecutionReport, Termination};
 use crate::round::Round;
-use crate::runner::{Chunk, Participant};
-use crate::single_port::SpChunk;
+use crate::runner::Participant;
 use crate::trace::Trace;
 
 pub use transport::{ChannelTransport, ShardTransport, StreamTransport, MAX_FRAME_LEN};
@@ -169,7 +170,7 @@ impl<O: Wire> Wire for WireEvent<O> {
 /// serve loops so the event semantics cannot drift between the runner
 /// families.
 fn events_response<O: Wire + Clone>(
-    events: &[crate::parallel::NodeEvent],
+    events: &[NodeEvent],
     outputs: &[Option<O>],
     status: &mut [NodeStatus],
     base: usize,
@@ -199,8 +200,8 @@ fn events_response<O: Wire + Clone>(
 /// Serves one multi-port chunk over `transport` until `Shutdown` (or EOF).
 ///
 /// The chunk owns nodes `base .. base + participants.len()` of the sharded
-/// execution and runs the same three phase bodies the worker pool runs
-/// (`Chunk`'s `collect_sends` / `deliver` / `receive`); only the phase
+/// execution and runs the same three phase bodies every backend runs
+/// ([`RoundCore`]'s `begin_round` / `deliver` / `finalize`); only the phase
 /// inputs and outputs cross the transport.
 ///
 /// # Errors
@@ -217,7 +218,7 @@ where
     P::Msg: Wire,
     P::Output: Wire,
 {
-    let mut chunk = Chunk::fresh(base, participants);
+    let mut chunk = RoundCore::new(base, participants);
     loop {
         let request = match transport.recv() {
             Ok(frame) => frame,
@@ -228,7 +229,7 @@ where
         match tag {
             REQ_COLLECT => {
                 let round = Round::decode(&mut r).map_err(wire_io)?;
-                chunk.collect_sends(round);
+                chunk.begin_round(round);
                 let mut resp = frame(RESP_INTENTS);
                 chunk.send_intents.encode(&mut resp);
                 transport.send(&resp)?;
@@ -255,9 +256,9 @@ where
                 let inbound: Vec<(usize, Delivered<P::Msg>)> =
                     Vec::decode(&mut r).map_err(wire_io)?;
                 for (local, msg) in inbound {
-                    chunk.inboxes[local].push(msg);
+                    chunk.accept(local, msg);
                 }
-                chunk.receive(round);
+                chunk.finalize(round);
                 let resp = events_response(&chunk.events, &chunk.outputs, &mut chunk.status, base);
                 transport.send(&resp)?;
             }
@@ -293,7 +294,7 @@ where
     P::Msg: Wire,
     P::Output: Wire,
 {
-    let mut chunk = SpChunk::fresh(base, nodes);
+    let mut chunk = SinglePortCore::new(base, nodes);
     loop {
         let request = match transport.recv() {
             Ok(frame) => frame,
@@ -304,7 +305,7 @@ where
         match tag {
             REQ_COLLECT => {
                 let round = Round::decode(&mut r).map_err(wire_io)?;
-                chunk.collect_sends(round);
+                chunk.begin_round(round);
                 let mut resp = frame(RESP_SP_INTENTS);
                 // The parent enqueues the sends itself, so they are *moved*
                 // out of the chunk exactly as the pool's forked path takes
@@ -323,7 +324,7 @@ where
                     chunk.status[local] = NodeStatus::Crashed(round);
                 }
                 chunk.drained = drained;
-                chunk.receive(round);
+                chunk.finalize(round);
                 let resp = events_response(&chunk.events, &chunk.outputs, &mut chunk.status, base);
                 transport.send(&resp)?;
             }

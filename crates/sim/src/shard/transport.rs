@@ -107,7 +107,7 @@ impl<R: Read + Send, W: Write + Send> ShardTransport for StreamTransport<R, W> {
         if len > MAX_FRAME_LEN {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidInput,
-                format!("shard frame of {len} bytes exceeds MAX_FRAME_LEN"),
+                format!("shard frame of {len} bytes exceeds MAX_FRAME_LEN ({MAX_FRAME_LEN} bytes)"),
             ));
         }
         self.writer.write_all(&len.to_le_bytes())?;
@@ -117,18 +117,43 @@ impl<R: Read + Send, W: Write + Send> ShardTransport for StreamTransport<R, W> {
 
     fn recv(&mut self) -> io::Result<Vec<u8>> {
         let mut header = [0u8; 4];
-        self.reader.read_exact(&mut header)?;
+        read_full(&mut self.reader, &mut header)?;
         let len = u32::from_le_bytes(header);
         if len > MAX_FRAME_LEN {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidData,
-                format!("shard frame length {len} exceeds MAX_FRAME_LEN"),
+                format!("shard frame length {len} exceeds MAX_FRAME_LEN ({MAX_FRAME_LEN} bytes)"),
             ));
         }
         let mut frame = vec![0u8; len as usize];
-        self.reader.read_exact(&mut frame)?;
+        read_full(&mut self.reader, &mut frame)?;
         Ok(frame)
     }
+}
+
+/// Fills `buf` completely from `reader` — `read_exact` semantics, written
+/// out so the frame layer's behaviour on real sockets is guaranteed locally
+/// rather than inherited: short reads are retried until the buffer is full
+/// (a TCP `read` returns whatever one segment delivered, routinely less
+/// than a frame), `ErrorKind::Interrupted` is transparently retried (a
+/// signal landing mid-`read(2)` must not kill a cluster node), and EOF
+/// before the buffer fills maps to [`io::ErrorKind::UnexpectedEof`] (how
+/// the serve loops recognise a cleanly departed peer).
+fn read_full(reader: &mut impl Read, mut buf: &mut [u8]) -> io::Result<()> {
+    while !buf.is_empty() {
+        match reader.read(buf) {
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "shard stream closed mid-frame",
+                ))
+            }
+            Ok(n) => buf = &mut buf[n..],
+            Err(err) if err.kind() == io::ErrorKind::Interrupted => continue,
+            Err(err) => return Err(err),
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -177,9 +202,102 @@ mod tests {
 
     #[test]
     fn stream_rejects_oversized_length_prefix() {
+        let len = MAX_FRAME_LEN + 1;
         let mut bytes = Vec::new();
-        bytes.extend_from_slice(&(MAX_FRAME_LEN + 1).to_le_bytes());
+        bytes.extend_from_slice(&len.to_le_bytes());
         let mut rx = StreamTransport::new(bytes.as_slice(), io::sink());
-        assert_eq!(rx.recv().unwrap_err().kind(), io::ErrorKind::InvalidData);
+        let err = rx.recv().unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        let msg = err.to_string();
+        assert!(
+            msg.contains(&len.to_string()),
+            "error names the offending length: {msg}"
+        );
+        assert!(
+            msg.contains(&MAX_FRAME_LEN.to_string()),
+            "error names the cap: {msg}"
+        );
+    }
+
+    #[test]
+    fn oversized_send_error_names_length_and_cap() {
+        // A zeroed vec this large is untouched virtual memory: `send`
+        // rejects it on length alone, before reading a single byte.
+        let len = MAX_FRAME_LEN as usize + 1;
+        let huge = vec![0u8; len];
+        let mut tx = StreamTransport::new(io::empty(), io::sink());
+        let err = tx.send(&huge).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+        let msg = err.to_string();
+        assert!(
+            msg.contains(&len.to_string()),
+            "error names the offending length: {msg}"
+        );
+        assert!(
+            msg.contains(&MAX_FRAME_LEN.to_string()),
+            "error names the cap: {msg}"
+        );
+    }
+
+    /// A reader that delivers one byte at a time and injects a spurious
+    /// `ErrorKind::Interrupted` before every byte — the worst-case behaviour
+    /// a signal-heavy socket read can exhibit.  Frames must still round-trip
+    /// byte-identically.
+    struct InterruptingReader<'a> {
+        data: &'a [u8],
+        pos: usize,
+        interrupt_next: bool,
+    }
+
+    impl Read for InterruptingReader<'_> {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            if self.interrupt_next {
+                self.interrupt_next = false;
+                return Err(io::Error::new(io::ErrorKind::Interrupted, "signal"));
+            }
+            self.interrupt_next = true;
+            if self.pos >= self.data.len() || buf.is_empty() {
+                return Ok(0);
+            }
+            buf[0] = self.data[self.pos];
+            self.pos += 1;
+            Ok(1)
+        }
+    }
+
+    #[test]
+    fn short_and_interrupted_reads_still_assemble_frames() {
+        let mut written: Vec<u8> = Vec::new();
+        {
+            let mut tx = StreamTransport::new(io::empty(), &mut written);
+            tx.send(b"hello").unwrap();
+            tx.send(&[42u8; 97]).unwrap();
+            tx.send(b"").unwrap();
+        }
+        let reader = InterruptingReader {
+            data: &written,
+            pos: 0,
+            interrupt_next: true,
+        };
+        let mut rx = StreamTransport::new(reader, io::sink());
+        assert_eq!(rx.recv().unwrap(), b"hello");
+        assert_eq!(rx.recv().unwrap(), vec![42u8; 97]);
+        assert_eq!(rx.recv().unwrap(), b"");
+        assert_eq!(rx.recv().unwrap_err().kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn eof_mid_frame_is_unexpected_eof() {
+        let mut written: Vec<u8> = Vec::new();
+        {
+            let mut tx = StreamTransport::new(io::empty(), &mut written);
+            tx.send(&[9u8; 50]).unwrap();
+        }
+        // Truncate inside the payload: header promises 50 bytes, stream
+        // delivers 10.
+        written.truncate(4 + 10);
+        let mut rx = StreamTransport::new(written.as_slice(), io::sink());
+        let err = rx.recv().unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
     }
 }

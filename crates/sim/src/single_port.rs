@@ -7,19 +7,21 @@
 //! port are buffered until polled.
 //!
 //! The engine shares the batched-delivery core of
-//! [`delivery`](crate::delivery) with the multi-port runner.  Port buffers
-//! live in a sparse `PortMap`(crate::delivery) rather than the seed's
-//! dense `n × n` queue matrix, so a runner over `n` nodes costs
-//! `O(n + live messages)` memory — the property that makes paper-scale
-//! `n = 10^3`–`10^4` runs feasible.
+//! [`delivery`](crate::delivery) with the multi-port runner, and drives the
+//! sans-I/O [`SinglePortCore`] of [`crate::driver`]
+//! for the per-node phase bodies.  Port buffers live in a sparse
+//! `PortMap`(crate::delivery) rather than the seed's dense `n × n` queue
+//! matrix, so a runner over `n` nodes costs `O(n + live messages)` memory —
+//! the property that makes paper-scale `n = 10^3`–`10^4` runs feasible.
 
 use crate::adversary::{CrashAdversary, NoFaults};
 use crate::delivery::{EngineCore, PortMap};
+use crate::driver::SinglePortCore;
 use crate::error::{SimError, SimResult};
 use crate::message::{Outgoing, Payload};
 use crate::metrics::Metrics;
 use crate::node::{NodeId, NodeSet};
-use crate::parallel::{self, ChunkPlan, NodeEvent};
+use crate::parallel::{self, ChunkPlan};
 use crate::pool::WorkerPool;
 use crate::protocol::{NodeStatus, SinglePortProtocol};
 use crate::report::{ExecutionReport, Termination};
@@ -81,13 +83,10 @@ use crate::trace::Trace;
 /// assert_eq!(report.agreed_value(), Some(&true));
 /// ```
 pub struct SinglePortRunner<P: SinglePortProtocol> {
-    nodes: Vec<P>,
-    outputs: Vec<Option<P::Output>>,
     adversary: Box<dyn CrashAdversary>,
     core: EngineCore,
-    /// Per-node single send for the current round (reused).
-    sends: Vec<Option<crate::message::Outgoing<P::Msg>>>,
-    /// Per-node poll intent for the current round (reused).
+    /// Per-node poll intent for the current round, copied flat from the
+    /// cores for the adversary view and the port pre-drain walk (reused).
     polls: Vec<Option<NodeId>>,
     /// Per-node intended destinations handed to the adversary (reused; each
     /// holds at most one entry in this model).
@@ -105,94 +104,12 @@ pub struct SinglePortRunner<P: SinglePortProtocol> {
     /// Persistent phase workers; spawned lazily on the first forked round
     /// and reused for every subsequent one.
     pool: Option<WorkerPool>,
-    /// Owned per-worker node-range partitions (empty while serial; see the
-    /// multi-port `Runner` for the representation contract).
-    chunks: Vec<Option<SpChunk<P>>>,
-    /// The partition the current `chunks` were built with.
-    plan: Option<ChunkPlan>,
-}
-
-/// One worker's owned slice of the single-port runner state while the pool
-/// is engaged (nodes `base .. base + nodes.len()`).  Scratch (the per-node
-/// option slots and the event list) persists across rounds with the chunk.
-pub(crate) struct SpChunk<P: SinglePortProtocol> {
-    /// Global index of the first node in this chunk.
-    pub(crate) base: usize,
-    pub(crate) nodes: Vec<P>,
-    /// Chunk-local mirror of `EngineCore::status[base..]`.
-    pub(crate) status: Vec<NodeStatus>,
-    /// Per-node single send for the current round.
-    pub(crate) sends: Vec<Option<Outgoing<P::Msg>>>,
-    /// Per-node poll intent for the current round.
-    pub(crate) polls: Vec<Option<NodeId>>,
-    /// Per-node pre-drained poll results (`Some` only for running nodes
-    /// that polled this round; filled serially by the main thread).
-    pub(crate) drained: Vec<Option<Vec<P::Msg>>>,
-    pub(crate) outputs: Vec<Option<P::Output>>,
-    /// Receive scratch: decision/halt events for the main thread's replay.
-    pub(crate) events: Vec<NodeEvent>,
-}
-
-impl<P: SinglePortProtocol> SpChunk<P> {
-    /// A fresh chunk at the start of an execution (every node `Running`,
-    /// all scratch empty) — how a shard worker starts before round 0.
-    pub(crate) fn fresh(base: usize, nodes: Vec<P>) -> Self {
-        let len = nodes.len();
-        SpChunk {
-            base,
-            nodes,
-            status: vec![NodeStatus::Running; len],
-            sends: (0..len).map(|_| None).collect(),
-            polls: vec![None; len],
-            drained: (0..len).map(|_| None).collect(),
-            outputs: (0..len).map(|_| None).collect(),
-            events: Vec::new(),
-        }
-    }
-
-    /// Phase 1: collect each running node's single send and poll intent —
-    /// the chunked transcription of the serial collect loop.
-    pub(crate) fn collect_sends(&mut self, round: crate::round::Round) {
-        for (i, node) in self.nodes.iter_mut().enumerate() {
-            if self.status[i].is_running() {
-                self.sends[i] = node.send(round);
-                self.polls[i] = node.poll(round);
-            } else {
-                self.sends[i] = None;
-                self.polls[i] = None;
-            }
-        }
-    }
-
-    /// Phase 4, worker side: deliver pre-drained polls and advance outputs,
-    /// recording decision/halt events for the main thread's in-order replay.
-    pub(crate) fn receive(&mut self, round: crate::round::Round) {
-        self.events.clear();
-        for (i, node) in self.nodes.iter_mut().enumerate() {
-            if !self.status[i].is_running() {
-                continue;
-            }
-            if let Some(port) = self.polls[i] {
-                let msgs = self.drained[i].take().unwrap_or_default();
-                node.receive(round, port, msgs);
-            }
-            let mut decided = false;
-            if let Some(output) = node.output() {
-                if self.outputs[i].is_none() {
-                    self.outputs[i] = Some(output);
-                    decided = true;
-                }
-            }
-            let halted = node.has_halted();
-            if decided || halted {
-                self.events.push(NodeEvent {
-                    node: self.base + i,
-                    decided,
-                    halted,
-                });
-            }
-        }
-    }
+    /// The sans-I/O cores holding all per-node state, partitioned per
+    /// `plan` (one core while serial).  Slots are `None` only transiently,
+    /// while their core is out on a pool worker.
+    cores: Vec<Option<SinglePortCore<P>>>,
+    /// The partition the current `cores` were built with.
+    plan: ChunkPlan,
 }
 
 impl<P: SinglePortProtocol> SinglePortRunner<P> {
@@ -229,28 +146,25 @@ impl<P: SinglePortProtocol> SinglePortRunner<P> {
         }
         let n = nodes.len();
         Ok(SinglePortRunner {
-            nodes,
-            outputs: (0..n).map(|_| None).collect(),
             adversary,
             core: EngineCore::new(n, fault_budget),
-            sends: (0..n).map(|_| None).collect(),
             polls: vec![None; n],
             send_intents: (0..n).map(|_| Vec::new()).collect(),
             ports: PortMap::new(),
             jobs: 1,
             fork_threshold: parallel::MIN_NODES_PER_FORK_SINGLE_PORT,
             pool: None,
-            chunks: Vec::new(),
-            plan: None,
+            cores: vec![Some(SinglePortCore::new(0, nodes))],
+            plan: ChunkPlan::new(n, 1),
         })
     }
 
     /// Sets the number of worker threads for the per-node phase loops.
     ///
-    /// `1` (the default) keeps the serial loops; `0` means "pick for me"
-    /// ([`parallel::available_jobs`]).  Parallel execution is deterministic —
-    /// reports, metrics and traces are byte-identical to a serial run — so
-    /// this is purely a performance knob.
+    /// `1` (the default) keeps the single inline core; `0` means "pick for
+    /// me" ([`parallel::available_jobs`]).  Parallel execution is
+    /// deterministic — reports, metrics and traces are byte-identical to a
+    /// serial run — so this is purely a performance knob.
     pub fn set_jobs(&mut self, jobs: usize) -> &mut Self {
         self.jobs = parallel::effective_jobs(jobs);
         self
@@ -287,8 +201,6 @@ impl<P: SinglePortProtocol> SinglePortRunner<P> {
 
     /// Number of nodes.
     pub fn n(&self) -> usize {
-        // Not `nodes.len()`: that vector is drained into the pool chunks
-        // while the forked path is engaged.
         self.core.n()
     }
 
@@ -334,81 +246,115 @@ impl<P: SinglePortProtocol> SinglePortRunner<P> {
 
     /// Executes one single-port round.
     ///
-    /// With more than one configured job (see [`SinglePortRunner::set_jobs`])
-    /// the send-collection and receive loops run on the runner's persistent
-    /// worker pool; the crash-adversary phase and the port-map mutations
-    /// (enqueue, drain, drop) always stay serial — the sparse `PortMap` is
-    /// shared state, and at one message per node per round the enqueue loop
-    /// is memory-movement bound anyway.  Both paths produce byte-identical
-    /// state.
+    /// The per-node phase bodies (send/poll collection, receive) drive the
+    /// sans-I/O [`SinglePortCore`]s; with more than one configured job (see
+    /// [`SinglePortRunner::set_jobs`]) they run on the runner's persistent
+    /// worker pool.  The crash-adversary phase and the port-map mutations
+    /// (enqueue in sender order, pre-drain in poller order, halt-time
+    /// drops) always stay serial — the sparse `PortMap` is shared state,
+    /// and at one message per node per round the enqueue loop is
+    /// memory-movement bound anyway.  The partition is invisible to
+    /// callers: every core count produces byte-identical state.
     pub fn step(&mut self) {
-        if parallel::should_fork(self.n(), self.jobs, self.fork_threshold) {
-            self.step_forked();
-        } else {
-            self.step_serial();
-        }
-    }
-
-    /// One round on the serial path (also the reference semantics the
-    /// forked path must reproduce byte for byte).
-    fn step_serial(&mut self) {
-        self.ensure_flat();
         let n = self.n();
+        let desired = if parallel::should_fork(n, self.jobs, self.fork_threshold) {
+            ChunkPlan::new(n, self.jobs)
+        } else {
+            ChunkPlan::new(n, 1)
+        };
+        self.ensure_plan(desired);
+        let plan = self.plan;
         let round = self.core.round;
 
-        // Phase 1: collect each running node's single send and poll intent.
-        for (i, node) in self.nodes.iter_mut().enumerate() {
-            if self.core.status[i].is_running() {
-                self.sends[i] = node.send(round);
-                self.polls[i] = node.poll(round);
-            } else {
-                self.sends[i] = None;
-                self.polls[i] = None;
-            }
-        }
+        // Phase 1: collect sends and poll intents in the cores.
+        self.run_phase(move |core| core.begin_round(round));
 
-        // Phase 2 (always serial): crash adversary.
-        for (intents, send) in self.send_intents.iter_mut().zip(&self.sends) {
-            intents.clear();
-            intents.extend(send.iter().map(|o| o.to));
+        // Phase 2 (always serial): expose intents to the adversary through
+        // the flat per-node view its contract promises, then apply crashes
+        // and mirror the new statuses into the owning cores.
+        for slot in &mut self.cores {
+            let core = slot.as_mut().expect("core home between phases");
+            for (i, send) in core.sends.iter().enumerate() {
+                let global = core.base + i;
+                self.send_intents[global].clear();
+                self.send_intents[global].extend(send.iter().map(|o| o.to));
+                self.polls[global] = core.polls[i];
+            }
         }
         self.apply_crash_phase();
-
-        // Phase 3 (always serial): enqueue messages onto destination ports.
-        for sender_idx in 0..n {
-            let Some(out) = self.sends[sender_idx].take() else {
-                continue;
-            };
-            self.enqueue(sender_idx, out);
+        for &victim in self.core.crashed_this_round() {
+            let core = self.cores[plan.chunk_of(victim)]
+                .as_mut()
+                .expect("core home between phases");
+            core.status[victim - core.base] = self.core.status[victim];
         }
 
-        // Phase 4: polled ports are drained and delivered.
-        for (i, node) in self.nodes.iter_mut().enumerate() {
-            if !self.core.status[i].is_running() {
-                continue;
+        // Phase 3 (always serial): enqueue onto destination ports, walking
+        // cores in ascending order — exactly sender-index order.
+        for ci in 0..self.cores.len() {
+            let (base, len) = {
+                let core = self.cores[ci].as_ref().expect("core home");
+                (core.base, core.len())
+            };
+            for i in 0..len {
+                let out = self.cores[ci].as_mut().expect("core home").take_send(i);
+                let Some(out) = out else { continue };
+                self.enqueue(base + i, out);
             }
-            if let Some(port) = self.polls[i] {
-                let drained = self.ports.drain(i, port.index());
-                node.receive(round, port, drained);
+        }
+
+        // Pre-drain polled ports serially in node-index order (each drain
+        // touches only the polling node's own in-ports, and `receive` never
+        // touches the port map, so draining everything up front is exactly
+        // equivalent to draining inside the receive loop).
+        for slot in &mut self.cores {
+            let core = slot.as_mut().expect("core home");
+            for i in 0..core.len() {
+                let global = core.base + i;
+                let drained = if core.status[i].is_running() {
+                    core.polls[i].map(|port| self.ports.drain(global, port.index()))
+                } else {
+                    None
+                };
+                core.set_drained(i, drained);
             }
-            if let Some(output) = node.output() {
-                if self.outputs[i].is_none() {
-                    self.core.record_decision(i, &output);
-                    self.outputs[i] = Some(output);
+        }
+
+        // Phase 4: cores drive `receive`; the replay below walks cores in
+        // ascending order so decisions, halts and halted-port drops land in
+        // node-index order, independent of the partition.
+        self.run_phase(move |core| {
+            core.finalize(round);
+        });
+        for ci in 0..self.cores.len() {
+            let events = {
+                let core = self.cores[ci].as_mut().expect("core home");
+                std::mem::take(&mut core.events)
+            };
+            for event in &events {
+                if event.decided {
+                    let core = self.cores[ci].as_ref().expect("core home");
+                    let output = core.outputs[event.node - core.base]
+                        .as_ref()
+                        .expect("decision recorded");
+                    self.core.record_decision(event.node, output);
+                }
+                if event.halted {
+                    self.core.mark_halted(event.node);
+                    // A halted node never polls again; free its buffered
+                    // ports.
+                    self.ports.drop_destination(event.node);
+                    let core = self.cores[ci].as_mut().expect("core home");
+                    core.status[event.node - core.base] = NodeStatus::Halted;
                 }
             }
-            if node.has_halted() {
-                self.core.mark_halted(i);
-                // A halted node never polls again; free its buffered ports.
-                self.ports.drop_destination(i);
-            }
+            self.cores[ci].as_mut().expect("core home").events = events;
         }
-
         self.core.finish_round();
     }
 
     /// Runs the crash phase and frees crashed destinations' buffered ports
-    /// (both execution paths route crashes through here).
+    /// (every crash routes through here).
     fn apply_crash_phase(&mut self) {
         self.core
             .apply_crash_phase(&mut *self.adversary, &self.send_intents, &self.polls);
@@ -418,8 +364,7 @@ impl<P: SinglePortProtocol> SinglePortRunner<P> {
         }
     }
 
-    /// Phase 3 body shared by both paths: filters, counts and buffers one
-    /// sender's message.
+    /// Phase 3 body: filters, counts and buffers one sender's message.
     fn enqueue(&mut self, sender_idx: usize, out: Outgoing<P::Msg>) {
         if let Some(filter) = self.core.filter(sender_idx) {
             if !filter.allows(0, out.to) {
@@ -435,126 +380,47 @@ impl<P: SinglePortProtocol> SinglePortRunner<P> {
         }
     }
 
-    /// One round on the forked path: the send-collection and receive loops
-    /// run on the persistent pool, one owned [`SpChunk`] per worker; the
-    /// adversary view, the port-map mutations (enqueue in sender order,
-    /// pre-drain in poller order, halt-time drops) and the decision/halt
-    /// replay stay on the main thread in fixed node-index order.
-    fn step_forked(&mut self) {
-        let plan = ChunkPlan::new(self.n(), self.jobs);
-        self.ensure_chunked(plan);
-        let round = self.core.round;
-
-        // Phase 1: collect sends and poll intents on the workers.
-        self.run_phase(move |chunk| chunk.collect_sends(round));
-
-        // Phase 2 (always serial): expose intents to the adversary through
-        // the flat per-node view its contract promises, then apply crashes
-        // and mirror the new statuses into the owning chunks.
-        for slot in &mut self.chunks {
-            let chunk = slot.as_mut().expect("chunk home between phases");
-            for (i, send) in chunk.sends.iter().enumerate() {
-                let global = chunk.base + i;
-                self.send_intents[global].clear();
-                self.send_intents[global].extend(send.iter().map(|o| o.to));
-                self.polls[global] = chunk.polls[i];
-            }
+    /// Runs one phase body over every core: inline on this thread while the
+    /// partition has a single core, on the persistent pool otherwise (see
+    /// [`WorkerPool::run_phase`] for the ownership-shuttle protocol and the
+    /// panic behaviour).
+    fn run_phase(&mut self, phase: impl Fn(&mut SinglePortCore<P>) + Clone + Send + 'static) {
+        if self.cores.len() > 1 {
+            let pool = self.pool.as_ref().expect("pool engaged");
+            pool.run_phase(&mut self.cores, phase);
+        } else {
+            let core = self.cores[0].as_mut().expect("core home");
+            phase(core);
         }
-        self.apply_crash_phase();
-        for &victim in self.core.crashed_this_round() {
-            let chunk = self.chunks[plan.chunk_of(victim)]
-                .as_mut()
-                .expect("chunk home between phases");
-            chunk.status[victim - chunk.base] = self.core.status[victim];
-        }
-
-        // Phase 3 (always serial): enqueue onto destination ports, walking
-        // chunks in ascending order — exactly the serial sender order.
-        for ci in 0..self.chunks.len() {
-            let (base, len) = {
-                let chunk = self.chunks[ci].as_ref().expect("chunk home");
-                (chunk.base, chunk.nodes.len())
-            };
-            for i in 0..len {
-                let out = self.chunks[ci].as_mut().expect("chunk home").sends[i].take();
-                let Some(out) = out else { continue };
-                self.enqueue(base + i, out);
-            }
-        }
-
-        // Pre-drain polled ports serially in node-index order (each drain
-        // touches only the polling node's own in-ports, so this is exactly
-        // what the serial loop does).
-        for slot in &mut self.chunks {
-            let chunk = slot.as_mut().expect("chunk home");
-            for i in 0..chunk.nodes.len() {
-                let global = chunk.base + i;
-                chunk.drained[i] = if chunk.status[i].is_running() {
-                    chunk.polls[i].map(|port| self.ports.drain(global, port.index()))
-                } else {
-                    None
-                };
-            }
-        }
-
-        // Phase 4: workers drive `receive`; the replay below walks chunks
-        // in ascending order so decisions, halts and halted-port drops land
-        // in node-index order, matching the serial loop (and its trace).
-        self.run_phase(move |chunk| chunk.receive(round));
-        for ci in 0..self.chunks.len() {
-            let events = {
-                let chunk = self.chunks[ci].as_mut().expect("chunk home");
-                std::mem::take(&mut chunk.events)
-            };
-            for event in &events {
-                if event.decided {
-                    let chunk = self.chunks[ci].as_ref().expect("chunk home");
-                    let output = chunk.outputs[event.node - chunk.base]
-                        .as_ref()
-                        .expect("decision recorded");
-                    self.core.record_decision(event.node, output);
-                }
-                if event.halted {
-                    self.core.mark_halted(event.node);
-                    self.ports.drop_destination(event.node);
-                    let chunk = self.chunks[ci].as_mut().expect("chunk home");
-                    chunk.status[event.node - chunk.base] = NodeStatus::Halted;
-                }
-            }
-            self.chunks[ci].as_mut().expect("chunk home").events = events;
-        }
-        self.core.finish_round();
     }
 
-    /// Dispatches one phase closure per chunk to the persistent pool and
-    /// waits for every chunk to come home (see [`WorkerPool::run_phase`]
-    /// for the ownership-shuttle protocol and panic behaviour).
-    fn run_phase(&mut self, phase: impl Fn(&mut SpChunk<P>) + Clone + Send + 'static) {
-        let pool = self.pool.as_ref().expect("pool engaged");
-        pool.run_phase(&mut self.chunks, phase);
-    }
-
-    /// Splits the flat per-node state into owned per-worker chunks (and
-    /// spawns or resizes the pool) according to `plan`.  No-op when the
-    /// current chunks already follow `plan`.
-    fn ensure_chunked(&mut self, plan: ChunkPlan) {
-        if self.plan == Some(plan) {
+    /// Re-partitions the cores (and spawns or resizes the pool) according
+    /// to `plan`.  No-op when the current cores already follow `plan`.
+    fn ensure_plan(&mut self, plan: ChunkPlan) {
+        if self.plan == plan {
             return;
         }
-        self.ensure_flat();
         let n = self.n();
-        if self.pool.as_ref().map(WorkerPool::workers) != Some(plan.chunks) {
+        if plan.chunks > 1 && self.pool.as_ref().map(WorkerPool::workers) != Some(plan.chunks) {
             self.pool = Some(WorkerPool::new(plan.chunks));
         }
-        let mut nodes = std::mem::take(&mut self.nodes);
-        let mut outputs = std::mem::take(&mut self.outputs);
+        // Drain the old partition into flat per-node state, then deal it
+        // back out chunk by chunk (statuses re-mirrored from the engine
+        // core, scratch rebuilt empty — it is between-rounds state).
+        let mut nodes = Vec::with_capacity(n);
+        let mut outputs = Vec::with_capacity(n);
+        for slot in self.cores.drain(..) {
+            let core = slot.expect("core home");
+            nodes.extend(core.nodes);
+            outputs.extend(core.outputs);
+        }
         let mut nodes = nodes.drain(..);
         let mut outputs = outputs.drain(..);
-        self.chunks = (0..plan.chunks)
+        self.cores = (0..plan.chunks)
             .map(|ci| {
                 let range = plan.range(ci, n);
                 let len = range.len();
-                Some(SpChunk {
+                Some(SinglePortCore {
                     base: range.start,
                     nodes: nodes.by_ref().take(len).collect(),
                     status: self.core.status[range].to_vec(),
@@ -566,36 +432,17 @@ impl<P: SinglePortProtocol> SinglePortRunner<P> {
                 })
             })
             .collect();
-        self.plan = Some(plan);
+        self.plan = plan;
     }
 
-    /// Moves chunked state back into the flat per-node vectors (the serial
-    /// path's representation).  The pool itself is kept: re-entering the
-    /// forked path reuses its workers.
-    fn ensure_flat(&mut self) {
-        if self.chunks.is_empty() {
-            return;
-        }
-        for slot in self.chunks.drain(..) {
-            let chunk = slot.expect("chunk home");
-            self.nodes.extend(chunk.nodes);
-            self.outputs.extend(chunk.outputs);
-        }
-        self.plan = None;
-    }
-
-    /// Builds the final report.  Works in either representation: outputs
-    /// are gathered from the chunks (in ascending base order) whenever the
-    /// pool holds the node state.
+    /// Builds the final report: outputs are gathered from the cores in
+    /// ascending base order.
     fn report(&self, termination: Termination) -> ExecutionReport<P::Output> {
-        let outputs = if self.chunks.is_empty() {
-            self.outputs.clone()
-        } else {
-            self.chunks
-                .iter()
-                .flat_map(|slot| slot.as_ref().expect("chunk home").outputs.iter().cloned())
-                .collect()
-        };
+        let outputs = self
+            .cores
+            .iter()
+            .flat_map(|slot| slot.as_ref().expect("core home").outputs.iter().cloned())
+            .collect();
         ExecutionReport {
             outputs,
             crashed_at: self.core.crashed_at.clone(),
