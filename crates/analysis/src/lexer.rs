@@ -41,8 +41,9 @@ pub enum TokenKind {
 pub struct Token {
     /// Token class.
     pub kind: TokenKind,
-    /// Identifier text (empty for every other kind — the rules only ever
-    /// match identifier spellings).
+    /// Identifier or numeric-literal text (empty for every other kind —
+    /// the rules match identifier spellings and the wire-schema parser
+    /// reads tag/version literal values).
     pub text: String,
     /// 1-based line the token starts on.
     pub line: usize,
@@ -349,13 +350,16 @@ impl Lexer {
         let text: String = self.chars[start..self.pos].iter().collect();
         let float = !radix_prefixed
             && (saw_dot || saw_exp || text.ends_with("f32") || text.ends_with("f64"));
+        // Numeric literals keep their text: the wire-schema parser reads
+        // enum tag values (`out.push(3)`, `match r.u8()? { 3 => … }`) and
+        // the `WIRE_VERSION` constant out of the token stream.
         self.push(
             if float {
                 TokenKind::Float
             } else {
                 TokenKind::Int
             },
-            String::new(),
+            text,
             line,
         );
     }

@@ -13,27 +13,44 @@
 //!   protocol logic;
 //! * **panic hygiene** — `unwrap`/`expect`/`panic!`/indexing in library
 //!   code;
-//! * **wire-format completeness** — every `impl Wire for T` named by a
-//!   test, every frame decode routed through the `WIRE_VERSION` check;
+//! * **wire-format completeness** — every `impl Wire for T` (tuples
+//!   included) named by a test, every frame decode routed through the
+//!   `WIRE_VERSION` check, and — via the structural [`schema`] pass —
+//!   encode/decode op-sequence symmetry for every impl, ratcheted by the
+//!   committed `WIRE_SCHEMA.json`;
+//! * **layering** — a declared layer map ([`layering`]) of which
+//!   first-party crates each layer may import, generalizing the old
+//!   one-off sans-I/O boundary check;
+//! * **unsafe hygiene** — every first-party crate root carries
+//!   `#![forbid(unsafe_code)]`;
 //! * **lint-suppression audit** — every `#[allow(…)]` justified by an
 //!   adjacent comment.
 //!
 //! Findings diff against the committed [`ANALYSIS_baseline.json`]
 //! (`baseline`), so CI (`dft-analyze --ci`) fails only on *new* findings;
-//! intentional exceptions carry one-line justifications.  See `DESIGN.md`
-//! §"Determinism invariants" for how this pass and the dynamic diffs split
-//! the enforcement, and `CONTRIBUTING.md` for the baseline workflow.
+//! intentional exceptions carry one-line justifications.  The wire schema
+//! has its own ratchet: `dft-analyze schema --ci` fails when the extracted
+//! schema drifts from `WIRE_SCHEMA.json` without a `WIRE_VERSION` bump.
+//! See `DESIGN.md` §"Determinism invariants" and §"Wire schema ratchet"
+//! for how these passes and the dynamic diffs split the enforcement, and
+//! `CONTRIBUTING.md` for both regeneration workflows.
 //!
 //! [`ANALYSIS_baseline.json`]: baseline::Baseline
+
+#![forbid(unsafe_code)]
 
 pub mod baseline;
 pub mod findings;
 pub mod json;
+pub mod layering;
 pub mod lexer;
+pub mod parser;
 pub mod regions;
 pub mod rules;
+pub mod schema;
 pub mod walk;
 
 pub use baseline::Baseline;
 pub use findings::Finding;
 pub use rules::analyze;
+pub use schema::{extract_schema, SchemaStatus};

@@ -3,6 +3,7 @@
 //! ```text
 //! dft-analyze [--root DIR] [--baseline PATH] [--ci] [--all]
 //!             [--json PATH] [--update-baseline]
+//! dft-analyze schema [--root DIR] [--schema PATH] [--ci] [--update]
 //! ```
 //!
 //! * `--root DIR` — workspace to scan (default: current directory; CI runs
@@ -19,19 +20,163 @@
 //!   current findings, preserving existing justifications and stamping
 //!   `TODO: justify` on new entries for review.
 //!
-//! Exit codes: 0 clean, 1 unbaselined findings, 2 usage or I/O error.
+//! The `schema` subcommand runs the wire-schema ratchet: it extracts the
+//! canonical encode/decode schema of every `impl Wire for T` and compares
+//! it against the committed `WIRE_SCHEMA.json` (`--schema PATH` to
+//! override the location).  Symmetry problems always fail; a content
+//! change at the same `WIRE_VERSION` fails until the version is bumped;
+//! `--update` regenerates the file after a bump (and refuses to paper
+//! over an unbumped change).
+//!
+//! Exit codes: 0 clean, 1 unbaselined findings / schema drift, 2 usage or
+//! I/O error.
+
+#![forbid(unsafe_code)]
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use dft_analysis::{analyze, Baseline};
+use dft_analysis::schema::{compare, Schema, SchemaStatus};
+use dft_analysis::{analyze, extract_schema, Baseline};
 
 const USAGE: &str = "usage: dft-analyze [--root DIR] [--baseline PATH] [--ci] [--all] \
-                     [--json PATH] [--update-baseline]";
+                     [--json PATH] [--update-baseline]\n       \
+                     dft-analyze schema [--root DIR] [--schema PATH] [--ci] [--update]";
 
 fn fail(message: &str) -> ExitCode {
     eprintln!("dft-analyze: {message}\n{USAGE}");
     ExitCode::from(2)
+}
+
+fn schema_main(args: impl Iterator<Item = String>) -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut schema_path: Option<PathBuf> = None;
+    let mut ci = false;
+    let mut update = false;
+    let mut args = args;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            "--root" => match args.next() {
+                Some(dir) => root = PathBuf::from(dir),
+                None => return fail("--root needs a directory"),
+            },
+            "--schema" => match args.next() {
+                Some(path) => schema_path = Some(PathBuf::from(path)),
+                None => return fail("--schema needs a path"),
+            },
+            "--ci" => ci = true,
+            "--update" => update = true,
+            other => return fail(&format!("unknown argument {other:?}")),
+        }
+    }
+    let schema_path = schema_path.unwrap_or_else(|| root.join("WIRE_SCHEMA.json"));
+
+    let extraction = match extract_schema(&root) {
+        Ok(extraction) => extraction,
+        Err(error) => return fail(&format!("cannot extract wire schema: {error}")),
+    };
+    // Symmetry/resolution problems fail regardless of the committed file:
+    // an asymmetric impl is wrong even at the right version.
+    if !extraction.problems.is_empty() {
+        for finding in &extraction.problems {
+            println!("NEW {}", finding.render());
+        }
+        eprintln!(
+            "dft-analyze: {} wire-schema problem(s); fix the impls before ratcheting",
+            extraction.problems.len()
+        );
+        return ExitCode::FAILURE;
+    }
+
+    if !schema_path.exists() {
+        if update {
+            return write_schema(&schema_path, &extraction.schema);
+        }
+        eprintln!(
+            "dft-analyze: no committed schema at {}; run `dft-analyze schema --update`",
+            schema_path.display()
+        );
+        return ExitCode::FAILURE;
+    }
+    let committed = match std::fs::read_to_string(&schema_path) {
+        Ok(text) => match Schema::parse(&text) {
+            Ok(schema) => schema,
+            Err(error) => return fail(&format!("malformed {}: {error}", schema_path.display())),
+        },
+        Err(error) => return fail(&format!("cannot read {}: {error}", schema_path.display())),
+    };
+
+    match compare(&extraction.schema, &committed) {
+        SchemaStatus::Match => {
+            if update {
+                // Re-render anyway: normalizes hand-edited formatting.
+                return write_schema(&schema_path, &extraction.schema);
+            }
+            if !ci {
+                println!(
+                    "dft-analyze: wire schema clean — {} type(s) at wire version {}",
+                    extraction.schema.types.len(),
+                    version_label(extraction.schema.wire_version),
+                );
+            }
+            ExitCode::SUCCESS
+        }
+        SchemaStatus::Stale {
+            committed,
+            extracted,
+        } => {
+            if update {
+                return write_schema(&schema_path, &extraction.schema);
+            }
+            eprintln!(
+                "dft-analyze: {} records wire version {} but the tree is at {}; run \
+                 `dft-analyze schema --update` to regenerate it",
+                schema_path.display(),
+                version_label(committed),
+                version_label(extracted),
+            );
+            ExitCode::FAILURE
+        }
+        SchemaStatus::Drift { details } => {
+            for detail in &details {
+                eprintln!("dft-analyze: schema drift: {detail}");
+            }
+            eprintln!(
+                "dft-analyze: the wire schema changed without a WIRE_VERSION bump ({} \
+                 difference(s) at version {}); bump WIRE_VERSION in \
+                 crates/sim/src/shard/mod.rs, then run `dft-analyze schema --update`",
+                details.len(),
+                version_label(extraction.schema.wire_version),
+            );
+            // --update deliberately refuses here: regenerating the file
+            // would hide an unversioned wire break.
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn version_label(version: Option<u64>) -> String {
+    match version {
+        Some(v) => v.to_string(),
+        None => "<none>".to_string(),
+    }
+}
+
+fn write_schema(path: &PathBuf, schema: &Schema) -> ExitCode {
+    if let Err(error) = std::fs::write(path, schema.to_json()) {
+        return fail(&format!("cannot write {}: {error}", path.display()));
+    }
+    println!(
+        "dft-analyze: wrote {} ({} type(s) at wire version {})",
+        path.display(),
+        schema.types.len(),
+        version_label(schema.wire_version),
+    );
+    ExitCode::SUCCESS
 }
 
 fn main() -> ExitCode {
@@ -41,7 +186,10 @@ fn main() -> ExitCode {
     let mut all = false;
     let mut json_out: Option<PathBuf> = None;
     let mut update = false;
-    let mut args = std::env::args().skip(1);
+    let mut args = std::env::args().skip(1).peekable();
+    if args.peek().is_some_and(|a| a == "schema") {
+        return schema_main(args.skip(1));
+    }
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--help" | "-h" => {

@@ -1,0 +1,607 @@
+//! A recursive-descent layer over the token stream: bracket-matched token
+//! trees, `impl Wire for T` discovery, and the literal/constant readers the
+//! structural analyses need.
+//!
+//! The lexer ([`crate::lexer`]) stays deliberately flat; this module adds
+//! just enough structure on top for the wire-schema and layering analyses:
+//! a [`Tree`] is either a single token or a `(…)` / `[…]` / `{…}` group of
+//! trees, so "the body of this `fn`" or "the arms of this `match`" become
+//! slice walks instead of index arithmetic.  Like the lexer, everything
+//! here degrades gracefully on malformed input — a stray closing bracket
+//! ends the innermost open group, and an unclosed group runs to end of
+//! file — because the analyzer must never panic on code it cannot parse.
+
+use crate::lexer::{Token, TokenKind};
+
+/// One node of the bracket-matched parse: a token, or a delimited group.
+#[derive(Clone, Debug)]
+pub enum Tree {
+    /// A single non-bracket token.
+    Leaf(Token),
+    /// A `(…)`, `[…]` or `{…}` group.
+    Group {
+        /// The opening delimiter: `(`, `[` or `{`.
+        open: char,
+        /// 1-based line of the opening delimiter.
+        line: usize,
+        /// The trees between the delimiters.
+        trees: Vec<Tree>,
+    },
+}
+
+impl Tree {
+    /// The 1-based source line this tree starts on.
+    pub fn line(&self) -> usize {
+        match self {
+            Tree::Leaf(t) => t.line,
+            Tree::Group { line, .. } => *line,
+        }
+    }
+
+    /// Whether this tree is the identifier `name`.
+    pub fn is_ident(&self, name: &str) -> bool {
+        matches!(self, Tree::Leaf(t) if t.is_ident(name))
+    }
+
+    /// Whether this tree is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        matches!(self, Tree::Leaf(t) if t.is_punct(c))
+    }
+
+    /// The identifier text, if this is an identifier leaf.
+    pub fn ident(&self) -> Option<&str> {
+        match self {
+            Tree::Leaf(t) if t.kind == TokenKind::Ident => Some(&t.text),
+            _ => None,
+        }
+    }
+
+    /// The literal value, if this is an integer leaf.
+    pub fn int(&self) -> Option<u64> {
+        match self {
+            Tree::Leaf(t) if t.kind == TokenKind::Int => int_value(&t.text),
+            _ => None,
+        }
+    }
+
+    /// The contained trees, if this is a group opened by `open`.
+    pub fn group(&self, want: char) -> Option<&[Tree]> {
+        match self {
+            Tree::Group { open, trees, .. } if *open == want => Some(trees),
+            _ => None,
+        }
+    }
+}
+
+/// Parses a token stream into bracket-matched trees.
+pub fn parse(tokens: &[Token]) -> Vec<Tree> {
+    let mut pos = 0;
+    let mut top = Vec::new();
+    while pos < tokens.len() {
+        match parse_one(tokens, &mut pos, None) {
+            Some(tree) => top.push(tree),
+            // A stray closer at top level: consume and drop it.
+            None => pos += 1,
+        }
+    }
+    top
+}
+
+fn closer_of(open: char) -> char {
+    match open {
+        '(' => ')',
+        '[' => ']',
+        _ => '}',
+    }
+}
+
+/// Parses one tree at `pos`, or returns `None` (without consuming) when the
+/// next token closes the enclosing group — including a *mismatched* closer,
+/// which ends every group up to the one it actually matches.
+fn parse_one(tokens: &[Token], pos: &mut usize, close: Option<char>) -> Option<Tree> {
+    let token = tokens.get(*pos)?;
+    match token.kind {
+        TokenKind::Punct(open @ ('(' | '[' | '{')) => {
+            let line = token.line;
+            *pos += 1;
+            let want = closer_of(open);
+            let mut trees = Vec::new();
+            while let Some(next) = tokens.get(*pos) {
+                if let TokenKind::Punct(c @ (')' | ']' | '}')) = next.kind {
+                    if c == want {
+                        *pos += 1; // the matching closer
+                    }
+                    // A mismatched closer stays put for an outer group.
+                    break;
+                }
+                match parse_one(tokens, pos, Some(want)) {
+                    Some(tree) => trees.push(tree),
+                    None => break,
+                }
+            }
+            Some(Tree::Group { open, line, trees })
+        }
+        TokenKind::Punct(')' | ']' | '}') if close.is_some() => None,
+        _ => {
+            *pos += 1;
+            Some(Tree::Leaf(token.clone()))
+        }
+    }
+}
+
+/// Evaluates a Rust integer-literal's text (`42`, `0xFF`, `1_000u64`).
+pub fn int_value(text: &str) -> Option<u64> {
+    let mut clean: String = text.chars().filter(|c| *c != '_').collect();
+    // Type suffixes start with `u`/`i`, which are never digits in any radix
+    // the lexer accepts, so suffix stripping cannot eat literal digits.
+    for suffix in [
+        "usize", "isize", "u128", "i128", "u64", "i64", "u32", "i32", "u16", "i16", "u8", "i8",
+    ] {
+        if clean.len() > suffix.len() && clean.ends_with(suffix) {
+            clean.truncate(clean.len() - suffix.len());
+            break;
+        }
+    }
+    let (radix, digits) = match clean.split_at_checked(2) {
+        Some(("0x" | "0X", rest)) => (16, rest),
+        Some(("0b" | "0B", rest)) => (2, rest),
+        Some(("0o" | "0O", rest)) => (8, rest),
+        _ => (10, clean.as_str()),
+    };
+    u64::from_str_radix(digits, radix).ok()
+}
+
+/// The canonical type name for a tuple impl of the given arity: `Unit` for
+/// `()`, `Tuple2` for `(A, B)`, and so on.  Shared by the wire-untested
+/// rule and the schema extractor so the two can never disagree on what a
+/// test must name.
+pub fn tuple_type_name(arity: usize) -> String {
+    if arity == 0 {
+        "Unit".to_string()
+    } else {
+        format!("Tuple{arity}")
+    }
+}
+
+/// One `fn` inside an impl body.
+#[derive(Clone, Debug)]
+pub struct FnDef {
+    /// The function's name.
+    pub name: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: usize,
+    /// Binding names of the non-`self` parameters, in order (`encode`'s
+    /// writer, `decode`'s reader).
+    pub params: Vec<String>,
+    /// The body's trees.
+    pub body: Vec<Tree>,
+}
+
+/// One `impl Wire for T` block (including qualified trait paths like
+/// `impl dft_sim::shard::Wire for T` and tuple impls).
+#[derive(Clone, Debug)]
+pub struct WireImpl {
+    /// Canonical implemented-type name (`NodeId`, `Vec`, `Tuple2`, …).
+    pub type_name: String,
+    /// The impl's generic type parameters (`["M"]`, `["A", "B"]`, …).
+    pub generics: Vec<String>,
+    /// 1-based line of the `impl` keyword.
+    pub line: usize,
+    /// The `fn`s of the impl body.
+    pub fns: Vec<FnDef>,
+}
+
+impl WireImpl {
+    /// The impl's `fn` of the given name, if present.
+    pub fn fn_def(&self, name: &str) -> Option<&FnDef> {
+        self.fns.iter().find(|f| f.name == name)
+    }
+}
+
+/// Collects every `impl … Wire for T` in the trees, recursing into module
+/// bodies.  `is_test` filters out impls inside test regions by line.
+pub fn wire_impls(trees: &[Tree], is_test: &dyn Fn(usize) -> bool) -> Vec<WireImpl> {
+    let mut out = Vec::new();
+    collect_impls(trees, is_test, &mut out);
+    out
+}
+
+fn collect_impls(trees: &[Tree], is_test: &dyn Fn(usize) -> bool, out: &mut Vec<WireImpl>) {
+    let mut i = 0;
+    while let Some(tree) = trees.get(i) {
+        if tree.is_ident("impl") && !is_test(tree.line()) {
+            if let Some((imp, next)) = parse_wire_impl(trees, i) {
+                out.push(imp);
+                i = next;
+                continue;
+            }
+        }
+        if let Tree::Group { trees: inner, .. } = tree {
+            collect_impls(inner, is_test, out);
+        }
+        i += 1;
+    }
+}
+
+/// Parses an impl header starting at the `impl` keyword at `i`.  Returns
+/// the impl and the index just past its body when it is a `Wire` impl.
+fn parse_wire_impl(trees: &[Tree], i: usize) -> Option<(WireImpl, usize)> {
+    let line = trees.get(i)?.line();
+    let mut k = i + 1;
+    let generics = parse_generics(trees, &mut k);
+    // The trait path: identifiers and `::`, ending at `for`.  The impl is
+    // interesting only when the path's last segment is `Wire`.
+    let mut last_segment: Option<&str> = None;
+    loop {
+        let tree = trees.get(k)?;
+        if tree.is_ident("for") {
+            break;
+        }
+        match tree {
+            Tree::Leaf(t) if t.kind == TokenKind::Ident => last_segment = Some(&t.text),
+            Tree::Leaf(t) if t.is_punct(':') => {}
+            // Anything else (an inherent impl's `{`, generics on the trait,
+            // lifetimes) — not the shape we are after.
+            _ => return None,
+        }
+        k += 1;
+    }
+    if last_segment != Some("Wire") {
+        return None;
+    }
+    k += 1; // past `for`
+    let type_name = parse_self_type(trees, &mut k)?;
+    // The body is the next `{` group.
+    loop {
+        let tree = trees.get(k)?;
+        if let Some(body) = tree.group('{') {
+            let fns = parse_fns(body);
+            return Some((
+                WireImpl {
+                    type_name,
+                    generics,
+                    line,
+                    fns,
+                },
+                k + 1,
+            ));
+        }
+        k += 1;
+    }
+}
+
+/// Parses `<…>` impl generics at `k` (if present), collecting the type
+/// parameter names and leaving `k` just past the closing `>`.
+fn parse_generics(trees: &[Tree], k: &mut usize) -> Vec<String> {
+    let mut params = Vec::new();
+    if !trees.get(*k).is_some_and(|t| t.is_punct('<')) {
+        return params;
+    }
+    *k += 1;
+    let mut depth = 1usize;
+    let mut expect_param = true;
+    while depth > 0 {
+        let Some(tree) = trees.get(*k) else { break };
+        if tree.is_punct('<') {
+            depth += 1;
+        } else if tree.is_punct('>') {
+            depth -= 1;
+        } else if tree.is_punct(',') && depth == 1 {
+            expect_param = true;
+        } else if tree.is_punct(':') && depth == 1 {
+            expect_param = false;
+        } else if expect_param && depth == 1 {
+            if let Some(name) = tree.ident() {
+                params.push(name.to_string());
+                expect_param = false;
+            }
+        }
+        *k += 1;
+    }
+    params
+}
+
+/// Parses the implemented type after `for`, producing its canonical name:
+/// tuples become [`tuple_type_name`]s, paths keep their last segment, and
+/// generic arguments are dropped (`Outgoing<M>` → `Outgoing`).
+fn parse_self_type(trees: &[Tree], k: &mut usize) -> Option<String> {
+    if let Some(elems) = trees.get(*k).and_then(|t| t.group('(')) {
+        *k += 1;
+        return Some(tuple_type_name(tuple_arity(elems)));
+    }
+    let mut last: Option<String> = None;
+    let mut depth = 0usize;
+    while let Some(tree) = trees.get(*k) {
+        match tree {
+            Tree::Leaf(t) if t.is_punct('<') => depth += 1,
+            Tree::Leaf(t) if t.is_punct('>') => depth = depth.saturating_sub(1),
+            Tree::Leaf(t) if t.kind == TokenKind::Ident && depth == 0 => {
+                if t.text == "where" {
+                    break;
+                }
+                last = Some(t.text.clone());
+            }
+            Tree::Group { open: '{', .. } => break,
+            _ => {}
+        }
+        *k += 1;
+    }
+    last
+}
+
+/// Number of elements in a tuple type's tree list (`()` → 0, `(A, B)` → 2),
+/// tolerating trailing commas.
+pub fn tuple_arity(elems: &[Tree]) -> usize {
+    let mut arity = 0;
+    let mut in_element = false;
+    for tree in elems {
+        if tree.is_punct(',') {
+            in_element = false;
+        } else if !in_element {
+            arity += 1;
+            in_element = true;
+        }
+    }
+    arity
+}
+
+/// Extracts the `fn`s of an impl body.
+fn parse_fns(body: &[Tree]) -> Vec<FnDef> {
+    let mut fns = Vec::new();
+    let mut i = 0;
+    while let Some(tree) = body.get(i) {
+        if !tree.is_ident("fn") {
+            i += 1;
+            continue;
+        }
+        let line = tree.line();
+        let Some(name) = body.get(i + 1).and_then(Tree::ident) else {
+            i += 1;
+            continue;
+        };
+        let Some(params) = body.get(i + 2).and_then(|t| t.group('(')) else {
+            i += 2;
+            continue;
+        };
+        // Skip the return type (if any) up to the body group.
+        let mut k = i + 3;
+        while k < body.len() && body.get(k).and_then(|t| t.group('{')).is_none() {
+            k += 1;
+        }
+        let fn_body = body.get(k).and_then(|t| t.group('{')).unwrap_or(&[]);
+        fns.push(FnDef {
+            name: name.to_string(),
+            line,
+            params: param_bindings(params),
+            body: fn_body.to_vec(),
+        });
+        i = k + 1;
+    }
+    fns
+}
+
+/// The binding names of the non-`self` parameters, in order.
+fn param_bindings(params: &[Tree]) -> Vec<String> {
+    let mut bindings = Vec::new();
+    let mut start_of_param = true;
+    for tree in params {
+        if tree.is_punct(',') {
+            start_of_param = true;
+            continue;
+        }
+        if !start_of_param {
+            continue;
+        }
+        match tree.ident() {
+            Some("mut") | None => {} // `&`, `mut` — keep looking
+            Some("self") => start_of_param = false,
+            Some(name) => {
+                bindings.push(name.to_string());
+                start_of_param = false;
+            }
+        }
+    }
+    bindings
+}
+
+/// Splits a group's trees at top-level commas into non-empty elements
+/// (tuple elements, struct-literal fields, use-group members).
+pub fn top_level_elements(trees: &[Tree]) -> Vec<&[Tree]> {
+    let mut out = Vec::new();
+    let mut start = 0;
+    for (i, tree) in trees.iter().enumerate() {
+        if tree.is_punct(',') {
+            if let Some(element) = trees.get(start..i) {
+                if !element.is_empty() {
+                    out.push(element);
+                }
+            }
+            start = i + 1;
+        }
+    }
+    if let Some(element) = trees.get(start..) {
+        if !element.is_empty() {
+            out.push(element);
+        }
+    }
+    out
+}
+
+/// The workspace's `WIRE_VERSION` constant (`pub const WIRE_VERSION: u16 =
+/// N;`), if this token stream declares it.
+pub fn wire_version_const(tokens: &[Token]) -> Option<u64> {
+    for (i, token) in tokens.iter().enumerate() {
+        if !token.is_ident("WIRE_VERSION") {
+            continue;
+        }
+        if i == 0 || !tokens.get(i - 1).is_some_and(|t| t.is_ident("const")) {
+            continue;
+        }
+        for k in i + 1..tokens.len().min(i + 8) {
+            if !tokens.get(k).is_some_and(|t| t.is_punct('=')) {
+                continue;
+            }
+            if let Some(value) = tokens.get(k + 1) {
+                if value.kind == TokenKind::Int {
+                    return int_value(&value.text);
+                }
+            }
+            break;
+        }
+    }
+    None
+}
+
+/// Type aliases (`type Name = Target;`) whose target is a plain path —
+/// the alias table the schema extractor resolves nested names through
+/// (`SignerId` → `usize`).  Generic aliases and non-path targets are
+/// skipped.
+pub fn type_aliases(tokens: &[Token], is_test: &dyn Fn(usize) -> bool) -> Vec<(String, String)> {
+    let mut out = Vec::new();
+    for (i, token) in tokens.iter().enumerate() {
+        if !token.is_ident("type") || is_test(token.line) {
+            continue;
+        }
+        let Some(name) = tokens.get(i + 1).filter(|t| t.kind == TokenKind::Ident) else {
+            continue;
+        };
+        if !tokens.get(i + 2).is_some_and(|t| t.is_punct('=')) {
+            continue;
+        }
+        let mut target: Option<&str> = None;
+        let mut ok = true;
+        for t in tokens.iter().skip(i + 3) {
+            if t.is_punct(';') {
+                break;
+            }
+            match t.kind {
+                TokenKind::Ident => target = Some(&t.text),
+                TokenKind::Punct(':') => {}
+                _ => {
+                    ok = false;
+                    break;
+                }
+            }
+        }
+        if ok {
+            if let Some(target) = target {
+                out.push((name.text.clone(), target.to_string()));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn trees(src: &str) -> Vec<Tree> {
+        parse(&lex(src).tokens)
+    }
+
+    fn impls(src: &str) -> Vec<WireImpl> {
+        wire_impls(&trees(src), &|_| false)
+    }
+
+    #[test]
+    fn groups_nest_and_tolerate_mismatches() {
+        let t = trees("fn f(a: &[u8]) { g(x); }");
+        assert_eq!(t.len(), 4, "fn, f, params, body");
+        assert!(t[3].group('{').is_some());
+        // Malformed input must not panic and must keep later trees.
+        let t = trees(") } after");
+        assert!(t.iter().any(|t| t.is_ident("after")));
+        let t = trees("( [ ) after");
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn int_values() {
+        assert_eq!(int_value("42"), Some(42));
+        assert_eq!(int_value("0xFF"), Some(255));
+        assert_eq!(int_value("0b101"), Some(5));
+        assert_eq!(int_value("1_000u64"), Some(1000));
+        assert_eq!(int_value("7usize"), Some(7));
+        assert_eq!(int_value("0xAu8"), Some(10));
+        assert_eq!(int_value("banana"), None);
+    }
+
+    #[test]
+    fn finds_plain_and_generic_impls() {
+        let found = impls(
+            "impl Wire for NodeId { fn encode(&self, out: &mut Vec<u8>) {} }\n\
+             impl<M: Wire> Wire for Outgoing<M> { fn decode(r: &mut WireReader<'_>) -> X { todo() } }",
+        );
+        assert_eq!(found.len(), 2);
+        assert_eq!(found[0].type_name, "NodeId");
+        assert_eq!(
+            found[0].fn_def("encode").map(|f| f.params.clone()),
+            Some(vec!["out".to_string()])
+        );
+        assert_eq!(found[1].type_name, "Outgoing");
+        assert_eq!(found[1].generics, vec!["M".to_string()]);
+        assert_eq!(
+            found[1].fn_def("decode").map(|f| f.params.clone()),
+            Some(vec!["r".to_string()])
+        );
+    }
+
+    #[test]
+    fn finds_qualified_tuple_and_nested_impls() {
+        let found = impls(
+            "impl dft_sim::shard::Wire for SignedValue { }\n\
+             impl Wire for () { }\n\
+             impl<A: Wire, B: Wire> Wire for (A, B) { }\n\
+             mod wire_impls { impl Wire for RumorMap { } }\n\
+             impl Display for NotWire { }",
+        );
+        let names: Vec<&str> = found.iter().map(|i| i.type_name.as_str()).collect();
+        assert_eq!(names, vec!["SignedValue", "Unit", "Tuple2", "RumorMap"]);
+        assert_eq!(found[2].generics, vec!["A".to_string(), "B".to_string()]);
+    }
+
+    #[test]
+    fn bounded_generics_collect_only_params() {
+        let found = impls("impl<V: JoinValue + Wire> Wire for AeaMsg<V> { }");
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].generics, vec!["V".to_string()]);
+        assert_eq!(found[0].type_name, "AeaMsg");
+    }
+
+    #[test]
+    fn test_regions_are_excluded() {
+        let lexed = lex("impl Wire for Real { }\nimpl Wire for TestOnly { }");
+        let found = wire_impls(&parse(&lexed.tokens), &|line| line == 2);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].type_name, "Real");
+    }
+
+    #[test]
+    fn wire_version_is_read_from_the_const() {
+        let lexed = lex("pub const WIRE_VERSION: u16 = 7;\n\
+             fn check(v: u16) -> bool { v != WIRE_VERSION }");
+        assert_eq!(wire_version_const(&lexed.tokens), Some(7));
+        assert_eq!(
+            wire_version_const(&lex("let x = WIRE_VERSION;").tokens),
+            None
+        );
+    }
+
+    #[test]
+    fn alias_table_keeps_plain_paths_only() {
+        let lexed = lex("pub type SignerId = usize;\n\
+             pub type WireResult<T> = Result<T, WireError>;\n\
+             type Unit = ();\n\
+             type Qualified = crate::keys::SignerId;");
+        let aliases = type_aliases(&lexed.tokens, &|_| false);
+        assert_eq!(
+            aliases,
+            vec![
+                ("SignerId".to_string(), "usize".to_string()),
+                ("Qualified".to_string(), "SignerId".to_string()),
+            ]
+        );
+    }
+}

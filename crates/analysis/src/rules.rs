@@ -17,8 +17,10 @@ use std::collections::BTreeSet;
 use std::path::Path;
 
 use crate::findings::{normalize_snippet, Finding};
+use crate::layering;
 use crate::lexer::{lex, Token, TokenKind};
 use crate::regions::{test_regions, TestRegions};
+use crate::schema;
 use crate::walk::{self, FileKind, SourceFile};
 
 /// Iteration over `HashMap`/`HashSet` whose order is not locally fixed.
@@ -45,10 +47,16 @@ pub const RULE_WIRE_VERSION: &str = "wire-version";
 pub const RULE_WIRE_UNTESTED: &str = "wire-untested";
 /// `#[allow(…)]` without an adjacent justification comment.
 pub const RULE_ALLOW: &str = "allow-unjustified";
-/// `std::net` / `std::io` / `std::thread` inside the sans-I/O layer (the
-/// driver module and `crates/core`): round semantics must stay pure state
-/// transitions, with all I/O and threading owned by the backends.
+/// `std::net` / `std::io` / `std::thread` inside a layer the
+/// [`crate::layering`] map declares sans-I/O: round semantics must stay
+/// pure state transitions, with all I/O and threading owned by the
+/// backends.
 pub const RULE_SANS_IO: &str = "sans-io-boundary";
+/// A first-party crate root without `#![forbid(unsafe_code)]`.
+pub const RULE_UNSAFE: &str = "unsafe-forbid";
+
+pub use crate::layering::RULE_LAYER;
+pub use crate::schema::RULE_WIRE_ASYM;
 
 /// Every rule, for documentation and validation.
 pub const RULES: &[&str] = &[
@@ -65,6 +73,9 @@ pub const RULES: &[&str] = &[
     RULE_WIRE_UNTESTED,
     RULE_ALLOW,
     RULE_SANS_IO,
+    RULE_LAYER,
+    RULE_UNSAFE,
+    RULE_WIRE_ASYM,
 ];
 
 /// Methods that iterate a hash collection in allocation order.
@@ -115,6 +126,13 @@ pub fn analyze(root: &Path) -> Result<Vec<Finding>, String> {
             check_file(p, &corpus, &mut findings);
         }
     }
+
+    // Pass 3: the structural wire-schema pass — encode/decode symmetry,
+    // lengths-before-payloads, and nested-type resolution per impl.
+    let extraction = schema::extract_schema(root)
+        .map_err(|e| format!("cannot extract wire schema under {}: {e}", root.display()))?;
+    findings.extend(extraction.problems);
+
     findings.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
     Ok(findings)
 }
@@ -162,9 +180,29 @@ fn check_file(p: &Prepared, corpus: &BTreeSet<String>, out: &mut Vec<Finding>) {
     let tokens = &p.lexed.tokens;
     let hash_names = hash_collection_names(tokens);
     let in_core = p.file.rel.starts_with("crates/core/src");
-    let in_driver = p.file.rel.ends_with("sim/src/driver.rs");
     let lib_code = p.file.kind == FileKind::Lib;
     let is_codec_module = p.file.rel.ends_with("shard/wire.rs");
+
+    // The declared layer map: first-party imports per layer, plus the
+    // sans-I/O `std::{net, io, thread}` check in layers marked pure.
+    for site in layering::check(&p.file.rel, tokens) {
+        if !p.is_test(site.line) {
+            out.push(p.finding(site.line, site.rule, site.message));
+        }
+    }
+
+    // Every first-party crate root forbids `unsafe` outright; the rest of
+    // the hazard rules assume it (no raw-pointer escape hatches).
+    if is_crate_root(&p.file.rel) && !forbids_unsafe(tokens) {
+        out.push(
+            p.finding(
+                1,
+                RULE_UNSAFE,
+                "crate root lacks `#![forbid(unsafe_code)]`; first-party code stays safe Rust"
+                    .to_string(),
+            ),
+        );
+    }
 
     for (i, token) in tokens.iter().enumerate() {
         if p.is_test(token.line) {
@@ -201,24 +239,6 @@ fn check_file(p: &Prepared, corpus: &BTreeSet<String>, out: &mut Vec<Finding>) {
                         RULE_RAND,
                         "unseeded randomness; use the run's seeded ChaCha streams".to_string(),
                     ));
-                }
-                // I/O and threading inside the sans-I/O layer: the driver
-                // module and `crates/core` express round semantics as pure
-                // state transitions; sockets, streams and threads belong to
-                // the backends that drive them.
-                if (in_driver || in_core) && name == "std" {
-                    if let Some(seg) = next_path_segment(tokens, i) {
-                        if matches!(seg, "net" | "io" | "thread") {
-                            out.push(p.finding(
-                                line,
-                                RULE_SANS_IO,
-                                format!(
-                                    "`std::{seg}` in the sans-I/O layer; I/O and threading \
-                                     belong to the backends"
-                                ),
-                            ));
-                        }
-                    }
                 }
                 // Floats in protocol logic.
                 if in_core && matches!(name, "f32" | "f64") {
@@ -573,12 +593,64 @@ fn iteration_is_locally_sorted(tokens: &[Token], dot: usize) -> bool {
     false
 }
 
+/// Whether `rel` is a crate root: the workspace's own `src/lib.rs`, a
+/// member crate's `src/lib.rs` / `src/main.rs`, or a `src/bin/` target.
+fn is_crate_root(rel: &str) -> bool {
+    rel == "src/lib.rs"
+        || rel == "src/main.rs"
+        || rel.ends_with("/src/lib.rs")
+        || rel.ends_with("/src/main.rs")
+        || rel.contains("/src/bin/")
+}
+
+/// Whether the tokens contain a `forbid(unsafe_code)` attribute (the
+/// crate-root `#![forbid(unsafe_code)]` form).
+fn forbids_unsafe(tokens: &[Token]) -> bool {
+    tokens.iter().enumerate().any(|(i, t)| {
+        t.is_ident("forbid")
+            && tokens.get(i + 1).is_some_and(|t| t.is_punct('('))
+            && tokens.get(i + 2).is_some_and(|t| t.is_ident("unsafe_code"))
+    })
+}
+
 /// Extracts the implemented type's name from the tokens after `Wire for`.
-/// Returns `None` for tuple impls (`impl Wire for (A, B)`), which tests
-/// cover via container round-trips rather than by name.
+/// Tuple impls get the canonical names the schema pass uses (`Unit`,
+/// `Tuple2`, …), so tests must name those too.
 fn wire_impl_type(tokens: &[Token], mut k: usize) -> Option<String> {
     if matches!(tokens.get(k), Some(t) if t.is_punct('(')) {
-        return None;
+        let mut paren_depth = 0usize;
+        let mut angle_depth = 0usize;
+        let mut arity = 0usize;
+        let mut in_element = false;
+        while let Some(t) = tokens.get(k) {
+            match t.kind {
+                TokenKind::Punct('(') => {
+                    if paren_depth > 0 && !in_element {
+                        arity += 1;
+                        in_element = true;
+                    }
+                    paren_depth += 1;
+                }
+                TokenKind::Punct(')') => {
+                    paren_depth -= 1;
+                    if paren_depth == 0 {
+                        break;
+                    }
+                }
+                TokenKind::Punct('<') => angle_depth += 1,
+                TokenKind::Punct('>') => angle_depth = angle_depth.saturating_sub(1),
+                TokenKind::Punct(',') if paren_depth == 1 && angle_depth == 0 => {
+                    in_element = false;
+                }
+                _ if paren_depth == 1 && !in_element => {
+                    arity += 1;
+                    in_element = true;
+                }
+                _ => {}
+            }
+            k += 1;
+        }
+        return Some(crate::parser::tuple_type_name(arity));
     }
     let mut last = None;
     while let Some(t) = tokens.get(k) {
@@ -717,11 +789,22 @@ mod tests {
             .position(|w| w[0].is_ident("Wire") && w[1].is_ident("for"))
             .expect("impl header");
         assert_eq!(wire_impl_type(&toks, pos + 2), Some("Outgoing".to_string()));
-        let toks = lex("impl<A: Wire, B: Wire> Wire for (A, B) {").tokens;
-        let pos = toks
-            .windows(2)
-            .position(|w| w[0].is_ident("Wire") && w[1].is_ident("for"))
-            .expect("impl header");
-        assert_eq!(wire_impl_type(&toks, pos + 2), None, "tuples are exempt");
+        let tuple_name = |src: &str| {
+            let toks = lex(src).tokens;
+            let pos = toks
+                .windows(2)
+                .position(|w| w[0].is_ident("Wire") && w[1].is_ident("for"))
+                .expect("impl header");
+            wire_impl_type(&toks, pos + 2)
+        };
+        assert_eq!(
+            tuple_name("impl<A: Wire, B: Wire> Wire for (A, B) {"),
+            Some("Tuple2".to_string())
+        );
+        assert_eq!(
+            tuple_name("impl<A: Wire, B: Wire, C: Wire> Wire for (A, B, C) {"),
+            Some("Tuple3".to_string())
+        );
+        assert_eq!(tuple_name("impl Wire for () {"), Some("Unit".to_string()));
     }
 }

@@ -1,0 +1,1375 @@
+//! Wire-schema extraction and encode/decode symmetry checking.
+//!
+//! The shard wire format is the one contract tying serial runs, `--shards`
+//! workers and the `dft-node` TCP cluster to byte-identical decision
+//! tables, and its `Wire` impls are hand-written on both sides.  This pass
+//! parses every `impl Wire for T` (via [`crate::parser`]), extracts the
+//! ordered sequence of primitive write/read operations from `encode` and
+//! `decode`, and checks the two sides against each other:
+//!
+//! * same op count, same order, with enum tag bytes, fixed-width
+//!   primitives, nested `Wire` fields, repeats (`for` loops) and
+//!   tag-dispatched variants (`match`) compared structurally;
+//! * field labels compared when both sides name them (`self.to.encode`
+//!   vs `to: NodeId::decode(r)?` — a reorder is a finding);
+//! * every repeat preceded by a scalar in the same op list
+//!   (lengths-before-payloads);
+//! * every nested type reference resolvable to a builtin, a generic
+//!   parameter, another extracted impl, or a plain type alias.
+//!
+//! The decode-side op sequences form the canonical schema, committed as
+//! `WIRE_SCHEMA.json` and ratcheted like `ANALYSIS_baseline.json`: a
+//! schema change without a `WIRE_VERSION` bump fails `dft-analyze schema
+//! --ci`, turning wire-format breaks from silent cross-process corruption
+//! into an explicit reviewed event.  See DESIGN.md §"Wire schema ratchet".
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+use crate::findings::{normalize_snippet, Finding};
+use crate::json::{self, Json};
+use crate::lexer::lex;
+use crate::parser::{self, top_level_elements, Tree, WireImpl};
+use crate::regions::test_regions;
+use crate::walk::{self, FileKind};
+
+/// Rule identifier for encode/decode symmetry and resolution findings.
+pub const RULE_WIRE_ASYM: &str = "wire-asymmetry";
+
+/// Builtin leaf types a nested reference may resolve to.
+const BUILTINS: [&str; 7] = ["bool", "u8", "u16", "u32", "u64", "u128", "usize"];
+
+/// One primitive operation of an encode or decode body, in source order.
+#[derive(Clone, Debug, PartialEq)]
+enum Op {
+    /// A literal tag byte (`out.push(3)`).
+    Tag(u64),
+    /// A fixed-width primitive read/write (`u8`, `u16`, `u32`, `u64`,
+    /// `len`).
+    Prim(&'static str),
+    /// A nested `Wire` field.  `ty` is known on the decode side
+    /// (`NodeId::decode(r)`), `label` when either side names the field
+    /// (`self.to` / `to:`).  A field with neither is *weak*: it matches
+    /// any single op.
+    Field {
+        ty: Option<String>,
+        label: Option<String>,
+    },
+    /// A `for` loop body (sequence payload).
+    Repeat(Vec<Op>),
+    /// A tag-dispatched `match` (the tag byte is absorbed into the arms).
+    Switch(Vec<Arm>),
+}
+
+/// One arm of a [`Op::Switch`].
+#[derive(Clone, Debug, PartialEq)]
+struct Arm {
+    tag: Option<u64>,
+    label: Option<String>,
+    ops: Vec<Op>,
+}
+
+fn width(prim: &str) -> usize {
+    match prim {
+        "u8" => 1,
+        "u16" => 2,
+        "u32" => 4,
+        "len" | "u64" => 8,
+        _ => 0,
+    }
+}
+
+fn is_uppercase_ident(name: &str) -> bool {
+    name.chars().next().is_some_and(char::is_uppercase)
+}
+
+// ---------------------------------------------------------------------------
+// Encode-side extraction
+// ---------------------------------------------------------------------------
+
+/// Extracts the ordered write ops of an `encode` body.  `writer` is the
+/// output-parameter binding, `strong` the struct-destructured bindings in
+/// scope (which carry field labels), `self_ty` the implemented type (for
+/// `self.to_le_bytes()` widths).
+fn encode_ops(trees: &[Tree], writer: &str, strong: &BTreeSet<String>, self_ty: &str) -> Vec<Op> {
+    let mut ops = Vec::new();
+    let mut i = 0;
+    while i < trees.len() {
+        // `writer.push(..)` / `writer.extend_from_slice(..)`.
+        if trees.get(i).is_some_and(|t| t.is_ident(writer))
+            && trees.get(i + 1).is_some_and(|t| t.is_punct('.'))
+        {
+            if let (Some(method), Some(args)) = (
+                trees.get(i + 2).and_then(Tree::ident),
+                trees.get(i + 3).and_then(|t| t.group('(')),
+            ) {
+                match method {
+                    "push" => {
+                        ops.push(match args {
+                            [one] if one.int().is_some() => Op::Tag(one.int().unwrap_or_default()),
+                            _ => Op::Prim("u8"),
+                        });
+                        i += 4;
+                        continue;
+                    }
+                    "extend_from_slice" => {
+                        ops.push(le_bytes_op(args, self_ty));
+                        i += 4;
+                        continue;
+                    }
+                    _ => {}
+                }
+            }
+        }
+        // `RECV.encode(writer)`.
+        if trees.get(i).is_some_and(|t| t.is_ident("encode"))
+            && i >= 2
+            && trees.get(i - 1).is_some_and(|t| t.is_punct('.'))
+            && trees
+                .get(i + 1)
+                .and_then(|t| t.group('('))
+                .is_some_and(|args| args.iter().any(|a| a.is_ident(writer)))
+        {
+            ops.push(encode_receiver(trees, i, strong));
+            i += 2;
+            continue;
+        }
+        // `match` with `self` in the scrutinee → tag dispatch.
+        if trees.get(i).is_some_and(|t| t.is_ident("match")) {
+            let mut k = i + 1;
+            let mut has_self = false;
+            while let Some(tree) = trees.get(k) {
+                if let Some(body) = tree.group('{') {
+                    if has_self {
+                        ops.push(Op::Switch(encode_arms(body, writer, strong, self_ty)));
+                        i = k + 1;
+                    } else {
+                        i += 1;
+                    }
+                    break;
+                }
+                if tree.is_ident("self") {
+                    has_self = true;
+                }
+                k += 1;
+            }
+            if trees.get(k).is_none() {
+                i = k;
+            }
+            continue;
+        }
+        // `for PAT in ITER { body }` → repeat.
+        if trees.get(i).is_some_and(|t| t.is_ident("for")) {
+            let mut k = i + 1;
+            while let Some(tree) = trees.get(k) {
+                if let Some(body) = tree.group('{') {
+                    let inner = encode_ops(body, writer, strong, self_ty);
+                    if !inner.is_empty() {
+                        ops.push(Op::Repeat(inner));
+                    }
+                    break;
+                }
+                k += 1;
+            }
+            i = k + 1;
+            continue;
+        }
+        // Any other group (if/else blocks, parens): recurse.
+        if let Some(Tree::Group { trees: inner, .. }) = trees.get(i) {
+            ops.extend(encode_ops(inner, writer, strong, self_ty));
+        }
+        i += 1;
+    }
+    ops
+}
+
+/// The op for `writer.extend_from_slice(&X.to_le_bytes())`.
+fn le_bytes_op(args: &[Tree], self_ty: &str) -> Op {
+    let weak = Op::Field {
+        ty: None,
+        label: None,
+    };
+    let Some(j) = args.iter().position(|t| t.is_ident("to_le_bytes")) else {
+        return weak;
+    };
+    if j < 2 || !args.get(j - 1).is_some_and(|t| t.is_punct('.')) {
+        return weak;
+    }
+    // `&self.to_le_bytes()` — the implemented type's own width.
+    if args.get(j - 2).is_some_and(|t| t.is_ident("self")) {
+        return match self_ty {
+            "u16" | "u32" | "u64" => Op::Prim(match self_ty {
+                "u16" => "u16",
+                "u32" => "u32",
+                _ => "u64",
+            }),
+            _ => weak,
+        };
+    }
+    // `&self.FIELD.to_le_bytes()` — a labelled field of unknown width.
+    if args.get(j - 3).is_some_and(|t| t.is_punct('.'))
+        && args.get(j - 4).is_some_and(|t| t.is_ident("self"))
+    {
+        if let Some(label) = leaf_text(args.get(j - 2)) {
+            return Op::Field {
+                ty: None,
+                label: Some(label),
+            };
+        }
+    }
+    weak
+}
+
+/// The text of an identifier or integer leaf (`self.id` / `self.0`).
+fn leaf_text(tree: Option<&Tree>) -> Option<String> {
+    match tree {
+        Some(t) => match (t.ident(), t.int()) {
+            (Some(name), _) => Some(name.to_string()),
+            (None, Some(v)) => Some(v.to_string()),
+            _ => None,
+        },
+        None => None,
+    }
+}
+
+/// The field op for the receiver of `.encode(writer)` at index `i` of the
+/// `encode` identifier.
+fn encode_receiver(trees: &[Tree], i: usize, strong: &BTreeSet<String>) -> Op {
+    // `self.FIELD.encode(..)` — strong label.
+    if trees
+        .get(i.wrapping_sub(3))
+        .is_some_and(|t| t.is_punct('.'))
+        && trees
+            .get(i.wrapping_sub(4))
+            .is_some_and(|t| t.is_ident("self"))
+    {
+        if let Some(label) = leaf_text(trees.get(i - 2)) {
+            return Op::Field {
+                ty: None,
+                label: Some(label),
+            };
+        }
+    }
+    // A struct-destructured binding — carries its field label.
+    if let Some(name) = trees.get(i.wrapping_sub(2)).and_then(Tree::ident) {
+        if strong.contains(name) {
+            return Op::Field {
+                ty: None,
+                label: Some(name.to_string()),
+            };
+        }
+    }
+    // Anything else (call chains, casts, loop bindings): weak.
+    Op::Field {
+        ty: None,
+        label: None,
+    }
+}
+
+/// Parses the arms of an encode-side `match self { … }`.
+fn encode_arms(trees: &[Tree], writer: &str, strong: &BTreeSet<String>, self_ty: &str) -> Vec<Arm> {
+    let mut arms = Vec::new();
+    for (pattern, body) in split_arms(trees) {
+        let label = pattern
+            .iter()
+            .filter_map(Tree::ident)
+            .rfind(|n| is_uppercase_ident(n))
+            .map(str::to_string);
+        // Struct-destructure bindings (`Pair { node, rumor }`) are strong.
+        let mut bindings = strong.clone();
+        for tree in pattern {
+            if let Some(inner) = tree.group('{') {
+                bindings.extend(inner.iter().filter_map(Tree::ident).map(str::to_string));
+            }
+        }
+        let mut ops = encode_ops(body, writer, &bindings, self_ty);
+        let tag = match ops.first() {
+            Some(Op::Tag(v)) => {
+                let v = *v;
+                ops.remove(0);
+                Some(v)
+            }
+            _ => None,
+        };
+        arms.push(Arm { tag, label, ops });
+    }
+    arms
+}
+
+/// Splits a `match` body into `(pattern, body)` tree slices: pattern up to
+/// `=>`, body either the following brace group or everything to the next
+/// top-level comma.
+fn split_arms(trees: &[Tree]) -> Vec<(&[Tree], &[Tree])> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < trees.len() {
+        let start = i;
+        // Pattern: up to `=` `>`.
+        while i < trees.len()
+            && !(trees.get(i).is_some_and(|t| t.is_punct('='))
+                && trees.get(i + 1).is_some_and(|t| t.is_punct('>')))
+        {
+            i += 1;
+        }
+        if i >= trees.len() {
+            break;
+        }
+        let pattern = trees.get(start..i).unwrap_or_default();
+        i += 2; // past `=>`
+        let body = match trees.get(i).and_then(|t| t.group('{')) {
+            Some(inner) => {
+                i += 1;
+                inner
+            }
+            None => {
+                let body_start = i;
+                while i < trees.len() && !trees.get(i).is_some_and(|t| t.is_punct(',')) {
+                    i += 1;
+                }
+                trees.get(body_start..i).unwrap_or_default()
+            }
+        };
+        if trees.get(i).is_some_and(|t| t.is_punct(',')) {
+            i += 1;
+        }
+        out.push((pattern, body));
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Decode-side extraction
+// ---------------------------------------------------------------------------
+
+/// Extracts the ordered read ops of a `decode` body.  `reader` is the
+/// `WireReader` binding.
+fn decode_ops(trees: &[Tree], reader: &str) -> Vec<Op> {
+    let mut ops = Vec::new();
+    let mut i = 0;
+    while i < trees.len() {
+        // `reader.u8()` / `.u16()` / `.u64()` / `.len()` / `.take(n, _)`.
+        if trees.get(i).is_some_and(|t| t.is_ident(reader))
+            && trees.get(i + 1).is_some_and(|t| t.is_punct('.'))
+        {
+            if let (Some(method), Some(args)) = (
+                trees.get(i + 2).and_then(Tree::ident),
+                trees.get(i + 3).and_then(|t| t.group('(')),
+            ) {
+                let op = match method {
+                    "u8" | "u16" | "u32" | "u64" | "len" => Some(Op::Prim(match method {
+                        "u8" => "u8",
+                        "u16" => "u16",
+                        "u32" => "u32",
+                        "u64" => "u64",
+                        _ => "len",
+                    })),
+                    "take" => Some(match args.first().and_then(Tree::int) {
+                        Some(1) => Op::Prim("u8"),
+                        Some(2) => Op::Prim("u16"),
+                        Some(4) => Op::Prim("u32"),
+                        Some(8) => Op::Prim("u64"),
+                        _ => Op::Field {
+                            ty: None,
+                            label: None,
+                        },
+                    }),
+                    _ => None,
+                };
+                if let Some(op) = op {
+                    ops.push(op);
+                    i += 4;
+                    continue;
+                }
+            }
+        }
+        // `PATH::decode(reader)` → nested field of that type.
+        if trees.get(i).is_some_and(|t| t.is_ident("decode"))
+            && i >= 3
+            && trees.get(i - 1).is_some_and(|t| t.is_punct(':'))
+            && trees.get(i - 2).is_some_and(|t| t.is_punct(':'))
+            && trees
+                .get(i + 1)
+                .and_then(|t| t.group('('))
+                .is_some_and(|args| args.iter().any(|a| a.is_ident(reader)))
+        {
+            ops.push(Op::Field {
+                ty: decode_path_type(trees, i),
+                label: None,
+            });
+            i += 2;
+            continue;
+        }
+        // `match SCRUTINEE { … }` — a `u8` scrutinee is a tag dispatch.
+        if trees.get(i).is_some_and(|t| t.is_ident("match")) {
+            let mut k = i + 1;
+            while k < trees.len() && trees.get(k).and_then(|t| t.group('{')).is_none() {
+                k += 1;
+            }
+            let scrutinee = trees.get(i + 1..k).unwrap_or_default();
+            let s_ops = decode_ops(scrutinee, reader);
+            if let Some(body) = trees.get(k).and_then(|t| t.group('{')) {
+                if s_ops == [Op::Prim("u8")] {
+                    ops.push(Op::Switch(decode_arms(body, reader)));
+                } else {
+                    ops.extend(s_ops);
+                    ops.extend(decode_ops(body, reader));
+                }
+                i = k + 1;
+            } else {
+                ops.extend(s_ops);
+                i = k;
+            }
+            continue;
+        }
+        // `for PAT in ITER { body }` → repeat (iterator trees skipped).
+        if trees.get(i).is_some_and(|t| t.is_ident("for")) {
+            let mut k = i + 1;
+            while k < trees.len() && trees.get(k).and_then(|t| t.group('{')).is_none() {
+                k += 1;
+            }
+            if let Some(body) = trees.get(k).and_then(|t| t.group('{')) {
+                let inner = decode_ops(body, reader);
+                if !inner.is_empty() {
+                    ops.push(Op::Repeat(inner));
+                }
+            }
+            i = k + 1;
+            continue;
+        }
+        // Constructors assign labels to the ops of their arguments.
+        if let Some(name) = trees.get(i).and_then(Tree::ident) {
+            if is_uppercase_ident(name) {
+                // `Name { field: expr, … }` — struct literal.
+                if let Some(inner) = trees.get(i + 1).and_then(|t| t.group('{')) {
+                    if struct_literal_shape(inner) {
+                        ops.extend(struct_literal_ops(inner, reader));
+                        i += 2;
+                        continue;
+                    }
+                }
+                // `Name(e0, e1, …)` — tuple constructor (positional labels;
+                // `Ok`/`Err` are transparent wrappers).
+                if let Some(inner) = trees.get(i + 1).and_then(|t| t.group('(')) {
+                    if name == "Ok" || name == "Err" {
+                        ops.extend(decode_ops(inner, reader));
+                    } else {
+                        ops.extend(positional_ops(inner, reader));
+                    }
+                    i += 2;
+                    continue;
+                }
+            }
+        }
+        // A bare tuple literal `(a, b)` labels positionally too.
+        if let Some(inner) = trees.get(i).and_then(|t| t.group('(')) {
+            let preceded_by_ident = i > 0 && trees.get(i - 1).and_then(Tree::ident).is_some();
+            if !preceded_by_ident && top_level_elements(inner).len() >= 2 {
+                ops.extend(positional_ops(inner, reader));
+                i += 1;
+                continue;
+            }
+        }
+        if let Some(Tree::Group { trees: inner, .. }) = trees.get(i) {
+            ops.extend(decode_ops(inner, reader));
+        }
+        i += 1;
+    }
+    ops
+}
+
+/// The last path segment before `::decode` at index `i`, skipping a
+/// turbofish (`Vec::<u64>::decode` → `Vec`).
+fn decode_path_type(trees: &[Tree], i: usize) -> Option<String> {
+    let mut j = i.checked_sub(3)?;
+    if trees.get(j).is_some_and(|t| t.is_punct('>')) {
+        let mut depth = 1usize;
+        while depth > 0 {
+            j = j.checked_sub(1)?;
+            if trees.get(j).is_some_and(|t| t.is_punct('>')) {
+                depth += 1;
+            } else if trees.get(j).is_some_and(|t| t.is_punct('<')) {
+                depth -= 1;
+            }
+        }
+        // Before the turbofish: `::` then the segment.
+        if !(trees
+            .get(j.checked_sub(1)?)
+            .is_some_and(|t| t.is_punct(':'))
+            && trees
+                .get(j.checked_sub(2)?)
+                .is_some_and(|t| t.is_punct(':')))
+        {
+            return None;
+        }
+        j = j.checked_sub(3)?;
+    }
+    trees.get(j).and_then(Tree::ident).map(str::to_string)
+}
+
+/// Whether a brace group has `ident : …` struct-literal shape.
+fn struct_literal_shape(inner: &[Tree]) -> bool {
+    inner.first().and_then(Tree::ident).is_some() && inner.get(1).is_some_and(|t| t.is_punct(':'))
+}
+
+/// Ops of a struct literal's fields, labelled by field name, in source
+/// order.
+fn struct_literal_ops(inner: &[Tree], reader: &str) -> Vec<Op> {
+    let mut out = Vec::new();
+    for element in top_level_elements(inner) {
+        let label = element.first().and_then(Tree::ident).map(str::to_string);
+        let expr = match element.get(1) {
+            Some(t) if t.is_punct(':') => element.get(2..).unwrap_or_default(),
+            _ => element,
+        };
+        out.extend(labelled(decode_ops(expr, reader), label));
+    }
+    out
+}
+
+/// Ops of a tuple constructor's elements, labelled `0`, `1`, … in order.
+fn positional_ops(inner: &[Tree], reader: &str) -> Vec<Op> {
+    let mut out = Vec::new();
+    for (k, element) in top_level_elements(inner).into_iter().enumerate() {
+        out.extend(labelled(decode_ops(element, reader), Some(k.to_string())));
+    }
+    out
+}
+
+/// Applies a field label when the expression produced exactly one
+/// unlabelled field op.
+fn labelled(mut ops: Vec<Op>, label: Option<String>) -> Vec<Op> {
+    if ops.len() == 1 {
+        if let Some(Op::Field {
+            label: slot @ None, ..
+        }) = ops.first_mut()
+        {
+            *slot = label;
+        }
+    }
+    ops
+}
+
+/// Parses the arms of a decode-side `match r.u8()? { … }`.  Integer
+/// patterns carry the tag; identifier catch-alls (the error arm) are
+/// skipped.
+fn decode_arms(trees: &[Tree], reader: &str) -> Vec<Arm> {
+    let mut arms = Vec::new();
+    for (pattern, body) in split_arms(trees) {
+        let tag = pattern.iter().find_map(Tree::int);
+        if tag.is_none() {
+            continue; // `other => Err(..)` / `_ => ..`
+        }
+        arms.push(Arm {
+            tag,
+            label: arm_label(body),
+            ops: decode_ops(body, reader),
+        });
+    }
+    arms
+}
+
+/// The variant label of a decode arm: the last segment of the first
+/// uppercase-starting path in the body, with `Ok` unwrapped.
+fn arm_label(body: &[Tree]) -> Option<String> {
+    let inner = match (body.first(), body.get(1)) {
+        (Some(first), Some(second)) if first.is_ident("Ok") => second.group('(').unwrap_or(body),
+        _ => body,
+    };
+    let mut i = 0;
+    while i < inner.len() {
+        if let Some(name) = inner.get(i).and_then(Tree::ident) {
+            if is_uppercase_ident(name) {
+                // Follow `::Segment` as long as segments continue.
+                let mut last = name.to_string();
+                let mut j = i;
+                while inner.get(j + 1).is_some_and(|t| t.is_punct(':'))
+                    && inner.get(j + 2).is_some_and(|t| t.is_punct(':'))
+                {
+                    match inner.get(j + 3).and_then(Tree::ident) {
+                        Some(seg) => {
+                            last = seg.to_string();
+                            j += 3;
+                        }
+                        None => break,
+                    }
+                }
+                return Some(last);
+            }
+        }
+        i += 1;
+    }
+    None
+}
+
+// ---------------------------------------------------------------------------
+// Symmetry comparison
+// ---------------------------------------------------------------------------
+
+fn describe(op: &Op) -> String {
+    match op {
+        Op::Tag(v) => format!("tag({v})"),
+        Op::Prim(p) => (*p).to_string(),
+        Op::Field { ty, label } => match (label, ty) {
+            (Some(l), Some(t)) => format!("{l}:{t}"),
+            (Some(l), None) => format!("{l}:?"),
+            (None, Some(t)) => t.clone(),
+            (None, None) => "?".to_string(),
+        },
+        Op::Repeat(_) => "seq(..)".to_string(),
+        Op::Switch(_) => "match{..}".to_string(),
+    }
+}
+
+/// Compares an encode op sequence against a decode op sequence; `Err`
+/// explains the first divergence.
+fn compat_seq(enc: &[Op], dec: &[Op]) -> Result<(), String> {
+    if enc.len() != dec.len() {
+        return Err(format!(
+            "encode writes {} op(s) but decode reads {} ({} vs {})",
+            enc.len(),
+            dec.len(),
+            enc.iter().map(describe).collect::<Vec<_>>().join(" "),
+            dec.iter().map(describe).collect::<Vec<_>>().join(" "),
+        ));
+    }
+    for (e, d) in enc.iter().zip(dec.iter()) {
+        compat(e, d)?;
+    }
+    Ok(())
+}
+
+fn numeric_label(label: &Option<String>) -> bool {
+    label
+        .as_deref()
+        .is_some_and(|l| l.chars().all(|c| c.is_ascii_digit()))
+}
+
+fn compat(e: &Op, d: &Op) -> Result<(), String> {
+    match (e, d) {
+        (Op::Tag(a), Op::Tag(b)) if a == b => Ok(()),
+        (Op::Tag(_), Op::Prim("u8")) | (Op::Prim("u8"), Op::Tag(_)) => Ok(()),
+        (Op::Prim(a), Op::Prim(b)) if width(a) == width(b) => Ok(()),
+        (Op::Prim(a), Op::Prim(b)) => Err(format!("encode writes `{a}` where decode reads `{b}`")),
+        (
+            Op::Field {
+                ty: et, label: el, ..
+            },
+            Op::Field {
+                ty: dt, label: dl, ..
+            },
+        ) => {
+            if let (Some(a), Some(b)) = (el, dl) {
+                // Positional labels only conflict with positional labels.
+                if a != b && numeric_label(el) == numeric_label(dl) {
+                    return Err(format!(
+                        "field order skew: encode writes `{a}` where decode reads `{b}`"
+                    ));
+                }
+            }
+            if let (Some(a), Some(b)) = (et, dt) {
+                if a != b {
+                    return Err(format!("encode writes a `{a}` where decode reads a `{b}`"));
+                }
+            }
+            Ok(())
+        }
+        // A weak/labelled field matches any single leaf op (the encode side
+        // rarely knows its type).
+        (Op::Field { ty, .. }, Op::Prim(p)) | (Op::Prim(p), Op::Field { ty, .. }) => {
+            match ty.as_deref() {
+                Some(t) if BUILTINS.contains(&t) && width(t) != width(p) => {
+                    Err(format!("`{t}` does not match the {p} on the other side"))
+                }
+                _ => Ok(()),
+            }
+        }
+        (Op::Field { .. }, Op::Tag(_)) | (Op::Tag(_), Op::Field { .. }) => Ok(()),
+        (Op::Prim("u8"), Op::Switch(arms)) | (Op::Switch(arms), Op::Prim("u8"))
+            if arms.iter().all(|a| a.ops.is_empty()) =>
+        {
+            Ok(())
+        }
+        (Op::Repeat(a), Op::Repeat(b)) => {
+            compat_seq(a, b).map_err(|e| format!("inside a repeated block: {e}"))
+        }
+        (Op::Switch(a), Op::Switch(b)) => compat_switch(a, b),
+        (e, d) => Err(format!(
+            "encode `{}` does not match decode `{}`",
+            describe(e),
+            describe(d)
+        )),
+    }
+}
+
+fn compat_switch(enc: &[Arm], dec: &[Arm]) -> Result<(), String> {
+    let enc_tags: BTreeSet<_> = enc.iter().filter_map(|a| a.tag).collect();
+    let dec_tags: BTreeSet<_> = dec.iter().filter_map(|a| a.tag).collect();
+    if enc_tags != dec_tags {
+        return Err(format!(
+            "encode arms carry tags {enc_tags:?} but decode arms carry {dec_tags:?}"
+        ));
+    }
+    for e in enc {
+        let Some(tag) = e.tag else { continue };
+        let Some(d) = dec.iter().find(|a| a.tag == Some(tag)) else {
+            continue;
+        };
+        if let (Some(a), Some(b)) = (&e.label, &d.label) {
+            if a != b {
+                return Err(format!("tag {tag} is `{a}` on encode but `{b}` on decode"));
+            }
+        }
+        compat_seq(&e.ops, &d.ops).map_err(|err| format!("inside tag {tag}: {err}"))?;
+    }
+    Ok(())
+}
+
+/// Checks lengths-before-payloads: every repeat must be preceded by a
+/// scalar op in its own list (the length prefix it is driven by).
+fn repeats_have_lengths(ops: &[Op]) -> Result<(), String> {
+    let mut seen_scalar = false;
+    for op in ops {
+        match op {
+            Op::Tag(_) | Op::Prim(_) | Op::Field { .. } => seen_scalar = true,
+            Op::Repeat(inner) => {
+                if !seen_scalar {
+                    return Err("a repeated block has no preceding length/scalar op".to_string());
+                }
+                repeats_have_lengths(inner)?;
+            }
+            Op::Switch(arms) => {
+                for arm in arms {
+                    // The absorbed tag byte counts as the arm's scalar.
+                    let mut probe = vec![Op::Prim("u8")];
+                    probe.extend(arm.ops.iter().cloned());
+                    repeats_have_lengths(&probe)?;
+                }
+                seen_scalar = true;
+            }
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Canonical rendering
+// ---------------------------------------------------------------------------
+
+fn render_ops(ops: &[Op]) -> String {
+    ops.iter().map(render_op).collect::<Vec<_>>().join(" ")
+}
+
+fn render_op(op: &Op) -> String {
+    match op {
+        Op::Tag(v) => format!("tag({v})"),
+        Op::Prim(p) => (*p).to_string(),
+        Op::Field { ty, label } => {
+            let label = label.as_deref().filter(|l| {
+                !l.chars().all(|c| c.is_ascii_digit()) // positional: omit
+            });
+            match (label, ty) {
+                (Some(l), Some(t)) => format!("{l}:{t}"),
+                (Some(l), None) => format!("{l}:?"),
+                (None, Some(t)) => t.clone(),
+                (None, None) => "?".to_string(),
+            }
+        }
+        Op::Repeat(inner) => format!("seq({})", render_ops(inner)),
+        Op::Switch(arms) => {
+            let mut sorted: Vec<&Arm> = arms.iter().collect();
+            sorted.sort_by_key(|a| a.tag);
+            let rendered: Vec<String> = sorted
+                .iter()
+                .map(|arm| {
+                    let mut s = match arm.tag {
+                        Some(t) => t.to_string(),
+                        None => "_".to_string(),
+                    };
+                    if let Some(label) = &arm.label {
+                        let _ = write!(s, "={label}");
+                    }
+                    if !arm.ops.is_empty() {
+                        let _ = write!(s, "({})", render_ops(&arm.ops));
+                    }
+                    s
+                })
+                .collect();
+            format!("match{{{}}}", rendered.join("; "))
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Schema model, extraction, persistence
+// ---------------------------------------------------------------------------
+
+/// One extracted `impl Wire for T` in the canonical schema.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SchemaType {
+    /// Canonical type name (`NodeId`, `Tuple2`, …).
+    pub name: String,
+    /// Root-relative file the impl lives in.
+    pub file: String,
+    /// Generic parameters of the impl.
+    pub generics: Vec<String>,
+    /// Canonical decode-side op sequence.
+    pub ops: String,
+}
+
+/// The full wire schema: every impl plus the wire version it describes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Schema {
+    /// The workspace `WIRE_VERSION` the schema was extracted under.
+    pub wire_version: Option<u64>,
+    /// Type aliases the extraction resolved through (`SignerId` → `usize`).
+    pub aliases: Vec<(String, String)>,
+    /// All impls, sorted by name.
+    pub types: Vec<SchemaType>,
+}
+
+/// Extraction result: the schema plus any symmetry/resolution findings.
+#[derive(Clone, Debug)]
+pub struct Extraction {
+    /// The canonical schema.
+    pub schema: Schema,
+    /// Symmetry, lengths-before-payloads, and resolution findings.
+    pub problems: Vec<Finding>,
+}
+
+/// How an extracted schema relates to the committed one.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SchemaStatus {
+    /// Byte-for-byte the same contract.
+    Match,
+    /// Versions differ — the committed file needs regenerating.
+    Stale {
+        /// `wire_version` in the committed file.
+        committed: Option<u64>,
+        /// `WIRE_VERSION` in the tree.
+        extracted: Option<u64>,
+    },
+    /// Same version but different content: a wire change shipped without
+    /// a `WIRE_VERSION` bump.
+    Drift {
+        /// Human-readable per-type differences.
+        details: Vec<String>,
+    },
+}
+
+/// Extracts the wire schema of every `impl Wire for T` under `root`,
+/// checking encode/decode symmetry along the way.
+pub fn extract_schema(root: &Path) -> io::Result<Extraction> {
+    let files = walk::discover(root)?;
+    let mut impls: Vec<(WireImpl, String, Vec<String>)> = Vec::new(); // impl, rel, lines
+    let mut aliases: BTreeMap<String, String> = BTreeMap::new();
+    let mut wire_version = None;
+    for file in &files {
+        if file.kind == FileKind::Test {
+            continue;
+        }
+        let content = std::fs::read_to_string(&file.path)?;
+        let lexed = lex(&content);
+        let regions = test_regions(&lexed.tokens);
+        if wire_version.is_none() {
+            wire_version = parser::wire_version_const(&lexed.tokens);
+        }
+        for (name, target) in parser::type_aliases(&lexed.tokens, &|l| regions.contains(l)) {
+            aliases.entry(name).or_insert(target);
+        }
+        let trees = parser::parse(&lexed.tokens);
+        let lines: Vec<String> = content.lines().map(str::to_string).collect();
+        for imp in parser::wire_impls(&trees, &|l| regions.contains(l)) {
+            impls.push((imp, file.rel.clone(), lines.clone()));
+        }
+    }
+
+    let impl_names: BTreeSet<String> = impls
+        .iter()
+        .map(|(imp, _, _)| imp.type_name.clone())
+        .collect();
+    let mut problems = Vec::new();
+    let mut used_aliases: BTreeMap<String, String> = BTreeMap::new();
+    let mut types = Vec::new();
+    let mut seen = BTreeSet::new();
+
+    for (imp, rel, lines) in &impls {
+        let problem = |line: usize, message: String| Finding {
+            file: rel.clone(),
+            line,
+            rule: RULE_WIRE_ASYM,
+            message,
+            snippet: lines
+                .get(line.saturating_sub(1))
+                .map(|l| normalize_snippet(l))
+                .unwrap_or_default(),
+        };
+        if !seen.insert(imp.type_name.clone()) {
+            problems.push(problem(
+                imp.line,
+                format!("duplicate `Wire` impl for `{}`", imp.type_name),
+            ));
+            continue;
+        }
+        let (Some(enc), Some(dec)) = (imp.fn_def("encode"), imp.fn_def("decode")) else {
+            problems.push(problem(
+                imp.line,
+                format!(
+                    "`impl Wire for {}` is missing an encode or decode fn",
+                    imp.type_name
+                ),
+            ));
+            continue;
+        };
+        let writer = enc.params.first().map(String::as_str).unwrap_or("out");
+        let reader = dec.params.first().map(String::as_str).unwrap_or("r");
+        let strong = BTreeSet::new();
+        let enc_ops = encode_ops(&enc.body, writer, &strong, &imp.type_name);
+        let dec_ops = decode_ops(&dec.body, reader);
+        if let Err(msg) = compat_seq(&enc_ops, &dec_ops) {
+            problems.push(problem(
+                imp.line,
+                format!("encode/decode asymmetry in `{}`: {msg}", imp.type_name),
+            ));
+        }
+        for (side, ops) in [("encode", &enc_ops), ("decode", &dec_ops)] {
+            if let Err(msg) = repeats_have_lengths(ops) {
+                problems.push(problem(
+                    imp.line,
+                    format!("`{}` {side}: {msg}", imp.type_name),
+                ));
+            }
+        }
+        for ty in field_types(&dec_ops) {
+            if !resolve(&ty, &imp.generics, &impl_names, &aliases, &mut used_aliases) {
+                problems.push(problem(
+                    imp.line,
+                    format!(
+                        "`{}` decodes a `{ty}` that is neither a builtin, a generic \
+                         parameter, an extracted `Wire` impl, nor a known alias",
+                        imp.type_name
+                    ),
+                ));
+            }
+        }
+        types.push(SchemaType {
+            name: imp.type_name.clone(),
+            file: rel.clone(),
+            generics: imp.generics.clone(),
+            ops: render_ops(&dec_ops),
+        });
+    }
+    types.sort_by(|a, b| a.name.cmp(&b.name));
+    problems.sort_by(|a, b| (&a.file, a.line, &a.message).cmp(&(&b.file, b.line, &b.message)));
+    Ok(Extraction {
+        schema: Schema {
+            wire_version,
+            aliases: used_aliases.into_iter().collect(),
+            types,
+        },
+        problems,
+    })
+}
+
+/// All `Field` type names in an op tree.
+fn field_types(ops: &[Op]) -> Vec<String> {
+    let mut out = Vec::new();
+    for op in ops {
+        match op {
+            Op::Field { ty: Some(t), .. } => out.push(t.clone()),
+            Op::Repeat(inner) => out.extend(field_types(inner)),
+            Op::Switch(arms) => {
+                for arm in arms {
+                    out.extend(field_types(&arm.ops));
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Whether `ty` resolves to a builtin, a generic parameter, or another
+/// extracted impl — possibly through a chain of plain type aliases.
+fn resolve(
+    ty: &str,
+    generics: &[String],
+    impl_names: &BTreeSet<String>,
+    aliases: &BTreeMap<String, String>,
+    used: &mut BTreeMap<String, String>,
+) -> bool {
+    let mut current = ty.to_string();
+    for _ in 0..8 {
+        if BUILTINS.contains(&current.as_str())
+            || generics.iter().any(|g| g == &current)
+            || impl_names.contains(&current)
+        {
+            return true;
+        }
+        match aliases.get(&current) {
+            Some(target) => {
+                used.insert(current.clone(), target.clone());
+                current = target.clone();
+            }
+            None => return false,
+        }
+    }
+    false
+}
+
+impl Schema {
+    /// The canonical committed representation (`WIRE_SCHEMA.json`).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"schema\": 1,\n");
+        match self.wire_version {
+            Some(v) => {
+                let _ = writeln!(out, "  \"wire_version\": {v},");
+            }
+            None => out.push_str("  \"wire_version\": null,\n"),
+        }
+        out.push_str("  \"aliases\": {");
+        for (i, (name, target)) in self.aliases.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\n    \"{}\": \"{}\"",
+                json::escape(name),
+                json::escape(target)
+            );
+        }
+        if !self.aliases.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("},\n  \"types\": [");
+        for (i, ty) in self.types.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let generics: Vec<String> = ty
+                .generics
+                .iter()
+                .map(|g| format!("\"{}\"", json::escape(g)))
+                .collect();
+            let _ = write!(
+                out,
+                "\n    {{\"name\": \"{}\", \"file\": \"{}\", \"generics\": [{}], \
+                 \"ops\": \"{}\"}}",
+                json::escape(&ty.name),
+                json::escape(&ty.file),
+                generics.join(", "),
+                json::escape(&ty.ops)
+            );
+        }
+        if !self.types.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+
+    /// Parses a committed `WIRE_SCHEMA.json`.
+    pub fn parse(text: &str) -> Result<Schema, String> {
+        let root =
+            json::parse(text).map_err(|e| format!("WIRE_SCHEMA.json is not valid JSON: {e}"))?;
+        let wire_version = root
+            .get("wire_version")
+            .and_then(Json::as_usize)
+            .map(|v| v as u64);
+        let mut aliases = Vec::new();
+        if let Some(Json::Obj(map)) = root.get("aliases") {
+            for (name, value) in map {
+                let target = value.as_str().ok_or("alias target must be a string")?;
+                aliases.push((name.clone(), target.to_string()));
+            }
+        }
+        let mut types = Vec::new();
+        for entry in root.get("types").and_then(Json::as_arr).unwrap_or(&[]) {
+            let field = |key: &str| -> Result<String, String> {
+                entry
+                    .get(key)
+                    .and_then(Json::as_str)
+                    .map(str::to_string)
+                    .ok_or(format!("type entry is missing `{key}`"))
+            };
+            let mut generics = Vec::new();
+            for g in entry.get("generics").and_then(Json::as_arr).unwrap_or(&[]) {
+                generics.push(
+                    g.as_str()
+                        .ok_or("generic parameter must be a string")?
+                        .to_string(),
+                );
+            }
+            types.push(SchemaType {
+                name: field("name")?,
+                file: field("file")?,
+                generics,
+                ops: field("ops")?,
+            });
+        }
+        types.sort_by(|a, b| a.name.cmp(&b.name));
+        Ok(Schema {
+            wire_version,
+            aliases,
+            types,
+        })
+    }
+}
+
+/// Compares an extracted schema against the committed one.
+pub fn compare(extracted: &Schema, committed: &Schema) -> SchemaStatus {
+    if extracted.wire_version != committed.wire_version {
+        return SchemaStatus::Stale {
+            committed: committed.wire_version,
+            extracted: extracted.wire_version,
+        };
+    }
+    if extracted == committed {
+        return SchemaStatus::Match;
+    }
+    let mut details = Vec::new();
+    let committed_by_name: BTreeMap<&str, &SchemaType> = committed
+        .types
+        .iter()
+        .map(|t| (t.name.as_str(), t))
+        .collect();
+    let extracted_by_name: BTreeMap<&str, &SchemaType> = extracted
+        .types
+        .iter()
+        .map(|t| (t.name.as_str(), t))
+        .collect();
+    for (name, ty) in &extracted_by_name {
+        match committed_by_name.get(name) {
+            None => details.push(format!("`{name}` is new (not in the committed schema)")),
+            Some(old) if old.ops != ty.ops => details.push(format!(
+                "`{name}` changed: committed `{}` vs extracted `{}`",
+                old.ops, ty.ops
+            )),
+            Some(old) if **old != **ty => {
+                details.push(format!("`{name}` moved or changed its generics"));
+            }
+            Some(_) => {}
+        }
+    }
+    for name in committed_by_name.keys() {
+        if !extracted_by_name.contains_key(name) {
+            details.push(format!("`{name}` was removed"));
+        }
+    }
+    if details.is_empty() {
+        details.push("alias table changed".to_string());
+    }
+    SchemaStatus::Drift { details }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn ops_of(src: &str) -> (Vec<Op>, Vec<Op>) {
+        let lexed = lex(src);
+        let trees = parse(&lexed.tokens);
+        let impls = parser::wire_impls(&trees, &|_| false);
+        let imp = impls.first().expect("one impl");
+        let enc = imp.fn_def("encode").expect("encode");
+        let dec = imp.fn_def("decode").expect("decode");
+        let writer = enc.params.first().map(String::as_str).unwrap_or("out");
+        let reader = dec.params.first().map(String::as_str).unwrap_or("r");
+        (
+            encode_ops(&enc.body, writer, &BTreeSet::new(), &imp.type_name),
+            decode_ops(&dec.body, reader),
+        )
+    }
+
+    #[test]
+    fn symmetric_struct_is_clean() {
+        let (enc, dec) = ops_of(
+            "impl Wire for Pair {
+                fn encode(&self, out: &mut Vec<u8>) {
+                    self.a.encode(out);
+                    self.b.encode(out);
+                }
+                fn decode(r: &mut WireReader<'_>) -> WireResult<Self> {
+                    Ok(Pair { a: u16::decode(r)?, b: u64::decode(r)? })
+                }
+            }",
+        );
+        assert!(compat_seq(&enc, &dec).is_ok());
+        assert_eq!(render_ops(&dec), "a:u16 b:u64");
+    }
+
+    #[test]
+    fn field_order_skew_is_reported() {
+        let (enc, dec) = ops_of(
+            "impl Wire for Skewed {
+                fn encode(&self, out: &mut Vec<u8>) {
+                    self.a.encode(out);
+                    self.b.encode(out);
+                }
+                fn decode(r: &mut WireReader<'_>) -> WireResult<Self> {
+                    Ok(Skewed { b: u64::decode(r)?, a: u16::decode(r)? })
+                }
+            }",
+        );
+        let err = compat_seq(&enc, &dec).expect_err("skew must be caught");
+        assert!(err.contains("field order skew"), "{err}");
+    }
+
+    #[test]
+    fn vec_shape_has_length_then_repeat() {
+        let (enc, dec) = ops_of(
+            "impl<T: Wire> Wire for Vec<T> {
+                fn encode(&self, out: &mut Vec<u8>) {
+                    self.len().encode(out);
+                    for item in self { item.encode(out); }
+                }
+                fn decode(r: &mut WireReader<'_>) -> WireResult<Self> {
+                    let len = r.len()?;
+                    let mut items = Vec::new();
+                    for _ in 0..len { items.push(T::decode(r)?); }
+                    Ok(items)
+                }
+            }",
+        );
+        assert!(compat_seq(&enc, &dec).is_ok());
+        assert!(repeats_have_lengths(&dec).is_ok());
+        assert_eq!(render_ops(&dec), "len seq(T)");
+    }
+
+    #[test]
+    fn repeat_without_length_is_reported() {
+        let ops = vec![Op::Repeat(vec![Op::Prim("u8")])];
+        assert!(repeats_have_lengths(&ops).is_err());
+    }
+
+    #[test]
+    fn tagged_enum_arms_match_by_tag_and_label() {
+        let (enc, dec) = ops_of(
+            "impl<V: Wire> Wire for AeaMsg<V> {
+                fn encode(&self, out: &mut Vec<u8>) {
+                    match self {
+                        AeaMsg::Rumor(v) => { out.push(0); v.encode(out) }
+                        AeaMsg::Decision(v) => { out.push(1); v.encode(out) }
+                    }
+                }
+                fn decode(r: &mut WireReader<'_>) -> WireResult<Self> {
+                    match r.u8()? {
+                        0 => Ok(AeaMsg::Rumor(V::decode(r)?)),
+                        1 => Ok(AeaMsg::Decision(V::decode(r)?)),
+                        other => Err(bad_tag(\"AeaMsg\", other)),
+                    }
+                }
+            }",
+        );
+        assert!(compat_seq(&enc, &dec).is_ok());
+        assert_eq!(render_ops(&dec), "match{0=Rumor(V); 1=Decision(V)}");
+    }
+
+    #[test]
+    fn tag_set_mismatch_is_reported() {
+        let (enc, dec) = ops_of(
+            "impl Wire for Lopsided {
+                fn encode(&self, out: &mut Vec<u8>) {
+                    match self {
+                        Lopsided::A => out.push(0),
+                        Lopsided::B => out.push(2),
+                    }
+                }
+                fn decode(r: &mut WireReader<'_>) -> WireResult<Self> {
+                    match r.u8()? {
+                        0 => Ok(Lopsided::A),
+                        1 => Ok(Lopsided::B),
+                        other => Err(bad_tag(\"Lopsided\", other)),
+                    }
+                }
+            }",
+        );
+        let err = compat_seq(&enc, &dec).expect_err("tag sets differ");
+        assert!(err.contains("tags"), "{err}");
+    }
+
+    #[test]
+    fn bool_prim_matches_empty_arm_switch() {
+        let (enc, dec) = ops_of(
+            "impl Wire for bool {
+                fn encode(&self, out: &mut Vec<u8>) { out.push(u8::from(*self)); }
+                fn decode(r: &mut WireReader<'_>) -> WireResult<Self> {
+                    match r.u8()? {
+                        0 => Ok(false),
+                        1 => Ok(true),
+                        other => Err(bad_tag(\"bool\", other)),
+                    }
+                }
+            }",
+        );
+        assert!(compat_seq(&enc, &dec).is_ok());
+        assert_eq!(render_ops(&dec), "match{0; 1}");
+    }
+
+    #[test]
+    fn tuple_positions_line_up() {
+        let (enc, dec) = ops_of(
+            "impl<A: Wire, B: Wire> Wire for (A, B) {
+                fn encode(&self, out: &mut Vec<u8>) {
+                    self.0.encode(out);
+                    self.1.encode(out);
+                }
+                fn decode(r: &mut WireReader<'_>) -> WireResult<Self> {
+                    Ok((A::decode(r)?, B::decode(r)?))
+                }
+            }",
+        );
+        assert!(compat_seq(&enc, &dec).is_ok());
+        assert_eq!(render_ops(&dec), "A B");
+    }
+
+    #[test]
+    fn schema_json_round_trips() {
+        let schema = Schema {
+            wire_version: Some(3),
+            aliases: vec![("SignerId".to_string(), "usize".to_string())],
+            types: vec![SchemaType {
+                name: "NodeId".to_string(),
+                file: "crates/sim/src/shard/wire.rs".to_string(),
+                generics: Vec::new(),
+                ops: "len".to_string(),
+            }],
+        };
+        let parsed = Schema::parse(&schema.to_json()).expect("round trip");
+        assert_eq!(parsed, schema);
+        assert_eq!(compare(&schema, &parsed), SchemaStatus::Match);
+    }
+
+    #[test]
+    fn compare_detects_stale_and_drift() {
+        let base = Schema {
+            wire_version: Some(1),
+            aliases: Vec::new(),
+            types: vec![SchemaType {
+                name: "Round".to_string(),
+                file: "w.rs".to_string(),
+                generics: Vec::new(),
+                ops: "u64".to_string(),
+            }],
+        };
+        let mut bumped = base.clone();
+        bumped.wire_version = Some(2);
+        assert!(matches!(
+            compare(&bumped, &base),
+            SchemaStatus::Stale { .. }
+        ));
+        let mut drifted = base.clone();
+        if let Some(ty) = drifted.types.first_mut() {
+            ty.ops = "len".to_string();
+        }
+        match compare(&drifted, &base) {
+            SchemaStatus::Drift { details } => {
+                assert!(details.iter().any(|d| d.contains("Round")), "{details:?}");
+            }
+            other => panic!("expected drift, got {other:?}"),
+        }
+    }
+}

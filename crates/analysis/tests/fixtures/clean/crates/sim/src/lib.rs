@@ -1,0 +1,7 @@
+//! Clean fixture crate root: carries the unsafe ban the analyzer requires
+//! of every first-party crate root.
+
+#![forbid(unsafe_code)]
+
+pub mod driver;
+pub mod shard;

@@ -4,6 +4,10 @@
 
 use std::collections::{HashMap, HashSet};
 
+// layer-boundary: `dft_sim::pool` is the simulator's thread-pool internals;
+// the core layer may only name the sim root, adversary and shard surfaces.
+use dft_sim::pool::WorkerPool;
+
 pub struct State {
     pub votes: HashMap<usize, u64>,
     pub seen: HashSet<usize>,

@@ -1,0 +1,6 @@
+//! Dirty fixture crate root.
+//!
+//! unsafe-forbid: a first-party crate root without `#![forbid(unsafe_code)]`.
+
+pub mod driver;
+pub mod shard_client;

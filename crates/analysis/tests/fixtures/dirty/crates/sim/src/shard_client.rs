@@ -40,3 +40,42 @@ pub fn pick(n: usize) -> usize {
     // panic-macro.
     panic!("unreachable pick of {n}")
 }
+
+pub struct Skewed {
+    pub a: u16,
+    pub b: u64,
+}
+
+impl Wire for Skewed {
+    // wire-asymmetry: encode writes `a` then `b`; decode reads them in the
+    // opposite order, so a round trip mixes the fields up.
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.a.to_le_bytes());
+        out.extend_from_slice(&self.b.to_le_bytes());
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> WireResult<Self> {
+        Ok(Skewed {
+            b: u64::decode(r)?,
+            a: u16::decode(r)?,
+        })
+    }
+}
+
+pub struct Orphan {
+    pub inner: Mystery,
+}
+
+impl Wire for Orphan {
+    // wire-asymmetry: `Mystery` resolves to no extracted impl, builtin,
+    // generic or alias, so the schema cannot close over it.
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.inner.encode(out);
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> WireResult<Self> {
+        Ok(Orphan {
+            inner: Mystery::decode(r)?,
+        })
+    }
+}

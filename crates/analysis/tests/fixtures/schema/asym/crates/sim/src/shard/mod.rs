@@ -1,0 +1,6 @@
+//! Asymmetry fixture: symmetry problems fail the `schema` subcommand
+//! before any comparison against a committed file.
+
+pub mod wire;
+
+pub const WIRE_VERSION: u16 = 3;

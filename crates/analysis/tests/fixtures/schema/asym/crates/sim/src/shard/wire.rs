@@ -1,0 +1,23 @@
+//! Seeded encode/decode asymmetry: `encode` writes `seq` then `ack`,
+//! `decode` reads them the other way around.
+
+use crate::shard::{Wire, WireReader, WireResult};
+
+pub struct Frame {
+    pub seq: u64,
+    pub ack: u16,
+}
+
+impl Wire for Frame {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.seq.to_le_bytes());
+        out.extend_from_slice(&self.ack.to_le_bytes());
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> WireResult<Self> {
+        Ok(Frame {
+            ack: u16::decode(r)?,
+            seq: u64::decode(r)?,
+        })
+    }
+}

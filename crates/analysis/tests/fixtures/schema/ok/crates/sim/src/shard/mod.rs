@@ -1,0 +1,5 @@
+//! Schema-ratchet fixture: the version constant the extractor reads.
+
+pub mod wire;
+
+pub const WIRE_VERSION: u16 = 3;

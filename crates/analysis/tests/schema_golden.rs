@@ -1,0 +1,95 @@
+//! Golden tests for the wire-schema ratchet over the seeded fixture trees.
+//!
+//! `fixtures/schema/ok` matches its committed `WIRE_SCHEMA.json`;
+//! `fixtures/schema/drift-nobump` reordered a codec's fields without
+//! bumping `WIRE_VERSION` and must be reported as drift;
+//! `fixtures/schema/asym` seeds an encode/decode asymmetry that fails
+//! before any comparison.  Together they pin the three ways the ratchet
+//! can say no.
+
+use std::path::PathBuf;
+
+use dft_analysis::extract_schema;
+use dft_analysis::schema::{compare, Schema, SchemaStatus};
+
+fn fixture(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures/schema")
+        .join(name)
+}
+
+fn committed(name: &str) -> Schema {
+    let path = fixture(name).join("WIRE_SCHEMA.json");
+    let text = std::fs::read_to_string(&path).expect("read committed fixture schema");
+    Schema::parse(&text).expect("parse committed fixture schema")
+}
+
+#[test]
+fn ok_tree_matches_its_committed_schema() {
+    let extraction = extract_schema(&fixture("ok")).expect("extract ok tree");
+    assert!(
+        extraction.problems.is_empty(),
+        "ok tree must extract cleanly: {:?}",
+        extraction.problems
+    );
+    assert_eq!(extraction.schema.wire_version, Some(3));
+    assert_eq!(
+        compare(&extraction.schema, &committed("ok")),
+        SchemaStatus::Match
+    );
+}
+
+#[test]
+fn reordered_fields_without_version_bump_are_drift() {
+    let extraction = extract_schema(&fixture("drift-nobump")).expect("extract drift tree");
+    // The reorder is symmetric, so it is not an asymmetry problem — only
+    // an unversioned change against the committed file.
+    assert!(
+        extraction.problems.is_empty(),
+        "drift tree must extract cleanly: {:?}",
+        extraction.problems
+    );
+    match compare(&extraction.schema, &committed("drift-nobump")) {
+        SchemaStatus::Drift { details } => {
+            assert_eq!(details.len(), 1, "one reordered type: {details:?}");
+            let detail = details.first().expect("one drift detail");
+            assert!(detail.contains("Frame"), "detail names the type: {detail}");
+        }
+        other => panic!("expected drift, got {other:?}"),
+    }
+}
+
+#[test]
+fn version_bump_turns_the_same_change_into_stale() {
+    // Same extraction as the ok tree, compared against a committed file
+    // recording an older version: stale, regenerate with `--update`.
+    let extraction = extract_schema(&fixture("ok")).expect("extract ok tree");
+    let mut old = committed("ok");
+    old.wire_version = Some(2);
+    assert_eq!(
+        compare(&extraction.schema, &old),
+        SchemaStatus::Stale {
+            committed: Some(2),
+            extracted: Some(3),
+        }
+    );
+}
+
+#[test]
+fn seeded_asymmetry_fails_before_any_comparison() {
+    let extraction = extract_schema(&fixture("asym")).expect("extract asym tree");
+    assert_eq!(
+        extraction.problems.len(),
+        1,
+        "exactly the seeded asymmetry: {:?}",
+        extraction.problems
+    );
+    let finding = extraction.problems.first().expect("one finding");
+    assert_eq!(finding.rule, "wire-asymmetry");
+    assert_eq!(finding.file, "crates/sim/src/shard/wire.rs");
+    assert!(
+        finding.message.contains("Frame"),
+        "finding names the impl: {}",
+        finding.message
+    );
+}

@@ -83,6 +83,17 @@ mod tests {
     }
 
     #[test]
+    fn wire_decode_error_paths_all_fail() {
+        let directory = KeyDirectory::generate(4, 5);
+        let signature = directory.signer(1).sign_digest(55);
+        assert_eq!(
+            dft_sim::shard::decode_error_path_violations(&signature),
+            Vec::<usize>::new(),
+            "every truncated or oversized Signature frame must fail to decode"
+        );
+    }
+
+    #[test]
     fn forged_signer_id_fails_verification() {
         let directory = KeyDirectory::generate(4, 5);
         let mut sig = directory.signer(0).sign_digest(100);

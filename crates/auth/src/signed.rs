@@ -142,6 +142,18 @@ mod tests {
     }
 
     #[test]
+    fn wire_decode_error_paths_all_fail() {
+        let dir = directory();
+        let mut value = SignedValue::originate(&dir.signer(0), 31);
+        value.countersign(&dir.signer(3));
+        assert_eq!(
+            dft_sim::shard::decode_error_path_violations(&value),
+            Vec::<usize>::new(),
+            "every truncated or oversized SignedValue frame must fail to decode"
+        );
+    }
+
+    #[test]
     fn countersigning_extends_chain_once_per_signer() {
         let dir = directory();
         let mut sv = SignedValue::originate(&dir.signer(0), 1);

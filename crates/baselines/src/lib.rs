@@ -479,7 +479,7 @@ mod wire_impls {
     #[cfg(test)]
     mod tests {
         use super::*;
-        use dft_sim::shard::{from_bytes, to_bytes};
+        use dft_sim::shard::{decode_error_path_violations, from_bytes, to_bytes};
 
         #[test]
         fn baseline_payloads_round_trip() {
@@ -496,6 +496,12 @@ mod wire_impls {
                 12,
             )]);
             assert_eq!(from_bytes::<SignedBatch>(&to_bytes(&batch)).unwrap(), batch);
+            assert_eq!(decode_error_path_violations(&map), Vec::<usize>::new());
+            assert_eq!(
+                decode_error_path_violations(&membership),
+                Vec::<usize>::new()
+            );
+            assert_eq!(decode_error_path_violations(&batch), Vec::<usize>::new());
         }
     }
 }

@@ -64,6 +64,8 @@
 //!   stderr and the same object-per-line idiom as `dft-analyze --json`, so
 //!   one parser reads both tools' diagnostics (see `dft_bench::diag`).
 
+#![forbid(unsafe_code)]
+
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;

@@ -277,11 +277,16 @@ impl Wire for AbMsg {
 mod tests {
     use super::*;
     use dft_auth::{KeyDirectory, SignedValue};
-    use dft_sim::shard::{from_bytes, to_bytes};
+    use dft_sim::shard::{decode_error_path_violations, from_bytes, to_bytes};
 
     fn round_trip<T: Wire + PartialEq + std::fmt::Debug>(value: T) {
         let bytes = to_bytes(&value);
         assert_eq!(from_bytes::<T>(&bytes).expect("round trip"), value);
+        assert_eq!(
+            decode_error_path_violations(&value),
+            Vec::<usize>::new(),
+            "every truncated or oversized frame must fail to decode"
+        );
     }
 
     #[test]

@@ -35,6 +35,8 @@
 //! drain reads to EOF, so a departing node can never reset a connection
 //! while its last frames are still in flight.
 
+#![forbid(unsafe_code)]
+
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::process::{Command, ExitCode, Stdio};
 use std::time::{Duration, Instant};

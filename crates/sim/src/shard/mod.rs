@@ -63,7 +63,9 @@ use crate::runner::Participant;
 use crate::trace::Trace;
 
 pub use transport::{ChannelTransport, ShardTransport, StreamTransport, MAX_FRAME_LEN};
-pub use wire::{from_bytes, to_bytes, Wire, WireError, WireReader, WireResult};
+pub use wire::{
+    decode_error_path_violations, from_bytes, to_bytes, Wire, WireError, WireReader, WireResult,
+};
 
 /// Version of the shard wire format.  Every frame carries it; both sides
 /// reject a mismatch, so a stale worker binary fails loudly instead of

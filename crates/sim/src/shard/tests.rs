@@ -434,5 +434,10 @@ fn wire_event_round_trips() {
         assert_eq!(decoded.node, event.node);
         assert_eq!(decoded.halted, event.halted);
         assert_eq!(decoded.output, event.output);
+        assert_eq!(
+            decode_error_path_violations(&event),
+            Vec::<usize>::new(),
+            "every truncated or oversized WireEvent frame must fail to decode"
+        );
     }
 }

@@ -149,6 +149,32 @@ pub fn from_bytes<T: Wire>(buf: &[u8]) -> WireResult<T> {
     Ok(value)
 }
 
+/// Exercises every decode error path for `value`'s encoding and returns
+/// the lengths that were wrongly accepted.
+///
+/// Every *strict* prefix of a well-formed encoding is a truncated frame
+/// and must fail [`from_bytes`] (without panicking or looping); a frame
+/// with one trailing byte appended must fail too.  An empty return means
+/// the codec rejects all of them; tests assert exactly that.  Offending
+/// lengths come back so the failing test names the bad cut point.
+pub fn decode_error_path_violations<T: Wire>(value: &T) -> Vec<usize> {
+    let bytes = to_bytes(value);
+    let mut violations = Vec::new();
+    for cut in 0..bytes.len() {
+        if let Some(prefix) = bytes.get(..cut) {
+            if from_bytes::<T>(prefix).is_ok() {
+                violations.push(cut);
+            }
+        }
+    }
+    let mut extended = bytes.clone();
+    extended.push(0);
+    if from_bytes::<T>(&extended).is_ok() {
+        violations.push(extended.len());
+    }
+    violations
+}
+
 impl Wire for () {
     fn encode(&self, _out: &mut Vec<u8>) {}
 
@@ -389,9 +415,21 @@ impl<M: Wire> Wire for Delivered<M> {
 mod tests {
     use super::*;
 
+    // The analyzer names tuple impls canonically (`Unit`, `Tuple2`, …);
+    // these aliases let the coverage corpus see those names while the
+    // tests exercise the real tuple impls.
+    type Unit = ();
+    type Tuple2 = (bool, u64);
+    type Tuple3 = (u8, u16, u32);
+
     fn round_trip<T: Wire + PartialEq + std::fmt::Debug>(value: T) {
         let bytes = to_bytes(&value);
         assert_eq!(from_bytes::<T>(&bytes).expect("round trip"), value);
+        assert_eq!(
+            decode_error_path_violations(&value),
+            Vec::<usize>::new(),
+            "every truncated or oversized frame must fail to decode"
+        );
     }
 
     #[test]
@@ -424,6 +462,16 @@ mod tests {
         round_trip((1u8, 2u64, vec![false, true]));
         round_trip(Arc::new(17u64));
         round_trip(vec![Some((NodeId::new(3), 4u64)), None]);
+    }
+
+    #[test]
+    fn tuple_aliases_round_trip() {
+        let unit: Unit = ();
+        let pair: Tuple2 = (false, 0x0102_0304_0506_0708);
+        let triple: Tuple3 = (9, 0xBEEF, 0xDEAD_BEEF);
+        round_trip(unit);
+        round_trip(pair);
+        round_trip(triple);
     }
 
     #[test]
