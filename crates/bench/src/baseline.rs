@@ -79,8 +79,29 @@ pub struct BenchReport {
     pub config: BenchConfig,
     /// Per-experiment measurements, in canonical E1–E11 order.
     pub experiments: Vec<ExperimentBench>,
+    /// Worker-failure recovery totals across the whole run (see
+    /// `dft_bench::shard`): all zero for a fault-free run, and absent in
+    /// baselines captured before the recovery layer existed (parsed as
+    /// zero).  Not part of the regression gate — they describe the run's
+    /// fault history, not its performance.
+    pub recovery: RecoveryTotals,
     /// Wall time of the whole harness run, seconds.
     pub total_wall_s: f64,
+}
+
+/// Run-wide recovery counters surfaced in `--bench-json`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RecoveryTotals {
+    /// Shard worker processes respawned after a death or protocol fault.
+    pub respawns: u64,
+    /// Shards degraded to the in-process fallback after exhausting the
+    /// respawn budget.
+    pub fallbacks: u64,
+    /// Protocol rounds replayed into fresh transports during recovery.
+    pub replayed_rounds: u64,
+    /// Cluster peers marked suspected by `dft-node` runs feeding this
+    /// report (always zero for the process-sharded harness itself).
+    pub suspected_peers: u64,
 }
 
 fn json_opt(value: Option<u64>) -> String {
@@ -122,6 +143,15 @@ impl BenchReport {
             );
         }
         out.push_str("  ],\n");
+        let _ = writeln!(
+            out,
+            "  \"recovery\": {{ \"respawns\": {}, \"fallbacks\": {}, \"replayed_rounds\": {}, \
+             \"suspected_peers\": {} }},",
+            self.recovery.respawns,
+            self.recovery.fallbacks,
+            self.recovery.replayed_rounds,
+            self.recovery.suspected_peers,
+        );
         let _ = writeln!(out, "  \"total_wall_s\": {:.6}", self.total_wall_s);
         out.push_str("}\n");
         out
@@ -165,6 +195,8 @@ impl BenchReport {
                 report.config.samples = parse_num(value)?;
             } else if let Some(value) = field(line, "git_rev") {
                 report.config.git_rev = unquote(value)?;
+            } else if let Some(value) = field(line, "recovery") {
+                report.recovery = parse_recovery(value)?;
             } else if let Some(value) = field(line, "total_wall_s") {
                 report.total_wall_s = parse_float(value)?;
             }
@@ -294,6 +326,25 @@ fn parse_opt(value: &str) -> Result<Option<u64>, String> {
     }
 }
 
+/// Parses the one-line `{ "respawns": 0, ... }` recovery object.
+fn parse_recovery(value: &str) -> Result<RecoveryTotals, String> {
+    let body = value.trim_start_matches('{').trim_end_matches('}');
+    let mut totals = RecoveryTotals::default();
+    for part in body.split(", ") {
+        let part = part.trim();
+        if let Some(value) = field(part, "respawns") {
+            totals.respawns = parse_num(value)?;
+        } else if let Some(value) = field(part, "fallbacks") {
+            totals.fallbacks = parse_num(value)?;
+        } else if let Some(value) = field(part, "replayed_rounds") {
+            totals.replayed_rounds = parse_num(value)?;
+        } else if let Some(value) = field(part, "suspected_peers") {
+            totals.suspected_peers = parse_num(value)?;
+        }
+    }
+    Ok(totals)
+}
+
 /// Parses one `{ "id": "E1", ... }` experiment line.
 fn parse_experiment(line: &str) -> Result<ExperimentBench, String> {
     let body = line
@@ -374,6 +425,7 @@ mod tests {
                     bits: None,
                 },
             ],
+            recovery: RecoveryTotals::default(),
             total_wall_s: 0.25,
         }
     }
@@ -479,6 +531,29 @@ mod tests {
             .join("\n");
         let parsed = BenchReport::parse(&legacy).unwrap();
         assert_eq!(parsed.config.shards, 0, "absent field defaults");
+    }
+
+    #[test]
+    fn recovery_totals_round_trip_and_default_for_old_baselines() {
+        let mut report = sample();
+        report.recovery = RecoveryTotals {
+            respawns: 3,
+            fallbacks: 1,
+            replayed_rounds: 42,
+            suspected_peers: 2,
+        };
+        let json = report.to_json();
+        assert!(json.contains("\"respawns\": 3"));
+        let parsed = BenchReport::parse(&json).unwrap();
+        assert_eq!(parsed.recovery, report.recovery);
+        // A baseline captured before the recovery layer has no such line.
+        let legacy = json
+            .lines()
+            .filter(|line| !line.contains("\"recovery\""))
+            .collect::<Vec<_>>()
+            .join("\n");
+        let parsed = BenchReport::parse(&legacy).unwrap();
+        assert_eq!(parsed.recovery, RecoveryTotals::default());
     }
 
     #[test]

@@ -4,7 +4,8 @@
 //!
 //! ```text
 //! run_experiments [--scale quick|full|paper] [--n N] [--t T] [--seed S]
-//!                 [--jobs J] [--shards S] [--samples K] [--timings]
+//!                 [--jobs J] [--shards S] [--fault-plan SPEC]
+//!                 [--max-worker-respawns N] [--samples K] [--timings]
 //!                 [--bench-json PATH] [--bench-compare BASELINE]
 //!                 [--diag-json PATH]
 //! run_experiments --shard-worker
@@ -40,6 +41,17 @@
 //! * `--shard-worker` (internal) turns this invocation into a shard worker
 //!   serving its node range over stdin/stdout; never combine it with other
 //!   flags;
+//! * `--fault-plan SPEC` (requires `--shards >= 2`) injects transport
+//!   faults into the sharded pipes: a comma-separated list of
+//!   `kind:SHARD@FRAME` entries where `kind` is `kill`, `torn`, `stall` or
+//!   `garbage` (e.g. `kill:1@4,torn:0@2`; see `dft_sim::shard::FaultPlan`).
+//!   The recovery layer respawns the affected worker and replays its frame
+//!   log, so the printed tables stay byte-identical to a fault-free run —
+//!   the CI `chaos` job diffs exactly that;
+//! * `--max-worker-respawns N` (default 2) bounds respawns per shard
+//!   before a dead shard degrades to being served in-process; `0` disables
+//!   respawning entirely (every worker death goes straight to the
+//!   fallback);
 //! * `--samples K` measures each experiment `K` times (tables are printed
 //!   from the first sample; `K > 1` implies `--timings`, which is the only
 //!   consumer of the extra runs);
@@ -71,12 +83,14 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
-use dft_bench::baseline::{self, BenchConfig, BenchReport, ExperimentBench};
+use dft_bench::baseline::{self, BenchConfig, BenchReport, ExperimentBench, RecoveryTotals};
 use dft_bench::experiments::{experiment_catalog, Scale, SweepConfig};
 use dft_bench::Table;
+use dft_sim::shard::FaultPlan;
 
 const USAGE: &str = "usage: run_experiments [--scale quick|full|paper] [--n N] [--t T] \
-                     [--seed S] [--jobs J] [--shards S] [--samples K] [--timings] \
+                     [--seed S] [--jobs J] [--shards S] [--fault-plan SPEC] \
+                     [--max-worker-respawns N] [--samples K] [--timings] \
                      [--bench-json PATH] [--bench-compare BASELINE] [--diag-json PATH]";
 
 fn fail(message: &str) -> ExitCode {
@@ -202,6 +216,7 @@ fn bench_report(
     shards: usize,
     samples: usize,
     outcomes: &[(&'static str, Outcome)],
+    recovery: RecoveryTotals,
     total_wall: Duration,
 ) -> BenchReport {
     let experiments = outcomes
@@ -232,6 +247,7 @@ fn bench_report(
             git_rev: baseline::git_revision(),
         },
         experiments,
+        recovery,
         total_wall_s: total_wall.as_secs_f64(),
     }
 }
@@ -252,6 +268,8 @@ fn main() -> ExitCode {
     let mut timings = false;
     let mut jobs = dft_sim::available_jobs();
     let mut shards = 1usize;
+    let mut fault_plan: Option<FaultPlan> = None;
+    let mut max_respawns = dft_bench::shard::DEFAULT_MAX_RESPAWNS;
     let mut samples = 1usize;
     let mut bench_json: Option<String> = None;
     let mut bench_compare: Option<String> = None;
@@ -300,6 +318,19 @@ fn main() -> ExitCode {
                 Some(Ok(s)) if s >= 1 => shards = s,
                 _ => return fail("--shards needs an integer >= 1"),
             },
+            "--fault-plan" => {
+                let Some(spec) = args.next() else {
+                    return fail("--fault-plan needs a kind:SHARD@FRAME[,...] spec");
+                };
+                match FaultPlan::parse(&spec) {
+                    Ok(plan) => fault_plan = Some(plan),
+                    Err(error) => return fail(&format!("bad --fault-plan: {error}")),
+                }
+            }
+            "--max-worker-respawns" => match args.next().as_deref().map(str::parse) {
+                Some(Ok(r)) => max_respawns = r,
+                _ => return fail("--max-worker-respawns needs an integer >= 0"),
+            },
             "--shard-worker" => return fail("--shard-worker must be the first and only argument"),
             "--samples" => match args.next().as_deref().map(str::parse) {
                 Some(Ok(k)) if k >= 1 => samples = k,
@@ -325,6 +356,13 @@ fn main() -> ExitCode {
     if samples > 1 {
         timings = true;
     }
+    // A fault plan only makes sense against the sharded pipes it injects
+    // into; silently accepting it on a serial run would report a clean
+    // "recovery" that never happened.
+    if fault_plan.is_some() && shards < 2 {
+        return fail("--fault-plan requires --shards >= 2");
+    }
+    dft_bench::shard::set_fault_config(fault_plan.unwrap_or_default(), max_respawns);
     cfg.shards = shards;
 
     // The shard count only appears in the header when sharding is active,
@@ -342,6 +380,23 @@ fn main() -> ExitCode {
     let start = Instant::now();
     let outcomes = run_catalog(&cfg, jobs, samples);
     let total_wall = start.elapsed();
+    // What the recovery ladder did across the whole run: zero everywhere
+    // unless a worker died (or --fault-plan made one die) and was respawned
+    // or degraded to the in-process fallback.
+    let recovery_stats = dft_bench::shard::recovery_totals();
+    let recovery = RecoveryTotals {
+        respawns: recovery_stats.respawns,
+        fallbacks: recovery_stats.fallbacks,
+        replayed_rounds: recovery_stats.replayed_rounds,
+        suspected_peers: 0,
+    };
+    if recovery_stats.any() {
+        eprintln!(
+            "run_experiments: recovery: {} worker respawn(s), {} fallback(s), \
+             {} round(s) replayed — tables unaffected",
+            recovery.respawns, recovery.fallbacks, recovery.replayed_rounds,
+        );
+    }
     // Flush buffered per-experiment diagnostics in canonical E1-E11 order,
     // so stderr is stable under any --jobs/--shards fan-out.
     for (_, outcome) in &outcomes {
@@ -365,6 +420,18 @@ fn main() -> ExitCode {
                 out.push('\n');
             }
         }
+        if recovery_stats.any() {
+            out.push_str(&dft_bench::diag::json_line(
+                "run_experiments",
+                "warn",
+                "-",
+                &format!(
+                    "recovery: respawns={} fallbacks={} replayed_rounds={}",
+                    recovery.respawns, recovery.fallbacks, recovery.replayed_rounds,
+                ),
+            ));
+            out.push('\n');
+        }
         if let Err(error) = std::fs::write(path, out) {
             return fail(&format!("cannot write {path}: {error}"));
         }
@@ -385,7 +452,7 @@ fn main() -> ExitCode {
     if bench_json.is_none() && bench_compare.is_none() {
         return ExitCode::SUCCESS;
     }
-    let report = bench_report(&cfg, jobs, shards, samples, &outcomes, total_wall);
+    let report = bench_report(&cfg, jobs, shards, samples, &outcomes, recovery, total_wall);
     if let Some(path) = bench_json {
         if let Err(error) = std::fs::write(&path, report.to_json()) {
             eprintln!("run_experiments: cannot write {path}: {error}");

@@ -22,13 +22,17 @@
 use std::io;
 use std::path::{Path, PathBuf};
 use std::process::{Child, Command, Stdio};
-use std::sync::{Arc, OnceLock};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock, PoisonError};
+use std::time::Duration;
 
 use dft_baselines::{Membership, RumorMap, SignedBatch};
 use dft_core::{AbMsg, CheckpointMsg, ExtantSet, FcMsg, GossipMsg, McMsg};
 use dft_sim::shard::{
     self, frame, open_frame, serve_multi_port, serve_single_port, shard_count, shard_range,
-    ShardTransport, ShardedRunner, SpShardedRunner, StreamTransport, Wire, WireMsg, WireOutput,
+    ArmedPlan, ChannelTransport, DeadlineTransport, FaultPlan, Recovery, RecoveryStats,
+    ShardTransport, ShardedRunner, SpShardedRunner, StreamTransport, TransportFactory, Wire,
+    WireMsg, WireOutput,
 };
 use dft_sim::{NodeSet, Participant, SinglePortProtocol, SyncProtocol};
 
@@ -129,6 +133,79 @@ impl MeasureKind {
     }
 }
 
+/// Default per-frame read deadline on worker pipes: a worker that stalls
+/// longer than this trips `TimedOut` and enters the recovery ladder instead
+/// of hanging the whole run.  Generous — at quick and paper scales one
+/// round-phase response arrives within milliseconds to seconds; a spurious
+/// trip costs only a respawn + replay, never correctness.
+pub const DEFAULT_READ_DEADLINE: Duration = Duration::from_secs(120);
+
+/// Default respawn budget per shard (`--max-worker-respawns`).
+pub const DEFAULT_MAX_RESPAWNS: u32 = 2;
+
+/// Process-wide fault/recovery configuration for sharded measurements.
+#[derive(Clone, Debug)]
+struct ShardFaults {
+    plan: FaultPlan,
+    max_respawns: u32,
+    deadline: Duration,
+}
+
+impl Default for ShardFaults {
+    fn default() -> Self {
+        ShardFaults {
+            plan: FaultPlan::default(),
+            max_respawns: DEFAULT_MAX_RESPAWNS,
+            deadline: DEFAULT_READ_DEADLINE,
+        }
+    }
+}
+
+static FAULT_CONFIG: OnceLock<ShardFaults> = OnceLock::new();
+
+/// Configures fault injection and the respawn budget for every subsequent
+/// sharded measurement in this process (first call wins) — the CLI's
+/// `--fault-plan` / `--max-worker-respawns`.  Tests wanting isolation use
+/// [`measure_sharded_faulty`] instead.
+pub fn set_fault_config(plan: FaultPlan, max_respawns: u32) {
+    let _ = FAULT_CONFIG.set(ShardFaults {
+        plan,
+        max_respawns,
+        deadline: DEFAULT_READ_DEADLINE,
+    });
+}
+
+fn global_faults() -> ShardFaults {
+    FAULT_CONFIG.get().cloned().unwrap_or_default()
+}
+
+static TOTAL_RESPAWNS: AtomicU64 = AtomicU64::new(0);
+static TOTAL_FALLBACKS: AtomicU64 = AtomicU64::new(0);
+static TOTAL_REPLAYED_FRAMES: AtomicU64 = AtomicU64::new(0);
+static TOTAL_REPLAYED_ROUNDS: AtomicU64 = AtomicU64::new(0);
+
+fn record_totals(stats: RecoveryStats) {
+    TOTAL_RESPAWNS.fetch_add(stats.respawns, Ordering::Relaxed);
+    TOTAL_FALLBACKS.fetch_add(stats.fallbacks, Ordering::Relaxed);
+    TOTAL_REPLAYED_FRAMES.fetch_add(stats.replayed_frames, Ordering::Relaxed);
+    TOTAL_REPLAYED_ROUNDS.fetch_add(stats.replayed_rounds, Ordering::Relaxed);
+}
+
+/// Recovery actions accumulated over every sharded measurement this process
+/// ran (reported in `--bench-json` and the diag stream).
+pub fn recovery_totals() -> RecoveryStats {
+    RecoveryStats {
+        respawns: TOTAL_RESPAWNS.load(Ordering::Relaxed),
+        fallbacks: TOTAL_FALLBACKS.load(Ordering::Relaxed),
+        replayed_frames: TOTAL_REPLAYED_FRAMES.load(Ordering::Relaxed),
+        replayed_rounds: TOTAL_REPLAYED_ROUNDS.load(Ordering::Relaxed),
+    }
+}
+
+fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
 static WORKER_BINARY: OnceLock<PathBuf> = OnceLock::new();
 
 /// Overrides the binary spawned as `--shard-worker` (first call wins).
@@ -172,43 +249,70 @@ struct Worker {
     rounds: u64,
 }
 
-fn spawn_worker(kind: MeasureKind, w: &Workload, index: usize) -> Worker {
+/// Spawns one worker process and completes the handshake over a
+/// deadline-guarded pipe transport.  Used for both the initial generation
+/// and every respawn, so a failure is an `io::Error` the recovery ladder
+/// can climb past rather than a panic.
+fn try_spawn_worker(
+    kind: MeasureKind,
+    w: &Workload,
+    index: usize,
+    deadline: Duration,
+) -> io::Result<Worker> {
     let binary = worker_binary();
     let mut child = Command::new(binary)
         .arg("--shard-worker")
         .stdin(Stdio::piped())
         .stdout(Stdio::piped())
         .spawn()
-        .unwrap_or_else(|err| panic!("cannot spawn shard worker {}: {err}", binary.display()));
-    let stdin = child.stdin.take().expect("piped stdin");
-    let stdout = child.stdout.take().expect("piped stdout");
-    let mut transport: Box<dyn ShardTransport> = Box::new(StreamTransport::new(stdout, stdin));
-    transport
-        .send(&hello_frame(kind, w, index))
-        .expect("shard worker rejected the handshake");
-    let ack = transport
-        .recv()
-        .expect("shard worker closed the pipe before acknowledging the handshake");
-    let (tag, mut r) = open_frame(&ack).expect("malformed handshake ack");
-    assert_eq!(tag, TAG_HELLO_ACK, "unexpected handshake ack tag {tag}");
-    let rounds = u64::decode(&mut r).expect("handshake ack round budget");
-    Worker {
+        .map_err(|err| {
+            io::Error::new(
+                err.kind(),
+                format!("cannot spawn shard worker {}: {err}", binary.display()),
+            )
+        })?;
+    let Some(stdin) = child.stdin.take() else {
+        return Err(bad_data("spawned worker has no piped stdin".to_string()));
+    };
+    let Some(stdout) = child.stdout.take() else {
+        return Err(bad_data("spawned worker has no piped stdout".to_string()));
+    };
+    let mut transport: Box<dyn ShardTransport> =
+        Box::new(DeadlineTransport::new(stdout, stdin, deadline));
+    transport.send(&hello_frame(kind, w, index))?;
+    let ack = transport.recv()?;
+    let (tag, mut r) =
+        open_frame(&ack).map_err(|err| bad_data(format!("malformed handshake ack: {err}")))?;
+    if tag != TAG_HELLO_ACK {
+        return Err(bad_data(format!("unexpected handshake ack tag {tag}")));
+    }
+    let rounds = u64::decode(&mut r)
+        .map_err(|err| bad_data(format!("handshake ack round budget: {err}")))?;
+    Ok(Worker {
         child,
         transport,
         rounds,
-    }
+    })
 }
+
+/// The spawned children, one slot per shard.  Respawns replace the slot
+/// (the previous generation is killed and waited inside the factory), so
+/// reaping only ever sees each shard's final generation.
+type ChildSlots = Arc<Mutex<Vec<Option<Child>>>>;
 
 fn spawn_workers(
     kind: MeasureKind,
     w: &Workload,
-) -> (Vec<Child>, Vec<Box<dyn ShardTransport>>, u64) {
+    faults: &ShardFaults,
+    armed: &ArmedPlan,
+) -> (ChildSlots, Vec<Box<dyn ShardTransport>>, u64) {
     let count = shard_count(w.n, w.shards);
     let mut children = Vec::with_capacity(count);
     let mut transports = Vec::with_capacity(count);
     let mut rounds = None;
     for index in 0..count {
-        let worker = spawn_worker(kind, w, index);
+        let worker = try_spawn_worker(kind, w, index, faults.deadline)
+            .unwrap_or_else(|err| panic!("shard worker {index} handshake failed: {err}"));
         if let Some(previous) = rounds {
             assert_eq!(
                 previous, worker.rounds,
@@ -216,20 +320,82 @@ fn spawn_workers(
             );
         }
         rounds = Some(worker.rounds);
-        children.push(worker.child);
-        transports.push(worker.transport);
+        children.push(Some(worker.child));
+        transports.push(armed.wrap(index, worker.transport));
     }
-    (children, transports, rounds.expect("at least one worker"))
+    let rounds = rounds.expect("at least one worker");
+    (Arc::new(Mutex::new(children)), transports, rounds)
 }
 
-fn reap(mut children: Vec<Child>) {
-    for child in &mut children {
+/// Waits for each shard's final child generation.  `strict` additionally
+/// asserts clean exits — disabled once the run recovered from a fault,
+/// because a worker that really died (or was replaced and saw its pipe
+/// close mid-request) legitimately exits non-zero while the run itself
+/// still completed byte-identically.
+fn reap(children: &ChildSlots, strict: bool) {
+    for child in lock(children).iter_mut() {
+        let Some(child) = child.as_mut() else {
+            continue;
+        };
         let status = child.wait().expect("waiting for shard worker");
-        assert!(
-            status.success(),
-            "shard worker exited with {status} (its stderr above has the details)"
-        );
+        if strict {
+            assert!(
+                status.success(),
+                "shard worker exited with {status} (its stderr above has the details)"
+            );
+        }
     }
+}
+
+/// Builds the respawn rung: kill + reap the shard's previous generation,
+/// spawn a fresh worker, verify its round budget, and hand back its
+/// transport (re-armed, so a recovered fault does not re-fire).
+fn respawn_factory(
+    kind: MeasureKind,
+    w: &Workload,
+    faults: &ShardFaults,
+    armed: &ArmedPlan,
+    children: &ChildSlots,
+    expected_rounds: u64,
+) -> TransportFactory {
+    let w = *w;
+    let deadline = faults.deadline;
+    let armed = armed.clone();
+    let children = Arc::clone(children);
+    Box::new(move |index| {
+        if let Some(mut old) = lock(&children).get_mut(index).and_then(Option::take) {
+            let _ = old.kill();
+            let _ = old.wait();
+        }
+        let worker = try_spawn_worker(kind, &w, index, deadline)?;
+        if worker.rounds != expected_rounds {
+            return Err(bad_data(format!(
+                "respawned worker reports a round budget of {} (expected {expected_rounds}) — \
+                 mixed binaries?",
+                worker.rounds
+            )));
+        }
+        if let Some(slot) = lock(&children).get_mut(index) {
+            *slot = Some(worker.child);
+        }
+        Ok(armed.wrap(index, worker.transport))
+    })
+}
+
+/// Builds the fallback rung: serve the dead shard's range in-process on a
+/// fresh thread, over a channel transport.  No handshake ack is sent — the
+/// coordinator's replay speaks only the round protocol.
+fn fallback_factory(kind: MeasureKind, w: &Workload) -> TransportFactory {
+    let w = *w;
+    Box::new(move |index| {
+        let (parent_end, mut worker_end) = ChannelTransport::pair();
+        std::thread::spawn(move || {
+            if let Err(err) = serve_measure(kind, &w, index, false, &mut worker_end) {
+                eprintln!("in-process shard fallback {index}: {err}");
+            }
+        });
+        Ok(Box::new(parent_end) as Box<dyn ShardTransport>)
+    })
 }
 
 fn adversary_for(
@@ -244,8 +410,13 @@ fn adversary_for(
     }
 }
 
-fn drive<M: WireMsg, O: WireOutput>(kind: MeasureKind, w: &Workload) -> Measurement {
-    let (children, transports, rounds) = spawn_workers(kind, w);
+fn drive<M: WireMsg, O: WireOutput>(
+    kind: MeasureKind,
+    w: &Workload,
+    faults: &ShardFaults,
+) -> (Measurement, RecoveryStats) {
+    let armed = faults.plan.arm();
+    let (children, transports, rounds) = spawn_workers(kind, w, faults, &armed);
     let (adversary, budget) = adversary_for(kind, w, rounds);
     let mut runner = ShardedRunner::<M, O>::connect(
         w.n,
@@ -256,42 +427,98 @@ fn drive<M: WireMsg, O: WireOutput>(kind: MeasureKind, w: &Workload) -> Measurem
         transports,
     )
     .expect("sharded coordinator");
+    runner.set_recovery(
+        Recovery::new(
+            faults.max_respawns,
+            respawn_factory(kind, w, faults, &armed, &children, rounds),
+        )
+        .with_fallback(fallback_factory(kind, w)),
+    );
     let report = runner
         .run(rounds + kind.round_slack())
         .expect("sharded execution");
-    reap(children);
-    Measurement::from_report(&report)
+    let stats = runner.recovery_stats();
+    drop(runner);
+    reap(&children, !stats.any());
+    (Measurement::from_report(&report), stats)
 }
 
-fn drive_single_port<M: WireMsg, O: WireOutput>(kind: MeasureKind, w: &Workload) -> Measurement {
-    let (children, transports, rounds) = spawn_workers(kind, w);
+fn drive_single_port<M: WireMsg, O: WireOutput>(
+    kind: MeasureKind,
+    w: &Workload,
+    faults: &ShardFaults,
+) -> (Measurement, RecoveryStats) {
+    let armed = faults.plan.arm();
+    let (children, transports, rounds) = spawn_workers(kind, w, faults, &armed);
     let (adversary, budget) = adversary_for(kind, w, rounds);
     let mut runner = SpShardedRunner::<M, O>::connect(w.n, adversary, budget, w.shards, transports)
         .expect("sharded coordinator");
+    runner.set_recovery(
+        Recovery::new(
+            faults.max_respawns,
+            respawn_factory(kind, w, faults, &armed, &children, rounds),
+        )
+        .with_fallback(fallback_factory(kind, w)),
+    );
     let report = runner
         .run(rounds + kind.round_slack())
         .expect("sharded execution");
-    reap(children);
-    Measurement::from_report(&report)
+    let stats = runner.recovery_stats();
+    drop(runner);
+    reap(&children, !stats.any());
+    (Measurement::from_report(&report), stats)
 }
 
-/// Runs one measurement partitioned across `w.shards` worker processes.
-/// Byte-identical to the local `measure_*` path for the same workload.
-pub(crate) fn measure_sharded(kind: MeasureKind, w: &Workload) -> Measurement {
+fn measure_sharded_with(
+    kind: MeasureKind,
+    w: &Workload,
+    faults: &ShardFaults,
+) -> (Measurement, RecoveryStats) {
     match kind {
-        MeasureKind::Aea => drive::<dft_core::AeaMsg<bool>, bool>(kind, w),
-        MeasureKind::Scv => drive::<dft_core::ScvMsg<bool>, bool>(kind, w),
-        MeasureKind::FewCrashes => drive::<FcMsg<bool>, bool>(kind, w),
-        MeasureKind::ManyCrashes => drive::<McMsg, bool>(kind, w),
-        MeasureKind::Gossip => drive::<GossipMsg, ExtantSet>(kind, w),
-        MeasureKind::Checkpointing => drive::<CheckpointMsg, Vec<usize>>(kind, w),
-        MeasureKind::AbConsensus => drive::<AbMsg, u64>(kind, w),
-        MeasureKind::LinearConsensus => drive_single_port::<FcMsg<bool>, bool>(kind, w),
-        MeasureKind::Flooding => drive::<bool, bool>(kind, w),
-        MeasureKind::AllToAllGossip => drive::<Arc<RumorMap>, RumorMap>(kind, w),
-        MeasureKind::NaiveCheckpointing => drive::<Arc<Membership>, Vec<usize>>(kind, w),
-        MeasureKind::ParallelDs => drive::<Arc<SignedBatch>, u64>(kind, w),
+        MeasureKind::Aea => drive::<dft_core::AeaMsg<bool>, bool>(kind, w, faults),
+        MeasureKind::Scv => drive::<dft_core::ScvMsg<bool>, bool>(kind, w, faults),
+        MeasureKind::FewCrashes => drive::<FcMsg<bool>, bool>(kind, w, faults),
+        MeasureKind::ManyCrashes => drive::<McMsg, bool>(kind, w, faults),
+        MeasureKind::Gossip => drive::<GossipMsg, ExtantSet>(kind, w, faults),
+        MeasureKind::Checkpointing => drive::<CheckpointMsg, Vec<usize>>(kind, w, faults),
+        MeasureKind::AbConsensus => drive::<AbMsg, u64>(kind, w, faults),
+        MeasureKind::LinearConsensus => drive_single_port::<FcMsg<bool>, bool>(kind, w, faults),
+        MeasureKind::Flooding => drive::<bool, bool>(kind, w, faults),
+        MeasureKind::AllToAllGossip => drive::<Arc<RumorMap>, RumorMap>(kind, w, faults),
+        MeasureKind::NaiveCheckpointing => drive::<Arc<Membership>, Vec<usize>>(kind, w, faults),
+        MeasureKind::ParallelDs => drive::<Arc<SignedBatch>, u64>(kind, w, faults),
     }
+}
+
+/// Runs one measurement partitioned across `w.shards` worker processes
+/// under the process-wide fault/recovery configuration ([`set_fault_config`]).
+/// Byte-identical to the local `measure_*` path for the same workload — in
+/// every recovery path.
+pub(crate) fn measure_sharded(kind: MeasureKind, w: &Workload) -> Measurement {
+    let faults = global_faults();
+    let (measurement, stats) = measure_sharded_with(kind, w, &faults);
+    record_totals(stats);
+    measurement
+}
+
+/// Runs one sharded measurement under an explicit [`FaultPlan`] and respawn
+/// budget, returning what the recovery ladder did.  The test-facing twin of
+/// [`set_fault_config`]: no process-global state, safe under parallel tests.
+/// `deadline` overrides the per-frame read deadline
+/// ([`DEFAULT_READ_DEADLINE`] when `None`) — stall faults want it short.
+pub fn measure_sharded_faulty(
+    kind: MeasureKind,
+    w: &Workload,
+    plan: FaultPlan,
+    max_respawns: u32,
+    deadline: Option<Duration>,
+) -> (Measurement, RecoveryStats) {
+    let faults = ShardFaults {
+        plan,
+        max_respawns,
+        deadline: deadline.unwrap_or(DEFAULT_READ_DEADLINE),
+    };
+    measure_sharded_with(kind, w, &faults)
 }
 
 // ---------------------------------------------------------------------------
@@ -348,25 +575,45 @@ fn serve(transport: &mut dyn ShardTransport) -> io::Result<()> {
         jobs: 1,
         shards,
     };
+    serve_measure(kind, &w, index, true, transport)
+}
+
+/// Deterministically rebuilds the named measurement's nodes and serves this
+/// shard's range.  `with_ack` controls whether the handshake ack precedes
+/// the round protocol: worker processes ack, the in-process fallback does
+/// not (the coordinator's replay log carries only round frames).
+fn serve_measure(
+    kind: MeasureKind,
+    w: &Workload,
+    index: usize,
+    with_ack: bool,
+    transport: &mut dyn ShardTransport,
+) -> io::Result<()> {
     match kind {
-        MeasureKind::Aea => serve_chunk(build_aea(&w), &w, index, transport),
-        MeasureKind::Scv => serve_chunk(build_scv(&w), &w, index, transport),
-        MeasureKind::FewCrashes => serve_chunk(build_few_crashes(&w), &w, index, transport),
-        MeasureKind::ManyCrashes => serve_chunk(build_many_crashes(&w), &w, index, transport),
-        MeasureKind::Gossip => serve_chunk(build_gossip(&w), &w, index, transport),
-        MeasureKind::Checkpointing => serve_chunk(build_checkpointing(&w), &w, index, transport),
-        MeasureKind::AbConsensus => serve_chunk(build_ab_consensus(&w), &w, index, transport),
-        MeasureKind::LinearConsensus => {
-            serve_chunk_single_port(build_linear_consensus(&w), &w, index, transport)
+        MeasureKind::Aea => serve_chunk(build_aea(w), w, index, with_ack, transport),
+        MeasureKind::Scv => serve_chunk(build_scv(w), w, index, with_ack, transport),
+        MeasureKind::FewCrashes => serve_chunk(build_few_crashes(w), w, index, with_ack, transport),
+        MeasureKind::ManyCrashes => {
+            serve_chunk(build_many_crashes(w), w, index, with_ack, transport)
         }
-        MeasureKind::Flooding => serve_chunk(build_flooding(&w), &w, index, transport),
+        MeasureKind::Gossip => serve_chunk(build_gossip(w), w, index, with_ack, transport),
+        MeasureKind::Checkpointing => {
+            serve_chunk(build_checkpointing(w), w, index, with_ack, transport)
+        }
+        MeasureKind::AbConsensus => {
+            serve_chunk(build_ab_consensus(w), w, index, with_ack, transport)
+        }
+        MeasureKind::LinearConsensus => {
+            serve_chunk_single_port(build_linear_consensus(w), w, index, with_ack, transport)
+        }
+        MeasureKind::Flooding => serve_chunk(build_flooding(w), w, index, with_ack, transport),
         MeasureKind::AllToAllGossip => {
-            serve_chunk(build_all_to_all_gossip(&w), &w, index, transport)
+            serve_chunk(build_all_to_all_gossip(w), w, index, with_ack, transport)
         }
         MeasureKind::NaiveCheckpointing => {
-            serve_chunk(build_naive_checkpointing(&w), &w, index, transport)
+            serve_chunk(build_naive_checkpointing(w), w, index, with_ack, transport)
         }
-        MeasureKind::ParallelDs => serve_chunk(build_parallel_ds(&w), &w, index, transport),
+        MeasureKind::ParallelDs => serve_chunk(build_parallel_ds(w), w, index, with_ack, transport),
     }
 }
 
@@ -380,6 +627,7 @@ fn serve_chunk<P>(
     built: BuiltNodes<P>,
     w: &Workload,
     index: usize,
+    with_ack: bool,
     transport: &mut dyn ShardTransport,
 ) -> io::Result<()>
 where
@@ -387,7 +635,9 @@ where
     P::Msg: Wire,
     P::Output: Wire,
 {
-    ack(transport, built.rounds)?;
+    if with_ack {
+        ack(transport, built.rounds)?;
+    }
     let range = shard_range(w.n, w.shards, index);
     let chunk: Vec<Participant<P>> = built
         .nodes
@@ -403,6 +653,7 @@ fn serve_chunk_single_port<P>(
     built: BuiltNodes<P>,
     w: &Workload,
     index: usize,
+    with_ack: bool,
     transport: &mut dyn ShardTransport,
 ) -> io::Result<()>
 where
@@ -410,7 +661,9 @@ where
     P::Msg: Wire,
     P::Output: Wire,
 {
-    ack(transport, built.rounds)?;
+    if with_ack {
+        ack(transport, built.rounds)?;
+    }
     let range = shard_range(w.n, w.shards, index);
     let chunk: Vec<P> = built
         .nodes

@@ -68,6 +68,32 @@ fn undersized_n_and_unknown_flags_are_usage_errors() {
 }
 
 #[test]
+fn malformed_fault_plans_are_usage_errors() {
+    // Every malformed spec shape: missing value, missing separators,
+    // unknown kind, non-numeric shard/frame.  None may start a run.
+    assert_usage_error(&["--fault-plan"]);
+    assert_usage_error(&["--shards", "2", "--fault-plan", "kill"]);
+    assert_usage_error(&["--shards", "2", "--fault-plan", "kill:1"]);
+    assert_usage_error(&["--shards", "2", "--fault-plan", "explode:1@3"]);
+    assert_usage_error(&["--shards", "2", "--fault-plan", "kill:x@3"]);
+    assert_usage_error(&["--shards", "2", "--fault-plan", "kill:1@y"]);
+    assert_usage_error(&["--shards", "2", "--fault-plan", "kill:1@3,,"]);
+    // A fault plan without sharded pipes to inject into is a wiring error,
+    // not a silently fault-free run.
+    assert_usage_error(&["--fault-plan", "kill:1@3"]);
+    assert_usage_error(&["--shards", "1", "--fault-plan", "kill:1@3"]);
+}
+
+#[test]
+fn malformed_respawn_budgets_are_usage_errors() {
+    // `0` is valid (it means "straight to the in-process fallback"), so
+    // only missing or non-numeric values are rejected.
+    assert_usage_error(&["--max-worker-respawns"]);
+    assert_usage_error(&["--max-worker-respawns", "-1"]);
+    assert_usage_error(&["--max-worker-respawns", "lots"]);
+}
+
+#[test]
 fn diag_json_mirrors_stderr_diagnostics() {
     // `--t 9999` is clamped per experiment with a warning, so the run
     // produces a deterministic set of diagnostics; `--diag-json` must

@@ -484,6 +484,115 @@ proptest! {
 }
 
 // ---------------------------------------------------------------------------
+// Worker-failure recovery (PR 9): killing, tearing or stalling a real
+// `--shard-worker` child mid-measurement must leave the measurement
+// byte-identical to the local path — the parent respawns the worker and
+// replays its frame log.  See `dft_sim::shard`'s recovery section and the
+// `FaultPlan` spec format.
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// A worker killed at a random response frame, on a random shard, under
+    /// a random seed: the recovered measurement must equal the local one
+    /// exactly, with exactly one respawn doing the recovering.
+    #[test]
+    fn killed_worker_processes_recover_byte_identically(
+        n in 40usize..70,
+        seed in any::<u64>(),
+        shard in 0usize..2,
+        frame in 0u64..12,
+    ) {
+        use_real_worker_binary();
+        let t = (n / 8).max(1);
+        let local = dft_bench::measure_few_crashes(
+            &dft_bench::Workload::full_budget(n, t, seed),
+        );
+        let plan = dft_sim::shard::FaultPlan::parse(&format!("kill:{shard}@{frame}"))
+            .expect("well-formed plan");
+        let (recovered, stats) = dft_bench::shard::measure_sharded_faulty(
+            dft_bench::shard::MeasureKind::FewCrashes,
+            &dft_bench::Workload::full_budget(n, t, seed).with_shards(2),
+            plan,
+            2,
+            None,
+        );
+        prop_assert_eq!(local, recovered);
+        prop_assert_eq!(stats.respawns, 1);
+        prop_assert_eq!(stats.fallbacks, 0);
+    }
+
+    /// The single-port worker-process backend recovers from a random kill
+    /// the same way.
+    #[test]
+    fn killed_single_port_workers_recover_byte_identically(
+        n in 30usize..50,
+        seed in any::<u64>(),
+        frame in 0u64..8,
+    ) {
+        use_real_worker_binary();
+        let t = (n / 8).max(1);
+        let local = dft_bench::measure_linear_consensus(
+            &dft_bench::Workload::full_budget(n, t, seed),
+        );
+        let plan = dft_sim::shard::FaultPlan::parse(&format!("kill:1@{frame}"))
+            .expect("well-formed plan");
+        let (recovered, stats) = dft_bench::shard::measure_sharded_faulty(
+            dft_bench::shard::MeasureKind::LinearConsensus,
+            &dft_bench::Workload::full_budget(n, t, seed).with_shards(2),
+            plan,
+            2,
+            None,
+        );
+        prop_assert_eq!(local, recovered);
+        prop_assert_eq!(stats.respawns, 1);
+    }
+}
+
+/// Torn and garbage frames from a real worker (decode failures rather than
+/// EOFs) ride the same respawn-and-replay ladder; a stalled worker trips
+/// the per-frame read deadline instead of hanging the run.
+#[test]
+fn torn_garbage_and_stalled_workers_recover_byte_identically() {
+    use_real_worker_binary();
+    let local = dft_bench::measure_few_crashes(&dft_bench::Workload::full_budget(48, 6, 7));
+    let plan = dft_sim::shard::FaultPlan::parse("torn:0@2,garbage:1@5,stall:0@9")
+        .expect("well-formed plan");
+    let (recovered, stats) = dft_bench::shard::measure_sharded_faulty(
+        dft_bench::shard::MeasureKind::FewCrashes,
+        &dft_bench::Workload::full_budget(48, 6, 7).with_shards(2),
+        plan,
+        3,
+        // Short deadline so the stalled frame trips it in test time; the
+        // healthy frames of a quick measurement arrive in microseconds.
+        Some(std::time::Duration::from_millis(750)),
+    );
+    assert_eq!(local, recovered);
+    assert_eq!(stats.respawns, 3, "one respawn per injected fault");
+    assert_eq!(stats.fallbacks, 0);
+}
+
+/// `--max-worker-respawns 0`: a killed worker goes straight to the
+/// in-process fallback and the measurement still matches the local path.
+#[test]
+fn exhausted_respawns_degrade_to_in_process_serving() {
+    use_real_worker_binary();
+    let local = dft_bench::measure_few_crashes(&dft_bench::Workload::full_budget(44, 5, 11));
+    let plan = dft_sim::shard::FaultPlan::parse("kill:0@4").expect("well-formed plan");
+    let (recovered, stats) = dft_bench::shard::measure_sharded_faulty(
+        dft_bench::shard::MeasureKind::FewCrashes,
+        &dft_bench::Workload::full_budget(44, 5, 11).with_shards(2),
+        plan,
+        0,
+        None,
+    );
+    assert_eq!(local, recovered);
+    assert_eq!(stats.respawns, 0);
+    assert_eq!(stats.fallbacks, 1);
+}
+
+// ---------------------------------------------------------------------------
 // Sans-I/O core conformance (PR 7): a reference backend written against the
 // *public* `RoundCore` / `SinglePortCore` API — no threads, no pipes, no
 // access to runner internals — must reproduce the runners' executions

@@ -34,22 +34,40 @@
 //! Exit is a half-close: shut down the write side of every link (FIN), then
 //! drain reads to EOF, so a departing node can never reset a connection
 //! while its last frames are still in flight.
+//!
+//! # Graceful degradation
+//!
+//! Every socket carries a read deadline ([`READ_DEADLINE`]).  A peer that
+//! misses [`MAX_READ_MISSES`] consecutive deadlines on one frame — or whose
+//! link reports EOF / reset / broken pipe — is **suspected**: treated
+//! exactly like a peer whose schedule crashed it at the current round with
+//! an empty delivery filter, so survivors keep lock step and still reach
+//! the serial decision table.  The launcher's `--kill NODE@ROUND` knob
+//! exercises this end to end: the victim process exits at the top of round
+//! `ROUND` (worker flag `--die-at`), the survivors discover the death
+//! dynamically through their links (the kill is deliberately *not* in the
+//! `--schedule` they receive), and the serial comparison run adds the same
+//! crash to a [`FixedCrashSchedule`] — the tables must stay byte-identical.
+//! Each node reports how many peers it suspected (`suspected=` in its
+//! `RESULT` line); the launcher sums them into the bench JSON's recovery
+//! block.
 
 #![forbid(unsafe_code)]
 
+use std::io;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::process::{Command, ExitCode, Stdio};
 use std::time::{Duration, Instant};
 
 use dft_baselines::FloodingConsensus;
-use dft_bench::baseline::{self, BenchConfig, BenchReport, ExperimentBench};
+use dft_bench::baseline::{self, BenchConfig, BenchReport, ExperimentBench, RecoveryTotals};
 use dft_bench::{Table, Workload};
 use dft_sim::shard::{
     frame, from_bytes, open_frame, to_bytes, ShardTransport, StreamTransport, Wire,
 };
 use dft_sim::{
-    AdversaryView, CrashAdversary, Delivered, DeliveryFilter, NoFaults, NodeId, NodeSet,
-    Participant, RandomCrashes, Round, RoundCore, Runner,
+    AdversaryView, CrashAdversary, CrashDirective, Delivered, DeliveryFilter, FixedCrashSchedule,
+    NodeId, NodeSet, Participant, RandomCrashes, Round, RoundCore, Runner,
 };
 
 /// Frame tags of the node-to-node protocol (the shard protocol uses low tag
@@ -58,21 +76,34 @@ const TAG_HELLO: u8 = 110;
 const TAG_ROUND: u8 = 111;
 const TAG_GOODBYE: u8 = 112;
 
+/// Per-read socket deadline.  Generous — healthy localhost frames arrive in
+/// microseconds; the deadline only exists so a hung peer degrades into a
+/// suspicion instead of hanging the whole cluster.
+const READ_DEADLINE: Duration = Duration::from_secs(10);
+
+/// Consecutive deadline misses on one expected frame before the peer is
+/// suspected.  EOF, reset and broken pipe suspect immediately.
+const MAX_READ_MISSES: u32 = 2;
+
 /// The effective crash schedule: `(round, node, filter)` triples, already
 /// passed through the engine's budget/acceptance rules by the launcher, so
 /// every process can replay the central crash phase without an adversary.
 type Schedule = Vec<(Round, usize, DeliveryFilter)>;
 
 const USAGE: &str = "\
-usage: dft-node --cluster N [--t T] [--crashes C] [--seed S]
+usage: dft-node --cluster N [--t T] [--crashes C] [--seed S] [--kill NODE@ROUND]
                 [--out PATH] [--serial-out PATH] [--bench-json PATH]
        dft-node --me ID --peers ADDR,ADDR,... --t T --seed S [--schedule HEX]
+                [--die-at ROUND]
 
 cluster mode (launcher):
   --cluster N        node processes to spawn on localhost (N >= 2)
   --t T              fault bound, < N (default 2)
   --crashes C        crashes to inject, <= T (default min(2, T))
   --seed S           seed for inputs and the crash schedule (default 7)
+  --kill NODE@ROUND  additionally kill NODE's process at the top of ROUND;
+                     survivors must discover the death through their links
+                     (needs crash budget: crashes + 1 <= t)
   --out PATH         also write the cluster decision table to PATH
   --serial-out PATH  also write the serial decision table to PATH
   --bench-json PATH  write socket-cluster timings in the BENCH_*.json schema
@@ -82,7 +113,9 @@ node mode (one process per node; normally spawned by the launcher):
   --peers LIST       every node's host:port in node-id order (includes own)
   --t T              fault bound (default 2)
   --seed S           seed the inputs derive from (default 7)
-  --schedule HEX     hex-encoded wire bytes of the effective crash schedule";
+  --schedule HEX     hex-encoded wire bytes of the effective crash schedule
+  --die-at ROUND     exit cleanly at the top of ROUND, simulating a crash
+                     the peers were never told about";
 
 fn usage_error(msg: &str) -> ExitCode {
     eprintln!("dft-node: {msg}");
@@ -103,6 +136,8 @@ struct ClusterArgs {
     t: usize,
     crashes: usize,
     seed: u64,
+    /// `--kill NODE@ROUND`: the victim and the round its process dies at.
+    kill: Option<(usize, u64)>,
     out: Option<String>,
     serial_out: Option<String>,
     bench_json: Option<String>,
@@ -114,6 +149,8 @@ struct WorkerArgs {
     t: usize,
     seed: u64,
     schedule: Schedule,
+    /// `--die-at ROUND`: exit at the top of this round.
+    die_at: Option<u64>,
 }
 
 enum Mode {
@@ -139,6 +176,22 @@ fn parse_path(flag: &str, value: Option<String>) -> Result<String, String> {
     value.ok_or_else(|| format!("{flag} needs a path"))
 }
 
+/// Parses `--kill NODE@ROUND` into its parts (range checks happen once `n`,
+/// `t` and `crashes` are settled).
+fn parse_kill_spec(value: Option<String>) -> Result<(usize, u64), String> {
+    let value = value.ok_or("--kill needs NODE@ROUND")?;
+    let (node, round) = value
+        .split_once('@')
+        .ok_or_else(|| format!("--kill `{value}` is missing '@' (want NODE@ROUND)"))?;
+    let node = node
+        .parse::<usize>()
+        .map_err(|_| format!("--kill `{value}` has a non-numeric node `{node}`"))?;
+    let round = round
+        .parse::<u64>()
+        .map_err(|_| format!("--kill `{value}` has a non-numeric round `{round}`"))?;
+    Ok((node, round))
+}
+
 fn parse_args(args: Vec<String>) -> Result<Mode, String> {
     let mut cluster: Option<usize> = None;
     let mut me: Option<usize> = None;
@@ -147,6 +200,8 @@ fn parse_args(args: Vec<String>) -> Result<Mode, String> {
     let mut crashes: Option<usize> = None;
     let mut seed: u64 = 7;
     let mut schedule_hex: Option<String> = None;
+    let mut kill: Option<(usize, u64)> = None;
+    let mut die_at: Option<u64> = None;
     let mut out = None;
     let mut serial_out = None;
     let mut bench_json = None;
@@ -161,6 +216,8 @@ fn parse_args(args: Vec<String>) -> Result<Mode, String> {
             "--crashes" => crashes = Some(parse_count("--crashes", it.next())?),
             "--seed" => seed = parse_seed(it.next())?,
             "--schedule" => schedule_hex = Some(it.next().ok_or("--schedule needs hex bytes")?),
+            "--kill" => kill = Some(parse_kill_spec(it.next())?),
+            "--die-at" => die_at = Some(parse_count("--die-at", it.next())? as u64),
             "--out" => out = Some(parse_path("--out", it.next())?),
             "--serial-out" => serial_out = Some(parse_path("--serial-out", it.next())?),
             "--bench-json" => bench_json = Some(parse_path("--bench-json", it.next())?),
@@ -181,17 +238,41 @@ fn parse_args(args: Vec<String>) -> Result<Mode, String> {
             if crashes > t {
                 return Err(format!("--crashes must be <= t ({t}), got {crashes}"));
             }
+            if die_at.is_some() {
+                return Err("--die-at is a node-mode flag; use --kill NODE@ROUND".to_string());
+            }
+            if let Some((victim, round)) = kill {
+                if victim >= n {
+                    return Err(format!("--kill node {victim} is out of range for n = {n}"));
+                }
+                let horizon = FloodingConsensus::total_rounds(t);
+                if round >= horizon {
+                    return Err(format!(
+                        "--kill round {round} is past the protocol's {horizon}-round horizon"
+                    ));
+                }
+                if crashes + 1 > t {
+                    return Err(format!(
+                        "--kill needs crash budget: crashes + 1 must be <= t, \
+                         got crashes = {crashes}, t = {t}"
+                    ));
+                }
+            }
             Ok(Mode::Cluster(ClusterArgs {
                 n,
                 t,
                 crashes,
                 seed,
+                kill,
                 out,
                 serial_out,
                 bench_json,
             }))
         }
         (None, Some(me)) => {
+            if kill.is_some() {
+                return Err("--kill is a cluster-mode flag; use --die-at ROUND".to_string());
+            }
             let peers = peers.ok_or("node mode needs --peers")?;
             if peers.is_empty() {
                 return Err("--peers must list at least two addresses, got none".to_string());
@@ -233,6 +314,7 @@ fn parse_args(args: Vec<String>) -> Result<Mode, String> {
                 t,
                 seed,
                 schedule,
+                die_at,
             })))
         }
         (None, None) => Err("pick a mode: --cluster N or --me ID".to_string()),
@@ -375,6 +457,10 @@ struct Link {
 
 fn make_link(sock: TcpStream) -> Result<Link, String> {
     sock.set_nodelay(true).ok();
+    // The read deadline is what turns a hung peer into a suspicion instead
+    // of a hung cluster; see the module docs.
+    sock.set_read_timeout(Some(READ_DEADLINE))
+        .map_err(|err| format!("set read deadline: {err}"))?;
     let reader = sock
         .try_clone()
         .map_err(|err| format!("clone socket: {err}"))?;
@@ -387,34 +473,53 @@ fn make_link(sock: TcpStream) -> Result<Link, String> {
     })
 }
 
-fn bind_with_retry(addr: SocketAddr) -> Result<TcpListener, String> {
-    let deadline = Instant::now() + Duration::from_secs(5);
+/// Retries `op` under bounded exponential backoff (doubling from
+/// `first_delay`, capped at 500 ms) until it succeeds or `total` elapses.
+/// The error reports how many attempts were burned, so a log line
+/// distinguishes "raced the listener once" from "nothing ever listened".
+fn retry_with_backoff<T>(
+    what: &str,
+    total: Duration,
+    first_delay: Duration,
+    mut op: impl FnMut() -> io::Result<T>,
+) -> Result<T, String> {
+    let deadline = Instant::now() + total;
+    let mut delay = first_delay;
+    let mut attempts = 0u32;
     loop {
-        match TcpListener::bind(addr) {
-            Ok(listener) => return Ok(listener),
+        attempts += 1;
+        match op() {
+            Ok(value) => return Ok(value),
             Err(err) => {
-                if Instant::now() >= deadline {
-                    return Err(format!("bind {addr}: {err}"));
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(format!(
+                        "{what}: {err} (gave up after {attempts} attempts over {total:?})"
+                    ));
                 }
-                std::thread::sleep(Duration::from_millis(25));
+                std::thread::sleep(delay.min(deadline - now));
+                delay = (delay * 2).min(Duration::from_millis(500));
             }
         }
     }
 }
 
+fn bind_with_retry(addr: SocketAddr) -> Result<TcpListener, String> {
+    retry_with_backoff(
+        &format!("bind {addr}"),
+        Duration::from_secs(5),
+        Duration::from_millis(5),
+        || TcpListener::bind(addr),
+    )
+}
+
 fn connect_with_retry(addr: SocketAddr) -> Result<TcpStream, String> {
-    let deadline = Instant::now() + Duration::from_secs(10);
-    loop {
-        match TcpStream::connect(addr) {
-            Ok(sock) => return Ok(sock),
-            Err(err) => {
-                if Instant::now() >= deadline {
-                    return Err(format!("connect {addr}: {err}"));
-                }
-                std::thread::sleep(Duration::from_millis(20));
-            }
-        }
-    }
+    retry_with_backoff(
+        &format!("connect {addr}"),
+        Duration::from_secs(10),
+        Duration::from_millis(5),
+        || TcpStream::connect(addr),
+    )
 }
 
 /// Builds the full mesh: listen on `peers[me]`, connect down to every lower
@@ -496,11 +601,22 @@ fn run_worker(args: &WorkerArgs) -> Result<(), String> {
 
     let mut links = build_mesh(me, &args.peers)?;
     let mut goodbyed = vec![false; n];
+    // The round a peer was suspected in (deadline misses or a dead link).
+    // From the next round on the peer is treated exactly like one whose
+    // schedule crashed it: no sends to it, no frames expected from it.
+    let mut suspected_at: Vec<Option<u64>> = vec![None; n];
+    let mut suspected = 0u64;
     let mut halted_at: Option<u64> = None;
     let mut messages = 0u64;
     let mut bits = 0u64;
 
     for r in 0..rounds {
+        if args.die_at == Some(r) {
+            // Simulated crash: stop before this round's sends, exactly like
+            // a scheduled crash at `r` with an empty delivery filter.  The
+            // peers were never told — they must discover it on their links.
+            break;
+        }
         let round = Round::new(r);
         core.begin_round(round);
 
@@ -530,15 +646,26 @@ fn run_worker(args: &WorkerArgs) -> Result<(), String> {
         // <= r or said GOODBYE are gone — the serial merge drops messages
         // to them too.
         for p in 0..n {
-            if p == me || goodbyed[p] || crash_round_of(p).is_some_and(|cr| cr <= r) {
+            if p == me
+                || goodbyed[p]
+                || suspected_at[p].is_some()
+                || crash_round_of(p).is_some_and(|cr| cr <= r)
+            {
                 continue;
             }
             let mut buf = frame(TAG_ROUND);
             (round, std::mem::take(&mut per_dest[p])).encode(&mut buf);
-            link_mut(&mut links, p)
-                .transport
-                .send(&buf)
-                .map_err(|err| format!("round {r} frame to node {p}: {err}"))?;
+            if let Err(err) = link_mut(&mut links, p).transport.send(&buf) {
+                // A peer that just died may already refuse writes; the read
+                // phase below is what confirms the death and records the
+                // suspicion.  The counters are unaffected — `deliver`
+                // already accounted these sends, exactly as the serial
+                // engine counts sends to crashed destinations.
+                eprintln!(
+                    "dft-node {me}: round {r} frame to node {p} failed ({err}); \
+                     the read phase decides its fate"
+                );
+            }
         }
 
         if crashing {
@@ -552,15 +679,54 @@ fn run_worker(args: &WorkerArgs) -> Result<(), String> {
         }
 
         // Read phase: exactly one frame from every peer still owing one.
+        // A dead or deadline-missing link suspects the peer instead of
+        // failing the node: its inbox entry stays empty — the same empty
+        // delivery the serial engine produces for a crash with
+        // `DeliveryFilter::None` — and it is skipped from here on.
         let mut from_peer: Vec<Vec<Delivered<bool>>> = (0..n).map(|_| Vec::new()).collect();
         for p in 0..n {
-            if p == me || goodbyed[p] || crash_round_of(p).is_some_and(|cr| cr < r) {
+            if p == me
+                || goodbyed[p]
+                || suspected_at[p].is_some()
+                || crash_round_of(p).is_some_and(|cr| cr < r)
+            {
                 continue;
             }
-            let buf = link_mut(&mut links, p)
-                .transport
-                .recv()
-                .map_err(|err| format!("round {r} frame from node {p}: {err}"))?;
+            let mut misses = 0u32;
+            let buf = loop {
+                match link_mut(&mut links, p).transport.recv() {
+                    Ok(buf) => break Some(buf),
+                    Err(err) => match err.kind() {
+                        // Unix reports a timed-out read as WouldBlock.
+                        io::ErrorKind::TimedOut | io::ErrorKind::WouldBlock => {
+                            misses += 1;
+                            if misses >= MAX_READ_MISSES {
+                                eprintln!(
+                                    "dft-node {me}: node {p} missed {misses} read deadlines \
+                                     in round {r}; suspecting it"
+                                );
+                                break None;
+                            }
+                        }
+                        io::ErrorKind::UnexpectedEof
+                        | io::ErrorKind::ConnectionReset
+                        | io::ErrorKind::ConnectionAborted
+                        | io::ErrorKind::BrokenPipe => {
+                            eprintln!(
+                                "dft-node {me}: node {p} is gone in round {r} ({err}); \
+                                 suspecting it"
+                            );
+                            break None;
+                        }
+                        _ => return Err(format!("round {r} frame from node {p}: {err}")),
+                    },
+                }
+            };
+            let Some(buf) = buf else {
+                suspected_at[p] = Some(r);
+                suspected += 1;
+                continue;
+            };
             let (tag, mut reader) =
                 open_frame(&buf).map_err(|err| format!("bad frame from node {p}: {err}"))?;
             match tag {
@@ -619,15 +785,18 @@ fn run_worker(args: &WorkerArgs) -> Result<(), String> {
                 // further frames.
                 #[allow(clippy::needless_range_loop)] // `p` also keys `link_mut`
                 for p in 0..n {
-                    if p == me || goodbyed[p] || crash_round_of(p).is_some_and(|cr| cr <= r) {
+                    if p == me
+                        || goodbyed[p]
+                        || suspected_at[p].is_some()
+                        || crash_round_of(p).is_some_and(|cr| cr <= r)
+                    {
                         continue;
                     }
                     let mut buf = frame(TAG_GOODBYE);
                     round.encode(&mut buf);
-                    link_mut(&mut links, p)
-                        .transport
-                        .send(&buf)
-                        .map_err(|err| format!("goodbye to node {p}: {err}"))?;
+                    if let Err(err) = link_mut(&mut links, p).transport.send(&buf) {
+                        eprintln!("dft-node {me}: goodbye to node {p} failed ({err})");
+                    }
                 }
             }
             break;
@@ -635,7 +804,7 @@ fn run_worker(args: &WorkerArgs) -> Result<(), String> {
     }
 
     println!(
-        "RESULT me={me} output={} halted={} msgs={messages} bits={bits}",
+        "RESULT me={me} output={} halted={} msgs={messages} bits={bits} suspected={suspected}",
         opt_bool(core.output(0).copied()),
         opt_u64(halted_at),
     );
@@ -661,6 +830,9 @@ struct NodeResult {
     halted_at: Option<u64>,
     messages: u64,
     bits: u64,
+    /// Peers this node suspected (deadline misses or dead links); absent in
+    /// RESULT lines from older binaries, which parses as 0.
+    suspected: u64,
 }
 
 fn parse_result_line(me: usize, stdout: &str) -> Result<NodeResult, String> {
@@ -673,6 +845,7 @@ fn parse_result_line(me: usize, stdout: &str) -> Result<NodeResult, String> {
         halted_at: None,
         messages: 0,
         bits: 0,
+        suspected: 0,
     };
     let mut seen_me = None;
     for token in line.split_whitespace() {
@@ -700,6 +873,7 @@ fn parse_result_line(me: usize, stdout: &str) -> Result<NodeResult, String> {
             }
             ("msgs", _) => value.parse::<u64>().map(|v| result.messages = v).is_ok(),
             ("bits", _) => value.parse::<u64>().map(|v| result.bits = v).is_ok(),
+            ("suspected", _) => value.parse::<u64>().map(|v| result.suspected = v).is_ok(),
             _ => false,
         };
         if !parsed {
@@ -736,17 +910,38 @@ fn pick_base_port(n: usize, seed: u64) -> Option<u16> {
     None
 }
 
+/// Runs the serial comparison under a [`FixedCrashSchedule`] built from the
+/// effective schedule **plus** any `--kill` entry — sound because replaying
+/// the extracted schedule reproduces the `RandomCrashes` run exactly (the
+/// `effective_schedule_reproduces_the_random_run` test pins this), and the
+/// kill is, to the protocol, one more crash with an empty delivery filter.
 fn serial_decision_data(
     args: &ClusterArgs,
     horizon: u64,
+    schedule: &Schedule,
     inputs: &[bool],
 ) -> Result<DecisionData, String> {
     let nodes = FloodingConsensus::for_all_nodes(args.n, args.t, inputs);
-    let adversary: Box<dyn CrashAdversary> = if args.crashes == 0 {
-        Box::new(NoFaults)
-    } else {
-        Box::new(RandomCrashes::new(args.n, args.crashes, horizon, args.seed))
-    };
+    let mut fixed = FixedCrashSchedule::new();
+    for (round, victim, filter) in schedule {
+        fixed = fixed.crash_at(
+            round.as_u64(),
+            CrashDirective {
+                node: NodeId::new(*victim),
+                deliver: filter.clone(),
+            },
+        );
+    }
+    if let Some((victim, round)) = args.kill {
+        fixed = fixed.crash_at(
+            round,
+            CrashDirective {
+                node: NodeId::new(victim),
+                deliver: DeliveryFilter::None,
+            },
+        );
+    }
+    let adversary: Box<dyn CrashAdversary> = Box::new(fixed);
     let mut runner =
         Runner::with_adversary(nodes, adversary, args.t).map_err(|err| err.to_string())?;
     let report = runner.run(horizon + 2);
@@ -780,6 +975,18 @@ fn write_table(path: &str, table: &str) -> Result<(), String> {
 fn run_cluster(args: &ClusterArgs) -> Result<ExitCode, String> {
     let horizon = FloodingConsensus::total_rounds(args.t);
     let schedule = extract_schedule(args.n, args.t, args.crashes, horizon, args.seed);
+    if let Some((victim, round)) = args.kill {
+        // The kill must be a *new* death — a victim the schedule already
+        // crashes would never reach its --die-at round.
+        if schedule.iter().any(|(_, v, _)| *v == victim) {
+            return Err(format!(
+                "--kill node {victim} already crashes in the derived schedule \
+                 (seed {}); pick another node or seed",
+                args.seed
+            ));
+        }
+        eprintln!("dft-node: will kill node {victim}'s process at the top of round {round}");
+    }
     let inputs = Workload {
         n: args.n,
         t: args.t,
@@ -809,7 +1016,8 @@ fn run_cluster(args: &ClusterArgs) -> Result<ExitCode, String> {
     let started = Instant::now();
     let mut children = Vec::new();
     for i in 0..args.n {
-        let child = Command::new(&exe)
+        let mut command = Command::new(&exe);
+        command
             .arg("--me")
             .arg(i.to_string())
             .arg("--peers")
@@ -819,7 +1027,15 @@ fn run_cluster(args: &ClusterArgs) -> Result<ExitCode, String> {
             .arg("--seed")
             .arg(args.seed.to_string())
             .arg("--schedule")
-            .arg(&schedule_hex)
+            .arg(&schedule_hex);
+        // Only the victim learns about the kill — its peers must discover
+        // the death through their links, not through the schedule.
+        if let Some((victim, round)) = args.kill {
+            if victim == i {
+                command.arg("--die-at").arg(round.to_string());
+            }
+        }
+        let child = command
             .stdout(Stdio::piped())
             .spawn()
             .map_err(|err| format!("spawn node {i}: {err}"))?;
@@ -840,7 +1056,7 @@ fn run_cluster(args: &ClusterArgs) -> Result<ExitCode, String> {
     }
     let wall = started.elapsed();
 
-    let crashed_at: Vec<Option<u64>> = (0..args.n)
+    let mut crashed_at: Vec<Option<u64>> = (0..args.n)
         .map(|i| {
             schedule
                 .iter()
@@ -848,6 +1064,13 @@ fn run_cluster(args: &ClusterArgs) -> Result<ExitCode, String> {
                 .map(|(round, _, _)| round.as_u64())
         })
         .collect();
+    if let Some((victim, round)) = args.kill {
+        crashed_at[victim] = Some(round);
+    }
+    let total_suspected: u64 = results.iter().map(|r| r.suspected).sum();
+    if total_suspected > 0 {
+        eprintln!("dft-node: {total_suspected} peer suspicion(s) recorded across the cluster");
+    }
     let cluster = DecisionData {
         n: args.n,
         t: args.t,
@@ -867,7 +1090,7 @@ fn run_cluster(args: &ClusterArgs) -> Result<ExitCode, String> {
         bits: results.iter().map(|r| r.bits).sum(),
     };
     let cluster_table = decision_table(&cluster);
-    let serial_table = decision_table(&serial_decision_data(args, horizon, &inputs)?);
+    let serial_table = decision_table(&serial_decision_data(args, horizon, &schedule, &inputs)?);
 
     if let Some(path) = &args.out {
         write_table(path, &cluster_table)?;
@@ -897,6 +1120,10 @@ fn run_cluster(args: &ClusterArgs) -> Result<ExitCode, String> {
                 messages: Some(cluster.messages),
                 bits: Some(cluster.bits),
             }],
+            recovery: RecoveryTotals {
+                suspected_peers: total_suspected,
+                ..RecoveryTotals::default()
+            },
             total_wall_s: wall_s,
         };
         std::fs::write(path, report.to_json()).map_err(|err| format!("write {path}: {err}"))?;
@@ -931,7 +1158,6 @@ fn main() -> ExitCode {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dft_sim::FixedCrashSchedule;
 
     #[test]
     fn hex_round_trips() {
@@ -1031,14 +1257,120 @@ mod tests {
         assert_eq!(parsed.halted_at, Some(2));
         assert_eq!(parsed.messages, 15);
         assert_eq!(parsed.bits, 15);
+        // RESULT lines without a suspected token (older binaries) parse as
+        // "suspected nobody".
+        assert_eq!(parsed.suspected, 0);
 
         let crashed =
             parse_result_line(0, "RESULT me=0 output=- halted=- msgs=5 bits=5\n").expect("parse");
         assert_eq!(crashed.output, None);
         assert_eq!(crashed.halted_at, None);
 
+        let survivor = parse_result_line(
+            2,
+            "RESULT me=2 output=1 halted=8 msgs=40 bits=40 suspected=1\n",
+        )
+        .expect("parse");
+        assert_eq!(survivor.suspected, 1);
+
         assert!(parse_result_line(1, "no result here\n").is_err());
         assert!(parse_result_line(1, "RESULT me=2 output=- halted=- msgs=0 bits=0\n").is_err());
+        assert!(parse_result_line(
+            1,
+            "RESULT me=1 output=- halted=- msgs=0 bits=0 suspected=no\n"
+        )
+        .is_err());
+    }
+
+    fn cluster_of(args: &[&str]) -> Result<Mode, String> {
+        parse_args(args.iter().map(|s| s.to_string()).collect())
+    }
+
+    #[test]
+    fn kill_specs_parse_and_validate() {
+        let mode = cluster_of(&[
+            "--cluster",
+            "5",
+            "--t",
+            "3",
+            "--crashes",
+            "2",
+            "--kill",
+            "2@3",
+        ])
+        .expect("valid kill spec");
+        match mode {
+            Mode::Cluster(cluster) => assert_eq!(cluster.kill, Some((2, 3))),
+            Mode::Worker(_) => panic!("parsed as worker"),
+        }
+        // Malformed specs.
+        for bad in ["2", "x@3", "2@x", "@3", "2@", "2@3@4"] {
+            assert!(
+                cluster_of(&["--cluster", "5", "--t", "3", "--kill", bad]).is_err(),
+                "`{bad}` should not parse"
+            );
+        }
+        // Out-of-range node, past-horizon round, exhausted crash budget.
+        assert!(cluster_of(&["--cluster", "5", "--t", "3", "--kill", "5@3"]).is_err());
+        assert!(cluster_of(&["--cluster", "5", "--t", "3", "--kill", "2@999"]).is_err());
+        assert!(
+            cluster_of(&[
+                "--cluster",
+                "5",
+                "--t",
+                "2",
+                "--crashes",
+                "2",
+                "--kill",
+                "2@3"
+            ])
+            .is_err(),
+            "crashes + 1 > t must be rejected"
+        );
+        // Mode mix-ups.
+        assert!(cluster_of(&["--cluster", "5", "--die-at", "3"]).is_err());
+        assert!(cluster_of(&[
+            "--me",
+            "0",
+            "--peers",
+            "127.0.0.1:9001,127.0.0.1:9002",
+            "--kill",
+            "1@2"
+        ])
+        .is_err());
+    }
+
+    #[test]
+    fn retry_backoff_reports_attempts_and_recovers() {
+        // Succeeds on the third attempt: the caller sees the value, not the
+        // transient errors.
+        let mut failures = 2;
+        let value = retry_with_backoff(
+            "probe",
+            Duration::from_secs(5),
+            Duration::from_millis(1),
+            || {
+                if failures > 0 {
+                    failures -= 1;
+                    Err(io::Error::new(io::ErrorKind::AddrInUse, "busy"))
+                } else {
+                    Ok(42)
+                }
+            },
+        )
+        .expect("recovers after transient failures");
+        assert_eq!(value, 42);
+
+        // Never succeeds: the error names the attempt count and the budget.
+        let err = retry_with_backoff(
+            "probe",
+            Duration::from_millis(30),
+            Duration::from_millis(4),
+            || -> io::Result<()> { Err(io::Error::new(io::ErrorKind::AddrInUse, "busy")) },
+        )
+        .expect_err("deadline must expire");
+        assert!(err.contains("probe"), "{err}");
+        assert!(err.contains("attempts"), "{err}");
     }
 
     #[test]

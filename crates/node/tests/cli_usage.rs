@@ -84,6 +84,39 @@ fn malformed_schedules_are_usage_errors() {
 }
 
 #[test]
+fn malformed_kill_specs_are_usage_errors() {
+    // Shape errors: missing value, missing '@', non-numeric parts.
+    assert_usage_error(&["--cluster", "5", "--t", "3", "--kill"]);
+    assert_usage_error(&["--cluster", "5", "--t", "3", "--kill", "2"]);
+    assert_usage_error(&["--cluster", "5", "--t", "3", "--kill", "x@3"]);
+    assert_usage_error(&["--cluster", "5", "--t", "3", "--kill", "2@x"]);
+    // Range and budget errors: node out of range, round past the horizon,
+    // no crash budget left for the kill (crashes + 1 > t).
+    assert_usage_error(&["--cluster", "5", "--t", "3", "--kill", "5@3"]);
+    assert_usage_error(&["--cluster", "5", "--t", "3", "--kill", "2@999"]);
+    assert_usage_error(&[
+        "--cluster",
+        "5",
+        "--t",
+        "2",
+        "--crashes",
+        "2",
+        "--kill",
+        "2@3",
+    ]);
+    // Mode mix-ups: --kill is launcher-only, --die-at is node-only.
+    assert_usage_error(&[
+        "--me",
+        "0",
+        "--peers",
+        "127.0.0.1:9001,127.0.0.1:9002",
+        "--kill",
+        "1@2",
+    ]);
+    assert_usage_error(&["--cluster", "5", "--t", "3", "--die-at", "2"]);
+}
+
+#[test]
 fn missing_values_are_usage_errors() {
     assert_usage_error(&["--cluster"]);
     assert_usage_error(&["--cluster", "5", "--seed"]);

@@ -41,6 +41,47 @@ fn five_process_cluster_matches_serial_run() {
     }
 }
 
+/// The graceful-degradation gate: node 2's process is killed at the top of
+/// round 3 — *without* the other nodes being told via the schedule — and
+/// the survivors must suspect it through their links and still produce the
+/// serial decision table byte for byte (the serial run models the kill as
+/// one more scheduled crash with an empty delivery filter).
+#[test]
+fn killed_node_is_suspected_and_tables_stay_identical() {
+    let output = Command::new(env!("CARGO_BIN_EXE_dft-node"))
+        .args(["--cluster", "5", "--t", "3", "--crashes", "2"])
+        .args(["--seed", "7", "--kill", "2@3"])
+        .output()
+        .expect("spawn dft-node launcher");
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        output.status.success(),
+        "launcher failed\nstdout:\n{stdout}\nstderr:\n{stderr}"
+    );
+    assert!(
+        stdout.contains("cluster and serial decision tables are byte-identical"),
+        "launcher did not report byte identity:\n{stdout}"
+    );
+    assert!(
+        stderr.contains("suspecting it"),
+        "no survivor reported a suspicion:\n{stderr}"
+    );
+    assert!(
+        stderr.contains("peer suspicion(s) recorded"),
+        "launcher did not sum the suspicions:\n{stderr}"
+    );
+    // The victim's row shows the kill round as its crash round.
+    let row: Vec<String> = stdout
+        .lines()
+        .find(|line| line.starts_with('2'))
+        .expect("row for node 2")
+        .split_whitespace()
+        .map(str::to_string)
+        .collect();
+    assert_eq!(row[3], "3", "node 2 should be recorded crashed at round 3");
+}
+
 #[test]
 fn cluster_emits_bench_json_and_tables() {
     let dir = std::env::temp_dir().join(format!("dft_node_smoke_{}", std::process::id()));

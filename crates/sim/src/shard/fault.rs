@@ -1,0 +1,463 @@
+//! Deterministic fault injection for shard transports.
+//!
+//! A [`FaultPlan`] names process-level faults by *position* — shard index
+//! and worker→parent frame index — so a test or CI job can kill, corrupt,
+//! or stall a specific worker at a specific point of the execution and get
+//! the same failure every run.  [`ArmedPlan::wrap`] layers a
+//! [`FaultyTransport`] over any [`ShardTransport`]; each fault is one-shot
+//! and its fired state is shared (via `Arc`) across every wrapper armed
+//! from the same plan, so a transport recreated by the coordinator's
+//! respawn ladder does not re-fire the fault it just recovered from.
+//!
+//! The four kinds exercise the four recovery entry points:
+//!
+//! * [`FaultKind::Kill`] — the transport reports EOF and stays dead
+//!   (transport-error path; the respawn factory must produce a new worker);
+//! * [`FaultKind::Torn`] — one response arrives as a strict prefix of the
+//!   real frame (payload decode-failure path);
+//! * [`FaultKind::Garbage`] — one response arrives as junk bytes that fail
+//!   the wire-version check (frame decode-failure path);
+//! * [`FaultKind::Stall`] — one response is swallowed and the transport
+//!   keeps listening, so a read deadline underneath (see
+//!   `DeadlineTransport`) genuinely expires (deadline path).
+
+use std::fmt;
+use std::io;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use super::transport::ShardTransport;
+
+/// What happens to the faulted frame.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The worker dies: permanent EOF on recv, broken pipe on send.
+    Kill,
+    /// The frame is torn: a strict prefix of the real bytes is delivered.
+    Torn,
+    /// The response is swallowed; the recv keeps waiting (tripping any
+    /// read deadline below this wrapper).
+    Stall,
+    /// The frame is replaced by junk bytes with an invalid wire version.
+    Garbage,
+}
+
+impl FaultKind {
+    /// The spec keyword for this kind (`kill`, `torn`, `stall`, `garbage`).
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultKind::Kill => "kill",
+            FaultKind::Torn => "torn",
+            FaultKind::Stall => "stall",
+            FaultKind::Garbage => "garbage",
+        }
+    }
+
+    fn parse(word: &str) -> Result<FaultKind, String> {
+        match word {
+            "kill" => Ok(FaultKind::Kill),
+            "torn" => Ok(FaultKind::Torn),
+            "stall" => Ok(FaultKind::Stall),
+            "garbage" => Ok(FaultKind::Garbage),
+            other => Err(format!(
+                "unknown fault kind '{other}' (expected kill, torn, stall, or garbage)"
+            )),
+        }
+    }
+}
+
+/// One planned fault: `kind` fires on shard `shard` in place of its
+/// `frame`-th worker→parent frame (0-based, counted per transport
+/// generation).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FaultSpec {
+    /// Which shard's transport misbehaves.
+    pub shard: usize,
+    /// The 0-based worker→parent frame index the fault replaces.
+    pub frame: u64,
+    /// What happens to that frame.
+    pub kind: FaultKind,
+}
+
+impl fmt::Display for FaultSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}@{}", self.kind.name(), self.shard, self.frame)
+    }
+}
+
+/// A deterministic set of planned transport faults.
+///
+/// The textual form is a comma-separated list of `KIND:SHARD@FRAME`
+/// entries, e.g. `kill:1@3,torn:0@2` — kill shard 1 at its fourth response
+/// frame and tear shard 0's third.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// The planned faults, in spec order.
+    pub faults: Vec<FaultSpec>,
+}
+
+impl FaultPlan {
+    /// Parses the `KIND:SHARD@FRAME[,...]` spec format.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed entry.
+    pub fn parse(spec: &str) -> Result<FaultPlan, String> {
+        let mut faults = Vec::new();
+        for entry in spec.split(',') {
+            let entry = entry.trim();
+            if entry.is_empty() {
+                return Err("empty fault entry (expected KIND:SHARD@FRAME)".to_string());
+            }
+            let (kind_word, position) = entry
+                .split_once(':')
+                .ok_or_else(|| format!("fault '{entry}' is missing ':' (KIND:SHARD@FRAME)"))?;
+            let kind = FaultKind::parse(kind_word)?;
+            let (shard_word, frame_word) = position
+                .split_once('@')
+                .ok_or_else(|| format!("fault '{entry}' is missing '@' (KIND:SHARD@FRAME)"))?;
+            let shard: usize = shard_word
+                .parse()
+                .map_err(|_| format!("fault '{entry}' has a non-numeric shard '{shard_word}'"))?;
+            let frame: u64 = frame_word
+                .parse()
+                .map_err(|_| format!("fault '{entry}' has a non-numeric frame '{frame_word}'"))?;
+            faults.push(FaultSpec { shard, frame, kind });
+        }
+        Ok(FaultPlan { faults })
+    }
+
+    /// Whether the plan contains no faults.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// Arms the plan: every fault gets a shared one-shot fired flag, so
+    /// all wrappers produced by the returned [`ArmedPlan`] — including
+    /// those wrapping respawned transports — fire each fault exactly once.
+    pub fn arm(&self) -> ArmedPlan {
+        ArmedPlan {
+            faults: self
+                .faults
+                .iter()
+                .map(|&spec| ArmedFault {
+                    spec,
+                    fired: Arc::new(AtomicBool::new(false)),
+                })
+                .collect(),
+        }
+    }
+}
+
+impl fmt::Display for FaultPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for fault in &self.faults {
+            if !first {
+                write!(f, ",")?;
+            }
+            write!(f, "{fault}")?;
+            first = false;
+        }
+        Ok(())
+    }
+}
+
+#[derive(Clone)]
+struct ArmedFault {
+    spec: FaultSpec,
+    fired: Arc<AtomicBool>,
+}
+
+/// A [`FaultPlan`] with live one-shot state, ready to wrap transports.
+#[derive(Clone, Default)]
+pub struct ArmedPlan {
+    faults: Vec<ArmedFault>,
+}
+
+impl ArmedPlan {
+    /// Wraps `inner` with this plan's faults for `shard`.  Returns `inner`
+    /// unwrapped when no fault targets the shard.
+    pub fn wrap(&self, shard: usize, inner: Box<dyn ShardTransport>) -> Box<dyn ShardTransport> {
+        let faults: Vec<ArmedFault> = self
+            .faults
+            .iter()
+            .filter(|fault| fault.spec.shard == shard)
+            .cloned()
+            .collect();
+        if faults.is_empty() {
+            inner
+        } else {
+            Box::new(FaultyTransport {
+                inner,
+                faults,
+                received: 0,
+                dead: false,
+            })
+        }
+    }
+}
+
+/// A [`ShardTransport`] wrapper that injects the armed faults of one shard.
+pub struct FaultyTransport {
+    inner: Box<dyn ShardTransport>,
+    faults: Vec<ArmedFault>,
+    /// Worker→parent frames delivered (or faulted) by this wrapper.
+    received: u64,
+    dead: bool,
+}
+
+impl FaultyTransport {
+    /// Claims the first unfired fault planned for the current frame index,
+    /// marking it fired.
+    fn claim(&mut self) -> Option<FaultKind> {
+        let current = self.received;
+        self.faults
+            .iter()
+            .find(|fault| {
+                fault.spec.frame == current
+                    && fault
+                        .fired
+                        .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+                        .is_ok()
+            })
+            .map(|fault| fault.spec.kind)
+    }
+}
+
+impl ShardTransport for FaultyTransport {
+    fn send(&mut self, frame: &[u8]) -> io::Result<()> {
+        if self.dead {
+            return Err(io::Error::new(
+                io::ErrorKind::BrokenPipe,
+                "injected worker kill: peer is gone",
+            ));
+        }
+        self.inner.send(frame)
+    }
+
+    fn recv(&mut self) -> io::Result<Vec<u8>> {
+        if self.dead {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "injected worker kill: peer is gone",
+            ));
+        }
+        match self.claim() {
+            None => {
+                let frame = self.inner.recv()?;
+                self.received += 1;
+                Ok(frame)
+            }
+            Some(FaultKind::Kill) => {
+                self.dead = true;
+                Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "injected worker kill",
+                ))
+            }
+            Some(FaultKind::Torn) => {
+                // Consume the real frame (keeping the stream aligned) and
+                // deliver a strict prefix; the parent's frame decode fails.
+                let frame = self.inner.recv()?;
+                self.received += 1;
+                let keep = frame.len() / 2;
+                Ok(frame.into_iter().take(keep).collect())
+            }
+            Some(FaultKind::Garbage) => {
+                // Consume the real frame and deliver junk whose first two
+                // bytes cannot be the wire version.
+                let _ = self.inner.recv()?;
+                self.received += 1;
+                Ok(vec![0xEE; 16])
+            }
+            Some(FaultKind::Stall) => {
+                // Swallow the real response, then keep listening: in a
+                // strict request/response protocol nothing else arrives,
+                // so a deadline below this wrapper genuinely expires.
+                let _ = self.inner.recv()?;
+                self.received += 1;
+                let frame = self.inner.recv()?;
+                self.received += 1;
+                Ok(frame)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::transport::{
+        write_frame, ChannelTransport, DeadlineTransport, StreamTransport,
+    };
+    use super::*;
+    use std::io::Read;
+    use std::time::Duration;
+
+    #[test]
+    fn plan_parses_and_round_trips() {
+        let plan = FaultPlan::parse("kill:1@3,torn:0@2,stall:2@0,garbage:0@7").unwrap();
+        assert_eq!(plan.faults.len(), 4);
+        assert_eq!(
+            plan.faults[0],
+            FaultSpec {
+                shard: 1,
+                frame: 3,
+                kind: FaultKind::Kill
+            }
+        );
+        assert_eq!(plan.to_string(), "kill:1@3,torn:0@2,stall:2@0,garbage:0@7");
+        assert_eq!(FaultPlan::parse(&plan.to_string()).unwrap(), plan);
+        assert!(FaultPlan::default().is_empty());
+        assert!(!plan.is_empty());
+    }
+
+    #[test]
+    fn plan_rejects_malformed_specs() {
+        for bad in [
+            "",
+            "kill",
+            "kill:1",
+            "kill:@3",
+            "kill:x@3",
+            "kill:1@x",
+            "explode:1@3",
+            "kill:1@3,,torn:0@2",
+        ] {
+            let err = FaultPlan::parse(bad).unwrap_err();
+            assert!(!err.is_empty(), "spec '{bad}' must be rejected");
+        }
+    }
+
+    fn encoded(frame: &[u8]) -> Vec<u8> {
+        frame.to_vec()
+    }
+
+    #[test]
+    fn kill_is_permanent_and_does_not_refire_after_rewrap() {
+        let plan = FaultPlan::parse("kill:0@1").unwrap().arm();
+        let (parent, mut worker) = ChannelTransport::pair();
+        worker.send(&encoded(b"frame0")).unwrap();
+        worker.send(&encoded(b"frame1")).unwrap();
+        let mut faulty = plan.wrap(0, Box::new(parent));
+        assert_eq!(faulty.recv().unwrap(), b"frame0");
+        let err = faulty.recv().unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+        // Dead for good: both directions fail from now on.
+        assert_eq!(
+            faulty.recv().unwrap_err().kind(),
+            io::ErrorKind::UnexpectedEof
+        );
+        assert_eq!(
+            faulty.send(b"req").unwrap_err().kind(),
+            io::ErrorKind::BrokenPipe
+        );
+        // A respawned transport armed from the same plan does not re-fire.
+        let (parent2, mut worker2) = ChannelTransport::pair();
+        worker2.send(&encoded(b"frame0")).unwrap();
+        worker2.send(&encoded(b"frame1")).unwrap();
+        let mut fresh = plan.wrap(0, Box::new(parent2));
+        assert_eq!(fresh.recv().unwrap(), b"frame0");
+        assert_eq!(fresh.recv().unwrap(), b"frame1");
+    }
+
+    #[test]
+    fn torn_frame_is_a_strict_prefix_once() {
+        let plan = FaultPlan::parse("torn:0@0").unwrap().arm();
+        let (parent, mut worker) = ChannelTransport::pair();
+        worker.send(&encoded(b"0123456789")).unwrap();
+        worker.send(&encoded(b"intact")).unwrap();
+        let mut faulty = plan.wrap(0, Box::new(parent));
+        let torn = faulty.recv().unwrap();
+        assert_eq!(torn, b"01234", "strict prefix of the real frame");
+        // One-shot: the next frame arrives whole.
+        assert_eq!(faulty.recv().unwrap(), b"intact");
+    }
+
+    #[test]
+    fn garbage_fails_the_wire_version_check() {
+        let plan = FaultPlan::parse("garbage:0@0").unwrap().arm();
+        let (parent, mut worker) = ChannelTransport::pair();
+        worker.send(&encoded(b"real")).unwrap();
+        worker.send(&encoded(b"after")).unwrap();
+        let mut faulty = plan.wrap(0, Box::new(parent));
+        let junk = faulty.recv().unwrap();
+        assert_eq!(junk, vec![0xEE; 16]);
+        assert!(
+            super::super::open_frame(&junk).is_err(),
+            "junk must not open as a valid frame"
+        );
+        assert_eq!(faulty.recv().unwrap(), b"after");
+    }
+
+    /// A blocking reader fed by an in-process channel (EOF on hangup).
+    struct ChannelReader {
+        rx: std::sync::mpsc::Receiver<Vec<u8>>,
+        buf: Vec<u8>,
+        pos: usize,
+    }
+
+    impl Read for ChannelReader {
+        fn read(&mut self, out: &mut [u8]) -> io::Result<usize> {
+            while self.pos >= self.buf.len() {
+                match self.rx.recv() {
+                    Ok(bytes) => {
+                        self.buf = bytes;
+                        self.pos = 0;
+                    }
+                    Err(_) => return Ok(0),
+                }
+            }
+            let n = (self.buf.len() - self.pos).min(out.len());
+            out[..n].copy_from_slice(&self.buf[self.pos..self.pos + n]);
+            self.pos += n;
+            Ok(n)
+        }
+    }
+
+    #[test]
+    fn stall_swallows_the_response_and_trips_a_real_deadline() {
+        let plan = FaultPlan::parse("stall:0@0").unwrap().arm();
+        let (tx, rx) = std::sync::mpsc::channel::<Vec<u8>>();
+        let reader = ChannelReader {
+            rx,
+            buf: Vec::new(),
+            pos: 0,
+        };
+        let deadline = DeadlineTransport::new(reader, io::sink(), Duration::from_millis(100));
+        let mut faulty = plan.wrap(0, Box::new(deadline));
+        let mut framed = Vec::new();
+        write_frame(&mut framed, b"the response").unwrap();
+        tx.send(framed).unwrap();
+        let err = faulty.recv().unwrap_err();
+        assert_eq!(
+            err.kind(),
+            io::ErrorKind::TimedOut,
+            "the swallowed response leaves the deadline to expire: {err}"
+        );
+    }
+
+    #[test]
+    fn unplanned_shards_pass_through_unwrapped() {
+        let plan = FaultPlan::parse("kill:3@0").unwrap().arm();
+        let (parent, mut worker) = ChannelTransport::pair();
+        worker.send(&encoded(b"clean")).unwrap();
+        // Shard 0 has no faults: the transport passes through unchanged.
+        let mut clean = plan.wrap(0, Box::new(parent));
+        assert_eq!(clean.recv().unwrap(), b"clean");
+    }
+
+    #[test]
+    fn faults_compose_on_stream_transports() {
+        // Faults sit above any transport, stream included.
+        let plan = FaultPlan::parse("torn:0@0").unwrap().arm();
+        let mut written: Vec<u8> = Vec::new();
+        {
+            let mut tx = StreamTransport::new(io::empty(), &mut written);
+            tx.send(b"stream-frame").unwrap();
+        }
+        let stream = StreamTransport::new(io::Cursor::new(written), io::sink());
+        let mut faulty = plan.wrap(0, Box::new(stream));
+        assert_eq!(faulty.recv().unwrap(), b"stream");
+    }
+}

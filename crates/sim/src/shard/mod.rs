@@ -39,19 +39,38 @@
 //! `Shutdown` ends the loop; a worker treats transport EOF as shutdown, so
 //! a dying parent never leaves workers spinning.
 //!
+//! # Worker-failure recovery
+//!
+//! A worker process is *substrate*, not a simulated node: its death must
+//! not change the computed execution.  When [`Recovery`] is configured the
+//! coordinator retains every request frame it sends (per shard; `Shutdown`
+//! excluded), and on any transport failure — EOF, I/O error, read deadline
+//! ([`DeadlineTransport`]), an unexpected tag, or a payload that fails to
+//! decode — it obtains a fresh transport (the respawn factory, bounded by
+//! `max_respawns` with exponential backoff, then the in-process fallback
+//! factory once) and **replays** the retained log lock-step, discarding
+//! every response but the last.  Replay is sound because workers rebuild
+//! their state machines deterministically from the handshake and the parent
+//! authors every inbound frame: the same requests in the same order produce
+//! the same worker state and the same responses.  [`RecoveryStats`] counts
+//! what the ladder did.  Deterministic fault injection for all four entry
+//! points lives in [`fault`].
+//!
 //! [`WorkerPool`]: crate::pool::WorkerPool
 
+pub mod fault;
 pub mod transport;
 pub mod wire;
 
 use std::io;
 use std::marker::PhantomData;
 use std::ops::Range;
+use std::time::Duration;
 
 use crate::adversary::{CrashAdversary, DeliveryFilter};
 use crate::delivery::{EngineCore, PortMap};
 use crate::driver::{NodeEvent, RoundCore, SinglePortCore};
-use crate::error::{SimError, SimResult};
+use crate::error::{ShardError, SimError, SimResult};
 use crate::message::{Delivered, Outgoing, Payload};
 use crate::node::{NodeId, NodeSet};
 use crate::parallel::ChunkPlan;
@@ -62,7 +81,11 @@ use crate::round::Round;
 use crate::runner::Participant;
 use crate::trace::Trace;
 
-pub use transport::{ChannelTransport, ShardTransport, StreamTransport, MAX_FRAME_LEN};
+pub use fault::{ArmedPlan, FaultKind, FaultPlan, FaultSpec, FaultyTransport};
+pub use transport::{
+    read_frame, write_frame, ChannelTransport, DeadlineTransport, ShardTransport, StreamTransport,
+    MAX_FRAME_LEN,
+};
 pub use wire::{
     decode_error_path_violations, from_bytes, to_bytes, Wire, WireError, WireReader, WireResult,
 };
@@ -118,8 +141,81 @@ fn wire_io(err: WireError) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, err.to_string())
 }
 
-fn shard_err(context: &str, err: impl std::fmt::Display) -> SimError {
-    SimError::Shard(format!("{context}: {err}"))
+/// Produces a replacement [`ShardTransport`] for the given shard index —
+/// a respawned worker process, a fresh serving thread, or an in-process
+/// fallback server over a channel pair.
+pub type TransportFactory = Box<dyn FnMut(usize) -> io::Result<Box<dyn ShardTransport>> + Send>;
+
+/// The worker-failure recovery ladder a coordinator climbs when a shard
+/// transport fails: up to `max_respawns` fresh transports from the respawn
+/// factory (with exponential backoff between consecutive attempts), then —
+/// budget exhausted — one in-process fallback, then a hard
+/// [`SimError::Shard`].
+pub struct Recovery {
+    max_respawns: u32,
+    backoff: Duration,
+    respawn: TransportFactory,
+    fallback: Option<TransportFactory>,
+}
+
+impl Recovery {
+    /// A ladder that respawns at most `max_respawns` times via `respawn`.
+    /// `max_respawns` of 0 means the first failure goes straight to the
+    /// fallback (or the hard error when none is configured).
+    pub fn new(max_respawns: u32, respawn: TransportFactory) -> Self {
+        Recovery {
+            max_respawns,
+            backoff: Duration::from_millis(10),
+            respawn,
+            fallback: None,
+        }
+    }
+
+    /// Adds the last rung: an in-process fallback used once per shard when
+    /// the respawn budget is exhausted.
+    #[must_use]
+    pub fn with_fallback(mut self, fallback: TransportFactory) -> Self {
+        self.fallback = Some(fallback);
+        self
+    }
+
+    /// Sets the base backoff delay (doubled per consecutive respawn of one
+    /// shard; the first respawn is immediate).  Zero disables sleeping.
+    #[must_use]
+    pub fn with_backoff(mut self, base: Duration) -> Self {
+        self.backoff = base;
+        self
+    }
+}
+
+impl std::fmt::Debug for Recovery {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Recovery")
+            .field("max_respawns", &self.max_respawns)
+            .field("backoff", &self.backoff)
+            .field("has_fallback", &self.fallback.is_some())
+            .finish_non_exhaustive()
+    }
+}
+
+/// What the recovery ladder did over one execution.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RecoveryStats {
+    /// Fresh transports obtained from the respawn factory.
+    pub respawns: u64,
+    /// Shards moved onto the in-process fallback.
+    pub fallbacks: u64,
+    /// Request frames replayed to fresh transports.
+    pub replayed_frames: u64,
+    /// Completed rounds whose frames were replayed (summed per recovery).
+    pub replayed_rounds: u64,
+}
+
+impl RecoveryStats {
+    /// Whether any recovery action ran.
+    pub fn any(&self) -> bool {
+        self.respawns > 0 || self.fallbacks > 0
+    }
 }
 
 /// The number of shard workers a system of `n` nodes actually uses when
@@ -353,6 +449,17 @@ struct Coordinator {
     plan: ChunkPlan,
     send_intents: Vec<Vec<NodeId>>,
     poll_intents: Vec<Option<NodeId>>,
+    /// Per-shard retained request log (only fed while recovery is
+    /// configured; `Shutdown` is never logged).  On recovery the whole log
+    /// is replayed to the fresh transport — sound because the worker
+    /// rebuilds deterministically and the parent authors every request.
+    frame_log: Vec<Vec<Vec<u8>>>,
+    /// A response produced by replay, pending consumption by `transact`.
+    stashed: Vec<Option<Vec<u8>>>,
+    recovery: Option<Recovery>,
+    respawns_used: Vec<u32>,
+    fallback_active: Vec<bool>,
+    stats: RecoveryStats,
     /// Keeps in-process serving threads alive for the coordinator's
     /// lifetime; `None` for remote (process/pipe) backends.
     _pool: Option<WorkerPool>,
@@ -386,6 +493,7 @@ impl Coordinator {
                 plan.chunks
             )));
         }
+        let chunks = transports.len();
         Ok(Coordinator {
             core: EngineCore::new(n, fault_budget),
             adversary,
@@ -393,6 +501,12 @@ impl Coordinator {
             plan,
             send_intents: (0..n).map(|_| Vec::new()).collect(),
             poll_intents: vec![None; n],
+            frame_log: (0..chunks).map(|_| Vec::new()).collect(),
+            stashed: (0..chunks).map(|_| None).collect(),
+            recovery: None,
+            respawns_used: vec![0; chunks],
+            fallback_active: vec![false; chunks],
+            stats: RecoveryStats::default(),
             _pool: pool,
         })
     }
@@ -401,29 +515,153 @@ impl Coordinator {
         self.core.n()
     }
 
-    /// Broadcasts one already-encoded request to every shard worker.
-    fn broadcast(&mut self, frame: &[u8]) -> SimResult<()> {
-        for (ci, transport) in self.transports.iter_mut().enumerate() {
-            transport
-                .send(frame)
-                .map_err(|err| shard_err(&format!("sending to shard {ci}"), err))?;
+    fn set_recovery(&mut self, recovery: Recovery) {
+        self.recovery = Some(recovery);
+    }
+
+    /// Sends one request to shard `ci`, retaining it in the frame log and
+    /// entering the recovery ladder on failure.
+    fn send_to(&mut self, ci: usize, request: &[u8]) -> SimResult<()> {
+        let tag = request.get(2).copied();
+        if self.recovery.is_some() {
+            self.frame_log[ci].push(request.to_vec());
+        }
+        if let Err(err) = self.transports[ci].send(request) {
+            // The request is already logged, so a successful replay leaves
+            // its response stashed for the upcoming `transact`.
+            self.recover(ci, tag, format!("sending request: {err}"))?;
         }
         Ok(())
     }
 
-    /// Receives shard `ci`'s next response and checks its tag.
-    fn recv_expect(&mut self, ci: usize, expected: u8) -> SimResult<Vec<u8>> {
-        let response = self.transports[ci]
-            .recv()
-            .map_err(|err| shard_err(&format!("receiving from shard {ci}"), err))?;
-        let (tag, _) = open_frame(&response)
-            .map_err(|err| shard_err(&format!("decoding shard {ci} response"), err))?;
-        if tag != expected {
-            return Err(SimError::Shard(format!(
-                "shard {ci} answered with tag {tag}, expected {expected}"
+    /// Broadcasts one already-encoded request to every shard worker.
+    fn broadcast(&mut self, request: &[u8]) -> SimResult<()> {
+        for ci in 0..self.transports.len() {
+            self.send_to(ci, request)?;
+        }
+        Ok(())
+    }
+
+    /// Receives shard `ci`'s pending response, checks its tag, and decodes
+    /// the payload with `parse`; any failure — transport error, bad frame,
+    /// wrong tag, undecodable payload — enters the recovery ladder and the
+    /// replayed response is tried again.
+    fn transact<T>(
+        &mut self,
+        ci: usize,
+        expected: u8,
+        parse: impl Fn(&mut WireReader<'_>) -> Result<T, String>,
+    ) -> SimResult<T> {
+        loop {
+            let response = match self.stashed[ci].take() {
+                Some(replayed) => Ok(replayed),
+                None => self.transports[ci].recv(),
+            };
+            let detail = match response {
+                Ok(bytes) => match open_frame(&bytes) {
+                    Ok((tag, mut r)) if tag == expected => match parse(&mut r) {
+                        Ok(value) => return Ok(value),
+                        Err(detail) => format!("response payload: {detail}"),
+                    },
+                    Ok((tag, _)) => format!("answered with tag {tag}, expected {expected}"),
+                    Err(err) => format!("response frame: {err}"),
+                },
+                Err(err) => format!("receiving response: {err}"),
+            };
+            self.recover(ci, Some(expected), detail)?;
+        }
+    }
+
+    /// Climbs the recovery ladder for shard `ci`: respawn (bounded, with
+    /// backoff), then fallback (once), then the hard error.  On success the
+    /// retained log has been replayed and the outstanding request's
+    /// response, if any, is stashed.
+    fn recover(&mut self, ci: usize, tag: Option<u8>, reason: String) -> SimResult<()> {
+        let round = self.core.round.as_u64();
+        let fail = move |detail: String| -> SimError {
+            let mut err = ShardError::new(ci, detail).with_round(round);
+            if let Some(tag) = tag {
+                err = err.with_tag(tag);
+            }
+            SimError::Shard(err)
+        };
+        if self.fallback_active[ci] {
+            return Err(fail(format!(
+                "{reason} (already on the in-process fallback)"
             )));
         }
-        Ok(response)
+        let mut detail = reason;
+        loop {
+            let Some(recovery) = self.recovery.as_mut() else {
+                return Err(fail(detail));
+            };
+            let attempt = self.respawns_used[ci];
+            let via_fallback = attempt >= recovery.max_respawns;
+            let transport = if via_fallback {
+                let max_respawns = recovery.max_respawns;
+                let Some(fallback) = recovery.fallback.as_mut() else {
+                    return Err(fail(format!(
+                        "{detail} (respawn budget {max_respawns} exhausted, no fallback)"
+                    )));
+                };
+                match fallback(ci) {
+                    Ok(transport) => transport,
+                    Err(err) => {
+                        return Err(fail(format!("starting the in-process fallback: {err}")));
+                    }
+                }
+            } else {
+                if attempt > 0 && !recovery.backoff.is_zero() {
+                    // Exponential: immediate, base, 2*base, ... capped.
+                    let factor = 1u32 << (attempt - 1).min(5);
+                    std::thread::sleep(recovery.backoff * factor);
+                }
+                self.respawns_used[ci] += 1;
+                match (recovery.respawn)(ci) {
+                    Ok(transport) => transport,
+                    Err(err) => {
+                        detail = format!("respawning the shard worker: {err}");
+                        continue;
+                    }
+                }
+            };
+            self.transports[ci] = transport;
+            if via_fallback {
+                self.fallback_active[ci] = true;
+                self.stats.fallbacks += 1;
+            } else {
+                self.stats.respawns += 1;
+            }
+            match self.replay(ci) {
+                Ok(()) => {
+                    self.stats.replayed_frames += self.frame_log[ci].len() as u64;
+                    self.stats.replayed_rounds += round;
+                    return Ok(());
+                }
+                Err(err) => {
+                    if via_fallback {
+                        return Err(fail(format!(
+                            "replay on the in-process fallback failed: {err}"
+                        )));
+                    }
+                    detail = format!("replay after respawn: {err}");
+                }
+            }
+        }
+    }
+
+    /// Replays every retained request to shard `ci`'s (fresh) transport in
+    /// lock-step, discarding every response but the last, which is stashed
+    /// for the outstanding request.
+    fn replay(&mut self, ci: usize) -> io::Result<()> {
+        self.stashed[ci] = None;
+        let mut last_response = None;
+        for request in &self.frame_log[ci] {
+            self.transports[ci].send(request)?;
+            last_response = Some(self.transports[ci].recv()?);
+        }
+        self.stashed[ci] = last_response;
+        Ok(())
     }
 
     /// Best-effort shutdown of every worker (errors ignored: a worker that
@@ -564,6 +802,19 @@ impl<M: WireMsg, O: WireOutput> ShardedRunner<M, O> {
         &self.inner.core.trace
     }
 
+    /// Arms worker-failure recovery: from now on every request frame is
+    /// retained and a failing shard transport climbs the
+    /// respawn → fallback → error ladder instead of aborting the run.
+    pub fn set_recovery(&mut self, recovery: Recovery) -> &mut Self {
+        self.inner.set_recovery(recovery);
+        self
+    }
+
+    /// What the recovery ladder did so far.
+    pub fn recovery_stats(&self) -> RecoveryStats {
+        self.inner.stats
+    }
+
     /// Whether every node that has not crashed has halted voluntarily.
     pub fn all_non_faulty_halted(&self) -> bool {
         self.inner.core.running_nodes() == self.byz_running
@@ -611,18 +862,19 @@ impl<M: WireMsg, O: WireOutput> ShardedRunner<M, O> {
         round.encode(&mut request);
         self.inner.broadcast(&request)?;
         for ci in 0..self.inner.transports.len() {
-            let response = self.inner.recv_expect(ci, RESP_INTENTS)?;
-            let (_, mut r) = open_frame(&response).expect("tag already checked");
-            let intents: Vec<Vec<NodeId>> = Vec::decode(&mut r)
-                .map_err(|err| shard_err(&format!("shard {ci} intents"), err))?;
             let range = plan.range(ci, n);
-            if intents.len() != range.len() {
-                return Err(SimError::Shard(format!(
-                    "shard {ci} reported {} intent lists for {} nodes",
-                    intents.len(),
-                    range.len()
-                )));
-            }
+            let range_len = range.len();
+            let intents: Vec<Vec<NodeId>> = self.inner.transact(ci, RESP_INTENTS, move |r| {
+                let intents: Vec<Vec<NodeId>> =
+                    Vec::decode(r).map_err(|err| format!("intents: {err}"))?;
+                if intents.len() != range_len {
+                    return Err(format!(
+                        "{} intent lists for {range_len} nodes",
+                        intents.len()
+                    ));
+                }
+                Ok(intents)
+            })?;
             for (i, list) in intents.into_iter().enumerate() {
                 self.inner.send_intents[range.start + i] = list;
             }
@@ -658,22 +910,22 @@ impl<M: WireMsg, O: WireOutput> ShardedRunner<M, O> {
             let mut request = frame(REQ_DELIVER);
             round.encode(&mut request);
             crashed.encode(&mut request);
-            self.inner.transports[ci]
-                .send(&request)
-                .map_err(|err| shard_err(&format!("sending to shard {ci}"), err))?;
+            self.inner.send_to(ci, &request)?;
         }
         let mut inbound_by_chunk: Vec<Vec<(usize, Delivered<M>)>> =
             (0..self.inner.transports.len())
                 .map(|_| Vec::new())
                 .collect();
         for ci in 0..self.inner.transports.len() {
-            let response = self.inner.recv_expect(ci, RESP_DELIVERED)?;
-            let (_, mut r) = open_frame(&response).expect("tag already checked");
-            let context = |err| shard_err(&format!("shard {ci} delivery"), err);
-            let msgs = u64::decode(&mut r).map_err(context)?;
-            let bits = u64::decode(&mut r).map_err(context)?;
-            let byz_msgs = u64::decode(&mut r).map_err(context)?;
-            let delivered: Vec<(usize, Delivered<M>)> = Vec::decode(&mut r).map_err(context)?;
+            let (msgs, bits, byz_msgs, delivered) =
+                self.inner.transact(ci, RESP_DELIVERED, |r| {
+                    let context = |err| format!("delivery: {err}");
+                    let msgs = u64::decode(r).map_err(context)?;
+                    let bits = u64::decode(r).map_err(context)?;
+                    let byz_msgs = u64::decode(r).map_err(context)?;
+                    let delivered: Vec<(usize, Delivered<M>)> = Vec::decode(r).map_err(context)?;
+                    Ok((msgs, bits, byz_msgs, delivered))
+                })?;
             self.inner
                 .core
                 .metrics
@@ -694,22 +946,18 @@ impl<M: WireMsg, O: WireOutput> ShardedRunner<M, O> {
             let mut request = frame(REQ_RECEIVE);
             round.encode(&mut request);
             inbound.encode(&mut request);
-            self.inner.transports[ci]
-                .send(&request)
-                .map_err(|err| shard_err(&format!("sending to shard {ci}"), err))?;
+            self.inner.send_to(ci, &request)?;
         }
         for ci in 0..self.inner.transports.len() {
-            let response = self.inner.recv_expect(ci, RESP_EVENTS)?;
-            let (_, mut r) = open_frame(&response).expect("tag already checked");
-            let events: Vec<WireEvent<O>> =
-                Vec::decode(&mut r).map_err(|err| shard_err(&format!("shard {ci} events"), err))?;
-            for event in events {
-                if event.node >= n {
-                    return Err(SimError::Shard(format!(
-                        "shard {ci} reported an event for node {} of {n}",
-                        event.node
-                    )));
+            let events: Vec<WireEvent<O>> = self.inner.transact(ci, RESP_EVENTS, |r| {
+                let events: Vec<WireEvent<O>> =
+                    Vec::decode(r).map_err(|err| format!("events: {err}"))?;
+                if let Some(event) = events.iter().find(|event| event.node >= n) {
+                    return Err(format!("an event for node {} of {n}", event.node));
                 }
+                Ok(events)
+            })?;
+            for event in events {
                 if let Some(output) = event.output {
                     self.inner.core.record_decision(event.node, &output);
                     self.outputs[event.node] = Some(output);
@@ -829,6 +1077,17 @@ impl<M: WireMsg, O: WireOutput> SpShardedRunner<M, O> {
         &self.inner.core.trace
     }
 
+    /// Arms worker-failure recovery (see [`ShardedRunner::set_recovery`]).
+    pub fn set_recovery(&mut self, recovery: Recovery) -> &mut Self {
+        self.inner.set_recovery(recovery);
+        self
+    }
+
+    /// What the recovery ladder did so far.
+    pub fn recovery_stats(&self) -> RecoveryStats {
+        self.inner.stats
+    }
+
     /// Total sent-but-not-yet-polled messages currently buffered on ports.
     pub fn buffered_messages(&self) -> usize {
         self.ports.buffered_messages()
@@ -885,20 +1144,21 @@ impl<M: WireMsg, O: WireOutput> SpShardedRunner<M, O> {
         round.encode(&mut request);
         self.inner.broadcast(&request)?;
         for ci in 0..self.inner.transports.len() {
-            let response = self.inner.recv_expect(ci, RESP_SP_INTENTS)?;
-            let (_, mut r) = open_frame(&response).expect("tag already checked");
-            let context = |err| shard_err(&format!("shard {ci} intents"), err);
-            let sends: Vec<Option<Outgoing<M>>> = Vec::decode(&mut r).map_err(context)?;
-            let polls: Vec<Option<NodeId>> = Vec::decode(&mut r).map_err(context)?;
             let range = plan.range(ci, n);
-            if sends.len() != range.len() || polls.len() != range.len() {
-                return Err(SimError::Shard(format!(
-                    "shard {ci} reported {}/{} send/poll slots for {} nodes",
-                    sends.len(),
-                    polls.len(),
-                    range.len()
-                )));
-            }
+            let range_len = range.len();
+            let (sends, polls) = self.inner.transact(ci, RESP_SP_INTENTS, move |r| {
+                let context = |err| format!("intents: {err}");
+                let sends: Vec<Option<Outgoing<M>>> = Vec::decode(r).map_err(context)?;
+                let polls: Vec<Option<NodeId>> = Vec::decode(r).map_err(context)?;
+                if sends.len() != range_len || polls.len() != range_len {
+                    return Err(format!(
+                        "{}/{} send/poll slots for {range_len} nodes",
+                        sends.len(),
+                        polls.len()
+                    ));
+                }
+                Ok((sends, polls))
+            })?;
             for (i, (send, poll)) in sends.into_iter().zip(polls).enumerate() {
                 let global = range.start + i;
                 self.inner.send_intents[global].clear();
@@ -964,25 +1224,21 @@ impl<M: WireMsg, O: WireOutput> SpShardedRunner<M, O> {
             round.encode(&mut request);
             crashed.encode(&mut request);
             drained.encode(&mut request);
-            self.inner.transports[ci]
-                .send(&request)
-                .map_err(|err| shard_err(&format!("sending to shard {ci}"), err))?;
+            self.inner.send_to(ci, &request)?;
         }
 
         // Phase 4: replay decision/halt events in chunk order; halted
         // nodes' buffered ports are freed.
         for ci in 0..self.inner.transports.len() {
-            let response = self.inner.recv_expect(ci, RESP_EVENTS)?;
-            let (_, mut r) = open_frame(&response).expect("tag already checked");
-            let events: Vec<WireEvent<O>> =
-                Vec::decode(&mut r).map_err(|err| shard_err(&format!("shard {ci} events"), err))?;
-            for event in events {
-                if event.node >= n {
-                    return Err(SimError::Shard(format!(
-                        "shard {ci} reported an event for node {} of {n}",
-                        event.node
-                    )));
+            let events: Vec<WireEvent<O>> = self.inner.transact(ci, RESP_EVENTS, |r| {
+                let events: Vec<WireEvent<O>> =
+                    Vec::decode(r).map_err(|err| format!("events: {err}"))?;
+                if let Some(event) = events.iter().find(|event| event.node >= n) {
+                    return Err(format!("an event for node {} of {n}", event.node));
                 }
+                Ok(events)
+            })?;
+            for event in events {
                 if let Some(output) = event.output {
                     self.inner.core.record_decision(event.node, &output);
                     self.outputs[event.node] = Some(output);

@@ -417,6 +417,299 @@ fn stream_backend_matches_serial() {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Worker-failure recovery
+// ---------------------------------------------------------------------------
+
+/// Spawns a fresh serving thread for multi-port shard `index`, rebuilding
+/// its chunk deterministically — exactly what a respawned `--shard-worker`
+/// process does from the handshake.  A replaced worker sees EOF when the
+/// parent drops its old transport end and exits cleanly.
+fn flood_or_worker(n: usize, shards: usize, index: usize) -> Box<dyn ShardTransport> {
+    let range = shard_range(n, shards, index);
+    let chunk: Vec<Participant<FloodOr>> = FloodOr::nodes(n, 2)
+        .into_iter()
+        .skip(range.start)
+        .take(range.len())
+        .map(Participant::Honest)
+        .collect();
+    let (parent_end, mut worker_end) = ChannelTransport::pair();
+    let base = range.start;
+    std::thread::spawn(move || {
+        let _ = serve_multi_port(chunk, base, &mut worker_end);
+    });
+    Box::new(parent_end)
+}
+
+/// Same, for single-port `Ring` chunks.
+fn ring_worker(n: usize, shards: usize, index: usize) -> Box<dyn ShardTransport> {
+    let range = shard_range(n, shards, index);
+    let chunk: Vec<Ring> = Ring::nodes(n, 0)
+        .into_iter()
+        .skip(range.start)
+        .take(range.len())
+        .collect();
+    let (parent_end, mut worker_end) = ChannelTransport::pair();
+    let base = range.start;
+    std::thread::spawn(move || {
+        let _ = serve_single_port(chunk, base, &mut worker_end);
+    });
+    Box::new(parent_end)
+}
+
+fn flood_or_serial(n: usize) -> ExecutionReport<bool> {
+    let mut runner =
+        Runner::with_adversary(FloodOr::nodes(n, 2), Box::new(crash_schedule(n)), 3).unwrap();
+    runner.run(10)
+}
+
+/// Builds a faulted sharded FloodOr run with a recovery ladder whose
+/// respawn factory rebuilds workers (wrapped by the same armed plan, so a
+/// recovered fault must not re-fire).
+fn faulted_flood_or(
+    n: usize,
+    shards: usize,
+    plan: &FaultPlan,
+    max_respawns: u32,
+    with_fallback: bool,
+) -> ShardedRunner<bool, bool> {
+    let armed = plan.arm();
+    let transports: Vec<Box<dyn ShardTransport>> = (0..shard_count(n, shards))
+        .map(|index| armed.wrap(index, flood_or_worker(n, shards, index)))
+        .collect();
+    let mut sharded = ShardedRunner::<bool, bool>::connect(
+        n,
+        Box::new(crash_schedule(n)),
+        3,
+        NodeSet::empty(n),
+        shards,
+        transports,
+    )
+    .unwrap();
+    let respawn_armed = armed.clone();
+    let mut recovery = Recovery::new(
+        max_respawns,
+        Box::new(move |index| Ok(respawn_armed.wrap(index, flood_or_worker(n, shards, index)))),
+    )
+    .with_backoff(Duration::ZERO);
+    if with_fallback {
+        recovery =
+            recovery.with_fallback(Box::new(move |index| Ok(flood_or_worker(n, shards, index))));
+    }
+    sharded.set_recovery(recovery);
+    sharded
+}
+
+#[test]
+fn killed_worker_is_respawned_and_replayed_byte_identically() {
+    let n = 10;
+    let shards = 2;
+    let serial = flood_or_serial(n);
+    let plan = FaultPlan::parse("kill:1@4").unwrap();
+    let mut sharded = faulted_flood_or(n, shards, &plan, 2, false);
+    let report = sharded.run(10).expect("recovered run");
+    assert_eq!(serial, report);
+    let stats = sharded.recovery_stats();
+    assert_eq!(stats.respawns, 1, "{stats:?}");
+    assert_eq!(stats.fallbacks, 0, "{stats:?}");
+    assert!(stats.replayed_frames > 0, "{stats:?}");
+    assert!(stats.any());
+}
+
+#[test]
+fn killing_any_frame_of_any_shard_recovers_byte_identically() {
+    let n = 10;
+    let shards = 2;
+    let serial = flood_or_serial(n);
+    // The full run exchanges ~12 response frames per shard; sweep past the
+    // end so the no-fire (fault never reached) edge is covered too.
+    for shard in 0..shard_count(n, shards) {
+        for frame in 0..14 {
+            let plan = FaultPlan::parse(&format!("kill:{shard}@{frame}")).unwrap();
+            let mut sharded = faulted_flood_or(n, shards, &plan, 2, false);
+            let report = sharded
+                .run(10)
+                .unwrap_or_else(|err| panic!("kill:{shard}@{frame}: {err}"));
+            assert_eq!(serial, report, "kill:{shard}@{frame}");
+        }
+    }
+}
+
+#[test]
+fn torn_and_garbage_frames_trigger_respawn_and_stay_identical() {
+    let n = 10;
+    let shards = 2;
+    let serial = flood_or_serial(n);
+    let plan = FaultPlan::parse("torn:0@2,garbage:1@5").unwrap();
+    let mut sharded = faulted_flood_or(n, shards, &plan, 2, false);
+    let report = sharded.run(10).expect("recovered run");
+    assert_eq!(serial, report);
+    let stats = sharded.recovery_stats();
+    assert_eq!(
+        stats.respawns, 2,
+        "one respawn per corrupted shard: {stats:?}"
+    );
+}
+
+#[test]
+fn dead_transport_on_send_recovers_through_the_same_ladder() {
+    let n = 10;
+    let shards = 2;
+    let serial = flood_or_serial(n);
+    // Shard 0's initial transport is already dead: the very first broadcast
+    // send fails, exercising the send-side entry into recovery.
+    let (dead, gone) = ChannelTransport::pair();
+    drop(gone);
+    let transports: Vec<Box<dyn ShardTransport>> =
+        vec![Box::new(dead), flood_or_worker(n, shards, 1)];
+    let mut sharded = ShardedRunner::<bool, bool>::connect(
+        n,
+        Box::new(crash_schedule(n)),
+        3,
+        NodeSet::empty(n),
+        shards,
+        transports,
+    )
+    .unwrap();
+    sharded.set_recovery(
+        Recovery::new(
+            1,
+            Box::new(move |index| Ok(flood_or_worker(n, shards, index))),
+        )
+        .with_backoff(Duration::ZERO),
+    );
+    let report = sharded.run(10).expect("recovered run");
+    assert_eq!(serial, report);
+    assert_eq!(sharded.recovery_stats().respawns, 1);
+}
+
+#[test]
+fn exhausted_respawns_degrade_to_the_fallback() {
+    let n = 10;
+    let shards = 2;
+    let serial = flood_or_serial(n);
+    let plan = FaultPlan::parse("kill:0@3").unwrap();
+    // max_respawns = 0: the first failure goes straight to the fallback —
+    // the `--max-worker-respawns 0` degradation path.
+    let mut sharded = faulted_flood_or(n, shards, &plan, 0, true);
+    let report = sharded.run(10).expect("fallback run");
+    assert_eq!(serial, report);
+    let stats = sharded.recovery_stats();
+    assert_eq!(stats.respawns, 0, "{stats:?}");
+    assert_eq!(stats.fallbacks, 1, "{stats:?}");
+}
+
+#[test]
+fn exhausted_ladder_is_a_hard_structured_error() {
+    let n = 10;
+    let shards = 2;
+    let plan = FaultPlan::parse("kill:0@0").unwrap();
+    let mut sharded = faulted_flood_or(n, shards, &plan, 0, false);
+    let err = sharded.run(10).unwrap_err();
+    let SimError::Shard(shard_err) = err else {
+        panic!("expected a shard error, got {err}");
+    };
+    assert_eq!(shard_err.shard, 0);
+    assert_eq!(shard_err.frame_tag, Some(RESP_INTENTS));
+    assert_eq!(shard_err.round, Some(0));
+    assert!(
+        shard_err.detail.contains("no fallback"),
+        "detail names the exhausted ladder: {}",
+        shard_err.detail
+    );
+}
+
+#[test]
+fn stalled_worker_trips_the_read_deadline_and_recovers() {
+    let n = 10;
+    let shards = 2;
+    let serial = flood_or_serial(n);
+    let armed = FaultPlan::parse("stall:0@1").unwrap().arm();
+
+    // A worker behind a DeadlineTransport over byte streams — the stack the
+    // process backend runs — with the stall fault layered on top.
+    fn deadline_worker(n: usize, shards: usize, index: usize) -> Box<dyn ShardTransport> {
+        let range = shard_range(n, shards, index);
+        let chunk: Vec<Participant<FloodOr>> = FloodOr::nodes(n, 2)
+            .into_iter()
+            .skip(range.start)
+            .take(range.len())
+            .map(Participant::Honest)
+            .collect();
+        let (parent_to_worker_w, parent_to_worker_r) = ChannelStream::pair();
+        let (worker_to_parent_w, worker_to_parent_r) = ChannelStream::pair();
+        let base = range.start;
+        std::thread::spawn(move || {
+            let mut transport = StreamTransport::new(parent_to_worker_r, worker_to_parent_w);
+            let _ = serve_multi_port(chunk, base, &mut transport);
+        });
+        Box::new(DeadlineTransport::new(
+            worker_to_parent_r,
+            parent_to_worker_w,
+            Duration::from_millis(150),
+        ))
+    }
+
+    let transports: Vec<Box<dyn ShardTransport>> = (0..shard_count(n, shards))
+        .map(|index| armed.wrap(index, deadline_worker(n, shards, index)))
+        .collect();
+    let mut sharded = ShardedRunner::<bool, bool>::connect(
+        n,
+        Box::new(crash_schedule(n)),
+        3,
+        NodeSet::empty(n),
+        shards,
+        transports,
+    )
+    .unwrap();
+    let respawn_armed = armed.clone();
+    sharded.set_recovery(
+        Recovery::new(
+            2,
+            Box::new(move |index| Ok(respawn_armed.wrap(index, deadline_worker(n, shards, index)))),
+        )
+        .with_backoff(Duration::ZERO),
+    );
+    let report = sharded.run(10).expect("recovered run");
+    assert_eq!(serial, report);
+    assert_eq!(sharded.recovery_stats().respawns, 1);
+}
+
+#[test]
+fn single_port_killed_worker_recovers_byte_identically() {
+    let n = 8;
+    let shards = 2;
+    let serial = {
+        let mut runner =
+            SinglePortRunner::with_adversary(Ring::nodes(n, 0), Box::new(crash_schedule(n)), 3)
+                .unwrap();
+        runner.run(3 * n as u64)
+    };
+    let armed = FaultPlan::parse("kill:1@6").unwrap().arm();
+    let transports: Vec<Box<dyn ShardTransport>> = (0..shard_count(n, shards))
+        .map(|index| armed.wrap(index, ring_worker(n, shards, index)))
+        .collect();
+    let mut sharded = SpShardedRunner::<bool, bool>::connect(
+        n,
+        Box::new(crash_schedule(n)),
+        3,
+        shards,
+        transports,
+    )
+    .unwrap();
+    let respawn_armed = armed.clone();
+    sharded.set_recovery(
+        Recovery::new(
+            2,
+            Box::new(move |index| Ok(respawn_armed.wrap(index, ring_worker(n, shards, index)))),
+        )
+        .with_backoff(Duration::ZERO),
+    );
+    let report = sharded.run(3 * n as u64).expect("recovered run");
+    assert_eq!(serial, report);
+    assert_eq!(sharded.recovery_stats().respawns, 1);
+}
+
 #[test]
 fn wire_event_round_trips() {
     let decided = WireEvent::<u64> {

@@ -15,7 +15,8 @@
 //! [`WorkerPool`]: crate::pool::WorkerPool
 
 use std::io::{self, Read, Write};
-use std::sync::mpsc::{Receiver, Sender};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
+use std::time::Duration;
 
 /// Maximum accepted frame length (1 GiB).  A corrupt length prefix must
 /// not make the receiver allocate unbounded memory, so the cap exists as a
@@ -98,36 +99,122 @@ impl<R: Read + Send, W: Write + Send> StreamTransport<R, W> {
 
 impl<R: Read + Send, W: Write + Send> ShardTransport for StreamTransport<R, W> {
     fn send(&mut self, frame: &[u8]) -> io::Result<()> {
-        let len = u32::try_from(frame.len()).map_err(|_| {
-            io::Error::new(
-                io::ErrorKind::InvalidInput,
-                "shard frame exceeds u32 length",
-            )
-        })?;
-        if len > MAX_FRAME_LEN {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidInput,
-                format!("shard frame of {len} bytes exceeds MAX_FRAME_LEN ({MAX_FRAME_LEN} bytes)"),
-            ));
-        }
-        self.writer.write_all(&len.to_le_bytes())?;
-        self.writer.write_all(frame)?;
-        self.writer.flush()
+        write_frame(&mut self.writer, frame)
     }
 
     fn recv(&mut self) -> io::Result<Vec<u8>> {
-        let mut header = [0u8; 4];
-        read_full(&mut self.reader, &mut header)?;
-        let len = u32::from_le_bytes(header);
-        if len > MAX_FRAME_LEN {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                format!("shard frame length {len} exceeds MAX_FRAME_LEN ({MAX_FRAME_LEN} bytes)"),
-            ));
+        read_frame(&mut self.reader)
+    }
+}
+
+/// Writes one `[u32 little-endian length][bytes]` frame and flushes.
+///
+/// # Errors
+///
+/// Returns [`io::ErrorKind::InvalidInput`] when the frame exceeds
+/// [`MAX_FRAME_LEN`], or the underlying write/flush error.
+pub fn write_frame(writer: &mut impl Write, frame: &[u8]) -> io::Result<()> {
+    let len = u32::try_from(frame.len()).map_err(|_| {
+        io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "shard frame exceeds u32 length",
+        )
+    })?;
+    if len > MAX_FRAME_LEN {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("shard frame of {len} bytes exceeds MAX_FRAME_LEN ({MAX_FRAME_LEN} bytes)"),
+        ));
+    }
+    writer.write_all(&len.to_le_bytes())?;
+    writer.write_all(frame)?;
+    writer.flush()
+}
+
+/// Reads one `[u32 little-endian length][bytes]` frame.
+///
+/// # Errors
+///
+/// Returns [`io::ErrorKind::InvalidData`] on a length prefix above
+/// [`MAX_FRAME_LEN`], [`io::ErrorKind::UnexpectedEof`] on a stream that ends
+/// mid-frame, or the underlying read error.
+pub fn read_frame(reader: &mut impl Read) -> io::Result<Vec<u8>> {
+    let mut header = [0u8; 4];
+    read_full(reader, &mut header)?;
+    let len = u32::from_le_bytes(header);
+    if len > MAX_FRAME_LEN {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("shard frame length {len} exceeds MAX_FRAME_LEN ({MAX_FRAME_LEN} bytes)"),
+        ));
+    }
+    let mut frame = vec![0u8; len as usize];
+    read_full(reader, &mut frame)?;
+    Ok(frame)
+}
+
+/// A [`StreamTransport`] whose reads carry a deadline: a stalled peer trips
+/// [`io::ErrorKind::TimedOut`] instead of blocking the coordinator forever.
+///
+/// The reader half is moved onto a dedicated thread that assembles frames
+/// (using the same [`read_frame`] codec) and hands them over an in-process
+/// channel; `recv` waits on that channel with a timeout.  Writes stay on the
+/// caller's thread.  The reader thread exits after delivering its first
+/// error (EOF included), so an abandoned transport does not leak a spinning
+/// thread — at worst the thread stays parked in `read(2)` until the peer's
+/// stream closes.
+pub struct DeadlineTransport<W> {
+    writer: W,
+    frames: Receiver<io::Result<Vec<u8>>>,
+    deadline: Duration,
+}
+
+impl<W: Write + Send> DeadlineTransport<W> {
+    /// Spawns the reader thread and wraps the pair.
+    pub fn new<R: Read + Send + 'static>(reader: R, writer: W, deadline: Duration) -> Self {
+        let (tx, rx) = std::sync::mpsc::channel::<io::Result<Vec<u8>>>();
+        std::thread::spawn(move || {
+            let mut reader = reader;
+            loop {
+                let result = read_frame(&mut reader);
+                let failed = result.is_err();
+                if tx.send(result).is_err() || failed {
+                    return;
+                }
+            }
+        });
+        DeadlineTransport {
+            writer,
+            frames: rx,
+            deadline,
         }
-        let mut frame = vec![0u8; len as usize];
-        read_full(&mut self.reader, &mut frame)?;
-        Ok(frame)
+    }
+
+    /// The configured per-frame read deadline.
+    pub fn deadline(&self) -> Duration {
+        self.deadline
+    }
+}
+
+impl<W: Write + Send> ShardTransport for DeadlineTransport<W> {
+    fn send(&mut self, frame: &[u8]) -> io::Result<()> {
+        write_frame(&mut self.writer, frame)
+    }
+
+    fn recv(&mut self) -> io::Result<Vec<u8>> {
+        match self.frames.recv_timeout(self.deadline) {
+            Ok(result) => result,
+            Err(RecvTimeoutError::Timeout) => Err(io::Error::new(
+                io::ErrorKind::TimedOut,
+                format!("no shard frame within {:?}", self.deadline),
+            )),
+            // The reader thread already delivered its terminal error and
+            // exited; any further recv finds the channel closed.
+            Err(RecvTimeoutError::Disconnected) => Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "shard stream reader terminated",
+            )),
+        }
     }
 }
 
@@ -284,6 +371,90 @@ mod tests {
         assert_eq!(rx.recv().unwrap(), vec![42u8; 97]);
         assert_eq!(rx.recv().unwrap(), b"");
         assert_eq!(rx.recv().unwrap_err().kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    /// A blocking reader fed by an in-process channel: `read` parks until
+    /// bytes arrive (like a quiet socket) and reports EOF when the feeding
+    /// end is dropped.
+    struct ChannelReader {
+        rx: Receiver<Vec<u8>>,
+        buf: Vec<u8>,
+        pos: usize,
+    }
+
+    impl Read for ChannelReader {
+        fn read(&mut self, out: &mut [u8]) -> io::Result<usize> {
+            while self.pos >= self.buf.len() {
+                match self.rx.recv() {
+                    Ok(bytes) => {
+                        self.buf = bytes;
+                        self.pos = 0;
+                    }
+                    Err(_) => return Ok(0),
+                }
+            }
+            let n = (self.buf.len() - self.pos).min(out.len());
+            out[..n].copy_from_slice(&self.buf[self.pos..self.pos + n]);
+            self.pos += n;
+            Ok(n)
+        }
+    }
+
+    #[test]
+    fn deadline_transport_delivers_then_times_out_then_reports_eof() {
+        let (tx, rx) = std::sync::mpsc::channel::<Vec<u8>>();
+        let reader = ChannelReader {
+            rx,
+            buf: Vec::new(),
+            pos: 0,
+        };
+        let mut transport = DeadlineTransport::new(reader, io::sink(), Duration::from_millis(200));
+        assert_eq!(transport.deadline(), Duration::from_millis(200));
+
+        // A frame that arrives within the deadline is delivered intact.
+        let mut encoded = Vec::new();
+        write_frame(&mut encoded, b"payload").unwrap();
+        tx.send(encoded).unwrap();
+        assert_eq!(transport.recv().unwrap(), b"payload");
+
+        // A silent peer trips the deadline instead of blocking forever.
+        let err = transport.recv().unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::TimedOut);
+        assert!(
+            err.to_string().contains("200ms"),
+            "timeout error names the deadline: {err}"
+        );
+
+        // A departed peer surfaces as EOF, now and on every later recv.
+        drop(tx);
+        assert_eq!(
+            transport.recv().unwrap_err().kind(),
+            io::ErrorKind::UnexpectedEof
+        );
+        assert_eq!(
+            transport.recv().unwrap_err().kind(),
+            io::ErrorKind::UnexpectedEof
+        );
+    }
+
+    #[test]
+    fn deadline_transport_writes_plain_stream_frames() {
+        let (_tx, rx) = std::sync::mpsc::channel::<Vec<u8>>();
+        let reader = ChannelReader {
+            rx,
+            buf: Vec::new(),
+            pos: 0,
+        };
+        let mut written: Vec<u8> = Vec::new();
+        {
+            let mut transport =
+                DeadlineTransport::new(reader, &mut written, Duration::from_millis(50));
+            transport.send(b"one").unwrap();
+            transport.send(&[5u8; 40]).unwrap();
+        }
+        let mut rx = StreamTransport::new(written.as_slice(), io::sink());
+        assert_eq!(rx.recv().unwrap(), b"one");
+        assert_eq!(rx.recv().unwrap(), vec![5u8; 40]);
     }
 
     #[test]
