@@ -1,0 +1,305 @@
+//! A name-resolved intra-workspace call graph over the function inventory
+//! ([`crate::parser::fn_items`]).
+//!
+//! Resolution is deliberately heuristic — the analyzer has no type
+//! information, so calls resolve by name shape:
+//!
+//! * `foo(…)` resolves to free functions named `foo`;
+//! * `Type::method(…)` resolves to methods of impls whose canonical self
+//!   type is `Type` (with `Self::method(…)` resolving within the caller's
+//!   own impl, and lowercase path segments — module paths like
+//!   `delivery::helper(…)` — falling back to free functions);
+//! * `.method(…)` resolves to *every* first-party method named `method`
+//!   that takes `self`.
+//!
+//! The method rule over-approximates: `.merge(…)` on some std type also
+//! marks a first-party `merge` as called.  For hot-path propagation that is
+//! the safe direction — a function wrongly marked hot produces a finding a
+//! human triages once into the baseline, while a hot function wrongly
+//! marked cold would hide real regressions forever.
+
+use crate::parser::{FnItem, Tree};
+
+/// One function node: the parsed item plus its location.
+#[derive(Clone, Debug)]
+pub struct FnNode {
+    /// Workspace-relative path of the defining file.
+    pub file: String,
+    /// The parsed function item.
+    pub item: FnItem,
+}
+
+impl FnNode {
+    /// `Type::name` for methods, bare `name` for free functions.
+    pub fn label(&self) -> String {
+        match &self.item.self_type {
+            Some(t) => format!("{t}::{}", self.item.name),
+            None => self.item.name.clone(),
+        }
+    }
+}
+
+/// One syntactic call site extracted from a function body.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Call {
+    /// `name(…)` — a bare call.
+    Direct(String),
+    /// `seg::name(…)` — the last two segments of a path call.
+    Qualified(String, String),
+    /// `.name(…)` — a method call on some receiver.
+    Method(String),
+}
+
+/// The resolved graph: nodes plus a callee adjacency list per node.
+pub struct CallGraph {
+    /// Every first-party function, in file-then-line order.
+    pub nodes: Vec<FnNode>,
+    /// `edges[i]` holds the node indices `nodes[i]` calls.
+    pub edges: Vec<Vec<usize>>,
+}
+
+impl CallGraph {
+    /// Builds and resolves the graph from the collected nodes.
+    pub fn build(nodes: Vec<FnNode>) -> CallGraph {
+        let mut edges = Vec::with_capacity(nodes.len());
+        for node in &nodes {
+            let mut calls = Vec::new();
+            extract_calls(&node.item.body, &mut calls);
+            let mut callees: Vec<usize> = calls
+                .iter()
+                .flat_map(|call| resolve(&nodes, node, call))
+                .collect();
+            callees.sort_unstable();
+            callees.dedup();
+            edges.push(callees);
+        }
+        CallGraph { nodes, edges }
+    }
+
+    /// Marks every node reachable from the entry set, walking call edges
+    /// transitively.  Entries are `(self_type, name)` pairs (`self_type`
+    /// `None` matches free functions); unmatched entries are tolerated so
+    /// fixture trees need only declare the shapes they exercise.  Returns,
+    /// per node, the label of the entry it was reached from (`None` =
+    /// cold); a node reachable from several entries keeps the first in
+    /// entry-declaration order.
+    pub fn mark_hot(&self, entries: &[(Option<&str>, &str)]) -> Vec<Option<String>> {
+        let mut hot_from: Vec<Option<String>> = vec![None; self.nodes.len()];
+        let mut queue = Vec::new();
+        for (self_type, name) in entries {
+            for (i, node) in self.nodes.iter().enumerate() {
+                let matches = node.item.name == *name
+                    && node.item.self_type.as_deref() == *self_type
+                    && hot_from[i].is_none();
+                if matches {
+                    hot_from[i] = Some(node.label());
+                    queue.push(i);
+                }
+            }
+        }
+        while let Some(i) = queue.pop() {
+            let from = hot_from[i].clone().unwrap_or_default();
+            for &callee in &self.edges[i] {
+                if hot_from[callee].is_none() {
+                    hot_from[callee] = Some(from.clone());
+                    queue.push(callee);
+                }
+            }
+        }
+        hot_from
+    }
+}
+
+/// Extracts every syntactic call site in the trees, recursing into groups
+/// (arguments, blocks, match arms).
+pub fn extract_calls(trees: &[Tree], out: &mut Vec<Call>) {
+    for (i, tree) in trees.iter().enumerate() {
+        if let Tree::Group { trees: inner, .. } = tree {
+            extract_calls(inner, out);
+            continue;
+        }
+        let Some(name) = tree.ident() else { continue };
+        if !matches!(trees.get(i + 1), Some(t) if t.group('(').is_some()) {
+            continue;
+        }
+        // `fn name(` is a nested definition, `name!(…)` a macro invocation —
+        // neither is a call edge.
+        if i > 0 && trees[i - 1].is_ident("fn") {
+            continue;
+        }
+        // Look one token back to classify the call shape.
+        let call = if i > 0 && trees[i - 1].is_punct('.') {
+            Call::Method(name.to_string())
+        } else if i >= 2 && trees[i - 1].is_punct(':') && trees[i - 2].is_punct(':') {
+            match trees.get(i.wrapping_sub(3)).and_then(Tree::ident) {
+                Some(seg) => Call::Qualified(seg.to_string(), name.to_string()),
+                None => Call::Direct(name.to_string()),
+            }
+        } else {
+            Call::Direct(name.to_string())
+        };
+        out.push(call);
+    }
+}
+
+/// Resolves one call site against the inventory, yielding callee indices.
+fn resolve(nodes: &[FnNode], caller: &FnNode, call: &Call) -> Vec<usize> {
+    match call {
+        Call::Direct(name) => indices(nodes, |n| {
+            n.item.self_type.is_none() && n.item.name == *name
+        }),
+        Call::Qualified(seg, name) if seg == "Self" => indices(nodes, |n| {
+            n.item.name == *name && n.item.self_type == caller.item.self_type
+        }),
+        Call::Qualified(seg, name) => {
+            let typed = indices(nodes, |n| {
+                n.item.name == *name && n.item.self_type.as_deref() == Some(seg)
+            });
+            if typed.is_empty() && seg.chars().next().is_some_and(char::is_lowercase) {
+                // A module path (`delivery::helper`): the segment names a
+                // module, not a type, so fall back to free functions.
+                indices(nodes, |n| {
+                    n.item.self_type.is_none() && n.item.name == *name
+                })
+            } else {
+                typed
+            }
+        }
+        Call::Method(name) => indices(nodes, |n| n.item.has_self && n.item.name == *name),
+    }
+}
+
+fn indices(nodes: &[FnNode], pred: impl Fn(&FnNode) -> bool) -> Vec<usize> {
+    nodes
+        .iter()
+        .enumerate()
+        .filter(|(_, n)| pred(n))
+        .map(|(i, _)| i)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::parser::{fn_items, parse};
+
+    fn graph_of(files: &[(&str, &str)]) -> CallGraph {
+        let mut nodes = Vec::new();
+        for (file, src) in files {
+            let lexed = lex(src);
+            for item in fn_items(&parse(&lexed.tokens), &|_| false) {
+                nodes.push(FnNode {
+                    file: file.to_string(),
+                    item,
+                });
+            }
+        }
+        CallGraph::build(nodes)
+    }
+
+    fn index(g: &CallGraph, label: &str) -> usize {
+        g.nodes
+            .iter()
+            .position(|n| n.label() == label)
+            .unwrap_or_else(|| panic!("no node {label}"))
+    }
+
+    #[test]
+    fn method_calls_resolve_to_self_taking_methods() {
+        let g = graph_of(&[(
+            "a.rs",
+            "struct Core;\n\
+             impl Core { pub fn step(&mut self) { self.merge(1); } \n\
+                         fn merge(&mut self, x: u32) {} }\n\
+             fn merge() {} // free fn: not a `.merge(…)` target",
+        )]);
+        let step = index(&g, "Core::step");
+        assert_eq!(g.edges[step], vec![index(&g, "Core::merge")]);
+    }
+
+    #[test]
+    fn qualified_and_self_calls_resolve_within_the_impl() {
+        let g = graph_of(&[(
+            "a.rs",
+            "impl Engine { fn run(&self) { Self::helper(); Other::helper(); }\n\
+                           fn helper() {} }\n\
+             impl Other { fn helper() {} }",
+        )]);
+        let run = index(&g, "Engine::run");
+        let mut expect = vec![index(&g, "Engine::helper"), index(&g, "Other::helper")];
+        expect.sort_unstable();
+        assert_eq!(g.edges[run], expect);
+    }
+
+    #[test]
+    fn module_paths_fall_back_to_free_functions() {
+        let g = graph_of(&[(
+            "a.rs",
+            "fn caller() { helpers::assist(); }\n\
+             mod helpers { pub fn assist() {} }",
+        )]);
+        let caller = index(&g, "caller");
+        assert_eq!(g.edges[caller], vec![index(&g, "assist")]);
+    }
+
+    #[test]
+    fn recursion_terminates_and_stays_hot() {
+        let g = graph_of(&[(
+            "a.rs",
+            "impl Core { pub fn begin_round(&mut self) { self.descend(3); }\n\
+                         fn descend(&mut self, d: u32) { if d > 0 { self.descend(d - 1); } } }",
+        )]);
+        let hot = g.mark_hot(&[(Some("Core"), "begin_round")]);
+        assert!(hot.iter().all(Option::is_some), "{hot:?}");
+        assert_eq!(
+            hot[index(&g, "Core::descend")].as_deref(),
+            Some("Core::begin_round")
+        );
+    }
+
+    #[test]
+    fn cross_crate_edges_resolve_by_name() {
+        let g = graph_of(&[
+            (
+                "crates/sim/src/driver.rs",
+                "impl RoundCore { pub fn deliver(&mut self, set: &mut ExtantSet) { set.merge(0); } }",
+            ),
+            (
+                "crates/core/src/values.rs",
+                "impl ExtantSet { pub fn merge(&mut self, other: u64) {} }",
+            ),
+        ]);
+        let hot = g.mark_hot(&[(Some("RoundCore"), "deliver")]);
+        assert_eq!(
+            hot[index(&g, "ExtantSet::merge")].as_deref(),
+            Some("RoundCore::deliver")
+        );
+    }
+
+    #[test]
+    fn cold_functions_stay_cold_and_unmatched_entries_are_tolerated() {
+        let g = graph_of(&[(
+            "a.rs",
+            "fn hot_entry() { helper(); }\n\
+             fn helper() {}\n\
+             fn report() { helper_cold(); }\n\
+             fn helper_cold() {}",
+        )]);
+        let hot = g.mark_hot(&[(None, "hot_entry"), (Some("NoSuchType"), "missing")]);
+        assert!(hot[index(&g, "helper")].is_some());
+        assert!(hot[index(&g, "report")].is_none());
+        assert!(hot[index(&g, "helper_cold")].is_none());
+    }
+
+    #[test]
+    fn macro_invocations_and_nested_fn_definitions_are_not_calls() {
+        let g = graph_of(&[(
+            "a.rs",
+            "fn outer() { vec![1]; fn inner() {} }\n\
+             fn vec_like() {}",
+        )]);
+        let outer = index(&g, "outer");
+        assert!(g.edges[outer].is_empty(), "{:?}", g.edges[outer]);
+    }
+}

@@ -21,6 +21,11 @@
 //! * **layering** — a declared layer map ([`layering`]) of which
 //!   first-party crates each layer may import, generalizing the old
 //!   one-off sans-I/O boundary check;
+//! * **hot-path allocation hygiene** — the `hot` subcommand ([`hotpath`])
+//!   builds a name-resolved workspace call graph ([`callgraph`]), marks
+//!   everything reachable from the round cores' per-round phase bodies as
+//!   hot, and flags owned-container allocation and cloning there, ratcheted
+//!   by the committed `ALLOC_baseline.json`;
 //! * **unsafe hygiene** — every first-party crate root carries
 //!   `#![forbid(unsafe_code)]`;
 //! * **lint-suppression audit** — every `#[allow(…)]` justified by an
@@ -40,7 +45,9 @@
 #![forbid(unsafe_code)]
 
 pub mod baseline;
+pub mod callgraph;
 pub mod findings;
+pub mod hotpath;
 pub mod json;
 pub mod layering;
 pub mod lexer;
@@ -52,5 +59,6 @@ pub mod walk;
 
 pub use baseline::Baseline;
 pub use findings::Finding;
+pub use hotpath::analyze_hot;
 pub use rules::analyze;
 pub use schema::{extract_schema, SchemaStatus};

@@ -3,6 +3,8 @@
 //! ```text
 //! dft-analyze [--root DIR] [--baseline PATH] [--ci] [--all]
 //!             [--json PATH] [--update-baseline]
+//! dft-analyze hot [--root DIR] [--baseline PATH] [--ci] [--all]
+//!                 [--json PATH] [--update-baseline]
 //! dft-analyze schema [--root DIR] [--schema PATH] [--ci] [--update]
 //! ```
 //!
@@ -20,6 +22,12 @@
 //!   current findings, preserving existing justifications and stamping
 //!   `TODO: justify` on new entries for review.
 //!
+//! The `hot` subcommand runs the hot-path allocation pass (see
+//! `dft_analysis::hotpath`): allocation and clone sites reachable from the
+//! round cores' per-round phase bodies, ratcheted against
+//! `ALLOC_baseline.json` with the same flags and exit codes as the main
+//! scan (`--baseline` defaults to `ALLOC_baseline.json` under the root).
+//!
 //! The `schema` subcommand runs the wire-schema ratchet: it extracts the
 //! canonical encode/decode schema of every `impl Wire for T` and compares
 //! it against the committed `WIRE_SCHEMA.json` (`--schema PATH` to
@@ -33,13 +41,15 @@
 
 #![forbid(unsafe_code)]
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use dft_analysis::schema::{compare, Schema, SchemaStatus};
-use dft_analysis::{analyze, extract_schema, Baseline};
+use dft_analysis::{analyze, analyze_hot, extract_schema, Baseline, Finding};
 
 const USAGE: &str = "usage: dft-analyze [--root DIR] [--baseline PATH] [--ci] [--all] \
+                     [--json PATH] [--update-baseline]\n       \
+                     dft-analyze hot [--root DIR] [--baseline PATH] [--ci] [--all] \
                      [--json PATH] [--update-baseline]\n       \
                      dft-analyze schema [--root DIR] [--schema PATH] [--ci] [--update]";
 
@@ -180,16 +190,32 @@ fn write_schema(path: &PathBuf, schema: &Schema) -> ExitCode {
 }
 
 fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1).peekable();
+    if args.peek().is_some_and(|a| a == "schema") {
+        return schema_main(args.skip(1));
+    }
+    if args.peek().is_some_and(|a| a == "hot") {
+        return ratchet_main(args.skip(1), "ALLOC_baseline.json", analyze_hot);
+    }
+    ratchet_main(args, "ANALYSIS_baseline.json", analyze)
+}
+
+/// The shared baseline-ratchet CLI: run an analysis, diff it against (or
+/// rewrite) a committed baseline, report, and exit 1 on new findings.  Both
+/// the main scan and the `hot` pass flow through here, so their flags,
+/// output shapes and `--json` ordering can never drift apart.
+fn ratchet_main(
+    args: impl Iterator<Item = String>,
+    default_baseline: &str,
+    run: fn(&Path) -> Result<Vec<Finding>, String>,
+) -> ExitCode {
     let mut root = PathBuf::from(".");
     let mut baseline_path: Option<PathBuf> = None;
     let mut ci = false;
     let mut all = false;
     let mut json_out: Option<PathBuf> = None;
     let mut update = false;
-    let mut args = std::env::args().skip(1).peekable();
-    if args.peek().is_some_and(|a| a == "schema") {
-        return schema_main(args.skip(1));
-    }
+    let mut args = args;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--help" | "-h" => {
@@ -214,9 +240,9 @@ fn main() -> ExitCode {
             other => return fail(&format!("unknown argument {other:?}")),
         }
     }
-    let baseline_path = baseline_path.unwrap_or_else(|| root.join("ANALYSIS_baseline.json"));
+    let baseline_path = baseline_path.unwrap_or_else(|| root.join(default_baseline));
 
-    let findings = match analyze(&root) {
+    let findings = match run(&root) {
         Ok(findings) => findings,
         Err(error) => return fail(&error),
     };

@@ -404,6 +404,172 @@ fn param_bindings(params: &[Tree]) -> Vec<String> {
     bindings
 }
 
+/// One first-party function item: a free `fn`, an inherent or trait-impl
+/// method, or a trait definition's default method — with its body kept as
+/// token trees.  This is the raw inventory the call-graph layer
+/// ([`crate::callgraph`]) resolves names against.
+#[derive(Clone, Debug)]
+pub struct FnItem {
+    /// The function's name.
+    pub name: String,
+    /// Canonical self type of the enclosing `impl`/`trait`, if any
+    /// (`RoundCore` for `impl<P> RoundCore<P>`, the trait name for a
+    /// default method, `None` for a free function).
+    pub self_type: Option<String>,
+    /// Whether the parameter list starts with a `self` receiver.
+    pub has_self: bool,
+    /// 1-based line of the `fn` keyword.
+    pub line: usize,
+    /// The body's trees (empty for signature-only trait methods).
+    pub body: Vec<Tree>,
+}
+
+/// Collects every function item in the trees — free `fn`s, methods of
+/// inherent and trait impls, and trait default methods — recursing into
+/// module bodies.  `is_test` filters out items inside test regions by line.
+pub fn fn_items(trees: &[Tree], is_test: &dyn Fn(usize) -> bool) -> Vec<FnItem> {
+    let mut out = Vec::new();
+    collect_fn_items(trees, None, is_test, &mut out);
+    out
+}
+
+fn collect_fn_items(
+    trees: &[Tree],
+    self_type: Option<&str>,
+    is_test: &dyn Fn(usize) -> bool,
+    out: &mut Vec<FnItem>,
+) {
+    let mut i = 0;
+    while let Some(tree) = trees.get(i) {
+        if tree.is_ident("impl") && !is_test(tree.line()) {
+            if let Some(next) = collect_impl_items(trees, i, is_test, out) {
+                i = next;
+                continue;
+            }
+        }
+        if tree.is_ident("trait") && !is_test(tree.line()) {
+            if let Some(next) = collect_trait_items(trees, i, is_test, out) {
+                i = next;
+                continue;
+            }
+        }
+        if tree.is_ident("fn") && !is_test(tree.line()) {
+            if let Some((item, next)) = parse_fn_item(trees, i, self_type) {
+                out.push(item);
+                i = next;
+                continue;
+            }
+        }
+        if let Tree::Group { trees: inner, .. } = tree {
+            // Module bodies, blocks.  Impl/trait bodies never reach here:
+            // the branches above consume them together with their header.
+            collect_fn_items(inner, None, is_test, out);
+        }
+        i += 1;
+    }
+}
+
+/// Parses the impl header at `i` (inherent or trait impl alike), collects
+/// its body's methods under the impl's canonical self type, and returns the
+/// index just past the body.
+fn collect_impl_items(
+    trees: &[Tree],
+    i: usize,
+    is_test: &dyn Fn(usize) -> bool,
+    out: &mut Vec<FnItem>,
+) -> Option<usize> {
+    let mut k = i + 1;
+    parse_generics(trees, &mut k);
+    // For `impl Type { … }` and `impl Trait for Type { … }` alike, the
+    // canonical self type is the last depth-0 path segment before the body.
+    let self_type = parse_self_type(trees, &mut k)?;
+    loop {
+        let tree = trees.get(k)?;
+        if let Some(body) = tree.group('{') {
+            collect_fn_items(body, Some(&self_type), is_test, out);
+            return Some(k + 1);
+        }
+        k += 1;
+    }
+}
+
+/// Parses the trait definition at `i`, collecting its default methods under
+/// the trait's name, and returns the index just past the body.
+fn collect_trait_items(
+    trees: &[Tree],
+    i: usize,
+    is_test: &dyn Fn(usize) -> bool,
+    out: &mut Vec<FnItem>,
+) -> Option<usize> {
+    let name = trees.get(i + 1).and_then(Tree::ident)?.to_string();
+    let mut k = i + 2;
+    loop {
+        let tree = trees.get(k)?;
+        if let Some(body) = tree.group('{') {
+            collect_fn_items(body, Some(&name), is_test, out);
+            return Some(k + 1);
+        }
+        k += 1;
+    }
+}
+
+/// Parses one `fn` item starting at the `fn` keyword at `i`.  Returns the
+/// item and the index just past its body (or past the `;` of a
+/// signature-only trait method).
+fn parse_fn_item(trees: &[Tree], i: usize, self_type: Option<&str>) -> Option<(FnItem, usize)> {
+    let line = trees.get(i)?.line();
+    let name = trees.get(i + 1).and_then(Tree::ident)?.to_string();
+    let mut k = i + 2;
+    parse_generics(trees, &mut k);
+    let params = trees.get(k).and_then(|t| t.group('('))?;
+    let has_self = params
+        .iter()
+        .take_while(|t| !t.is_punct(','))
+        .any(|t| t.is_ident("self"));
+    // Skip the return type / where clause up to the body group, stopping at
+    // a `;` — a signature-only trait method has no body.
+    k += 1;
+    loop {
+        let Some(tree) = trees.get(k) else {
+            return Some((
+                FnItem {
+                    name,
+                    self_type: self_type.map(str::to_string),
+                    has_self,
+                    line,
+                    body: Vec::new(),
+                },
+                k,
+            ));
+        };
+        if tree.is_punct(';') {
+            return Some((
+                FnItem {
+                    name,
+                    self_type: self_type.map(str::to_string),
+                    has_self,
+                    line,
+                    body: Vec::new(),
+                },
+                k + 1,
+            ));
+        }
+        if let Some(body) = tree.group('{') {
+            return Some((
+                FnItem {
+                    name,
+                    self_type: self_type.map(str::to_string),
+                    has_self,
+                    line,
+                    body: body.to_vec(),
+                },
+                k + 1,
+            ));
+        }
+        k += 1;
+    }
+}
+
 /// Splits a group's trees at top-level commas into non-empty elements
 /// (tuple elements, struct-literal fields, use-group members).
 pub fn top_level_elements(trees: &[Tree]) -> Vec<&[Tree]> {

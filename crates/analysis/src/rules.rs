@@ -133,7 +133,7 @@ pub fn analyze(root: &Path) -> Result<Vec<Finding>, String> {
         .map_err(|e| format!("cannot extract wire schema under {}: {e}", root.display()))?;
     findings.extend(extraction.problems);
 
-    findings.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    crate::findings::sort_findings(&mut findings);
     Ok(findings)
 }
 

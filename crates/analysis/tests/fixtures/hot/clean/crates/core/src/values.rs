@@ -1,0 +1,17 @@
+//! The clean twin of the dirty tree's `values.rs`: `ExtantSet::merge`
+//! merges in place instead of snapshotting the other side.
+
+pub struct ExtantSet {
+    entries: Vec<u64>,
+}
+
+impl ExtantSet {
+    /// The declared hot entry, allocation-free at steady state.
+    pub fn merge(&mut self, other: &ExtantSet) {
+        for entry in &other.entries {
+            if !self.entries.contains(entry) {
+                self.entries.push(*entry);
+            }
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! The clean twin: the same round-core shapes written the way the hot pass
+//! expects — scratch buffers cleared in place, a justified `hot-ok`
+//! suppression, and a cold constructor that allocates freely.  The golden
+//! test asserts this tree produces zero findings.
+
+pub struct RoundCore {
+    outgoing: Vec<Vec<u8>>,
+    scratch: Vec<u8>,
+    lookup: Vec<usize>,
+}
+
+impl RoundCore {
+    /// Cold: nothing reaches `new` from the entry set, so start-up
+    /// allocation is free to size the buffers however it likes.
+    pub fn new(n: usize) -> Self {
+        RoundCore {
+            outgoing: Vec::with_capacity(n),
+            scratch: Vec::new(),
+            lookup: (0..n).collect(),
+        }
+    }
+
+    /// Hot, but clear-don't-drop: capacity survives the round boundary.
+    pub fn begin_round(&mut self) {
+        self.scratch.clear();
+    }
+
+    /// Hot and calls a helper, which justifies its one allocation.
+    pub fn deliver(&mut self) {
+        self.stage();
+    }
+
+    fn stage(&mut self) {
+        // hot-ok: grows once to the high-water mark, then amortizes to zero.
+        let staged = Vec::with_capacity(8);
+        self.outgoing.push(staged);
+    }
+
+    /// Hot: drains in place without handing buffers away.
+    pub fn finalize(&mut self) {
+        for buf in &mut self.outgoing {
+            buf.clear();
+        }
+        self.lookup.clear();
+    }
+}

@@ -1,0 +1,19 @@
+//! A second crate in the dirty tree: the entry set is matched by
+//! `(self type, method)` name, so `ExtantSet::merge` is hot here exactly as
+//! in the real workspace — and its `.to_vec()` must be reported.
+
+pub struct ExtantSet {
+    entries: Vec<u64>,
+}
+
+impl ExtantSet {
+    /// A declared hot entry that snapshots instead of merging in place.
+    pub fn merge(&mut self, other: &ExtantSet) {
+        let snapshot = other.entries.to_vec();
+        for entry in snapshot {
+            if !self.entries.contains(&entry) {
+                self.entries.push(entry);
+            }
+        }
+    }
+}

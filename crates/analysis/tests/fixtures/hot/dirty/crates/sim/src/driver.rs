@@ -1,0 +1,34 @@
+//! Seeded violations of the `hot` pass: a round core whose phase bodies
+//! allocate every round.  The golden test pins the exact finding multiset —
+//! a direct allocation, one reached transitively through a first-party
+//! call, and an unjustified clone.
+
+pub struct RoundCore {
+    outgoing: Vec<Vec<u8>>,
+    scratch: Vec<u8>,
+}
+
+impl RoundCore {
+    /// Direct allocation in a declared hot entry.
+    pub fn begin_round(&mut self) {
+        let fresh: Vec<u8> = Vec::new();
+        self.outgoing.push(fresh);
+    }
+
+    /// Clean itself — the allocation hides one first-party call away.
+    pub fn deliver(&mut self) {
+        self.batch();
+    }
+
+    /// Transitively hot: reached from `deliver`.
+    fn batch(&mut self) {
+        let staged = vec![0u8; 4];
+        self.scratch.extend(staged);
+    }
+
+    /// An unjustified clone of a non-`Copy` buffer.
+    pub fn finalize(&mut self) {
+        let copy = self.scratch.clone();
+        self.outgoing.push(copy);
+    }
+}

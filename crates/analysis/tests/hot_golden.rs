@@ -1,0 +1,104 @@
+//! Golden tests over the hot-pass fixture trees.
+//!
+//! `fixtures/hot/dirty` mirrors real workspace paths and seeds the three
+//! finding shapes the pass exists to catch: a direct allocation in a hot
+//! entry, an allocation reached transitively through one first-party call,
+//! and an unjustified clone.  The test pins the exact `(file, rule, count)`
+//! multiset.  `fixtures/hot/clean` writes the same round-core shapes the
+//! approved way — clear-don't-drop, a justified `hot-ok:` suppression, and
+//! a cold constructor that allocates freely — and must stay at zero.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+use dft_analysis::hotpath::{RULE_HOT_ALLOC, RULE_HOT_CLONE};
+use dft_analysis::{analyze_hot, Finding};
+
+fn fixture(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures/hot")
+        .join(name)
+}
+
+#[test]
+fn clean_tree_has_zero_hot_findings() {
+    let findings = analyze_hot(&fixture("clean")).expect("scan clean tree");
+    let rendered: Vec<String> = findings.iter().map(|f| f.render()).collect();
+    assert!(
+        findings.is_empty(),
+        "clean hot fixture tree must be clean, got:\n{}",
+        rendered.join("\n")
+    );
+}
+
+#[test]
+fn dirty_tree_trips_direct_transitive_and_clone() {
+    let findings = analyze_hot(&fixture("dirty")).expect("scan dirty tree");
+
+    let mut got: BTreeMap<(String, &str), usize> = BTreeMap::new();
+    for f in &findings {
+        *got.entry((f.file.clone(), f.rule)).or_insert(0) += 1;
+    }
+
+    let driver = "crates/sim/src/driver.rs";
+    let values = "crates/core/src/values.rs";
+    let expected: &[(&str, &str, usize)] = &[
+        // `Vec::new` directly in `begin_round` + `vec![…]` in the helper
+        // reached through `deliver`.
+        (driver, RULE_HOT_ALLOC, 2),
+        (driver, RULE_HOT_CLONE, 1),
+        // `.to_vec()` in `ExtantSet::merge`, the cross-crate entry.
+        (values, RULE_HOT_ALLOC, 1),
+    ];
+
+    let mut want: BTreeMap<(String, &str), usize> = BTreeMap::new();
+    for &(file, rule, count) in expected {
+        want.insert((file.to_string(), rule), count);
+    }
+
+    let rendered: Vec<String> = findings.iter().map(|f| f.render()).collect();
+    assert_eq!(
+        got,
+        want,
+        "hot dirty fixture findings drifted; full report:\n{}",
+        rendered.join("\n")
+    );
+}
+
+#[test]
+fn transitive_finding_names_both_the_hot_fn_and_its_entry() {
+    let findings = analyze_hot(&fixture("dirty")).expect("scan dirty tree");
+    let batch = findings
+        .iter()
+        .find(|f| f.message.contains("`RoundCore::batch`"))
+        .expect("the transitive vec![] finding");
+    assert!(
+        batch.message.contains("reachable from RoundCore::deliver"),
+        "transitive finding must say which entry reached it: {}",
+        batch.message
+    );
+}
+
+/// Both passes hand their findings to the shared `(file, line, rule)` sort
+/// before the CLI prints or serializes them, so `--json` order is pinned
+/// here once for the hot pass (and in `golden.rs`'s multiset for the main
+/// scan, whose analyze() ends with the same sort).
+#[test]
+fn hot_findings_come_out_in_shared_json_order() {
+    let findings = analyze_hot(&fixture("dirty")).expect("scan dirty tree");
+    let keys: Vec<(&String, usize, &str)> =
+        findings.iter().map(|f| (&f.file, f.line, f.rule)).collect();
+    let mut sorted = keys.clone();
+    sorted.sort();
+    assert_eq!(
+        keys, sorted,
+        "hot findings must already be in (file, line, rule) order"
+    );
+
+    // The JSON lines inherit that order verbatim.
+    let lines: Vec<String> = findings
+        .iter()
+        .map(|f: &Finding| f.to_json(false))
+        .collect();
+    assert!(lines.windows(2).all(|w| w[0] != w[1]), "distinct findings");
+}

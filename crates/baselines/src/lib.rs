@@ -87,13 +87,11 @@ impl SyncProtocol for FloodingConsensus {
     type Msg = bool;
     type Output = bool;
 
-    fn send(&mut self, _round: Round) -> Vec<Outgoing<bool>> {
+    fn send(&mut self, _round: Round, out: &mut Vec<Outgoing<bool>>) {
         if self.decided.is_some() {
-            return Vec::new();
+            return;
         }
-        (0..self.n)
-            .map(|p| Outgoing::new(NodeId::new(p), self.value))
-            .collect()
+        out.extend((0..self.n).map(|p| Outgoing::new(NodeId::new(p), self.value)));
     }
 
     fn receive(&mut self, _round: Round, inbox: &[Delivered<bool>]) {
@@ -178,16 +176,14 @@ impl SyncProtocol for AllToAllGossip {
     type Msg = Arc<RumorMap>;
     type Output = RumorMap;
 
-    fn send(&mut self, _round: Round) -> Vec<Outgoing<Arc<RumorMap>>> {
+    fn send(&mut self, _round: Round, out: &mut Vec<Outgoing<Arc<RumorMap>>>) {
         if self.decided.is_some() {
-            return Vec::new();
+            return;
         }
         // One shared map, reference-counted per recipient instead of n deep
         // clones per round.
         let known = Arc::new(self.known.clone());
-        (0..self.n)
-            .map(|p| Outgoing::new(NodeId::new(p), Arc::clone(&known)))
-            .collect()
+        out.extend((0..self.n).map(|p| Outgoing::new(NodeId::new(p), Arc::clone(&known))));
     }
 
     fn receive(&mut self, _round: Round, inbox: &[Delivered<Arc<RumorMap>>]) {
@@ -266,15 +262,13 @@ impl SyncProtocol for NaiveCheckpointing {
     type Msg = Arc<Membership>;
     type Output = Vec<usize>;
 
-    fn send(&mut self, _round: Round) -> Vec<Outgoing<Arc<Membership>>> {
+    fn send(&mut self, _round: Round, out: &mut Vec<Outgoing<Arc<Membership>>>) {
         if self.decided.is_some() {
-            return Vec::new();
+            return;
         }
         // One shared membership vector, reference-counted per recipient.
         let seen = Arc::new(Membership(self.seen.clone()));
-        (0..self.n)
-            .map(|p| Outgoing::new(NodeId::new(p), Arc::clone(&seen)))
-            .collect()
+        out.extend((0..self.n).map(|p| Outgoing::new(NodeId::new(p), Arc::clone(&seen))));
     }
 
     fn receive(&mut self, _round: Round, inbox: &[Delivered<Arc<Membership>>]) {
@@ -367,10 +361,10 @@ impl SyncProtocol for ParallelDsConsensus {
     type Msg = Arc<SignedBatch>;
     type Output = u64;
 
-    fn send(&mut self, round: Round) -> Vec<Outgoing<Arc<SignedBatch>>> {
+    fn send(&mut self, round: Round, out: &mut Vec<Outgoing<Arc<SignedBatch>>>) {
         let r = round.as_u64();
         if r > self.t as u64 {
-            return Vec::new();
+            return;
         }
         let mut batch = Vec::new();
         if r == 0 {
@@ -380,16 +374,17 @@ impl SyncProtocol for ParallelDsConsensus {
         }
         batch.append(&mut self.relay_queue);
         if batch.is_empty() {
-            return Vec::new();
+            return;
         }
         // One shared batch, reference-counted per recipient: the baseline's
         // n² fan-out would otherwise deep-clone every signature chain n times
         // per round.
         let batch = Arc::new(SignedBatch(batch));
-        (0..self.n)
-            .filter(|&p| p != self.me)
-            .map(|p| Outgoing::new(NodeId::new(p), Arc::clone(&batch)))
-            .collect()
+        out.extend(
+            (0..self.n)
+                .filter(|&p| p != self.me)
+                .map(|p| Outgoing::new(NodeId::new(p), Arc::clone(&batch))),
+        );
     }
 
     fn receive(&mut self, round: Round, inbox: &[Delivered<Arc<SignedBatch>>]) {

@@ -84,10 +84,10 @@ impl SyncProtocol for Neighbours {
     type Msg = bool;
     type Output = bool;
 
-    fn send(&mut self, _round: Round) -> Vec<Outgoing<bool>> {
-        (1..=8usize)
-            .map(|d| Outgoing::new(NodeId::new((self.me + d) % self.n), self.value))
-            .collect()
+    fn send(&mut self, _round: Round, out: &mut Vec<Outgoing<bool>>) {
+        out.extend(
+            (1..=8usize).map(|d| Outgoing::new(NodeId::new((self.me + d) % self.n), self.value)),
+        );
     }
 
     fn receive(&mut self, _round: Round, inbox: &[Delivered<bool>]) {
@@ -129,8 +129,8 @@ impl SinglePortProtocol for PortRing {
         Some(NodeId::new((self.me + self.n - 1) % self.n))
     }
 
-    fn receive(&mut self, _round: Round, _from: NodeId, msgs: Vec<bool>) {
-        for m in msgs {
+    fn receive(&mut self, _round: Round, _from: NodeId, msgs: &mut Vec<bool>) {
+        for m in msgs.drain(..) {
             self.value |= m;
         }
     }

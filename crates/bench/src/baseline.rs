@@ -70,6 +70,16 @@ pub struct ExperimentBench {
     pub messages: Option<u64>,
     /// Bits reported by the experiment's table, if it has a `bits` column.
     pub bits: Option<u64>,
+    /// Heap allocations during the experiment's first sample (`--alloc-stats`
+    /// runs only; absent otherwise and in older baselines).  Diagnostic
+    /// only — never part of the regression gate.
+    pub allocs: Option<u64>,
+    /// Bytes requested by those allocations.
+    pub alloc_bytes: Option<u64>,
+    /// Allocations of the last sample divided by the table's total round
+    /// count: the steady-state allocations-per-round signal the hot-path
+    /// ratchet (`dft-analyze hot`) exists to drive down.
+    pub allocs_per_round: Option<u64>,
 }
 
 /// A full baseline: configuration plus per-experiment measurements.
@@ -127,7 +137,8 @@ impl BenchReport {
             let _ = writeln!(
                 out,
                 "    {{ \"id\": \"{}\", \"wall_s\": {:.6}, \"trimmed_mean_s\": {:.6}, \
-                 \"min_s\": {:.6}, \"max_s\": {:.6}, \"messages\": {}, \"bits\": {} }}{}",
+                 \"min_s\": {:.6}, \"max_s\": {:.6}, \"messages\": {}, \"bits\": {}, \
+                 \"allocs\": {}, \"alloc_bytes\": {}, \"allocs_per_round\": {} }}{}",
                 exp.id,
                 exp.wall_s,
                 exp.trimmed_mean_s,
@@ -135,6 +146,9 @@ impl BenchReport {
                 exp.max_s,
                 json_opt(exp.messages),
                 json_opt(exp.bits),
+                json_opt(exp.allocs),
+                json_opt(exp.alloc_bytes),
+                json_opt(exp.allocs_per_round),
                 if i + 1 < self.experiments.len() {
                     ","
                 } else {
@@ -368,7 +382,15 @@ fn parse_experiment(line: &str) -> Result<ExperimentBench, String> {
             exp.messages = parse_opt(value)?;
         } else if let Some(value) = field(part, "bits") {
             exp.bits = parse_opt(value)?;
+        } else if let Some(value) = field(part, "allocs") {
+            exp.allocs = parse_opt(value)?;
+        } else if let Some(value) = field(part, "alloc_bytes") {
+            exp.alloc_bytes = parse_opt(value)?;
+        } else if let Some(value) = field(part, "allocs_per_round") {
+            exp.allocs_per_round = parse_opt(value)?;
         }
+        // Unknown keys fall through untouched: older binaries reading newer
+        // baselines (and vice versa) must keep parsing.
     }
     if exp.id.is_empty() {
         return Err(format!("experiment entry without id: {line:?}"));
@@ -414,6 +436,9 @@ mod tests {
                     max_s: 0.140,
                     messages: Some(123_456),
                     bits: Some(789_000),
+                    allocs: Some(10_000),
+                    alloc_bytes: Some(640_000),
+                    allocs_per_round: Some(12),
                 },
                 ExperimentBench {
                     id: "E11".to_string(),
@@ -423,6 +448,9 @@ mod tests {
                     max_s: 0.015,
                     messages: None,
                     bits: None,
+                    allocs: None,
+                    alloc_bytes: None,
+                    allocs_per_round: None,
                 },
             ],
             recovery: RecoveryTotals::default(),
@@ -554,6 +582,34 @@ mod tests {
             .join("\n");
         let parsed = BenchReport::parse(&legacy).unwrap();
         assert_eq!(parsed.recovery, RecoveryTotals::default());
+    }
+
+    #[test]
+    fn alloc_stats_round_trip_and_default_for_old_baselines() {
+        let report = sample();
+        let json = report.to_json();
+        assert!(json.contains("\"allocs\": 10000"));
+        assert!(json.contains("\"allocs_per_round\": 12"));
+        let parsed = BenchReport::parse(&json).unwrap();
+        assert_eq!(parsed.experiments[0].allocs, Some(10_000));
+        assert_eq!(parsed.experiments[1].allocs, None, "null parses as absent");
+        // A baseline captured before `--alloc-stats` existed has no alloc
+        // keys at all; everything else must still parse and the alloc
+        // fields come back empty.
+        let legacy = json
+            .replace(
+                ", \"allocs\": 10000, \"alloc_bytes\": 640000, \"allocs_per_round\": 12",
+                "",
+            )
+            .replace(
+                ", \"allocs\": null, \"alloc_bytes\": null, \"allocs_per_round\": null",
+                "",
+            );
+        assert!(!legacy.contains("alloc"));
+        let parsed = BenchReport::parse(&legacy).unwrap();
+        assert_eq!(parsed.experiments[0].allocs, None);
+        assert_eq!(parsed.experiments[0].messages, Some(123_456));
+        assert_eq!(parsed.experiments[0].wall_s, 0.125);
     }
 
     #[test]

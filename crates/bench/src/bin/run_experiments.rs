@@ -74,9 +74,23 @@
 //!   diagnostic as one JSON object per line (`tool` / `level` /
 //!   `experiment` / `message`), in the same canonical E1–E11 flush order as
 //!   stderr and the same object-per-line idiom as `dft-analyze --json`, so
-//!   one parser reads both tools' diagnostics (see `dft_bench::diag`).
+//!   one parser reads both tools' diagnostics (see `dft_bench::diag`);
+//! * `--alloc-stats` counts heap allocations per experiment: one `[alloc]`
+//!   line per experiment on stdout (total allocations and bytes of the
+//!   first sample, plus the last sample's allocations divided by the
+//!   table's total round count — the steady-state signal the
+//!   `dft-analyze hot` ratchet drives down), and the same numbers in the
+//!   `--bench-json` report.  Implies serial experiment fan-out (the
+//!   counters are process-global, so concurrent experiments could not be
+//!   attributed); tables are unaffected, and the numbers are diagnostic
+//!   only — never part of the `--bench-compare` gate.
 
-#![forbid(unsafe_code)]
+// This binary is the one deliberate exception to the workspace-wide
+// `#![forbid(unsafe_code)]` rule: a counting `GlobalAlloc` cannot be
+// written without `unsafe impl`.  The exception is baselined (with this
+// justification) in `ANALYSIS_baseline.json`; everything outside the
+// allocator below is still `deny(unsafe_code)`.
+#![deny(unsafe_code)]
 
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -91,11 +105,67 @@ use dft_sim::shard::FaultPlan;
 const USAGE: &str = "usage: run_experiments [--scale quick|full|paper] [--n N] [--t T] \
                      [--seed S] [--jobs J] [--shards S] [--fault-plan SPEC] \
                      [--max-worker-respawns N] [--samples K] [--timings] \
-                     [--bench-json PATH] [--bench-compare BASELINE] [--diag-json PATH]";
+                     [--bench-json PATH] [--bench-compare BASELINE] [--diag-json PATH] \
+                     [--alloc-stats]";
 
 fn fail(message: &str) -> ExitCode {
     eprintln!("run_experiments: {message}\n{USAGE}");
     ExitCode::from(2)
+}
+
+/// The counting global allocator behind `--alloc-stats`.
+///
+/// Always installed (swapping allocators at runtime is impossible); the
+/// cost when the flag is off is two relaxed atomic increments per
+/// allocation, which is noise next to the allocation itself.  Counters are
+/// process-global, which is why `--alloc-stats` forces serial experiment
+/// fan-out: deltas taken around one experiment's samples then belong to
+/// that experiment alone.
+#[allow(unsafe_code)] // A GlobalAlloc impl is unsafe by definition; see the crate-root note.
+mod alloc_stats {
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static ALLOCS: AtomicU64 = AtomicU64::new(0);
+    static BYTES: AtomicU64 = AtomicU64::new(0);
+
+    /// Delegates every call to [`System`], counting as it goes.
+    struct Counting;
+
+    // SAFETY: every method forwards verbatim to `System`, which upholds the
+    // `GlobalAlloc` contract; the counters are relaxed atomics that never
+    // influence what is returned.
+    unsafe impl GlobalAlloc for Counting {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+            // SAFETY: same layout contract as our own caller's.
+            unsafe { System.alloc(layout) }
+        }
+
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            // SAFETY: `ptr` came from `System` via the methods here.
+            unsafe { System.dealloc(ptr, layout) }
+        }
+
+        unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+            // SAFETY: `ptr` came from `System`; layout/new_size forwarded.
+            unsafe { System.realloc(ptr, layout, new_size) }
+        }
+    }
+
+    #[global_allocator]
+    static COUNTING: Counting = Counting;
+
+    /// The (allocation count, byte count) totals so far.
+    pub fn snapshot() -> (u64, u64) {
+        (
+            ALLOCS.load(Ordering::Relaxed),
+            BYTES.load(Ordering::Relaxed),
+        )
+    }
 }
 
 /// One experiment's outcome: its rendered table, every timed sample, and
@@ -105,6 +175,38 @@ struct Outcome {
     table: Table,
     times: Vec<Duration>,
     stderr: Vec<String>,
+    /// Per-sample `(allocations, bytes)` deltas; empty unless
+    /// `--alloc-stats` was given.
+    alloc_samples: Vec<(u64, u64)>,
+}
+
+/// Derived allocation numbers for one experiment (see `--alloc-stats`).
+struct AllocSummary {
+    /// Allocations during the first sample (includes the build phase).
+    allocs: u64,
+    /// Bytes requested during the first sample.
+    bytes: u64,
+    /// Last sample's allocations divided by the table's total `rounds`
+    /// column — allocations per protocol round, the steady-state churn
+    /// signal.  `None` when the table has no usable rounds column.
+    per_round: Option<u64>,
+}
+
+impl Outcome {
+    fn alloc_summary(&self) -> Option<AllocSummary> {
+        let &(allocs, bytes) = self.alloc_samples.first()?;
+        let &(last, _) = self.alloc_samples.last()?;
+        let per_round = self
+            .table
+            .column_sum("rounds")
+            .filter(|&rounds| rounds > 0)
+            .map(|rounds| last / rounds);
+        Some(AllocSummary {
+            allocs,
+            bytes,
+            per_round,
+        })
+    }
 }
 
 /// Splits the `--jobs` thread budget between the two parallelism levels:
@@ -150,12 +252,26 @@ fn execution_order(catalog_len: usize) -> Vec<usize> {
 /// the inter-run share of the `jobs` budget (see [`split_jobs`]).  Results
 /// land in catalogue order regardless of which worker computed them, so the
 /// printed output is identical to a serial harness run.
-fn run_catalog(cfg: &SweepConfig, jobs: usize, samples: usize) -> Vec<(&'static str, Outcome)> {
+fn run_catalog(
+    cfg: &SweepConfig,
+    jobs: usize,
+    samples: usize,
+    alloc_stats: bool,
+) -> Vec<(&'static str, Outcome)> {
     let catalog = experiment_catalog();
     let slots: Vec<Mutex<Option<Outcome>>> = catalog.iter().map(|_| Mutex::new(None)).collect();
     let order = execution_order(catalog.len());
     let next = AtomicUsize::new(0);
     let (workers, runner_jobs) = split_jobs(jobs, catalog.len());
+    // The allocation counters are process-global: attributing a delta to an
+    // experiment requires that nothing else allocates meanwhile, so
+    // --alloc-stats collapses the experiment fan-out (the whole budget goes
+    // to each runner's phase pool instead).
+    let (workers, runner_jobs) = if alloc_stats {
+        (1, jobs.max(1))
+    } else {
+        (workers, runner_jobs)
+    };
     let cfg = SweepConfig {
         jobs: runner_jobs,
         ..*cfg
@@ -164,12 +280,18 @@ fn run_catalog(cfg: &SweepConfig, jobs: usize, samples: usize) -> Vec<(&'static 
     let run_one = |index: usize| {
         let (_, experiment) = catalog[index];
         let mut times = Vec::with_capacity(samples);
+        let mut alloc_samples = Vec::new();
         let mut table = None;
         let ((), stderr) = dft_bench::diag::capture(|| {
             for _ in 0..samples {
+                let before = alloc_stats.then(alloc_stats::snapshot);
                 let start = Instant::now();
                 let result = experiment(cfg);
                 times.push(start.elapsed());
+                if let Some((allocs0, bytes0)) = before {
+                    let (allocs1, bytes1) = alloc_stats::snapshot();
+                    alloc_samples.push((allocs1 - allocs0, bytes1 - bytes0));
+                }
                 table.get_or_insert(result);
             }
         });
@@ -177,6 +299,7 @@ fn run_catalog(cfg: &SweepConfig, jobs: usize, samples: usize) -> Vec<(&'static 
             table: table.expect("at least one sample"),
             times,
             stderr,
+            alloc_samples,
         });
     };
     if workers == 1 {
@@ -224,6 +347,7 @@ fn bench_report(
         .map(|(id, outcome)| {
             let summary =
                 criterion::stats::summarize(&outcome.times).expect("at least one timed sample");
+            let alloc = outcome.alloc_summary();
             ExperimentBench {
                 id: (*id).to_string(),
                 wall_s: outcome.times[0].as_secs_f64(),
@@ -232,6 +356,9 @@ fn bench_report(
                 max_s: summary.max.as_secs_f64(),
                 messages: outcome.table.column_sum("messages"),
                 bits: outcome.table.column_sum("bits"),
+                allocs: alloc.as_ref().map(|a| a.allocs),
+                alloc_bytes: alloc.as_ref().map(|a| a.bytes),
+                allocs_per_round: alloc.as_ref().and_then(|a| a.per_round),
             }
         })
         .collect();
@@ -274,6 +401,7 @@ fn main() -> ExitCode {
     let mut bench_json: Option<String> = None;
     let mut bench_compare: Option<String> = None;
     let mut diag_json: Option<String> = None;
+    let mut alloc_stats = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -348,6 +476,7 @@ fn main() -> ExitCode {
                 Some(path) => diag_json = Some(path),
                 None => return fail("--diag-json needs a path"),
             },
+            "--alloc-stats" => alloc_stats = true,
             other => return fail(&format!("unknown argument {other:?}")),
         }
     }
@@ -378,7 +507,7 @@ fn main() -> ExitCode {
         cfg.scale
     );
     let start = Instant::now();
-    let outcomes = run_catalog(&cfg, jobs, samples);
+    let outcomes = run_catalog(&cfg, jobs, samples, alloc_stats);
     let total_wall = start.elapsed();
     // What the recovery ladder did across the whole run: zero everywhere
     // unless a worker died (or --fault-plan made one die) and was respawned
@@ -446,6 +575,15 @@ fn main() -> ExitCode {
                     criterion::stats::summarize(&outcome.times).expect("at least one timed sample");
                 println!("[time] {id}: {}\n", criterion::format_summary(&summary));
             }
+        }
+        if let Some(alloc) = outcome.alloc_summary() {
+            let per_round = alloc
+                .per_round
+                .map_or_else(|| "-".to_string(), |v| v.to_string());
+            println!(
+                "[alloc] {id}: {} allocs, {} bytes, {per_round} allocs/round\n",
+                alloc.allocs, alloc.bytes,
+            );
         }
     }
 

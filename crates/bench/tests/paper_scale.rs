@@ -81,7 +81,7 @@ impl SinglePortProtocol for RingStep {
         Some(NodeId::new((self.me + self.n - 1) % self.n))
     }
 
-    fn receive(&mut self, _round: Round, _from: NodeId, _msgs: Vec<bool>) {
+    fn receive(&mut self, _round: Round, _from: NodeId, _msgs: &mut Vec<bool>) {
         self.rounds += 1;
     }
 

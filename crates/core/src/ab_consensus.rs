@@ -365,13 +365,13 @@ impl SyncProtocol for AbConsensus {
     type Msg = AbMsg;
     type Output = u64;
 
-    fn send(&mut self, round: Round) -> Vec<Outgoing<AbMsg>> {
+    fn send(&mut self, round: Round, out: &mut Vec<Outgoing<AbMsg>>) {
         let r = round.as_u64();
         let cfg = &self.config;
         if r < cfg.endorse_round() {
             // Part 1: Dolev–Strong rounds (little nodes only).
             if !self.is_little() {
-                return Vec::new();
+                return;
             }
             let mut batch: Vec<SignedValue> = Vec::new();
             if r == 0 {
@@ -381,25 +381,27 @@ impl SyncProtocol for AbConsensus {
             }
             batch.append(&mut self.relay_queue);
             if batch.is_empty() {
-                return Vec::new();
+                return;
             }
             let batch = Arc::new(DsBatch(batch));
-            return self
-                .little_peers()
-                .into_iter()
-                .map(|p| Outgoing::new(NodeId::new(p), AbMsg::Ds(Arc::clone(&batch))))
-                .collect();
+            out.extend(
+                self.little_peers()
+                    .into_iter()
+                    .map(|p| Outgoing::new(NodeId::new(p), AbMsg::Ds(Arc::clone(&batch)))),
+            );
+            return;
         }
         if r == cfg.endorse_round() {
             if !self.is_little() {
-                return Vec::new();
+                return;
             }
             let entries = Arc::new(self.build_endorsements());
-            return self
-                .little_peers()
-                .into_iter()
-                .map(|p| Outgoing::new(NodeId::new(p), AbMsg::Endorse(Arc::clone(&entries))))
-                .collect();
+            out.extend(
+                self.little_peers()
+                    .into_iter()
+                    .map(|p| Outgoing::new(NodeId::new(p), AbMsg::Endorse(Arc::clone(&entries)))),
+            );
+            return;
         }
         if r == cfg.notify_round() {
             // Part 2: little nodes notify related nodes.
@@ -407,29 +409,26 @@ impl SyncProtocol for AbConsensus {
                 self.finalize_common_set();
                 if let Some(set) = &self.common {
                     self.forward_pending = true;
-                    return self
-                        .related_nodes()
-                        .into_iter()
-                        .map(|p| Outgoing::new(NodeId::new(p), AbMsg::CommonSet(Arc::clone(set))))
-                        .collect();
+                    out.extend(
+                        self.related_nodes().into_iter().map(|p| {
+                            Outgoing::new(NodeId::new(p), AbMsg::CommonSet(Arc::clone(set)))
+                        }),
+                    );
                 }
             }
-            return Vec::new();
+            return;
         }
         if r < cfg.inquiry_round() {
             // Part 3: propagate over H when newly adopted.
             if self.forward_pending {
                 self.forward_pending = false;
                 if let Some(set) = &self.common {
-                    return cfg
-                        .h_graph
-                        .neighbors(self.me)
-                        .iter()
-                        .map(|&p| Outgoing::new(NodeId::new(p), AbMsg::CommonSet(Arc::clone(set))))
-                        .collect();
+                    out.extend(cfg.h_graph.neighbors(self.me).iter().map(|&p| {
+                        Outgoing::new(NodeId::new(p), AbMsg::CommonSet(Arc::clone(set)))
+                    }));
                 }
             }
-            return Vec::new();
+            return;
         }
         if r == cfg.inquiry_round() {
             // Part 4, first round: signed inquiries from nodes without a set.
@@ -437,26 +436,24 @@ impl SyncProtocol for AbConsensus {
                 let signature = self
                     .signer
                     .sign_digest(dft_auth::hash::hash_words(&[0x1D_u64, self.me as u64]));
-                return (0..cfg.little)
-                    .filter(|&p| p != self.me)
-                    .map(|p| Outgoing::new(NodeId::new(p), AbMsg::Inquiry(signature)))
-                    .collect();
+                out.extend(
+                    (0..cfg.little)
+                        .filter(|&p| p != self.me)
+                        .map(|p| Outgoing::new(NodeId::new(p), AbMsg::Inquiry(signature))),
+                );
             }
-            return Vec::new();
+            return;
         }
-        if r == cfg.response_round() {
-            if self.is_little() {
-                if let Some(set) = &self.common {
-                    let inquirers = std::mem::take(&mut self.inquirers);
-                    return inquirers
+        if r == cfg.response_round() && self.is_little() {
+            if let Some(set) = &self.common {
+                let inquirers = std::mem::take(&mut self.inquirers);
+                out.extend(
+                    inquirers
                         .into_iter()
-                        .map(|p| Outgoing::new(NodeId::new(p), AbMsg::CommonSet(Arc::clone(set))))
-                        .collect();
-                }
+                        .map(|p| Outgoing::new(NodeId::new(p), AbMsg::CommonSet(Arc::clone(set)))),
+                );
             }
-            return Vec::new();
         }
-        Vec::new()
     }
 
     fn receive(&mut self, round: Round, inbox: &[Delivered<AbMsg>]) {

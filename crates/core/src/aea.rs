@@ -195,43 +195,32 @@ impl<V: JoinValue> SyncProtocol for AlmostEverywhereAgreement<V> {
     type Msg = AeaMsg<V>;
     type Output = V;
 
-    fn send(&mut self, round: Round) -> Vec<Outgoing<AeaMsg<V>>> {
+    fn send(&mut self, round: Round, out: &mut Vec<Outgoing<AeaMsg<V>>>) {
         let r = round.as_u64();
         if r < self.config.probing_start() {
             // Part 1: flood the candidate when it is new.
             if self.is_little() && self.pending_flood {
                 self.pending_flood = false;
-                return self
-                    .little_neighbors()
-                    .iter()
-                    .map(|&v| Outgoing::new(NodeId::new(v), AeaMsg::Rumor(self.candidate.clone())))
-                    .collect();
+                out.extend(self.little_neighbors().iter().map(|&v| {
+                    Outgoing::new(NodeId::new(v), AeaMsg::Rumor(self.candidate.clone()))
+                }));
             }
-            Vec::new()
         } else if r < self.config.notify_round() {
             // Part 2: local probing — send to every neighbour unless paused.
             if self.probe.should_send() {
-                return self
-                    .little_neighbors()
-                    .iter()
-                    .map(|&v| Outgoing::new(NodeId::new(v), AeaMsg::Rumor(self.candidate.clone())))
-                    .collect();
+                out.extend(self.little_neighbors().iter().map(|&v| {
+                    Outgoing::new(NodeId::new(v), AeaMsg::Rumor(self.candidate.clone()))
+                }));
             }
-            Vec::new()
         } else if r == self.config.notify_round() {
             // Part 3: little deciders notify their related nodes.
             if self.is_little() {
                 if let Some(decision) = &self.decided {
-                    return self
-                        .related_nodes()
-                        .into_iter()
-                        .map(|v| Outgoing::new(NodeId::new(v), AeaMsg::Decision(decision.clone())))
-                        .collect();
+                    out.extend(self.related_nodes().into_iter().map(|v| {
+                        Outgoing::new(NodeId::new(v), AeaMsg::Decision(decision.clone()))
+                    }));
                 }
             }
-            Vec::new()
-        } else {
-            Vec::new()
         }
     }
 

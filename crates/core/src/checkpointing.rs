@@ -85,6 +85,12 @@ pub struct Checkpointing {
     n: usize,
     gossip_rounds: u64,
     decided: Option<Checkpoint>,
+    /// Send/receive scratch for the wrapped protocols, kept across rounds
+    /// so relabelling inner messages never allocates at steady state.
+    gossip_out: Vec<Outgoing<GossipMsg>>,
+    consensus_out: Vec<Outgoing<FcMsg<BitVector>>>,
+    gossip_in: Vec<Delivered<GossipMsg>>,
+    consensus_in: Vec<Delivered<FcMsg<BitVector>>>,
 }
 
 impl Checkpointing {
@@ -101,6 +107,10 @@ impl Checkpointing {
             n,
             gossip_rounds,
             decided: None,
+            gossip_out: Vec::new(),
+            consensus_out: Vec::new(),
+            gossip_in: Vec::new(),
+            consensus_in: Vec::new(),
         }
     }
 
@@ -140,48 +150,51 @@ impl SyncProtocol for Checkpointing {
     type Msg = CheckpointMsg;
     type Output = Checkpoint;
 
-    fn send(&mut self, round: Round) -> Vec<Outgoing<CheckpointMsg>> {
+    fn send(&mut self, round: Round, out: &mut Vec<Outgoing<CheckpointMsg>>) {
         let r = round.as_u64();
         if r < self.gossip_rounds {
-            self.gossip
-                .send(Round::new(r))
-                .into_iter()
-                .map(|o| Outgoing::new(o.to, CheckpointMsg::Gossip(o.msg)))
-                .collect()
+            self.gossip_out.clear();
+            self.gossip.send(Round::new(r), &mut self.gossip_out);
+            out.extend(
+                self.gossip_out
+                    .drain(..)
+                    .map(|o| Outgoing::new(o.to, CheckpointMsg::Gossip(o.msg))),
+            );
         } else {
             self.ensure_transition();
+            self.consensus_out.clear();
             self.consensus
                 .as_mut()
                 .expect("transitioned")
-                .send(Round::new(r - self.gossip_rounds))
-                .into_iter()
-                .map(|o| Outgoing::new(o.to, CheckpointMsg::Consensus(o.msg)))
-                .collect()
+                .send(Round::new(r - self.gossip_rounds), &mut self.consensus_out);
+            out.extend(
+                self.consensus_out
+                    .drain(..)
+                    .map(|o| Outgoing::new(o.to, CheckpointMsg::Consensus(o.msg))),
+            );
         }
     }
 
     fn receive(&mut self, round: Round, inbox: &[Delivered<CheckpointMsg>]) {
         let r = round.as_u64();
         if r < self.gossip_rounds {
-            let inner: Vec<Delivered<GossipMsg>> = inbox
-                .iter()
-                .filter_map(|d| match &d.msg {
+            self.gossip_in.clear();
+            self.gossip_in
+                .extend(inbox.iter().filter_map(|d| match &d.msg {
                     CheckpointMsg::Gossip(m) => Some(Delivered::new(d.from, m.clone())),
                     CheckpointMsg::Consensus(_) => None,
-                })
-                .collect();
-            self.gossip.receive(Round::new(r), &inner);
+                }));
+            self.gossip.receive(Round::new(r), &self.gossip_in);
         } else {
             self.ensure_transition();
-            let inner: Vec<Delivered<FcMsg<BitVector>>> = inbox
-                .iter()
-                .filter_map(|d| match &d.msg {
+            self.consensus_in.clear();
+            self.consensus_in
+                .extend(inbox.iter().filter_map(|d| match &d.msg {
                     CheckpointMsg::Consensus(m) => Some(Delivered::new(d.from, m.clone())),
                     CheckpointMsg::Gossip(_) => None,
-                })
-                .collect();
+                }));
             let consensus = self.consensus.as_mut().expect("transitioned");
-            consensus.receive(Round::new(r - self.gossip_rounds), &inner);
+            consensus.receive(Round::new(r - self.gossip_rounds), &self.consensus_in);
             if self.decided.is_none() {
                 if let Some(vector) = consensus.output() {
                     self.decided = Some(vector.ones());

@@ -162,10 +162,10 @@ impl SyncProtocol for DolevStrong {
     type Msg = DsBatch;
     type Output = Vec<Option<u64>>;
 
-    fn send(&mut self, round: Round) -> Vec<Outgoing<DsBatch>> {
+    fn send(&mut self, round: Round, out: &mut Vec<Outgoing<DsBatch>>) {
         let r = round.as_u64();
         if r >= self.config.total_rounds() || !self.config.participants.contains(&self.me) {
-            return Vec::new();
+            return;
         }
         let mut batch: Vec<SignedValue> = Vec::new();
         if r == 0 {
@@ -177,12 +177,13 @@ impl SyncProtocol for DolevStrong {
         }
         batch.append(&mut self.relay_queue);
         if batch.is_empty() {
-            return Vec::new();
+            return;
         }
-        self.broadcast_targets()
-            .into_iter()
-            .map(|p| Outgoing::new(NodeId::new(p), DsBatch(batch.clone())))
-            .collect()
+        out.extend(
+            self.broadcast_targets()
+                .into_iter()
+                .map(|p| Outgoing::new(NodeId::new(p), DsBatch(batch.clone()))),
+        );
     }
 
     fn receive(&mut self, round: Round, inbox: &[Delivered<DsBatch>]) {

@@ -74,6 +74,12 @@ pub struct FewCrashesConsensus<V: JoinValue> {
     aea_rounds: u64,
     total_rounds: u64,
     transitioned: bool,
+    /// Send/receive scratch for the wrapped stages, kept across rounds so
+    /// relabelling inner messages never allocates at steady state.
+    aea_out: Vec<Outgoing<AeaMsg<V>>>,
+    scv_out: Vec<Outgoing<ScvMsg<V>>>,
+    aea_in: Vec<Delivered<AeaMsg<V>>>,
+    scv_in: Vec<Delivered<ScvMsg<V>>>,
 }
 
 impl<V: JoinValue> FewCrashesConsensus<V> {
@@ -88,6 +94,10 @@ impl<V: JoinValue> FewCrashesConsensus<V> {
             aea_rounds,
             total_rounds,
             transitioned: false,
+            aea_out: Vec::new(),
+            scv_out: Vec::new(),
+            aea_in: Vec::new(),
+            scv_in: Vec::new(),
         }
     }
 
@@ -127,45 +137,49 @@ impl<V: JoinValue> SyncProtocol for FewCrashesConsensus<V> {
     type Msg = FcMsg<V>;
     type Output = V;
 
-    fn send(&mut self, round: Round) -> Vec<Outgoing<FcMsg<V>>> {
+    fn send(&mut self, round: Round, out: &mut Vec<Outgoing<FcMsg<V>>>) {
         let r = round.as_u64();
         if r < self.aea_rounds {
-            self.aea
-                .send(Round::new(r))
-                .into_iter()
-                .map(|o| Outgoing::new(o.to, FcMsg::Aea(o.msg)))
-                .collect()
+            self.aea_out.clear();
+            self.aea.send(Round::new(r), &mut self.aea_out);
+            out.extend(
+                self.aea_out
+                    .drain(..)
+                    .map(|o| Outgoing::new(o.to, FcMsg::Aea(o.msg))),
+            );
         } else {
             self.ensure_transition();
+            self.scv_out.clear();
             self.scv
-                .send(Round::new(r - self.aea_rounds))
-                .into_iter()
-                .map(|o| Outgoing::new(o.to, FcMsg::Scv(o.msg)))
-                .collect()
+                .send(Round::new(r - self.aea_rounds), &mut self.scv_out);
+            out.extend(
+                self.scv_out
+                    .drain(..)
+                    .map(|o| Outgoing::new(o.to, FcMsg::Scv(o.msg))),
+            );
         }
     }
 
     fn receive(&mut self, round: Round, inbox: &[Delivered<FcMsg<V>>]) {
         let r = round.as_u64();
         if r < self.aea_rounds {
-            let inner: Vec<Delivered<AeaMsg<V>>> = inbox
-                .iter()
-                .filter_map(|d| match &d.msg {
+            self.aea_in.clear();
+            self.aea_in
+                .extend(inbox.iter().filter_map(|d| match &d.msg {
                     FcMsg::Aea(m) => Some(Delivered::new(d.from, m.clone())),
                     FcMsg::Scv(_) => None,
-                })
-                .collect();
-            self.aea.receive(Round::new(r), &inner);
+                }));
+            self.aea.receive(Round::new(r), &self.aea_in);
         } else {
             self.ensure_transition();
-            let inner: Vec<Delivered<ScvMsg<V>>> = inbox
-                .iter()
-                .filter_map(|d| match &d.msg {
+            self.scv_in.clear();
+            self.scv_in
+                .extend(inbox.iter().filter_map(|d| match &d.msg {
                     FcMsg::Scv(m) => Some(Delivered::new(d.from, m.clone())),
                     FcMsg::Aea(_) => None,
-                })
-                .collect();
-            self.scv.receive(Round::new(r - self.aea_rounds), &inner);
+                }));
+            self.scv
+                .receive(Round::new(r - self.aea_rounds), &self.scv_in);
         }
     }
 

@@ -202,16 +202,15 @@ impl Gossip {
         Some((part, phase, offset))
     }
 
-    fn probing_sends(&self, msg: GossipMsg) -> Vec<Outgoing<GossipMsg>> {
+    fn probing_sends(&self, msg: GossipMsg, out: &mut Vec<Outgoing<GossipMsg>>) {
         if self.probe.should_send() {
-            self.config
-                .graph
-                .neighbors(self.me)
-                .iter()
-                .map(|&v| Outgoing::new(NodeId::new(v), msg.clone()))
-                .collect()
-        } else {
-            Vec::new()
+            out.extend(
+                self.config
+                    .graph
+                    .neighbors(self.me)
+                    .iter()
+                    .map(|&v| Outgoing::new(NodeId::new(v), msg.clone())),
+            );
         }
     }
 }
@@ -220,69 +219,68 @@ impl SyncProtocol for Gossip {
     type Msg = GossipMsg;
     type Output = ExtantSet;
 
-    fn send(&mut self, round: Round) -> Vec<Outgoing<GossipMsg>> {
+    fn send(&mut self, round: Round, out: &mut Vec<Outgoing<GossipMsg>>) {
         let Some((stage, phase, offset)) = self.locate(round.as_u64()) else {
-            return Vec::new();
+            return;
         };
         match (stage, offset) {
             // Phase round 1: little survivors reach out along G_i.
             (Stage::BuildExtant, 0) => {
                 if self.is_little() && self.survived_last_phase {
                     let graph = self.config.family.graph(phase as usize);
-                    return graph
-                        .neighbors(self.me)
-                        .iter()
-                        .filter(|&&v| v != self.me && !self.extant.is_present(v))
-                        .map(|&v| Outgoing::new(NodeId::new(v), GossipMsg::Inquiry))
-                        .collect();
+                    out.extend(
+                        graph
+                            .neighbors(self.me)
+                            .iter()
+                            .filter(|&&v| v != self.me && !self.extant.is_present(v))
+                            .map(|&v| Outgoing::new(NodeId::new(v), GossipMsg::Inquiry)),
+                    );
                 }
-                Vec::new()
             }
             (Stage::BuildCompletion, 0) => {
                 if self.is_little() && self.survived_last_phase {
                     let graph = self.config.family.graph(phase as usize);
-                    let targets: Vec<usize> = graph
-                        .neighbors(self.me)
-                        .iter()
-                        .copied()
-                        .filter(|&v| v != self.me && !self.completion.get(v))
-                        .collect();
-                    for &v in &targets {
-                        self.completion.set(v, true);
+                    // First pass stages the targets (marking as it goes),
+                    // second pass attaches the shared payload; `out` itself
+                    // is the staging area, so no side list is built.
+                    let staged_from = out.len();
+                    for &v in graph.neighbors(self.me) {
+                        if v != self.me && !self.completion.get(v) {
+                            self.completion.set(v, true);
+                            out.push(Outgoing::new(NodeId::new(v), GossipMsg::Inquiry));
+                        }
                     }
-                    let set = Arc::new(self.extant.clone());
-                    return targets
-                        .into_iter()
-                        .map(|v| Outgoing::new(NodeId::new(v), GossipMsg::Extant(Arc::clone(&set))))
-                        .collect();
+                    if out.len() > staged_from {
+                        let set = Arc::new(self.extant.clone());
+                        for staged in &mut out[staged_from..] {
+                            staged.msg = GossipMsg::Extant(Arc::clone(&set));
+                        }
+                    }
                 }
-                Vec::new()
             }
             // Phase round 2: respond to inquiries (Part 1 only).
             (Stage::BuildExtant, 1) => {
-                let inquirers = std::mem::take(&mut self.inquirers);
-                inquirers
-                    .into_iter()
-                    .map(|v| {
-                        Outgoing::new(
-                            NodeId::new(v),
-                            GossipMsg::Pair {
-                                node: self.me as u64,
-                                rumor: self.extant.rumor_of(self.me).unwrap_or_default(),
-                            },
-                        )
-                    })
-                    .collect()
+                let rumor = self.extant.rumor_of(self.me).unwrap_or_default();
+                let me = self.me as u64;
+                out.extend(
+                    self.inquirers.drain(..).map(|v| {
+                        Outgoing::new(NodeId::new(v), GossipMsg::Pair { node: me, rumor })
+                    }),
+                );
             }
-            (Stage::BuildCompletion, 1) => Vec::new(),
+            (Stage::BuildCompletion, 1) => {}
             // Probing rounds.
             (Stage::BuildExtant, _) => {
-                let msg = GossipMsg::Extant(Arc::new(self.extant.clone()));
-                self.probing_sends(msg)
+                if self.probe.should_send() {
+                    let msg = GossipMsg::Extant(Arc::new(self.extant.clone()));
+                    self.probing_sends(msg, out);
+                }
             }
             (Stage::BuildCompletion, _) => {
-                let msg = GossipMsg::Completion(Arc::new(self.completion.clone()));
-                self.probing_sends(msg)
+                if self.probe.should_send() {
+                    let msg = GossipMsg::Completion(Arc::new(self.completion.clone()));
+                    self.probing_sends(msg, out);
+                }
             }
         }
     }

@@ -226,58 +226,56 @@ impl SyncProtocol for ManyCrashesConsensus {
     type Msg = McMsg;
     type Output = bool;
 
-    fn send(&mut self, round: Round) -> Vec<Outgoing<McMsg>> {
+    fn send(&mut self, round: Round, out: &mut Vec<Outgoing<McMsg>>) {
         let r = round.as_u64();
         if r < self.config.probing_start() {
             if self.pending_flood && self.candidate {
                 self.pending_flood = false;
-                return self
-                    .config
-                    .graph
-                    .neighbors(self.me)
-                    .iter()
-                    .map(|&v| Outgoing::new(NodeId::new(v), McMsg::Rumor(true)))
-                    .collect();
+                out.extend(
+                    self.config
+                        .graph
+                        .neighbors(self.me)
+                        .iter()
+                        .map(|&v| Outgoing::new(NodeId::new(v), McMsg::Rumor(true))),
+                );
             }
-            return Vec::new();
+            return;
         }
         if r < self.config.inquiry_start() {
             if self.probe.should_send() {
-                return self
-                    .config
-                    .graph
-                    .neighbors(self.me)
-                    .iter()
-                    .map(|&v| Outgoing::new(NodeId::new(v), McMsg::Rumor(self.candidate)))
-                    .collect();
+                out.extend(
+                    self.config
+                        .graph
+                        .neighbors(self.me)
+                        .iter()
+                        .map(|&v| Outgoing::new(NodeId::new(v), McMsg::Rumor(self.candidate))),
+                );
             }
-            return Vec::new();
+            return;
         }
         let Some((phase, inquiry_round)) = self.phase_of(r) else {
-            return Vec::new();
+            return;
         };
         if inquiry_round {
             if self.decided.is_none() {
-                return self
-                    .config
-                    .family
-                    .graph(phase as usize)
-                    .neighbors(self.me)
-                    .iter()
-                    .filter(|&&v| v != self.me)
-                    .map(|&v| Outgoing::new(NodeId::new(v), McMsg::Inquiry))
-                    .collect();
+                out.extend(
+                    self.config
+                        .family
+                        .graph(phase as usize)
+                        .neighbors(self.me)
+                        .iter()
+                        .filter(|&&v| v != self.me)
+                        .map(|&v| Outgoing::new(NodeId::new(v), McMsg::Inquiry)),
+                );
             }
-            Vec::new()
         } else if let Some(decision) = self.decided {
-            let inquirers = std::mem::take(&mut self.inquirers);
-            inquirers
-                .into_iter()
-                .map(|v| Outgoing::new(NodeId::new(v), McMsg::Response(decision)))
-                .collect()
+            out.extend(
+                self.inquirers
+                    .drain(..)
+                    .map(|v| Outgoing::new(NodeId::new(v), McMsg::Response(decision))),
+            );
         } else {
             self.inquirers.clear();
-            Vec::new()
         }
     }
 

@@ -191,58 +191,52 @@ impl<V: JoinValue> SyncProtocol for SpreadCommonValue<V> {
     type Msg = ScvMsg<V>;
     type Output = V;
 
-    fn send(&mut self, round: Round) -> Vec<Outgoing<ScvMsg<V>>> {
+    fn send(&mut self, round: Round, out: &mut Vec<Outgoing<ScvMsg<V>>>) {
         let r = round.as_u64();
         if r < self.config.part1_rounds {
             // Part 1: forward the value to H-neighbours when newly adopted.
             if self.forward_pending {
                 self.forward_pending = false;
                 if let Some(value) = &self.common {
-                    return self
-                        .config
-                        .h_graph
-                        .neighbors(self.me)
-                        .iter()
-                        .map(|&v| Outgoing::new(NodeId::new(v), ScvMsg::Value(value.clone())))
-                        .collect();
+                    out.extend(
+                        self.config
+                            .h_graph
+                            .neighbors(self.me)
+                            .iter()
+                            .map(|&v| Outgoing::new(NodeId::new(v), ScvMsg::Value(value.clone()))),
+                    );
                 }
             }
-            return Vec::new();
+            return;
         }
         let Some((phase, is_inquiry_round)) = self.phase_of(r) else {
-            return Vec::new();
+            return;
         };
         if is_inquiry_round {
             // First round of the phase: undecided nodes inquire.
             if self.common.is_none() {
-                let targets: Vec<usize> = if self.config.direct_inquiry() {
-                    (0..self.config.little).collect()
+                let me = self.me;
+                let inquiry =
+                    |v: usize| (v != me).then(|| Outgoing::new(NodeId::new(v), ScvMsg::Inquiry));
+                if self.config.direct_inquiry() {
+                    out.extend((0..self.config.little).filter_map(inquiry));
                 } else {
-                    self.config
-                        .family
-                        .graph(phase as usize)
-                        .neighbors(self.me)
-                        .to_vec()
-                };
-                return targets
-                    .into_iter()
-                    .filter(|&v| v != self.me)
-                    .map(|v| Outgoing::new(NodeId::new(v), ScvMsg::Inquiry))
-                    .collect();
+                    let graph = self.config.family.graph(phase as usize);
+                    out.extend(graph.neighbors(self.me).iter().filter_map(|&v| inquiry(v)));
+                }
             }
-            Vec::new()
         } else {
             // Second round of the phase: decided nodes answer last round's
             // inquirers.
             if let Some(value) = &self.common {
-                let inquirers = std::mem::take(&mut self.inquirers);
-                return inquirers
-                    .into_iter()
-                    .map(|v| Outgoing::new(NodeId::new(v), ScvMsg::Response(value.clone())))
-                    .collect();
+                out.extend(
+                    self.inquirers
+                        .drain(..)
+                        .map(|v| Outgoing::new(NodeId::new(v), ScvMsg::Response(value.clone()))),
+                );
+            } else {
+                self.inquirers.clear();
             }
-            self.inquirers.clear();
-            Vec::new()
         }
     }
 

@@ -99,7 +99,9 @@ impl<P: SyncProtocol, L: PortPlan> SinglePortAdapter<P, L> {
         }
         self.started = true;
         self.current_slots = self.plan.slots(self.mp_round).max(1);
-        self.pending = self.inner.send(Round::new(self.mp_round));
+        self.pending.clear();
+        self.inner
+            .send(Round::new(self.mp_round), &mut self.pending);
         self.pending.truncate(self.current_slots);
         self.poll_ports = self.plan.poll_list(self.me, self.mp_round);
         self.poll_ports.truncate(self.current_slots);
@@ -108,8 +110,11 @@ impl<P: SyncProtocol, L: PortPlan> SinglePortAdapter<P, L> {
     fn advance_slot(&mut self) {
         self.slot += 1;
         if self.slot >= 2 * self.current_slots {
+            // Ownership ping-pong so the inbox keeps its capacity.
             let inbox = std::mem::take(&mut self.inbox);
             self.inner.receive(Round::new(self.mp_round), &inbox);
+            self.inbox = inbox;
+            self.inbox.clear();
             self.mp_round += 1;
             self.slot = 0;
             self.started = false;
@@ -150,8 +155,8 @@ impl<P: SyncProtocol, L: PortPlan> SinglePortProtocol for SinglePortAdapter<P, L
         result
     }
 
-    fn receive(&mut self, _round: Round, from: NodeId, msgs: Vec<P::Msg>) {
-        for msg in msgs {
+    fn receive(&mut self, _round: Round, from: NodeId, msgs: &mut Vec<P::Msg>) {
+        for msg in msgs.drain(..) {
             self.inbox.push(Delivered::new(from, msg));
         }
     }

@@ -1119,6 +1119,9 @@ fn run_cluster(args: &ClusterArgs) -> Result<ExitCode, String> {
                 max_s: wall_s,
                 messages: Some(cluster.messages),
                 bits: Some(cluster.bits),
+                allocs: None,
+                alloc_bytes: None,
+                allocs_per_round: None,
             }],
             recovery: RecoveryTotals {
                 suspected_peers: total_suspected,

@@ -198,6 +198,14 @@ pub(crate) struct PortMap<M> {
     /// scan of every occupied port.
     queues: HashMap<usize, HashMap<usize, Vec<M>>>,
     buffered: usize,
+    /// Emptied queue buffers waiting for reuse.  Drained queues leave the
+    /// map (that is what keeps it sparse), so without recycling every
+    /// drain/push cycle of a port would drop one `Vec` and construct
+    /// another; backends return finished poll buffers here each round (see
+    /// [`PortMap::reclaim`]) and `push`/`drain` take from the pool first.
+    /// Growth is bounded: at most one buffer per node enters per round and
+    /// steady-state traffic takes them right back out.
+    spares: Vec<Vec<M>>,
 }
 
 impl<M> PortMap<M> {
@@ -206,33 +214,47 @@ impl<M> PortMap<M> {
         PortMap {
             queues: HashMap::new(),
             buffered: 0,
+            spares: Vec::new(),
         }
     }
 
     /// Buffers `msg` on destination `to`'s in-port from `from`.
     pub fn push(&mut self, to: usize, from: usize, msg: M) {
+        let spares = &mut self.spares;
         self.queues
             .entry(to)
             .or_default()
             .entry(from)
-            .or_default()
+            .or_insert_with(|| spares.pop().unwrap_or_default())
             .push(msg);
         self.buffered += 1;
     }
 
     /// Drains destination `to`'s in-port from `from`, in arrival order.
+    ///
+    /// An empty port still yields a buffer — the poller's `receive` runs
+    /// either way — but it comes from the spare pool, not a fresh
+    /// construction.
     pub fn drain(&mut self, to: usize, from: usize) -> Vec<M> {
-        let Some(inner) = self.queues.get_mut(&to) else {
-            return Vec::new();
-        };
-        let Some(msgs) = inner.remove(&from) else {
-            return Vec::new();
-        };
-        if inner.is_empty() {
-            self.queues.remove(&to);
+        let mut drained = None;
+        if let Some(inner) = self.queues.get_mut(&to) {
+            if let Some(msgs) = inner.remove(&from) {
+                if inner.is_empty() {
+                    self.queues.remove(&to);
+                }
+                self.buffered -= msgs.len();
+                drained = Some(msgs);
+            }
         }
-        self.buffered -= msgs.len();
-        msgs
+        drained.unwrap_or_else(|| self.spares.pop().unwrap_or_default())
+    }
+
+    /// Moves the emptied poll buffers in `bufs` into the spare pool for
+    /// reuse by later `push`/`drain` calls.  Buffers must already be empty
+    /// (the cores clear them as part of recycling).
+    pub fn reclaim(&mut self, bufs: &mut Vec<Vec<M>>) {
+        debug_assert!(bufs.iter().all(Vec::is_empty));
+        self.spares.append(bufs);
     }
 
     /// Drops every queue addressed to `to` (the node crashed or halted and

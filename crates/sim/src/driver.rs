@@ -157,14 +157,23 @@ impl<P: SyncProtocol> RoundCore<P> {
     /// core's nodes.
     pub fn begin_round(&mut self, round: Round) {
         for (i, participant) in self.participants.iter_mut().enumerate() {
-            self.outgoing[i] = match (&self.status[i], participant) {
-                (NodeStatus::Running, Participant::Honest(p)) => p.send(round),
+            match (&self.status[i], participant) {
+                (NodeStatus::Running, Participant::Honest(p)) => {
+                    // The queue doubles as the node's send scratch: cleared
+                    // here, filled by the protocol, drained by `deliver` —
+                    // its capacity is the only thing that survives the
+                    // round.
+                    self.outgoing[i].clear();
+                    p.send(round, &mut self.outgoing[i]);
+                }
                 (NodeStatus::Running, Participant::Byzantine(b)) => {
                     // Byzantine nodes act on last round's inbox when sending.
-                    b.act(round, &self.byz_inboxes[i])
+                    self.outgoing[i] = b.act(round, &self.byz_inboxes[i]);
                 }
-                _ => Vec::new(),
-            };
+                // Clear-don't-drop: a crashed/halted sender keeps its (long
+                // empty) queue instead of swapping in a fresh one per round.
+                _ => self.outgoing[i].clear(),
+            }
             self.send_intents[i].clear();
             let intents = self.outgoing[i].iter().map(|m| m.to);
             self.send_intents[i].extend(intents);
@@ -325,6 +334,14 @@ pub struct SinglePortCore<P: SinglePortProtocol> {
     /// Per-node pre-drained poll results (`Some` only for running nodes
     /// that polled this round; filled by the backend).
     pub(crate) drained: Vec<Option<Vec<P::Msg>>>,
+    /// Emptied poll buffers waiting to be recycled.  [`SinglePortCore::finalize`]
+    /// clears each consumed `drained` buffer into this pool instead of
+    /// dropping it; in-process backends reclaim it into their `PortMap`
+    /// every round ([`SinglePortCore::take_spares`]), and backends that
+    /// cannot (a shard worker's buffers arrive off the wire) are protected
+    /// by the `len()` cap in `finalize` — at most one retained buffer per
+    /// node, so memory stays `O(n)` either way.
+    pub(crate) spare: Vec<Vec<P::Msg>>,
     pub(crate) outputs: Vec<Option<P::Output>>,
     /// Receive scratch: decision/halt events for the backend's replay.
     pub(crate) events: Vec<NodeEvent>,
@@ -342,6 +359,7 @@ impl<P: SinglePortProtocol> SinglePortCore<P> {
             sends: (0..len).map(|_| None).collect(),
             polls: vec![None; len],
             drained: (0..len).map(|_| None).collect(),
+            spare: Vec::new(),
             outputs: (0..len).map(|_| None).collect(),
             events: Vec::new(),
         }
@@ -400,6 +418,13 @@ impl<P: SinglePortProtocol> SinglePortCore<P> {
         self.drained[local] = msgs;
     }
 
+    /// Moves the emptied poll buffers the last [`SinglePortCore::finalize`]
+    /// retained into `out` (for the backend to recycle into its port
+    /// buffers).
+    pub fn take_spares(&mut self, out: &mut Vec<Vec<P::Msg>>) {
+        out.append(&mut self.spare);
+    }
+
     /// Mirrors a crash verdict from the backend's central crash phase.
     pub fn set_crashed(&mut self, local: usize, round: Round) {
         self.status[local] = NodeStatus::Crashed(round);
@@ -420,13 +445,21 @@ impl<P: SinglePortProtocol> SinglePortCore<P> {
     /// single-port sends as it enqueues them).
     pub fn finalize(&mut self, round: Round) -> RoundOutcome<'_> {
         self.events.clear();
+        let spare_cap = self.nodes.len();
         for (i, node) in self.nodes.iter_mut().enumerate() {
             if !self.status[i].is_running() {
                 continue;
             }
             if let Some(port) = self.polls[i] {
-                let msgs = self.drained[i].take().unwrap_or_default();
-                node.receive(round, port, msgs);
+                let mut msgs = self.drained[i].take().unwrap_or_default();
+                node.receive(round, port, &mut msgs);
+                // Recycle whatever the protocol left behind (capped so a
+                // backend that never reclaims holds at most one buffer per
+                // node).
+                if self.spare.len() < spare_cap {
+                    msgs.clear();
+                    self.spare.push(msgs);
+                }
             }
             let mut decided = false;
             if let Some(output) = node.output() {

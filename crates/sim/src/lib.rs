@@ -61,8 +61,8 @@
 //!     type Msg = bool;
 //!     type Output = bool;
 //!
-//!     fn send(&mut self, _round: Round) -> Vec<Outgoing<bool>> {
-//!         (0..self.n).map(|i| Outgoing::new(NodeId::new(i), self.value)).collect()
+//!     fn send(&mut self, _round: Round, out: &mut Vec<Outgoing<bool>>) {
+//!         out.extend((0..self.n).map(|i| Outgoing::new(NodeId::new(i), self.value)));
 //!     }
 //!
 //!     fn receive(&mut self, _round: Round, inbox: &[Delivered<bool>]) {

@@ -47,9 +47,7 @@ use crate::round::Round;
 ///     type Msg = bool;
 ///     type Output = bool;
 ///
-///     fn send(&mut self, _round: Round) -> Vec<Outgoing<bool>> {
-///         Vec::new()
-///     }
+///     fn send(&mut self, _round: Round, _out: &mut Vec<Outgoing<bool>>) {}
 ///
 ///     fn receive(&mut self, _round: Round, _inbox: &[Delivered<bool>]) {
 ///         self.decided = Some(self.input);
@@ -70,8 +68,16 @@ pub trait SyncProtocol: Send + 'static {
     /// Decision value or other terminal output of a node.
     type Output: Clone + std::fmt::Debug + Send + 'static;
 
-    /// Messages this node sends at the beginning of `round`.
-    fn send(&mut self, round: Round) -> Vec<Outgoing<Self::Msg>>;
+    /// Collects the messages this node sends at the beginning of `round`
+    /// into `out`.
+    ///
+    /// `out` arrives empty and is the node's per-round scratch: the runner
+    /// keeps one buffer per node alive across rounds (clear-don't-drop), so
+    /// pushing into it directly — rather than returning a freshly collected
+    /// `Vec` — is what keeps the send phase allocation-free at steady
+    /// state.  Implementations that wrap an inner protocol should keep
+    /// their own scratch buffer for the inner call, for the same reason.
+    fn send(&mut self, round: Round, out: &mut Vec<Outgoing<Self::Msg>>);
 
     /// Processes all messages delivered to this node during `round`.
     fn receive(&mut self, round: Round, inbox: &[Delivered<Self::Msg>]);
@@ -115,7 +121,14 @@ pub trait SinglePortProtocol: Send + 'static {
     ///
     /// Called only when [`SinglePortProtocol::poll`] returned `Some`; `msgs`
     /// may be empty if nothing was buffered on that port.
-    fn receive(&mut self, round: Round, from: NodeId, msgs: Vec<Self::Msg>);
+    ///
+    /// The buffer is lent, not given: take what you need (iterate, `drain`,
+    /// or `mem::take` the whole `Vec`), and the runner clears and recycles
+    /// whatever capacity is left behind.  This is what keeps single-port
+    /// delivery allocation-free at steady state — a per-round `Vec` handed
+    /// to each poller by value would be constructed and dropped `n` times a
+    /// round.
+    fn receive(&mut self, round: Round, from: NodeId, msgs: &mut Vec<Self::Msg>);
 
     /// The node's decision, if it has made one.
     fn output(&self) -> Option<Self::Output>;

@@ -82,7 +82,7 @@ impl<P: SyncProtocol> std::fmt::Debug for Participant<P> {
 /// impl SyncProtocol for Halt {
 ///     type Msg = bool;
 ///     type Output = bool;
-///     fn send(&mut self, _: Round) -> Vec<Outgoing<bool>> { Vec::new() }
+///     fn send(&mut self, _: Round, _: &mut Vec<Outgoing<bool>>) {}
 ///     fn receive(&mut self, _: Round, _: &[Delivered<bool>]) {}
 ///     fn output(&self) -> Option<bool> { Some(true) }
 ///     fn has_halted(&self) -> bool { true }
@@ -117,6 +117,11 @@ pub struct Runner<P: SyncProtocol> {
     /// Persistent phase workers; spawned lazily on the first forked round
     /// and reused for every subsequent one (kept across re-partitions).
     pool: Option<WorkerPool>,
+    /// The shared empty filter list for rounds with no fresh crashes (the
+    /// overwhelmingly common case): cloning this `Arc` is a refcount bump,
+    /// so the delivery phase only allocates a filter list on the at most
+    /// `t` rounds in which a crash actually lands.
+    no_filters: Arc<Vec<(usize, DeliveryFilter)>>,
     /// The sans-I/O cores holding all per-node state, partitioned per
     /// `plan` (one core while serial).  Slots are `None` only transiently,
     /// while their core is out on a pool worker.
@@ -187,6 +192,7 @@ impl<P: SyncProtocol> Runner<P> {
             poll_intents: vec![None; n],
             byz_running,
             pool: None,
+            no_filters: Arc::new(Vec::new()),
             cores: vec![Some(RoundCore::new(0, participants))],
             plan: ChunkPlan::new(n, 1),
         })
@@ -324,7 +330,11 @@ impl<P: SyncProtocol> Runner<P> {
         // scratch; the merge below walks cores in ascending order, which
         // *is* sender-index order, so inbox ordering and metric totals are
         // independent of the partition.
-        let filters = Arc::new(filters);
+        let filters = if filters.is_empty() {
+            Arc::clone(&self.no_filters)
+        } else {
+            Arc::new(filters)
+        };
         self.run_phase(move |core| core.deliver(&filters));
         for ci in 0..self.cores.len() {
             let (msgs, bits, byz, mut delivered) = {
@@ -547,10 +557,8 @@ mod tests {
         type Msg = bool;
         type Output = bool;
 
-        fn send(&mut self, _round: Round) -> Vec<Outgoing<bool>> {
-            (0..self.n)
-                .map(|i| Outgoing::new(NodeId::new(i), self.value))
-                .collect()
+        fn send(&mut self, _round: Round, out: &mut Vec<Outgoing<bool>>) {
+            out.extend((0..self.n).map(|i| Outgoing::new(NodeId::new(i), self.value)));
         }
 
         fn receive(&mut self, _round: Round, inbox: &[Delivered<bool>]) {
@@ -687,9 +695,7 @@ mod tests {
         impl SyncProtocol for Never {
             type Msg = bool;
             type Output = bool;
-            fn send(&mut self, _: Round) -> Vec<Outgoing<bool>> {
-                Vec::new()
-            }
+            fn send(&mut self, _: Round, _: &mut Vec<Outgoing<bool>>) {}
             fn receive(&mut self, _: Round, _: &[Delivered<bool>]) {}
             fn output(&self) -> Option<bool> {
                 None
@@ -717,8 +723,8 @@ mod tests {
         type Msg = bool;
         type Output = u64;
 
-        fn send(&mut self, _round: Round) -> Vec<Outgoing<bool>> {
-            vec![Outgoing::new(NodeId::new(self.target), true)]
+        fn send(&mut self, _round: Round, out: &mut Vec<Outgoing<bool>>) {
+            out.push(Outgoing::new(NodeId::new(self.target), true));
         }
 
         fn receive(&mut self, _round: Round, inbox: &[Delivered<bool>]) {

@@ -35,10 +35,8 @@ impl SyncProtocol for FloodOr {
     type Msg = bool;
     type Output = bool;
 
-    fn send(&mut self, _round: Round) -> Vec<Outgoing<bool>> {
-        (0..self.n)
-            .map(|i| Outgoing::new(NodeId::new(i), self.value))
-            .collect()
+    fn send(&mut self, _round: Round, out: &mut Vec<Outgoing<bool>>) {
+        out.extend((0..self.n).map(|i| Outgoing::new(NodeId::new(i), self.value)));
     }
 
     fn receive(&mut self, _round: Round, inbox: &[Delivered<bool>]) {
@@ -99,8 +97,8 @@ impl SinglePortProtocol for Ring {
         Some(NodeId::new((self.me + self.n - 1) % self.n))
     }
 
-    fn receive(&mut self, _round: Round, _from: NodeId, msgs: Vec<bool>) {
-        for m in msgs {
+    fn receive(&mut self, _round: Round, _from: NodeId, msgs: &mut Vec<bool>) {
+        for m in msgs.drain(..) {
             self.value |= m;
         }
         self.rounds += 1;

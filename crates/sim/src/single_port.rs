@@ -59,7 +59,7 @@ use crate::trace::Trace;
 ///         (self.me == 1 && round.as_u64() == 1).then(|| NodeId::new(0))
 ///     }
 ///
-///     fn receive(&mut self, _round: Round, _from: NodeId, msgs: Vec<bool>) {
+///     fn receive(&mut self, _round: Round, _from: NodeId, msgs: &mut Vec<bool>) {
 ///         if let Some(&v) = msgs.first() {
 ///             self.decided = Some(v);
 ///         }
@@ -93,6 +93,9 @@ pub struct SinglePortRunner<P: SinglePortProtocol> {
     send_intents: Vec<Vec<NodeId>>,
     /// Sparse `(destination, sender)` port buffers.
     ports: PortMap<P::Msg>,
+    /// Scratch used to ferry emptied poll buffers from the cores back into
+    /// the port map each round (reused; empty between rounds).
+    spares: Vec<Vec<P::Msg>>,
     /// Worker threads used for the per-node phase loops (1 = serial).
     jobs: usize,
     /// Node count above which `jobs > 1` engages the worker pool.  The
@@ -151,6 +154,7 @@ impl<P: SinglePortProtocol> SinglePortRunner<P> {
             polls: vec![None; n],
             send_intents: (0..n).map(|_| Vec::new()).collect(),
             ports: PortMap::new(),
+            spares: Vec::new(),
             jobs: 1,
             fork_threshold: parallel::MIN_NODES_PER_FORK_SINGLE_PORT,
             pool: None,
@@ -288,6 +292,15 @@ impl<P: SinglePortProtocol> SinglePortRunner<P> {
                 .expect("core home between phases");
             core.status[victim - core.base] = self.core.status[victim];
         }
+
+        // Return the poll buffers the cores emptied last round to the port
+        // map before enqueueing, so this round's pushes and drains reuse
+        // them instead of constructing fresh queues.
+        for slot in &mut self.cores {
+            let core = slot.as_mut().expect("core home");
+            core.take_spares(&mut self.spares);
+        }
+        self.ports.reclaim(&mut self.spares);
 
         // Phase 3 (always serial): enqueue onto destination ports, walking
         // cores in ascending order — exactly sender-index order.
@@ -427,6 +440,7 @@ impl<P: SinglePortProtocol> SinglePortRunner<P> {
                     sends: (0..len).map(|_| None).collect(),
                     polls: vec![None; len],
                     drained: (0..len).map(|_| None).collect(),
+                    spare: Vec::new(),
                     outputs: outputs.by_ref().take(len).collect(),
                     events: Vec::new(),
                 })
@@ -501,8 +515,8 @@ mod tests {
             Some(NodeId::new((self.me + self.n - 1) % self.n))
         }
 
-        fn receive(&mut self, _round: Round, _from: NodeId, msgs: Vec<bool>) {
-            for m in msgs {
+        fn receive(&mut self, _round: Round, _from: NodeId, msgs: &mut Vec<bool>) {
+            for m in msgs.drain(..) {
                 self.value |= m;
             }
         }
@@ -537,7 +551,7 @@ mod tests {
             self.0.poll(round)
         }
 
-        fn receive(&mut self, round: Round, from: NodeId, msgs: Vec<bool>) {
+        fn receive(&mut self, round: Round, from: NodeId, msgs: &mut Vec<bool>) {
             self.0.receive(round, from, msgs);
             self.0.tick();
             if self.0.rounds >= 2 * self.0.n as u64 {
@@ -606,7 +620,7 @@ mod tests {
             fn poll(&mut self, _round: Round) -> Option<NodeId> {
                 None
             }
-            fn receive(&mut self, _round: Round, _from: NodeId, _msgs: Vec<bool>) {}
+            fn receive(&mut self, _round: Round, _from: NodeId, _msgs: &mut Vec<bool>) {}
             fn output(&self) -> Option<bool> {
                 self.done.then_some(false)
             }
@@ -666,7 +680,7 @@ mod tests {
             fn poll(&mut self, _round: Round) -> Option<NodeId> {
                 None
             }
-            fn receive(&mut self, _round: Round, _from: NodeId, _msgs: Vec<bool>) {}
+            fn receive(&mut self, _round: Round, _from: NodeId, _msgs: &mut Vec<bool>) {}
             fn output(&self) -> Option<bool> {
                 (self.me == 1).then_some(true)
             }
@@ -779,7 +793,7 @@ mod tests {
             fn poll(&mut self, _round: Round) -> Option<NodeId> {
                 None
             }
-            fn receive(&mut self, _round: Round, _from: NodeId, _msgs: Vec<bool>) {}
+            fn receive(&mut self, _round: Round, _from: NodeId, _msgs: &mut Vec<bool>) {}
             fn output(&self) -> Option<bool> {
                 None
             }

@@ -65,7 +65,9 @@ fn reference_multi_port<P: SyncProtocol>(
         let mut outgoing: Vec<Vec<Outgoing<P::Msg>>> = Vec::with_capacity(n);
         for (i, p) in protocols.iter_mut().enumerate() {
             if status[i].is_running() {
-                outgoing.push(p.send(round));
+                let mut msgs = Vec::new();
+                p.send(round, &mut msgs);
+                outgoing.push(msgs);
             } else {
                 outgoing.push(Vec::new());
             }
@@ -269,8 +271,8 @@ fn reference_single_port<P: SinglePortProtocol>(
                 continue;
             }
             if let Some(port) = polls[i] {
-                let drained: Vec<P::Msg> = ports[i][port.index()].drain(..).collect();
-                node.receive(round, port, drained);
+                let mut drained: Vec<P::Msg> = ports[i][port.index()].drain(..).collect();
+                node.receive(round, port, &mut drained);
             }
             if let Some(output) = node.output() {
                 if outputs[i].is_none() {
@@ -313,10 +315,8 @@ impl SyncProtocol for FloodOr {
     type Msg = bool;
     type Output = bool;
 
-    fn send(&mut self, _round: Round) -> Vec<Outgoing<bool>> {
-        (0..self.n)
-            .map(|i| Outgoing::new(NodeId::new(i), self.value))
-            .collect()
+    fn send(&mut self, _round: Round, out: &mut Vec<Outgoing<bool>>) {
+        out.extend((0..self.n).map(|i| Outgoing::new(NodeId::new(i), self.value)));
     }
 
     fn receive(&mut self, _round: Round, inbox: &[Delivered<bool>]) {
@@ -375,8 +375,8 @@ impl SinglePortProtocol for Ring {
         Some(NodeId::new((self.me + self.n - 1) % self.n))
     }
 
-    fn receive(&mut self, _round: Round, _from: NodeId, msgs: Vec<bool>) {
-        for m in msgs {
+    fn receive(&mut self, _round: Round, _from: NodeId, msgs: &mut Vec<bool>) {
+        for m in msgs.drain(..) {
             self.value |= m;
         }
         self.rounds += 1;
